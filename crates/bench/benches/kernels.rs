@@ -1,0 +1,104 @@
+//! Criterion micro-benchmarks of the computational kernels behind the
+//! paper's tables: library characterization/fitting, placement, golden
+//! STA, path enumeration, QP formulation and the interior-point solve.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dme_bench::Testbench;
+use dme_device::Technology;
+use dme_dosemap::{DoseGrid, DoseSensitivity};
+use dme_liberty::{fit, Library};
+use dme_netlist::{gen, profiles};
+use dme_qp::{IpmSettings, IpmSolver};
+use dme_sta::{analyze, top_k_paths, GeometryAssignment};
+use dmeopt::{optimize, DmoptConfig, FormulationParams, Formulation, Layers, OptContext};
+
+fn bench_characterization(c: &mut Criterion) {
+    let lib = Library::standard(Technology::n65());
+    c.bench_function("fit_library_65nm_45_masters", |b| {
+        b.iter(|| fit::fit_library(&lib));
+    });
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let lib = Library::standard(Technology::n65());
+    let design = gen::generate(&profiles::small(), &lib);
+    c.bench_function("place_2k_cells", |b| {
+        b.iter(|| dme_placement::place(&design, &lib));
+    });
+}
+
+fn bench_sta(c: &mut Criterion) {
+    let tb = Testbench::prepare(&profiles::small());
+    let n = tb.design.netlist.num_instances();
+    let doses = GeometryAssignment::nominal(n);
+    c.bench_function("golden_sta_2k_cells", |b| {
+        b.iter(|| analyze(&tb.lib, &tb.design.netlist, &tb.placement, &doses));
+    });
+}
+
+fn bench_paths(c: &mut Criterion) {
+    let tb = Testbench::prepare(&profiles::small());
+    let n = tb.design.netlist.num_instances();
+    let r = analyze(&tb.lib, &tb.design.netlist, &tb.placement, &GeometryAssignment::nominal(n));
+    let setup: Vec<f64> = tb
+        .design
+        .netlist
+        .instances
+        .iter()
+        .map(|i| tb.lib.cell(i.cell_idx).setup_ns(tb.lib.tech()))
+        .collect();
+    c.bench_function("top_1000_paths_2k_cells", |b| {
+        b.iter(|| top_k_paths(&tb.design.netlist, &r, &setup, 1000));
+    });
+}
+
+fn bench_formulate_and_solve(c: &mut Criterion) {
+    let tb = Testbench::prepare(&profiles::tiny());
+    let ctx = OptContext::new(&tb.lib, &tb.design, &tb.placement);
+    let grid = DoseGrid::with_granularity(tb.placement.die_w_um, tb.placement.die_h_um, 5.0);
+    let params = FormulationParams {
+        layers: Layers::PolyOnly,
+        lo_pct: -5.0,
+        hi_pct: 5.0,
+        delta_pct: 2.0,
+        sensitivity: DoseSensitivity::default(),
+        tau_ns: ctx.nominal.mct_ns,
+        prune: false,
+        tau_ref_ns: ctx.nominal.mct_ns,
+        elastic_weight: None,
+        hold_margin_ns: None,
+    };
+    c.bench_function("formulate_tiny_qp", |b| {
+        b.iter(|| Formulation::build(&ctx, &grid, &params));
+    });
+    let form = Formulation::build(&ctx, &grid, &params);
+    c.bench_function("ipm_solve_tiny_qp", |b| {
+        b.iter_batched(
+            || form.qp.clone(),
+            |qp| IpmSolver::new(IpmSettings::default()).solve(&qp).expect("solve"),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_dmopt_end_to_end(c: &mut Criterion) {
+    let tb = Testbench::prepare(&profiles::tiny());
+    let ctx = OptContext::new(&tb.lib, &tb.design, &tb.placement);
+    let mut group = c.benchmark_group("dmopt");
+    group.sample_size(10);
+    group.bench_function("qp_tiny_end_to_end", |b| {
+        b.iter(|| optimize(&ctx, &DmoptConfig::default()).expect("optimize"));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_characterization,
+    bench_placement,
+    bench_sta,
+    bench_paths,
+    bench_formulate_and_solve,
+    bench_dmopt_end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Ablation: timing-constraint pruning (our speed extension, see
+//! DESIGN.md §5).
+//!
+//! Pruning drops arrival variables/rows for instances whose slack can
+//! never be consumed by any admissible dose. It is *sound* (golden timing
+//! cannot regress) but *conservative* (edges through pruned producers use
+//! worst-case arrival bounds), so it may leave some leakage recovery on
+//! the table. This binary measures both sides: problem size / runtime vs
+//! result quality, per grid size.
+
+use dme_bench::{imp_pct, scale_arg, Testbench};
+use dme_netlist::profiles;
+use dmeopt::{optimize, DmoptConfig, OptContext};
+
+fn main() {
+    let scale = scale_arg(1.0);
+    println!("Pruning ablation on AES-65, QP objective (scale = {scale})");
+    let tb = Testbench::prepare_scaled(&profiles::aes65(), scale);
+    let ctx = OptContext::new(&tb.lib, &tb.design, &tb.placement);
+    let nominal = ctx.nominal_summary();
+    println!(
+        "{:>9} {:>6} {:>8} {:>10} {:>10} {:>8} {:>9}",
+        "grid(µm)", "prune", "#vars", "#rows", "Δleak(%)", "ΔMCT(%)", "time(s)"
+    );
+    for g in [5.0, 10.0, 30.0] {
+        for prune in [false, true] {
+            let cfg = DmoptConfig { grid_g_um: g, prune, ..DmoptConfig::default() };
+            match optimize(&ctx, &cfg) {
+                Ok(r) => println!(
+                    "{:>9.0} {:>6} {:>8} {:>10} {:>10.2} {:>8.2} {:>9.1}",
+                    g,
+                    prune,
+                    r.num_vars,
+                    r.num_constraints,
+                    imp_pct(nominal.leakage_uw, r.golden_after.leakage_uw),
+                    imp_pct(nominal.mct_ns, r.golden_after.mct_ns),
+                    r.runtime.as_secs_f64(),
+                ),
+                Err(e) => println!("{g:>9.0} {prune:>6}  FAILED: {e}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Figures 3–6: SPICE-style device sweeps on a minimum-size inverter.
+//!
+//! - Fig. 3: TPLH/TPHL vs gate length (≈ linear);
+//! - Fig. 4: TPLH/TPHL vs gate-width delta (≈ linear, decreasing);
+//! - Fig. 5: average leakage vs gate length (exponential);
+//! - Fig. 6: average leakage vs gate-width delta (linear).
+//!
+//! Output is CSV per figure, for both technology nodes.
+
+use dme_device::{sweep, Technology};
+
+fn main() {
+    for tech in [Technology::n65(), Technology::n90()] {
+        println!("# Fig 3 ({}): delay vs gate length", tech.name);
+        println!("L_nm,TPLH_ns,TPHL_ns");
+        for p in sweep::delay_vs_gate_length(&tech) {
+            println!("{:.1},{:.6},{:.6}", p.x_nm, p.tplh_ns, p.tphl_ns);
+        }
+        println!("# Fig 4 ({}): delay vs gate-width delta", tech.name);
+        println!("dW_nm,TPLH_ns,TPHL_ns");
+        for p in sweep::delay_vs_gate_width(&tech) {
+            println!("{:.1},{:.6},{:.6}", p.x_nm, p.tplh_ns, p.tphl_ns);
+        }
+        println!("# Fig 5 ({}): leakage vs gate length", tech.name);
+        println!("L_nm,leakage_nW");
+        for p in sweep::leakage_vs_gate_length(&tech) {
+            println!("{:.1},{:.4}", p.x_nm, p.leakage_nw);
+        }
+        println!("# Fig 6 ({}): leakage vs gate-width delta", tech.name);
+        println!("dW_nm,leakage_nW");
+        for p in sweep::leakage_vs_gate_width(&tech) {
+            println!("{:.1},{:.4}", p.x_nm, p.leakage_nw);
+        }
+    }
+}

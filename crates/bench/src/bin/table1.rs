@@ -1,0 +1,32 @@
+//! Table I: characteristics of the four testcases.
+//!
+//! Prints the paper's columns (chip size, cell instances, nets) for the
+//! synthetic AES-65 / JPEG-65 / AES-90 / JPEG-90 designs, plus structural
+//! extras (sequential count, max level, average fanout) that document the
+//! generator. `--scale f` shrinks every design proportionally.
+
+use dme_bench::{scale_arg, Testbench};
+use dme_netlist::{profiles, stats};
+
+fn main() {
+    let scale = scale_arg(1.0);
+    println!("Table I: testcase characteristics (scale = {scale})");
+    println!(
+        "{:<10} {:>12} {:>10} {:>10} {:>8} {:>8} {:>10}",
+        "Design", "Size (mm^2)", "#Cells", "#Nets", "#FFs", "Levels", "AvgFanout"
+    );
+    for profile in profiles::paper_testcases() {
+        let tb = Testbench::prepare_scaled(&profile, scale);
+        let s = stats::compute(&tb.design.netlist);
+        println!(
+            "{:<10} {:>12.3} {:>10} {:>10} {:>8} {:>8} {:>10.2}",
+            profile.name,
+            tb.design.profile.die_area_mm2,
+            s.num_instances,
+            s.num_nets,
+            s.num_sequential,
+            s.max_level,
+            s.avg_fanout,
+        );
+    }
+}

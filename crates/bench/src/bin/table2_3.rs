@@ -1,0 +1,50 @@
+//! Tables II and III: uniform poly-layer dose sweep on AES-65 and
+//! AES-90.
+//!
+//! Sweeps the dose change from −5% to +5% in 0.5% steps (21 points, the
+//! paper's characterized-library set), printing MCT and total leakage
+//! with the "imp. (%)" rows. The shape to reproduce: monotone trade-off,
+//! +5% dose ≈ 12% faster at ~2.5× leakage (65 nm) / ~1.9× (90 nm) — a
+//! uniform dose can never improve both axes.
+
+use dme_bench::{imp_pct, scale_arg, Testbench};
+use dme_netlist::profiles;
+use dme_sta::{analyze, GeometryAssignment};
+
+fn sweep(tb: &Testbench, title: &str) {
+    let n = tb.design.netlist.num_instances();
+    let nominal =
+        analyze(&tb.lib, &tb.design.netlist, &tb.placement, &GeometryAssignment::nominal(n));
+    println!("\n{title} ({} cells)", n);
+    println!(
+        "{:>9} {:>10} {:>10} {:>12} {:>10}",
+        "dose(%)", "MCT(ns)", "imp(%)", "Leakage(uW)", "imp(%)"
+    );
+    for step in -10..=10 {
+        let dose_pct = step as f64 * 0.5;
+        let dl_nm = -2.0 * dose_pct; // Ds = −2 nm/%
+        let r = analyze(
+            &tb.lib,
+            &tb.design.netlist,
+            &tb.placement,
+            &GeometryAssignment::uniform(n, dl_nm, 0.0),
+        );
+        println!(
+            "{:>9.1} {:>10.4} {:>10.2} {:>12.1} {:>10.2}",
+            dose_pct,
+            r.mct_ns,
+            imp_pct(nominal.mct_ns, r.mct_ns),
+            r.total_leakage_uw,
+            imp_pct(nominal.total_leakage_uw, r.total_leakage_uw),
+        );
+    }
+}
+
+fn main() {
+    let scale = scale_arg(1.0);
+    println!("Tables II/III: uniform dose sweep (scale = {scale})");
+    let aes65 = Testbench::prepare_scaled(&profiles::aes65(), scale);
+    sweep(&aes65, "Table II: AES-65, poly-layer dose sweep");
+    let aes90 = Testbench::prepare_scaled(&profiles::aes90(), scale);
+    sweep(&aes90, "Table III: AES-90, poly-layer dose sweep");
+}

@@ -1,0 +1,108 @@
+//! Benchmark harness shared helpers.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see `DESIGN.md` for the index). The helpers here prepare testbenches
+//! (library + generated design + placement) and provide the common
+//! `--scale` option: the paper's testcases range up to ~100 k cells, and
+//! a scale factor in `(0, 1]` shrinks them proportionally for faster
+//! runs. Results are printed in the papers' row/column layout; the shape
+//! of the numbers (who wins, by roughly what factor) is the reproduction
+//! target, not absolute values.
+
+use dme_device::Technology;
+use dme_liberty::Library;
+use dme_netlist::{gen, profiles::TechNode, Design, DesignProfile};
+use dme_placement::Placement;
+
+/// A prepared testbench: library, generated design and its placement.
+pub struct Testbench {
+    /// Standard-cell library for the design's node.
+    pub lib: Library,
+    /// The generated design.
+    pub design: Design,
+    /// Legalized placement.
+    pub placement: Placement,
+}
+
+impl Testbench {
+    /// Generates and places a design for a profile.
+    pub fn prepare(profile: &DesignProfile) -> Testbench {
+        let tech = match profile.node {
+            TechNode::N65 => Technology::n65(),
+            TechNode::N90 => Technology::n90(),
+        };
+        let lib = Library::standard(tech);
+        let design = gen::generate(profile, &lib);
+        let placement = dme_placement::place(&design, &lib);
+        Testbench { lib, design, placement }
+    }
+
+    /// Prepares a profile scaled by `scale` (1.0 = the paper's size).
+    pub fn prepare_scaled(profile: &DesignProfile, scale: f64) -> Testbench {
+        if (scale - 1.0).abs() < 1e-12 {
+            Self::prepare(profile)
+        } else {
+            Self::prepare(&profile.scaled(scale))
+        }
+    }
+}
+
+/// Parses the scale factor from `--scale <f>` on the command line or the
+/// `DME_SCALE` environment variable; defaults to `default` when absent.
+///
+/// # Panics
+///
+/// Panics with a usage message if the value does not parse or is outside
+/// `(0, 1]`.
+pub fn scale_arg(default: f64) -> f64 {
+    let mut args = std::env::args();
+    let mut scale = None;
+    while let Some(a) = args.next() {
+        if a == "--scale" {
+            let v = args.next().unwrap_or_else(|| usage());
+            scale = Some(v.parse::<f64>().unwrap_or_else(|_| usage()));
+        }
+    }
+    let scale = scale
+        .or_else(|| std::env::var("DME_SCALE").ok().and_then(|v| v.parse().ok()))
+        .unwrap_or(default);
+    if !(scale > 0.0 && scale <= 1.0) {
+        usage();
+    }
+    scale
+}
+
+fn usage() -> ! {
+    eprintln!("usage: <bin> [--scale f]   with f in (0, 1]; default from DME_SCALE or built-in");
+    std::process::exit(2);
+}
+
+/// Percentage improvement relative to a base (positive = improved), the
+/// papers' "imp. (%)" convention.
+pub fn imp_pct(base: f64, new: f64) -> f64 {
+    100.0 * (base - new) / base
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dme_netlist::profiles;
+
+    #[test]
+    fn prepare_produces_legal_placement() {
+        let tb = Testbench::prepare(&profiles::tiny());
+        tb.placement.check_legal(&tb.design.netlist, &tb.lib).expect("legal");
+    }
+
+    #[test]
+    fn scaled_prepare_shrinks() {
+        let tb = Testbench::prepare_scaled(&profiles::small(), 0.2);
+        assert!(tb.design.netlist.num_instances() < 500);
+    }
+
+    #[test]
+    fn improvement_sign_convention() {
+        assert!(imp_pct(2.0, 1.8) > 0.0);
+        assert!(imp_pct(100.0, 110.0) < 0.0);
+    }
+}

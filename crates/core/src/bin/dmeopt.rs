@@ -1,0 +1,358 @@
+//! `dmeopt` — command-line front end for dose-map / placement
+//! co-optimization.
+//!
+//! ```text
+//! dmeopt generate --profile aes65 [--scale 0.2] [--verilog out.v]
+//!                 [--def out.def] [--lib out.lib]
+//! dmeopt analyze  --profile aes65 [--scale 0.2] [--dosemap map.csv]
+//! dmeopt optimize --profile aes65 [--scale 0.2]
+//!                 [--objective leakage|timing] [--xi-uw 0] [--grid 5]
+//!                 [--layers poly|both] [--prune] [--dosemap-out map.csv]
+//! dmeopt flow     --profile aes65 [--scale 0.2] [--grid 5] [--top-k 1000]
+//! ```
+//!
+//! `generate` can also be driven from files instead of a built-in
+//! profile: `--verilog-in design.v --def-in design.def --tech 65`
+//! (for `analyze`/`optimize`/`flow`).
+
+use dme_device::Technology;
+use dme_dosemap::io::{parse_dose_map, write_dose_map};
+use dme_liberty::Library;
+use dme_netlist::{gen, profiles, verilog, Design, DesignProfile};
+use dme_placement::{io as place_io, Placement};
+use dme_sta::{analyze, GeometryAssignment};
+use dmeopt::dosepl::assignment_for_placement;
+use dmeopt::flow::{run as run_flow, FlowConfig};
+use dmeopt::{optimize, DmoptConfig, DoseplConfig, Layers, Objective, OptContext};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+/// Parsed command line: a subcommand plus `--key value` options
+/// (`--flag` with no value stores an empty string).
+#[derive(Debug, Default)]
+struct Args {
+    command: String,
+    opts: HashMap<String, String>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut it = argv.iter();
+    let command = it.next().cloned().ok_or("missing subcommand")?;
+    let mut opts = HashMap::new();
+    let mut key: Option<String> = None;
+    for a in it {
+        if let Some(k) = a.strip_prefix("--") {
+            if let Some(prev) = key.take() {
+                opts.insert(prev, String::new()); // previous was a flag
+            }
+            key = Some(k.to_string());
+        } else if let Some(k) = key.take() {
+            opts.insert(k, a.clone());
+        } else {
+            return Err(format!("unexpected positional argument {a:?}"));
+        }
+    }
+    if let Some(k) = key {
+        opts.insert(k, String::new());
+    }
+    Ok(Args { command, opts })
+}
+
+fn profile_by_name(name: &str) -> Option<DesignProfile> {
+    match name {
+        "aes65" => Some(profiles::aes65()),
+        "jpeg65" => Some(profiles::jpeg65()),
+        "aes90" => Some(profiles::aes90()),
+        "jpeg90" => Some(profiles::jpeg90()),
+        "small" => Some(profiles::small()),
+        "tiny" => Some(profiles::tiny()),
+        _ => None,
+    }
+}
+
+struct Bench {
+    lib: Library,
+    design: Design,
+    placement: Placement,
+}
+
+fn load_bench(args: &Args) -> Result<Bench, String> {
+    if let Some(vpath) = args.opts.get("verilog-in") {
+        let tech = match args.opts.get("tech").map(String::as_str) {
+            Some("65") | None => Technology::n65(),
+            Some("90") => Technology::n90(),
+            Some(other) => return Err(format!("unknown tech {other:?} (use 65 or 90)")),
+        };
+        let lib = Library::standard(tech);
+        let text = std::fs::read_to_string(vpath).map_err(|e| format!("{vpath}: {e}"))?;
+        let netlist = verilog::parse_netlist(&text, &lib).map_err(|e| e.to_string())?;
+        let dpath = args
+            .opts
+            .get("def-in")
+            .ok_or("--verilog-in requires --def-in for the placement")?;
+        let dtext = std::fs::read_to_string(dpath).map_err(|e| format!("{dpath}: {e}"))?;
+        let placement = place_io::parse_placement(&dtext, &netlist).map_err(|e| e.to_string())?;
+        let die_area_mm2 = placement.die_w_um * placement.die_h_um * 1e-6;
+        let mut profile = profiles::tiny();
+        profile.name = "FILE".into();
+        profile.die_area_mm2 = die_area_mm2;
+        let design = Design { netlist, profile };
+        return Ok(Bench { lib, design, placement });
+    }
+    let pname = args.opts.get("profile").ok_or("--profile (or --verilog-in) is required")?;
+    let mut profile =
+        profile_by_name(pname).ok_or_else(|| format!("unknown profile {pname:?}"))?;
+    if let Some(s) = args.opts.get("scale") {
+        let f: f64 = s.parse().map_err(|_| format!("bad --scale {s:?}"))?;
+        profile = profile.scaled(f);
+    }
+    let tech = match profile.node {
+        profiles::TechNode::N65 => Technology::n65(),
+        profiles::TechNode::N90 => Technology::n90(),
+    };
+    let lib = Library::standard(tech);
+    let design = gen::generate(&profile, &lib);
+    let placement = dme_placement::place(&design, &lib);
+    Ok(Bench { lib, design, placement })
+}
+
+fn dmopt_config(args: &Args) -> Result<DmoptConfig, String> {
+    let mut cfg = DmoptConfig::default();
+    if let Some(g) = args.opts.get("grid") {
+        cfg.grid_g_um = g.parse().map_err(|_| format!("bad --grid {g:?}"))?;
+    }
+    match args.opts.get("objective").map(String::as_str) {
+        Some("timing") => {
+            let xi = args
+                .opts
+                .get("xi-uw")
+                .map(|v| v.parse::<f64>().map_err(|_| format!("bad --xi-uw {v:?}")))
+                .transpose()?
+                .unwrap_or(0.0);
+            cfg.objective = Objective::MinTiming { xi_uw: xi };
+        }
+        Some("leakage") | None => {}
+        Some(other) => return Err(format!("unknown objective {other:?}")),
+    }
+    match args.opts.get("layers").map(String::as_str) {
+        Some("both") => cfg.layers = Layers::PolyAndActive,
+        Some("poly") | None => {}
+        Some(other) => return Err(format!("unknown layers {other:?}")),
+    }
+    if args.opts.contains_key("prune") {
+        cfg.prune = true;
+    }
+    if let Some(h) = args.opts.get("hold-margin-ns") {
+        cfg.hold_margin_ns =
+            Some(h.parse().map_err(|_| format!("bad --hold-margin-ns {h:?}"))?);
+    }
+    Ok(cfg)
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let b = load_bench(args)?;
+    println!(
+        "generated {}: {} cells, {} nets, die {:.1}×{:.1} µm",
+        b.design.profile.name,
+        b.design.netlist.num_instances(),
+        b.design.netlist.num_nets(),
+        b.placement.die_w_um,
+        b.placement.die_h_um
+    );
+    if let Some(path) = args.opts.get("verilog") {
+        let text = verilog::write_netlist(&b.design.netlist, &b.lib, "dme");
+        std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = args.opts.get("def") {
+        let text = place_io::write_placement(&b.placement, &b.design.netlist);
+        std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    if let Some(path) = args.opts.get("lib") {
+        let text = dme_liberty::io::write_library(&b.lib, 0.0, 0.0);
+        std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_analyze(args: &Args) -> Result<(), String> {
+    let b = load_bench(args)?;
+    let n = b.design.netlist.num_instances();
+    let doses = match args.opts.get("dosemap") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let map = parse_dose_map(&text).map_err(|e| e.to_string())?;
+            let ctx = OptContext::new(&b.lib, &b.design, &b.placement);
+            assignment_for_placement(&ctx, &b.placement, &map, None, -2.0)
+        }
+        None => GeometryAssignment::nominal(n),
+    };
+    let r = analyze(&b.lib, &b.design.netlist, &b.placement, &doses);
+    println!("MCT      : {:.4} ns", r.mct_ns);
+    println!("leakage  : {:.1} µW", r.total_leakage_uw);
+    let setup: Vec<f64> = b
+        .design
+        .netlist
+        .instances
+        .iter()
+        .map(|i| b.lib.cell(i.cell_idx).setup_ns(b.lib.tech()))
+        .collect();
+    let paths = dme_sta::worst_path_per_endpoint(&b.design.netlist, &r, &setup);
+    let pct = dme_sta::report::criticality_percentages(&paths, r.mct_ns, &[0.95, 0.90, 0.80]);
+    println!("endpoints: {}", paths.len());
+    println!("criticality (95/90/80% of MCT): {:.2}% / {:.2}% / {:.2}%", pct[0], pct[1], pct[2]);
+    println!("hold     : worst slack {:.4} ns", r.worst_hold_slack_ns);
+    if let Some(path) = args.opts.get("sdf") {
+        let text = dme_sta::sdf::write_sdf(&b.design.netlist, &r, "dme");
+        std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_optimize(args: &Args) -> Result<(), String> {
+    let b = load_bench(args)?;
+    let ctx = OptContext::new(&b.lib, &b.design, &b.placement);
+    let cfg = dmopt_config(args)?;
+    let r = optimize(&ctx, &cfg).map_err(|e| e.to_string())?;
+    let (mct_imp, leak_imp) = r.golden_after.improvement_over(&r.golden_before);
+    println!(
+        "MCT      : {:.4} -> {:.4} ns ({mct_imp:+.2}%)",
+        r.golden_before.mct_ns, r.golden_after.mct_ns
+    );
+    println!(
+        "leakage  : {:.1} -> {:.1} µW ({leak_imp:+.2}%)",
+        r.golden_before.leakage_uw, r.golden_after.leakage_uw
+    );
+    println!(
+        "solver   : {} vars, {} rows, {} iterations, {} probe(s), {:.2?}",
+        r.num_vars, r.num_constraints, r.iterations, r.probes, r.runtime
+    );
+    if let Some(path) = args.opts.get("dosemap-out") {
+        std::fs::write(path, write_dose_map(&r.poly_map)).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn cmd_flow(args: &Args) -> Result<(), String> {
+    let b = load_bench(args)?;
+    let ctx = OptContext::new(&b.lib, &b.design, &b.placement);
+    let mut cfg = FlowConfig {
+        dmopt: dmopt_config(args)?,
+        dosepl: Some(DoseplConfig::default()),
+    };
+    cfg.dmopt.objective = Objective::MinTiming { xi_uw: 0.0 };
+    if let Some(k) = args.opts.get("top-k") {
+        if let Some(d) = cfg.dosepl.as_mut() {
+            d.top_k = k.parse().map_err(|_| format!("bad --top-k {k:?}"))?;
+        }
+    }
+    let r = run_flow(&ctx, &cfg).map_err(|e| e.to_string())?;
+    println!("nominal   : MCT {:.4} ns, leakage {:.1} µW", r.nominal.mct_ns, r.nominal.leakage_uw);
+    println!(
+        "after QCP : MCT {:.4} ns, leakage {:.1} µW",
+        r.dmopt.golden_after.mct_ns, r.dmopt.golden_after.leakage_uw
+    );
+    if let Some(dp) = &r.dosepl {
+        println!(
+            "after dosePl: MCT {:.4} ns, leakage {:.1} µW ({} swaps accepted)",
+            dp.golden_after.mct_ns, dp.golden_after.leakage_uw, dp.swaps_accepted
+        );
+    }
+    Ok(())
+}
+
+const USAGE: &str = "usage: dmeopt <generate|analyze|optimize|flow> [options]
+  common: --profile aes65|jpeg65|aes90|jpeg90|small|tiny [--scale f]
+          or --verilog-in f.v --def-in f.def [--tech 65|90]
+  generate: [--verilog out.v] [--def out.def] [--lib out.lib]
+  analyze : [--dosemap map.csv] [--sdf out.sdf]
+  optimize: [--objective leakage|timing] [--xi-uw x] [--grid g]
+            [--layers poly|both] [--prune] [--hold-margin-ns h]
+            [--dosemap-out map.csv]
+  flow    : [--grid g] [--top-k k]";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match args.command.as_str() {
+        "generate" => cmd_generate(&args),
+        "analyze" => cmd_analyze(&args),
+        "optimize" => cmd_optimize(&args),
+        "flow" => cmd_flow(&args),
+        other => Err(format!("unknown subcommand {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Args {
+        parse_args(&v.iter().map(|s| s.to_string()).collect::<Vec<_>>()).expect("parse")
+    }
+
+    #[test]
+    fn arg_parsing_handles_flags_and_values() {
+        let a = args(&["optimize", "--profile", "tiny", "--prune", "--grid", "8"]);
+        assert_eq!(a.command, "optimize");
+        assert_eq!(a.opts["profile"], "tiny");
+        assert_eq!(a.opts["grid"], "8");
+        assert!(a.opts.contains_key("prune"));
+    }
+
+    #[test]
+    fn trailing_flag_is_kept() {
+        let a = args(&["flow", "--profile", "tiny", "--prune"]);
+        assert!(a.opts.contains_key("prune"));
+    }
+
+    #[test]
+    fn bad_args_are_rejected() {
+        assert!(parse_args(&[]).is_err());
+        assert!(parse_args(&["x".into(), "stray".into()]).is_err());
+    }
+
+    #[test]
+    fn profiles_resolve() {
+        for p in ["aes65", "jpeg65", "aes90", "jpeg90", "small", "tiny"] {
+            assert!(profile_by_name(p).is_some(), "{p}");
+        }
+        assert!(profile_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn config_builder_maps_options() {
+        let a = args(&[
+            "optimize", "--profile", "tiny", "--objective", "timing", "--xi-uw", "3.5",
+            "--layers", "both", "--grid", "7.5", "--prune",
+        ]);
+        let cfg = dmopt_config(&a).expect("config");
+        assert_eq!(cfg.grid_g_um, 7.5);
+        assert!(cfg.prune);
+        assert_eq!(cfg.layers, Layers::PolyAndActive);
+        assert!(matches!(cfg.objective, Objective::MinTiming { xi_uw } if xi_uw == 3.5));
+    }
+
+    #[test]
+    fn end_to_end_tiny_optimize() {
+        let a = args(&["optimize", "--profile", "tiny"]);
+        cmd_optimize(&a).expect("optimize runs");
+    }
+}

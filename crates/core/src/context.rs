@@ -1,0 +1,178 @@
+//! Optimization context: everything DMopt needs, computed once.
+
+use dme_liberty::{fit, Library};
+use dme_netlist::Design;
+use dme_placement::Placement;
+use dme_sta::{analyze, GeometryAssignment, TimingReport};
+
+/// A compact golden-analysis summary (the numbers the paper's tables
+/// report).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GoldenSummary {
+    /// Minimum cycle time, ns.
+    pub mct_ns: f64,
+    /// Total leakage power, µW.
+    pub leakage_uw: f64,
+}
+
+impl GoldenSummary {
+    /// Extracts the summary from a timing report.
+    pub fn from_report(r: &TimingReport) -> Self {
+        Self { mct_ns: r.mct_ns, leakage_uw: r.total_leakage_uw }
+    }
+
+    /// Percentage improvement of `self` over a baseline (positive =
+    /// better), as `(mct_imp_pct, leakage_imp_pct)` — the "imp. (%)"
+    /// columns of the paper's tables.
+    pub fn improvement_over(&self, base: &GoldenSummary) -> (f64, f64) {
+        (
+            100.0 * (base.mct_ns - self.mct_ns) / base.mct_ns,
+            100.0 * (base.leakage_uw - self.leakage_uw) / base.leakage_uw,
+        )
+    }
+}
+
+/// Shared optimization context: library fits, the nominal golden
+/// analysis, and per-instance surrogate coefficients selected at each
+/// instance's operating point (input slew × output load), exactly as the
+/// paper's flow prescribes (Fig. 8).
+#[derive(Debug)]
+pub struct OptContext<'a> {
+    /// The standard-cell library.
+    pub lib: &'a Library,
+    /// The design under optimization.
+    pub design: &'a Design,
+    /// Its placement.
+    pub placement: &'a Placement,
+    /// Fitted surrogate coefficients for every library master.
+    pub fit: fit::LibraryFit,
+    /// Golden analysis at nominal geometry.
+    pub nominal: TimingReport,
+    /// Setup time per instance (zero for combinational cells), ns.
+    pub setup_ns: Vec<f64>,
+    /// `Ap` per instance: ∂delay/∂L at its operating point, ns/nm.
+    pub ap: Vec<f64>,
+    /// `Bp` per instance: ∂delay/∂W, ns/nm.
+    pub bp: Vec<f64>,
+    /// `αp` per instance: quadratic leakage coefficient, nW/nm².
+    pub alpha: Vec<f64>,
+    /// `βp` per instance: linear leakage coefficient (vs ΔL), nW/nm.
+    pub beta: Vec<f64>,
+    /// `γp` per instance: linear leakage coefficient (vs ΔW), nW/nm.
+    pub gamma: Vec<f64>,
+}
+
+impl<'a> OptContext<'a> {
+    /// Builds the context: fits the library, runs the nominal golden
+    /// analysis, and selects per-instance coefficients by interpolating
+    /// the fitted grids at each instance's (slew, load).
+    pub fn new(lib: &'a Library, design: &'a Design, placement: &'a Placement) -> Self {
+        let nl = &design.netlist;
+        let n = nl.num_instances();
+        let libfit = fit::fit_library(lib);
+        let nominal =
+            analyze(lib, nl, placement, &GeometryAssignment::nominal(n));
+        let tech = lib.tech();
+        let mut ap = vec![0.0; n];
+        let mut bp = vec![0.0; n];
+        let mut alpha = vec![0.0; n];
+        let mut beta = vec![0.0; n];
+        let mut gamma = vec![0.0; n];
+        let mut setup = vec![0.0; n];
+        for (i, inst) in nl.instances.iter().enumerate() {
+            let f = &libfit.cells[inst.cell_idx];
+            let slew = nominal.input_slew_ns[i];
+            let load = nominal.load_ff[i];
+            ap[i] = f.ap_at(slew, load);
+            bp[i] = f.bp_at(slew, load);
+            alpha[i] = f.alpha;
+            beta[i] = f.beta;
+            gamma[i] = f.gamma;
+            setup[i] = lib.cell(inst.cell_idx).setup_ns(tech);
+        }
+        Self {
+            lib,
+            design,
+            placement,
+            fit: libfit,
+            nominal,
+            setup_ns: setup,
+            ap,
+            bp,
+            alpha,
+            beta,
+            gamma,
+        }
+    }
+
+    /// Number of instances in the design.
+    pub fn num_instances(&self) -> usize {
+        self.design.netlist.num_instances()
+    }
+
+    /// Golden summary of the nominal design.
+    pub fn nominal_summary(&self) -> GoldenSummary {
+        GoldenSummary::from_report(&self.nominal)
+    }
+
+    /// Surrogate leakage delta (nW) for a geometry assignment — the
+    /// optimizer-side estimate (Eq. 2 of the paper in nm units).
+    pub fn surrogate_leakage_delta_nw(&self, doses: &GeometryAssignment) -> f64 {
+        (0..self.num_instances())
+            .map(|i| {
+                let dl = doses.dl_nm[i];
+                let dw = doses.dw_nm[i];
+                self.alpha[i] * dl * dl + self.beta[i] * dl + self.gamma[i] * dw
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dme_device::Technology;
+    use dme_netlist::{gen, profiles};
+
+    #[test]
+    fn context_has_sane_coefficients() {
+        let lib = Library::standard(Technology::n65());
+        let d = gen::generate(&profiles::tiny(), &lib);
+        let p = dme_placement::place(&d, &lib);
+        let ctx = OptContext::new(&lib, &d, &p);
+        for i in 0..ctx.num_instances() {
+            assert!(ctx.ap[i] > 0.0, "Ap[{i}]");
+            assert!(ctx.bp[i] < 0.0, "Bp[{i}]");
+            assert!(ctx.alpha[i] > 0.0 && ctx.beta[i] < 0.0 && ctx.gamma[i] > 0.0);
+            if d.netlist.instances[i].is_sequential {
+                assert!(ctx.setup_ns[i] > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn surrogate_tracks_golden_leakage_direction() {
+        let lib = Library::standard(Technology::n65());
+        let d = gen::generate(&profiles::tiny(), &lib);
+        let p = dme_placement::place(&d, &lib);
+        let ctx = OptContext::new(&lib, &d, &p);
+        let n = ctx.num_instances();
+        // +5% dose everywhere (ΔL = −10 nm): surrogate must predict a
+        // large leakage increase, like the golden model.
+        let fast = GeometryAssignment::uniform(n, -10.0, 0.0);
+        let surr = ctx.surrogate_leakage_delta_nw(&fast) / 1000.0;
+        let golden = analyze(&lib, &d.netlist, &p, &fast).total_leakage_uw
+            - ctx.nominal.total_leakage_uw;
+        assert!(surr > 0.0 && golden > 0.0);
+        assert!((surr - golden).abs() < 0.35 * golden, "surr {surr} vs golden {golden}");
+    }
+
+    #[test]
+    fn improvement_math_matches_paper_convention() {
+        let base = GoldenSummary { mct_ns: 2.0, leakage_uw: 100.0 };
+        let better = GoldenSummary { mct_ns: 1.8, leakage_uw: 90.0 };
+        let (mct_imp, leak_imp) = better.improvement_over(&base);
+        assert!((mct_imp - 10.0).abs() < 1e-12);
+        assert!((leak_imp - 10.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,411 @@
+//! dosePl: dose-map-aware placement by cell swapping (Algorithm 1).
+//!
+//! Given a timing/leakage-optimized dose map, critical cells are swapped
+//! into higher-dose grid regions (where gates print shorter and switch
+//! faster) and non-critical cells take their place. Candidate swaps are
+//! filtered exactly as in the paper's Appendix: both cells must lie in
+//! each other's *neighborhood bounding boxes* (Fig. 9), be within a
+//! distance threshold proportional to the average gate pitch, not
+//! increase the estimated HPWL of their incident nets beyond a fraction
+//! γ₃, and not increase their combined leakage beyond a fraction γ₄.
+//! After each round the perturbed rows are re-legalized (the ECO step)
+//! and golden timing decides accept-or-rollback; rolled-back cells are
+//! frozen for subsequent rounds.
+
+use crate::context::{GoldenSummary, OptContext};
+use dme_dosemap::DoseMap;
+use dme_netlist::InstId;
+use dme_placement::Placement;
+use dme_sta::{analyze, worst_path_per_endpoint, GeometryAssignment};
+
+/// Tuning knobs of the swapping heuristic (γ-parameters of the paper).
+#[derive(Debug, Clone)]
+pub struct DoseplConfig {
+    /// Number of critical paths examined per round (the paper uses
+    /// K = 10 000).
+    pub top_k: usize,
+    /// Number of swap rounds (the paper uses 10).
+    pub rounds: usize,
+    /// γ₁: maximum cells swapped per critical path.
+    pub max_swapped_per_path: usize,
+    /// γ₂: maximum swap distance, in multiples of the average gate pitch.
+    pub max_distance_pitches: f64,
+    /// γ₃: maximum allowed fractional HPWL increase of the incident nets
+    /// of a swapped cell.
+    pub hpwl_increase_frac: f64,
+    /// γ₄: maximum allowed fractional increase of the combined leakage of
+    /// a swapped pair.
+    pub leak_increase_frac: f64,
+    /// γ₅: maximum swaps per round.
+    pub swaps_per_round: usize,
+}
+
+impl Default for DoseplConfig {
+    fn default() -> Self {
+        Self {
+            top_k: 10_000,
+            rounds: 10,
+            max_swapped_per_path: 1,
+            max_distance_pitches: 10.0,
+            hpwl_increase_frac: 0.2,
+            leak_increase_frac: 0.1,
+            swaps_per_round: 1,
+        }
+    }
+}
+
+/// Outcome of the dosePl pass.
+#[derive(Debug, Clone)]
+pub struct DoseplResult {
+    /// The (possibly) improved placement.
+    pub placement: Placement,
+    /// Geometry assignment re-derived at the final cell positions.
+    pub assignment: GeometryAssignment,
+    /// Golden summary entering dosePl (post-DMopt).
+    pub golden_before: GoldenSummary,
+    /// Golden summary after the accepted swaps.
+    pub golden_after: GoldenSummary,
+    /// Swaps attempted across all rounds.
+    pub swaps_attempted: usize,
+    /// Swaps surviving golden-timing acceptance.
+    pub swaps_accepted: usize,
+    /// Rounds executed.
+    pub rounds_run: usize,
+}
+
+/// Re-derives the per-instance geometry assignment from dose maps for an
+/// arbitrary placement (cells change grids when they move).
+pub fn assignment_for_placement(
+    ctx: &OptContext<'_>,
+    placement: &Placement,
+    poly: &DoseMap,
+    active: Option<&DoseMap>,
+    ds: f64,
+) -> GeometryAssignment {
+    let nl = &ctx.design.netlist;
+    let n = nl.num_instances();
+    let mut a = GeometryAssignment::nominal(n);
+    for i in 0..n {
+        let (x, y) = placement.center(ctx.lib, nl, InstId(i as u32));
+        a.dl_nm[i] = ds * poly.dose_at_um(x, y);
+        if let Some(am) = active {
+            a.dw_nm[i] = ds * am.dose_at_um(x, y);
+        }
+    }
+    a
+}
+
+/// Estimated fractional HPWL change of a cell's incident nets if its
+/// center moved to `new_center`.
+fn hpwl_delta_frac(
+    ctx: &OptContext<'_>,
+    placement: &Placement,
+    cell: InstId,
+    new_center: (f64, f64),
+) -> f64 {
+    let nl = &ctx.design.netlist;
+    let inst = nl.instance(cell);
+    let mut nets: Vec<dme_netlist::NetId> = inst.inputs.clone();
+    nets.push(inst.output);
+    nets.sort_unstable();
+    nets.dedup();
+    let old_center = placement.center(ctx.lib, nl, cell);
+    let mut before = 0.0;
+    let mut after = 0.0;
+    for &net in &nets {
+        let pins = placement.net_pins(ctx.lib, nl, net);
+        before += dme_placement::BoundingBox::of_points(&pins)
+            .map_or(0.0, |b| b.half_perimeter());
+        let moved: Vec<(f64, f64)> = pins
+            .iter()
+            .map(|&p| if p == old_center { new_center } else { p })
+            .collect();
+        after += dme_placement::BoundingBox::of_points(&moved)
+            .map_or(0.0, |b| b.half_perimeter());
+    }
+    if before <= 1e-12 {
+        return 0.0;
+    }
+    (after - before) / before
+}
+
+/// Runs the dosePl cell-swapping optimization on top of a DMopt result.
+///
+/// # Panics
+///
+/// Panics if the dose maps' grids do not cover the placement die.
+pub fn dosepl(
+    ctx: &OptContext<'_>,
+    poly: &DoseMap,
+    active: Option<&DoseMap>,
+    ds: f64,
+    cfg: &DoseplConfig,
+) -> DoseplResult {
+    let nl = &ctx.design.netlist;
+    let lib = ctx.lib;
+    let tech = lib.tech();
+    let n = nl.num_instances();
+    let mut placement = ctx.placement.clone();
+    let mut assignment = assignment_for_placement(ctx, &placement, poly, active, ds);
+    let entry_report = analyze(lib, nl, &placement, &assignment);
+    let golden_before = GoldenSummary::from_report(&entry_report);
+    let mut best = golden_before;
+    let pitch = placement.gate_pitch_um(nl);
+    let max_dist = cfg.max_distance_pitches * pitch;
+
+    let mut fixed = vec![false; n];
+    let mut swaps_attempted = 0usize;
+    let mut swaps_accepted = 0usize;
+    let mut rounds_run = 0usize;
+
+    for _round in 0..cfg.rounds {
+        rounds_run += 1;
+        // Snapshot for exact rollback: ECO repacking can evict third-party
+        // cells to neighboring rows, so undoing only the swapped pair
+        // would leave residue.
+        let snapshot = (placement.x_um.clone(), placement.y_um.clone());
+        let report = analyze(lib, nl, &placement, &assignment);
+        // One worst path per endpoint (the signoff timer's view), most
+        // critical first, capped at the configured K.
+        let mut paths = worst_path_per_endpoint(nl, &report, &ctx.setup_ns);
+        paths.truncate(cfg.top_k);
+
+        // Criticality flags and Eq. (13) weights.
+        let mut critical = vec![false; n];
+        let mut weight = vec![0.0f64; n];
+        for p in &paths {
+            let w = (-p.slack_ns).exp();
+            for &c in &p.instances {
+                critical[c.0 as usize] = true;
+                weight[c.0 as usize] += w;
+            }
+        }
+
+        // Per-grid non-critical cell lists at current positions.
+        let grid = &poly.grid;
+        let mut grid_members: Vec<Vec<InstId>> = vec![Vec::new(); grid.num_cells()];
+        let mut grid_of = vec![0usize; n];
+        for i in 0..n {
+            let (x, y) = placement.center(lib, nl, InstId(i as u32));
+            let g = grid.cell_of(x, y);
+            grid_of[i] = g;
+            if !critical[i] {
+                grid_members[g].push(InstId(i as u32));
+            }
+        }
+
+        let mut swapped_on_path: std::collections::HashMap<usize, usize> =
+            std::collections::HashMap::new();
+        let mut round_swaps: Vec<(InstId, InstId)> = Vec::new();
+        let mut num_swaps = 0usize;
+
+        'paths: for (pi, path) in paths.iter().enumerate() {
+            if *swapped_on_path.get(&pi).unwrap_or(&0) >= cfg.max_swapped_per_path {
+                continue;
+            }
+            // Cells ordered by non-increasing weight.
+            let mut cells = path.instances.clone();
+            cells.sort_by(|a, b| weight[b.0 as usize].total_cmp(&weight[a.0 as usize]));
+            'cells: for &cell_l in &cells {
+                let li = cell_l.0 as usize;
+                if fixed[li] {
+                    continue;
+                }
+                let bl = placement.neighborhood_bbox(lib, nl, cell_l);
+                let my_dose = poly.dose_pct[grid_of[li]];
+                // Grids intersecting bl, sorted by dose descending.
+                let mut cand_grids: Vec<usize> = (0..grid.num_cells())
+                    .filter(|&g| {
+                        let (cx, cy) = grid.cell_center_um(g);
+                        let half_x = 0.5 * grid.pitch_x_um();
+                        let half_y = 0.5 * grid.pitch_y_um();
+                        bl.expanded(half_x.max(half_y)).contains(cx, cy)
+                    })
+                    .collect();
+                cand_grids
+                    .sort_by(|&a, &b| poly.dose_pct[b].total_cmp(&poly.dose_pct[a]));
+                for g in cand_grids {
+                    if poly.dose_pct[g] <= my_dose {
+                        break;
+                    }
+                    // Non-critical candidates by distance.
+                    let mut nc: Vec<InstId> = grid_members[g]
+                        .iter()
+                        .copied()
+                        .filter(|&m| !fixed[m.0 as usize] && m != cell_l)
+                        .collect();
+                    nc.sort_by(|&a, &b| {
+                        placement
+                            .distance(lib, nl, cell_l, a)
+                            .total_cmp(&placement.distance(lib, nl, cell_l, b))
+                    });
+                    for cell_m in nc {
+                        let mi = cell_m.0 as usize;
+                        if placement.distance(lib, nl, cell_l, cell_m) > max_dist {
+                            break;
+                        }
+                        swaps_attempted += 1;
+                        let bm = placement.neighborhood_bbox(lib, nl, cell_m);
+                        let cl = placement.center(lib, nl, cell_l);
+                        let cm = placement.center(lib, nl, cell_m);
+                        if !bm.contains(cl.0, cl.1) || !bl.contains(cm.0, cm.1) {
+                            continue;
+                        }
+                        if hpwl_delta_frac(ctx, &placement, cell_l, cm)
+                            > cfg.hpwl_increase_frac
+                            || hpwl_delta_frac(ctx, &placement, cell_m, cl)
+                                > cfg.hpwl_increase_frac
+                        {
+                            continue;
+                        }
+                        // Leakage filter: combined leakage at swapped doses.
+                        let dose_l = poly.dose_pct[grid_of[li]];
+                        let dose_m = poly.dose_pct[g];
+                        let dl_l = ds * dose_l;
+                        let dl_m = ds * dose_m;
+                        let master_l = lib.cell(nl.instance(cell_l).cell_idx);
+                        let master_m = lib.cell(nl.instance(cell_m).cell_idx);
+                        let before = master_l.leakage_nw(tech, dl_l, 0.0)
+                            + master_m.leakage_nw(tech, dl_m, 0.0);
+                        let after = master_l.leakage_nw(tech, dl_m, 0.0)
+                            + master_m.leakage_nw(tech, dl_l, 0.0);
+                        if after - before > cfg.leak_increase_frac * before {
+                            continue;
+                        }
+                        // Accept the candidate swap.
+                        placement.swap_cells(cell_l, cell_m);
+                        let rows = [
+                            (placement.y_um[li] / placement.row_h_um).round() as usize,
+                            (placement.y_um[mi] / placement.row_h_um).round() as usize,
+                        ];
+                        placement.repack_rows(lib, nl, &rows);
+                        round_swaps.push((cell_l, cell_m));
+                        num_swaps += 1;
+                        // Update swap counts on every path containing cell_l.
+                        for (qi, q) in paths.iter().enumerate() {
+                            if q.instances.contains(&cell_l) {
+                                *swapped_on_path.entry(qi).or_insert(0) += 1;
+                            }
+                        }
+                        if num_swaps >= cfg.swaps_per_round {
+                            break 'paths;
+                        }
+                        continue 'cells;
+                    }
+                }
+            }
+        }
+
+        if round_swaps.is_empty() {
+            break; // nothing left to try
+        }
+
+        // ECO signoff: accept if golden MCT improves, otherwise roll back
+        // and freeze the involved cells.
+        let new_assignment = assignment_for_placement(ctx, &placement, poly, active, ds);
+        let signoff = analyze(lib, nl, &placement, &new_assignment);
+        if signoff.mct_ns < best.mct_ns - 1e-12 {
+            best = GoldenSummary::from_report(&signoff);
+            assignment = new_assignment;
+            swaps_accepted += round_swaps.len();
+        } else {
+            placement.x_um = snapshot.0;
+            placement.y_um = snapshot.1;
+            for &(a, b) in &round_swaps {
+                fixed[a.0 as usize] = true;
+                fixed[b.0 as usize] = true;
+            }
+            assignment = assignment_for_placement(ctx, &placement, poly, active, ds);
+        }
+    }
+
+    // Report a fresh signoff of the placement actually returned (and
+    // check it against the bookkeeping — rollback restores coordinates
+    // exactly, so the two must agree).
+    let final_report = analyze(lib, nl, &placement, &assignment);
+    let golden_after = GoldenSummary::from_report(&final_report);
+    debug_assert!(
+        (golden_after.mct_ns - best.mct_ns).abs() <= 1e-9 * best.mct_ns.max(1.0),
+        "rollback is exact, so the final signoff must match the bookkeeping: {} vs {}",
+        golden_after.mct_ns,
+        best.mct_ns
+    );
+    DoseplResult {
+        placement,
+        assignment,
+        golden_before,
+        golden_after,
+        swaps_attempted,
+        swaps_accepted,
+        rounds_run,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimize::{optimize, DmoptConfig, Objective};
+    use dme_device::Technology;
+    use dme_liberty::Library;
+    use dme_netlist::{gen, profiles};
+
+    #[test]
+    fn dosepl_never_degrades_golden_timing() {
+        let lib = Library::standard(Technology::n65());
+        let d = gen::generate(&profiles::tiny(), &lib);
+        let p = dme_placement::place(&d, &lib);
+        let ctx = OptContext::new(&lib, &d, &p);
+        let dm = optimize(
+            &ctx,
+            &DmoptConfig {
+                objective: Objective::MinTiming { xi_uw: 0.0 },
+                grid_g_um: 5.0,
+                ..DmoptConfig::default()
+            },
+        )
+        .expect("dmopt");
+        let cfg = DoseplConfig { top_k: 100, rounds: 4, swaps_per_round: 2, ..DoseplConfig::default() };
+        let r = dosepl(&ctx, &dm.poly_map, None, -2.0, &cfg);
+        assert!(r.golden_after.mct_ns <= r.golden_before.mct_ns + 1e-12);
+        assert!(r.rounds_run >= 1);
+        // Placement stays legal throughout.
+        r.placement.check_legal(&d.netlist, &lib).expect("legal");
+    }
+
+    #[test]
+    fn assignment_tracks_cell_positions() {
+        let lib = Library::standard(Technology::n65());
+        let d = gen::generate(&profiles::tiny(), &lib);
+        let p = dme_placement::place(&d, &lib);
+        let ctx = OptContext::new(&lib, &d, &p);
+        let grid = dme_dosemap::DoseGrid::with_granularity(p.die_w_um, p.die_h_um, 5.0);
+        // Left half gets +4%, right half −4%.
+        let vals: Vec<f64> = (0..grid.num_cells())
+            .map(|g| if grid.cell_center_um(g).0 < p.die_w_um / 2.0 { 4.0 } else { -4.0 })
+            .collect();
+        let map = DoseMap::from_values(grid, vals);
+        let a = assignment_for_placement(&ctx, &p, &map, None, -2.0);
+        for i in 0..ctx.num_instances() {
+            let (x, y) = p.center(&lib, &d.netlist, dme_netlist::InstId(i as u32));
+            let expect = -2.0 * map.dose_pct[map.grid.cell_of(x, y)];
+            assert_eq!(a.dl_nm[i], expect, "instance {i} at ({x}, {y})");
+            assert!(a.dl_nm[i].abs() == 8.0);
+            assert_eq!(a.dw_nm[i], 0.0);
+        }
+    }
+
+    #[test]
+    fn hpwl_filter_blocks_distant_moves() {
+        let lib = Library::standard(Technology::n65());
+        let d = gen::generate(&profiles::tiny(), &lib);
+        let p = dme_placement::place(&d, &lib);
+        let ctx = OptContext::new(&lib, &d, &p);
+        let cell = dme_netlist::InstId(5);
+        let near = p.center(&lib, &d.netlist, cell);
+        let delta_stay = hpwl_delta_frac(&ctx, &p, cell, near);
+        assert!(delta_stay.abs() < 1e-12);
+        let far = (p.die_w_um, p.die_h_um);
+        let delta_far = hpwl_delta_frac(&ctx, &p, cell, far);
+        assert!(delta_far > 0.1, "moving across the die must blow up HPWL: {delta_far}");
+    }
+}

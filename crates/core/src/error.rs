@@ -1,0 +1,54 @@
+//! Error types for dose-map optimization.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by [`optimize`](crate::optimize) and the flow.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DmoptError {
+    /// The underlying convex solve failed.
+    Solver(dme_qp::SolveError),
+    /// The formulation was infeasible (e.g. the leakage bound ξ cannot be
+    /// met at any dose).
+    Infeasible(String),
+    /// A configuration parameter is invalid.
+    Config(String),
+}
+
+impl fmt::Display for DmoptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DmoptError::Solver(e) => write!(f, "solver failure: {e}"),
+            DmoptError::Infeasible(msg) => write!(f, "infeasible formulation: {msg}"),
+            DmoptError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for DmoptError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DmoptError::Solver(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<dme_qp::SolveError> for DmoptError {
+    fn from(e: dme_qp::SolveError) -> Self {
+        DmoptError::Solver(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = DmoptError::from(dme_qp::SolveError::Numerical("x".into()));
+        assert!(e.to_string().contains("solver failure"));
+        assert!(e.source().is_some());
+        assert!(DmoptError::Config("bad".into()).source().is_none());
+    }
+}

@@ -1,0 +1,105 @@
+//! The end-to-end optimization flow (Figs. 7–8 of the paper).
+//!
+//! Place → nominal golden analysis → DMopt (QP or QCP) → snap + golden
+//! signoff → optional dosePl cell swapping with ECO legalization and a
+//! final golden analysis.
+
+use crate::context::{GoldenSummary, OptContext};
+use crate::dosepl::{dosepl, DoseplConfig, DoseplResult};
+use crate::error::DmoptError;
+use crate::optimize::{optimize, DmoptConfig, DmoptResult};
+
+/// Flow configuration: the DMopt step plus an optional dosePl step.
+#[derive(Debug, Clone, Default)]
+pub struct FlowConfig {
+    /// Dose-map optimization settings.
+    pub dmopt: DmoptConfig,
+    /// Cell-swapping settings; `None` skips the dosePl stage.
+    pub dosepl: Option<DoseplConfig>,
+}
+
+/// Result of the full flow.
+#[derive(Debug, Clone)]
+pub struct FlowResult {
+    /// Golden summary of the un-optimized design.
+    pub nominal: GoldenSummary,
+    /// DMopt outcome.
+    pub dmopt: DmoptResult,
+    /// dosePl outcome, when the stage ran.
+    pub dosepl: Option<DoseplResult>,
+}
+
+impl FlowResult {
+    /// The final golden summary after every enabled stage.
+    pub fn final_summary(&self) -> GoldenSummary {
+        self.dosepl.as_ref().map_or(self.dmopt.golden_after, |d| d.golden_after)
+    }
+}
+
+/// Runs the integrated flow on a prepared context.
+///
+/// # Errors
+///
+/// Propagates any [`DmoptError`] from the DMopt stage (dosePl cannot
+/// fail: it simply accepts no swaps).
+pub fn run(ctx: &OptContext<'_>, cfg: &FlowConfig) -> Result<FlowResult, DmoptError> {
+    let dmopt_result = optimize(ctx, &cfg.dmopt)?;
+    let dosepl_result = cfg.dosepl.as_ref().map(|dcfg| {
+        dosepl(
+            ctx,
+            &dmopt_result.poly_map,
+            dmopt_result.active_map.as_ref(),
+            cfg.dmopt.sensitivity.0,
+            dcfg,
+        )
+    });
+    Ok(FlowResult { nominal: ctx.nominal_summary(), dmopt: dmopt_result, dosepl: dosepl_result })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimize::Objective;
+    use dme_device::Technology;
+    use dme_liberty::Library;
+    use dme_netlist::{gen, profiles};
+
+    #[test]
+    fn full_flow_improves_timing_at_bounded_leakage() {
+        let lib = Library::standard(Technology::n65());
+        let d = gen::generate(&profiles::tiny(), &lib);
+        let p = dme_placement::place(&d, &lib);
+        let ctx = OptContext::new(&lib, &d, &p);
+        let cfg = FlowConfig {
+            dmopt: DmoptConfig {
+                objective: Objective::MinTiming { xi_uw: 0.0 },
+                grid_g_um: 5.0,
+                ..DmoptConfig::default()
+            },
+            dosepl: Some(DoseplConfig {
+                top_k: 100,
+                rounds: 3,
+                swaps_per_round: 2,
+                ..DoseplConfig::default()
+            }),
+        };
+        let r = run(&ctx, &cfg).expect("flow");
+        let final_summary = r.final_summary();
+        assert!(final_summary.mct_ns < r.nominal.mct_ns, "flow must improve MCT");
+        // dosePl can only improve on DMopt's timing.
+        assert!(final_summary.mct_ns <= r.dmopt.golden_after.mct_ns + 1e-12);
+        assert!(final_summary.leakage_uw <= r.nominal.leakage_uw * 1.05);
+    }
+
+    #[test]
+    fn flow_without_dosepl_matches_dmopt() {
+        let lib = Library::standard(Technology::n65());
+        let d = gen::generate(&profiles::tiny(), &lib);
+        let p = dme_placement::place(&d, &lib);
+        let ctx = OptContext::new(&lib, &d, &p);
+        let cfg = FlowConfig { dmopt: DmoptConfig::default(), dosepl: None };
+        let r = run(&ctx, &cfg).expect("flow");
+        assert!(r.dosepl.is_none());
+        assert_eq!(r.final_summary(), r.dmopt.golden_after);
+    }
+}

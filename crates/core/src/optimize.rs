@@ -1,0 +1,605 @@
+//! The DMopt optimizer: solve, snap, golden signoff.
+
+use crate::context::{GoldenSummary, OptContext};
+use crate::error::DmoptError;
+use crate::formulate::{Formulation, FormulationParams};
+use dme_dosemap::{DoseGrid, DoseMap, DoseSensitivity};
+use dme_qp::qcp::{bisect_min, Probe};
+use dme_qp::{AdmmSettings, AdmmSolver, IpmSettings, IpmSolver, QuadProgram, SolveStatus, Solution};
+use dme_sta::{analyze, GeometryAssignment};
+use std::time::{Duration, Instant};
+
+pub use crate::formulate::LayerChoice as Layers;
+
+/// Which convex solver backs the optimization.
+#[derive(Debug, Clone)]
+pub enum SolverKind {
+    /// Mehrotra predictor-corrector interior point (default — the right
+    /// tool for timing-chain QPs, like the paper's CPLEX).
+    Ipm(IpmSettings),
+    /// OSQP-style ADMM (useful for very large instances at loose
+    /// tolerances, and as a cross-check).
+    Admm(AdmmSettings),
+}
+
+impl Default for SolverKind {
+    fn default() -> Self {
+        SolverKind::Ipm(IpmSettings::default())
+    }
+}
+
+fn solve_with(kind: &SolverKind, qp: &QuadProgram) -> Result<Solution, dme_qp::SolveError> {
+    match kind {
+        SolverKind::Ipm(st) => IpmSolver::new(st.clone()).solve(qp),
+        SolverKind::Admm(st) => AdmmSolver::new(st.clone()).solve(qp),
+    }
+}
+
+/// Optimization objective, matching the paper's two problem statements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Objective {
+    /// Minimize total leakage subject to `T ≤ τ` (the QP of Sections
+    /// III-A.1 / III-B.1). `tau_ns = None` uses the nominal MCT shrunk by
+    /// the configured timing margin (so that snapping cannot push the
+    /// golden MCT past nominal).
+    MinLeakage {
+        /// Explicit clock-period bound, ns.
+        tau_ns: Option<f64>,
+    },
+    /// Minimize the clock period subject to `ΔLeakage ≤ ξ` (the QCP of
+    /// Sections III-A.2 / III-B.2), solved by bisection over the QP.
+    MinTiming {
+        /// Leakage-increase budget ξ, µW (0 = "no leakage increase").
+        xi_uw: f64,
+    },
+}
+
+/// DMopt configuration. Defaults follow the paper's experimental setup:
+/// 5×5 µm² grids, ±5% correction range, smoothness δ = 2, dose
+/// sensitivity −2 nm/%, 0.5% characterization steps.
+#[derive(Debug, Clone)]
+pub struct DmoptConfig {
+    /// Layer selection (poly only, or poly + active).
+    pub layers: Layers,
+    /// Objective (leakage under timing, or timing under leakage).
+    pub objective: Objective,
+    /// Grid granularity `G`, µm.
+    pub grid_g_um: f64,
+    /// Dose correction lower bound, %.
+    pub dose_lo_pct: f64,
+    /// Dose correction upper bound, %.
+    pub dose_hi_pct: f64,
+    /// Smoothness bound δ, %.
+    pub smoothness_pct: f64,
+    /// Dose sensitivity.
+    pub sensitivity: DoseSensitivity,
+    /// Characterized-library dose step for snapping, %.
+    pub snap_step_pct: f64,
+    /// Fraction of the nominal MCT reserved as timing margin when
+    /// `MinLeakage` runs with the default τ. The margin guard-bands the
+    /// surrogate-to-golden miscorrelation (slew propagation and snapping,
+    /// both outside the paper's linear delay model). `0.0` (the default)
+    /// enables the *adaptive* guard band: solve at τ = nominal, measure
+    /// the golden gap, and re-solve once with exactly that margin if
+    /// signoff regressed — so coarse grids (whose optimum is ≈ zero dose)
+    /// are not forced into a leakage-costing uniform speedup.
+    pub timing_margin_frac: f64,
+    /// Enable the timing-constraint pruning extension.
+    pub prune: bool,
+    /// Enforce hold timing with this extra margin (ns): every flip-flop
+    /// data pin's earliest arrival must clear its hold requirement plus
+    /// the margin under the optimized dose map. `None` disables the
+    /// constraint (the paper's setting). Incompatible with `prune`.
+    pub hold_margin_ns: Option<f64>,
+    /// Solver backend and settings.
+    pub solver: SolverKind,
+    /// Bisection convergence tolerance as a fraction of the nominal MCT.
+    pub bisect_tol_frac: f64,
+}
+
+impl Default for DmoptConfig {
+    fn default() -> Self {
+        Self {
+            layers: Layers::PolyOnly,
+            objective: Objective::MinLeakage { tau_ns: None },
+            grid_g_um: 5.0,
+            dose_lo_pct: -5.0,
+            dose_hi_pct: 5.0,
+            smoothness_pct: 2.0,
+            sensitivity: DoseSensitivity::default(),
+            snap_step_pct: 0.5,
+            timing_margin_frac: 0.0,
+            prune: false,
+            hold_margin_ns: None,
+            solver: SolverKind::default(),
+            bisect_tol_frac: 0.002,
+        }
+    }
+}
+
+/// Result of a DMopt run.
+#[derive(Debug, Clone)]
+pub struct DmoptResult {
+    /// Optimized poly-layer dose map (snapped to library steps).
+    pub poly_map: DoseMap,
+    /// Optimized active-layer dose map when both layers are modulated.
+    pub active_map: Option<DoseMap>,
+    /// The per-instance geometry deltas the maps induce.
+    pub assignment: GeometryAssignment,
+    /// Golden summary before optimization.
+    pub golden_before: GoldenSummary,
+    /// Golden summary after optimization (post-snap signoff).
+    pub golden_after: GoldenSummary,
+    /// Surrogate ΔLeakage at the solver optimum, µW.
+    pub surrogate_delta_leakage_uw: f64,
+    /// For `MinTiming`: the bisected optimal τ, ns.
+    pub solved_t_ns: Option<f64>,
+    /// Total ADMM iterations across all probes.
+    pub iterations: usize,
+    /// Number of QP solves (1 for `MinLeakage`).
+    pub probes: usize,
+    /// Instances that kept arrival variables.
+    pub num_kept: usize,
+    /// QP variable count.
+    pub num_vars: usize,
+    /// QP constraint count.
+    pub num_constraints: usize,
+    /// Wall-clock optimization time (formulation + solves + signoff).
+    pub runtime: Duration,
+}
+
+/// Surrogate (linearized) MCT under uniform dose deltas — used to bound
+/// the QCP bisection bracket from below (`d = U` minimizes every gate
+/// delay, hence the achievable clock period).
+pub fn surrogate_mct(ctx: &OptContext<'_>, dp_pct: f64, da_pct: f64, ds: f64) -> f64 {
+    let nl = &ctx.design.netlist;
+    let n = nl.num_instances();
+    let order = nl.topo_order().expect("acyclic netlist");
+    let mut arrival = vec![0.0f64; n];
+    let gate = |i: usize| {
+        (ctx.nominal.gate_delay_ns[i] + ctx.ap[i] * ds * dp_pct + ctx.bp[i] * ds * da_pct)
+            .max(0.0)
+    };
+    for &id in &order {
+        let i = id.0 as usize;
+        let inst = nl.instance(id);
+        if inst.is_sequential {
+            arrival[i] = gate(i);
+            continue;
+        }
+        let mut arr = 0.0f64;
+        for &net in &inst.inputs {
+            let wire = ctx.nominal.wire_delay_ns[net.0 as usize];
+            match nl.net(net).driver {
+                Some(drv) => arr = arr.max(arrival[drv.0 as usize] + wire),
+                None => arr = arr.max(wire),
+            }
+        }
+        arrival[i] = arr + gate(i);
+    }
+    let mut mct = 0.0f64;
+    for id in nl.inst_ids() {
+        let inst = nl.instance(id);
+        if inst.is_sequential {
+            let data = inst.inputs[0];
+            if let Some(drv) = nl.net(data).driver {
+                mct = mct.max(
+                    arrival[drv.0 as usize]
+                        + ctx.nominal.wire_delay_ns[data.0 as usize]
+                        + ctx.setup_ns[id.0 as usize],
+                );
+            }
+        }
+    }
+    for &po in &nl.primary_outputs {
+        if let Some(drv) = nl.net(po).driver {
+            mct = mct.max(arrival[drv.0 as usize]);
+        }
+    }
+    mct
+}
+
+/// Runs DMopt: build the formulation, solve it (bisecting for the QCP),
+/// snap the dose maps to characterized library steps, and sign off with
+/// golden analysis.
+///
+/// # Errors
+///
+/// Returns [`DmoptError::Config`] for invalid parameters,
+/// [`DmoptError::Infeasible`] when no dose map satisfies the constraints,
+/// and [`DmoptError::Solver`] on numerical failure.
+pub fn optimize(ctx: &OptContext<'_>, cfg: &DmoptConfig) -> Result<DmoptResult, DmoptError> {
+    let t0 = Instant::now();
+    if cfg.dose_lo_pct > cfg.dose_hi_pct {
+        return Err(DmoptError::Config("dose_lo_pct > dose_hi_pct".into()));
+    }
+    if cfg.grid_g_um <= 0.0 || cfg.smoothness_pct < 0.0 || cfg.snap_step_pct <= 0.0 {
+        return Err(DmoptError::Config("non-positive grid/smoothness/step".into()));
+    }
+    if cfg.hold_margin_ns.is_some() && cfg.prune {
+        return Err(DmoptError::Config(
+            "hold constraints are incompatible with pruning".into(),
+        ));
+    }
+    let ds = cfg.sensitivity.0;
+    let placement = ctx.placement;
+    let grid = DoseGrid::with_granularity(placement.die_w_um, placement.die_h_um, cfg.grid_g_um);
+    let nominal_mct = ctx.nominal.mct_ns;
+
+    // τ settings per objective.
+    let active = cfg.layers == Layers::PolyAndActive;
+    let adaptive_margin = matches!(cfg.objective, Objective::MinLeakage { tau_ns: None })
+        && cfg.timing_margin_frac == 0.0;
+    let (tau_init, tau_ref) = match cfg.objective {
+        Objective::MinLeakage { tau_ns } => {
+            let tau = tau_ns.unwrap_or(nominal_mct * (1.0 - cfg.timing_margin_frac));
+            (tau, tau)
+        }
+        Objective::MinTiming { .. } => {
+            let lo = surrogate_mct(
+                ctx,
+                cfg.dose_hi_pct,
+                if active { cfg.dose_hi_pct } else { 0.0 },
+                ds,
+            );
+            (nominal_mct, lo)
+        }
+    };
+
+    // Elastic penalty for QCP probes: violating τ by 0.1% of the nominal
+    // MCT must cost more than the whole achievable leakage swing.
+    let leak_swing_nw: f64 = (0..ctx.num_instances())
+        .map(|i| (ctx.beta[i] * ds).abs() * (cfg.dose_hi_pct - cfg.dose_lo_pct))
+        .sum();
+    let elastic_weight = match cfg.objective {
+        Objective::MinTiming { .. } => {
+            Some(1e3 * leak_swing_nw.max(1.0) / nominal_mct)
+        }
+        Objective::MinLeakage { .. } => None,
+    };
+    let params = FormulationParams {
+        layers: cfg.layers,
+        lo_pct: cfg.dose_lo_pct,
+        hi_pct: cfg.dose_hi_pct,
+        delta_pct: cfg.smoothness_pct,
+        sensitivity: cfg.sensitivity,
+        tau_ns: tau_init,
+        prune: cfg.prune,
+        tau_ref_ns: tau_ref,
+        elastic_weight,
+        hold_margin_ns: cfg.hold_margin_ns,
+    };
+    let mut form = Formulation::build(ctx, &grid, &params);
+    let num_vars = form.qp.num_vars();
+    let num_constraints = form.qp.num_constraints();
+    let num_kept = form.num_kept;
+
+    let mut iterations = 0usize;
+    let mut probes = 0usize;
+    let solve_min_leakage = |form: &mut Formulation,
+                             tau: f64,
+                             iterations: &mut usize,
+                             probes: &mut usize|
+     -> Result<Solution, DmoptError> {
+        form.set_tau(tau);
+        let sol = solve_with(&cfg.solver, &form.qp)?;
+        *iterations += sol.iterations;
+        *probes += 1;
+        match sol.status {
+            SolveStatus::PrimalInfeasible => Err(DmoptError::Infeasible(format!(
+                "no dose map meets T ≤ {tau:.4} ns"
+            ))),
+            SolveStatus::MaxIterations
+                if form.qp.max_violation(&sol.x) > 1e-3 * nominal_mct =>
+            {
+                Err(DmoptError::Solver(dme_qp::SolveError::Numerical(format!(
+                    "QP did not converge: violation {:.3e}",
+                    form.qp.max_violation(&sol.x)
+                ))))
+            }
+            _ => Ok(sol),
+        }
+    };
+    let (solution, solved_t): (Solution, Option<f64>) = match cfg.objective {
+        Objective::MinLeakage { .. } => {
+            (solve_min_leakage(&mut form, tau_init, &mut iterations, &mut probes)?, None)
+        }
+        Objective::MinTiming { xi_uw } => {
+            let xi_nw = xi_uw * 1000.0;
+            let leak_scale_nw = (ctx.nominal.total_leakage_uw * 1000.0).abs().max(1.0);
+            let tol_nw = 1e-3 * leak_scale_nw;
+            let tol_t = cfg.bisect_tol_frac * nominal_mct;
+            let result = bisect_min(tau_ref, nominal_mct, tol_t, |tau| {
+                form.set_tau(tau);
+                let sol = solve_with(&cfg.solver, &form.qp)?;
+                iterations += sol.iterations;
+                probes += 1;
+                // Elastic probe: τ is achievable iff the elastic violation
+                // collapses and the leakage part of the objective meets ξ.
+                let feasible = form.elastic_violation(&sol.x) <= 1e-4 * nominal_mct
+                    && form.leakage_objective(&sol.x) <= xi_nw + tol_nw
+                    && form.qp.max_violation(&sol.x) <= 1e-3 * nominal_mct;
+                if feasible {
+                    Ok(Probe::Feasible(sol))
+                } else {
+                    Ok(Probe::Infeasible)
+                }
+            })
+            .map_err(|e| match e {
+                dme_qp::SolveError::Numerical(msg) if msg.contains("upper bound") => {
+                    DmoptError::Infeasible(format!(
+                        "leakage budget ξ = {xi_uw} µW is infeasible even at nominal timing"
+                    ))
+                }
+                other => DmoptError::Solver(other),
+            })?;
+            let t = result.t;
+            (result.witness, Some(t))
+        }
+    };
+
+    // --- extract, snap, apply (golden signoff) ---
+    let extract = |form: &Formulation, x: &[f64]| {
+        let mut poly_map = DoseMap::from_values(grid, form.poly_doses(x));
+        poly_map.snap_to_step(cfg.snap_step_pct);
+        let active_map = if active {
+            let mut m = DoseMap::from_values(grid, form.active_doses(x));
+            m.snap_to_step(cfg.snap_step_pct);
+            Some(m)
+        } else {
+            None
+        };
+        debug_assert!(poly_map
+            .check(cfg.dose_lo_pct, cfg.dose_hi_pct, cfg.smoothness_pct + cfg.snap_step_pct)
+            .is_ok());
+        let n = ctx.num_instances();
+        let mut assignment = GeometryAssignment::nominal(n);
+        for i in 0..n {
+            let g = form.grid_of_inst[i];
+            assignment.dl_nm[i] = ds * poly_map.dose_pct[g];
+            if let Some(am) = &active_map {
+                assignment.dw_nm[i] = ds * am.dose_pct[g];
+            }
+        }
+        let after = analyze(ctx.lib, &ctx.design.netlist, placement, &assignment);
+        (poly_map, active_map, assignment, after)
+    };
+    let (mut poly_map, mut active_map, mut assignment, mut after) =
+        extract(&form, &solution.x);
+
+    // Adaptive guard band: if signoff regressed past nominal (slew
+    // propagation and snapping sit outside the linear surrogate), re-solve
+    // once with τ tightened by the measured golden gap. Coarse grids whose
+    // optimum is near-zero dose show no gap and skip the second pass.
+    if adaptive_margin {
+        let gap = (after.mct_ns - nominal_mct) / nominal_mct;
+        if gap > 1e-3 {
+            let tau2 = nominal_mct * (1.0 - gap - 0.002);
+            let retry = solve_min_leakage(&mut form, tau2, &mut iterations, &mut probes)?;
+            (poly_map, active_map, assignment, after) = extract(&form, &retry.x);
+        }
+    }
+    let surrogate_delta_leakage_uw = ctx.surrogate_leakage_delta_nw(&assignment) / 1000.0;
+
+    Ok(DmoptResult {
+        poly_map,
+        active_map,
+        assignment,
+        golden_before: ctx.nominal_summary(),
+        golden_after: GoldenSummary::from_report(&after),
+        surrogate_delta_leakage_uw,
+        solved_t_ns: solved_t,
+        iterations,
+        probes,
+        num_kept,
+        num_vars,
+        num_constraints,
+        runtime: t0.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dme_device::Technology;
+    use dme_liberty::Library;
+    use dme_netlist::{gen, profiles, Design};
+    use dme_placement::Placement;
+    use dme_sta::analyze;
+
+    fn setup() -> (Library, Design, Placement) {
+        let lib = Library::standard(Technology::n65());
+        let d = gen::generate(&profiles::tiny(), &lib);
+        let p = dme_placement::place(&d, &lib);
+        (lib, d, p)
+    }
+
+
+    #[test]
+    fn qp_reduces_leakage_without_hurting_timing() {
+        let (lib, d, p) = setup();
+        let ctx = OptContext::new(&lib, &d, &p);
+        // Pin τ to the nominal MCT: pure leakage recovery (the default
+        // margin would instead demand a speedup, which costs leakage on a
+        // design this small where everything is near-critical).
+        let cfg = DmoptConfig {
+            grid_g_um: 5.0,
+            objective: Objective::MinLeakage { tau_ns: Some(ctx.nominal.mct_ns) },
+            ..DmoptConfig::default()
+        };
+        let r = optimize(&ctx, &cfg).expect("optimize");
+        assert!(
+            r.golden_after.leakage_uw < r.golden_before.leakage_uw,
+            "leakage {} -> {}",
+            r.golden_before.leakage_uw,
+            r.golden_after.leakage_uw
+        );
+        assert!(
+            r.golden_after.mct_ns <= r.golden_before.mct_ns * 1.01,
+            "MCT {} -> {}",
+            r.golden_before.mct_ns,
+            r.golden_after.mct_ns
+        );
+        // Constraints hold on the snapped map.
+        r.poly_map.check(-5.0, 5.0, 2.0 + 0.5).expect("map constraints");
+    }
+
+    #[test]
+    fn qcp_improves_timing_without_leakage_increase() {
+        let (lib, d, p) = setup();
+        let ctx = OptContext::new(&lib, &d, &p);
+        let cfg = DmoptConfig {
+            objective: Objective::MinTiming { xi_uw: 0.0 },
+            grid_g_um: 5.0,
+            ..DmoptConfig::default()
+        };
+        let r = optimize(&ctx, &cfg).expect("optimize");
+        assert!(r.solved_t_ns.is_some());
+        assert!(r.probes > 2, "bisection should probe repeatedly");
+        assert!(
+            r.golden_after.mct_ns < r.golden_before.mct_ns,
+            "MCT {} -> {}",
+            r.golden_before.mct_ns,
+            r.golden_after.mct_ns
+        );
+        // Leakage stays near nominal (ξ = 0 plus snap noise).
+        assert!(
+            r.golden_after.leakage_uw <= r.golden_before.leakage_uw * 1.05,
+            "leakage {} -> {}",
+            r.golden_before.leakage_uw,
+            r.golden_after.leakage_uw
+        );
+    }
+
+    #[test]
+    fn finer_grids_do_no_worse() {
+        let (lib, d, p) = setup();
+        let ctx = OptContext::new(&lib, &d, &p);
+        let coarse = optimize(
+            &ctx,
+            &DmoptConfig { grid_g_um: 12.0, ..DmoptConfig::default() },
+        )
+        .unwrap();
+        let fine = optimize(
+            &ctx,
+            &DmoptConfig { grid_g_um: 4.0, ..DmoptConfig::default() },
+        )
+        .unwrap();
+        // The paper's central granularity observation, allowing solver and
+        // snapping noise.
+        assert!(
+            fine.golden_after.leakage_uw <= coarse.golden_after.leakage_uw * 1.02,
+            "fine {} vs coarse {}",
+            fine.golden_after.leakage_uw,
+            coarse.golden_after.leakage_uw
+        );
+    }
+
+    #[test]
+    fn pruned_and_full_formulations_agree() {
+        let (lib, d, p) = setup();
+        let ctx = OptContext::new(&lib, &d, &p);
+        // Pruning needs headroom between τ_ref and the nominal paths: its
+        // conservative producer bounds absorb exactly that slack. Give the
+        // ablation a 2% relaxed clock so both formulations have room.
+        let obj = Objective::MinLeakage { tau_ns: Some(ctx.nominal.mct_ns * 1.02) };
+        let full = optimize(
+            &ctx,
+            &DmoptConfig { grid_g_um: 6.0, objective: obj, ..DmoptConfig::default() },
+        )
+        .unwrap();
+        let pruned = optimize(
+            &ctx,
+            &DmoptConfig { grid_g_um: 6.0, objective: obj, prune: true, ..DmoptConfig::default() },
+        )
+        .unwrap();
+        assert!(pruned.num_kept < full.num_kept);
+        // Pruning is conservative (edges through pruned producers use a
+        // worst-case arrival bound), so it may leave some leakage on the
+        // table — but must remain sound and capture most of the benefit.
+        assert!(
+            pruned.golden_after.leakage_uw >= full.golden_after.leakage_uw - 1e-9,
+            "pruned cannot beat the full formulation"
+        );
+        let full_gain = full.golden_before.leakage_uw - full.golden_after.leakage_uw;
+        let pruned_gain = full.golden_before.leakage_uw - pruned.golden_after.leakage_uw;
+        assert!(full_gain > 0.0, "full QP must recover some leakage");
+        assert!(
+            pruned_gain > 0.3 * full_gain,
+            "pruned gain {pruned_gain} vs full gain {full_gain}"
+        );
+        assert!(pruned.golden_after.mct_ns <= full.golden_before.mct_ns * 1.04);
+    }
+
+    #[test]
+    fn surrogate_mct_matches_golden_at_zero_dose() {
+        let (lib, d, p) = setup();
+        let ctx = OptContext::new(&lib, &d, &p);
+        let m = surrogate_mct(&ctx, 0.0, 0.0, -2.0);
+        assert!((m - ctx.nominal.mct_ns).abs() < 1e-9);
+        // Max dose strictly reduces the surrogate MCT.
+        assert!(surrogate_mct(&ctx, 5.0, 0.0, -2.0) < m);
+    }
+
+    #[test]
+    fn hold_constraint_limits_speedup() {
+        let (lib, d, p) = setup();
+        let ctx = OptContext::new(&lib, &d, &p);
+        let nominal_hold = ctx.nominal.worst_hold_slack_ns;
+        assert!(nominal_hold.is_finite() && nominal_hold > 0.0);
+        // Unconstrained QCP is free to tighten the hold corner.
+        let free = optimize(
+            &ctx,
+            &DmoptConfig {
+                objective: Objective::MinTiming { xi_uw: f64::INFINITY },
+                grid_g_um: 5.0,
+                ..DmoptConfig::default()
+            },
+        )
+        .expect("free QCP");
+        let free_hold = analyze(&lib, &d.netlist, &p, &free.assignment).worst_hold_slack_ns;
+        // Demand the nominal hold headroom be (almost) preserved.
+        let margin = nominal_hold * 0.95;
+        let held = optimize(
+            &ctx,
+            &DmoptConfig {
+                objective: Objective::MinTiming { xi_uw: f64::INFINITY },
+                grid_g_um: 5.0,
+                hold_margin_ns: Some(margin),
+                ..DmoptConfig::default()
+            },
+        )
+        .expect("held QCP");
+        let held_hold = analyze(&lib, &d.netlist, &p, &held.assignment).worst_hold_slack_ns;
+        // The constrained run keeps meaningfully more early-path headroom
+        // than the free run whenever the free run ate into it (snap noise
+        // allowed).
+        assert!(
+            held_hold >= free_hold - 1e-9,
+            "hold-constrained run lost more headroom: {held_hold} vs {free_hold}"
+        );
+        assert!(
+            held_hold >= margin - 0.15 * nominal_hold,
+            "hold margin missed: {held_hold} vs requested {margin}"
+        );
+        // Setup timing must still improve.
+        assert!(held.golden_after.mct_ns < held.golden_before.mct_ns);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let (lib, d, p) = setup();
+        let ctx = OptContext::new(&lib, &d, &p);
+        let cfg = DmoptConfig { grid_g_um: -1.0, ..DmoptConfig::default() };
+        assert!(matches!(optimize(&ctx, &cfg), Err(DmoptError::Config(_))));
+        let cfg =
+            DmoptConfig { dose_lo_pct: 5.0, dose_hi_pct: -5.0, ..DmoptConfig::default() };
+        assert!(matches!(optimize(&ctx, &cfg), Err(DmoptError::Config(_))));
+        let cfg = DmoptConfig {
+            prune: true,
+            hold_margin_ns: Some(0.01),
+            ..DmoptConfig::default()
+        };
+        assert!(matches!(optimize(&ctx, &cfg), Err(DmoptError::Config(_))));
+    }
+}

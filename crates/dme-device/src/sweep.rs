@@ -1,0 +1,138 @@
+//! Parameter sweeps regenerating the paper's Figs. 3–6.
+//!
+//! Each function returns `(x, series...)` vectors ready for plotting or
+//! for the `fig3to6` bench binary, which prints them as CSV. The sweeps
+//! use a minimum-size inverter (INVX1-equivalent: minimum NMOS width,
+//! 1.3× PMOS) under the paper's simulation condition (VDD = +1.0 V,
+//! 25 °C, TT).
+
+use crate::{StageParams, Technology};
+
+/// One sampled point of a delay sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayPoint {
+    /// Swept value: absolute gate length (Figs. 3/5) or width delta
+    /// (Figs. 4/6), in nm.
+    pub x_nm: f64,
+    /// Low-to-high propagation delay, ns.
+    pub tplh_ns: f64,
+    /// High-to-low propagation delay, ns.
+    pub tphl_ns: f64,
+}
+
+/// One sampled point of a leakage sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeakagePoint {
+    /// Swept value in nm (see [`DelayPoint::x_nm`]).
+    pub x_nm: f64,
+    /// Average stage leakage, nW.
+    pub leakage_nw: f64,
+}
+
+fn min_inverter(tech: &Technology) -> StageParams {
+    StageParams::new(tech.wmin_nm, 1.3 * tech.wmin_nm, tech.lnom_nm)
+        .with_calibrated_intrinsic(tech)
+}
+
+/// Fig. 3: inverter TPLH/TPHL versus gate length over ±10 nm around
+/// nominal, sampled every nanometer.
+pub fn delay_vs_gate_length(tech: &Technology) -> Vec<DelayPoint> {
+    let cell = min_inverter(tech);
+    let (load, slew) = cell.typical_environment(tech);
+    (-10..=10)
+        .map(|dl| {
+            let mut c = cell.clone();
+            c.l_nm = tech.lnom_nm + dl as f64;
+            let d = c.evaluate(tech, load, slew);
+            DelayPoint { x_nm: c.l_nm, tplh_ns: d.tplh_ns, tphl_ns: d.tphl_ns }
+        })
+        .collect()
+}
+
+/// Fig. 4: inverter TPLH/TPHL versus the *change* in gate width (both
+/// devices shifted by the same delta), over ±10 nm.
+pub fn delay_vs_gate_width(tech: &Technology) -> Vec<DelayPoint> {
+    let cell = min_inverter(tech);
+    let (load, slew) = cell.typical_environment(tech);
+    (-10..=10)
+        .map(|dw| {
+            let mut c = cell.clone();
+            c.wn_nm += dw as f64;
+            c.wp_nm += dw as f64;
+            let d = c.evaluate(tech, load, slew);
+            DelayPoint { x_nm: dw as f64, tplh_ns: d.tplh_ns, tphl_ns: d.tphl_ns }
+        })
+        .collect()
+}
+
+/// Fig. 5: average inverter leakage versus gate length (exponential).
+pub fn leakage_vs_gate_length(tech: &Technology) -> Vec<LeakagePoint> {
+    let cell = min_inverter(tech);
+    (-10..=10)
+        .map(|dl| {
+            let mut c = cell.clone();
+            c.l_nm = tech.lnom_nm + dl as f64;
+            LeakagePoint { x_nm: c.l_nm, leakage_nw: c.leakage_nw(tech) }
+        })
+        .collect()
+}
+
+/// Fig. 6: average inverter leakage versus the change in gate width
+/// (linear).
+pub fn leakage_vs_gate_width(tech: &Technology) -> Vec<LeakagePoint> {
+    let cell = min_inverter(tech);
+    (-10..=10)
+        .map(|dw| {
+            let mut c = cell.clone();
+            c.wn_nm += dw as f64;
+            c.wp_nm += dw as f64;
+            LeakagePoint { x_nm: dw as f64, leakage_nw: c.leakage_nw(tech) }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_delay_monotone_increasing_in_length() {
+        let pts = delay_vs_gate_length(&Technology::n65());
+        assert_eq!(pts.len(), 21);
+        for w in pts.windows(2) {
+            assert!(w[1].tplh_ns > w[0].tplh_ns);
+            assert!(w[1].tphl_ns > w[0].tphl_ns);
+        }
+    }
+
+    #[test]
+    fn fig4_delay_monotone_decreasing_in_width() {
+        let pts = delay_vs_gate_width(&Technology::n65());
+        for w in pts.windows(2) {
+            assert!(w[1].tplh_ns < w[0].tplh_ns);
+            assert!(w[1].tphl_ns < w[0].tphl_ns);
+        }
+    }
+
+    #[test]
+    fn fig5_leakage_exponential_in_length() {
+        let pts = leakage_vs_gate_length(&Technology::n65());
+        // Monotone decreasing and convex: successive downward steps shrink.
+        for w in pts.windows(2) {
+            assert!(w[1].leakage_nw < w[0].leakage_nw);
+        }
+        let first_drop = pts[0].leakage_nw - pts[1].leakage_nw;
+        let last_drop = pts[19].leakage_nw - pts[20].leakage_nw;
+        assert!(first_drop > 2.0 * last_drop, "leakage-vs-L is not convex enough");
+    }
+
+    #[test]
+    fn fig6_leakage_linear_in_width() {
+        let pts = leakage_vs_gate_width(&Technology::n65());
+        let steps: Vec<f64> = pts.windows(2).map(|w| w[1].leakage_nw - w[0].leakage_nw).collect();
+        for s in &steps {
+            assert!(*s > 0.0);
+            assert!((s - steps[0]).abs() < 1e-9 * steps[0].abs().max(1.0));
+        }
+    }
+}

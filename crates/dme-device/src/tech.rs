@@ -1,0 +1,235 @@
+//! Technology presets and transistor-level analytic models.
+
+use crate::THERMAL_VOLTAGE;
+
+/// Analytic process-technology description.
+///
+/// All lengths are in nanometers, capacitances in femtofarads, currents in
+/// microamperes, delays in nanoseconds and leakage in nanowatts.
+///
+/// The threshold voltage follows a classic short-channel roll-off model,
+/// `Vth(L) = Vth_base − v_rolloff · exp(−(L − Lnom)/ℓ)`, which makes
+/// subthreshold leakage exponential in `L` with the asymmetric slopes the
+/// paper measures (leakage rises faster when `L` shrinks than it falls
+/// when `L` grows). Saturation current follows the alpha-power law,
+/// `Id ∝ (W/L)·(Vdd − Vth(L))^α`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Technology {
+    /// Human-readable node name, e.g. `"65nm"`.
+    pub name: &'static str,
+    /// Nominal (drawn) gate length in nm.
+    pub lnom_nm: f64,
+    /// Minimum transistor width in nm.
+    pub wmin_nm: f64,
+    /// Supply voltage in volts.
+    pub vdd: f64,
+    /// Long-channel threshold voltage asymptote in volts.
+    pub vth_base: f64,
+    /// Threshold-voltage roll-off amplitude in volts.
+    pub v_rolloff: f64,
+    /// Roll-off characteristic length ℓ in nm.
+    pub rolloff_ell_nm: f64,
+    /// Alpha-power-law velocity-saturation exponent.
+    pub alpha: f64,
+    /// Subthreshold swing ideality factor `n` (swing = n·vT·ln 10).
+    pub subthreshold_n: f64,
+    /// NMOS transconductance scale, µA per square (W = L) at 1 V overdrive.
+    pub k_njua: f64,
+    /// PMOS/NMOS mobility ratio (< 1).
+    pub pmos_mobility_ratio: f64,
+    /// Off-current scale: nA per µm of width at nominal L (per device).
+    pub ioff_na_per_um: f64,
+    /// Gate capacitance in fF per µm² of gate area.
+    pub cox_ff_per_um2: f64,
+    /// Parasitic (diffusion) output capacitance in fF per µm of width.
+    pub cdiff_ff_per_um: f64,
+    /// Fraction of a typical stage delay that does not scale with
+    /// drive strength (wire stubs, vias, input network); this is what
+    /// makes delay-vs-L *linear* rather than proportional to the
+    /// alpha-power drive.
+    pub intrinsic_fraction: f64,
+    /// Extra load (beyond FO4 pins) included in the stage-calibration
+    /// operating point, fF — representative of the wire capacitance a
+    /// placed net adds. Calibrating at this point makes the *chip-level*
+    /// dose-to-delay sensitivity match the Tables II/III endpoints.
+    pub cal_extra_load_ff: f64,
+}
+
+impl Technology {
+    /// The 65 nm preset used by the paper's primary testcases (AES-65,
+    /// JPEG-65). Calibrated against Table II of the paper: ±10 nm of gate
+    /// length ⇒ delay ×0.87 / ×1.11 and leakage ×2.55 / ×0.62.
+    pub fn n65() -> Self {
+        Self {
+            name: "65nm",
+            lnom_nm: 65.0,
+            wmin_nm: 200.0,
+            vdd: 1.0,
+            // v_rolloff/(n·vT) = 0.9483 and ℓ = 14.56 nm reproduce the
+            // Table II leakage endpoints exactly (see crate tests).
+            vth_base: 0.3568,
+            v_rolloff: 0.0368,
+            rolloff_ell_nm: 14.56,
+            alpha: 1.3,
+            subthreshold_n: 1.51,
+            k_njua: 110.0,
+            pmos_mobility_ratio: 0.45,
+            ioff_na_per_um: 120.0,
+            cox_ff_per_um2: 14.0,
+            cdiff_ff_per_um: 0.7,
+            intrinsic_fraction: 0.384,
+            cal_extra_load_ff: 13.0,
+        }
+    }
+
+    /// The 90 nm preset (AES-90, JPEG-90). Calibrated against Table III:
+    /// ±10 nm of gate length ⇒ delay ×0.88 / ×1.10, leakage ×1.90 / ×0.70.
+    pub fn n90() -> Self {
+        Self {
+            name: "90nm",
+            lnom_nm: 90.0,
+            wmin_nm: 280.0,
+            vdd: 1.0,
+            vth_base: 0.3814,
+            v_rolloff: 0.0314,
+            rolloff_ell_nm: 17.1,
+            alpha: 1.3,
+            subthreshold_n: 1.51,
+            k_njua: 110.0,
+            pmos_mobility_ratio: 0.45,
+            ioff_na_per_um: 190.0,
+            cox_ff_per_um2: 12.0,
+            cdiff_ff_per_um: 0.8,
+            intrinsic_fraction: 0.31,
+            cal_extra_load_ff: 32.0,
+        }
+    }
+
+    /// Threshold voltage at gate length `l_nm` (volts), including
+    /// short-channel roll-off.
+    pub fn vth(&self, l_nm: f64) -> f64 {
+        self.vth_base - self.v_rolloff * (-(l_nm - self.lnom_nm) / self.rolloff_ell_nm).exp()
+    }
+
+    /// NMOS saturation drive current in µA for a device of the given
+    /// width/length (alpha-power law). Clamped at zero overdrive.
+    pub fn drive_current_n_ua(&self, w_nm: f64, l_nm: f64) -> f64 {
+        let overdrive = (self.vdd - self.vth(l_nm)).max(0.0);
+        self.k_njua * (w_nm / l_nm) * overdrive.powf(self.alpha)
+    }
+
+    /// PMOS saturation drive current in µA (mobility-degraded NMOS model).
+    pub fn drive_current_p_ua(&self, w_nm: f64, l_nm: f64) -> f64 {
+        self.pmos_mobility_ratio * self.drive_current_n_ua(w_nm, l_nm)
+    }
+
+    /// Effective switching resistance `Vdd / (2·Id)` of an NMOS pull-down,
+    /// in kΩ (so that kΩ × fF = ps; callers convert to ns).
+    pub fn reff_n_kohm(&self, w_nm: f64, l_nm: f64) -> f64 {
+        1000.0 * self.vdd / (2.0 * self.drive_current_n_ua(w_nm, l_nm).max(1e-9))
+    }
+
+    /// Effective switching resistance of a PMOS pull-up, in kΩ.
+    pub fn reff_p_kohm(&self, w_nm: f64, l_nm: f64) -> f64 {
+        1000.0 * self.vdd / (2.0 * self.drive_current_p_ua(w_nm, l_nm).max(1e-9))
+    }
+
+    /// Subthreshold (off-state) leakage power of a single device in nW.
+    ///
+    /// `P = Vdd · Ioff`, `Ioff = ioff_scale · W · exp(−ΔVth/(n·vT))` where
+    /// `ΔVth = Vth(L) − Vth(Lnom)`; exponential in `L`, linear in `W`.
+    pub fn leakage_nw(&self, l_nm: f64, w_nm: f64) -> f64 {
+        let dvth = self.vth(l_nm) - self.vth(self.lnom_nm);
+        let ioff_na =
+            self.ioff_na_per_um * (w_nm / 1000.0) * (-dvth / (self.subthreshold_n * THERMAL_VOLTAGE)).exp();
+        self.vdd * ioff_na
+    }
+
+    /// Gate (input) capacitance of a device in fF: `Cox · W · L` plus
+    /// overlap, folded into the per-area constant.
+    pub fn gate_cap_ff(&self, w_nm: f64, l_nm: f64) -> f64 {
+        self.cox_ff_per_um2 * (w_nm / 1000.0) * (l_nm / 1000.0)
+    }
+
+    /// Parasitic drain (self-loading) capacitance of a device in fF.
+    pub fn diff_cap_ff(&self, w_nm: f64) -> f64 {
+        self.cdiff_ff_per_um * (w_nm / 1000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vth_rolls_off_for_short_channels() {
+        for t in [Technology::n65(), Technology::n90()] {
+            let nominal = t.vth(t.lnom_nm);
+            assert!(t.vth(t.lnom_nm - 10.0) < nominal, "{}", t.name);
+            assert!(t.vth(t.lnom_nm + 10.0) > nominal, "{}", t.name);
+            // Roll-off is steeper on the short side (convexity).
+            let down = nominal - t.vth(t.lnom_nm - 10.0);
+            let up = t.vth(t.lnom_nm + 10.0) - nominal;
+            assert!(down > up, "{}", t.name);
+        }
+    }
+
+    #[test]
+    fn leakage_ratio_matches_table2_endpoints_65nm() {
+        let t = Technology::n65();
+        let nom = t.leakage_nw(65.0, 200.0);
+        let short = t.leakage_nw(55.0, 200.0) / nom;
+        let long = t.leakage_nw(75.0, 200.0) / nom;
+        // Paper Table II: +5% dose (L = 55 nm) → 1142.2/448 = 2.55×,
+        // −5% dose (L = 75 nm) → 279.6/448 = 0.624×.
+        assert!((short - 2.55).abs() < 0.08, "short ratio = {short}");
+        assert!((long - 0.624).abs() < 0.02, "long ratio = {long}");
+    }
+
+    #[test]
+    fn leakage_ratio_matches_table3_endpoints_90nm() {
+        let t = Technology::n90();
+        let nom = t.leakage_nw(90.0, 280.0);
+        let short = t.leakage_nw(80.0, 280.0) / nom;
+        let long = t.leakage_nw(100.0, 280.0) / nom;
+        // Paper Table III: 4619/2430 = 1.90×, 1699.8/2430 = 0.699×.
+        assert!((short - 1.90).abs() < 0.06, "short ratio = {short}");
+        assert!((long - 0.699).abs() < 0.02, "long ratio = {long}");
+    }
+
+    #[test]
+    fn leakage_linear_in_width() {
+        let t = Technology::n65();
+        let base = t.leakage_nw(65.0, 200.0);
+        let double = t.leakage_nw(65.0, 400.0);
+        assert!((double / base - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drive_current_increases_with_width_decreases_with_length() {
+        let t = Technology::n65();
+        let nom = t.drive_current_n_ua(200.0, 65.0);
+        assert!(t.drive_current_n_ua(400.0, 65.0) > nom);
+        assert!(t.drive_current_n_ua(200.0, 75.0) < nom);
+        // Shorter channel: both W/L and overdrive increase the current.
+        assert!(t.drive_current_n_ua(200.0, 55.0) > nom);
+    }
+
+    #[test]
+    fn pmos_is_weaker_than_nmos() {
+        let t = Technology::n90();
+        assert!(t.drive_current_p_ua(280.0, 90.0) < t.drive_current_n_ua(280.0, 90.0));
+        assert!(t.reff_p_kohm(280.0, 90.0) > t.reff_n_kohm(280.0, 90.0));
+    }
+
+    #[test]
+    fn capacitances_scale_with_geometry() {
+        let t = Technology::n65();
+        assert!(t.gate_cap_ff(400.0, 65.0) > t.gate_cap_ff(200.0, 65.0));
+        assert!(t.gate_cap_ff(200.0, 75.0) > t.gate_cap_ff(200.0, 65.0));
+        assert!(t.diff_cap_ff(400.0) > t.diff_cap_ff(200.0));
+        // Sanity on magnitude: a minimum 65 nm device is a fraction of a fF.
+        let c = t.gate_cap_ff(200.0, 65.0);
+        assert!(c > 0.05 && c < 1.0, "cin = {c} fF");
+    }
+}

@@ -1,0 +1,319 @@
+//! Exposure-field grids and per-grid dose maps.
+
+use std::error::Error;
+use std::fmt;
+
+/// The M×N rectangular partition of the exposure field.
+///
+/// Grid pitches are chosen as the largest values ≤ the user granularity
+/// `G` that tile the field exactly — the paper's "width and height ≤ G"
+/// rule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DoseGrid {
+    cols: usize,
+    rows: usize,
+    pitch_x_um: f64,
+    pitch_y_um: f64,
+    width_um: f64,
+    height_um: f64,
+}
+
+impl DoseGrid {
+    /// Partitions a `width × height` µm field with granularity `g_um`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension or the granularity is not positive.
+    pub fn with_granularity(width_um: f64, height_um: f64, g_um: f64) -> Self {
+        assert!(width_um > 0.0 && height_um > 0.0 && g_um > 0.0, "dimensions must be positive");
+        let cols = (width_um / g_um).ceil() as usize;
+        let rows = (height_um / g_um).ceil() as usize;
+        Self {
+            cols,
+            rows,
+            pitch_x_um: width_um / cols as f64,
+            pitch_y_um: height_um / rows as f64,
+            width_um,
+            height_um,
+        }
+    }
+
+    /// Number of grid columns (M).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of grid rows (N).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Total number of rectangular grid cells.
+    pub fn num_cells(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// Field width, µm.
+    pub fn width_um(&self) -> f64 {
+        self.width_um
+    }
+
+    /// Field height, µm.
+    pub fn height_um(&self) -> f64 {
+        self.height_um
+    }
+
+    /// Grid-cell pitch in x, µm.
+    pub fn pitch_x_um(&self) -> f64 {
+        self.pitch_x_um
+    }
+
+    /// Grid-cell pitch in y, µm.
+    pub fn pitch_y_um(&self) -> f64 {
+        self.pitch_y_um
+    }
+
+    /// Linear index of grid cell `(col, row)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range.
+    pub fn index(&self, col: usize, row: usize) -> usize {
+        assert!(col < self.cols && row < self.rows, "grid index out of range");
+        row * self.cols + col
+    }
+
+    /// `(col, row)` of a linear index.
+    pub fn coords(&self, idx: usize) -> (usize, usize) {
+        (idx % self.cols, idx / self.cols)
+    }
+
+    /// Grid cell containing a point (clamped to the field).
+    pub fn cell_of(&self, x_um: f64, y_um: f64) -> usize {
+        let c = ((x_um / self.pitch_x_um).floor().max(0.0) as usize).min(self.cols - 1);
+        let r = ((y_um / self.pitch_y_um).floor().max(0.0) as usize).min(self.rows - 1);
+        self.index(c, r)
+    }
+
+    /// Center of a grid cell, µm.
+    pub fn cell_center_um(&self, idx: usize) -> (f64, f64) {
+        let (c, r) = self.coords(idx);
+        ((c as f64 + 0.5) * self.pitch_x_um, (r as f64 + 0.5) * self.pitch_y_um)
+    }
+
+    /// All smoothness-constrained neighbor pairs: horizontal, vertical
+    /// and diagonal (the three families of Eq. 4 in the paper).
+    pub fn neighbor_pairs(&self) -> Vec<(usize, usize)> {
+        let mut pairs = Vec::new();
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let a = self.index(c, r);
+                if c + 1 < self.cols {
+                    pairs.push((a, self.index(c + 1, r)));
+                }
+                if r + 1 < self.rows {
+                    pairs.push((a, self.index(c, r + 1)));
+                }
+                if c + 1 < self.cols && r + 1 < self.rows {
+                    pairs.push((a, self.index(c + 1, r + 1)));
+                }
+            }
+        }
+        pairs
+    }
+}
+
+/// Constraint violations reported by [`DoseMap::check`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum DoseMapError {
+    /// A grid dose exceeds the correction range.
+    OutOfRange {
+        /// Offending grid cell index.
+        cell: usize,
+        /// Its dose, %.
+        dose_pct: f64,
+    },
+    /// Two neighboring grids differ by more than the smoothness bound.
+    SmoothnessViolation {
+        /// First grid cell.
+        a: usize,
+        /// Second grid cell.
+        b: usize,
+        /// The difference, %.
+        diff_pct: f64,
+    },
+}
+
+impl fmt::Display for DoseMapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DoseMapError::OutOfRange { cell, dose_pct } => {
+                write!(f, "dose {dose_pct}% at grid {cell} is outside the correction range")
+            }
+            DoseMapError::SmoothnessViolation { a, b, diff_pct } => {
+                write!(f, "dose step {diff_pct}% between grids {a} and {b} breaks smoothness")
+            }
+        }
+    }
+}
+
+impl Error for DoseMapError {}
+
+/// A per-grid dose-delta map (percent deviations from nominal energy).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DoseMap {
+    /// The grid geometry.
+    pub grid: DoseGrid,
+    /// Dose delta per grid cell, %.
+    pub dose_pct: Vec<f64>,
+}
+
+impl DoseMap {
+    /// A map with the same dose everywhere.
+    pub fn uniform(grid: DoseGrid, dose_pct: f64) -> Self {
+        Self { dose_pct: vec![dose_pct; grid.num_cells()], grid }
+    }
+
+    /// A map from explicit per-cell values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count does not match the grid.
+    pub fn from_values(grid: DoseGrid, dose_pct: Vec<f64>) -> Self {
+        assert_eq!(dose_pct.len(), grid.num_cells(), "value count mismatch");
+        Self { grid, dose_pct }
+    }
+
+    /// Dose at the grid cell containing a point, %.
+    pub fn dose_at_um(&self, x_um: f64, y_um: f64) -> f64 {
+        self.dose_pct[self.grid.cell_of(x_um, y_um)]
+    }
+
+    /// Largest absolute difference across any neighbor pair, %.
+    pub fn max_neighbor_step(&self) -> f64 {
+        self.grid
+            .neighbor_pairs()
+            .iter()
+            .map(|&(a, b)| (self.dose_pct[a] - self.dose_pct[b]).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Checks the equipment constraints: box range `[lo, hi]` (Eq. 3) and
+    /// smoothness bound `delta` between all neighbor pairs (Eq. 4).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found (with a small numerical
+    /// tolerance).
+    pub fn check(&self, lo_pct: f64, hi_pct: f64, delta_pct: f64) -> Result<(), DoseMapError> {
+        const TOL: f64 = 1e-6;
+        for (cell, &d) in self.dose_pct.iter().enumerate() {
+            if d < lo_pct - TOL || d > hi_pct + TOL {
+                return Err(DoseMapError::OutOfRange { cell, dose_pct: d });
+            }
+        }
+        for (a, b) in self.grid.neighbor_pairs() {
+            let diff = (self.dose_pct[a] - self.dose_pct[b]).abs();
+            if diff > delta_pct + TOL {
+                return Err(DoseMapError::SmoothnessViolation { a, b, diff_pct: diff });
+            }
+        }
+        Ok(())
+    }
+
+    /// Snaps every dose to the nearest multiple of `step_pct` — the
+    /// paper's rounding onto the 0.5%-step characterized library
+    /// variants. Snapping preserves the box range when the bounds are
+    /// themselves multiples of the step, and cannot increase any neighbor
+    /// difference by more than one step.
+    pub fn snap_to_step(&mut self, step_pct: f64) {
+        for d in &mut self.dose_pct {
+            *d = (*d / step_pct).round() * step_pct;
+        }
+    }
+
+    /// Mean dose over the field, %.
+    pub fn mean(&self) -> f64 {
+        if self.dose_pct.is_empty() {
+            return 0.0;
+        }
+        self.dose_pct.iter().sum::<f64>() / self.dose_pct.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn granularity_controls_grid_count() {
+        // The paper's AES-65 die (~241 µm square) at 5 µm grids.
+        let g = DoseGrid::with_granularity(240.8, 240.8, 5.0);
+        assert_eq!(g.cols(), 49);
+        assert_eq!(g.rows(), 49);
+        // Pitch never exceeds G.
+        assert!(g.pitch_x_um() <= 5.0 + 1e-12);
+        let coarse = DoseGrid::with_granularity(240.8, 240.8, 30.0);
+        assert!(coarse.num_cells() < g.num_cells());
+    }
+
+    #[test]
+    fn index_round_trips() {
+        let g = DoseGrid::with_granularity(100.0, 50.0, 10.0);
+        for idx in 0..g.num_cells() {
+            let (c, r) = g.coords(idx);
+            assert_eq!(g.index(c, r), idx);
+        }
+    }
+
+    #[test]
+    fn cell_of_maps_points_to_cells() {
+        let g = DoseGrid::with_granularity(100.0, 100.0, 10.0);
+        assert_eq!(g.cell_of(0.0, 0.0), 0);
+        assert_eq!(g.cell_of(99.9, 99.9), g.num_cells() - 1);
+        // Out-of-field points clamp.
+        assert_eq!(g.cell_of(-5.0, 1000.0), g.index(0, 9));
+        let (cx, cy) = g.cell_center_um(g.cell_of(55.0, 25.0));
+        assert!((cx - 55.0).abs() <= 5.0 && (cy - 25.0).abs() <= 5.0);
+    }
+
+    #[test]
+    fn neighbor_pairs_count_matches_formula() {
+        // Eq. (4): (M−1)(N−1) diagonal + M(N−1) vertical + (M−1)N horizontal.
+        let g = DoseGrid::with_granularity(40.0, 30.0, 10.0); // 4 × 3
+        let (m, n) = (g.cols(), g.rows());
+        let expect = (m - 1) * (n - 1) + m * (n - 1) + (m - 1) * n;
+        assert_eq!(g.neighbor_pairs().len(), expect);
+    }
+
+    #[test]
+    fn check_catches_range_and_smoothness() {
+        let g = DoseGrid::with_granularity(30.0, 10.0, 10.0); // 3 × 1
+        let mut m = DoseMap::from_values(g, vec![0.0, 6.0, 0.0]);
+        assert!(matches!(m.check(-5.0, 5.0, 2.0), Err(DoseMapError::OutOfRange { cell: 1, .. })));
+        m.dose_pct[1] = 3.0;
+        assert!(matches!(
+            m.check(-5.0, 5.0, 2.0),
+            Err(DoseMapError::SmoothnessViolation { .. })
+        ));
+        m.dose_pct[1] = 1.5;
+        assert!(m.check(-5.0, 5.0, 2.0).is_ok());
+    }
+
+    #[test]
+    fn snapping_quantizes_to_steps() {
+        let g = DoseGrid::with_granularity(20.0, 10.0, 10.0);
+        let mut m = DoseMap::from_values(g, vec![1.26, -3.74]);
+        m.snap_to_step(0.5);
+        assert_eq!(m.dose_pct, vec![1.5, -3.5]);
+    }
+
+    #[test]
+    fn uniform_map_has_zero_step() {
+        let g = DoseGrid::with_granularity(100.0, 100.0, 5.0);
+        let m = DoseMap::uniform(g, 4.0);
+        assert_eq!(m.max_neighbor_step(), 0.0);
+        assert_eq!(m.mean(), 4.0);
+        assert_eq!(m.dose_at_um(50.0, 50.0), 4.0);
+    }
+}

@@ -1,0 +1,290 @@
+//! Scanner actuator models: Dosicom Legendre scan recipes and Unicom-XL
+//! slit polynomial profiles.
+//!
+//! The physical scanner cannot set each grid cell independently: the dose
+//! field it can realize is (to first order) *separable* — a slit-direction
+//! profile `s(x)` applied by the Unicom-XL gray filter (polynomial up to
+//! 6th order) plus a scan-direction profile `D_set(y) = Σₙ Lₙ·Pₙ(y)`
+//! realized by Dosicom laser-energy modulation (up to 8 Legendre
+//! coefficients). [`ActuatorFit`] projects an arbitrary grid dose map
+//! onto that realizable subspace and reports the residual.
+
+use crate::grid::DoseMap;
+use dme_qp::lsq;
+
+/// Maximum Legendre order supported by the scan recipe (the paper: "up to
+/// eight Legendre coefficients").
+pub const MAX_SCAN_ORDER: usize = 8;
+/// Maximum polynomial order of the slit profile (the paper: "polynomials
+/// of up to the 6th order").
+pub const MAX_SLIT_ORDER: usize = 6;
+
+/// Legendre polynomial `Pₙ(y)` via the Bonnet recurrence.
+///
+/// # Panics
+///
+/// Panics if `y` is outside `[−1, 1]` by more than a small tolerance.
+pub fn legendre(n: usize, y: f64) -> f64 {
+    assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&y), "scan position must be in [-1, 1]");
+    match n {
+        0 => 1.0,
+        1 => y,
+        _ => {
+            let mut p0 = 1.0;
+            let mut p1 = y;
+            for k in 2..=n {
+                let p2 = ((2 * k - 1) as f64 * y * p1 - (k - 1) as f64 * p0) / k as f64;
+                p0 = p1;
+                p1 = p2;
+            }
+            p1
+        }
+    }
+}
+
+/// A Dosicom scan-direction dose recipe `D_set(y) = Σₙ₌₁⁸ Lₙ·Pₙ(y)` with
+/// an additional constant offset `L₀` (the per-field dose offset the
+/// scanner applies).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanRecipe {
+    /// Coefficients `L₀..L₈` (constant term first).
+    pub coeffs: Vec<f64>,
+}
+
+impl ScanRecipe {
+    /// Dose at normalized scan position `y ∈ [−1, 1]`, %.
+    pub fn dose_at(&self, y: f64) -> f64 {
+        self.coeffs.iter().enumerate().map(|(n, &c)| c * legendre(n, y)).sum()
+    }
+
+    /// Least-squares fit of a recipe of the given order to samples
+    /// `(y, dose)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if there are fewer samples than coefficients.
+    pub fn fit(samples: &[(f64, f64)], order: usize) -> Result<Self, dme_qp::SolveError> {
+        let order = order.min(MAX_SCAN_ORDER);
+        let rows: Vec<Vec<f64>> =
+            samples.iter().map(|&(y, _)| (0..=order).map(|n| legendre(n, y)).collect()).collect();
+        let ys: Vec<f64> = samples.iter().map(|&(_, d)| d).collect();
+        let coeffs = lsq::fit_basis(&rows, &ys, None)?;
+        Ok(Self { coeffs })
+    }
+}
+
+/// A Unicom-XL slit profile: an ordinary polynomial in the normalized
+/// slit coordinate `x ∈ [−1, 1]`, up to 6th order. ASML's default filter
+/// is the quadratic special case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlitProfile {
+    /// Polynomial coefficients, constant term first.
+    pub coeffs: Vec<f64>,
+}
+
+impl SlitProfile {
+    /// Dose at normalized slit position `x ∈ [−1, 1]`, %.
+    pub fn dose_at(&self, x: f64) -> f64 {
+        let mut v = 0.0;
+        for &c in self.coeffs.iter().rev() {
+            v = v * x + c;
+        }
+        v
+    }
+
+    /// Least-squares polynomial fit of the given order to `(x, dose)`
+    /// samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if there are fewer samples than coefficients.
+    pub fn fit(samples: &[(f64, f64)], order: usize) -> Result<Self, dme_qp::SolveError> {
+        let order = order.min(MAX_SLIT_ORDER);
+        let xs: Vec<f64> = samples.iter().map(|&(x, _)| x).collect();
+        let ys: Vec<f64> = samples.iter().map(|&(_, d)| d).collect();
+        let coeffs = lsq::polyfit(&xs, &ys, order)?;
+        Ok(Self { coeffs })
+    }
+}
+
+/// The projection of a grid dose map onto the scanner-realizable
+/// separable subspace `slit(x) + scan(y)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActuatorFit {
+    /// Fitted slit (x-direction) profile.
+    pub slit: SlitProfile,
+    /// Fitted scan (y-direction) recipe.
+    pub scan: ScanRecipe,
+    /// RMS residual between the grid map and the realizable field, %.
+    pub rms_residual_pct: f64,
+    /// Maximum absolute residual, %.
+    pub max_residual_pct: f64,
+}
+
+impl ActuatorFit {
+    /// Realized dose at normalized coordinates.
+    pub fn dose_at(&self, x: f64, y: f64) -> f64 {
+        self.slit.dose_at(x) + self.scan.dose_at(y)
+    }
+}
+
+/// Fits the separable actuator model to a grid dose map with a joint
+/// linear least squares over the union basis (slit polynomial terms +
+/// scan Legendre terms; the two constant terms are merged into the slit).
+///
+/// # Errors
+///
+/// Returns an error if the grid is too small for the requested orders.
+pub fn actuator_fit(
+    map: &DoseMap,
+    slit_order: usize,
+    scan_order: usize,
+) -> Result<ActuatorFit, dme_qp::SolveError> {
+    let grid = &map.grid;
+    // Orders are capped by the hardware limits and by the number of
+    // distinct sample positions (an order-k basis needs k+1 columns/rows).
+    let slit_order = slit_order.min(MAX_SLIT_ORDER).min(grid.cols().saturating_sub(1));
+    let scan_order = scan_order.min(MAX_SCAN_ORDER).max(1).min(grid.rows().saturating_sub(1).max(1));
+    let mut rows = Vec::with_capacity(grid.num_cells());
+    let mut ys = Vec::with_capacity(grid.num_cells());
+    for idx in 0..grid.num_cells() {
+        let (c, r) = grid.coords(idx);
+        let x = if grid.cols() > 1 { 2.0 * c as f64 / (grid.cols() - 1) as f64 - 1.0 } else { 0.0 };
+        let y = if grid.rows() > 1 { 2.0 * r as f64 / (grid.rows() - 1) as f64 - 1.0 } else { 0.0 };
+        // Basis: [1, x, …, x^slit_order, P1(y), …, P_scan_order(y)].
+        let mut row = Vec::with_capacity(slit_order + scan_order + 1);
+        let mut pow = 1.0;
+        for _ in 0..=slit_order {
+            row.push(pow);
+            pow *= x;
+        }
+        for n in 1..=scan_order {
+            row.push(legendre(n, y));
+        }
+        rows.push(row);
+        ys.push(map.dose_pct[idx]);
+    }
+    let coeffs = lsq::fit_basis(&rows, &ys, None)?;
+    let (slit_coeffs, scan_tail) = coeffs.split_at(slit_order + 1);
+    let mut scan_coeffs = vec![0.0];
+    scan_coeffs.extend_from_slice(scan_tail);
+    let fit = ActuatorFit {
+        slit: SlitProfile { coeffs: slit_coeffs.to_vec() },
+        scan: ScanRecipe { coeffs: scan_coeffs },
+        rms_residual_pct: 0.0,
+        max_residual_pct: 0.0,
+    };
+    // Residuals.
+    let mut ss = 0.0;
+    let mut mx = 0.0f64;
+    for idx in 0..grid.num_cells() {
+        let (c, r) = grid.coords(idx);
+        let x = if grid.cols() > 1 { 2.0 * c as f64 / (grid.cols() - 1) as f64 - 1.0 } else { 0.0 };
+        let y = if grid.rows() > 1 { 2.0 * r as f64 / (grid.rows() - 1) as f64 - 1.0 } else { 0.0 };
+        let res = map.dose_pct[idx] - fit.dose_at(x, y);
+        ss += res * res;
+        mx = mx.max(res.abs());
+    }
+    Ok(ActuatorFit {
+        rms_residual_pct: (ss / grid.num_cells() as f64).sqrt(),
+        max_residual_pct: mx,
+        ..fit
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::DoseGrid;
+
+    #[test]
+    fn legendre_known_values() {
+        assert_eq!(legendre(0, 0.3), 1.0);
+        assert_eq!(legendre(1, 0.3), 0.3);
+        // P2(y) = (3y² − 1)/2.
+        assert!((legendre(2, 0.5) - (3.0 * 0.25 - 1.0) / 2.0).abs() < 1e-14);
+        // P3(1) = 1 for all n at y = 1.
+        for n in 0..=8 {
+            assert!((legendre(n, 1.0) - 1.0).abs() < 1e-12, "P{n}(1)");
+        }
+    }
+
+    #[test]
+    fn legendre_orthogonality_numerically() {
+        // ∫ Pm Pn over [−1,1] ≈ 0 for m ≠ n (midpoint rule).
+        let steps = 2000;
+        for (m, n) in [(1, 2), (2, 3), (1, 4), (3, 5)] {
+            let mut acc = 0.0;
+            for k in 0..steps {
+                let y = -1.0 + (k as f64 + 0.5) * 2.0 / steps as f64;
+                acc += legendre(m, y) * legendre(n, y);
+            }
+            acc *= 2.0 / steps as f64;
+            assert!(acc.abs() < 1e-4, "P{m}·P{n} integral = {acc}");
+        }
+    }
+
+    #[test]
+    fn scan_recipe_fit_recovers_exact_profile() {
+        let truth = ScanRecipe { coeffs: vec![0.5, 1.0, -0.4, 0.0, 0.2] };
+        let samples: Vec<(f64, f64)> =
+            (0..40).map(|i| -1.0 + i as f64 / 19.5).map(|y| (y.clamp(-1.0, 1.0), truth.dose_at(y.clamp(-1.0, 1.0)))).collect();
+        let fit = ScanRecipe::fit(&samples, 4).unwrap();
+        for (a, b) in truth.coeffs.iter().zip(&fit.coeffs) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn slit_profile_evaluates_polynomials() {
+        let p = SlitProfile { coeffs: vec![1.0, 0.0, 2.0] }; // 1 + 2x²
+        assert!((p.dose_at(0.5) - 1.5).abs() < 1e-14);
+        let samples: Vec<(f64, f64)> =
+            (0..20).map(|i| -1.0 + i as f64 / 9.5).map(|x| (x, p.dose_at(x))).collect();
+        let fit = SlitProfile::fit(&samples, 2).unwrap();
+        for (a, b) in p.coeffs.iter().zip(&fit.coeffs) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn separable_map_fits_exactly() {
+        let grid = DoseGrid::with_granularity(100.0, 100.0, 10.0);
+        let mut vals = vec![0.0; grid.num_cells()];
+        for idx in 0..grid.num_cells() {
+            let (c, r) = grid.coords(idx);
+            let x = 2.0 * c as f64 / 9.0 - 1.0;
+            let y = 2.0 * r as f64 / 9.0 - 1.0;
+            vals[idx] = 1.0 + 0.5 * x * x + 0.8 * legendre(2, y);
+        }
+        let map = DoseMap::from_values(grid, vals);
+        let fit = actuator_fit(&map, 2, 2).unwrap();
+        assert!(fit.rms_residual_pct < 1e-9, "rms = {}", fit.rms_residual_pct);
+    }
+
+    #[test]
+    fn checkerboard_map_is_not_realizable() {
+        // A checkerboard has no separable structure: the residual must
+        // stay close to the map's own variation.
+        let grid = DoseGrid::with_granularity(80.0, 80.0, 10.0);
+        let vals: Vec<f64> = (0..grid.num_cells())
+            .map(|idx| {
+                let (c, r) = grid.coords(idx);
+                if (c + r) % 2 == 0 {
+                    2.0
+                } else {
+                    -2.0
+                }
+            })
+            .collect();
+        let map = DoseMap::from_values(grid, vals);
+        let fit = actuator_fit(&map, 6, 8).unwrap();
+        assert!(fit.rms_residual_pct > 1.0, "rms = {}", fit.rms_residual_pct);
+    }
+
+    #[test]
+    #[should_panic(expected = "scan position")]
+    fn legendre_rejects_out_of_domain() {
+        let _ = legendre(2, 1.5);
+    }
+}

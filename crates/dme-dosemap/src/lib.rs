@@ -1,0 +1,78 @@
+//! Exposure-dose maps and scanner actuator models.
+//!
+//! This crate models the manufacturing-side substrate of the paper: the
+//! ASML DoseMapper concept. It provides:
+//!
+//! - [`DoseSensitivity`]: the dose↔CD conversion (the paper uses the
+//!   typical −2 nm per % dose);
+//! - [`DoseGrid`] / [`DoseMap`]: the M×N rectangular partition of the
+//!   exposure field with granularity `G`, per-grid dose deltas, box and
+//!   smoothness constraint checking (Eqs. 3–4 of the paper, diagonal
+//!   neighbors included) and snapping to characterized 0.5% dose steps;
+//! - [`legendre`]: Legendre polynomials and the Dosicom scan-direction
+//!   recipe `D_set(y) = Σ Lₙ Pₙ(y)` (up to 8 coefficients), plus the
+//!   Unicom-XL slit-direction polynomial profile (up to 6th order), and a
+//!   separable actuator fit quantifying how well a grid dose map can be
+//!   realized by the physical scanner knobs;
+//! - [`metrics`]: ACLV-style CD-uniformity metrics and the classic
+//!   (design-blind) DoseMapper correction that minimizes them.
+//!
+//! # Example
+//!
+//! ```
+//! use dme_dosemap::{DoseGrid, DoseMap};
+//!
+//! let grid = DoseGrid::with_granularity(100.0, 100.0, 5.0);
+//! assert_eq!(grid.cols(), 20);
+//! let map = DoseMap::uniform(grid, 1.5);
+//! map.check(-5.0, 5.0, 2.0).expect("uniform maps satisfy all bounds");
+//! ```
+
+#![deny(missing_docs)]
+
+mod grid;
+pub mod io;
+pub mod legendre;
+pub mod metrics;
+pub mod wafer;
+
+pub use grid::{DoseGrid, DoseMap, DoseMapError};
+
+/// Dose-to-CD sensitivity in nm per percent dose change. Increasing dose
+/// *decreases* CD, so the value is negative.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DoseSensitivity(pub f64);
+
+impl Default for DoseSensitivity {
+    fn default() -> Self {
+        // The typical value the paper adopts from production data.
+        DoseSensitivity(-2.0)
+    }
+}
+
+impl DoseSensitivity {
+    /// CD (gate length/width) change in nm for a dose change in percent.
+    pub fn cd_delta_nm(&self, dose_pct: f64) -> f64 {
+        self.0 * dose_pct
+    }
+
+    /// Dose change in percent needed for a CD change in nm.
+    pub fn dose_pct_for(&self, cd_delta_nm: f64) -> f64 {
+        cd_delta_nm / self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sensitivity_is_negative_and_invertible() {
+        let s = DoseSensitivity::default();
+        assert!(s.0 < 0.0);
+        // +5% dose → −10 nm CD (the paper's endpoints).
+        assert_eq!(s.cd_delta_nm(5.0), -10.0);
+        let d = s.dose_pct_for(-10.0);
+        assert!((d - 5.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,128 @@
+//! CD-uniformity metrics and the classic (design-blind) DoseMapper use.
+//!
+//! Before this paper, DoseMapper was used *solely* to flatten linewidth
+//! variation: measure the systematic CD error across the field (ACLV) or
+//! wafer (AWLV), then apply the dose map that cancels it. These helpers
+//! reproduce that baseline so the design-aware optimization can start
+//! from a realistic "original dose map", as the paper's flow (Fig. 7)
+//! prescribes.
+
+use crate::grid::{DoseGrid, DoseMap};
+use crate::DoseSensitivity;
+
+/// Across-field CD statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CdUniformity {
+    /// Mean CD error, nm.
+    pub mean_nm: f64,
+    /// CD standard deviation, nm.
+    pub sigma_nm: f64,
+    /// The industry "3σ" uniformity number, nm.
+    pub three_sigma_nm: f64,
+    /// Full range (max − min), nm.
+    pub range_nm: f64,
+}
+
+/// Computes CD uniformity of a per-grid CD-error map (nm values).
+pub fn cd_uniformity(cd_err_nm: &[f64]) -> CdUniformity {
+    if cd_err_nm.is_empty() {
+        return CdUniformity { mean_nm: 0.0, sigma_nm: 0.0, three_sigma_nm: 0.0, range_nm: 0.0 };
+    }
+    let n = cd_err_nm.len() as f64;
+    let mean = cd_err_nm.iter().sum::<f64>() / n;
+    let var = cd_err_nm.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    let sigma = var.sqrt();
+    let min = cd_err_nm.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = cd_err_nm.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    CdUniformity { mean_nm: mean, sigma_nm: sigma, three_sigma_nm: 3.0 * sigma, range_nm: max - min }
+}
+
+/// CD error remaining after applying a dose map to a systematic CD error
+/// field: `residual = error + Ds · dose`.
+pub fn corrected_cd_err(
+    cd_err_nm: &[f64],
+    map: &DoseMap,
+    sensitivity: DoseSensitivity,
+) -> Vec<f64> {
+    assert_eq!(cd_err_nm.len(), map.dose_pct.len(), "error/dose grid mismatch");
+    cd_err_nm
+        .iter()
+        .zip(&map.dose_pct)
+        .map(|(&e, &d)| e + sensitivity.cd_delta_nm(d))
+        .collect()
+}
+
+/// The classic ACLV-minimizing correction: the dose map that exactly
+/// cancels a systematic CD error field, clamped to the correction range
+/// (design-blind DoseMapper, the paper's starting point).
+pub fn aclv_correction(
+    grid: DoseGrid,
+    cd_err_nm: &[f64],
+    sensitivity: DoseSensitivity,
+    lo_pct: f64,
+    hi_pct: f64,
+) -> DoseMap {
+    assert_eq!(cd_err_nm.len(), grid.num_cells(), "error grid mismatch");
+    let dose = cd_err_nm
+        .iter()
+        .map(|&e| sensitivity.dose_pct_for(-e).clamp(lo_pct, hi_pct))
+        .collect();
+    DoseMap::from_values(grid, dose)
+}
+
+/// A synthetic systematic CD-error field (bowl shape plus slit tilt) of
+/// the kind radial resist-thickness and etch bias produce — used to give
+/// experiments a realistic non-zero starting dose map.
+pub fn synthetic_systematic_cd_error(grid: &DoseGrid, amplitude_nm: f64) -> Vec<f64> {
+    let mut out = Vec::with_capacity(grid.num_cells());
+    for idx in 0..grid.num_cells() {
+        let (c, r) = grid.coords(idx);
+        let x = if grid.cols() > 1 { 2.0 * c as f64 / (grid.cols() - 1) as f64 - 1.0 } else { 0.0 };
+        let y = if grid.rows() > 1 { 2.0 * r as f64 / (grid.rows() - 1) as f64 - 1.0 } else { 0.0 };
+        out.push(amplitude_nm * (0.6 * (x * x + y * y) - 0.3 + 0.25 * x));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniformity_of_constant_field_is_zero_sigma() {
+        let u = cd_uniformity(&[2.0; 50]);
+        assert_eq!(u.sigma_nm, 0.0);
+        assert_eq!(u.mean_nm, 2.0);
+        assert_eq!(u.range_nm, 0.0);
+    }
+
+    #[test]
+    fn aclv_correction_flattens_systematic_error() {
+        let grid = DoseGrid::with_granularity(100.0, 100.0, 10.0);
+        let err = synthetic_systematic_cd_error(&grid, 3.0);
+        let before = cd_uniformity(&err);
+        let map = aclv_correction(grid, &err, DoseSensitivity::default(), -5.0, 5.0);
+        let after = cd_uniformity(&corrected_cd_err(&err, &map, DoseSensitivity::default()));
+        assert!(before.three_sigma_nm > 1.0);
+        assert!(after.three_sigma_nm < 0.01 * before.three_sigma_nm, "{after:?}");
+    }
+
+    #[test]
+    fn correction_respects_range_clamp() {
+        let grid = DoseGrid::with_granularity(20.0, 10.0, 10.0);
+        // A 30 nm error needs 15% dose — clamped to 5%.
+        let map = aclv_correction(grid, &[30.0, 0.0], DoseSensitivity::default(), -5.0, 5.0);
+        assert_eq!(map.dose_pct[0], 5.0);
+        assert_eq!(map.dose_pct[1], 0.0);
+    }
+
+    #[test]
+    fn synthetic_error_is_bowl_shaped() {
+        let grid = DoseGrid::with_granularity(100.0, 100.0, 10.0);
+        let err = synthetic_systematic_cd_error(&grid, 2.0);
+        // Center lower than corners.
+        let center = err[grid.cell_of(50.0, 50.0)];
+        let corner = err[grid.cell_of(0.0, 0.0)];
+        assert!(corner > center);
+    }
+}

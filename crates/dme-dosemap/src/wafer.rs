@@ -1,0 +1,208 @@
+//! Across-wafer variation and per-field dose correction (the paper's
+//! stated "ongoing work": extending dose-map optimization to minimize
+//! delay variation across the wafer).
+//!
+//! A [`WaferModel`] lays exposure fields on a circular wafer and carries
+//! a systematic across-wafer CD-error fingerprint — the radial bowl that
+//! spin-on resist thickness and etch loading produce, plus a linear tilt
+//! and a small random per-field residual. Dosicom applies one dose
+//! *offset per field* on top of the (shared) intrafield recipe, so the
+//! wafer-level correction is a per-field scalar; [`WaferModel::field_offsets`]
+//! computes the clamped offsets that cancel the systematic fingerprint,
+//! and the across-wafer linewidth variation (AWLV) before/after follows
+//! from [`crate::metrics::cd_uniformity`].
+
+use crate::DoseSensitivity;
+
+/// Wafer and exposure-field geometry plus the systematic CD fingerprint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WaferModel {
+    /// Usable wafer radius, mm (300 mm wafers: 150 minus edge exclusion).
+    pub radius_mm: f64,
+    /// Exposure field width, mm (full scanner field: 26).
+    pub field_w_mm: f64,
+    /// Exposure field height, mm (full scanner field: 33).
+    pub field_h_mm: f64,
+    /// Radial bowl amplitude of the CD error, nm (center-to-edge).
+    pub bowl_nm: f64,
+    /// Linear tilt across the wafer diameter, nm.
+    pub tilt_nm: f64,
+    /// 1σ random per-field residual, nm.
+    pub noise_nm: f64,
+    /// Seed for the deterministic residual.
+    pub seed: u64,
+}
+
+impl Default for WaferModel {
+    fn default() -> Self {
+        Self {
+            radius_mm: 147.0,
+            field_w_mm: 26.0,
+            field_h_mm: 33.0,
+            bowl_nm: 2.5,
+            tilt_nm: 1.0,
+            noise_nm: 0.3,
+            seed: 1,
+        }
+    }
+}
+
+/// One exposure field on the wafer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Field {
+    /// Field-center x, mm (wafer center at origin).
+    pub x_mm: f64,
+    /// Field-center y, mm.
+    pub y_mm: f64,
+    /// Systematic + residual CD error of this field, nm.
+    pub cd_err_nm: f64,
+}
+
+/// SplitMix64: a tiny deterministic generator, enough for the per-field
+/// residual without pulling a dependency into this crate.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn std_normal(state: &mut u64) -> f64 {
+    // Irwin–Hall (12 uniforms): adequate tails for a residual term.
+    let mut acc = 0.0;
+    for _ in 0..12 {
+        acc += (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64;
+    }
+    acc - 6.0
+}
+
+impl WaferModel {
+    /// Lays out every field whose four corners fit on the wafer and
+    /// evaluates the CD fingerprint at its center.
+    pub fn fields(&self) -> Vec<Field> {
+        let mut state = self.seed;
+        let nx = (2.0 * self.radius_mm / self.field_w_mm).ceil() as i64;
+        let ny = (2.0 * self.radius_mm / self.field_h_mm).ceil() as i64;
+        let mut out = Vec::new();
+        for iy in -ny..=ny {
+            for ix in -nx..=nx {
+                let x = ix as f64 * self.field_w_mm;
+                let y = iy as f64 * self.field_h_mm;
+                let corner_r = ((x.abs() + 0.5 * self.field_w_mm).powi(2)
+                    + (y.abs() + 0.5 * self.field_h_mm).powi(2))
+                .sqrt();
+                if corner_r > self.radius_mm {
+                    continue;
+                }
+                let r2 = (x * x + y * y) / (self.radius_mm * self.radius_mm);
+                let cd = self.bowl_nm * (r2 - 0.5)
+                    + self.tilt_nm * x / self.radius_mm
+                    + self.noise_nm * std_normal(&mut state);
+                out.push(Field { x_mm: x, y_mm: y, cd_err_nm: cd });
+            }
+        }
+        out
+    }
+
+    /// Per-field Dosicom dose offsets (in %) canceling each field's CD
+    /// error, clamped to the correction range.
+    pub fn field_offsets(
+        &self,
+        fields: &[Field],
+        sensitivity: DoseSensitivity,
+        lo_pct: f64,
+        hi_pct: f64,
+    ) -> Vec<f64> {
+        fields
+            .iter()
+            .map(|f| sensitivity.dose_pct_for(-f.cd_err_nm).clamp(lo_pct, hi_pct))
+            .collect()
+    }
+
+    /// Residual CD error after applying per-field offsets, nm.
+    pub fn corrected_errors(
+        &self,
+        fields: &[Field],
+        offsets: &[f64],
+        sensitivity: DoseSensitivity,
+    ) -> Vec<f64> {
+        fields
+            .iter()
+            .zip(offsets)
+            .map(|(f, &o)| f.cd_err_nm + sensitivity.cd_delta_nm(o))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::cd_uniformity;
+
+    #[test]
+    fn field_count_matches_a_300mm_wafer() {
+        let w = WaferModel::default();
+        let fields = w.fields();
+        // A 26×33 mm field on a 147 mm radius: several tens of full fields.
+        assert!(fields.len() > 40 && fields.len() < 90, "{} fields", fields.len());
+        // All fields fully on the wafer.
+        for f in &fields {
+            let r = ((f.x_mm.abs() + 13.0).powi(2) + (f.y_mm.abs() + 16.5).powi(2)).sqrt();
+            assert!(r <= w.radius_mm + 1e-9);
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_radial_plus_tilt() {
+        let w = WaferModel { noise_nm: 0.0, ..WaferModel::default() };
+        let fields = w.fields();
+        let center = fields
+            .iter()
+            .min_by(|a, b| {
+                (a.x_mm.hypot(a.y_mm)).total_cmp(&b.x_mm.hypot(b.y_mm))
+            })
+            .unwrap();
+        let edge = fields
+            .iter()
+            .max_by(|a, b| {
+                (a.x_mm.hypot(a.y_mm)).total_cmp(&b.x_mm.hypot(b.y_mm))
+            })
+            .unwrap();
+        assert!(edge.cd_err_nm.abs() > center.cd_err_nm.abs() - 1e-9);
+    }
+
+    #[test]
+    fn correction_flattens_awlv() {
+        let w = WaferModel::default();
+        let fields = w.fields();
+        let before: Vec<f64> = fields.iter().map(|f| f.cd_err_nm).collect();
+        let offsets = w.field_offsets(&fields, DoseSensitivity::default(), -5.0, 5.0);
+        let after = w.corrected_errors(&fields, &offsets, DoseSensitivity::default());
+        let u_before = cd_uniformity(&before);
+        let u_after = cd_uniformity(&after);
+        assert!(
+            u_after.three_sigma_nm < 0.05 * u_before.three_sigma_nm,
+            "AWLV {} -> {}",
+            u_before.three_sigma_nm,
+            u_after.three_sigma_nm
+        );
+    }
+
+    #[test]
+    fn offsets_respect_range() {
+        let w = WaferModel { bowl_nm: 40.0, ..WaferModel::default() }; // needs >5% dose
+        let fields = w.fields();
+        let offsets = w.field_offsets(&fields, DoseSensitivity::default(), -5.0, 5.0);
+        assert!(offsets.iter().all(|o| (-5.0..=5.0).contains(o)));
+        assert!(offsets.iter().any(|&o| o == 5.0 || o == -5.0), "clamp must engage");
+    }
+
+    #[test]
+    fn fields_are_deterministic() {
+        let w = WaferModel::default();
+        assert_eq!(w.fields(), w.fields());
+        let other = WaferModel { seed: 2, ..WaferModel::default() };
+        assert_ne!(w.fields(), other.fields());
+    }
+}

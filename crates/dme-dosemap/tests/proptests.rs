@@ -1,0 +1,128 @@
+//! Property-based tests for dose grids, maps and actuator fits.
+
+use dme_dosemap::legendre::{actuator_fit, legendre, ScanRecipe};
+use dme_dosemap::{DoseGrid, DoseMap, DoseSensitivity};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every point of the field maps to a grid cell whose rectangle
+    /// contains it.
+    #[test]
+    fn cell_of_contains_point(
+        w in 10.0f64..500.0,
+        h in 10.0f64..500.0,
+        g in 2.0f64..60.0,
+        fx in 0.0f64..1.0,
+        fy in 0.0f64..1.0,
+    ) {
+        let grid = DoseGrid::with_granularity(w, h, g);
+        let (x, y) = (fx * w * 0.999, fy * h * 0.999);
+        let idx = grid.cell_of(x, y);
+        let (cx, cy) = grid.cell_center_um(idx);
+        prop_assert!((cx - x).abs() <= 0.5 * grid.pitch_x_um() + 1e-9);
+        prop_assert!((cy - y).abs() <= 0.5 * grid.pitch_y_um() + 1e-9);
+        // Pitches never exceed the granularity.
+        prop_assert!(grid.pitch_x_um() <= g + 1e-12);
+        prop_assert!(grid.pitch_y_um() <= g + 1e-12);
+    }
+
+    /// Snapping to a step keeps every dose within half a step of the
+    /// original and inside any box that is itself step-aligned.
+    #[test]
+    fn snap_is_bounded(
+        doses in proptest::collection::vec(-5.0f64..5.0, 4..40),
+        steps in 1usize..10,
+    ) {
+        let step = 0.1 * steps as f64;
+        let n = doses.len();
+        let side = (n as f64).sqrt().ceil() as usize;
+        let grid = DoseGrid::with_granularity(side as f64 * 5.0, side as f64 * 5.0, 5.0);
+        let mut padded = doses.clone();
+        padded.resize(grid.num_cells(), 0.0);
+        let mut map = DoseMap::from_values(grid, padded.clone());
+        map.snap_to_step(step);
+        for (orig, snapped) in padded.iter().zip(&map.dose_pct) {
+            prop_assert!((orig - snapped).abs() <= 0.5 * step + 1e-12);
+            let k = snapped / step;
+            prop_assert!((k - k.round()).abs() < 1e-9, "not on step: {snapped}");
+        }
+    }
+
+    /// The smoothness checker agrees with the max neighbor step.
+    #[test]
+    fn check_matches_max_step(
+        doses in proptest::collection::vec(-5.0f64..5.0, 9..36),
+    ) {
+        let n = doses.len();
+        let side = (n as f64).sqrt().floor() as usize;
+        let grid = DoseGrid::with_granularity(side as f64 * 5.0, side as f64 * 5.0, 5.0);
+        let mut padded = doses.clone();
+        padded.resize(grid.num_cells(), 0.0);
+        let map = DoseMap::from_values(grid, padded);
+        let max_step = map.max_neighbor_step();
+        prop_assert!(map.check(-5.0, 5.0, max_step + 1e-9).is_ok());
+        // The checker carries a 1e-6 numerical tolerance, so only a bound
+        // clearly below the max step must be rejected.
+        if max_step > 1e-4 {
+            prop_assert!(map.check(-5.0, 5.0, max_step - 1e-5).is_err());
+        }
+    }
+
+    /// Legendre recurrence: |Pn(y)| ≤ 1 on [−1, 1] and Pn(±1) = (±1)^n.
+    #[test]
+    fn legendre_bounds(n in 0usize..9, y in -1.0f64..1.0) {
+        prop_assert!(legendre(n, y).abs() <= 1.0 + 1e-12);
+        prop_assert!((legendre(n, 1.0) - 1.0).abs() < 1e-12);
+        let expect = if n % 2 == 0 { 1.0 } else { -1.0 };
+        prop_assert!((legendre(n, -1.0) - expect).abs() < 1e-12);
+    }
+
+    /// A scan recipe fitted to its own samples reproduces them.
+    #[test]
+    fn scan_fit_roundtrip(coeffs in proptest::collection::vec(-2.0f64..2.0, 1..6)) {
+        let truth = ScanRecipe { coeffs: coeffs.clone() };
+        let samples: Vec<(f64, f64)> = (0..32)
+            .map(|i| {
+                let y = -1.0 + 2.0 * i as f64 / 31.0;
+                (y, truth.dose_at(y))
+            })
+            .collect();
+        let fit = ScanRecipe::fit(&samples, coeffs.len() - 1).expect("fit");
+        for &(y, d) in &samples {
+            prop_assert!((fit.dose_at(y) - d).abs() < 1e-8);
+        }
+    }
+
+    /// Separable (slit + scan) maps are realized with ~zero residual; the
+    /// fit never *increases* the residual beyond the map's own variation.
+    #[test]
+    fn actuator_fit_residual_bounded(
+        a0 in -2.0f64..2.0,
+        a2 in -1.0f64..1.0,
+        l2 in -1.0f64..1.0,
+        rows in 4usize..12,
+        cols in 4usize..12,
+    ) {
+        let grid = DoseGrid::with_granularity(cols as f64 * 5.0, rows as f64 * 5.0, 5.0);
+        let mut vals = vec![0.0; grid.num_cells()];
+        for idx in 0..grid.num_cells() {
+            let (c, r) = grid.coords(idx);
+            let x = if grid.cols() > 1 { 2.0 * c as f64 / (grid.cols() - 1) as f64 - 1.0 } else { 0.0 };
+            let y = if grid.rows() > 1 { 2.0 * r as f64 / (grid.rows() - 1) as f64 - 1.0 } else { 0.0 };
+            vals[idx] = a0 + a2 * x * x + l2 * legendre(2, y);
+        }
+        let map = DoseMap::from_values(grid, vals);
+        let fit = actuator_fit(&map, 2, 2).expect("fit");
+        prop_assert!(fit.rms_residual_pct < 1e-6, "rms = {}", fit.rms_residual_pct);
+    }
+
+    /// Dose sensitivity round-trips.
+    #[test]
+    fn sensitivity_roundtrip(d in -5.0f64..5.0) {
+        let s = DoseSensitivity::default();
+        let back = s.dose_pct_for(s.cd_delta_nm(d));
+        prop_assert!((back - d).abs() < 1e-12);
+    }
+}

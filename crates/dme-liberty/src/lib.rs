@@ -1,0 +1,49 @@
+//! Liberty-style standard-cell library modeling and characterization.
+//!
+//! This crate replaces the foundry (Artisan TSMC 65 nm / 90 nm) timing and
+//! power libraries used by the paper. It provides:
+//!
+//! - [`Table2d`]: nonlinear-delay-model (NLDM) lookup tables indexed by
+//!   input slew × output load, with bilinear interpolation;
+//! - [`CellMaster`] / [`Library`]: 36 combinational and 9 sequential cell
+//!   masters per technology (the counts the paper reports), each modeled
+//!   as an equivalent inverter stage with series-stack and leg factors;
+//! - characterized *variants*: every cell's tables can be produced at any
+//!   gate-length delta `ΔL` (poly-layer dose) and gate-width delta `ΔW`
+//!   (active-layer dose), mirroring the paper's 21- and 441-variant
+//!   characterized library sets ([`VariantCache`]);
+//! - [`fit`]: least-squares calibration of the paper's surrogate
+//!   coefficients — `Ap`, `Bp` for delay (per slew/load table entry) and
+//!   `αp`, `βp`, `γp` for leakage — with the residual bookkeeping the
+//!   paper quotes (max SSR).
+//!
+//! # Example
+//!
+//! ```
+//! use dme_liberty::Library;
+//! use dme_device::Technology;
+//!
+//! let lib = Library::standard(Technology::n65());
+//! assert_eq!(lib.combinational_count(), 36);
+//! assert_eq!(lib.sequential_count(), 9);
+//! let inv = lib.cell_by_name("INVX1").expect("INVX1 exists");
+//! let tables = inv.characterize(lib.tech(), 0.0, 0.0, lib.axes());
+//! let d = tables.delay_worst(0.02, 2.0);
+//! assert!(d > 0.0);
+//! ```
+
+#![deny(missing_docs)]
+
+mod cell;
+pub mod fit;
+pub mod io;
+mod library;
+mod table;
+
+pub use cell::{CellFunction, CellMaster, CellTables};
+pub use library::{Library, TableAxes, VariantCache};
+pub use table::Table2d;
+
+/// Gate-length quantization step in nm used when snapping optimized doses
+/// to characterized library variants (0.5% dose × |−2 nm/%| sensitivity).
+pub const LENGTH_STEP_NM: f64 = 1.0;

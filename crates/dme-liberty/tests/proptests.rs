@@ -1,0 +1,74 @@
+//! Property-based tests for NLDM tables and cell characterization.
+
+use dme_device::Technology;
+use dme_liberty::{Library, Table2d};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Bilinear interpolation inside the grid stays within the min/max of
+    /// the four surrounding corners.
+    #[test]
+    fn interpolation_within_corner_hull(
+        values in proptest::collection::vec(0.0f64..10.0, 9),
+        fs in 0.0f64..1.0,
+        fl in 0.0f64..1.0,
+    ) {
+        let slews = [0.01, 0.05, 0.2];
+        let loads = [1.0, 4.0, 16.0];
+        let mut it = values.iter();
+        let t = Table2d::tabulate(&slews, &loads, |_, _| *it.next().expect("9 values"));
+        // Query inside a random cell of the grid.
+        let (i, j) = ((fs * 1.999) as usize, (fl * 1.999) as usize);
+        let s = slews[i] + (slews[i + 1] - slews[i]) * (fs * 2.0 - i as f64).clamp(0.0, 1.0);
+        let c = loads[j] + (loads[j + 1] - loads[j]) * (fl * 2.0 - j as f64).clamp(0.0, 1.0);
+        let v = t.lookup(s, c);
+        let corners = [t.at(i, j), t.at(i, j + 1), t.at(i + 1, j), t.at(i + 1, j + 1)];
+        let lo = corners.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = corners.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "{v} outside [{lo}, {hi}]");
+    }
+
+    /// Every cell master's delay is monotone in load and its leakage is
+    /// monotone decreasing in gate length, across the dose range.
+    #[test]
+    fn masters_are_electrically_sane(
+        cell_pick in 0usize..45,
+        dl in -10.0f64..10.0,
+        dw in -10.0f64..10.0,
+        slew in 0.005f64..0.3,
+    ) {
+        let lib = Library::standard(Technology::n65());
+        let cell = lib.cell(cell_pick % lib.cells().len());
+        let tech = lib.tech();
+        let d_small = cell.evaluate(tech, dl, dw, 2.0, slew);
+        let d_big = cell.evaluate(tech, dl, dw, 8.0, slew);
+        prop_assert!(d_big.0 > d_small.0 && d_big.1 > d_small.1, "load monotonicity");
+        // Leakage decreasing in L, increasing in W.
+        let leak = cell.leakage_nw(tech, dl, dw);
+        prop_assert!(cell.leakage_nw(tech, dl + 1.0, dw) < leak);
+        prop_assert!(cell.leakage_nw(tech, dl, dw + 5.0) > leak);
+        prop_assert!(leak > 0.0 && leak.is_finite());
+    }
+
+    /// Characterized tables reproduce direct evaluation at grid points
+    /// for arbitrary geometry deltas.
+    #[test]
+    fn characterization_matches_model(
+        cell_pick in 0usize..45,
+        dl in -10.0f64..10.0,
+        si in 0usize..7,
+        li in 0usize..7,
+    ) {
+        let lib = Library::standard(Technology::n65());
+        let idx = cell_pick % lib.cells().len();
+        let cell = lib.cell(idx);
+        let tables = cell.characterize(lib.tech(), dl, 0.0, lib.axes());
+        let s = lib.axes().slew_ns[si];
+        let c = lib.axes().load_ff[li];
+        let direct = cell.evaluate(lib.tech(), dl, 0.0, c, s);
+        prop_assert!((tables.delay_rise.lookup(s, c) - direct.0).abs() < 1e-12);
+        prop_assert!((tables.delay_fall.lookup(s, c) - direct.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,453 @@
+//! Deterministic synthetic design generation.
+//!
+//! The generator builds layered random logic: combinational cells are
+//! assigned to levels `1..=L`, each cell's inputs are drawn either from
+//! the immediately previous level (with probability `chain_bias` — this
+//! is what creates full-depth, near-critical paths) or from any earlier
+//! producer. Flip-flop outputs and primary inputs feed level 1; flip-flop
+//! D-pins and primary outputs absorb the deepest outputs. Drive strengths
+//! are upgraded after connectivity is known, based on fanout.
+
+use crate::graph::{InstId, Instance, Net, NetId, Netlist};
+use crate::profiles::DesignProfile;
+use dme_liberty::{CellFunction, Library};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated design: the netlist plus the profile that produced it.
+#[derive(Debug, Clone)]
+pub struct Design {
+    /// The synthesized netlist.
+    pub netlist: Netlist,
+    /// Generation parameters (carries die area for placement).
+    pub profile: DesignProfile,
+}
+
+/// Relative frequencies of combinational functions in generated logic,
+/// loosely matching the master mix of synthesized datapath + control.
+const FUNCTION_MIX: &[(CellFunction, f64)] = &[
+    (CellFunction::Inv, 0.17),
+    (CellFunction::Buf, 0.02),
+    (CellFunction::Nand(2), 0.16),
+    (CellFunction::Nor(2), 0.11),
+    (CellFunction::Nand(3), 0.07),
+    (CellFunction::Nor(3), 0.05),
+    (CellFunction::Nand(4), 0.03),
+    (CellFunction::Nor(4), 0.02),
+    (CellFunction::And(2), 0.06),
+    (CellFunction::Or(2), 0.05),
+    (CellFunction::Aoi21, 0.06),
+    (CellFunction::Oai21, 0.06),
+    (CellFunction::Aoi22, 0.03),
+    (CellFunction::Oai22, 0.03),
+    (CellFunction::Xor2, 0.04),
+    (CellFunction::Xnor2, 0.03),
+    (CellFunction::Mux2, 0.04),
+];
+
+fn sample_function(rng: &mut StdRng) -> CellFunction {
+    let total: f64 = FUNCTION_MIX.iter().map(|&(_, w)| w).sum();
+    let mut x = rng.gen::<f64>() * total;
+    for &(f, w) in FUNCTION_MIX {
+        if x < w {
+            return f;
+        }
+        x -= w;
+    }
+    CellFunction::Inv
+}
+
+fn master_name(f: CellFunction, x: u32) -> String {
+    // Reconstruct the library naming convention via a probe master name.
+    let prefix = match f {
+        CellFunction::Inv => "INV".to_string(),
+        CellFunction::Buf => "BUF".to_string(),
+        CellFunction::Nand(k) => format!("NAND{k}"),
+        CellFunction::Nor(k) => format!("NOR{k}"),
+        CellFunction::And(k) => format!("AND{k}"),
+        CellFunction::Or(k) => format!("OR{k}"),
+        CellFunction::Aoi21 => "AOI21".to_string(),
+        CellFunction::Oai21 => "OAI21".to_string(),
+        CellFunction::Aoi22 => "AOI22".to_string(),
+        CellFunction::Oai22 => "OAI22".to_string(),
+        CellFunction::Xor2 => "XOR2".to_string(),
+        CellFunction::Xnor2 => "XNOR2".to_string(),
+        CellFunction::Mux2 => "MUX2".to_string(),
+        CellFunction::Dff => "DFF".to_string(),
+        CellFunction::Dffr => "DFFR".to_string(),
+        CellFunction::Dffs => "DFFS".to_string(),
+        CellFunction::Dffrs => "DFFRS".to_string(),
+        CellFunction::Latch => "LATCH".to_string(),
+        CellFunction::Sdff => "SDFF".to_string(),
+    };
+    format!("{prefix}X{x}")
+}
+
+/// Generates a design from a profile against a library.
+///
+/// The function is deterministic for a given `(profile, library)` pair.
+///
+/// # Panics
+///
+/// Panics if the library is missing an X1 master of the function mix or
+/// the `DFFX1` master (the [`Library::standard`] libraries always have
+/// them), or if the profile has fewer than two levels.
+pub fn generate(profile: &DesignProfile, lib: &Library) -> Design {
+    assert!(profile.levels >= 2, "need at least 2 logic levels");
+    let mut rng = StdRng::seed_from_u64(profile.seed);
+    let n_total = profile.target_cells;
+    let n_seq = ((n_total as f64 * profile.seq_fraction) as usize).max(1);
+    let n_comb = n_total - n_seq;
+    let levels = profile.levels;
+
+    let mut nl = Netlist::default();
+
+    // Each producer carries a latent "lane" coordinate in [0, 1] — the
+    // bit-slice structure of real datapaths. Consumers draw their inputs
+    // from producers with nearby lanes, which gives the netlist genuine
+    // 2-D locality (level × lane) for the placer to recover.
+    let mut level_outputs: Vec<Vec<(f64, NetId)>> = vec![Vec::new(); levels + 1];
+
+    // --- primary inputs ---
+    for i in 0..profile.num_primary_inputs {
+        let id = NetId(nl.nets.len() as u32);
+        nl.nets.push(Net { name: format!("pi{i}"), ..Net::default() });
+        nl.primary_inputs.push(id);
+        let lane = (i as f64 + 0.5) / profile.num_primary_inputs.max(1) as f64;
+        level_outputs[0].push((lane, id));
+    }
+
+    // --- flip-flops (outputs feed level 0; D inputs connected later) ---
+    let dff_idx = lib.index_of("DFFX1").expect("DFFX1 in library");
+    let mut ff_ids = Vec::with_capacity(n_seq);
+    let mut ff_lanes = Vec::with_capacity(n_seq);
+    for i in 0..n_seq {
+        let out = NetId(nl.nets.len() as u32);
+        nl.nets.push(Net { name: format!("ffq{i}"), ..Net::default() });
+        let id = InstId(nl.instances.len() as u32);
+        nl.instances.push(Instance {
+            name: format!("ff{i}"),
+            cell_idx: dff_idx,
+            inputs: vec![NetId(u32::MAX)], // patched once logic exists
+            output: out,
+            is_sequential: true,
+        });
+        nl.nets[out.0 as usize].driver = Some(id);
+        let lane = (i as f64 + 0.5) / n_seq as f64;
+        level_outputs[0].push((lane, out));
+        ff_ids.push(id);
+        ff_lanes.push(lane);
+    }
+    level_outputs[0].sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite lanes"));
+
+    // --- distribute combinational cells across levels ---
+    // weight(ℓ) ∝ exp(−taper·(ℓ−1)/L); uniform when taper = 0.
+    let weights: Vec<f64> = (1..=levels)
+        .map(|l| (-profile.level_taper * (l - 1) as f64 / levels as f64).exp())
+        .collect();
+    let wsum: f64 = weights.iter().sum();
+    let mut per_level: Vec<usize> =
+        weights.iter().map(|w| ((w / wsum) * n_comb as f64).floor() as usize).collect();
+    // Guarantee at least one cell per level, then fix the total.
+    for c in per_level.iter_mut() {
+        if *c == 0 {
+            *c = 1;
+        }
+    }
+    let mut assigned: usize = per_level.iter().sum();
+    let mut l = 0usize;
+    while assigned < n_comb {
+        per_level[l % levels] += 1;
+        assigned += 1;
+        l += 1;
+    }
+    while assigned > n_comb {
+        let idx = per_level.iter().enumerate().max_by_key(|&(_, &c)| c).map(|(i, _)| i).unwrap_or(0);
+        per_level[idx] -= 1;
+        assigned -= 1;
+    }
+
+    // --- create combinational cells level by level ---
+    // `pick_near` selects a producer with a lane close to the target lane
+    // (triangular jitter), implementing the bit-slice locality.
+    fn pick_near(pool: &[(f64, NetId)], lane: f64, sigma: f64, rng: &mut StdRng) -> NetId {
+        let n = pool.len();
+        let jitter = (rng.gen::<f64>() + rng.gen::<f64>() - 1.0) * sigma;
+        let idx = ((lane + jitter) * n as f64).floor().clamp(0.0, n as f64 - 1.0) as usize;
+        pool[idx].1
+    }
+    // Designs like AES are built from S structurally identical slices
+    // (byte columns); stamping the same random draws into S lane bands
+    // reproduces the resulting path-delay degeneracy (the near-critical
+    // "hill" of Table VII). `slices = 1` is plain random logic.
+    let slices = profile.slices.max(1);
+    for (lvl_m1, &count) in per_level.iter().enumerate() {
+        let level = lvl_m1 + 1;
+        let stamped = count / slices;
+        let remainder = count - stamped * slices;
+        // Shared draws for the stamped positions of this level.
+        #[derive(Clone)]
+        struct Draw {
+            f: CellFunction,
+            lane_frac: f64,
+            pin_src: Vec<(bool, f64, f64)>, // (chain?, level_frac, jitter)
+        }
+        let mut draws = Vec::with_capacity(stamped);
+        for _ in 0..stamped {
+            let f = sample_function(&mut rng);
+            let pin_src = (0..f.num_inputs())
+                .map(|_| {
+                    (
+                        rng.gen::<f64>() < profile.chain_bias,
+                        rng.gen::<f64>(),
+                        rng.gen::<f64>() + rng.gen::<f64>() - 1.0,
+                    )
+                })
+                .collect();
+            draws.push(Draw { f, lane_frac: rng.gen(), pin_src });
+        }
+        let emit = |f: CellFunction,
+                        lane: f64,
+                        pin_src: &[(bool, f64, f64)],
+                        nl: &mut Netlist,
+                        level_outputs: &mut Vec<Vec<(f64, NetId)>>| {
+            let cell_idx = lib
+                .index_of(&master_name(f, 1))
+                .unwrap_or_else(|| panic!("{} in library", master_name(f, 1)));
+            let mut inputs = Vec::with_capacity(pin_src.len());
+            for &(chain, lvl_frac, jitter) in pin_src {
+                let src_level = if chain || level == 1 {
+                    level - 1
+                } else {
+                    (lvl_frac * (level - 1) as f64) as usize
+                };
+                let mut sl = src_level;
+                while level_outputs[sl].is_empty() {
+                    sl -= 1;
+                }
+                let pool = &level_outputs[sl];
+                let idx = ((lane + jitter * 0.08) * pool.len() as f64)
+                    .floor()
+                    .clamp(0.0, pool.len() as f64 - 1.0) as usize;
+                // Fanout capping (what buffer-tree synthesis achieves in a
+                // real flow): probe outward for a less-loaded producer so
+                // no net ends up with a drive-killing pin count.
+                const FANOUT_CAP: usize = 8;
+                let mut best = pool[idx].1;
+                for probe in 0..20usize {
+                    let off = (probe + 1) / 2;
+                    let cand = if probe % 2 == 0 { idx + off } else { idx.wrapping_sub(off) };
+                    if nl.nets[best.0 as usize].sinks.len() < FANOUT_CAP {
+                        break;
+                    }
+                    if let Some(&(_, c)) = cand.checked_sub(0).and_then(|ci| pool.get(ci)) {
+                        if nl.nets[c.0 as usize].sinks.len()
+                            < nl.nets[best.0 as usize].sinks.len()
+                        {
+                            best = c;
+                        }
+                    }
+                }
+                inputs.push(best);
+            }
+            let out = NetId(nl.nets.len() as u32);
+            nl.nets.push(Net { name: format!("n{}", out.0), ..Net::default() });
+            let id = InstId(nl.instances.len() as u32);
+            for (pin, &net) in inputs.iter().enumerate() {
+                nl.nets[net.0 as usize].sinks.push((id, pin));
+            }
+            nl.instances.push(Instance {
+                name: format!("u{}", id.0),
+                cell_idx,
+                inputs,
+                output: out,
+                is_sequential: false,
+            });
+            nl.nets[out.0 as usize].driver = Some(id);
+            level_outputs[level].push((lane, out));
+        };
+        for s in 0..slices {
+            for d in &draws {
+                // Mirror the draw into slice s's lane band.
+                let lane = (s as f64 + d.lane_frac) / slices as f64;
+                emit(d.f, lane, &d.pin_src, &mut nl, &mut level_outputs);
+            }
+        }
+        for _ in 0..remainder {
+            let f = sample_function(&mut rng);
+            let pin_src: Vec<(bool, f64, f64)> = (0..f.num_inputs())
+                .map(|_| {
+                    (
+                        rng.gen::<f64>() < profile.chain_bias,
+                        rng.gen::<f64>(),
+                        rng.gen::<f64>() + rng.gen::<f64>() - 1.0,
+                    )
+                })
+                .collect();
+            let lane: f64 = rng.gen();
+            emit(f, lane, &pin_src, &mut nl, &mut level_outputs);
+        }
+        level_outputs[level].sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite lanes"));
+    }
+
+    // --- connect flip-flop D inputs to deep logic ---
+    // Deep levels make register-to-register paths the critical ones; the
+    // profile controls how deep the taps reach (Table VII shaping).
+    let deep_start = ((levels as f64 * profile.ff_tap_deep_frac) as usize).min(levels - 1);
+    let mut deep_pool: Vec<(f64, NetId)> =
+        level_outputs[deep_start..].iter().flatten().copied().collect();
+    let mut any_pool: Vec<(f64, NetId)> =
+        level_outputs[1..].iter().flatten().copied().collect();
+    deep_pool.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite lanes"));
+    any_pool.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite lanes"));
+    for (k, &ff) in ff_ids.iter().enumerate() {
+        let pool = if deep_pool.is_empty() { &any_pool } else { &deep_pool };
+        let net = pick_near(pool, ff_lanes[k], 0.1, &mut rng);
+        let inst = &mut nl.instances[ff.0 as usize];
+        inst.inputs[0] = net;
+        nl.nets[net.0 as usize].sinks.push((ff, 0));
+    }
+
+    // --- primary outputs: every net without sinks becomes a PO ---
+    for i in 0..nl.nets.len() {
+        if nl.nets[i].sinks.is_empty() && nl.nets[i].driver.is_some() {
+            nl.nets[i].is_primary_output = true;
+            nl.primary_outputs.push(NetId(i as u32));
+        }
+    }
+
+    // --- fanout-based drive upgrades ---
+    upgrade_drives(&mut nl, lib);
+
+    Design { netlist: nl, profile: profile.clone() }
+}
+
+/// Upgrades cell drive strengths based on fanout: nets with heavy fanout
+/// get stronger drivers (INV/BUF up to X8, everything else up to X2).
+fn upgrade_drives(nl: &mut Netlist, lib: &Library) {
+    for i in 0..nl.instances.len() {
+        let inst = &nl.instances[i];
+        if inst.is_sequential {
+            continue;
+        }
+        let fanout = nl.nets[inst.output.0 as usize].sinks.len();
+        let master = lib.cell(inst.cell_idx);
+        let f = master.function();
+        let want_x = match f {
+            CellFunction::Inv | CellFunction::Buf => {
+                if fanout > 10 {
+                    8
+                } else if fanout > 6 {
+                    4
+                } else if fanout > 3 {
+                    2
+                } else {
+                    1
+                }
+            }
+            _ => {
+                if fanout > 3 {
+                    2
+                } else {
+                    1
+                }
+            }
+        };
+        if want_x > 1 {
+            if let Some(idx) = lib.index_of(&master_name(f, want_x)) {
+                nl.instances[i].cell_idx = idx;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles;
+    use dme_device::Technology;
+
+    fn lib65() -> Library {
+        Library::standard(Technology::n65())
+    }
+
+    #[test]
+    fn tiny_design_is_valid() {
+        let lib = lib65();
+        let d = generate(&profiles::tiny(), &lib);
+        d.netlist.validate(&lib).expect("valid netlist");
+        assert_eq!(d.netlist.num_instances(), profiles::tiny().target_cells);
+        assert_eq!(
+            d.netlist.num_nets(),
+            profiles::tiny().target_cells + profiles::tiny().num_primary_inputs
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let lib = lib65();
+        let a = generate(&profiles::tiny(), &lib);
+        let b = generate(&profiles::tiny(), &lib);
+        assert_eq!(a.netlist.instances.len(), b.netlist.instances.len());
+        for (x, y) in a.netlist.instances.iter().zip(&b.netlist.instances) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let lib = lib65();
+        let mut p2 = profiles::tiny();
+        p2.seed = 8;
+        let a = generate(&profiles::tiny(), &lib);
+        let b = generate(&p2, &lib);
+        let same = a
+            .netlist
+            .instances
+            .iter()
+            .zip(&b.netlist.instances)
+            .all(|(x, y)| x.inputs == y.inputs);
+        assert!(!same, "seeds must alter connectivity");
+    }
+
+    #[test]
+    fn small_design_has_expected_shape() {
+        let lib = lib65();
+        let d = generate(&profiles::small(), &lib);
+        d.netlist.validate(&lib).expect("valid");
+        let n_seq = d.netlist.instances.iter().filter(|i| i.is_sequential).count();
+        let frac = n_seq as f64 / d.netlist.num_instances() as f64;
+        assert!((frac - 0.12).abs() < 0.01, "seq fraction = {frac}");
+        // Topological order exists and covers everything.
+        let order = d.netlist.topo_order().expect("acyclic");
+        assert_eq!(order.len(), d.netlist.num_instances());
+    }
+
+    #[test]
+    fn drive_upgrades_follow_fanout() {
+        let lib = lib65();
+        let d = generate(&profiles::small(), &lib);
+        for inst in &d.netlist.instances {
+            let fanout = d.netlist.net(inst.output).sinks.len();
+            let drive = lib.cell(inst.cell_idx).drive();
+            if fanout > 10 && !inst.is_sequential {
+                assert!(drive >= 2.0, "{}: fanout {fanout} at drive {drive}", inst.name);
+            }
+        }
+    }
+
+    #[test]
+    fn primary_outputs_cover_all_dangling_nets() {
+        let lib = lib65();
+        let d = generate(&profiles::tiny(), &lib);
+        for (i, net) in d.netlist.nets.iter().enumerate() {
+            if net.driver.is_some() && net.sinks.is_empty() {
+                assert!(
+                    net.is_primary_output,
+                    "net {i} dangles without being a primary output"
+                );
+            }
+        }
+        assert!(!d.netlist.primary_outputs.is_empty());
+    }
+}

@@ -1,0 +1,370 @@
+//! Netlist data structures: instances, nets and the timing DAG.
+
+use dme_liberty::Library;
+use std::error::Error;
+use std::fmt;
+
+/// Identifier of a cell instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InstId(pub u32);
+
+/// Identifier of a net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NetId(pub u32);
+
+impl fmt::Display for InstId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// One placed-and-routed standard-cell instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instance {
+    /// Instance name, unique within the netlist.
+    pub name: String,
+    /// Index of the cell master in the [`Library`].
+    pub cell_idx: usize,
+    /// Input nets, one per data pin.
+    pub inputs: Vec<NetId>,
+    /// The single output net.
+    pub output: NetId,
+    /// Whether this instance is sequential (cached from the master).
+    pub is_sequential: bool,
+}
+
+/// One net: a driver and its fanout pins.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Net {
+    /// Net name.
+    pub name: String,
+    /// The driving instance, or `None` for a primary input.
+    pub driver: Option<InstId>,
+    /// Fanout: `(instance, input-pin index)` pairs.
+    pub sinks: Vec<(InstId, usize)>,
+    /// Whether the net also feeds a primary output pad.
+    pub is_primary_output: bool,
+}
+
+/// A gate-level netlist.
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    /// All instances; `InstId` indexes into this.
+    pub instances: Vec<Instance>,
+    /// All nets; `NetId` indexes into this.
+    pub nets: Vec<Net>,
+    /// Primary input nets.
+    pub primary_inputs: Vec<NetId>,
+    /// Primary output nets.
+    pub primary_outputs: Vec<NetId>,
+}
+
+/// Netlist consistency violations found by [`Netlist::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// An instance references a cell index outside the library.
+    BadCellIndex(InstId),
+    /// Pin count differs from the master's input count.
+    PinCountMismatch(InstId),
+    /// A net's recorded driver/sink does not match the instance pins.
+    InconsistentNet(NetId),
+    /// A net has no driver and is not a primary input.
+    UndrivenNet(NetId),
+    /// The combinational part of the netlist contains a cycle.
+    CombinationalCycle,
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::BadCellIndex(i) => write!(f, "instance {i} has a bad cell index"),
+            ValidateError::PinCountMismatch(i) => write!(f, "instance {i} pin count mismatch"),
+            ValidateError::InconsistentNet(n) => write!(f, "net {n} is inconsistent"),
+            ValidateError::UndrivenNet(n) => write!(f, "net {n} has no driver"),
+            ValidateError::CombinationalCycle => write!(f, "combinational cycle detected"),
+        }
+    }
+}
+
+impl Error for ValidateError {}
+
+impl Netlist {
+    /// Number of cell instances.
+    pub fn num_instances(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Number of nets.
+    pub fn num_nets(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Instance by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn instance(&self, id: InstId) -> &Instance {
+        &self.instances[id.0 as usize]
+    }
+
+    /// Net by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.0 as usize]
+    }
+
+    /// Iterator over all instance ids.
+    pub fn inst_ids(&self) -> impl Iterator<Item = InstId> {
+        (0..self.instances.len() as u32).map(InstId)
+    }
+
+    /// Combinational fanin instances of `id`: drivers of its input nets
+    /// that are combinational. Sequential drivers and primary inputs are
+    /// timing startpoints and excluded.
+    pub fn comb_fanin(&self, id: InstId) -> Vec<InstId> {
+        let mut fanin = Vec::new();
+        for &net in &self.instance(id).inputs {
+            if let Some(drv) = self.net(net).driver {
+                if !self.instance(drv).is_sequential {
+                    fanin.push(drv);
+                }
+            }
+        }
+        fanin
+    }
+
+    /// Topological order of the *combinational timing graph*: every
+    /// combinational instance appears after all its combinational fanins.
+    /// Sequential instances appear first (they are startpoints: their
+    /// clk→Q arc does not depend on their D input within a cycle).
+    ///
+    /// Returns `None` if the combinational part contains a cycle.
+    pub fn topo_order(&self) -> Option<Vec<InstId>> {
+        let n = self.instances.len();
+        let mut indegree = vec![0u32; n];
+        let mut order = Vec::with_capacity(n);
+        let mut queue: Vec<InstId> = Vec::new();
+        for id in self.inst_ids() {
+            if self.instance(id).is_sequential {
+                queue.push(id);
+                continue;
+            }
+            let deg = self.comb_fanin(id).len() as u32;
+            indegree[id.0 as usize] = deg;
+            if deg == 0 {
+                queue.push(id);
+            }
+        }
+        // Process in id order for determinism.
+        queue.sort_unstable();
+        let mut head = 0;
+        while head < queue.len() {
+            let id = queue[head];
+            head += 1;
+            order.push(id);
+            if self.instance(id).is_sequential {
+                // Arcs out of sequential cells are startpoints: they were
+                // never counted in any sink's combinational indegree.
+                continue;
+            }
+            // Successors: combinational sinks of the output net.
+            for &(sink, _) in &self.net(self.instance(id).output).sinks {
+                if self.instance(sink).is_sequential {
+                    continue;
+                }
+                let d = &mut indegree[sink.0 as usize];
+                debug_assert!(*d > 0, "indegree underflow at {sink}");
+                *d -= 1;
+                if *d == 0 {
+                    queue.push(sink);
+                }
+            }
+        }
+        if order.len() == n {
+            Some(order)
+        } else {
+            None
+        }
+    }
+
+    /// The paper's node indexing: reverse topological order with the
+    /// fictitious sink as node 0 and the fictitious source as node `n+1`.
+    /// Returns `index[i] = paper node number of instance i`.
+    pub fn paper_indexing(&self) -> Option<Vec<usize>> {
+        let order = self.topo_order()?;
+        let n = order.len();
+        let mut index = vec![0usize; n];
+        // Reverse topological: last instance in topo order gets 1, the
+        // first gets n (sink = 0, source = n + 1).
+        for (pos, id) in order.iter().enumerate() {
+            index[id.0 as usize] = n - pos;
+        }
+        Some(index)
+    }
+
+    /// Validates structural consistency against a library.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ValidateError`] found.
+    pub fn validate(&self, lib: &Library) -> Result<(), ValidateError> {
+        for id in self.inst_ids() {
+            let inst = self.instance(id);
+            if inst.cell_idx >= lib.cells().len() {
+                return Err(ValidateError::BadCellIndex(id));
+            }
+            let master = lib.cell(inst.cell_idx);
+            if master.num_inputs() != inst.inputs.len() {
+                return Err(ValidateError::PinCountMismatch(id));
+            }
+            if master.is_sequential() != inst.is_sequential {
+                return Err(ValidateError::BadCellIndex(id));
+            }
+            // Output net must list this instance as driver.
+            if self.net(inst.output).driver != Some(id) {
+                return Err(ValidateError::InconsistentNet(inst.output));
+            }
+            // Every input net must list this pin as a sink.
+            for (pin, &net) in inst.inputs.iter().enumerate() {
+                if !self.net(net).sinks.contains(&(id, pin)) {
+                    return Err(ValidateError::InconsistentNet(net));
+                }
+            }
+        }
+        for (i, net) in self.nets.iter().enumerate() {
+            let nid = NetId(i as u32);
+            if net.driver.is_none() && !self.primary_inputs.contains(&nid) {
+                return Err(ValidateError::UndrivenNet(nid));
+            }
+            for &(sink, pin) in &net.sinks {
+                if self.instance(sink).inputs.get(pin) != Some(&nid) {
+                    return Err(ValidateError::InconsistentNet(nid));
+                }
+            }
+        }
+        if self.topo_order().is_none() {
+            return Err(ValidateError::CombinationalCycle);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dme_device::Technology;
+
+    /// Builds inv chain: PI -> INV0 -> INV1 -> PO with a DFF tapping INV0.
+    fn small(lib: &Library) -> Netlist {
+        let inv = lib.index_of("INVX1").unwrap();
+        let dff = lib.index_of("DFFX1").unwrap();
+        let mut nl = Netlist::default();
+        for i in 0..4 {
+            nl.nets.push(Net { name: format!("n{i}"), ..Net::default() });
+        }
+        nl.primary_inputs.push(NetId(0));
+        nl.instances.push(Instance {
+            name: "u0".into(),
+            cell_idx: inv,
+            inputs: vec![NetId(0)],
+            output: NetId(1),
+            is_sequential: false,
+        });
+        nl.instances.push(Instance {
+            name: "u1".into(),
+            cell_idx: inv,
+            inputs: vec![NetId(1)],
+            output: NetId(2),
+            is_sequential: false,
+        });
+        nl.instances.push(Instance {
+            name: "ff0".into(),
+            cell_idx: dff,
+            inputs: vec![NetId(1)],
+            output: NetId(3),
+            is_sequential: true,
+        });
+        nl.nets[0].sinks.push((InstId(0), 0));
+        nl.nets[1].driver = Some(InstId(0));
+        nl.nets[1].sinks.push((InstId(1), 0));
+        nl.nets[1].sinks.push((InstId(2), 0));
+        nl.nets[2].driver = Some(InstId(1));
+        nl.nets[2].is_primary_output = true;
+        nl.nets[3].driver = Some(InstId(2));
+        nl.primary_outputs.push(NetId(2));
+        nl
+    }
+
+    #[test]
+    fn valid_netlist_passes_validation() {
+        let lib = Library::standard(Technology::n65());
+        let nl = small(&lib);
+        assert_eq!(nl.validate(&lib), Ok(()));
+    }
+
+    #[test]
+    fn topo_order_respects_dependencies() {
+        let lib = Library::standard(Technology::n65());
+        let nl = small(&lib);
+        let order = nl.topo_order().unwrap();
+        let pos =
+            |id: u32| order.iter().position(|&x| x == InstId(id)).expect("present");
+        assert!(pos(0) < pos(1), "u0 before u1");
+        assert_eq!(order.len(), 3);
+    }
+
+    #[test]
+    fn paper_indexing_reverses_topo_order() {
+        let lib = Library::standard(Technology::n65());
+        let nl = small(&lib);
+        let idx = nl.paper_indexing().unwrap();
+        // u1 is downstream of u0, so u1's paper index is smaller (closer
+        // to the sink, which is node 0).
+        assert!(idx[1] < idx[0]);
+        // All indices in 1..=n.
+        for &v in &idx {
+            assert!(v >= 1 && v <= nl.num_instances());
+        }
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        let lib = Library::standard(Technology::n65());
+        let mut nl = small(&lib);
+        // Feed u1's output back into u0 (replace the PI connection).
+        nl.instances[0].inputs[0] = NetId(2);
+        nl.nets[0].sinks.clear();
+        nl.nets[2].sinks.push((InstId(0), 0));
+        assert_eq!(nl.validate(&lib), Err(ValidateError::CombinationalCycle));
+    }
+
+    #[test]
+    fn dangling_driverless_net_is_reported() {
+        let lib = Library::standard(Technology::n65());
+        let mut nl = small(&lib);
+        nl.primary_inputs.clear(); // net 0 now has no driver and no PI status
+        assert_eq!(nl.validate(&lib), Err(ValidateError::UndrivenNet(NetId(0))));
+    }
+
+    #[test]
+    fn comb_fanin_excludes_sequential_drivers() {
+        let lib = Library::standard(Technology::n65());
+        let mut nl = small(&lib);
+        // Make u1 read from the DFF output instead of INV0.
+        nl.instances[1].inputs[0] = NetId(3);
+        nl.nets[1].sinks.retain(|&(i, _)| i != InstId(1));
+        nl.nets[3].sinks.push((InstId(1), 0));
+        assert!(nl.validate(&lib).is_ok());
+        assert!(nl.comb_fanin(InstId(1)).is_empty());
+    }
+}

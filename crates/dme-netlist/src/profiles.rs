@@ -1,0 +1,230 @@
+//! Design profiles matching the paper's testcases (Table I).
+//!
+//! Each profile describes a synthetic design: size (cells, primary
+//! inputs, die area) taken directly from Table I, and *shape* parameters
+//! tuned so the generated logic reproduces the slack-criticality
+//! distribution of Table VII — the AES designs have a broad "hill" of
+//! near-critical paths, the JPEG designs a thin critical tail.
+
+/// Technology node selector for a profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TechNode {
+    /// 65 nm node.
+    N65,
+    /// 90 nm node.
+    N90,
+}
+
+/// Parameters controlling synthetic design generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignProfile {
+    /// Design name, e.g. `"AES-65"`.
+    pub name: String,
+    /// Technology node.
+    pub node: TechNode,
+    /// Total cell-instance target (combinational + sequential).
+    pub target_cells: usize,
+    /// Number of primary inputs (Table I: `#Nets − #Cells`).
+    pub num_primary_inputs: usize,
+    /// Fraction of instances that are flip-flops.
+    pub seq_fraction: f64,
+    /// Number of combinational logic levels.
+    pub levels: usize,
+    /// Probability that a cell input comes from the immediately previous
+    /// level (high values create many full-depth, near-critical paths).
+    pub chain_bias: f64,
+    /// Exponential taper of cells across levels: 0 = uniform (all levels
+    /// equally populated, AES-like), larger = front-loaded (few deep
+    /// cells, JPEG-like thin critical tail).
+    pub level_taper: f64,
+    /// Number of structurally identical slices the logic is stamped from
+    /// (AES-like designs repeat a byte-slice ~16×, which makes many path
+    /// delays degenerate); 1 = fully random logic.
+    pub slices: usize,
+    /// Fraction of the level range whose outputs feed flip-flop D pins:
+    /// e.g. 0.9 taps only the deepest 10% of levels (many near-critical
+    /// register-to-register paths), 0.5 taps the deepest half (spread
+    /// path-depth distribution).
+    pub ff_tap_deep_frac: f64,
+    /// Die area in mm² (Table I).
+    pub die_area_mm2: f64,
+    /// Placement utilization assumed when sizing rows.
+    pub utilization: f64,
+    /// Generator seed (all generation is deterministic).
+    pub seed: u64,
+}
+
+impl DesignProfile {
+    /// Returns a proportionally scaled-down profile (cells, inputs and
+    /// area shrink together). Useful for fast tests and examples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not in `(0, 1]`.
+    pub fn scaled(&self, factor: f64) -> DesignProfile {
+        assert!(factor > 0.0 && factor <= 1.0, "scale factor must be in (0, 1]");
+        DesignProfile {
+            name: format!("{}@{factor:.2}", self.name),
+            target_cells: ((self.target_cells as f64 * factor) as usize).max(40),
+            num_primary_inputs: ((self.num_primary_inputs as f64 * factor) as usize).max(4),
+            die_area_mm2: self.die_area_mm2 * factor,
+            ..self.clone()
+        }
+    }
+}
+
+/// AES-65: 16 187 cells, 16 450 nets, 0.058 mm² (Table I). Table VII puts
+/// 16.5% of its paths within 95–100% of MCT — a dense near-critical hill.
+pub fn aes65() -> DesignProfile {
+    DesignProfile {
+        name: "AES-65".into(),
+        node: TechNode::N65,
+        target_cells: 16_187,
+        num_primary_inputs: 263,
+        seq_fraction: 0.12,
+        levels: 34,
+        chain_bias: 0.93,
+        level_taper: 0.0,
+        slices: 16,
+        ff_tap_deep_frac: 0.93,
+        die_area_mm2: 0.058,
+        utilization: 0.7,
+        seed: 0xAE5_65,
+    }
+}
+
+/// JPEG-65: 68 286 cells, 68 311 nets, 0.268 mm²; 4.8% of paths within
+/// 95–100% of MCT.
+pub fn jpeg65() -> DesignProfile {
+    DesignProfile {
+        name: "JPEG-65".into(),
+        node: TechNode::N65,
+        target_cells: 68_286,
+        num_primary_inputs: 25,
+        seq_fraction: 0.10,
+        levels: 46,
+        chain_bias: 0.72,
+        level_taper: 1.2,
+        slices: 4,
+        ff_tap_deep_frac: 0.85,
+        die_area_mm2: 0.268,
+        utilization: 0.7,
+        seed: 0x19E6_65,
+    }
+}
+
+/// AES-90: 21 944 cells, 22 581 nets, 0.25 mm²; only 0.91% of paths
+/// within 95–100% of MCT (a thin critical tail).
+pub fn aes90() -> DesignProfile {
+    DesignProfile {
+        name: "AES-90".into(),
+        node: TechNode::N90,
+        target_cells: 21_944,
+        num_primary_inputs: 637,
+        seq_fraction: 0.12,
+        levels: 30,
+        chain_bias: 0.60,
+        level_taper: 2.2,
+        slices: 4,
+        ff_tap_deep_frac: 0.6,
+        die_area_mm2: 0.25,
+        utilization: 0.7,
+        seed: 0xAE5_90,
+    }
+}
+
+/// JPEG-90: 98 555 cells, 105 955 nets, 1.09 mm²; 0.12% of paths within
+/// 95–100% of MCT.
+pub fn jpeg90() -> DesignProfile {
+    DesignProfile {
+        name: "JPEG-90".into(),
+        node: TechNode::N90,
+        target_cells: 98_555,
+        num_primary_inputs: 7_400,
+        seq_fraction: 0.10,
+        levels: 42,
+        chain_bias: 0.52,
+        level_taper: 3.0,
+        slices: 1,
+        ff_tap_deep_frac: 0.5,
+        die_area_mm2: 1.09,
+        utilization: 0.7,
+        seed: 0x19E6_90,
+    }
+}
+
+/// All four paper testcases in Table I order.
+pub fn paper_testcases() -> Vec<DesignProfile> {
+    vec![aes65(), jpeg65(), aes90(), jpeg90()]
+}
+
+/// A tiny design for unit tests (fast, but structurally complete).
+pub fn tiny() -> DesignProfile {
+    DesignProfile {
+        name: "TINY".into(),
+        node: TechNode::N65,
+        target_cells: 120,
+        num_primary_inputs: 8,
+        seq_fraction: 0.15,
+        levels: 8,
+        chain_bias: 0.8,
+        level_taper: 0.0,
+        slices: 1,
+        ff_tap_deep_frac: 0.75,
+        die_area_mm2: 0.0006,
+        utilization: 0.7,
+        seed: 7,
+    }
+}
+
+/// A small-but-realistic design (~2 000 cells) for examples and
+/// integration tests.
+pub fn small() -> DesignProfile {
+    DesignProfile {
+        name: "SMALL".into(),
+        node: TechNode::N65,
+        target_cells: 2_000,
+        num_primary_inputs: 48,
+        seq_fraction: 0.12,
+        levels: 20,
+        chain_bias: 0.85,
+        level_taper: 0.0,
+        slices: 4,
+        ff_tap_deep_frac: 0.8,
+        die_area_mm2: 0.0075,
+        utilization: 0.7,
+        seed: 42,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_sizes_are_preserved() {
+        assert_eq!(aes65().target_cells, 16_187);
+        assert_eq!(jpeg65().target_cells, 68_286);
+        assert_eq!(aes90().target_cells, 21_944);
+        assert_eq!(jpeg90().target_cells, 98_555);
+        // Net counts are cells + primary inputs.
+        assert_eq!(aes65().target_cells + aes65().num_primary_inputs, 16_450);
+        assert_eq!(jpeg65().target_cells + jpeg65().num_primary_inputs, 68_311);
+        assert_eq!(aes90().target_cells + aes90().num_primary_inputs, 22_581);
+        assert_eq!(jpeg90().target_cells + jpeg90().num_primary_inputs, 105_955);
+    }
+
+    #[test]
+    fn scaling_shrinks_proportionally() {
+        let p = aes65().scaled(0.1);
+        assert!(p.target_cells >= 1_600 && p.target_cells <= 1_620);
+        assert!((p.die_area_mm2 - 0.0058).abs() < 1e-9);
+        assert_eq!(p.levels, aes65().levels);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor")]
+    fn scaling_rejects_bad_factor() {
+        let _ = aes65().scaled(0.0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Netlist statistics (Table I reporting).
+
+use crate::graph::Netlist;
+
+/// Summary statistics of a netlist, matching the columns of the paper's
+/// Table I plus structural extras.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetlistStats {
+    /// Total cell instances.
+    pub num_instances: usize,
+    /// Combinational instances.
+    pub num_combinational: usize,
+    /// Sequential instances.
+    pub num_sequential: usize,
+    /// Total nets.
+    pub num_nets: usize,
+    /// Primary inputs.
+    pub num_primary_inputs: usize,
+    /// Primary outputs.
+    pub num_primary_outputs: usize,
+    /// Maximum net fanout.
+    pub max_fanout: usize,
+    /// Average net fanout (sinks per driven net).
+    pub avg_fanout: f64,
+    /// Longest combinational level depth.
+    pub max_level: usize,
+}
+
+/// Computes [`NetlistStats`] for a netlist.
+pub fn compute(nl: &Netlist) -> NetlistStats {
+    let num_sequential = nl.instances.iter().filter(|i| i.is_sequential).count();
+    let driven: Vec<usize> = nl
+        .nets
+        .iter()
+        .filter(|n| n.driver.is_some() || !n.sinks.is_empty())
+        .map(|n| n.sinks.len())
+        .collect();
+    let max_fanout = driven.iter().copied().max().unwrap_or(0);
+    let avg_fanout = if driven.is_empty() {
+        0.0
+    } else {
+        driven.iter().sum::<usize>() as f64 / driven.len() as f64
+    };
+    NetlistStats {
+        num_instances: nl.num_instances(),
+        num_combinational: nl.num_instances() - num_sequential,
+        num_sequential,
+        num_nets: nl.num_nets(),
+        num_primary_inputs: nl.primary_inputs.len(),
+        num_primary_outputs: nl.primary_outputs.len(),
+        max_fanout,
+        avg_fanout,
+        max_level: levels(nl),
+    }
+}
+
+/// Longest combinational depth (in gates) from any startpoint.
+pub fn levels(nl: &Netlist) -> usize {
+    let Some(order) = nl.topo_order() else { return 0 };
+    let mut level = vec![0usize; nl.num_instances()];
+    let mut max = 0;
+    for id in order {
+        if nl.instance(id).is_sequential {
+            continue;
+        }
+        let lvl = nl
+            .comb_fanin(id)
+            .iter()
+            .map(|f| level[f.0 as usize] + 1)
+            .max()
+            .unwrap_or(1);
+        level[id.0 as usize] = lvl;
+        max = max.max(lvl);
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{gen, profiles};
+    use dme_device::Technology;
+    use dme_liberty::Library;
+
+    #[test]
+    fn stats_agree_with_profile() {
+        let lib = Library::standard(Technology::n65());
+        let p = profiles::tiny();
+        let d = gen::generate(&p, &lib);
+        let s = compute(&d.netlist);
+        assert_eq!(s.num_instances, p.target_cells);
+        assert_eq!(s.num_primary_inputs, p.num_primary_inputs);
+        assert_eq!(s.num_nets, p.target_cells + p.num_primary_inputs);
+        assert!(s.max_level <= p.levels);
+        assert!(s.max_level >= p.levels / 2, "depth collapsed: {}", s.max_level);
+        assert!(s.avg_fanout > 1.0 && s.avg_fanout < 6.0, "fanout = {}", s.avg_fanout);
+    }
+}

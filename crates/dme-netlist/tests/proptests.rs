@@ -1,0 +1,106 @@
+//! Property-based tests for generated netlists.
+
+use dme_device::Technology;
+use dme_liberty::Library;
+use dme_netlist::{gen, profiles::TechNode, DesignProfile};
+use proptest::prelude::*;
+
+fn random_profile() -> impl Strategy<Value = DesignProfile> {
+    (
+        60usize..400,
+        2usize..32,
+        0.05f64..0.25,
+        3usize..16,
+        0.3f64..0.95,
+        0.0f64..3.0,
+        1usize..6,
+        0.3f64..0.95,
+        any::<u64>(),
+    )
+        .prop_map(
+            |(cells, pis, seq, levels, bias, taper, slices, tap, seed)| DesignProfile {
+                name: "PROP".into(),
+                node: TechNode::N65,
+                target_cells: cells,
+                num_primary_inputs: pis,
+                seq_fraction: seq,
+                levels,
+                chain_bias: bias,
+                level_taper: taper,
+                slices,
+                ff_tap_deep_frac: tap,
+                die_area_mm2: cells as f64 * 4.0e-6, // generous density
+                utilization: 0.7,
+                seed,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any profile in the supported envelope produces a structurally
+    /// valid, acyclic netlist with the exact requested size.
+    #[test]
+    fn generated_netlists_are_valid(profile in random_profile()) {
+        let lib = Library::standard(Technology::n65());
+        let d = gen::generate(&profile, &lib);
+        prop_assert_eq!(d.netlist.num_instances(), profile.target_cells);
+        prop_assert_eq!(
+            d.netlist.num_nets(),
+            profile.target_cells + profile.num_primary_inputs
+        );
+        d.netlist.validate(&lib).expect("valid netlist");
+        let order = d.netlist.topo_order().expect("acyclic");
+        prop_assert_eq!(order.len(), d.netlist.num_instances());
+        // Topological property: every combinational fanin precedes its user.
+        let mut pos = vec![0usize; order.len()];
+        for (p, id) in order.iter().enumerate() {
+            pos[id.0 as usize] = p;
+        }
+        for id in d.netlist.inst_ids() {
+            if d.netlist.instance(id).is_sequential {
+                continue; // FF D-pins are endpoints, not topo dependencies
+            }
+            for f in d.netlist.comb_fanin(id) {
+                prop_assert!(pos[f.0 as usize] < pos[id.0 as usize]);
+            }
+        }
+    }
+
+    /// Generation is a pure function of the profile.
+    #[test]
+    fn generation_deterministic(profile in random_profile()) {
+        let lib = Library::standard(Technology::n65());
+        let a = gen::generate(&profile, &lib);
+        let b = gen::generate(&profile, &lib);
+        prop_assert_eq!(a.netlist.instances, b.netlist.instances);
+        prop_assert_eq!(a.netlist.nets.len(), b.netlist.nets.len());
+    }
+
+    /// The paper indexing is a permutation of 1..=n with the reverse
+    /// topological property (consumers get smaller numbers).
+    #[test]
+    fn paper_indexing_is_reverse_topological(profile in random_profile()) {
+        let lib = Library::standard(Technology::n65());
+        let d = gen::generate(&profile, &lib);
+        let idx = d.netlist.paper_indexing().expect("acyclic");
+        let mut seen = vec![false; idx.len() + 1];
+        for &v in &idx {
+            prop_assert!(v >= 1 && v <= idx.len());
+            prop_assert!(!seen[v], "duplicate paper index {v}");
+            seen[v] = true;
+        }
+        for id in d.netlist.inst_ids() {
+            if d.netlist.instance(id).is_sequential {
+                continue;
+            }
+            for f in d.netlist.comb_fanin(id) {
+                prop_assert!(
+                    idx[id.0 as usize] < idx[f.0 as usize],
+                    "consumer must be numbered closer to the sink"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! Placement database: die geometry and per-instance coordinates.
+
+use crate::hpwl::BoundingBox;
+use dme_liberty::Library;
+use dme_netlist::{InstId, NetId, Netlist};
+use std::error::Error;
+use std::fmt;
+
+/// A legalization / legality-check failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LegalityError {
+    /// Two cells overlap in the same row.
+    Overlap {
+        /// First instance.
+        a: InstId,
+        /// Second instance.
+        b: InstId,
+    },
+    /// A cell lies outside the die.
+    OutOfDie(InstId),
+    /// A cell's y coordinate is not on a row boundary.
+    OffRow(InstId),
+    /// The die cannot hold the total cell area.
+    Overfull {
+        /// Total cell area, µm².
+        cell_area_um2: f64,
+        /// Die area, µm².
+        die_area_um2: f64,
+    },
+}
+
+impl fmt::Display for LegalityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LegalityError::Overlap { a, b } => write!(f, "cells {a} and {b} overlap"),
+            LegalityError::OutOfDie(i) => write!(f, "cell {i} is outside the die"),
+            LegalityError::OffRow(i) => write!(f, "cell {i} is not row-aligned"),
+            LegalityError::Overfull { cell_area_um2, die_area_um2 } => {
+                write!(f, "cell area {cell_area_um2} µm² exceeds die area {die_area_um2} µm²")
+            }
+        }
+    }
+}
+
+impl Error for LegalityError {}
+
+/// Die geometry plus per-instance lower-left coordinates (µm).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    /// Die width in µm.
+    pub die_w_um: f64,
+    /// Die height in µm.
+    pub die_h_um: f64,
+    /// Row height in µm.
+    pub row_h_um: f64,
+    /// Site (placement grid) width in µm.
+    pub site_um: f64,
+    /// Per-instance x coordinate (lower-left), µm.
+    pub x_um: Vec<f64>,
+    /// Per-instance y coordinate (lower-left, row-aligned), µm.
+    pub y_um: Vec<f64>,
+    /// Pad position per primary-input net (left edge), µm.
+    pub pi_pos: Vec<(f64, f64)>,
+}
+
+impl Placement {
+    /// Center coordinates of an instance, µm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn center(&self, lib: &Library, nl: &Netlist, id: InstId) -> (f64, f64) {
+        let w = lib.cell(nl.instance(id).cell_idx).width_um();
+        (self.x_um[id.0 as usize] + 0.5 * w, self.y_um[id.0 as usize] + 0.5 * self.row_h_um)
+    }
+
+    /// Number of rows on the die.
+    pub fn num_rows(&self) -> usize {
+        (self.die_h_um / self.row_h_um).floor() as usize
+    }
+
+    /// Position of the pad of a primary-input net, if it is one.
+    pub fn pi_pad(&self, nl: &Netlist, net: NetId) -> Option<(f64, f64)> {
+        nl.primary_inputs.iter().position(|&n| n == net).map(|i| self.pi_pos[i])
+    }
+
+    /// All pin positions of a net: the driver output pin, every sink
+    /// input pin, and the PI pad when applicable (pins are cell centers).
+    pub fn net_pins(&self, lib: &Library, nl: &Netlist, net: NetId) -> Vec<(f64, f64)> {
+        let mut pins = Vec::new();
+        let n = nl.net(net);
+        if let Some(drv) = n.driver {
+            pins.push(self.center(lib, nl, drv));
+        }
+        if let Some(pad) = self.pi_pad(nl, net) {
+            pins.push(pad);
+        }
+        for &(sink, _) in &n.sinks {
+            pins.push(self.center(lib, nl, sink));
+        }
+        pins
+    }
+
+    /// Half-perimeter wirelength of one net, µm.
+    pub fn net_hpwl(&self, lib: &Library, nl: &Netlist, net: NetId) -> f64 {
+        BoundingBox::of_points(&self.net_pins(lib, nl, net)).map_or(0.0, |b| b.half_perimeter())
+    }
+
+    /// Total HPWL over all nets, µm.
+    pub fn total_hpwl(&self, lib: &Library, nl: &Netlist) -> f64 {
+        (0..nl.num_nets() as u32).map(|i| self.net_hpwl(lib, nl, NetId(i))).sum()
+    }
+
+    /// The dosePl *neighborhood bounding box* of a cell: the bounding box
+    /// of the cell itself, all its fanin cells and all its fanout cells
+    /// (Fig. 9 of the paper).
+    pub fn neighborhood_bbox(&self, lib: &Library, nl: &Netlist, id: InstId) -> BoundingBox {
+        let mut pts = vec![self.center(lib, nl, id)];
+        let inst = nl.instance(id);
+        for &net in &inst.inputs {
+            if let Some(drv) = nl.net(net).driver {
+                pts.push(self.center(lib, nl, drv));
+            }
+        }
+        for &(sink, _) in &nl.net(inst.output).sinks {
+            pts.push(self.center(lib, nl, sink));
+        }
+        BoundingBox::of_points(&pts).expect("nonempty point set")
+    }
+
+    /// Manhattan distance between two cell centers, µm.
+    pub fn distance(&self, lib: &Library, nl: &Netlist, a: InstId, b: InstId) -> f64 {
+        let (ax, ay) = self.center(lib, nl, a);
+        let (bx, by) = self.center(lib, nl, b);
+        (ax - bx).abs() + (ay - by).abs()
+    }
+
+    /// Average gate pitch: chip dimension divided by sqrt(gate count) —
+    /// the distance unit the paper's dosePl swap-distance threshold uses.
+    pub fn gate_pitch_um(&self, nl: &Netlist) -> f64 {
+        self.die_w_um.max(self.die_h_um) / (nl.num_instances() as f64).sqrt().max(1.0)
+    }
+
+    /// Swaps the positions of two cells (the dosePl move). The swap keeps
+    /// row alignment automatically; lateral overlaps introduced by a
+    /// width mismatch are resolved by [`Placement::check_legal`]'s caller
+    /// re-packing the two rows via [`Placement::repack_rows`].
+    pub fn swap_cells(&mut self, a: InstId, b: InstId) {
+        self.x_um.swap(a.0 as usize, b.0 as usize);
+        self.y_um.swap(a.0 as usize, b.0 as usize);
+    }
+
+    /// Re-packs every cell in the given rows left-to-right, eliminating
+    /// overlaps while preserving order — the ECO legalization used after
+    /// dosePl swaps. `rows` are row indices (y / row height). If a swap
+    /// made a row overfull (a wider cell arrived), its rightmost cells are
+    /// evicted to the nearest row with room before packing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the whole die cannot hold the cells (cannot happen for
+    /// placements produced by [`crate::place`]).
+    pub fn repack_rows(&mut self, lib: &Library, nl: &Netlist, rows: &[usize]) {
+        let width =
+            |m: InstId| lib.cell(nl.instance(m).cell_idx).width_um();
+        // Row membership and per-row occupied width for the whole die
+        // (needed to find eviction targets).
+        let nrows = self.num_rows();
+        let mut members: Vec<Vec<InstId>> = vec![Vec::new(); nrows];
+        let mut used = vec![0.0f64; nrows];
+        for i in nl.inst_ids() {
+            let r = ((self.y_um[i.0 as usize] / self.row_h_um).round() as i64)
+                .clamp(0, nrows as i64 - 1) as usize;
+            members[r].push(i);
+            used[r] += width(i);
+        }
+        let mut dirty: Vec<usize> = rows.to_vec();
+        let mut done: Vec<bool> = vec![false; nrows];
+        while let Some(r) = dirty.pop() {
+            if r >= nrows || done[r] {
+                continue;
+            }
+            done[r] = true;
+            // Evict rightmost cells while the row is overfull.
+            while used[r] > self.die_w_um + 1e-9 {
+                let (pos, _) = members[r]
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| {
+                        self.x_um[a.1 .0 as usize].total_cmp(&self.x_um[b.1 .0 as usize])
+                    })
+                    .expect("overfull row has members");
+                let evict = members[r].remove(pos);
+                let w = width(evict);
+                used[r] -= w;
+                let target = (0..nrows)
+                    .filter(|&r2| r2 != r && used[r2] + w <= self.die_w_um + 1e-9)
+                    .min_by_key(|&r2| r2.abs_diff(r))
+                    .expect("die cannot hold the cells");
+                self.y_um[evict.0 as usize] = target as f64 * self.row_h_um;
+                members[target].push(evict);
+                used[target] += w;
+                done[target] = false;
+                dirty.push(target);
+            }
+            // Forward pack preserving x order, then clamp back from the
+            // right edge (the row fits, so this cannot underflow 0).
+            let mut row_cells = members[r].clone();
+            row_cells.sort_by(|&a, &b| {
+                self.x_um[a.0 as usize]
+                    .total_cmp(&self.x_um[b.0 as usize])
+                    .then(a.cmp(&b))
+            });
+            let y = r as f64 * self.row_h_um;
+            let mut cursor = 0.0f64;
+            for &m in &row_cells {
+                let w = width(m);
+                let desired = self.x_um[m.0 as usize].max(cursor);
+                let x = snap(desired, self.site_um).min(self.die_w_um - w).max(cursor);
+                self.x_um[m.0 as usize] = x;
+                self.y_um[m.0 as usize] = y;
+                cursor = x + w;
+            }
+            let mut limit = self.die_w_um;
+            for &m in row_cells.iter().rev() {
+                let w = width(m);
+                let x = self.x_um[m.0 as usize].min(snap(limit - w, self.site_um));
+                self.x_um[m.0 as usize] = x.max(0.0);
+                limit = self.x_um[m.0 as usize];
+            }
+        }
+    }
+
+    /// Checks legality: row alignment, die bounds, no overlaps.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`LegalityError`] found.
+    pub fn check_legal(&self, nl: &Netlist, lib: &Library) -> Result<(), LegalityError> {
+        let rows = self.num_rows();
+        let mut per_row: Vec<Vec<(f64, f64, InstId)>> = vec![Vec::new(); rows];
+        for id in nl.inst_ids() {
+            let i = id.0 as usize;
+            let w = lib.cell(nl.instance(id).cell_idx).width_um();
+            let (x, y) = (self.x_um[i], self.y_um[i]);
+            let r = y / self.row_h_um;
+            if (r - r.round()).abs() > 1e-6 {
+                return Err(LegalityError::OffRow(id));
+            }
+            let r = r.round() as i64;
+            if r < 0 || r as usize >= rows || x < -1e-6 || x + w > self.die_w_um + 1e-6 {
+                return Err(LegalityError::OutOfDie(id));
+            }
+            per_row[r as usize].push((x, x + w, id));
+        }
+        for row in &mut per_row {
+            row.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite coordinates"));
+            for pair in row.windows(2) {
+                if pair[0].1 > pair[1].0 + 1e-6 {
+                    return Err(LegalityError::Overlap { a: pair[0].2, b: pair[1].2 });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Snaps a coordinate down to the site grid. A small epsilon keeps
+/// values that are already on the grid (up to floating-point noise) from
+/// flooring down a whole site.
+pub(crate) fn snap(x: f64, site: f64) -> f64 {
+    (x / site + 1e-6).floor() * site
+}

@@ -1,0 +1,318 @@
+//! Global placement: force-directed averaging with sort-based spreading.
+
+use crate::db::Placement;
+use crate::legalize::legalize;
+use dme_liberty::Library;
+use dme_netlist::{Design, Netlist};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Places a design with the default iteration count.
+///
+/// The flow is: seeded random start → `iters` rounds of (net-centroid
+/// averaging, sort-based spreading) → Tetris legalization. Deterministic
+/// for a given design.
+pub fn place(design: &Design, lib: &Library) -> Placement {
+    place_with_iterations(design, lib, 40)
+}
+
+/// Places a design with an explicit number of global iterations.
+///
+/// # Panics
+///
+/// Panics if the total cell area exceeds the die area (the profile's die
+/// is too small for its cell count).
+pub fn place_with_iterations(design: &Design, lib: &Library, iters: usize) -> Placement {
+    let nl = &design.netlist;
+    let n = nl.num_instances();
+    let tech = lib.tech();
+    let die_um = (design.profile.die_area_mm2 * 1e6).sqrt();
+    let row_h = 28.0 * tech.lnom_nm / 1000.0;
+    let site = 3.08 * tech.lnom_nm / 1000.0;
+    let die_h = (die_um / row_h).floor() * row_h;
+    let die_w = die_um;
+
+    let cell_area: f64 = nl.instances.iter().map(|i| lib.cell(i.cell_idx).area_um2()).sum();
+    assert!(
+        cell_area <= die_w * die_h,
+        "cell area {cell_area:.0} µm² exceeds die {:.0} µm²",
+        die_w * die_h
+    );
+
+    let mut rng = StdRng::seed_from_u64(design.profile.seed ^ 0x9E37_79B9_7F4A_7C15);
+    // Seed x with the combinational level (signal flow left→right, a
+    // standard datapath-placement prior) and y randomly; the averaging
+    // iterations then only need to discover the within-level structure.
+    let level = comb_levels(nl);
+    let max_level = level.iter().copied().max().unwrap_or(1).max(1) as f64;
+    let mut x: Vec<f64> = (0..n)
+        .map(|i| {
+            let base = level[i] as f64 / max_level;
+            (0.02 + 0.96 * base) * die_w + (rng.gen::<f64>() - 0.5) * die_w / max_level
+        })
+        .collect();
+    let mut y: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * die_h).collect();
+
+    // PI pads evenly spaced on the left edge.
+    let n_pi = nl.primary_inputs.len().max(1);
+    let pi_pos: Vec<(f64, f64)> = (0..nl.primary_inputs.len())
+        .map(|i| (0.0, die_h * (i as f64 + 0.5) / n_pi as f64))
+        .collect();
+
+    // Hierarchical spreading: the bin grid refines geometrically, so early
+    // iterations settle the global (coarse) structure and later ones only
+    // reshuffle locally — the classic grid-warping recipe. The final pass
+    // uses the finest grid, which makes legalization displacement small.
+    let max_bins = (n as f64).sqrt().ceil() as usize;
+    for it in 0..iters {
+        average_toward_nets(nl, &pi_pos, &mut x, &mut y);
+        let bins = ((2.0 * 1.3f64.powi(it as i32)).ceil() as usize).min(max_bins).max(2);
+        spread(&mut x, &mut y, die_w, die_h, bins);
+    }
+
+    let mut placement = Placement {
+        die_w_um: die_w,
+        die_h_um: die_h,
+        row_h_um: row_h,
+        site_um: site,
+        x_um: x,
+        y_um: y,
+        pi_pos,
+    };
+    legalize(&mut placement, nl, lib);
+    placement
+}
+
+/// One force-directed step: every movable cell moves toward the centroid
+/// of the centroids of its incident nets (with a damping factor).
+fn average_toward_nets(nl: &Netlist, pi_pos: &[(f64, f64)], x: &mut [f64], y: &mut [f64]) {
+    // Net centroids from current positions (pads included).
+    let mut cx = vec![0.0f64; nl.num_nets()];
+    let mut cy = vec![0.0f64; nl.num_nets()];
+    let mut cnt = vec![0u32; nl.num_nets()];
+    for id in nl.inst_ids() {
+        let inst = nl.instance(id);
+        let i = id.0 as usize;
+        for &net in inst.inputs.iter().chain(std::iter::once(&inst.output)) {
+            cx[net.0 as usize] += x[i];
+            cy[net.0 as usize] += y[i];
+            cnt[net.0 as usize] += 1;
+        }
+    }
+    for (k, &pi) in nl.primary_inputs.iter().enumerate() {
+        cx[pi.0 as usize] += pi_pos[k].0;
+        cy[pi.0 as usize] += pi_pos[k].1;
+        cnt[pi.0 as usize] += 1;
+    }
+    for i in 0..nl.num_nets() {
+        if cnt[i] > 0 {
+            cx[i] /= cnt[i] as f64;
+            cy[i] /= cnt[i] as f64;
+        }
+    }
+    const DAMP: f64 = 0.85;
+    for id in nl.inst_ids() {
+        let inst = nl.instance(id);
+        let i = id.0 as usize;
+        let mut tx = 0.0;
+        let mut ty = 0.0;
+        let mut m = 0.0f64;
+        for &net in inst.inputs.iter().chain(std::iter::once(&inst.output)) {
+            let k = net.0 as usize;
+            let pins = cnt[k];
+            // Skip huge nets (clock-like) — they pull everything together.
+            if nl.net(net).sinks.len() > 64 || pins < 2 {
+                continue;
+            }
+            // Centroid of the *other* pins on the net (self-excluded).
+            let ox = (cx[k] * pins as f64 - x[i]) / (pins - 1) as f64;
+            let oy = (cy[k] * pins as f64 - y[i]) / (pins - 1) as f64;
+            tx += ox;
+            ty += oy;
+            m += 1.0;
+        }
+        if m > 0.0 {
+            x[i] = (1.0 - DAMP) * x[i] + DAMP * tx / m;
+            y[i] = (1.0 - DAMP) * y[i] + DAMP * ty / m;
+        }
+    }
+}
+
+/// Combinational depth of every instance (sequential cells sit at their
+/// average fanout level so register banks interleave with their logic).
+fn comb_levels(nl: &Netlist) -> Vec<usize> {
+    let order = nl.topo_order().expect("acyclic netlist");
+    let mut level = vec![0usize; nl.num_instances()];
+    for &id in &order {
+        let i = id.0 as usize;
+        if nl.instance(id).is_sequential {
+            continue;
+        }
+        level[i] = nl
+            .comb_fanin(id)
+            .iter()
+            .map(|f| level[f.0 as usize] + 1)
+            .max()
+            .unwrap_or(1);
+    }
+    // Sequential cells: place at the mean level of their consumers.
+    for id in nl.inst_ids() {
+        let i = id.0 as usize;
+        if !nl.instance(id).is_sequential {
+            continue;
+        }
+        let sinks = &nl.net(nl.instance(id).output).sinks;
+        if sinks.is_empty() {
+            continue;
+        }
+        let sum: usize = sinks.iter().map(|&(s, _)| level[s.0 as usize]).sum();
+        level[i] = sum / sinks.len();
+    }
+    level
+}
+
+/// Hierarchical sort-based spreading into a `bins × bins` grid: cells are
+/// split into equal-count columns by x order, each column into equal-count
+/// cells by y order, and every bin's members are rescaled into the bin
+/// rectangle *preserving their relative positions*. Coarse grids enforce
+/// global density without disturbing local structure; the finest grid
+/// (bins ≈ √n) produces a near-uniform layout ready for legalization.
+fn spread(x: &mut [f64], y: &mut [f64], die_w: f64, die_h: f64, bins: usize) {
+    let n = x.len();
+    if n == 0 {
+        return;
+    }
+    let bins = bins.clamp(1, n);
+    let per_col = n.div_ceil(bins);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| x[a].partial_cmp(&x[b]).expect("finite x").then(a.cmp(&b)));
+    let bin_w = die_w / bins as f64;
+    let bin_h = die_h / bins as f64;
+    for (ci, chunk) in order.chunks(per_col).enumerate() {
+        let x0 = ci as f64 * bin_w;
+        let mut col: Vec<usize> = chunk.to_vec();
+        col.sort_by(|&a, &b| y[a].partial_cmp(&y[b]).expect("finite y").then(a.cmp(&b)));
+        let per_bin = col.len().div_ceil(bins);
+        for (ri, bin) in col.chunks(per_bin).enumerate() {
+            let y0 = ri as f64 * bin_h;
+            // Rescale members into the bin, preserving relative layout;
+            // rank order is the fallback for degenerate extents.
+            let minx = bin.iter().map(|&i| x[i]).fold(f64::INFINITY, f64::min);
+            let maxx = bin.iter().map(|&i| x[i]).fold(f64::NEG_INFINITY, f64::max);
+            let miny = bin.iter().map(|&i| y[i]).fold(f64::INFINITY, f64::min);
+            let maxy = bin.iter().map(|&i| y[i]).fold(f64::NEG_INFINITY, f64::max);
+            let m = bin.len() as f64;
+            for (k, &i) in bin.iter().enumerate() {
+                let rx = if maxx - minx > 1e-9 {
+                    (x[i] - minx) / (maxx - minx)
+                } else {
+                    (k as f64 + 0.5) / m
+                };
+                let ry = if maxy - miny > 1e-9 {
+                    (y[i] - miny) / (maxy - miny)
+                } else {
+                    (k as f64 + 0.5) / m
+                };
+                x[i] = x0 + (0.05 + 0.9 * rx) * bin_w;
+                y[i] = y0 + (0.05 + 0.9 * ry) * bin_h;
+            }
+        }
+    }
+}
+
+/// Convenience: total HPWL of a freshly random placement of the same
+/// design, for measuring how much the placer helps (used in tests).
+#[cfg(test)]
+fn random_hpwl(design: &Design, lib: &Library, seed: u64) -> f64 {
+    let nl = &design.netlist;
+    let die_um = (design.profile.die_area_mm2 * 1e6).sqrt();
+    let tech = lib.tech();
+    let row_h = 28.0 * tech.lnom_nm / 1000.0;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = nl.num_instances();
+    let n_pi = nl.primary_inputs.len().max(1);
+    let p = Placement {
+        die_w_um: die_um,
+        die_h_um: die_um,
+        row_h_um: row_h,
+        site_um: 3.08 * tech.lnom_nm / 1000.0,
+        x_um: (0..n).map(|_| rng.gen::<f64>() * die_um).collect(),
+        y_um: (0..n).map(|_| rng.gen::<f64>() * die_um).collect(),
+        pi_pos: (0..nl.primary_inputs.len())
+            .map(|i| (0.0, die_um * (i as f64 + 0.5) / n_pi as f64))
+            .collect(),
+    };
+    p.total_hpwl(lib, nl)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dme_device::Technology;
+    use dme_netlist::{gen, profiles};
+
+    #[test]
+    fn placement_is_legal() {
+        let lib = Library::standard(Technology::n65());
+        let d = gen::generate(&profiles::tiny(), &lib);
+        let p = place(&d, &lib);
+        p.check_legal(&d.netlist, &lib).expect("legal");
+    }
+
+    #[test]
+    fn placement_beats_random_on_hpwl() {
+        let lib = Library::standard(Technology::n65());
+        let d = gen::generate(&profiles::small(), &lib);
+        let p = place(&d, &lib);
+        let placed = p.total_hpwl(&lib, &d.netlist);
+        let random = random_hpwl(&d, &lib, 1);
+        assert!(
+            placed < 0.5 * random,
+            "placer should at least halve random HPWL: {placed:.0} vs {random:.0}"
+        );
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let lib = Library::standard(Technology::n65());
+        let d = gen::generate(&profiles::tiny(), &lib);
+        let a = place(&d, &lib);
+        let b = place(&d, &lib);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn swap_and_repack_stay_legal() {
+        let lib = Library::standard(Technology::n65());
+        let d = gen::generate(&profiles::tiny(), &lib);
+        let mut p = place(&d, &lib);
+        let a = dme_netlist::InstId(3);
+        let b = dme_netlist::InstId(40);
+        let row_a = (p.y_um[a.0 as usize] / p.row_h_um).round() as usize;
+        let row_b = (p.y_um[b.0 as usize] / p.row_h_um).round() as usize;
+        p.swap_cells(a, b);
+        p.repack_rows(&lib, &d.netlist, &[row_a, row_b]);
+        p.check_legal(&d.netlist, &lib).expect("legal after swap + repack");
+    }
+
+    #[test]
+    fn neighborhood_bbox_contains_cell() {
+        let lib = Library::standard(Technology::n65());
+        let d = gen::generate(&profiles::tiny(), &lib);
+        let p = place(&d, &lib);
+        for id in d.netlist.inst_ids() {
+            let bb = p.neighborhood_bbox(&lib, &d.netlist, id);
+            let (cx, cy) = p.center(&lib, &d.netlist, id);
+            assert!(bb.contains(cx, cy));
+        }
+    }
+
+    #[test]
+    fn gate_pitch_is_sane() {
+        let lib = Library::standard(Technology::n65());
+        let d = gen::generate(&profiles::tiny(), &lib);
+        let p = place(&d, &lib);
+        let pitch = p.gate_pitch_um(&d.netlist);
+        assert!(pitch > 0.5 && pitch < 50.0, "pitch = {pitch}");
+    }
+}

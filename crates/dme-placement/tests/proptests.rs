@@ -1,0 +1,85 @@
+//! Property-based tests for placement and legalization.
+
+use dme_device::Technology;
+use dme_liberty::Library;
+use dme_netlist::{gen, profiles, profiles::TechNode, DesignProfile, InstId};
+use proptest::prelude::*;
+
+fn random_profile() -> impl Strategy<Value = DesignProfile> {
+    (80usize..300, any::<u64>(), 4usize..12).prop_map(|(cells, seed, levels)| DesignProfile {
+        name: "PROP".into(),
+        node: TechNode::N65,
+        target_cells: cells,
+        num_primary_inputs: 8,
+        seq_fraction: 0.12,
+        levels,
+        chain_bias: 0.8,
+        level_taper: 0.0,
+        slices: 1,
+        ff_tap_deep_frac: 0.75,
+        die_area_mm2: cells as f64 * 5.0e-6,
+        utilization: 0.7,
+        seed,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Placement of any supported design is legal: on rows, in the die,
+    /// no overlaps.
+    #[test]
+    fn placements_are_legal(profile in random_profile()) {
+        let lib = Library::standard(Technology::n65());
+        let d = gen::generate(&profile, &lib);
+        let p = dme_placement::place(&d, &lib);
+        p.check_legal(&d.netlist, &lib).expect("legal placement");
+    }
+
+    /// Any sequence of random swaps followed by row repacking preserves
+    /// legality (the dosePl ECO invariant).
+    #[test]
+    fn random_swaps_stay_legal(
+        seed in any::<u64>(),
+        swaps in proptest::collection::vec((any::<u32>(), any::<u32>()), 1..12),
+    ) {
+        let lib = Library::standard(Technology::n65());
+        let mut profile = profiles::tiny();
+        profile.seed = seed;
+        let d = gen::generate(&profile, &lib);
+        let mut p = dme_placement::place(&d, &lib);
+        let n = d.netlist.num_instances() as u32;
+        for (a, b) in swaps {
+            let (a, b) = (InstId(a % n), InstId(b % n));
+            if a == b {
+                continue;
+            }
+            let rows = [
+                (p.y_um[a.0 as usize] / p.row_h_um).round() as usize,
+                (p.y_um[b.0 as usize] / p.row_h_um).round() as usize,
+            ];
+            p.swap_cells(a, b);
+            p.repack_rows(&lib, &d.netlist, &rows);
+        }
+        p.check_legal(&d.netlist, &lib).expect("legal after swaps");
+    }
+
+    /// HPWL is invariant under swapping two instances of the same master
+    /// and translation-monotone basics hold.
+    #[test]
+    fn hpwl_sanity(seed in any::<u64>()) {
+        let lib = Library::standard(Technology::n65());
+        let mut profile = profiles::tiny();
+        profile.seed = seed;
+        let d = gen::generate(&profile, &lib);
+        let p = dme_placement::place(&d, &lib);
+        let total = p.total_hpwl(&lib, &d.netlist);
+        prop_assert!(total.is_finite() && total > 0.0);
+        // Per-net HPWL is nonnegative and bounded by the die perimeter.
+        for i in 0..d.netlist.num_nets() as u32 {
+            let h = p.net_hpwl(&lib, &d.netlist, dme_netlist::NetId(i));
+            prop_assert!(h >= 0.0);
+            prop_assert!(h <= p.die_w_um + p.die_h_um + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! Compressed sparse row matrices.
+
+use std::fmt;
+
+/// A sparse matrix in compressed-sparse-row (CSR) format.
+///
+/// Supports exactly the operations the ADMM solver and the dose-map
+/// formulation builder need: construction from triplets or rows,
+/// matrix–vector products with the matrix and its transpose, and per-column
+/// squared norms (for Jacobi preconditioning of `AᵀA`).
+#[derive(Clone, PartialEq)]
+pub struct CsrMatrix {
+    nrows: usize,
+    ncols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl fmt::Debug for CsrMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CsrMatrix({}x{}, nnz={})", self.nrows, self.ncols, self.nnz())
+    }
+}
+
+impl CsrMatrix {
+    /// Creates an empty (all-zero) matrix of the given shape.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Self { nrows, ncols, row_ptr: vec![0; nrows + 1], col_idx: Vec::new(), vals: Vec::new() }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            nrows: n,
+            ncols: n,
+            row_ptr: (0..=n).collect(),
+            col_idx: (0..n).collect(),
+            vals: vec![1.0; n],
+        }
+    }
+
+    /// Creates a square diagonal matrix from its diagonal entries.
+    /// Zero entries are stored explicitly (keeps row structure trivial).
+    pub fn diagonal(diag: &[f64]) -> Self {
+        let n = diag.len();
+        Self {
+            nrows: n,
+            ncols: n,
+            row_ptr: (0..=n).collect(),
+            col_idx: (0..n).collect(),
+            vals: diag.to_vec(),
+        }
+    }
+
+    /// Builds a matrix from `(row, col, value)` triplets. Duplicate
+    /// positions are summed; triplets need not be sorted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any triplet indexes outside `nrows × ncols`.
+    pub fn from_triplets(nrows: usize, ncols: usize, triplets: &[(usize, usize, f64)]) -> Self {
+        for &(r, c, _) in triplets {
+            assert!(r < nrows && c < ncols, "triplet ({r},{c}) outside {nrows}x{ncols}");
+        }
+        // Count entries per row.
+        let mut counts = vec![0usize; nrows];
+        for &(r, _, _) in triplets {
+            counts[r] += 1;
+        }
+        let mut row_ptr = vec![0usize; nrows + 1];
+        for r in 0..nrows {
+            row_ptr[r + 1] = row_ptr[r] + counts[r];
+        }
+        let nnz = row_ptr[nrows];
+        let mut col_idx = vec![0usize; nnz];
+        let mut vals = vec![0.0; nnz];
+        let mut next = row_ptr.clone();
+        for &(r, c, v) in triplets {
+            let k = next[r];
+            col_idx[k] = c;
+            vals[k] = v;
+            next[r] += 1;
+        }
+        let mut m = Self { nrows, ncols, row_ptr, col_idx, vals };
+        m.sort_and_dedup_rows();
+        m
+    }
+
+    /// Builds a matrix row by row; each row is a slice of `(col, value)`
+    /// pairs. Duplicate columns within a row are summed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any column index is out of range.
+    pub fn from_rows(ncols: usize, rows: &[Vec<(usize, f64)>]) -> Self {
+        let mut row_ptr = Vec::with_capacity(rows.len() + 1);
+        row_ptr.push(0usize);
+        let mut col_idx = Vec::new();
+        let mut vals = Vec::new();
+        for row in rows {
+            for &(c, v) in row {
+                assert!(c < ncols, "column {c} out of range (ncols={ncols})");
+                col_idx.push(c);
+                vals.push(v);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        let mut m = Self { nrows: rows.len(), ncols, row_ptr, col_idx, vals };
+        m.sort_and_dedup_rows();
+        m
+    }
+
+    fn sort_and_dedup_rows(&mut self) {
+        let mut new_col = Vec::with_capacity(self.col_idx.len());
+        let mut new_val = Vec::with_capacity(self.vals.len());
+        let mut new_ptr = Vec::with_capacity(self.nrows + 1);
+        new_ptr.push(0usize);
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        for r in 0..self.nrows {
+            scratch.clear();
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                scratch.push((self.col_idx[k], self.vals[k]));
+            }
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < scratch.len() {
+                let c = scratch[i].0;
+                let mut v = 0.0;
+                while i < scratch.len() && scratch[i].0 == c {
+                    v += scratch[i].1;
+                    i += 1;
+                }
+                new_col.push(c);
+                new_val.push(v);
+            }
+            new_ptr.push(new_col.len());
+        }
+        self.col_idx = new_col;
+        self.vals = new_val;
+        self.row_ptr = new_ptr;
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Iterates over the stored entries of one row as `(col, value)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= nrows`.
+    pub fn row(&self, row: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        assert!(row < self.nrows);
+        let lo = self.row_ptr[row];
+        let hi = self.row_ptr[row + 1];
+        self.col_idx[lo..hi].iter().copied().zip(self.vals[lo..hi].iter().copied())
+    }
+
+    /// Dense `y = A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != ncols`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.nrows];
+        self.mul_vec_into(x, &mut y);
+        y
+    }
+
+    /// `y = A·x` into a caller-provided buffer (reused across ADMM
+    /// iterations to avoid per-iteration allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != ncols` or `y.len() != nrows`.
+    pub fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols, "x length mismatch");
+        assert_eq!(y.len(), self.nrows, "y length mismatch");
+        for r in 0..self.nrows {
+            let mut acc = 0.0;
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                acc += self.vals[k] * x[self.col_idx[k]];
+            }
+            y[r] = acc;
+        }
+    }
+
+    /// Dense `y = Aᵀ·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != nrows`.
+    pub fn mul_transpose_vec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.ncols];
+        self.mul_transpose_vec_into(x, &mut y);
+        y
+    }
+
+    /// `y = Aᵀ·x` into a caller-provided buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != nrows` or `y.len() != ncols`.
+    pub fn mul_transpose_vec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.nrows, "x length mismatch");
+        assert_eq!(y.len(), self.ncols, "y length mismatch");
+        y.fill(0.0);
+        for r in 0..self.nrows {
+            let xr = x[r];
+            if xr == 0.0 {
+                continue;
+            }
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                y[self.col_idx[k]] += self.vals[k] * xr;
+            }
+        }
+    }
+
+    /// Per-column sums of squared entries, i.e. the diagonal of `AᵀA`.
+    pub fn column_sq_norms(&self) -> Vec<f64> {
+        let mut norms = vec![0.0; self.ncols];
+        for k in 0..self.vals.len() {
+            norms[self.col_idx[k]] += self.vals[k] * self.vals[k];
+        }
+        norms
+    }
+
+    /// The main diagonal (length `min(nrows, ncols)`), zeros where absent.
+    pub fn diag(&self) -> Vec<f64> {
+        let n = self.nrows.min(self.ncols);
+        let mut d = vec![0.0; n];
+        for r in 0..n {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                if self.col_idx[k] == r {
+                    d[r] = self.vals[k];
+                }
+            }
+        }
+        d
+    }
+
+    /// Converts to a dense row-major matrix (tests and tiny systems only).
+    pub fn to_dense(&self) -> Vec<Vec<f64>> {
+        let mut dense = vec![vec![0.0; self.ncols]; self.nrows];
+        for r in 0..self.nrows {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                dense[r][self.col_idx[k]] += self.vals[k];
+            }
+        }
+        dense
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_mul(m: &[Vec<f64>], x: &[f64]) -> Vec<f64> {
+        m.iter().map(|row| row.iter().zip(x).map(|(a, b)| a * b).sum()).collect()
+    }
+
+    #[test]
+    fn triplets_sum_duplicates_and_sort() {
+        let m = CsrMatrix::from_triplets(2, 3, &[(0, 2, 1.0), (0, 0, 2.0), (0, 2, 3.0), (1, 1, -1.0)]);
+        assert_eq!(m.nnz(), 3);
+        let rows: Vec<Vec<(usize, f64)>> = (0..2).map(|r| m.row(r).collect()).collect();
+        assert_eq!(rows[0], vec![(0, 2.0), (2, 4.0)]);
+        assert_eq!(rows[1], vec![(1, -1.0)]);
+    }
+
+    #[test]
+    fn mul_matches_dense() {
+        let m = CsrMatrix::from_triplets(
+            3,
+            2,
+            &[(0, 0, 1.0), (0, 1, 2.0), (1, 0, -3.0), (2, 1, 0.5)],
+        );
+        let dense = m.to_dense();
+        let x = [1.5, -2.0];
+        assert_eq!(m.mul_vec(&x), dense_mul(&dense, &x));
+        // transpose
+        let xt = [1.0, 2.0, 3.0];
+        let yt = m.mul_transpose_vec(&xt);
+        let mut expect = vec![0.0; 2];
+        for r in 0..3 {
+            for c in 0..2 {
+                expect[c] += dense[r][c] * xt[r];
+            }
+        }
+        assert_eq!(yt, expect);
+    }
+
+    #[test]
+    fn identity_and_diagonal() {
+        let i3 = CsrMatrix::identity(3);
+        assert_eq!(i3.mul_vec(&[1.0, 2.0, 3.0]), vec![1.0, 2.0, 3.0]);
+        let d = CsrMatrix::diagonal(&[2.0, 0.0, -1.0]);
+        assert_eq!(d.mul_vec(&[1.0, 5.0, 2.0]), vec![2.0, 0.0, -2.0]);
+        assert_eq!(d.diag(), vec![2.0, 0.0, -1.0]);
+    }
+
+    #[test]
+    fn column_sq_norms_match_ata_diag() {
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 0, 3.0), (1, 0, 4.0), (1, 1, 2.0)]);
+        assert_eq!(m.column_sq_norms(), vec![25.0, 4.0]);
+    }
+
+    #[test]
+    fn from_rows_builds_expected_shape() {
+        let m = CsrMatrix::from_rows(4, &[vec![(3, 1.0), (0, 2.0)], vec![], vec![(1, 1.0), (1, 1.0)]]);
+        assert_eq!(m.nrows(), 3);
+        assert_eq!(m.ncols(), 4);
+        let r2: Vec<_> = m.row(2).collect();
+        assert_eq!(r2, vec![(1, 2.0)]);
+    }
+
+    #[test]
+    fn zeros_multiply_to_zero() {
+        let m = CsrMatrix::zeros(2, 3);
+        assert_eq!(m.mul_vec(&[1.0, 1.0, 1.0]), vec![0.0, 0.0]);
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn triplets_out_of_range_panics() {
+        CsrMatrix::from_triplets(1, 1, &[(1, 0, 1.0)]);
+    }
+}

@@ -1,0 +1,72 @@
+//! Error types for the QP solver.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the solver entry points.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// A matrix or vector has an inconsistent dimension.
+    Dimension(String),
+    /// A constraint row has `l > u` or a NaN bound.
+    InvalidBounds {
+        /// Constraint row index.
+        row: usize,
+        /// Offending lower bound.
+        lower: f64,
+        /// Offending upper bound.
+        upper: f64,
+    },
+    /// A numerical failure occurred (non-PSD `P`, non-finite iterates).
+    Numerical(String),
+    /// Bisection was given an empty or invalid bracket.
+    InvalidBracket {
+        /// Lower end of the bracket.
+        lo: f64,
+        /// Upper end of the bracket.
+        hi: f64,
+    },
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Dimension(msg) => write!(f, "dimension mismatch: {msg}"),
+            SolveError::InvalidBounds { row, lower, upper } => {
+                write!(f, "invalid bounds at row {row}: [{lower}, {upper}]")
+            }
+            SolveError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+            SolveError::InvalidBracket { lo, hi } => {
+                write!(f, "invalid bisection bracket [{lo}, {hi}]")
+            }
+        }
+    }
+}
+
+impl Error for SolveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs: Vec<SolveError> = vec![
+            SolveError::Dimension("x".into()),
+            SolveError::InvalidBounds { row: 1, lower: 2.0, upper: 1.0 },
+            SolveError::Numerical("bad".into()),
+            SolveError::InvalidBracket { lo: 1.0, hi: 0.0 },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SolveError>();
+    }
+}

@@ -1,0 +1,185 @@
+//! Sparse convex quadratic programming for dose-map optimization.
+//!
+//! This crate is the drop-in substitute for the commercial solver (ILOG
+//! CPLEX) used by the paper *"Dose map and placement co-optimization for
+//! timing yield enhancement and leakage power reduction"* (DAC 2008 /
+//! TCAD 2010). It provides:
+//!
+//! - [`CsrMatrix`]: a compressed-sparse-row matrix with the handful of
+//!   operations an operator-splitting solver needs (`A·x`, `Aᵀ·x`,
+//!   column norms),
+//! - [`QuadProgram`] + [`AdmmSolver`]: an OSQP-style ADMM solver for
+//!   problems of the form `min ½·xᵀPx + qᵀx  s.t.  l ≤ Ax ≤ u`, with the
+//!   `x`-update performed by a matrix-free preconditioned conjugate-gradient
+//!   solve (the KKT matrix `P + σI + ρAᵀA` is never formed),
+//! - [`qcp::bisect_min`]: an exact reduction of the paper's quadratically
+//!   constrained program (minimize clock period subject to a leakage bound)
+//!   to a sequence of QP feasibility questions,
+//! - [`lsq`]: small dense least-squares fits used for library
+//!   characterization (the `Ap`, `Bp`, `αp`, `βp`, `γp` coefficients).
+//!
+//! # Example
+//!
+//! Minimize `(x₀−1)² + (x₁−2)²` subject to `x₀ + x₁ ≤ 2` and `x ≥ 0`:
+//!
+//! ```
+//! use dme_qp::{CsrMatrix, QuadProgram, AdmmSettings, AdmmSolver};
+//!
+//! # fn main() -> Result<(), dme_qp::SolveError> {
+//! let p = CsrMatrix::diagonal(&[2.0, 2.0]);
+//! let q = vec![-2.0, -4.0];
+//! let a = CsrMatrix::from_triplets(3, 2, &[(0, 0, 1.0), (0, 1, 1.0), (1, 0, 1.0), (2, 1, 1.0)]);
+//! let l = vec![f64::NEG_INFINITY, 0.0, 0.0];
+//! let u = vec![2.0, f64::INFINITY, f64::INFINITY];
+//! let qp = QuadProgram::new(p, q, a, l, u)?;
+//! let sol = AdmmSolver::new(AdmmSettings::default()).solve(&qp)?;
+//! assert!((sol.x[0] - 0.5).abs() < 1e-4);
+//! assert!((sol.x[1] - 1.5).abs() < 1e-4);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+
+mod admm;
+mod csr;
+mod error;
+mod ipm;
+pub mod lsq;
+pub mod qcp;
+
+pub use admm::{AdmmSettings, AdmmSolver, SolveStatus, Solution};
+pub use ipm::{IpmSettings, IpmSolver};
+pub use csr::CsrMatrix;
+pub use error::SolveError;
+
+/// A convex quadratic program `min ½·xᵀPx + qᵀx  s.t.  l ≤ Ax ≤ u`.
+///
+/// `P` must be symmetric positive semidefinite and stored in full (not
+/// triangular) form; diagonal matrices — the common case in this workspace —
+/// trivially satisfy this.
+#[derive(Debug, Clone)]
+pub struct QuadProgram {
+    /// Quadratic cost matrix (symmetric PSD), `n × n`.
+    pub p: CsrMatrix,
+    /// Linear cost vector, length `n`.
+    pub q: Vec<f64>,
+    /// Constraint matrix, `m × n`.
+    pub a: CsrMatrix,
+    /// Constraint lower bounds, length `m` (`-inf` allowed).
+    pub l: Vec<f64>,
+    /// Constraint upper bounds, length `m` (`+inf` allowed).
+    pub u: Vec<f64>,
+}
+
+impl QuadProgram {
+    /// Creates a quadratic program, validating dimensional consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::Dimension`] if `P` is not square `n × n`, `q`
+    /// is not length `n`, `A` is not `m × n`, or the bounds are not length
+    /// `m`; returns [`SolveError::InvalidBounds`] if any `l[i] > u[i]` or a
+    /// bound is NaN.
+    pub fn new(
+        p: CsrMatrix,
+        q: Vec<f64>,
+        a: CsrMatrix,
+        l: Vec<f64>,
+        u: Vec<f64>,
+    ) -> Result<Self, SolveError> {
+        let n = q.len();
+        if p.nrows() != n || p.ncols() != n {
+            return Err(SolveError::Dimension(format!(
+                "P is {}x{}, expected {n}x{n}",
+                p.nrows(),
+                p.ncols()
+            )));
+        }
+        if a.ncols() != n {
+            return Err(SolveError::Dimension(format!(
+                "A has {} columns, expected {n}",
+                a.ncols()
+            )));
+        }
+        let m = a.nrows();
+        if l.len() != m || u.len() != m {
+            return Err(SolveError::Dimension(format!(
+                "bounds have length {}/{}, expected {m}",
+                l.len(),
+                u.len()
+            )));
+        }
+        for i in 0..m {
+            if l[i].is_nan() || u[i].is_nan() || l[i] > u[i] {
+                return Err(SolveError::InvalidBounds { row: i, lower: l[i], upper: u[i] });
+            }
+        }
+        Ok(Self { p, q, a, l, u })
+    }
+
+    /// Number of decision variables.
+    pub fn num_vars(&self) -> usize {
+        self.q.len()
+    }
+
+    /// Number of constraint rows.
+    pub fn num_constraints(&self) -> usize {
+        self.a.nrows()
+    }
+
+    /// Objective value `½·xᵀPx + qᵀx` at a point.
+    pub fn objective(&self, x: &[f64]) -> f64 {
+        let px = self.p.mul_vec(x);
+        let mut v = 0.0;
+        for i in 0..x.len() {
+            v += 0.5 * x[i] * px[i] + self.q[i] * x[i];
+        }
+        v
+    }
+
+    /// Maximum constraint violation `max(0, l − Ax, Ax − u)` in the ∞-norm.
+    pub fn max_violation(&self, x: &[f64]) -> f64 {
+        let ax = self.a.mul_vec(x);
+        let mut worst: f64 = 0.0;
+        for i in 0..ax.len() {
+            worst = worst.max(self.l[i] - ax[i]).max(ax[i] - self.u[i]);
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_mismatched_dims() {
+        let p = CsrMatrix::diagonal(&[1.0, 1.0]);
+        let a = CsrMatrix::identity(2);
+        let err = QuadProgram::new(p, vec![0.0; 3], a, vec![0.0; 2], vec![1.0; 2]);
+        assert!(matches!(err, Err(SolveError::Dimension(_))));
+    }
+
+    #[test]
+    fn new_rejects_crossed_bounds() {
+        let p = CsrMatrix::diagonal(&[1.0]);
+        let a = CsrMatrix::identity(1);
+        let err = QuadProgram::new(p, vec![0.0], a, vec![2.0], vec![1.0]);
+        assert!(matches!(err, Err(SolveError::InvalidBounds { row: 0, .. })));
+    }
+
+    #[test]
+    fn objective_and_violation() {
+        let p = CsrMatrix::diagonal(&[2.0, 4.0]);
+        let a = CsrMatrix::identity(2);
+        let qp =
+            QuadProgram::new(p, vec![1.0, -1.0], a, vec![0.0, 0.0], vec![1.0, 1.0]).unwrap();
+        // f(x) = x0^2 + 2 x1^2 + x0 - x1 at (1, 2) = 1 + 8 + 1 - 2 = 8
+        let x = [1.0, 2.0];
+        assert!((qp.objective(&x) - 8.0).abs() < 1e-12);
+        assert!((qp.max_violation(&x) - 1.0).abs() < 1e-12);
+        assert_eq!(qp.num_vars(), 2);
+        assert_eq!(qp.num_constraints(), 2);
+    }
+}

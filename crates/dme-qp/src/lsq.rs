@@ -1,0 +1,246 @@
+//! Small dense least-squares fits.
+//!
+//! Library characterization fits the paper's surrogate models to sampled
+//! data: delay is fitted *linearly* against gate-length and gate-width
+//! deltas (coefficients `Ap`, `Bp`), leakage *quadratically* against the
+//! gate-length delta and *linearly* against the gate-width delta
+//! (coefficients `αp`, `βp`, `γp`). The systems involved are tiny (2–4
+//! unknowns, tens of samples), so plain normal equations with a Cholesky
+//! factorization are both adequate and fast.
+
+use crate::SolveError;
+
+/// Fits `y ≈ c₀ + c₁·x` by least squares, returning `(c0, c1, ssr)` where
+/// `ssr` is the sum of squared residuals.
+///
+/// # Errors
+///
+/// Returns [`SolveError::Dimension`] if the slices differ in length or
+/// have fewer than two points, or [`SolveError::Numerical`] if all `x`
+/// values coincide.
+pub fn fit_linear(x: &[f64], y: &[f64]) -> Result<(f64, f64, f64), SolveError> {
+    let c = polyfit(x, y, 1)?;
+    let ssr = ssr_poly(&c, x, y);
+    Ok((c[0], c[1], ssr))
+}
+
+/// Fits `y ≈ c₀ + c₁·x + c₂·x²` by least squares, returning
+/// `(c0, c1, c2, ssr)`.
+///
+/// # Errors
+///
+/// Returns [`SolveError::Dimension`] if the slices differ in length or
+/// have fewer than three points, or [`SolveError::Numerical`] if the
+/// normal equations are singular.
+pub fn fit_quadratic(x: &[f64], y: &[f64]) -> Result<(f64, f64, f64, f64), SolveError> {
+    let c = polyfit(x, y, 2)?;
+    let ssr = ssr_poly(&c, x, y);
+    Ok((c[0], c[1], c[2], ssr))
+}
+
+/// Fits a polynomial of the given degree by least squares; returns the
+/// coefficients in ascending-power order (`c[0] + c[1] x + …`).
+///
+/// # Errors
+///
+/// Returns [`SolveError::Dimension`] on mismatched or insufficient data
+/// (needs at least `degree + 1` points), or [`SolveError::Numerical`] if
+/// the normal equations are singular.
+pub fn polyfit(x: &[f64], y: &[f64], degree: usize) -> Result<Vec<f64>, SolveError> {
+    if x.len() != y.len() {
+        return Err(SolveError::Dimension(format!(
+            "x has {} points but y has {}",
+            x.len(),
+            y.len()
+        )));
+    }
+    let k = degree + 1;
+    if x.len() < k {
+        return Err(SolveError::Dimension(format!(
+            "need at least {k} points for degree {degree}, got {}",
+            x.len()
+        )));
+    }
+    // Design matrix rows are [1, x, x^2, ...]; solve the k×k normal equations.
+    let mut ata = vec![vec![0.0; k]; k];
+    let mut atb = vec![0.0; k];
+    for (&xi, &yi) in x.iter().zip(y) {
+        let mut pow = vec![1.0; k];
+        for d in 1..k {
+            pow[d] = pow[d - 1] * xi;
+        }
+        for r in 0..k {
+            atb[r] += pow[r] * yi;
+            for c in 0..k {
+                ata[r][c] += pow[r] * pow[c];
+            }
+        }
+    }
+    solve_spd(&mut ata, &mut atb)?;
+    Ok(atb)
+}
+
+/// Generic weighted linear least squares: finds `c` minimizing
+/// `Σ wᵢ (yᵢ − rowᵢ·c)²` for arbitrary design-matrix rows (used for the
+/// Legendre dose-recipe fits).
+///
+/// # Errors
+///
+/// Returns [`SolveError::Dimension`] on ragged rows or mismatched lengths,
+/// or [`SolveError::Numerical`] if the normal equations are singular.
+pub fn fit_basis(rows: &[Vec<f64>], y: &[f64], w: Option<&[f64]>) -> Result<Vec<f64>, SolveError> {
+    if rows.len() != y.len() {
+        return Err(SolveError::Dimension(format!(
+            "{} design rows but {} observations",
+            rows.len(),
+            y.len()
+        )));
+    }
+    let k = rows.first().map_or(0, |r| r.len());
+    if k == 0 || rows.len() < k {
+        return Err(SolveError::Dimension(format!(
+            "need at least {k} observations for {k} basis functions, got {}",
+            rows.len()
+        )));
+    }
+    if let Some(w) = w {
+        if w.len() != y.len() {
+            return Err(SolveError::Dimension("weight vector length mismatch".into()));
+        }
+    }
+    let mut ata = vec![vec![0.0; k]; k];
+    let mut atb = vec![0.0; k];
+    for (i, row) in rows.iter().enumerate() {
+        if row.len() != k {
+            return Err(SolveError::Dimension(format!("design row {i} has length {}", row.len())));
+        }
+        let wi = w.map_or(1.0, |w| w[i]);
+        for r in 0..k {
+            atb[r] += wi * row[r] * y[i];
+            for c in 0..k {
+                ata[r][c] += wi * row[r] * row[c];
+            }
+        }
+    }
+    solve_spd(&mut ata, &mut atb)?;
+    Ok(atb)
+}
+
+/// Sum of squared residuals of a polynomial fit.
+fn ssr_poly(c: &[f64], x: &[f64], y: &[f64]) -> f64 {
+    x.iter()
+        .zip(y)
+        .map(|(&xi, &yi)| {
+            let mut v = 0.0;
+            for &ck in c.iter().rev() {
+                v = v * xi + ck;
+            }
+            let r = yi - v;
+            r * r
+        })
+        .sum()
+}
+
+/// In-place Cholesky solve of a small SPD system `M·x = b` (answer left in
+/// `b`). A tiny ridge is added when the matrix is near-singular.
+fn solve_spd(m: &mut [Vec<f64>], b: &mut [f64]) -> Result<(), SolveError> {
+    let n = b.len();
+    let max_diag =
+        m.iter().enumerate().map(|(i, row)| row[i].abs()).fold(0.0f64, f64::max).max(1e-300);
+    // Cholesky: M = L Lᵀ. A pivot that collapses relative to the largest
+    // diagonal entry indicates rank deficiency (collinear sample points).
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = m[i][j];
+            for k in 0..j {
+                sum -= m[i][k] * m[j][k];
+            }
+            if i == j {
+                if sum <= 1e-12 * max_diag {
+                    return Err(SolveError::Numerical(
+                        "normal equations are singular (collinear sample points?)".into(),
+                    ));
+                }
+                m[i][j] = sum.sqrt();
+            } else {
+                m[i][j] = sum / m[j][j];
+            }
+        }
+    }
+    // Forward solve L v = b.
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= m[i][k] * b[k];
+        }
+        b[i] = sum / m[i][i];
+    }
+    // Back solve Lᵀ x = v.
+    for i in (0..n).rev() {
+        let mut sum = b[i];
+        for k in i + 1..n {
+            sum -= m[k][i] * b[k];
+        }
+        b[i] = sum / m[i][i];
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_fit_recovers_exact_line() {
+        let x = [0.0, 1.0, 2.0, 3.0];
+        let y: Vec<f64> = x.iter().map(|v| 2.5 - 0.75 * v).collect();
+        let (c0, c1, ssr) = fit_linear(&x, &y).unwrap();
+        assert!((c0 - 2.5).abs() < 1e-10);
+        assert!((c1 + 0.75).abs() < 1e-10);
+        assert!(ssr < 1e-18);
+    }
+
+    #[test]
+    fn quadratic_fit_recovers_exact_parabola() {
+        let x: Vec<f64> = (-5..=5).map(|v| v as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| 1.0 + 2.0 * v + 0.5 * v * v).collect();
+        let (c0, c1, c2, ssr) = fit_quadratic(&x, &y).unwrap();
+        assert!((c0 - 1.0).abs() < 1e-9);
+        assert!((c1 - 2.0).abs() < 1e-9);
+        assert!((c2 - 0.5).abs() < 1e-9);
+        assert!(ssr < 1e-15);
+    }
+
+    #[test]
+    fn quadratic_fit_of_exponential_has_positive_curvature() {
+        // Leakage ~ exp(-lambda * dL): the quadratic surrogate must be convex.
+        let x: Vec<f64> = (-10..=10).map(|v| v as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| (0.09 * -v).exp()).collect();
+        let (_, _, c2, _) = fit_quadratic(&x, &y).unwrap();
+        assert!(c2 > 0.0);
+    }
+
+    #[test]
+    fn basis_fit_matches_polyfit() {
+        let x = [0.0, 0.5, 1.0, 1.5, 2.0];
+        let y = [1.0, 1.3, 1.9, 2.6, 3.2];
+        let rows: Vec<Vec<f64>> = x.iter().map(|&v| vec![1.0, v]).collect();
+        let c_basis = fit_basis(&rows, &y, None).unwrap();
+        let c_poly = polyfit(&x, &y, 1).unwrap();
+        assert!((c_basis[0] - c_poly[0]).abs() < 1e-10);
+        assert!((c_basis[1] - c_poly[1]).abs() < 1e-10);
+    }
+
+    #[test]
+    fn insufficient_points_is_an_error() {
+        assert!(matches!(fit_quadratic(&[0.0, 1.0], &[1.0, 2.0]), Err(SolveError::Dimension(_))));
+        assert!(matches!(fit_linear(&[0.0], &[1.0]), Err(SolveError::Dimension(_))));
+    }
+
+    #[test]
+    fn collinear_points_are_singular() {
+        let x = [2.0, 2.0, 2.0];
+        let y = [1.0, 2.0, 3.0];
+        assert!(matches!(polyfit(&x, &y, 2), Err(SolveError::Numerical(_))));
+    }
+}

@@ -1,0 +1,142 @@
+//! Quadratically constrained programs by bisection.
+//!
+//! The paper's second formulation — *minimize clock period `T` subject to
+//! `ΔLeakage(d) ≤ ξ`* — is a convex program with a linear objective and one
+//! convex quadratic constraint. For a convex program, the predicate
+//! "there exists a feasible point with `T ≤ τ` and `ΔLeakage ≤ ξ`" is
+//! monotone in `τ`, so the minimum `T` can be found exactly by bisection,
+//! where each probe is the paper's *first* formulation (a plain QP:
+//! minimize `ΔLeakage` subject to `T ≤ τ`) followed by an `≤ ξ` check.
+//! This re-uses one solver for both problems, exactly as the two
+//! formulations in the paper share all their constraints.
+
+use crate::SolveError;
+
+/// Outcome of one feasibility probe at a candidate objective value `t`.
+#[derive(Debug, Clone)]
+pub enum Probe<S> {
+    /// A point satisfying every constraint at this `t` exists; carries the
+    /// witness so the caller can warm-start the next probe.
+    Feasible(S),
+    /// No feasible point exists at this `t`.
+    Infeasible,
+}
+
+/// Result of a bisection solve.
+#[derive(Debug, Clone)]
+pub struct BisectResult<S> {
+    /// The smallest probed value proven feasible.
+    pub t: f64,
+    /// Witness returned by the feasibility oracle at `t`.
+    pub witness: S,
+    /// Number of oracle calls performed.
+    pub probes: usize,
+}
+
+/// Minimizes a scalar `t ∈ [lo, hi]` subject to a monotone feasibility
+/// oracle: `probe(t)` must be infeasible for all `t` below the optimum and
+/// feasible above it. `hi` must be feasible (checked). Stops when the
+/// bracket is narrower than `tol` and returns the feasible end.
+///
+/// # Errors
+///
+/// Returns [`SolveError::InvalidBracket`] if `lo > hi` or either bound is
+/// not finite, [`SolveError::Numerical`] if `probe(hi)` reports infeasible
+/// (the oracle contract requires the upper end to be feasible), and
+/// propagates any error from the oracle itself.
+pub fn bisect_min<S, F>(
+    lo: f64,
+    hi: f64,
+    tol: f64,
+    mut probe: F,
+) -> Result<BisectResult<S>, SolveError>
+where
+    F: FnMut(f64) -> Result<Probe<S>, SolveError>,
+{
+    if !(lo.is_finite() && hi.is_finite()) || lo > hi {
+        return Err(SolveError::InvalidBracket { lo, hi });
+    }
+    let mut probes = 0usize;
+    let mut best_t = hi;
+    let mut best_witness = match probe(hi)? {
+        Probe::Feasible(w) => {
+            probes += 1;
+            w
+        }
+        Probe::Infeasible => {
+            return Err(SolveError::Numerical(format!(
+                "bisection upper bound {hi} is infeasible; the bracket does not contain a solution"
+            )))
+        }
+    };
+    let mut lo = lo;
+    let mut hi = hi;
+    while hi - lo > tol {
+        let mid = 0.5 * (lo + hi);
+        probes += 1;
+        match probe(mid)? {
+            Probe::Feasible(w) => {
+                best_t = mid;
+                best_witness = w;
+                hi = mid;
+            }
+            Probe::Infeasible => {
+                lo = mid;
+            }
+        }
+    }
+    Ok(BisectResult { t: best_t, witness: best_witness, probes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_threshold_of_monotone_predicate() {
+        // Feasible iff t >= pi.
+        let r = bisect_min(0.0, 10.0, 1e-6, |t| {
+            Ok(if t >= std::f64::consts::PI { Probe::Feasible(t) } else { Probe::Infeasible })
+        })
+        .unwrap();
+        assert!((r.t - std::f64::consts::PI).abs() < 1e-5);
+        assert!(r.probes > 10);
+    }
+
+    #[test]
+    fn witness_comes_from_last_feasible_probe() {
+        let r = bisect_min(0.0, 8.0, 0.5, |t| {
+            Ok(if t >= 3.0 { Probe::Feasible(format!("w@{t:.3}")) } else { Probe::Infeasible })
+        })
+        .unwrap();
+        assert!(r.t >= 3.0 && r.t < 3.5);
+        assert_eq!(r.witness, format!("w@{:.3}", r.t));
+    }
+
+    #[test]
+    fn infeasible_upper_bound_is_an_error() {
+        let r = bisect_min(0.0, 1.0, 1e-3, |_| Ok(Probe::<()>::Infeasible));
+        assert!(matches!(r, Err(SolveError::Numerical(_))));
+    }
+
+    #[test]
+    fn inverted_bracket_is_an_error() {
+        let r = bisect_min(2.0, 1.0, 1e-3, |t| Ok(Probe::Feasible(t)));
+        assert!(matches!(r, Err(SolveError::InvalidBracket { .. })));
+    }
+
+    #[test]
+    fn degenerate_bracket_returns_hi() {
+        let r = bisect_min(5.0, 5.0, 1e-3, |t| Ok(Probe::Feasible(t))).unwrap();
+        assert_eq!(r.t, 5.0);
+        assert_eq!(r.probes, 1);
+    }
+
+    #[test]
+    fn oracle_errors_propagate() {
+        let r = bisect_min(0.0, 1.0, 1e-3, |_| {
+            Err::<Probe<()>, _>(SolveError::Numerical("oracle failed".into()))
+        });
+        assert!(matches!(r, Err(SolveError::Numerical(_))));
+    }
+}

@@ -1,0 +1,431 @@
+//! Block-based static timing analysis.
+
+use crate::wire::WireModel;
+use dme_liberty::{Library, VariantCache};
+use dme_netlist::{NetId, Netlist};
+use dme_placement::Placement;
+
+/// Per-instance gate-length / gate-width deltas (nm) induced by a dose
+/// map. This is the hand-off artifact between dose optimization and
+/// golden analysis: `ΔL = Ds · d^P`, `ΔW = Ds · d^A`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeometryAssignment {
+    /// Gate-length delta per instance, nm.
+    pub dl_nm: Vec<f64>,
+    /// Gate-width delta per instance, nm.
+    pub dw_nm: Vec<f64>,
+}
+
+impl GeometryAssignment {
+    /// All-nominal geometry (the pre-optimization state).
+    pub fn nominal(n: usize) -> Self {
+        Self { dl_nm: vec![0.0; n], dw_nm: vec![0.0; n] }
+    }
+
+    /// Uniform deltas for every instance (the Table II/III dose sweeps).
+    pub fn uniform(n: usize, dl_nm: f64, dw_nm: f64) -> Self {
+        Self { dl_nm: vec![dl_nm; n], dw_nm: vec![dw_nm; n] }
+    }
+
+    /// Number of instances covered.
+    pub fn len(&self) -> usize {
+        self.dl_nm.len()
+    }
+
+    /// Whether the assignment is empty.
+    pub fn is_empty(&self) -> bool {
+        self.dl_nm.is_empty()
+    }
+}
+
+/// Output of [`analyze`]: everything downstream consumers need.
+#[derive(Debug, Clone)]
+pub struct TimingReport {
+    /// Arrival time at each instance output, ns (startpoint-relative).
+    pub arrival_ns: Vec<f64>,
+    /// Required time at each instance output for the analyzed clock, ns.
+    pub required_ns: Vec<f64>,
+    /// Slack at each instance output, ns.
+    pub slack_ns: Vec<f64>,
+    /// Gate propagation delay used for each instance, ns.
+    pub gate_delay_ns: Vec<f64>,
+    /// Worst input slew seen by each instance, ns.
+    pub input_slew_ns: Vec<f64>,
+    /// Output slew of each instance, ns.
+    pub output_slew_ns: Vec<f64>,
+    /// Capacitive load at each instance output, fF.
+    pub load_ff: Vec<f64>,
+    /// Wire delay of each net (driver output to any sink), ns.
+    pub wire_delay_ns: Vec<f64>,
+    /// Earliest (best-case) arrival time at each instance output, ns —
+    /// the hold-analysis corner.
+    pub arrival_min_ns: Vec<f64>,
+    /// Best-case (min of rise/fall) gate delay used in the early pass, ns.
+    pub gate_delay_best_ns: Vec<f64>,
+    /// Worst hold slack over all flip-flop data pins, ns (positive =
+    /// no race; `+inf` if the design has no flip-flops).
+    pub worst_hold_slack_ns: f64,
+    /// Minimum cycle time: worst endpoint path delay (FF setup included),
+    /// ns.
+    pub mct_ns: f64,
+    /// Total leakage power, µW (golden exponential model).
+    pub total_leakage_uw: f64,
+}
+
+/// Default slew assumed at primary-input pads, ns.
+const PI_SLEW_NS: f64 = 0.03;
+
+/// Runs golden STA + leakage analysis on a placed netlist under a
+/// geometry assignment.
+///
+/// The clock for required-time/slack computation is the design's own MCT,
+/// so the worst slack is exactly zero — the convention the paper's slack
+/// profiles (Fig. 10) use.
+///
+/// # Panics
+///
+/// Panics if the netlist has a combinational cycle or the assignment
+/// length does not match the instance count.
+pub fn analyze(
+    lib: &Library,
+    nl: &Netlist,
+    placement: &Placement,
+    doses: &GeometryAssignment,
+) -> TimingReport {
+    assert_eq!(doses.len(), nl.num_instances(), "assignment/netlist size mismatch");
+    let tech = lib.tech();
+    let wire = WireModel::for_tech(tech);
+    let cache = VariantCache::new(lib);
+    let n = nl.num_instances();
+
+    // --- output load per net: wire cap + sink pin caps at sink geometry ---
+    let mut net_load_ff = vec![0.0f64; nl.num_nets()];
+    let mut net_sink_cap = vec![0.0f64; nl.num_nets()];
+    let mut net_wire_delay = vec![0.0f64; nl.num_nets()];
+    for net_idx in 0..nl.num_nets() {
+        let net = NetId(net_idx as u32);
+        let mut pin_cap = 0.0;
+        for &(sink, _) in &nl.net(net).sinks {
+            let s = sink.0 as usize;
+            pin_cap +=
+                lib.cell(nl.instance(sink).cell_idx).input_cap_ff(tech, doses.dl_nm[s], doses.dw_nm[s]);
+        }
+        let hpwl = placement.net_hpwl(lib, nl, net);
+        net_sink_cap[net_idx] = pin_cap;
+        net_load_ff[net_idx] = pin_cap + wire.wire_cap_ff(hpwl);
+        net_wire_delay[net_idx] = wire.wire_delay_ns(hpwl, pin_cap);
+    }
+
+    // --- forward propagation in topological order ---
+    let order = nl.topo_order().expect("combinational cycle");
+    let mut arrival = vec![0.0f64; n];
+    let mut out_slew = vec![PI_SLEW_NS; n];
+    let mut in_slew = vec![PI_SLEW_NS; n];
+    let mut gate_delay = vec![0.0f64; n];
+    let mut load = vec![0.0f64; n];
+
+    for &id in &order {
+        let i = id.0 as usize;
+        let inst = nl.instance(id);
+        let out_load = net_load_ff[inst.output.0 as usize];
+        load[i] = out_load;
+        let tables = cache.tables(inst.cell_idx, doses.dl_nm[i], doses.dw_nm[i]);
+        if inst.is_sequential {
+            // Launch point: arrival at Q is the clk→Q delay.
+            let d = tables.delay_worst(PI_SLEW_NS, out_load);
+            arrival[i] = d;
+            gate_delay[i] = d;
+            in_slew[i] = PI_SLEW_NS;
+            out_slew[i] = tables.out_slew_worst(PI_SLEW_NS, out_load);
+            continue;
+        }
+        // Worst input arrival and slew over fanin pins.
+        let mut arr = 0.0f64;
+        let mut slew = PI_SLEW_NS;
+        for &net in &inst.inputs {
+            let ni = net.0 as usize;
+            if let Some(drv) = nl.net(net).driver {
+                let d = drv.0 as usize;
+                arr = arr.max(arrival[d] + net_wire_delay[ni]);
+                // Wire degrades the transition; two wire time-constants.
+                slew = slew.max(out_slew[d] + 2.0 * net_wire_delay[ni]);
+            } else {
+                // Primary input: arrival 0 at pad plus wire to this pin.
+                arr = arr.max(net_wire_delay[ni]);
+            }
+        }
+        let d = tables.delay_worst(slew, out_load);
+        arrival[i] = arr + d;
+        gate_delay[i] = d;
+        in_slew[i] = slew;
+        out_slew[i] = tables.out_slew_worst(slew, out_load);
+    }
+
+    // --- early (hold) propagation: best-case arrivals ---
+    // Launch at clk→Q best delay; every gate contributes its min-of-rise/
+    // fall delay; the earliest fanin pin wins. The hold check at an FF D
+    // pin races this early arrival against the FF's hold requirement.
+    let mut arrival_min = vec![0.0f64; n];
+    let mut gate_delay_best = vec![0.0f64; n];
+    for &id in &order {
+        let i = id.0 as usize;
+        let inst = nl.instance(id);
+        let out_load = net_load_ff[inst.output.0 as usize];
+        let tables = cache.tables(inst.cell_idx, doses.dl_nm[i], doses.dw_nm[i]);
+        if inst.is_sequential {
+            arrival_min[i] = tables.delay_best(PI_SLEW_NS, out_load);
+            gate_delay_best[i] = arrival_min[i];
+            continue;
+        }
+        let mut arr = f64::INFINITY;
+        for &net in &inst.inputs {
+            let ni = net.0 as usize;
+            match nl.net(net).driver {
+                Some(drv) => {
+                    arr = arr.min(arrival_min[drv.0 as usize] + net_wire_delay[ni])
+                }
+                None => arr = arr.min(net_wire_delay[ni]),
+            }
+        }
+        if !arr.is_finite() {
+            arr = 0.0;
+        }
+        gate_delay_best[i] = tables.delay_best(in_slew[i], out_load);
+        arrival_min[i] = arr + gate_delay_best[i];
+    }
+    let mut worst_hold = f64::INFINITY;
+    for id in nl.inst_ids() {
+        let inst = nl.instance(id);
+        if inst.is_sequential {
+            let data = inst.inputs[0];
+            if let Some(drv) = nl.net(data).driver {
+                let hold = lib.cell(inst.cell_idx).hold_ns(tech);
+                let early = arrival_min[drv.0 as usize]
+                    + net_wire_delay[data.0 as usize];
+                worst_hold = worst_hold.min(early - hold);
+            }
+        }
+    }
+
+    // --- endpoints and MCT ---
+    // FF D pins capture with setup; primary outputs capture directly.
+    let mut mct = 0.0f64;
+    for id in nl.inst_ids() {
+        let inst = nl.instance(id);
+        if inst.is_sequential {
+            let data_net = inst.inputs[0];
+            let ni = data_net.0 as usize;
+            if let Some(drv) = nl.net(data_net).driver {
+                let setup = lib.cell(inst.cell_idx).setup_ns(tech);
+                mct = mct.max(arrival[drv.0 as usize] + net_wire_delay[ni] + setup);
+            }
+        }
+    }
+    for &po in &nl.primary_outputs {
+        if let Some(drv) = nl.net(po).driver {
+            mct = mct.max(arrival[drv.0 as usize]);
+        }
+    }
+
+    // --- backward required-time pass at clock = MCT ---
+    let mut required = vec![f64::INFINITY; n];
+    for id in nl.inst_ids() {
+        let inst = nl.instance(id);
+        if inst.is_sequential {
+            let data_net = inst.inputs[0];
+            if let Some(drv) = nl.net(data_net).driver {
+                let setup = lib.cell(inst.cell_idx).setup_ns(tech);
+                let ni = data_net.0 as usize;
+                let r = mct - setup - net_wire_delay[ni];
+                let d = drv.0 as usize;
+                required[d] = required[d].min(r);
+            }
+        }
+    }
+    for &po in &nl.primary_outputs {
+        if let Some(drv) = nl.net(po).driver {
+            let d = drv.0 as usize;
+            required[d] = required[d].min(mct);
+        }
+    }
+    for &id in order.iter().rev() {
+        let i = id.0 as usize;
+        let inst = nl.instance(id);
+        if inst.is_sequential {
+            continue;
+        }
+        // Propagate requirement to combinational fanins.
+        for &net in &inst.inputs {
+            if let Some(drv) = nl.net(net).driver {
+                if nl.instance(drv).is_sequential {
+                    continue;
+                }
+                let ni = net.0 as usize;
+                let r = required[i] - gate_delay[i] - net_wire_delay[ni];
+                let d = drv.0 as usize;
+                required[d] = required[d].min(r);
+            }
+        }
+    }
+    // Instances with no timed fanout keep required = +inf; clamp to MCT so
+    // their slack is finite and large.
+    let mut slack = vec![0.0f64; n];
+    for i in 0..n {
+        if !required[i].is_finite() {
+            required[i] = mct;
+        }
+        slack[i] = required[i] - arrival[i];
+    }
+
+    // --- golden leakage ---
+    let total_leakage_uw: f64 = (0..n)
+        .map(|i| {
+            lib.cell(nl.instances[i].cell_idx).leakage_nw(tech, doses.dl_nm[i], doses.dw_nm[i])
+        })
+        .sum::<f64>()
+        / 1000.0;
+
+    TimingReport {
+        arrival_ns: arrival,
+        required_ns: required,
+        slack_ns: slack,
+        gate_delay_ns: gate_delay,
+        input_slew_ns: in_slew,
+        output_slew_ns: out_slew,
+        load_ff: load,
+        wire_delay_ns: net_wire_delay,
+        arrival_min_ns: arrival_min,
+        gate_delay_best_ns: gate_delay_best,
+        worst_hold_slack_ns: worst_hold,
+        mct_ns: mct,
+        total_leakage_uw,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dme_device::Technology;
+    use dme_netlist::{gen, profiles};
+
+    fn setup() -> (Library, dme_netlist::Design, Placement) {
+        let lib = Library::standard(Technology::n65());
+        let d = gen::generate(&profiles::tiny(), &lib);
+        let p = dme_placement::place(&d, &lib);
+        (lib, d, p)
+    }
+
+    #[test]
+    fn nominal_analysis_is_consistent() {
+        let (lib, d, p) = setup();
+        let doses = GeometryAssignment::nominal(d.netlist.num_instances());
+        let r = analyze(&lib, &d.netlist, &p, &doses);
+        assert!(r.mct_ns > 0.0);
+        assert!(r.total_leakage_uw > 0.0);
+        // Worst slack is exactly zero at clock = MCT.
+        let worst = r.slack_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(worst.abs() < 1e-9, "worst slack = {worst}");
+        // No negative arrivals, no NaNs.
+        for i in 0..d.netlist.num_instances() {
+            assert!(r.arrival_ns[i] >= 0.0);
+            assert!(r.slack_ns[i].is_finite());
+        }
+    }
+
+    #[test]
+    fn arrivals_respect_edges() {
+        let (lib, d, p) = setup();
+        let doses = GeometryAssignment::nominal(d.netlist.num_instances());
+        let r = analyze(&lib, &d.netlist, &p, &doses);
+        for id in d.netlist.inst_ids() {
+            let inst = d.netlist.instance(id);
+            if inst.is_sequential {
+                continue;
+            }
+            for &net in &inst.inputs {
+                if let Some(drv) = d.netlist.net(net).driver {
+                    let lhs = r.arrival_ns[drv.0 as usize]
+                        + r.wire_delay_ns[net.0 as usize]
+                        + r.gate_delay_ns[id.0 as usize];
+                    assert!(
+                        lhs <= r.arrival_ns[id.0 as usize] + 1e-9,
+                        "edge {drv}->{id} violates arrival"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shorter_gates_speed_up_and_leak_more() {
+        let (lib, d, p) = setup();
+        let n = d.netlist.num_instances();
+        let nom = analyze(&lib, &d.netlist, &p, &GeometryAssignment::nominal(n));
+        let fast = analyze(&lib, &d.netlist, &p, &GeometryAssignment::uniform(n, -10.0, 0.0));
+        assert!(fast.mct_ns < nom.mct_ns);
+        assert!(fast.total_leakage_uw > 2.0 * nom.total_leakage_uw);
+        let slow = analyze(&lib, &d.netlist, &p, &GeometryAssignment::uniform(n, 10.0, 0.0));
+        assert!(slow.mct_ns > nom.mct_ns);
+        assert!(slow.total_leakage_uw < nom.total_leakage_uw);
+    }
+
+    #[test]
+    fn wider_gates_speed_up_slightly() {
+        let (lib, d, p) = setup();
+        let n = d.netlist.num_instances();
+        let nom = analyze(&lib, &d.netlist, &p, &GeometryAssignment::nominal(n));
+        let wide = analyze(&lib, &d.netlist, &p, &GeometryAssignment::uniform(n, 0.0, 10.0));
+        assert!(wide.mct_ns < nom.mct_ns);
+        // Width effect is small relative to length effect (max ΔW = 10 nm
+        // vs ≥ 200 nm widths — the paper's observation).
+        let l_gain = nom.mct_ns
+            - analyze(&lib, &d.netlist, &p, &GeometryAssignment::uniform(n, -10.0, 0.0)).mct_ns;
+        let w_gain = nom.mct_ns - wide.mct_ns;
+        assert!(w_gain < 0.5 * l_gain, "w_gain = {w_gain}, l_gain = {l_gain}");
+    }
+
+    #[test]
+    fn hold_analysis_is_consistent() {
+        let (lib, d, p) = setup();
+        let doses = GeometryAssignment::nominal(d.netlist.num_instances());
+        let r = analyze(&lib, &d.netlist, &p, &doses);
+        // Early arrivals never exceed late arrivals.
+        for i in 0..d.netlist.num_instances() {
+            assert!(
+                r.arrival_min_ns[i] <= r.arrival_ns[i] + 1e-12,
+                "early > late at instance {i}"
+            );
+            assert!(r.arrival_min_ns[i] >= 0.0);
+        }
+        assert!(r.worst_hold_slack_ns.is_finite());
+        // Raising dose everywhere (faster gates) tightens hold slack.
+        let fast =
+            analyze(&lib, &d.netlist, &p, &GeometryAssignment::uniform(d.netlist.num_instances(), -10.0, 0.0));
+        assert!(fast.worst_hold_slack_ns <= r.worst_hold_slack_ns + 1e-12);
+        // Lowering dose everywhere (slower gates) relaxes it.
+        let slow =
+            analyze(&lib, &d.netlist, &p, &GeometryAssignment::uniform(d.netlist.num_instances(), 10.0, 0.0));
+        assert!(slow.worst_hold_slack_ns >= r.worst_hold_slack_ns - 1e-12);
+    }
+
+    #[test]
+    fn uniform_sweep_is_monotone() {
+        let (lib, d, p) = setup();
+        let n = d.netlist.num_instances();
+        let mut last_mct = f64::NEG_INFINITY;
+        let mut last_leak = f64::INFINITY;
+        for step in -5..=5 {
+            let dl = -2.0 * step as f64; // dose +5% → ΔL = −10 nm
+            let r = analyze(&lib, &d.netlist, &p, &GeometryAssignment::uniform(n, dl, 0.0));
+            if step > -5 {
+                assert!(r.mct_ns <= last_mct + 1e-9, "MCT not decreasing at dose {step}");
+                assert!(
+                    r.total_leakage_uw >= last_leak - 1e-9,
+                    "leakage not increasing at dose {step}"
+                );
+            }
+            last_mct = r.mct_ns;
+            last_leak = r.total_leakage_uw;
+        }
+    }
+}

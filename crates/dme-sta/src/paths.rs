@@ -1,0 +1,438 @@
+//! Top-K critical path enumeration.
+//!
+//! Best-first search over the timing DAG using an exact
+//! remaining-delay bound ψ (the classic k-longest-paths deviation
+//! method): a state `(prefix delay + ψ(v), v)` is popped from a max-heap
+//! and extended along every timing edge; "finishing" at an endpoint is a
+//! special extension. Because ψ is exact, paths are emitted in strictly
+//! non-increasing total-delay order, so the first K finishes are exactly
+//! the K most critical paths.
+
+use crate::engine::TimingReport;
+use dme_netlist::{InstId, Netlist};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::rc::Rc;
+
+/// One enumerated timing path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingPath {
+    /// Instances along the path, startpoint first.
+    pub instances: Vec<InstId>,
+    /// Total path delay including the endpoint setup time, ns.
+    pub delay_ns: f64,
+    /// Slack against the report's MCT, ns (zero for the most critical
+    /// path).
+    pub slack_ns: f64,
+}
+
+/// Persistent list node for sharing path prefixes between heap states.
+struct PathNode {
+    inst: InstId,
+    prev: Option<Rc<PathNode>>,
+}
+
+fn materialize(node: &Rc<PathNode>) -> Vec<InstId> {
+    let mut v = Vec::new();
+    let mut cur = Some(node.clone());
+    while let Some(n) = cur {
+        v.push(n.inst);
+        cur = n.prev.clone();
+    }
+    v.reverse();
+    v
+}
+
+struct State {
+    est: f64,
+    prefix: f64,
+    /// `None` marks a finish state (the path is complete).
+    at: Option<InstId>,
+    path: Rc<PathNode>,
+}
+
+impl PartialEq for State {
+    fn eq(&self, other: &Self) -> bool {
+        self.est == other.est
+    }
+}
+impl Eq for State {}
+impl PartialOrd for State {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for State {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.est.total_cmp(&other.est)
+    }
+}
+
+/// Timing-edge context shared by ψ computation and enumeration.
+struct PathGraph<'a> {
+    nl: &'a Netlist,
+    report: &'a TimingReport,
+    /// Endpoint weight of each instance (wire + setup to the worst
+    /// endpoint it drives), or `None` if it drives no endpoint.
+    end_weight: Vec<Option<f64>>,
+    /// ψ: exact max delay-to-endpoint from each instance output.
+    psi: Vec<f64>,
+    /// Combinational successors with edge weights `wire + gate_delay(q)`.
+    succ: Vec<Vec<(InstId, f64)>>,
+}
+
+impl<'a> PathGraph<'a> {
+    fn build(nl: &'a Netlist, report: &'a TimingReport, setup_ns: &[f64]) -> Self {
+        let n = nl.num_instances();
+        let mut end_weight: Vec<Option<f64>> = vec![None; n];
+        let mut succ: Vec<Vec<(InstId, f64)>> = vec![Vec::new(); n];
+
+        for id in nl.inst_ids() {
+            let inst = nl.instance(id);
+            let out_net = inst.output.0 as usize;
+            let wire = report.wire_delay_ns[out_net];
+            if nl.net(inst.output).is_primary_output {
+                let w = end_weight[id.0 as usize].get_or_insert(0.0);
+                *w = w.max(0.0);
+            }
+            let mut seen_comb: Option<InstId> = None;
+            for &(sink, pin) in &nl.net(inst.output).sinks {
+                let s = sink.0 as usize;
+                if nl.instance(sink).is_sequential {
+                    if pin == 0 {
+                        let w = wire + setup_ns[s];
+                        let e = end_weight[id.0 as usize].get_or_insert(w);
+                        *e = e.max(w);
+                    }
+                } else {
+                    // A gate can take the same net on several pins; the
+                    // timing edge is the same, so dedup consecutive sinks
+                    // (sinks of one net are grouped by construction).
+                    if seen_comb == Some(sink)
+                        || succ[id.0 as usize].iter().any(|&(q, _)| q == sink)
+                    {
+                        continue;
+                    }
+                    seen_comb = Some(sink);
+                    succ[id.0 as usize].push((sink, wire + report.gate_delay_ns[s]));
+                }
+            }
+        }
+
+        // ψ in reverse topological order.
+        let order = nl.topo_order().expect("acyclic");
+        let mut psi = vec![f64::NEG_INFINITY; n];
+        for &id in order.iter().rev() {
+            let i = id.0 as usize;
+            let mut best = end_weight[i].unwrap_or(f64::NEG_INFINITY);
+            for &(q, w) in &succ[i] {
+                best = best.max(w + psi[q.0 as usize]);
+            }
+            psi[i] = best;
+        }
+        Self { nl, report, end_weight, psi, succ }
+    }
+
+    /// Startpoints with their base delays: sequential outputs (clk→Q) and
+    /// PI-fed combinational gates (pad wire + gate delay).
+    fn starts(&self) -> Vec<(InstId, f64)> {
+        let mut starts = Vec::new();
+        for id in self.nl.inst_ids() {
+            let inst = self.nl.instance(id);
+            let i = id.0 as usize;
+            if inst.is_sequential {
+                starts.push((id, self.report.gate_delay_ns[i]));
+                continue;
+            }
+            // Combinational gate with at least one PI input: its PI-driven
+            // arrival can begin a path.
+            let mut pi_arr: Option<f64> = None;
+            for &net in &inst.inputs {
+                if self.nl.net(net).driver.is_none() {
+                    let w = self.report.wire_delay_ns[net.0 as usize];
+                    let a = w + self.report.gate_delay_ns[i];
+                    pi_arr = Some(pi_arr.map_or(a, |x: f64| x.max(a)));
+                }
+            }
+            if let Some(a) = pi_arr {
+                starts.push((id, a));
+            }
+        }
+        starts
+    }
+}
+
+/// Reports the single worst path to every timing endpoint (FF data pins
+/// and primary outputs), sorted most-critical first — the default view a
+/// signoff timer (PrimeTime) gives and the path population the paper's
+/// Table VII / dosePl operate on. Unlike [`top_k_paths`], which
+/// enumerates *all* paths in delay order (and therefore drowns in the
+/// combinatorial near-critical path cloud of reconvergent logic), this is
+/// `O(endpoints × depth)`.
+///
+/// # Panics
+///
+/// Panics if `setup_ns` does not match the instance count.
+pub fn worst_path_per_endpoint(
+    nl: &Netlist,
+    report: &TimingReport,
+    setup_ns: &[f64],
+) -> Vec<TimingPath> {
+    assert_eq!(setup_ns.len(), nl.num_instances());
+
+    // Backtrace the max-arrival chain from a driver instance.
+    let trace = |mut cur: InstId| -> Vec<InstId> {
+        let mut chain = vec![cur];
+        loop {
+            let inst = nl.instance(cur);
+            if inst.is_sequential {
+                break;
+            }
+            let mut best: Option<(f64, InstId)> = None;
+            let mut pi_arr = f64::NEG_INFINITY;
+            for &net in &inst.inputs {
+                let wire = report.wire_delay_ns[net.0 as usize];
+                match nl.net(net).driver {
+                    Some(drv) => {
+                        let a = report.arrival_ns[drv.0 as usize] + wire;
+                        if best.map_or(true, |(b, _)| a > b) {
+                            best = Some((a, drv));
+                        }
+                    }
+                    None => pi_arr = pi_arr.max(wire),
+                }
+            }
+            match best {
+                Some((a, drv)) if a >= pi_arr => {
+                    chain.push(drv);
+                    cur = drv;
+                }
+                _ => break, // path launches from a primary input
+            }
+        }
+        chain.reverse();
+        chain
+    };
+
+    let mut out = Vec::new();
+    for id in nl.inst_ids() {
+        let inst = nl.instance(id);
+        if inst.is_sequential {
+            let data = inst.inputs[0];
+            if let Some(drv) = nl.net(data).driver {
+                let delay = report.arrival_ns[drv.0 as usize]
+                    + report.wire_delay_ns[data.0 as usize]
+                    + setup_ns[id.0 as usize];
+                out.push(TimingPath {
+                    instances: trace(drv),
+                    delay_ns: delay,
+                    slack_ns: report.mct_ns - delay,
+                });
+            }
+        }
+    }
+    for &po in &nl.primary_outputs {
+        if let Some(drv) = nl.net(po).driver {
+            let delay = report.arrival_ns[drv.0 as usize];
+            out.push(TimingPath {
+                instances: trace(drv),
+                delay_ns: delay,
+                slack_ns: report.mct_ns - delay,
+            });
+        }
+    }
+    out.sort_by(|a, b| b.delay_ns.total_cmp(&a.delay_ns));
+    out
+}
+
+/// Enumerates the top-`k` critical paths of an analyzed design.
+///
+/// `setup_ns` must give the setup time of every instance (zero for
+/// combinational cells) — obtain it from the library masters.
+///
+/// # Panics
+///
+/// Panics if `setup_ns` does not match the instance count.
+pub fn top_k_paths(
+    nl: &Netlist,
+    report: &TimingReport,
+    setup_ns: &[f64],
+    k: usize,
+) -> Vec<TimingPath> {
+    assert_eq!(setup_ns.len(), nl.num_instances());
+    let g = PathGraph::build(nl, report, setup_ns);
+    let mut heap: BinaryHeap<State> = BinaryHeap::new();
+    for (id, base) in g.starts() {
+        let i = id.0 as usize;
+        if g.psi[i] == f64::NEG_INFINITY {
+            continue;
+        }
+        heap.push(State {
+            est: base + g.psi[i],
+            prefix: base,
+            at: Some(id),
+            path: Rc::new(PathNode { inst: id, prev: None }),
+        });
+    }
+    let mut out = Vec::with_capacity(k);
+    while let Some(s) = heap.pop() {
+        match s.at {
+            None => {
+                out.push(TimingPath {
+                    instances: materialize(&s.path),
+                    delay_ns: s.prefix,
+                    slack_ns: report.mct_ns - s.prefix,
+                });
+                if out.len() >= k {
+                    break;
+                }
+            }
+            Some(v) => {
+                let i = v.0 as usize;
+                if let Some(ew) = g.end_weight[i] {
+                    heap.push(State {
+                        est: s.prefix + ew,
+                        prefix: s.prefix + ew,
+                        at: None,
+                        path: s.path.clone(),
+                    });
+                }
+                for &(q, w) in &g.succ[i] {
+                    let qi = q.0 as usize;
+                    if g.psi[qi] == f64::NEG_INFINITY {
+                        continue;
+                    }
+                    heap.push(State {
+                        est: s.prefix + w + g.psi[qi],
+                        prefix: s.prefix + w,
+                        at: Some(q),
+                        path: Rc::new(PathNode { inst: q, prev: Some(s.path.clone()) }),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{analyze, GeometryAssignment};
+    use dme_device::Technology;
+    use dme_liberty::Library;
+    use dme_netlist::{gen, profiles};
+
+    fn setup() -> (Library, dme_netlist::Design, dme_placement::Placement) {
+        let lib = Library::standard(Technology::n65());
+        let d = gen::generate(&profiles::tiny(), &lib);
+        let p = dme_placement::place(&d, &lib);
+        (lib, d, p)
+    }
+
+    fn setups(lib: &Library, nl: &Netlist) -> Vec<f64> {
+        nl.instances.iter().map(|i| lib.cell(i.cell_idx).setup_ns(lib.tech())).collect()
+    }
+
+    #[test]
+    fn paths_come_out_in_descending_delay_order() {
+        let (lib, d, p) = setup();
+        let doses = GeometryAssignment::nominal(d.netlist.num_instances());
+        let r = analyze(&lib, &d.netlist, &p, &doses);
+        let paths = top_k_paths(&d.netlist, &r, &setups(&lib, &d.netlist), 50);
+        assert!(!paths.is_empty());
+        for w in paths.windows(2) {
+            assert!(w[0].delay_ns >= w[1].delay_ns - 1e-12);
+        }
+    }
+
+    #[test]
+    fn worst_path_delay_equals_mct() {
+        let (lib, d, p) = setup();
+        let doses = GeometryAssignment::nominal(d.netlist.num_instances());
+        let r = analyze(&lib, &d.netlist, &p, &doses);
+        let paths = top_k_paths(&d.netlist, &r, &setups(&lib, &d.netlist), 1);
+        assert_eq!(paths.len(), 1);
+        assert!(
+            (paths[0].delay_ns - r.mct_ns).abs() < 1e-9,
+            "top path {} vs MCT {}",
+            paths[0].delay_ns,
+            r.mct_ns
+        );
+        assert!(paths[0].slack_ns.abs() < 1e-9);
+    }
+
+    #[test]
+    fn paths_are_connected_chains() {
+        let (lib, d, p) = setup();
+        let doses = GeometryAssignment::nominal(d.netlist.num_instances());
+        let r = analyze(&lib, &d.netlist, &p, &doses);
+        let paths = top_k_paths(&d.netlist, &r, &setups(&lib, &d.netlist), 20);
+        for path in &paths {
+            for pair in path.instances.windows(2) {
+                let (a, b) = (pair[0], pair[1]);
+                let out = d.netlist.instance(a).output;
+                assert!(
+                    d.netlist.net(out).sinks.iter().any(|&(s, _)| s == b),
+                    "path edge {a}->{b} is not a netlist edge"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paths_are_distinct() {
+        let (lib, d, p) = setup();
+        let doses = GeometryAssignment::nominal(d.netlist.num_instances());
+        let r = analyze(&lib, &d.netlist, &p, &doses);
+        let paths = top_k_paths(&d.netlist, &r, &setups(&lib, &d.netlist), 100);
+        for i in 0..paths.len() {
+            for j in i + 1..paths.len() {
+                assert!(paths[i].instances != paths[j].instances, "duplicate path at {i}/{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn endpoint_paths_cover_every_endpoint() {
+        let (lib, d, p) = setup();
+        let doses = GeometryAssignment::nominal(d.netlist.num_instances());
+        let r = analyze(&lib, &d.netlist, &p, &doses);
+        let paths = worst_path_per_endpoint(&d.netlist, &r, &setups(&lib, &d.netlist));
+        let n_ff = d.netlist.instances.iter().filter(|i| i.is_sequential).count();
+        let n_po = d.netlist.primary_outputs.len();
+        assert_eq!(paths.len(), n_ff + n_po);
+        // Sorted most-critical first and the top path matches the MCT.
+        for w in paths.windows(2) {
+            assert!(w[0].delay_ns >= w[1].delay_ns);
+        }
+        assert!((paths[0].delay_ns - r.mct_ns).abs() < 1e-9);
+        // Each path is a connected chain ending at the endpoint driver.
+        for path in &paths {
+            for pair in path.instances.windows(2) {
+                let out = d.netlist.instance(pair[0]).output;
+                assert!(d.netlist.net(out).sinks.iter().any(|&(s, _)| s == pair[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn endpoint_paths_agree_with_full_enumeration_on_the_worst() {
+        let (lib, d, p) = setup();
+        let doses = GeometryAssignment::nominal(d.netlist.num_instances());
+        let r = analyze(&lib, &d.netlist, &p, &doses);
+        let setup_t = setups(&lib, &d.netlist);
+        let full = top_k_paths(&d.netlist, &r, &setup_t, 1);
+        let per_ep = worst_path_per_endpoint(&d.netlist, &r, &setup_t);
+        assert!((full[0].delay_ns - per_ep[0].delay_ns).abs() < 1e-9);
+    }
+
+    #[test]
+    fn k_limits_output() {
+        let (lib, d, p) = setup();
+        let doses = GeometryAssignment::nominal(d.netlist.num_instances());
+        let r = analyze(&lib, &d.netlist, &p, &doses);
+        let paths = top_k_paths(&d.netlist, &r, &setups(&lib, &d.netlist), 7);
+        assert!(paths.len() <= 7);
+    }
+}

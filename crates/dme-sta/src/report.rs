@@ -1,0 +1,93 @@
+//! Reporting helpers: slack profiles (Fig. 10) and criticality
+//! percentages (Table VII).
+
+use crate::paths::TimingPath;
+
+/// One bin of a slack profile histogram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlackBin {
+    /// Inclusive lower slack edge, ns.
+    pub lo_ns: f64,
+    /// Exclusive upper slack edge, ns.
+    pub hi_ns: f64,
+    /// Number of paths whose slack falls in the bin.
+    pub count: usize,
+}
+
+/// Histogram of path slacks over `bins` equal-width bins spanning
+/// `[0, max_slack]` — the Fig. 10 "slack profile" of a design. Paths with
+/// tiny negative numerical slack land in the first bin.
+pub fn slack_profile(paths: &[TimingPath], bins: usize) -> Vec<SlackBin> {
+    assert!(bins > 0, "need at least one bin");
+    let max_slack = paths.iter().map(|p| p.slack_ns).fold(0.0f64, f64::max).max(1e-12);
+    let width = max_slack / bins as f64;
+    let mut out: Vec<SlackBin> = (0..bins)
+        .map(|i| SlackBin { lo_ns: i as f64 * width, hi_ns: (i as f64 + 1.0) * width, count: 0 })
+        .collect();
+    for p in paths {
+        let idx = ((p.slack_ns / width).floor().max(0.0) as usize).min(bins - 1);
+        out[idx].count += 1;
+    }
+    out
+}
+
+/// Percentages of paths whose delay falls within given fractions of the
+/// MCT — the paper's Table VII. `thresholds` are fractions (e.g. 0.95
+/// means "delay within 95–100% of MCT"); the result is a percentage per
+/// threshold, computed over the supplied path set.
+pub fn criticality_percentages(paths: &[TimingPath], mct_ns: f64, thresholds: &[f64]) -> Vec<f64> {
+    if paths.is_empty() {
+        return thresholds.iter().map(|_| 0.0).collect();
+    }
+    thresholds
+        .iter()
+        .map(|&t| {
+            let c = paths.iter().filter(|p| p.delay_ns >= t * mct_ns).count();
+            100.0 * c as f64 / paths.len() as f64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dme_netlist::InstId;
+
+    fn path(delay: f64, slack: f64) -> TimingPath {
+        TimingPath { instances: vec![InstId(0)], delay_ns: delay, slack_ns: slack }
+    }
+
+    #[test]
+    fn profile_counts_every_path() {
+        let paths: Vec<TimingPath> =
+            (0..100).map(|i| path(1.0, i as f64 * 0.01)).collect();
+        let prof = slack_profile(&paths, 10);
+        assert_eq!(prof.iter().map(|b| b.count).sum::<usize>(), 100);
+        // Uniform slacks → roughly uniform bins.
+        for b in &prof {
+            assert!(b.count >= 5 && b.count <= 15, "bin count {}", b.count);
+        }
+    }
+
+    #[test]
+    fn profile_handles_negative_and_zero_slack() {
+        let paths = vec![path(1.0, -1e-15), path(1.0, 0.0), path(1.0, 0.5)];
+        let prof = slack_profile(&paths, 5);
+        assert_eq!(prof.iter().map(|b| b.count).sum::<usize>(), 3);
+        assert_eq!(prof[0].count, 2);
+    }
+
+    #[test]
+    fn criticality_is_monotone_in_threshold() {
+        let paths: Vec<TimingPath> = (0..1000).map(|i| path(1.0 - i as f64 * 0.0005, 0.0)).collect();
+        let pct = criticality_percentages(&paths, 1.0, &[0.95, 0.90, 0.80]);
+        assert!(pct[0] <= pct[1] && pct[1] <= pct[2]);
+        assert!((pct[0] - 10.1).abs() < 1.0, "pct95 = {}", pct[0]);
+    }
+
+    #[test]
+    fn empty_paths_give_zero_percentages() {
+        let pct = criticality_percentages(&[], 1.0, &[0.9]);
+        assert_eq!(pct, vec![0.0]);
+    }
+}

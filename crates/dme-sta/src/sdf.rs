@@ -1,0 +1,137 @@
+//! SDF (Standard Delay Format) emission.
+//!
+//! A golden timing analysis can be dumped as an SDF 3.0 subset: one
+//! `IOPATH` triple per cell instance (min = best-case/hold delay,
+//! typ = max = worst-case/setup delay, as this engine models corners)
+//! and one `INTERCONNECT` entry per driven net. This is the artifact a
+//! signoff timer hands to gate-level simulation and to third-party
+//! timing tools, and it lets the dose-modulated delays leave the
+//! workspace in a standard form.
+
+use crate::engine::TimingReport;
+use dme_netlist::Netlist;
+use std::fmt::Write as _;
+
+/// Emits an analysis as SDF text.
+///
+/// Cell delays carry `(min:typ:max)` triples from the report's best- and
+/// worst-case gate delays; interconnect delays use the per-net lumped
+/// wire delay on every driver→sink arc. Values are in nanoseconds
+/// (declared in the header).
+pub fn write_sdf(nl: &Netlist, report: &TimingReport, design: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "(DELAYFILE");
+    let _ = writeln!(out, "  (SDFVERSION \"3.0\")");
+    let _ = writeln!(out, "  (DESIGN \"{design}\")");
+    let _ = writeln!(out, "  (TIMESCALE 1ns)");
+    for id in nl.inst_ids() {
+        let i = id.0 as usize;
+        let inst = nl.instance(id);
+        let best = report.gate_delay_best_ns[i];
+        let worst = report.gate_delay_ns[i];
+        let _ = writeln!(out, "  (CELL");
+        let _ = writeln!(out, "    (CELLTYPE \"CELL\")");
+        let _ = writeln!(out, "    (INSTANCE {})", inst.name);
+        let _ = writeln!(out, "    (DELAY (ABSOLUTE");
+        if inst.is_sequential {
+            let _ = writeln!(
+                out,
+                "      (IOPATH CLK Q ({best:.6}:{worst:.6}:{worst:.6}) ({best:.6}:{worst:.6}:{worst:.6}))"
+            );
+        } else {
+            for pin in 0..inst.inputs.len() {
+                let _ = writeln!(
+                    out,
+                    "      (IOPATH A{pin} Y ({best:.6}:{worst:.6}:{worst:.6}) ({best:.6}:{worst:.6}:{worst:.6}))"
+                );
+            }
+        }
+        let _ = writeln!(out, "    ))");
+        let _ = writeln!(out, "  )");
+    }
+    // Interconnect arcs, grouped under one CELL for the top module.
+    let _ = writeln!(out, "  (CELL");
+    let _ = writeln!(out, "    (CELLTYPE \"{design}\")");
+    let _ = writeln!(out, "    (INSTANCE)");
+    let _ = writeln!(out, "    (DELAY (ABSOLUTE");
+    for (ni, net) in nl.nets.iter().enumerate() {
+        let Some(drv) = net.driver else { continue };
+        let w = report.wire_delay_ns[ni];
+        for &(sink, pin) in &net.sinks {
+            let _ = writeln!(
+                out,
+                "      (INTERCONNECT {}/Y {}/A{pin} ({w:.6}:{w:.6}:{w:.6}))",
+                nl.instance(drv).name,
+                nl.instance(sink).name
+            );
+        }
+    }
+    let _ = writeln!(out, "    ))");
+    let _ = writeln!(out, "  )");
+    let _ = writeln!(out, ")");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{analyze, GeometryAssignment};
+    use dme_device::Technology;
+    use dme_liberty::Library;
+    use dme_netlist::{gen, profiles};
+
+    fn sample() -> (Library, dme_netlist::Design, dme_placement::Placement) {
+        let lib = Library::standard(Technology::n65());
+        let d = gen::generate(&profiles::tiny(), &lib);
+        let p = dme_placement::place(&d, &lib);
+        (lib, d, p)
+    }
+
+    #[test]
+    fn sdf_has_one_cell_per_instance_plus_top() {
+        let (lib, d, p) = sample();
+        let r = analyze(&lib, &d.netlist, &p, &GeometryAssignment::nominal(d.netlist.num_instances()));
+        let sdf = write_sdf(&d.netlist, &r, "tiny");
+        assert_eq!(
+            sdf.matches("(CELL\n").count(),
+            d.netlist.num_instances() + 1
+        );
+        assert!(sdf.starts_with("(DELAYFILE"));
+        assert!(sdf.trim_end().ends_with(')'));
+        assert!(sdf.contains("(TIMESCALE 1ns)"));
+        assert!(sdf.contains("(IOPATH CLK Q"));
+    }
+
+    #[test]
+    fn sdf_min_never_exceeds_max() {
+        let (lib, d, p) = sample();
+        let r = analyze(&lib, &d.netlist, &p, &GeometryAssignment::uniform(d.netlist.num_instances(), -6.0, 0.0));
+        let sdf = write_sdf(&d.netlist, &r, "tiny");
+        for line in sdf.lines().filter(|l| l.contains("IOPATH")) {
+            let nums: Vec<f64> = line
+                .split(['(', ')', ':'])
+                .filter_map(|t| t.trim().parse::<f64>().ok())
+                .collect();
+            for triple in nums.chunks(3) {
+                if triple.len() == 3 {
+                    assert!(triple[0] <= triple[2] + 1e-12, "min > max in {line}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interconnect_count_matches_sink_pins() {
+        let (lib, d, p) = sample();
+        let r = analyze(&lib, &d.netlist, &p, &GeometryAssignment::nominal(d.netlist.num_instances()));
+        let sdf = write_sdf(&d.netlist, &r, "tiny");
+        let expected: usize = d
+            .netlist
+            .nets
+            .iter()
+            .filter(|n| n.driver.is_some())
+            .map(|n| n.sinks.len())
+            .sum();
+        assert_eq!(sdf.matches("INTERCONNECT").count(), expected);
+    }
+}

@@ -1,0 +1,78 @@
+//! Wire parasitics from placement geometry.
+
+use dme_device::Technology;
+
+/// Per-unit wire parasitics and the lumped delay model built on them.
+///
+/// Wire layout is dose-independent (a poly/active dose map does not move
+/// any wires), so these delays are "golden parasitics": computed once per
+/// placement and held fixed through dose optimization — exactly the
+/// treatment in the paper (its Section III).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireModel {
+    /// Wire resistance in Ω/µm.
+    pub r_ohm_per_um: f64,
+    /// Wire capacitance in fF/µm.
+    pub c_ff_per_um: f64,
+}
+
+impl WireModel {
+    /// Effective signal-net parasitics for a node.
+    ///
+    /// These are *effective* (post-buffering) values rather than raw metal
+    /// parasitics: a physical-synthesis flow keeps the capacitance a gate
+    /// actually drives near the buffered-segment value, and our netlists
+    /// carry no explicit buffer trees. Using raw 0.2 fF/µm on every full
+    /// HPWL would make wire capacitance dominate all gate loads, pushing
+    /// the designs far from the paper's gate-dominated timing regime.
+    pub fn for_tech(tech: &Technology) -> Self {
+        if tech.lnom_nm <= 65.0 {
+            Self { r_ohm_per_um: 1.5, c_ff_per_um: 0.05 }
+        } else {
+            Self { r_ohm_per_um: 1.0, c_ff_per_um: 0.06 }
+        }
+    }
+
+    /// Total wire capacitance of a net with the given half-perimeter
+    /// wirelength, fF.
+    pub fn wire_cap_ff(&self, hpwl_um: f64) -> f64 {
+        self.c_ff_per_um * hpwl_um
+    }
+
+    /// Elmore-style lumped wire delay in ns for a net: the driver sees the
+    /// full wire, the far end sees `R·(C_wire/2 + C_sinks)`.
+    pub fn wire_delay_ns(&self, hpwl_um: f64, sink_cap_ff: f64) -> f64 {
+        let r = self.r_ohm_per_um * hpwl_um; // Ω
+        let c = self.c_ff_per_um * hpwl_um; // fF
+        // Ω·fF = 1e-6 ns.
+        r * (0.5 * c + sink_cap_ff) * 1e-6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_delay_grows_superlinearly_with_length() {
+        let w = WireModel::for_tech(&Technology::n65());
+        let d10 = w.wire_delay_ns(10.0, 2.0);
+        let d100 = w.wire_delay_ns(100.0, 2.0);
+        assert!(d100 > 10.0 * d10);
+    }
+
+    #[test]
+    fn magnitudes_are_reasonable() {
+        // A 50 µm net at 65 nm: a fraction of a picosecond of wire delay
+        // and a couple of fF of effective load.
+        let w = WireModel::for_tech(&Technology::n65());
+        let d = w.wire_delay_ns(50.0, 3.0);
+        assert!(d > 1e-5 && d < 0.05, "wire delay = {d} ns");
+        assert!((w.wire_cap_ff(50.0) - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nodes_have_different_parasitics() {
+        assert_ne!(WireModel::for_tech(&Technology::n65()), WireModel::for_tech(&Technology::n90()));
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for the STA engine.
+
+use dme_device::Technology;
+use dme_liberty::Library;
+use dme_netlist::{gen, profiles, profiles::TechNode, DesignProfile};
+use dme_sta::{analyze, worst_path_per_endpoint, GeometryAssignment};
+use proptest::prelude::*;
+
+fn random_profile() -> impl Strategy<Value = DesignProfile> {
+    (80usize..250, any::<u64>(), 4usize..12, 0.4f64..0.95).prop_map(
+        |(cells, seed, levels, bias)| DesignProfile {
+            name: "PROP".into(),
+            node: TechNode::N65,
+            target_cells: cells,
+            num_primary_inputs: 8,
+            seq_fraction: 0.12,
+            levels,
+            chain_bias: bias,
+            level_taper: 0.0,
+            slices: 1,
+            ff_tap_deep_frac: 0.75,
+            die_area_mm2: cells as f64 * 5.0e-6,
+            utilization: 0.7,
+            seed,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Core STA invariants on arbitrary designs and doses: arrival
+    /// propagation holds on every edge, worst slack is zero at clock =
+    /// MCT, the worst endpoint path reproduces the MCT, and totals are
+    /// finite and positive.
+    #[test]
+    fn sta_invariants(profile in random_profile(), dose_step in -10i32..=10) {
+        let lib = Library::standard(Technology::n65());
+        let d = gen::generate(&profile, &lib);
+        let p = dme_placement::place(&d, &lib);
+        let n = d.netlist.num_instances();
+        let dl = dose_step as f64; // ±10 nm range
+        let doses = GeometryAssignment::uniform(n, dl, 0.0);
+        let r = analyze(&lib, &d.netlist, &p, &doses);
+        prop_assert!(r.mct_ns > 0.0 && r.mct_ns.is_finite());
+        prop_assert!(r.total_leakage_uw > 0.0 && r.total_leakage_uw.is_finite());
+        let worst = r.slack_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assert!(worst.abs() < 1e-9, "worst slack = {worst}");
+        for id in d.netlist.inst_ids() {
+            let inst = d.netlist.instance(id);
+            if inst.is_sequential {
+                continue;
+            }
+            for &net in &inst.inputs {
+                if let Some(drv) = d.netlist.net(net).driver {
+                    let lhs = r.arrival_ns[drv.0 as usize]
+                        + r.wire_delay_ns[net.0 as usize]
+                        + r.gate_delay_ns[id.0 as usize];
+                    prop_assert!(lhs <= r.arrival_ns[id.0 as usize] + 1e-9);
+                }
+            }
+        }
+        let setup: Vec<f64> = d
+            .netlist
+            .instances
+            .iter()
+            .map(|i| lib.cell(i.cell_idx).setup_ns(lib.tech()))
+            .collect();
+        let paths = worst_path_per_endpoint(&d.netlist, &r, &setup);
+        prop_assert!(!paths.is_empty());
+        prop_assert!((paths[0].delay_ns - r.mct_ns).abs() < 1e-9);
+    }
+
+    /// Dose monotonicity at chip level: more dose (shorter gates) never
+    /// slows the design down and never reduces leakage.
+    #[test]
+    fn dose_monotonicity(profile in random_profile()) {
+        let lib = Library::standard(Technology::n65());
+        let d = gen::generate(&profile, &lib);
+        let p = dme_placement::place(&d, &lib);
+        let n = d.netlist.num_instances();
+        let mut prev: Option<(f64, f64)> = None;
+        for step in [-4.0f64, -2.0, 0.0, 2.0, 4.0] {
+            // step is dose %, ΔL = −2·dose.
+            let r = analyze(&lib, &d.netlist, &p, &GeometryAssignment::uniform(n, -2.0 * step, 0.0));
+            if let Some((mct, leak)) = prev {
+                prop_assert!(r.mct_ns <= mct + 1e-12);
+                prop_assert!(r.total_leakage_uw >= leak - 1e-12);
+            }
+            prev = Some((r.mct_ns, r.total_leakage_uw));
+        }
+    }
+
+    /// Width modulation is second-order relative to length modulation.
+    #[test]
+    fn width_is_second_order(seed in any::<u64>()) {
+        let lib = Library::standard(Technology::n65());
+        let mut profile = profiles::tiny();
+        profile.seed = seed;
+        let d = gen::generate(&profile, &lib);
+        let p = dme_placement::place(&d, &lib);
+        let n = d.netlist.num_instances();
+        let base = analyze(&lib, &d.netlist, &p, &GeometryAssignment::nominal(n));
+        let by_l = analyze(&lib, &d.netlist, &p, &GeometryAssignment::uniform(n, -10.0, 0.0));
+        let by_w = analyze(&lib, &d.netlist, &p, &GeometryAssignment::uniform(n, 0.0, 10.0));
+        let gain_l = base.mct_ns - by_l.mct_ns;
+        let gain_w = base.mct_ns - by_w.mct_ns;
+        prop_assert!(gain_l > 0.0);
+        prop_assert!(gain_w >= -1e-12);
+        prop_assert!(gain_w < 0.6 * gain_l, "width gain {gain_w} vs length gain {gain_l}");
+    }
+}

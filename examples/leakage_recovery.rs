@@ -1,0 +1,60 @@
+//! Leakage recovery: the paper's first use case. A chip meets timing but
+//! burns too much leakage; a design-aware dose map lowers the dose (grows
+//! gate length) everywhere it can afford to, recovering leakage at zero
+//! timing cost — something a *uniform* dose change can never do
+//! (Tables II/III of the paper).
+//!
+//! Run with `cargo run --release --example leakage_recovery`.
+
+use dme_device::Technology;
+use dme_liberty::Library;
+use dme_netlist::{gen, profiles};
+use dme_sta::{analyze, GeometryAssignment};
+use dmeopt::{optimize, DmoptConfig, OptContext};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let lib = Library::standard(Technology::n65());
+    let design = gen::generate(&profiles::small(), &lib);
+    let placement = dme_placement::place(&design, &lib);
+    let ctx = OptContext::new(&lib, &design, &placement);
+    let n = design.netlist.num_instances();
+    let nominal = ctx.nominal_summary();
+    println!("nominal: MCT {:.4} ns, leakage {:.1} µW", nominal.mct_ns, nominal.leakage_uw);
+
+    // The naive knob: uniform dose reduction. Leakage falls, timing dies.
+    println!("\nuniform dose sweep (the Table II trade-off):");
+    println!("{:>8} {:>10} {:>10} {:>9} {:>9}", "dose(%)", "MCT(ns)", "leak(µW)", "ΔMCT(%)", "Δleak(%)");
+    for step in [-5.0f64, -2.5, 0.0, 2.5, 5.0] {
+        let doses = GeometryAssignment::uniform(n, -2.0 * step, 0.0);
+        let r = analyze(&lib, &design.netlist, &placement, &doses);
+        println!(
+            "{:>8.1} {:>10.4} {:>10.1} {:>9.2} {:>9.2}",
+            step,
+            r.mct_ns,
+            r.total_leakage_uw,
+            100.0 * (nominal.mct_ns - r.mct_ns) / nominal.mct_ns,
+            100.0 * (nominal.leakage_uw - r.total_leakage_uw) / nominal.leakage_uw,
+        );
+    }
+
+    // The design-aware knob: DMopt QP at several grid granularities.
+    println!("\ndesign-aware dose maps (QP: min leakage s.t. timing):");
+    println!("{:>10} {:>8} {:>10} {:>10} {:>9} {:>9}", "grid(µm)", "#grids", "MCT(ns)", "leak(µW)", "ΔMCT(%)", "Δleak(%)");
+    for g in [5.0f64, 10.0, 30.0] {
+        let cfg = DmoptConfig { grid_g_um: g, ..DmoptConfig::default() };
+        let r = optimize(&ctx, &cfg)?;
+        let (mct_imp, leak_imp) = r.golden_after.improvement_over(&nominal);
+        println!(
+            "{:>10.0} {:>8} {:>10.4} {:>10.1} {:>9.2} {:>9.2}",
+            g,
+            r.poly_map.grid.num_cells(),
+            r.golden_after.mct_ns,
+            r.golden_after.leakage_uw,
+            mct_imp,
+            leak_imp,
+        );
+    }
+    println!("\nfiner grids recover more leakage at unchanged timing — the");
+    println!("granularity trend of Table IV.");
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! Timing speed-up: the paper's second use case. Minimize the clock
+//! period subject to a leakage budget — the QCP of Section III, solved by
+//! bisection over the leakage-minimizing QP. Sweeping the budget ξ traces
+//! the full timing/leakage Pareto frontier a design-aware dose map offers.
+//!
+//! Run with `cargo run --release --example timing_speedup`.
+
+use dme_device::Technology;
+use dme_liberty::Library;
+use dme_netlist::{gen, profiles};
+use dmeopt::{optimize, DmoptConfig, Objective, OptContext};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let lib = Library::standard(Technology::n65());
+    let design = gen::generate(&profiles::small(), &lib);
+    let placement = dme_placement::place(&design, &lib);
+    let ctx = OptContext::new(&lib, &design, &placement);
+    let nominal = ctx.nominal_summary();
+    println!(
+        "nominal: MCT {:.4} ns, leakage {:.1} µW ({} cells)",
+        nominal.mct_ns,
+        nominal.leakage_uw,
+        design.netlist.num_instances()
+    );
+
+    println!("\nQCP sweep over the leakage budget ξ (5×5 µm grids):");
+    println!(
+        "{:>9} {:>10} {:>9} {:>10} {:>9} {:>7}",
+        "ξ(µW)", "MCT(ns)", "ΔMCT(%)", "leak(µW)", "Δleak(%)", "probes"
+    );
+    for xi_frac in [0.0f64, 0.05, 0.15, 0.30] {
+        let xi = xi_frac * nominal.leakage_uw;
+        let cfg = DmoptConfig {
+            objective: Objective::MinTiming { xi_uw: xi },
+            ..DmoptConfig::default()
+        };
+        let r = optimize(&ctx, &cfg)?;
+        let (mct_imp, leak_imp) = r.golden_after.improvement_over(&nominal);
+        println!(
+            "{:>9.1} {:>10.4} {:>9.2} {:>10.1} {:>9.2} {:>7}",
+            xi, r.golden_after.mct_ns, mct_imp, r.golden_after.leakage_uw, leak_imp, r.probes,
+        );
+    }
+    println!("\na larger leakage budget buys more speed — but even ξ = 0");
+    println!("(no leakage increase at all) improves MCT, which no uniform");
+    println!("dose change can do. This is the paper's headline result.");
+    Ok(())
+}

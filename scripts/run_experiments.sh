@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper into results/.
+# Usage: scripts/run_experiments.sh [scale]   (scale in (0,1], default 1)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+SCALE="${1:-1.0}"
+mkdir -p results
+
+run() {
+  local bin="$1" out="$2"
+  echo "=== $bin (scale $SCALE) -> results/$out"
+  cargo run --release -p dme-bench --bin "$bin" -- --scale "$SCALE" | tee "results/$out"
+}
+
+run table1 table1.txt
+run table2_3 table2_3.txt
+run table7 table7.txt
+run fig3to6 fig3to6.csv
+run table4 table4.txt
+run table5 table5.txt
+run table6 table6.txt
+run table8 table8.txt
+run fig10 fig10.csv
+run aclv_baseline aclv_baseline.txt
+run ablation_prune ablation_prune.txt
+echo "all experiments written to results/"

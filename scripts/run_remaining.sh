@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+S="${1:-0.3}"
+for bin in table4 table5 table6 table8 fig10 aclv_baseline ablation_prune wafer_extension; do
+  echo "=== $bin (scale $S)"
+  cargo run --release -p dme-bench --bin "$bin" -- --scale "$S" > "results/${bin}_s${S}.txt" 2>&1 || echo "FAILED: $bin"
+done
+echo REMAINING_DONE
+# Full-scale adaptive-margin Table IV for the two AES designs (the JPEGs
+# run pruned at scale 0.3 above; full-scale JPEG rows take hours).
+for d in aes65 aes90; do
+  echo "=== table4 full-scale $d"
+  cargo run --release -p dme-bench --bin table4 -- --design "$d" > "results/table4_full_${d}.txt" 2>&1 || echo "FAILED table4 $d"
+done
+echo FULLSCALE_DONE

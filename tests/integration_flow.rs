@@ -1,0 +1,120 @@
+//! Cross-crate integration: DMopt end to end on a placed design — the QP
+//! and QCP formulations, both layer choices, snapping and golden signoff.
+
+use dme_device::Technology;
+use dme_liberty::Library;
+use dme_netlist::{gen, profiles, Design};
+use dme_placement::Placement;
+use dmeopt::{optimize, DmoptConfig, Layers, Objective, OptContext};
+
+fn setup() -> (Library, Design, Placement) {
+    let lib = Library::standard(Technology::n65());
+    let design = gen::generate(&profiles::small(), &lib);
+    let placement = dme_placement::place(&design, &lib);
+    (lib, design, placement)
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "expensive optimizer run: use --release")]
+fn qp_recovers_leakage_at_constant_timing() {
+    let (lib, design, placement) = setup();
+    let ctx = OptContext::new(&lib, &design, &placement);
+    let r = optimize(&ctx, &DmoptConfig::default()).expect("QP optimize");
+    let (mct_imp, leak_imp) = r.golden_after.improvement_over(&r.golden_before);
+    assert!(leak_imp > 3.0, "expected noticeable leakage recovery, got {leak_imp}%");
+    assert!(mct_imp > -0.25, "timing degraded by {}%", -mct_imp);
+    // Equipment feasibility of the produced map (snap can add one step).
+    r.poly_map.check(-5.0, 5.0, 2.5).expect("dose map constraints");
+    // Non-trivial map: not all grids at the same dose.
+    let min = r.poly_map.dose_pct.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = r.poly_map.dose_pct.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    assert!(max > min, "dose map collapsed to uniform");
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "expensive optimizer run: use --release")]
+fn qcp_speeds_up_without_leakage_increase() {
+    let (lib, design, placement) = setup();
+    let ctx = OptContext::new(&lib, &design, &placement);
+    let cfg = DmoptConfig {
+        objective: Objective::MinTiming { xi_uw: 0.0 },
+        ..DmoptConfig::default()
+    };
+    let r = optimize(&ctx, &cfg).expect("QCP optimize");
+    let (mct_imp, leak_imp) = r.golden_after.improvement_over(&r.golden_before);
+    assert!(mct_imp > 1.0, "expected timing improvement, got {mct_imp}%");
+    assert!(leak_imp > -3.0, "leakage increased by {}%", -leak_imp);
+    assert!(r.solved_t_ns.is_some());
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "expensive optimizer run: use --release")]
+fn both_layers_do_no_worse_than_poly_only() {
+    let (lib, design, placement) = setup();
+    let ctx = OptContext::new(&lib, &design, &placement);
+    let poly = optimize(
+        &ctx,
+        &DmoptConfig {
+            objective: Objective::MinTiming { xi_uw: 0.0 },
+            grid_g_um: 10.0,
+            ..DmoptConfig::default()
+        },
+    )
+    .expect("poly");
+    let both = optimize(
+        &ctx,
+        &DmoptConfig {
+            objective: Objective::MinTiming { xi_uw: 0.0 },
+            grid_g_um: 10.0,
+            layers: Layers::PolyAndActive,
+            ..DmoptConfig::default()
+        },
+    )
+    .expect("both");
+    assert!(both.active_map.is_some());
+    assert!(poly.active_map.is_none());
+    // The paper's Table V: width modulation helps only slightly (and can
+    // even hurt marginally through fitting noise); allow a small band.
+    assert!(
+        both.golden_after.mct_ns <= poly.golden_after.mct_ns * 1.01,
+        "both-layers MCT {} vs poly {}",
+        both.golden_after.mct_ns,
+        poly.golden_after.mct_ns
+    );
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "expensive optimizer run: use --release")]
+fn granularity_trend_matches_table4() {
+    let (lib, design, placement) = setup();
+    let ctx = OptContext::new(&lib, &design, &placement);
+    let mut leaks = Vec::new();
+    for g in [5.0, 10.0, 30.0] {
+        let r = optimize(&ctx, &DmoptConfig { grid_g_um: g, ..DmoptConfig::default() })
+            .expect("optimize");
+        leaks.push(r.golden_after.leakage_uw);
+    }
+    // Finer grids never lose (small tolerance for snapping noise).
+    assert!(leaks[0] <= leaks[1] * 1.02, "5 µm {} vs 10 µm {}", leaks[0], leaks[1]);
+    assert!(leaks[1] <= leaks[2] * 1.02, "10 µm {} vs 30 µm {}", leaks[1], leaks[2]);
+    // And the coarsest grid must visibly lag the finest.
+    assert!(leaks[0] < leaks[2], "no granularity benefit at all");
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "expensive optimizer run: use --release")]
+fn pruning_is_sound_on_qcp_too() {
+    let (lib, design, placement) = setup();
+    let ctx = OptContext::new(&lib, &design, &placement);
+    let cfg = DmoptConfig {
+        objective: Objective::MinTiming { xi_uw: 0.0 },
+        grid_g_um: 10.0,
+        prune: true,
+        ..DmoptConfig::default()
+    };
+    let r = optimize(&ctx, &cfg).expect("pruned QCP");
+    // Sound: golden timing must not regress vs nominal, leakage bounded.
+    assert!(r.golden_after.mct_ns <= r.golden_before.mct_ns);
+    assert!(r.golden_after.leakage_uw <= r.golden_before.leakage_uw * 1.05);
+    assert!(r.num_kept < design.netlist.num_instances());
+}

@@ -1,0 +1,88 @@
+//! Cross-crate integration: the uniform dose sweep (Tables II/III shape)
+//! on generated, placed designs with golden STA.
+
+use dme_device::Technology;
+use dme_liberty::Library;
+use dme_netlist::{gen, profiles};
+use dme_sta::{analyze, GeometryAssignment};
+
+/// Table II/III shape: monotone trade-off with the calibrated endpoint
+/// ratios, now measured at the full-chip level (wire delay, slew
+/// propagation and fanout loading included).
+#[test]
+fn uniform_sweep_matches_paper_shape_65nm() {
+    let lib = Library::standard(Technology::n65());
+    let design = gen::generate(&profiles::small(), &lib);
+    let placement = dme_placement::place(&design, &lib);
+    let n = design.netlist.num_instances();
+
+    let nominal = analyze(&lib, &design.netlist, &placement, &GeometryAssignment::nominal(n));
+    // +5% dose: ΔL = −10 nm.
+    let fast =
+        analyze(&lib, &design.netlist, &placement, &GeometryAssignment::uniform(n, -10.0, 0.0));
+    // −5% dose: ΔL = +10 nm.
+    let slow =
+        analyze(&lib, &design.netlist, &placement, &GeometryAssignment::uniform(n, 10.0, 0.0));
+
+    // Paper Table II: MCT ×0.871 / ×1.114, leakage ×2.55 / ×0.624.
+    let fast_mct = fast.mct_ns / nominal.mct_ns;
+    let slow_mct = slow.mct_ns / nominal.mct_ns;
+    assert!((fast_mct - 0.871).abs() < 0.05, "fast MCT ratio = {fast_mct}");
+    assert!((slow_mct - 1.114).abs() < 0.05, "slow MCT ratio = {slow_mct}");
+    let fast_leak = fast.total_leakage_uw / nominal.total_leakage_uw;
+    let slow_leak = slow.total_leakage_uw / nominal.total_leakage_uw;
+    assert!((fast_leak - 2.55).abs() < 0.35, "fast leakage ratio = {fast_leak}");
+    assert!((slow_leak - 0.624).abs() < 0.08, "slow leakage ratio = {slow_leak}");
+}
+
+/// The sweep is monotone in dose on both axes — the structural fact that
+/// makes uniform dose a pure trade-off and design-aware maps worthwhile.
+#[test]
+fn uniform_sweep_monotone_in_dose() {
+    let lib = Library::standard(Technology::n65());
+    let design = gen::generate(&profiles::tiny(), &lib);
+    let placement = dme_placement::place(&design, &lib);
+    let n = design.netlist.num_instances();
+    let mut prev_mct = f64::INFINITY;
+    let mut prev_leak = 0.0f64;
+    for step in 0..=10 {
+        let dose = -5.0 + step as f64; // −5% … +5%
+        let dl = -2.0 * dose;
+        let r =
+            analyze(&lib, &design.netlist, &placement, &GeometryAssignment::uniform(n, dl, 0.0));
+        assert!(r.mct_ns <= prev_mct + 1e-12, "MCT must fall as dose rises (step {step})");
+        assert!(
+            r.total_leakage_uw >= prev_leak - 1e-12,
+            "leakage must rise with dose (step {step})"
+        );
+        prev_mct = r.mct_ns;
+        prev_leak = r.total_leakage_uw;
+    }
+}
+
+/// 90 nm designs show the gentler Table III ratios.
+#[test]
+fn uniform_sweep_matches_paper_shape_90nm() {
+    let lib = Library::standard(Technology::n90());
+    let mut profile = profiles::aes90().scaled(0.06);
+    profile.seed = 90;
+    let design = gen::generate(&profile, &lib);
+    let placement = dme_placement::place(&design, &lib);
+    let n = design.netlist.num_instances();
+
+    let nominal = analyze(&lib, &design.netlist, &placement, &GeometryAssignment::nominal(n));
+    let fast =
+        analyze(&lib, &design.netlist, &placement, &GeometryAssignment::uniform(n, -10.0, 0.0));
+    let slow =
+        analyze(&lib, &design.netlist, &placement, &GeometryAssignment::uniform(n, 10.0, 0.0));
+
+    // Paper Table III: MCT ×0.883 / ×1.100, leakage ×1.90 / ×0.699.
+    let fast_leak = fast.total_leakage_uw / nominal.total_leakage_uw;
+    let slow_leak = slow.total_leakage_uw / nominal.total_leakage_uw;
+    assert!((fast_leak - 1.90).abs() < 0.25, "fast leakage ratio = {fast_leak}");
+    assert!((slow_leak - 0.699).abs() < 0.08, "slow leakage ratio = {slow_leak}");
+    let fast_mct = fast.mct_ns / nominal.mct_ns;
+    assert!((fast_mct - 0.883).abs() < 0.05, "fast MCT ratio = {fast_mct}");
+    // 90 nm leakage swings less than 65 nm (compare Table II vs III).
+    assert!(fast_leak < 2.3);
+}
