@@ -8,9 +8,13 @@ use dme_device::Technology;
 use dme_dosemap::{DoseGrid, DoseSensitivity};
 use dme_liberty::{fit, Library};
 use dme_netlist::{gen, profiles};
-use dme_qp::{IpmSettings, IpmSolver};
-use dme_sta::{analyze, top_k_paths, GeometryAssignment};
-use dmeopt::{optimize, DmoptConfig, FormulationParams, Formulation, Layers, OptContext};
+use dme_qp::{CsrMatrix, IpmSettings, IpmSolver};
+use dme_sta::{
+    analyze, analyze_with_mode, top_k_paths, GeometryAssignment, IncrementalSta, StaMode,
+};
+use dmeopt::{
+    dosepl, optimize, DmoptConfig, DoseplConfig, Formulation, FormulationParams, Layers, OptContext,
+};
 
 fn bench_characterization(c: &mut Criterion) {
     let lib = Library::standard(Technology::n65());
@@ -39,7 +43,12 @@ fn bench_sta(c: &mut Criterion) {
 fn bench_paths(c: &mut Criterion) {
     let tb = Testbench::prepare(&profiles::small());
     let n = tb.design.netlist.num_instances();
-    let r = analyze(&tb.lib, &tb.design.netlist, &tb.placement, &GeometryAssignment::nominal(n));
+    let r = analyze(
+        &tb.lib,
+        &tb.design.netlist,
+        &tb.placement,
+        &GeometryAssignment::nominal(n),
+    );
     let setup: Vec<f64> = tb
         .design
         .netlist
@@ -75,7 +84,11 @@ fn bench_formulate_and_solve(c: &mut Criterion) {
     c.bench_function("ipm_solve_tiny_qp", |b| {
         b.iter_batched(
             || form.qp.clone(),
-            |qp| IpmSolver::new(IpmSettings::default()).solve(&qp).expect("solve"),
+            |qp| {
+                IpmSolver::new(IpmSettings::default())
+                    .solve(&qp)
+                    .expect("solve")
+            },
             BatchSize::SmallInput,
         );
     });
@@ -92,6 +105,178 @@ fn bench_dmopt_end_to_end(c: &mut Criterion) {
     group.finish();
 }
 
+/// Banded CSR large enough to cross the SpMV parallel cutoff, with
+/// deterministic pseudorandom values.
+fn banded_csr(rows: usize, cols: usize, band: usize) -> CsrMatrix {
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+    };
+    let mut entries = Vec::new();
+    for r in 0..rows {
+        for k in 0..band {
+            entries.push((r, (r + k * 7) % cols, next()));
+        }
+    }
+    CsrMatrix::from_triplets(rows, cols, &entries)
+}
+
+/// Serial-vs-parallel kernel benchmarks parsed by `scripts/bench_perf.sh`
+/// into `BENCH_perf.json`. Run with `cargo bench -p dme-bench -- perf/`.
+fn bench_perf(c: &mut Criterion) {
+    // The setup below (testbench, QP formulation, a dosePl run) is
+    // expensive; skip it entirely when a bench filter excludes the
+    // `perf/` group.
+    let filter = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with('-') && a != "bench");
+    if let Some(f) = &filter {
+        if !"perf/".contains(f.as_str()) && !f.contains("perf") {
+            return;
+        }
+    }
+    println!("INFOLINE dme_par_threads={}", dme_par::num_threads());
+    let mut group = c.benchmark_group("perf");
+    group.sample_size(20);
+
+    // --- SpMV, forward and transpose (~200k nnz) ---
+    let m = banded_csr(4096, 4096, 48);
+    let x: Vec<f64> = (0..4096).map(|i| (i as f64 * 0.37).sin()).collect();
+    let mut y = vec![0.0; 4096];
+    dme_par::set_force_serial(true);
+    group.bench_function("spmv_mul_serial", |b| b.iter(|| m.mul_vec_into(&x, &mut y)));
+    group.bench_function("spmv_tmul_serial", |b| {
+        b.iter(|| m.mul_transpose_vec_into(&x, &mut y))
+    });
+    dme_par::set_force_serial(false);
+    group.bench_function("spmv_mul_parallel", |b| {
+        b.iter(|| m.mul_vec_into(&x, &mut y))
+    });
+    group.bench_function("spmv_tmul_parallel", |b| {
+        b.iter(|| m.mul_transpose_vec_into(&x, &mut y))
+    });
+
+    // --- IPM/CG solve on a DMopt-scale QP ---
+    let tb = Testbench::prepare(&profiles::small());
+    let ctx = OptContext::new(&tb.lib, &tb.design, &tb.placement);
+    let grid = DoseGrid::with_granularity(tb.placement.die_w_um, tb.placement.die_h_um, 5.0);
+    let params = FormulationParams {
+        layers: Layers::PolyOnly,
+        lo_pct: -5.0,
+        hi_pct: 5.0,
+        delta_pct: 2.0,
+        sensitivity: DoseSensitivity::default(),
+        tau_ns: ctx.nominal.mct_ns,
+        prune: false,
+        tau_ref_ns: ctx.nominal.mct_ns,
+        elastic_weight: None,
+        hold_margin_ns: None,
+    };
+    let form = Formulation::build(&ctx, &grid, &params);
+    let cg_group = |name: &str, group: &mut criterion::BenchmarkGroup<'_>| {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || form.qp.clone(),
+                |qp| {
+                    IpmSolver::new(IpmSettings::default())
+                        .solve(&qp)
+                        .expect("solve")
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    };
+    dme_par::set_force_serial(true);
+    cg_group("cg_ipm_solve_serial", &mut group);
+    dme_par::set_force_serial(false);
+    cg_group("cg_ipm_solve_parallel", &mut group);
+
+    // --- full STA forward pass ---
+    let n = tb.design.netlist.num_instances();
+    let doses = GeometryAssignment::nominal(n);
+    group.bench_function("sta_pass_serial", |b| {
+        b.iter(|| {
+            analyze_with_mode(
+                &tb.lib,
+                &tb.design.netlist,
+                &tb.placement,
+                &doses,
+                StaMode::Serial,
+            )
+        });
+    });
+    group.bench_function("sta_pass_parallel", |b| {
+        b.iter(|| {
+            analyze_with_mode(
+                &tb.lib,
+                &tb.design.netlist,
+                &tb.placement,
+                &doses,
+                StaMode::Parallel,
+            )
+        });
+    });
+
+    // --- dosePl swap evaluation: incremental cone re-time vs full STA ---
+    // Each iteration toggles one cell's dose, so every call re-times a
+    // genuinely dirty state.
+    let mut inc = IncrementalSta::new(&tb.lib, &tb.design.netlist, &tb.placement, &doses);
+    let mut toggled = doses.clone();
+    let mut flip = false;
+    let base = inc.stats();
+    group.bench_function("swap_eval_incremental", |b| {
+        b.iter(|| {
+            flip = !flip;
+            toggled.dl_nm[n / 2] = if flip { -4.0 } else { 0.0 };
+            inc.retime(&tb.placement, &toggled)
+        });
+    });
+    let stats = inc.stats();
+    let calls = (stats.retime_calls - base.retime_calls).max(1);
+    println!(
+        "WORKLINE swap_eval gates_per_retime={} gates_per_full_sta={} calls={}",
+        (stats.gates_retimed - base.gates_retimed) / calls,
+        n,
+        calls
+    );
+    let mut flip2 = false;
+    group.bench_function("swap_eval_full_sta", |b| {
+        b.iter(|| {
+            flip2 = !flip2;
+            toggled.dl_nm[n / 2] = if flip2 { -4.0 } else { 0.0 };
+            analyze(&tb.lib, &tb.design.netlist, &tb.placement, &toggled)
+        });
+    });
+    group.finish();
+
+    // dosePl end-to-end work counters on a real run (not timed; the
+    // counters are the hardware-independent measure).
+    let tiny = Testbench::prepare(&profiles::tiny());
+    let tiny_ctx = OptContext::new(&tiny.lib, &tiny.design, &tiny.placement);
+    let dm = optimize(
+        &tiny_ctx,
+        &DmoptConfig {
+            grid_g_um: 5.0,
+            ..DmoptConfig::default()
+        },
+    )
+    .expect("dmopt");
+    let cfg = DoseplConfig {
+        top_k: 100,
+        rounds: 4,
+        swaps_per_round: 2,
+        ..DoseplConfig::default()
+    };
+    let dp = dosepl(&tiny_ctx, &dm.poly_map, None, -2.0, &cfg);
+    println!(
+        "WORKLINE dosepl_run swap_evals={} incremental_gate_evals={} full_equivalent_gate_evals={}",
+        dp.swap_evals, dp.incremental_gate_evals, dp.full_equivalent_gate_evals
+    );
+}
+
 criterion_group!(
     benches,
     bench_characterization,
@@ -99,6 +284,7 @@ criterion_group!(
     bench_sta,
     bench_paths,
     bench_formulate_and_solve,
-    bench_dmopt_end_to_end
+    bench_dmopt_end_to_end,
+    bench_perf
 );
 criterion_main!(benches);

@@ -24,7 +24,11 @@ fn main() {
     );
     for g in [5.0, 10.0, 30.0] {
         for prune in [false, true] {
-            let cfg = DmoptConfig { grid_g_um: g, prune, ..DmoptConfig::default() };
+            let cfg = DmoptConfig {
+                grid_g_um: g,
+                prune,
+                ..DmoptConfig::default()
+            };
             match optimize(&ctx, &cfg) {
                 Ok(r) => println!(
                     "{:>9.0} {:>6} {:>8} {:>10} {:>10.2} {:>8.2} {:>9.1}",

@@ -26,7 +26,10 @@ fn main() {
     let correction = metrics::aclv_correction(grid, &cd_err, sens, -5.0, 5.0);
     let after = metrics::cd_uniformity(&metrics::corrected_cd_err(&cd_err, &correction, sens));
     println!("classic (design-blind) DoseMapper — ACLV correction:");
-    println!("  CD 3σ before: {:.3} nm, after: {:.4} nm", before.three_sigma_nm, after.three_sigma_nm);
+    println!(
+        "  CD 3σ before: {:.3} nm, after: {:.4} nm",
+        before.three_sigma_nm, after.three_sigma_nm
+    );
     let fit = actuator_fit(&correction, 6, 8).expect("actuator fit");
     println!(
         "  actuator realizability: rms residual {:.4}% / max {:.4}% of dose",
@@ -46,8 +49,16 @@ fn main() {
             println!("\ndesign-aware map (QCP) on the same slit/scan actuators:");
             println!(
                 "  dose range [{:.1}%, {:.1}%], rms residual {:.3}% / max {:.3}%",
-                r.poly_map.dose_pct.iter().cloned().fold(f64::INFINITY, f64::min),
-                r.poly_map.dose_pct.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+                r.poly_map
+                    .dose_pct
+                    .iter()
+                    .cloned()
+                    .fold(f64::INFINITY, f64::min),
+                r.poly_map
+                    .dose_pct
+                    .iter()
+                    .cloned()
+                    .fold(f64::NEG_INFINITY, f64::max),
                 fit.rms_residual_pct,
                 fit.max_residual_pct
             );

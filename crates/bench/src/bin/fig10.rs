@@ -39,15 +39,23 @@ fn main() {
     let tb = Testbench::prepare_scaled(&profiles::aes65(), scale);
     let nl = &tb.design.netlist;
     let n = nl.num_instances();
-    let setup: Vec<f64> =
-        nl.instances.iter().map(|i| tb.lib.cell(i.cell_idx).setup_ns(tb.lib.tech())).collect();
+    let setup: Vec<f64> = nl
+        .instances
+        .iter()
+        .map(|i| tb.lib.cell(i.cell_idx).setup_ns(tb.lib.tech()))
+        .collect();
 
     let ctx = OptContext::new(&tb.lib, &tb.design, &tb.placement);
     let orig_mct = ctx.nominal.mct_ns;
 
     // Stage 1: original design.
-    let orig =
-        paths_against_orig_mct(&tb, &tb.placement, &GeometryAssignment::nominal(n), &setup, orig_mct);
+    let orig = paths_against_orig_mct(
+        &tb,
+        &tb.placement,
+        &GeometryAssignment::nominal(n),
+        &setup,
+        orig_mct,
+    );
 
     // Stage 2+3: DMopt (QCP) then dosePl.
     let cfg = FlowConfig {
@@ -56,7 +64,12 @@ fn main() {
             grid_g_um: 5.0,
             ..DmoptConfig::default()
         },
-        dosepl: Some(DoseplConfig { top_k: TOP_K, rounds: 10, swaps_per_round: 4, ..DoseplConfig::default() }),
+        dosepl: Some(DoseplConfig {
+            top_k: TOP_K,
+            rounds: 10,
+            swaps_per_round: 4,
+            ..DoseplConfig::default()
+        }),
     };
     let flow = run(&ctx, &cfg).expect("flow");
     let dmopt =
@@ -101,6 +114,7 @@ fn main() {
             prof
         })
         .collect();
+    #[allow(clippy::needless_range_loop)]
     for b in 0..BINS {
         println!(
             "{:.4},{:.4},{},{},{},{}",

@@ -13,8 +13,12 @@ use dme_sta::{analyze, GeometryAssignment};
 
 fn sweep(tb: &Testbench, title: &str) {
     let n = tb.design.netlist.num_instances();
-    let nominal =
-        analyze(&tb.lib, &tb.design.netlist, &tb.placement, &GeometryAssignment::nominal(n));
+    let nominal = analyze(
+        &tb.lib,
+        &tb.design.netlist,
+        &tb.placement,
+        &GeometryAssignment::nominal(n),
+    );
     println!("\n{title} ({} cells)", n);
     println!(
         "{:>9} {:>10} {:>10} {:>12} {:>10}",

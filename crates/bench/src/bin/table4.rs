@@ -42,7 +42,12 @@ fn run_case(profile: &DesignProfile, grids_um: &[f64], scale: f64, prune_flag: b
             ("QP", Objective::MinLeakage { tau_ns: None }),
             ("QCP", Objective::MinTiming { xi_uw: 0.0 }),
         ] {
-            let cfg = DmoptConfig { grid_g_um: g, objective, prune, ..DmoptConfig::default() };
+            let cfg = DmoptConfig {
+                grid_g_um: g,
+                objective,
+                prune,
+                ..DmoptConfig::default()
+            };
             match optimize(&ctx, &cfg) {
                 Ok(r) => println!(
                     "{:>9.0} {:>5} {:>10.4} {:>8.2} {:>12.1} {:>8.2} {:>9.1}",

@@ -24,7 +24,12 @@ fn run_case(profile: &DesignProfile, scale: f64) {
     );
     for g in [5.0, 10.0, 30.0] {
         for (name, layers) in [("Lgate", Layers::PolyOnly), ("Both", Layers::PolyAndActive)] {
-            let cfg = DmoptConfig { grid_g_um: g, layers, prune, ..DmoptConfig::default() };
+            let cfg = DmoptConfig {
+                grid_g_um: g,
+                layers,
+                prune,
+                ..DmoptConfig::default()
+            };
             match optimize(&ctx, &cfg) {
                 Ok(r) => println!(
                     "{:>9.0} {:>7} {:>10.4} {:>8.2} {:>12.1} {:>8.2} {:>9.1}",

@@ -21,7 +21,12 @@ fn main() {
     for profile in profiles::paper_testcases() {
         let tb = Testbench::prepare_scaled(&profile, scale);
         let n = tb.design.netlist.num_instances();
-        let r = analyze(&tb.lib, &tb.design.netlist, &tb.placement, &GeometryAssignment::nominal(n));
+        let r = analyze(
+            &tb.lib,
+            &tb.design.netlist,
+            &tb.placement,
+            &GeometryAssignment::nominal(n),
+        );
         let setup: Vec<f64> = tb
             .design
             .netlist

@@ -33,8 +33,15 @@ fn run_case(profile: &DesignProfile, scale: f64) {
             let nom = r.nominal;
             let dm = r.dmopt.golden_after;
             let dp = r.dosepl.as_ref().expect("dosePl enabled");
-            println!("\n{} ({} cells)", profile.name, tb.design.netlist.num_instances());
-            println!("{:<14} {:>10} {:>8} {:>12} {:>8}", "stage", "MCT(ns)", "imp(%)", "Leakage(µW)", "imp(%)");
+            println!(
+                "\n{} ({} cells)",
+                profile.name,
+                tb.design.netlist.num_instances()
+            );
+            println!(
+                "{:<14} {:>10} {:>8} {:>12} {:>8}",
+                "stage", "MCT(ns)", "imp(%)", "Leakage(µW)", "imp(%)"
+            );
             println!(
                 "{:<14} {:>10.4} {:>8} {:>12.1} {:>8}",
                 "Nom Lgate", nom.mct_ns, "-", nom.leakage_uw, "-"

@@ -65,19 +65,18 @@ fn main() {
     .expect("DMopt");
     let intrafield = assignment_for_placement(&ctx, &tb.placement, &dm.poly_map, None, sens.0);
 
-    let per_field =
-        |field_err_nm: f64, with_map: bool| -> (f64, f64) {
-            let mut doses = if with_map {
-                intrafield.clone()
-            } else {
-                GeometryAssignment::nominal(n)
-            };
-            for dl in doses.dl_nm.iter_mut() {
-                *dl += field_err_nm; // a field CD error is a uniform ΔL
-            }
-            let r = analyze(&tb.lib, &tb.design.netlist, &tb.placement, &doses);
-            (r.mct_ns, r.total_leakage_uw)
+    let per_field = |field_err_nm: f64, with_map: bool| -> (f64, f64) {
+        let mut doses = if with_map {
+            intrafield.clone()
+        } else {
+            GeometryAssignment::nominal(n)
         };
+        for dl in doses.dl_nm.iter_mut() {
+            *dl += field_err_nm; // a field CD error is a uniform ΔL
+        }
+        let r = analyze(&tb.lib, &tb.design.netlist, &tb.placement, &doses);
+        (r.mct_ns, r.total_leakage_uw)
+    };
 
     println!(
         "\n{:<34} {:>9} {:>9} {:>9} {:>9} {:>11}",

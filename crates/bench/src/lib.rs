@@ -34,7 +34,11 @@ impl Testbench {
         let lib = Library::standard(tech);
         let design = gen::generate(profile, &lib);
         let placement = dme_placement::place(&design, &lib);
-        Testbench { lib, design, placement }
+        Testbench {
+            lib,
+            design,
+            placement,
+        }
     }
 
     /// Prepares a profile scaled by `scale` (1.0 = the paper's size).
@@ -91,7 +95,9 @@ mod tests {
     #[test]
     fn prepare_produces_legal_placement() {
         let tb = Testbench::prepare(&profiles::tiny());
-        tb.placement.check_legal(&tb.design.netlist, &tb.lib).expect("legal");
+        tb.placement
+            .check_legal(&tb.design.netlist, &tb.lib)
+            .expect("legal");
     }
 
     #[test]

@@ -97,11 +97,17 @@ fn load_bench(args: &Args) -> Result<Bench, String> {
         profile.name = "FILE".into();
         profile.die_area_mm2 = die_area_mm2;
         let design = Design { netlist, profile };
-        return Ok(Bench { lib, design, placement });
+        return Ok(Bench {
+            lib,
+            design,
+            placement,
+        });
     }
-    let pname = args.opts.get("profile").ok_or("--profile (or --verilog-in) is required")?;
-    let mut profile =
-        profile_by_name(pname).ok_or_else(|| format!("unknown profile {pname:?}"))?;
+    let pname = args
+        .opts
+        .get("profile")
+        .ok_or("--profile (or --verilog-in) is required")?;
+    let mut profile = profile_by_name(pname).ok_or_else(|| format!("unknown profile {pname:?}"))?;
     if let Some(s) = args.opts.get("scale") {
         let f: f64 = s.parse().map_err(|_| format!("bad --scale {s:?}"))?;
         profile = profile.scaled(f);
@@ -113,7 +119,11 @@ fn load_bench(args: &Args) -> Result<Bench, String> {
     let lib = Library::standard(tech);
     let design = gen::generate(&profile, &lib);
     let placement = dme_placement::place(&design, &lib);
-    Ok(Bench { lib, design, placement })
+    Ok(Bench {
+        lib,
+        design,
+        placement,
+    })
 }
 
 fn dmopt_config(args: &Args) -> Result<DmoptConfig, String> {
@@ -143,8 +153,10 @@ fn dmopt_config(args: &Args) -> Result<DmoptConfig, String> {
         cfg.prune = true;
     }
     if let Some(h) = args.opts.get("hold-margin-ns") {
-        cfg.hold_margin_ns =
-            Some(h.parse().map_err(|_| format!("bad --hold-margin-ns {h:?}"))?);
+        cfg.hold_margin_ns = Some(
+            h.parse()
+                .map_err(|_| format!("bad --hold-margin-ns {h:?}"))?,
+        );
     }
     Ok(cfg)
 }
@@ -202,7 +214,10 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
     let paths = dme_sta::worst_path_per_endpoint(&b.design.netlist, &r, &setup);
     let pct = dme_sta::report::criticality_percentages(&paths, r.mct_ns, &[0.95, 0.90, 0.80]);
     println!("endpoints: {}", paths.len());
-    println!("criticality (95/90/80% of MCT): {:.2}% / {:.2}% / {:.2}%", pct[0], pct[1], pct[2]);
+    println!(
+        "criticality (95/90/80% of MCT): {:.2}% / {:.2}% / {:.2}%",
+        pct[0], pct[1], pct[2]
+    );
     println!("hold     : worst slack {:.4} ns", r.worst_hold_slack_ns);
     if let Some(path) = args.opts.get("sdf") {
         let text = dme_sta::sdf::write_sdf(&b.design.netlist, &r, "dme");
@@ -251,7 +266,10 @@ fn cmd_flow(args: &Args) -> Result<(), String> {
         }
     }
     let r = run_flow(&ctx, &cfg).map_err(|e| e.to_string())?;
-    println!("nominal   : MCT {:.4} ns, leakage {:.1} µW", r.nominal.mct_ns, r.nominal.leakage_uw);
+    println!(
+        "nominal   : MCT {:.4} ns, leakage {:.1} µW",
+        r.nominal.mct_ns, r.nominal.leakage_uw
+    );
     println!(
         "after QCP : MCT {:.4} ns, leakage {:.1} µW",
         r.dmopt.golden_after.mct_ns, r.dmopt.golden_after.leakage_uw
@@ -340,8 +358,18 @@ mod tests {
     #[test]
     fn config_builder_maps_options() {
         let a = args(&[
-            "optimize", "--profile", "tiny", "--objective", "timing", "--xi-uw", "3.5",
-            "--layers", "both", "--grid", "7.5", "--prune",
+            "optimize",
+            "--profile",
+            "tiny",
+            "--objective",
+            "timing",
+            "--xi-uw",
+            "3.5",
+            "--layers",
+            "both",
+            "--grid",
+            "7.5",
+            "--prune",
         ]);
         let cfg = dmopt_config(&a).expect("config");
         assert_eq!(cfg.grid_g_um, 7.5);

@@ -18,7 +18,10 @@ pub struct GoldenSummary {
 impl GoldenSummary {
     /// Extracts the summary from a timing report.
     pub fn from_report(r: &TimingReport) -> Self {
-        Self { mct_ns: r.mct_ns, leakage_uw: r.total_leakage_uw }
+        Self {
+            mct_ns: r.mct_ns,
+            leakage_uw: r.total_leakage_uw,
+        }
     }
 
     /// Percentage improvement of `self` over a baseline (positive =
@@ -70,8 +73,7 @@ impl<'a> OptContext<'a> {
         let nl = &design.netlist;
         let n = nl.num_instances();
         let libfit = fit::fit_library(lib);
-        let nominal =
-            analyze(lib, nl, placement, &GeometryAssignment::nominal(n));
+        let nominal = analyze(lib, nl, placement, &GeometryAssignment::nominal(n));
         let tech = lib.tech();
         let mut ap = vec![0.0; n];
         let mut bp = vec![0.0; n];
@@ -161,16 +163,25 @@ mod tests {
         // large leakage increase, like the golden model.
         let fast = GeometryAssignment::uniform(n, -10.0, 0.0);
         let surr = ctx.surrogate_leakage_delta_nw(&fast) / 1000.0;
-        let golden = analyze(&lib, &d.netlist, &p, &fast).total_leakage_uw
-            - ctx.nominal.total_leakage_uw;
+        let golden =
+            analyze(&lib, &d.netlist, &p, &fast).total_leakage_uw - ctx.nominal.total_leakage_uw;
         assert!(surr > 0.0 && golden > 0.0);
-        assert!((surr - golden).abs() < 0.35 * golden, "surr {surr} vs golden {golden}");
+        assert!(
+            (surr - golden).abs() < 0.35 * golden,
+            "surr {surr} vs golden {golden}"
+        );
     }
 
     #[test]
     fn improvement_math_matches_paper_convention() {
-        let base = GoldenSummary { mct_ns: 2.0, leakage_uw: 100.0 };
-        let better = GoldenSummary { mct_ns: 1.8, leakage_uw: 90.0 };
+        let base = GoldenSummary {
+            mct_ns: 2.0,
+            leakage_uw: 100.0,
+        };
+        let better = GoldenSummary {
+            mct_ns: 1.8,
+            leakage_uw: 90.0,
+        };
         let (mct_imp, leak_imp) = better.improvement_over(&base);
         assert!((mct_imp - 10.0).abs() < 1e-12);
         assert!((leak_imp - 10.0).abs() < 1e-12);

@@ -16,7 +16,7 @@ use crate::context::{GoldenSummary, OptContext};
 use dme_dosemap::DoseMap;
 use dme_netlist::InstId;
 use dme_placement::Placement;
-use dme_sta::{analyze, worst_path_per_endpoint, GeometryAssignment};
+use dme_sta::{analyze, worst_path_per_endpoint, GeometryAssignment, IncrementalSta};
 
 /// Tuning knobs of the swapping heuristic (γ-parameters of the paper).
 #[derive(Debug, Clone)]
@@ -71,6 +71,18 @@ pub struct DoseplResult {
     pub swaps_accepted: usize,
     /// Rounds executed.
     pub rounds_run: usize,
+    /// Candidate swaps that reached the incremental timing gate (passed
+    /// every heuristic filter and were actually timed).
+    pub swap_evals: usize,
+    /// Gate evaluations spent by the incremental timer across all swap
+    /// evaluations, including state restoration after rejected swaps.
+    /// This is the hardware-independent cost of per-swap timing.
+    pub incremental_gate_evals: u64,
+    /// Gate evaluations the same per-swap timing decisions would have
+    /// cost with full re-analysis (one evaluation per instance per
+    /// incremental call — late pass only, so the comparison is
+    /// conservative).
+    pub full_equivalent_gate_evals: u64,
 }
 
 /// Re-derives the per-instance geometry assignment from dose maps for an
@@ -114,14 +126,12 @@ fn hpwl_delta_frac(
     let mut after = 0.0;
     for &net in &nets {
         let pins = placement.net_pins(ctx.lib, nl, net);
-        before += dme_placement::BoundingBox::of_points(&pins)
-            .map_or(0.0, |b| b.half_perimeter());
+        before += dme_placement::BoundingBox::of_points(&pins).map_or(0.0, |b| b.half_perimeter());
         let moved: Vec<(f64, f64)> = pins
             .iter()
             .map(|&p| if p == old_center { new_center } else { p })
             .collect();
-        after += dme_placement::BoundingBox::of_points(&moved)
-            .map_or(0.0, |b| b.half_perimeter());
+        after += dme_placement::BoundingBox::of_points(&moved).map_or(0.0, |b| b.half_perimeter());
     }
     if before <= 1e-12 {
         return 0.0;
@@ -153,10 +163,20 @@ pub fn dosepl(
     let pitch = placement.gate_pitch_um(nl);
     let max_dist = cfg.max_distance_pitches * pitch;
 
+    // Incremental timer for the per-swap gate. Candidate swaps are timed
+    // by re-evaluating only the perturbation's fanout cone; full golden
+    // `analyze` runs remain at the checkpoints (entry, round start,
+    // signoff) and must agree with it bitwise.
+    let mut inc = IncrementalSta::new(lib, nl, &placement, &assignment);
+    let base_stats = inc.stats();
+    let mut mct_cur = inc.mct_ns();
+    debug_assert_eq!(mct_cur.to_bits(), golden_before.mct_ns.to_bits());
+
     let mut fixed = vec![false; n];
     let mut swaps_attempted = 0usize;
     let mut swaps_accepted = 0usize;
     let mut rounds_run = 0usize;
+    let mut swap_evals = 0usize;
 
     for _round in 0..cfg.rounds {
         rounds_run += 1;
@@ -165,6 +185,11 @@ pub fn dosepl(
         // would leave residue.
         let snapshot = (placement.x_um.clone(), placement.y_um.clone());
         let report = analyze(lib, nl, &placement, &assignment);
+        debug_assert_eq!(
+            report.mct_ns.to_bits(),
+            mct_cur.to_bits(),
+            "incremental and golden round-start MCT diverged"
+        );
         // One worst path per endpoint (the signoff timer's view), most
         // critical first, capped at the configured K.
         let mut paths = worst_path_per_endpoint(nl, &report, &ctx.setup_ns);
@@ -222,8 +247,7 @@ pub fn dosepl(
                         bl.expanded(half_x.max(half_y)).contains(cx, cy)
                     })
                     .collect();
-                cand_grids
-                    .sort_by(|&a, &b| poly.dose_pct[b].total_cmp(&poly.dose_pct[a]));
+                cand_grids.sort_by(|&a, &b| poly.dose_pct[b].total_cmp(&poly.dose_pct[a]));
                 for g in cand_grids {
                     if poly.dose_pct[g] <= my_dose {
                         break;
@@ -251,10 +275,8 @@ pub fn dosepl(
                         if !bm.contains(cl.0, cl.1) || !bl.contains(cm.0, cm.1) {
                             continue;
                         }
-                        if hpwl_delta_frac(ctx, &placement, cell_l, cm)
-                            > cfg.hpwl_increase_frac
-                            || hpwl_delta_frac(ctx, &placement, cell_m, cl)
-                                > cfg.hpwl_increase_frac
+                        if hpwl_delta_frac(ctx, &placement, cell_l, cm) > cfg.hpwl_increase_frac
+                            || hpwl_delta_frac(ctx, &placement, cell_m, cl) > cfg.hpwl_increase_frac
                         {
                             continue;
                         }
@@ -272,13 +294,31 @@ pub fn dosepl(
                         if after - before > cfg.leak_increase_frac * before {
                             continue;
                         }
-                        // Accept the candidate swap.
+                        // All heuristic filters pass: apply the swap and
+                        // let the incremental timer arbitrate. ECO
+                        // repacking can evict third-party cells, so keep
+                        // a coordinate snapshot for exact rejection.
+                        let pre_swap = (placement.x_um.clone(), placement.y_um.clone());
                         placement.swap_cells(cell_l, cell_m);
                         let rows = [
                             (placement.y_um[li] / placement.row_h_um).round() as usize,
                             (placement.y_um[mi] / placement.row_h_um).round() as usize,
                         ];
                         placement.repack_rows(lib, nl, &rows);
+                        let cand_assignment =
+                            assignment_for_placement(ctx, &placement, poly, active, ds);
+                        let cand_mct = inc.retime(&placement, &cand_assignment);
+                        swap_evals += 1;
+                        if cand_mct >= mct_cur - 1e-12 {
+                            // No MCT gain: revert the move and re-time
+                            // back (bitwise-exact state restoration).
+                            placement.x_um = pre_swap.0;
+                            placement.y_um = pre_swap.1;
+                            inc.retime(&placement, &assignment);
+                            continue;
+                        }
+                        mct_cur = cand_mct;
+                        assignment = cand_assignment;
                         round_swaps.push((cell_l, cell_m));
                         num_swaps += 1;
                         // Update swap counts on every path containing cell_l.
@@ -300,13 +340,18 @@ pub fn dosepl(
             break; // nothing left to try
         }
 
-        // ECO signoff: accept if golden MCT improves, otherwise roll back
-        // and freeze the involved cells.
-        let new_assignment = assignment_for_placement(ctx, &placement, poly, active, ds);
-        let signoff = analyze(lib, nl, &placement, &new_assignment);
+        // ECO signoff: golden full re-analysis still decides accept or
+        // rollback. Per-swap gating already updated `assignment` to the
+        // current placement, and the golden MCT must agree bitwise with
+        // the incrementally maintained one.
+        let signoff = analyze(lib, nl, &placement, &assignment);
+        debug_assert_eq!(
+            signoff.mct_ns.to_bits(),
+            mct_cur.to_bits(),
+            "incremental and golden signoff MCT diverged"
+        );
         if signoff.mct_ns < best.mct_ns - 1e-12 {
             best = GoldenSummary::from_report(&signoff);
-            assignment = new_assignment;
             swaps_accepted += round_swaps.len();
         } else {
             placement.x_um = snapshot.0;
@@ -316,6 +361,7 @@ pub fn dosepl(
                 fixed[b.0 as usize] = true;
             }
             assignment = assignment_for_placement(ctx, &placement, poly, active, ds);
+            mct_cur = inc.retime(&placement, &assignment);
         }
     }
 
@@ -330,6 +376,8 @@ pub fn dosepl(
         golden_after.mct_ns,
         best.mct_ns
     );
+    let stats = inc.stats();
+    let eval_calls = stats.retime_calls - base_stats.retime_calls;
     DoseplResult {
         placement,
         assignment,
@@ -338,6 +386,9 @@ pub fn dosepl(
         swaps_attempted,
         swaps_accepted,
         rounds_run,
+        swap_evals,
+        incremental_gate_evals: stats.gates_retimed - base_stats.gates_retimed,
+        full_equivalent_gate_evals: eval_calls * n as u64,
     }
 }
 
@@ -364,12 +415,27 @@ mod tests {
             },
         )
         .expect("dmopt");
-        let cfg = DoseplConfig { top_k: 100, rounds: 4, swaps_per_round: 2, ..DoseplConfig::default() };
+        let cfg = DoseplConfig {
+            top_k: 100,
+            rounds: 4,
+            swaps_per_round: 2,
+            ..DoseplConfig::default()
+        };
         let r = dosepl(&ctx, &dm.poly_map, None, -2.0, &cfg);
         assert!(r.golden_after.mct_ns <= r.golden_before.mct_ns + 1e-12);
         assert!(r.rounds_run >= 1);
         // Placement stays legal throughout.
         r.placement.check_legal(&d.netlist, &lib).expect("legal");
+        // Per-swap timing must cost a fraction of per-swap full
+        // re-analysis (the incremental timer only walks fanout cones).
+        if r.swap_evals > 0 {
+            assert!(
+                r.incremental_gate_evals * 3 <= r.full_equivalent_gate_evals,
+                "incremental {} vs full-equivalent {} gate evals",
+                r.incremental_gate_evals,
+                r.full_equivalent_gate_evals
+            );
+        }
     }
 
     #[test]
@@ -381,7 +447,13 @@ mod tests {
         let grid = dme_dosemap::DoseGrid::with_granularity(p.die_w_um, p.die_h_um, 5.0);
         // Left half gets +4%, right half −4%.
         let vals: Vec<f64> = (0..grid.num_cells())
-            .map(|g| if grid.cell_center_um(g).0 < p.die_w_um / 2.0 { 4.0 } else { -4.0 })
+            .map(|g| {
+                if grid.cell_center_um(g).0 < p.die_w_um / 2.0 {
+                    4.0
+                } else {
+                    -4.0
+                }
+            })
             .collect();
         let map = DoseMap::from_values(grid, vals);
         let a = assignment_for_placement(&ctx, &p, &map, None, -2.0);
@@ -406,6 +478,9 @@ mod tests {
         assert!(delta_stay.abs() < 1e-12);
         let far = (p.die_w_um, p.die_h_um);
         let delta_far = hpwl_delta_frac(&ctx, &p, cell, far);
-        assert!(delta_far > 0.1, "moving across the die must blow up HPWL: {delta_far}");
+        assert!(
+            delta_far > 0.1,
+            "moving across the die must blow up HPWL: {delta_far}"
+        );
     }
 }

@@ -32,7 +32,9 @@ pub struct FlowResult {
 impl FlowResult {
     /// The final golden summary after every enabled stage.
     pub fn final_summary(&self) -> GoldenSummary {
-        self.dosepl.as_ref().map_or(self.dmopt.golden_after, |d| d.golden_after)
+        self.dosepl
+            .as_ref()
+            .map_or(self.dmopt.golden_after, |d| d.golden_after)
     }
 }
 
@@ -53,7 +55,11 @@ pub fn run(ctx: &OptContext<'_>, cfg: &FlowConfig) -> Result<FlowResult, DmoptEr
             dcfg,
         )
     });
-    Ok(FlowResult { nominal: ctx.nominal_summary(), dmopt: dmopt_result, dosepl: dosepl_result })
+    Ok(FlowResult {
+        nominal: ctx.nominal_summary(),
+        dmopt: dmopt_result,
+        dosepl: dosepl_result,
+    })
 }
 
 #[cfg(test)]
@@ -85,7 +91,10 @@ mod tests {
         };
         let r = run(&ctx, &cfg).expect("flow");
         let final_summary = r.final_summary();
-        assert!(final_summary.mct_ns < r.nominal.mct_ns, "flow must improve MCT");
+        assert!(
+            final_summary.mct_ns < r.nominal.mct_ns,
+            "flow must improve MCT"
+        );
         // dosePl can only improve on DMopt's timing.
         assert!(final_summary.mct_ns <= r.dmopt.golden_after.mct_ns + 1e-12);
         assert!(final_summary.leakage_uw <= r.nominal.leakage_uw * 1.05);
@@ -97,7 +106,10 @@ mod tests {
         let d = gen::generate(&profiles::tiny(), &lib);
         let p = dme_placement::place(&d, &lib);
         let ctx = OptContext::new(&lib, &d, &p);
-        let cfg = FlowConfig { dmopt: DmoptConfig::default(), dosepl: None };
+        let cfg = FlowConfig {
+            dmopt: DmoptConfig::default(),
+            dosepl: None,
+        };
         let r = run(&ctx, &cfg).expect("flow");
         assert!(r.dosepl.is_none());
         assert_eq!(r.final_summary(), r.dmopt.golden_after);

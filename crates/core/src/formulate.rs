@@ -153,8 +153,9 @@ impl Formulation {
         // --- instance → grid assignment from placement ---
         let grid_of_inst: Vec<usize> = (0..n)
             .map(|i| {
-                let (x, y) =
-                    ctx.placement.center(ctx.lib, nl, dme_netlist::InstId(i as u32));
+                let (x, y) = ctx
+                    .placement
+                    .center(ctx.lib, nl, dme_netlist::InstId(i as u32));
                 grid.cell_of(x, y)
             })
             .collect();
@@ -226,7 +227,10 @@ impl Formulation {
         }
         // Min-arrival (hold) variables, one per instance, when requested.
         let hold_vars: Option<Vec<usize>> = params.hold_margin_ns.map(|_| {
-            assert!(!params.prune, "hold constraints are incompatible with pruning");
+            assert!(
+                !params.prune,
+                "hold constraints are incompatible with pruning"
+            );
             (0..n)
                 .map(|_| {
                     let v = next;
@@ -248,8 +252,7 @@ impl Formulation {
         // --- objective ---
         let mut p_diag = vec![0.0f64; num_vars];
         let mut qv = vec![0.0f64; num_vars];
-        for i in 0..n {
-            let g = grid_of_inst[i];
+        for (i, &g) in grid_of_inst.iter().enumerate().take(n) {
             p_diag[g] += 2.0 * ctx.alpha[i] * ds * ds;
             qv[g] += ctx.beta[i] * ds;
             if active {
@@ -265,7 +268,12 @@ impl Formulation {
         let mut rows: Vec<Vec<(usize, f64)>> = Vec::new();
         let mut lo = Vec::new();
         let mut hi = Vec::new();
-        let push = |row: Vec<(usize, f64)>, l: f64, u: f64, rows: &mut Vec<Vec<(usize, f64)>>, lov: &mut Vec<f64>, hiv: &mut Vec<f64>| {
+        let push = |row: Vec<(usize, f64)>,
+                    l: f64,
+                    u: f64,
+                    rows: &mut Vec<Vec<(usize, f64)>>,
+                    lov: &mut Vec<f64>,
+                    hiv: &mut Vec<f64>| {
             rows.push(row);
             lov.push(l);
             hiv.push(u);
@@ -273,11 +281,25 @@ impl Formulation {
 
         // Dose boxes (Eqs. 3, 8).
         for g in 0..k {
-            push(vec![(g, 1.0)], params.lo_pct, params.hi_pct, &mut rows, &mut lo, &mut hi);
+            push(
+                vec![(g, 1.0)],
+                params.lo_pct,
+                params.hi_pct,
+                &mut rows,
+                &mut lo,
+                &mut hi,
+            );
         }
         if active {
             for g in 0..k {
-                push(vec![(k + g, 1.0)], params.lo_pct, params.hi_pct, &mut rows, &mut lo, &mut hi);
+                push(
+                    vec![(k + g, 1.0)],
+                    params.lo_pct,
+                    params.hi_pct,
+                    &mut rows,
+                    &mut lo,
+                    &mut hi,
+                );
             }
         }
         // Smoothness (Eqs. 4, 9).
@@ -359,17 +381,21 @@ impl Formulation {
 
         // Endpoint capture rows; pruned endpoints fold into a floor on T.
         let mut t_floor = f64::NEG_INFINITY;
-        let endpoint =
-            |r: usize, extra: f64, rows: &mut Vec<Vec<(usize, f64)>>, lov: &mut Vec<f64>, hiv: &mut Vec<f64>, t_floor: &mut f64| match arr_index[r] {
-                Some(ar) => {
-                    rows.push(vec![(ar, 1.0), (t_idx, -1.0)]);
-                    lov.push(f64::NEG_INFINITY);
-                    hiv.push(-extra);
-                }
-                None => {
-                    *t_floor = t_floor.max(abar(r) + extra);
-                }
-            };
+        let endpoint = |r: usize,
+                        extra: f64,
+                        rows: &mut Vec<Vec<(usize, f64)>>,
+                        lov: &mut Vec<f64>,
+                        hiv: &mut Vec<f64>,
+                        t_floor: &mut f64| match arr_index[r] {
+            Some(ar) => {
+                rows.push(vec![(ar, 1.0), (t_idx, -1.0)]);
+                lov.push(f64::NEG_INFINITY);
+                hiv.push(-extra);
+            }
+            None => {
+                *t_floor = t_floor.max(abar(r) + extra);
+            }
+        };
         for id in nl.inst_ids() {
             let inst = nl.instance(id);
             if inst.is_sequential {
@@ -389,7 +415,14 @@ impl Formulation {
         }
         for &po in &nl.primary_outputs {
             if let Some(drv) = nl.net(po).driver {
-                endpoint(drv.0 as usize, 0.0, &mut rows, &mut lo, &mut hi, &mut t_floor);
+                endpoint(
+                    drv.0 as usize,
+                    0.0,
+                    &mut rows,
+                    &mut lo,
+                    &mut hi,
+                    &mut t_floor,
+                );
             }
         }
 
@@ -483,10 +516,17 @@ impl Formulation {
         }
 
         let a = CsrMatrix::from_rows(num_vars, &rows);
-        let qp = QuadProgram::new(p, qv, a, lo, hi).expect("formulation is dimensionally consistent");
+        let qp =
+            QuadProgram::new(p, qv, a, lo, hi).expect("formulation is dimensionally consistent");
         Formulation {
             qp,
-            layout: VarLayout { num_grids: k, active, arr_index, t_idx, num_vars },
+            layout: VarLayout {
+                num_grids: k,
+                active,
+                arr_index,
+                t_idx,
+                num_vars,
+            },
             tau_row,
             grid_of_inst,
             num_kept,

@@ -5,7 +5,9 @@ use crate::error::DmoptError;
 use crate::formulate::{Formulation, FormulationParams};
 use dme_dosemap::{DoseGrid, DoseMap, DoseSensitivity};
 use dme_qp::qcp::{bisect_min, Probe};
-use dme_qp::{AdmmSettings, AdmmSolver, IpmSettings, IpmSolver, QuadProgram, SolveStatus, Solution};
+use dme_qp::{
+    AdmmSettings, AdmmSolver, IpmSettings, IpmSolver, QuadProgram, Solution, SolveStatus,
+};
 use dme_sta::{analyze, GeometryAssignment};
 use std::time::{Duration, Instant};
 
@@ -157,8 +159,7 @@ pub fn surrogate_mct(ctx: &OptContext<'_>, dp_pct: f64, da_pct: f64, ds: f64) ->
     let order = nl.topo_order().expect("acyclic netlist");
     let mut arrival = vec![0.0f64; n];
     let gate = |i: usize| {
-        (ctx.nominal.gate_delay_ns[i] + ctx.ap[i] * ds * dp_pct + ctx.bp[i] * ds * da_pct)
-            .max(0.0)
+        (ctx.nominal.gate_delay_ns[i] + ctx.ap[i] * ds * dp_pct + ctx.bp[i] * ds * da_pct).max(0.0)
     };
     for &id in &order {
         let i = id.0 as usize;
@@ -214,7 +215,9 @@ pub fn optimize(ctx: &OptContext<'_>, cfg: &DmoptConfig) -> Result<DmoptResult, 
         return Err(DmoptError::Config("dose_lo_pct > dose_hi_pct".into()));
     }
     if cfg.grid_g_um <= 0.0 || cfg.smoothness_pct < 0.0 || cfg.snap_step_pct <= 0.0 {
-        return Err(DmoptError::Config("non-positive grid/smoothness/step".into()));
+        return Err(DmoptError::Config(
+            "non-positive grid/smoothness/step".into(),
+        ));
     }
     if cfg.hold_margin_ns.is_some() && cfg.prune {
         return Err(DmoptError::Config(
@@ -252,9 +255,7 @@ pub fn optimize(ctx: &OptContext<'_>, cfg: &DmoptConfig) -> Result<DmoptResult, 
         .map(|i| (ctx.beta[i] * ds).abs() * (cfg.dose_hi_pct - cfg.dose_lo_pct))
         .sum();
     let elastic_weight = match cfg.objective {
-        Objective::MinTiming { .. } => {
-            Some(1e3 * leak_swing_nw.max(1.0) / nominal_mct)
-        }
+        Objective::MinTiming { .. } => Some(1e3 * leak_swing_nw.max(1.0) / nominal_mct),
         Objective::MinLeakage { .. } => None,
     };
     let params = FormulationParams {
@@ -289,9 +290,7 @@ pub fn optimize(ctx: &OptContext<'_>, cfg: &DmoptConfig) -> Result<DmoptResult, 
             SolveStatus::PrimalInfeasible => Err(DmoptError::Infeasible(format!(
                 "no dose map meets T ≤ {tau:.4} ns"
             ))),
-            SolveStatus::MaxIterations
-                if form.qp.max_violation(&sol.x) > 1e-3 * nominal_mct =>
-            {
+            SolveStatus::MaxIterations if form.qp.max_violation(&sol.x) > 1e-3 * nominal_mct => {
                 Err(DmoptError::Solver(dme_qp::SolveError::Numerical(format!(
                     "QP did not converge: violation {:.3e}",
                     form.qp.max_violation(&sol.x)
@@ -301,9 +300,10 @@ pub fn optimize(ctx: &OptContext<'_>, cfg: &DmoptConfig) -> Result<DmoptResult, 
         }
     };
     let (solution, solved_t): (Solution, Option<f64>) = match cfg.objective {
-        Objective::MinLeakage { .. } => {
-            (solve_min_leakage(&mut form, tau_init, &mut iterations, &mut probes)?, None)
-        }
+        Objective::MinLeakage { .. } => (
+            solve_min_leakage(&mut form, tau_init, &mut iterations, &mut probes)?,
+            None,
+        ),
         Objective::MinTiming { xi_uw } => {
             let xi_nw = xi_uw * 1000.0;
             let leak_scale_nw = (ctx.nominal.total_leakage_uw * 1000.0).abs().max(1.0);
@@ -350,7 +350,11 @@ pub fn optimize(ctx: &OptContext<'_>, cfg: &DmoptConfig) -> Result<DmoptResult, 
             None
         };
         debug_assert!(poly_map
-            .check(cfg.dose_lo_pct, cfg.dose_hi_pct, cfg.smoothness_pct + cfg.snap_step_pct)
+            .check(
+                cfg.dose_lo_pct,
+                cfg.dose_hi_pct,
+                cfg.smoothness_pct + cfg.snap_step_pct
+            )
             .is_ok());
         let n = ctx.num_instances();
         let mut assignment = GeometryAssignment::nominal(n);
@@ -364,8 +368,7 @@ pub fn optimize(ctx: &OptContext<'_>, cfg: &DmoptConfig) -> Result<DmoptResult, 
         let after = analyze(ctx.lib, &ctx.design.netlist, placement, &assignment);
         (poly_map, active_map, assignment, after)
     };
-    let (mut poly_map, mut active_map, mut assignment, mut after) =
-        extract(&form, &solution.x);
+    let (mut poly_map, mut active_map, mut assignment, mut after) = extract(&form, &solution.x);
 
     // Adaptive guard band: if signoff regressed past nominal (slew
     // propagation and snapping sit outside the linear surrogate), re-solve
@@ -414,7 +417,6 @@ mod tests {
         (lib, d, p)
     }
 
-
     #[test]
     fn qp_reduces_leakage_without_hurting_timing() {
         let (lib, d, p) = setup();
@@ -424,7 +426,9 @@ mod tests {
         // design this small where everything is near-critical).
         let cfg = DmoptConfig {
             grid_g_um: 5.0,
-            objective: Objective::MinLeakage { tau_ns: Some(ctx.nominal.mct_ns) },
+            objective: Objective::MinLeakage {
+                tau_ns: Some(ctx.nominal.mct_ns),
+            },
             ..DmoptConfig::default()
         };
         let r = optimize(&ctx, &cfg).expect("optimize");
@@ -441,7 +445,9 @@ mod tests {
             r.golden_after.mct_ns
         );
         // Constraints hold on the snapped map.
-        r.poly_map.check(-5.0, 5.0, 2.0 + 0.5).expect("map constraints");
+        r.poly_map
+            .check(-5.0, 5.0, 2.0 + 0.5)
+            .expect("map constraints");
     }
 
     #[test]
@@ -477,12 +483,18 @@ mod tests {
         let ctx = OptContext::new(&lib, &d, &p);
         let coarse = optimize(
             &ctx,
-            &DmoptConfig { grid_g_um: 12.0, ..DmoptConfig::default() },
+            &DmoptConfig {
+                grid_g_um: 12.0,
+                ..DmoptConfig::default()
+            },
         )
         .unwrap();
         let fine = optimize(
             &ctx,
-            &DmoptConfig { grid_g_um: 4.0, ..DmoptConfig::default() },
+            &DmoptConfig {
+                grid_g_um: 4.0,
+                ..DmoptConfig::default()
+            },
         )
         .unwrap();
         // The paper's central granularity observation, allowing solver and
@@ -502,15 +514,26 @@ mod tests {
         // Pruning needs headroom between τ_ref and the nominal paths: its
         // conservative producer bounds absorb exactly that slack. Give the
         // ablation a 2% relaxed clock so both formulations have room.
-        let obj = Objective::MinLeakage { tau_ns: Some(ctx.nominal.mct_ns * 1.02) };
+        let obj = Objective::MinLeakage {
+            tau_ns: Some(ctx.nominal.mct_ns * 1.02),
+        };
         let full = optimize(
             &ctx,
-            &DmoptConfig { grid_g_um: 6.0, objective: obj, ..DmoptConfig::default() },
+            &DmoptConfig {
+                grid_g_um: 6.0,
+                objective: obj,
+                ..DmoptConfig::default()
+            },
         )
         .unwrap();
         let pruned = optimize(
             &ctx,
-            &DmoptConfig { grid_g_um: 6.0, objective: obj, prune: true, ..DmoptConfig::default() },
+            &DmoptConfig {
+                grid_g_um: 6.0,
+                objective: obj,
+                prune: true,
+                ..DmoptConfig::default()
+            },
         )
         .unwrap();
         assert!(pruned.num_kept < full.num_kept);
@@ -551,7 +574,9 @@ mod tests {
         let free = optimize(
             &ctx,
             &DmoptConfig {
-                objective: Objective::MinTiming { xi_uw: f64::INFINITY },
+                objective: Objective::MinTiming {
+                    xi_uw: f64::INFINITY,
+                },
                 grid_g_um: 5.0,
                 ..DmoptConfig::default()
             },
@@ -563,7 +588,9 @@ mod tests {
         let held = optimize(
             &ctx,
             &DmoptConfig {
-                objective: Objective::MinTiming { xi_uw: f64::INFINITY },
+                objective: Objective::MinTiming {
+                    xi_uw: f64::INFINITY,
+                },
                 grid_g_um: 5.0,
                 hold_margin_ns: Some(margin),
                 ..DmoptConfig::default()
@@ -590,10 +617,16 @@ mod tests {
     fn invalid_config_is_rejected() {
         let (lib, d, p) = setup();
         let ctx = OptContext::new(&lib, &d, &p);
-        let cfg = DmoptConfig { grid_g_um: -1.0, ..DmoptConfig::default() };
+        let cfg = DmoptConfig {
+            grid_g_um: -1.0,
+            ..DmoptConfig::default()
+        };
         assert!(matches!(optimize(&ctx, &cfg), Err(DmoptError::Config(_))));
-        let cfg =
-            DmoptConfig { dose_lo_pct: 5.0, dose_hi_pct: -5.0, ..DmoptConfig::default() };
+        let cfg = DmoptConfig {
+            dose_lo_pct: 5.0,
+            dose_hi_pct: -5.0,
+            ..DmoptConfig::default()
+        };
         assert!(matches!(optimize(&ctx, &cfg), Err(DmoptError::Config(_))));
         let cfg = DmoptConfig {
             prune: true,

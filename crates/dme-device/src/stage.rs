@@ -59,7 +59,12 @@ impl StageDelay {
 impl StageParams {
     /// Creates a stage with no intrinsic offset.
     pub fn new(wn_nm: f64, wp_nm: f64, l_nm: f64) -> Self {
-        Self { wn_nm, wp_nm, l_nm, intrinsic_ns: 0.0 }
+        Self {
+            wn_nm,
+            wp_nm,
+            l_nm,
+            intrinsic_ns: 0.0,
+        }
     }
 
     /// Computes the intrinsic (drive-independent) delay offset that makes
@@ -191,8 +196,8 @@ mod tests {
     #[test]
     fn delay_vs_length_matches_table3_ratios_90nm() {
         let t = Technology::n90();
-        let nominal = StageParams::new(t.wmin_nm, 1.3 * t.wmin_nm, t.lnom_nm)
-            .with_calibrated_intrinsic(&t);
+        let nominal =
+            StageParams::new(t.wmin_nm, 1.3 * t.wmin_nm, t.lnom_nm).with_calibrated_intrinsic(&t);
         let (fo4, slew) = nominal.typical_environment(&t);
         let d_nom = nominal.evaluate(&t, fo4, slew).average_ns();
         let mut short = nominal.clone();

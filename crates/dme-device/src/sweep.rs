@@ -30,8 +30,7 @@ pub struct LeakagePoint {
 }
 
 fn min_inverter(tech: &Technology) -> StageParams {
-    StageParams::new(tech.wmin_nm, 1.3 * tech.wmin_nm, tech.lnom_nm)
-        .with_calibrated_intrinsic(tech)
+    StageParams::new(tech.wmin_nm, 1.3 * tech.wmin_nm, tech.lnom_nm).with_calibrated_intrinsic(tech)
 }
 
 /// Fig. 3: inverter TPLH/TPHL versus gate length over ±10 nm around
@@ -44,7 +43,11 @@ pub fn delay_vs_gate_length(tech: &Technology) -> Vec<DelayPoint> {
             let mut c = cell.clone();
             c.l_nm = tech.lnom_nm + dl as f64;
             let d = c.evaluate(tech, load, slew);
-            DelayPoint { x_nm: c.l_nm, tplh_ns: d.tplh_ns, tphl_ns: d.tphl_ns }
+            DelayPoint {
+                x_nm: c.l_nm,
+                tplh_ns: d.tplh_ns,
+                tphl_ns: d.tphl_ns,
+            }
         })
         .collect()
 }
@@ -60,7 +63,11 @@ pub fn delay_vs_gate_width(tech: &Technology) -> Vec<DelayPoint> {
             c.wn_nm += dw as f64;
             c.wp_nm += dw as f64;
             let d = c.evaluate(tech, load, slew);
-            DelayPoint { x_nm: dw as f64, tplh_ns: d.tplh_ns, tphl_ns: d.tphl_ns }
+            DelayPoint {
+                x_nm: dw as f64,
+                tplh_ns: d.tplh_ns,
+                tphl_ns: d.tphl_ns,
+            }
         })
         .collect()
 }
@@ -72,7 +79,10 @@ pub fn leakage_vs_gate_length(tech: &Technology) -> Vec<LeakagePoint> {
         .map(|dl| {
             let mut c = cell.clone();
             c.l_nm = tech.lnom_nm + dl as f64;
-            LeakagePoint { x_nm: c.l_nm, leakage_nw: c.leakage_nw(tech) }
+            LeakagePoint {
+                x_nm: c.l_nm,
+                leakage_nw: c.leakage_nw(tech),
+            }
         })
         .collect()
 }
@@ -86,7 +96,10 @@ pub fn leakage_vs_gate_width(tech: &Technology) -> Vec<LeakagePoint> {
             let mut c = cell.clone();
             c.wn_nm += dw as f64;
             c.wp_nm += dw as f64;
-            LeakagePoint { x_nm: dw as f64, leakage_nw: c.leakage_nw(tech) }
+            LeakagePoint {
+                x_nm: dw as f64,
+                leakage_nw: c.leakage_nw(tech),
+            }
         })
         .collect()
 }
@@ -123,13 +136,19 @@ mod tests {
         }
         let first_drop = pts[0].leakage_nw - pts[1].leakage_nw;
         let last_drop = pts[19].leakage_nw - pts[20].leakage_nw;
-        assert!(first_drop > 2.0 * last_drop, "leakage-vs-L is not convex enough");
+        assert!(
+            first_drop > 2.0 * last_drop,
+            "leakage-vs-L is not convex enough"
+        );
     }
 
     #[test]
     fn fig6_leakage_linear_in_width() {
         let pts = leakage_vs_gate_width(&Technology::n65());
-        let steps: Vec<f64> = pts.windows(2).map(|w| w[1].leakage_nw - w[0].leakage_nw).collect();
+        let steps: Vec<f64> = pts
+            .windows(2)
+            .map(|w| w[1].leakage_nw - w[0].leakage_nw)
+            .collect();
         for s in &steps {
             assert!(*s > 0.0);
             assert!((s - steps[0]).abs() < 1e-9 * steps[0].abs().max(1.0));

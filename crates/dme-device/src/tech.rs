@@ -140,8 +140,9 @@ impl Technology {
     /// `ΔVth = Vth(L) − Vth(Lnom)`; exponential in `L`, linear in `W`.
     pub fn leakage_nw(&self, l_nm: f64, w_nm: f64) -> f64 {
         let dvth = self.vth(l_nm) - self.vth(self.lnom_nm);
-        let ioff_na =
-            self.ioff_na_per_um * (w_nm / 1000.0) * (-dvth / (self.subthreshold_n * THERMAL_VOLTAGE)).exp();
+        let ioff_na = self.ioff_na_per_um
+            * (w_nm / 1000.0)
+            * (-dvth / (self.subthreshold_n * THERMAL_VOLTAGE)).exp();
         self.vdd * ioff_na
     }
 

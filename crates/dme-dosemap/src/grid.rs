@@ -25,7 +25,10 @@ impl DoseGrid {
     ///
     /// Panics if any dimension or the granularity is not positive.
     pub fn with_granularity(width_um: f64, height_um: f64, g_um: f64) -> Self {
-        assert!(width_um > 0.0 && height_um > 0.0 && g_um > 0.0, "dimensions must be positive");
+        assert!(
+            width_um > 0.0 && height_um > 0.0 && g_um > 0.0,
+            "dimensions must be positive"
+        );
         let cols = (width_um / g_um).ceil() as usize;
         let rows = (height_um / g_um).ceil() as usize;
         Self {
@@ -79,7 +82,10 @@ impl DoseGrid {
     ///
     /// Panics if the coordinates are out of range.
     pub fn index(&self, col: usize, row: usize) -> usize {
-        assert!(col < self.cols && row < self.rows, "grid index out of range");
+        assert!(
+            col < self.cols && row < self.rows,
+            "grid index out of range"
+        );
         row * self.cols + col
     }
 
@@ -98,7 +104,10 @@ impl DoseGrid {
     /// Center of a grid cell, µm.
     pub fn cell_center_um(&self, idx: usize) -> (f64, f64) {
         let (c, r) = self.coords(idx);
-        ((c as f64 + 0.5) * self.pitch_x_um, (r as f64 + 0.5) * self.pitch_y_um)
+        (
+            (c as f64 + 0.5) * self.pitch_x_um,
+            (r as f64 + 0.5) * self.pitch_y_um,
+        )
     }
 
     /// All smoothness-constrained neighbor pairs: horizontal, vertical
@@ -148,10 +157,16 @@ impl fmt::Display for DoseMapError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DoseMapError::OutOfRange { cell, dose_pct } => {
-                write!(f, "dose {dose_pct}% at grid {cell} is outside the correction range")
+                write!(
+                    f,
+                    "dose {dose_pct}% at grid {cell} is outside the correction range"
+                )
             }
             DoseMapError::SmoothnessViolation { a, b, diff_pct } => {
-                write!(f, "dose step {diff_pct}% between grids {a} and {b} breaks smoothness")
+                write!(
+                    f,
+                    "dose step {diff_pct}% between grids {a} and {b} breaks smoothness"
+                )
             }
         }
     }
@@ -171,7 +186,10 @@ pub struct DoseMap {
 impl DoseMap {
     /// A map with the same dose everywhere.
     pub fn uniform(grid: DoseGrid, dose_pct: f64) -> Self {
-        Self { dose_pct: vec![dose_pct; grid.num_cells()], grid }
+        Self {
+            dose_pct: vec![dose_pct; grid.num_cells()],
+            grid,
+        }
     }
 
     /// A map from explicit per-cell values.
@@ -215,7 +233,11 @@ impl DoseMap {
         for (a, b) in self.grid.neighbor_pairs() {
             let diff = (self.dose_pct[a] - self.dose_pct[b]).abs();
             if diff > delta_pct + TOL {
-                return Err(DoseMapError::SmoothnessViolation { a, b, diff_pct: diff });
+                return Err(DoseMapError::SmoothnessViolation {
+                    a,
+                    b,
+                    diff_pct: diff,
+                });
             }
         }
         Ok(())
@@ -290,7 +312,10 @@ mod tests {
     fn check_catches_range_and_smoothness() {
         let g = DoseGrid::with_granularity(30.0, 10.0, 10.0); // 3 × 1
         let mut m = DoseMap::from_values(g, vec![0.0, 6.0, 0.0]);
-        assert!(matches!(m.check(-5.0, 5.0, 2.0), Err(DoseMapError::OutOfRange { cell: 1, .. })));
+        assert!(matches!(
+            m.check(-5.0, 5.0, 2.0),
+            Err(DoseMapError::OutOfRange { cell: 1, .. })
+        ));
         m.dose_pct[1] = 3.0;
         assert!(matches!(
             m.check(-5.0, 5.0, 2.0),

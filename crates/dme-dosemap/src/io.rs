@@ -80,7 +80,9 @@ pub fn write_dose_map(map: &DoseMap) -> String {
 /// Returns a [`ParseDoseMapError`] on header, numeric or shape problems.
 pub fn parse_dose_map(text: &str) -> Result<DoseMap, ParseDoseMapError> {
     let mut lines = text.lines().filter(|l| !l.trim().is_empty());
-    let header = lines.next().ok_or_else(|| ParseDoseMapError::BadHeader("<empty>".into()))?;
+    let header = lines
+        .next()
+        .ok_or_else(|| ParseDoseMapError::BadHeader("<empty>".into()))?;
     let mut cols = None;
     let mut rows = None;
     let mut width = None;
@@ -110,15 +112,22 @@ pub fn parse_dose_map(text: &str) -> Result<DoseMap, ParseDoseMapError> {
     let mut nrows = 0usize;
     for (ri, line) in lines.enumerate() {
         if ri >= rows {
-            return Err(ParseDoseMapError::Shape { rows: ri + 1, cols: 0 });
+            return Err(ParseDoseMapError::Shape {
+                rows: ri + 1,
+                cols: 0,
+            });
         }
         let vals: Vec<&str> = line.split(',').map(str::trim).collect();
         if vals.len() != cols {
-            return Err(ParseDoseMapError::Shape { rows: ri + 1, cols: vals.len() });
+            return Err(ParseDoseMapError::Shape {
+                rows: ri + 1,
+                cols: vals.len(),
+            });
         }
         for (ci, v) in vals.iter().enumerate() {
-            dose[grid.index(ci, ri)] = v.parse::<f64>().map_err(|_| {
-                ParseDoseMapError::Number { row: ri + 1, token: v.to_string() }
+            dose[grid.index(ci, ri)] = v.parse::<f64>().map_err(|_| ParseDoseMapError::Number {
+                row: ri + 1,
+                token: v.to_string(),
             })?;
         }
         nrows += 1;
@@ -135,7 +144,9 @@ mod tests {
 
     fn sample() -> DoseMap {
         let grid = DoseGrid::with_granularity(40.0, 30.0, 10.0);
-        let vals: Vec<f64> = (0..grid.num_cells()).map(|i| i as f64 * 0.25 - 1.5).collect();
+        let vals: Vec<f64> = (0..grid.num_cells())
+            .map(|i| i as f64 * 0.25 - 1.5)
+            .collect();
         DoseMap::from_values(grid, vals)
     }
 
@@ -169,7 +180,10 @@ mod tests {
         ));
         // A ragged row.
         let ragged = text.replace(",-1.2500", "");
-        assert!(matches!(parse_dose_map(&ragged), Err(ParseDoseMapError::Shape { .. })));
+        assert!(matches!(
+            parse_dose_map(&ragged),
+            Err(ParseDoseMapError::Shape { .. })
+        ));
     }
 
     #[test]
@@ -187,11 +201,17 @@ mod tests {
     #[test]
     fn bad_numbers_and_header_are_detected() {
         let text = write_dose_map(&sample()).replace("-1.5000", "NaNope");
-        assert!(matches!(parse_dose_map(&text), Err(ParseDoseMapError::Number { .. })));
+        assert!(matches!(
+            parse_dose_map(&text),
+            Err(ParseDoseMapError::Number { .. })
+        ));
         assert!(matches!(
             parse_dose_map("# dosemap cols=banana\n1,2\n"),
             Err(ParseDoseMapError::BadHeader(_))
         ));
-        assert!(matches!(parse_dose_map(""), Err(ParseDoseMapError::BadHeader(_))));
+        assert!(matches!(
+            parse_dose_map(""),
+            Err(ParseDoseMapError::BadHeader(_))
+        ));
     }
 }

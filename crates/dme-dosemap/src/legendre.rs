@@ -25,7 +25,10 @@ pub const MAX_SLIT_ORDER: usize = 6;
 ///
 /// Panics if `y` is outside `[−1, 1]` by more than a small tolerance.
 pub fn legendre(n: usize, y: f64) -> f64 {
-    assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&y), "scan position must be in [-1, 1]");
+    assert!(
+        (-1.0 - 1e-9..=1.0 + 1e-9).contains(&y),
+        "scan position must be in [-1, 1]"
+    );
     match n {
         0 => 1.0,
         1 => y,
@@ -54,7 +57,11 @@ pub struct ScanRecipe {
 impl ScanRecipe {
     /// Dose at normalized scan position `y ∈ [−1, 1]`, %.
     pub fn dose_at(&self, y: f64) -> f64 {
-        self.coeffs.iter().enumerate().map(|(n, &c)| c * legendre(n, y)).sum()
+        self.coeffs
+            .iter()
+            .enumerate()
+            .map(|(n, &c)| c * legendre(n, y))
+            .sum()
     }
 
     /// Least-squares fit of a recipe of the given order to samples
@@ -65,8 +72,10 @@ impl ScanRecipe {
     /// Returns an error if there are fewer samples than coefficients.
     pub fn fit(samples: &[(f64, f64)], order: usize) -> Result<Self, dme_qp::SolveError> {
         let order = order.min(MAX_SCAN_ORDER);
-        let rows: Vec<Vec<f64>> =
-            samples.iter().map(|&(y, _)| (0..=order).map(|n| legendre(n, y)).collect()).collect();
+        let rows: Vec<Vec<f64>> = samples
+            .iter()
+            .map(|&(y, _)| (0..=order).map(|n| legendre(n, y)).collect())
+            .collect();
         let ys: Vec<f64> = samples.iter().map(|&(_, d)| d).collect();
         let coeffs = lsq::fit_basis(&rows, &ys, None)?;
         Ok(Self { coeffs })
@@ -143,14 +152,26 @@ pub fn actuator_fit(
     let grid = &map.grid;
     // Orders are capped by the hardware limits and by the number of
     // distinct sample positions (an order-k basis needs k+1 columns/rows).
-    let slit_order = slit_order.min(MAX_SLIT_ORDER).min(grid.cols().saturating_sub(1));
-    let scan_order = scan_order.min(MAX_SCAN_ORDER).max(1).min(grid.rows().saturating_sub(1).max(1));
+    let slit_order = slit_order
+        .min(MAX_SLIT_ORDER)
+        .min(grid.cols().saturating_sub(1));
+    let scan_order = scan_order
+        .clamp(1, MAX_SCAN_ORDER)
+        .min(grid.rows().saturating_sub(1).max(1));
     let mut rows = Vec::with_capacity(grid.num_cells());
     let mut ys = Vec::with_capacity(grid.num_cells());
     for idx in 0..grid.num_cells() {
         let (c, r) = grid.coords(idx);
-        let x = if grid.cols() > 1 { 2.0 * c as f64 / (grid.cols() - 1) as f64 - 1.0 } else { 0.0 };
-        let y = if grid.rows() > 1 { 2.0 * r as f64 / (grid.rows() - 1) as f64 - 1.0 } else { 0.0 };
+        let x = if grid.cols() > 1 {
+            2.0 * c as f64 / (grid.cols() - 1) as f64 - 1.0
+        } else {
+            0.0
+        };
+        let y = if grid.rows() > 1 {
+            2.0 * r as f64 / (grid.rows() - 1) as f64 - 1.0
+        } else {
+            0.0
+        };
         // Basis: [1, x, …, x^slit_order, P1(y), …, P_scan_order(y)].
         let mut row = Vec::with_capacity(slit_order + scan_order + 1);
         let mut pow = 1.0;
@@ -169,8 +190,12 @@ pub fn actuator_fit(
     let mut scan_coeffs = vec![0.0];
     scan_coeffs.extend_from_slice(scan_tail);
     let fit = ActuatorFit {
-        slit: SlitProfile { coeffs: slit_coeffs.to_vec() },
-        scan: ScanRecipe { coeffs: scan_coeffs },
+        slit: SlitProfile {
+            coeffs: slit_coeffs.to_vec(),
+        },
+        scan: ScanRecipe {
+            coeffs: scan_coeffs,
+        },
         rms_residual_pct: 0.0,
         max_residual_pct: 0.0,
     };
@@ -179,8 +204,16 @@ pub fn actuator_fit(
     let mut mx = 0.0f64;
     for idx in 0..grid.num_cells() {
         let (c, r) = grid.coords(idx);
-        let x = if grid.cols() > 1 { 2.0 * c as f64 / (grid.cols() - 1) as f64 - 1.0 } else { 0.0 };
-        let y = if grid.rows() > 1 { 2.0 * r as f64 / (grid.rows() - 1) as f64 - 1.0 } else { 0.0 };
+        let x = if grid.cols() > 1 {
+            2.0 * c as f64 / (grid.cols() - 1) as f64 - 1.0
+        } else {
+            0.0
+        };
+        let y = if grid.rows() > 1 {
+            2.0 * r as f64 / (grid.rows() - 1) as f64 - 1.0
+        } else {
+            0.0
+        };
         let res = map.dose_pct[idx] - fit.dose_at(x, y);
         ss += res * res;
         mx = mx.max(res.abs());
@@ -226,9 +259,13 @@ mod tests {
 
     #[test]
     fn scan_recipe_fit_recovers_exact_profile() {
-        let truth = ScanRecipe { coeffs: vec![0.5, 1.0, -0.4, 0.0, 0.2] };
-        let samples: Vec<(f64, f64)> =
-            (0..40).map(|i| -1.0 + i as f64 / 19.5).map(|y| (y.clamp(-1.0, 1.0), truth.dose_at(y.clamp(-1.0, 1.0)))).collect();
+        let truth = ScanRecipe {
+            coeffs: vec![0.5, 1.0, -0.4, 0.0, 0.2],
+        };
+        let samples: Vec<(f64, f64)> = (0..40)
+            .map(|i| -1.0 + i as f64 / 19.5)
+            .map(|y| (y.clamp(-1.0, 1.0), truth.dose_at(y.clamp(-1.0, 1.0))))
+            .collect();
         let fit = ScanRecipe::fit(&samples, 4).unwrap();
         for (a, b) in truth.coeffs.iter().zip(&fit.coeffs) {
             assert!((a - b).abs() < 1e-9, "{a} vs {b}");
@@ -237,10 +274,14 @@ mod tests {
 
     #[test]
     fn slit_profile_evaluates_polynomials() {
-        let p = SlitProfile { coeffs: vec![1.0, 0.0, 2.0] }; // 1 + 2x²
+        let p = SlitProfile {
+            coeffs: vec![1.0, 0.0, 2.0],
+        }; // 1 + 2x²
         assert!((p.dose_at(0.5) - 1.5).abs() < 1e-14);
-        let samples: Vec<(f64, f64)> =
-            (0..20).map(|i| -1.0 + i as f64 / 9.5).map(|x| (x, p.dose_at(x))).collect();
+        let samples: Vec<(f64, f64)> = (0..20)
+            .map(|i| -1.0 + i as f64 / 9.5)
+            .map(|x| (x, p.dose_at(x)))
+            .collect();
         let fit = SlitProfile::fit(&samples, 2).unwrap();
         for (a, b) in p.coeffs.iter().zip(&fit.coeffs) {
             assert!((a - b).abs() < 1e-10);
@@ -251,15 +292,19 @@ mod tests {
     fn separable_map_fits_exactly() {
         let grid = DoseGrid::with_granularity(100.0, 100.0, 10.0);
         let mut vals = vec![0.0; grid.num_cells()];
-        for idx in 0..grid.num_cells() {
+        for (idx, v) in vals.iter_mut().enumerate() {
             let (c, r) = grid.coords(idx);
             let x = 2.0 * c as f64 / 9.0 - 1.0;
             let y = 2.0 * r as f64 / 9.0 - 1.0;
-            vals[idx] = 1.0 + 0.5 * x * x + 0.8 * legendre(2, y);
+            *v = 1.0 + 0.5 * x * x + 0.8 * legendre(2, y);
         }
         let map = DoseMap::from_values(grid, vals);
         let fit = actuator_fit(&map, 2, 2).unwrap();
-        assert!(fit.rms_residual_pct < 1e-9, "rms = {}", fit.rms_residual_pct);
+        assert!(
+            fit.rms_residual_pct < 1e-9,
+            "rms = {}",
+            fit.rms_residual_pct
+        );
     }
 
     #[test]

@@ -26,15 +26,29 @@ pub struct CdUniformity {
 /// Computes CD uniformity of a per-grid CD-error map (nm values).
 pub fn cd_uniformity(cd_err_nm: &[f64]) -> CdUniformity {
     if cd_err_nm.is_empty() {
-        return CdUniformity { mean_nm: 0.0, sigma_nm: 0.0, three_sigma_nm: 0.0, range_nm: 0.0 };
+        return CdUniformity {
+            mean_nm: 0.0,
+            sigma_nm: 0.0,
+            three_sigma_nm: 0.0,
+            range_nm: 0.0,
+        };
     }
     let n = cd_err_nm.len() as f64;
     let mean = cd_err_nm.iter().sum::<f64>() / n;
-    let var = cd_err_nm.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    let var = cd_err_nm
+        .iter()
+        .map(|v| (v - mean) * (v - mean))
+        .sum::<f64>()
+        / n;
     let sigma = var.sqrt();
     let min = cd_err_nm.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = cd_err_nm.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    CdUniformity { mean_nm: mean, sigma_nm: sigma, three_sigma_nm: 3.0 * sigma, range_nm: max - min }
+    CdUniformity {
+        mean_nm: mean,
+        sigma_nm: sigma,
+        three_sigma_nm: 3.0 * sigma,
+        range_nm: max - min,
+    }
 }
 
 /// CD error remaining after applying a dose map to a systematic CD error
@@ -44,7 +58,11 @@ pub fn corrected_cd_err(
     map: &DoseMap,
     sensitivity: DoseSensitivity,
 ) -> Vec<f64> {
-    assert_eq!(cd_err_nm.len(), map.dose_pct.len(), "error/dose grid mismatch");
+    assert_eq!(
+        cd_err_nm.len(),
+        map.dose_pct.len(),
+        "error/dose grid mismatch"
+    );
     cd_err_nm
         .iter()
         .zip(&map.dose_pct)
@@ -77,8 +95,16 @@ pub fn synthetic_systematic_cd_error(grid: &DoseGrid, amplitude_nm: f64) -> Vec<
     let mut out = Vec::with_capacity(grid.num_cells());
     for idx in 0..grid.num_cells() {
         let (c, r) = grid.coords(idx);
-        let x = if grid.cols() > 1 { 2.0 * c as f64 / (grid.cols() - 1) as f64 - 1.0 } else { 0.0 };
-        let y = if grid.rows() > 1 { 2.0 * r as f64 / (grid.rows() - 1) as f64 - 1.0 } else { 0.0 };
+        let x = if grid.cols() > 1 {
+            2.0 * c as f64 / (grid.cols() - 1) as f64 - 1.0
+        } else {
+            0.0
+        };
+        let y = if grid.rows() > 1 {
+            2.0 * r as f64 / (grid.rows() - 1) as f64 - 1.0
+        } else {
+            0.0
+        };
         out.push(amplitude_nm * (0.6 * (x * x + y * y) - 0.3 + 0.25 * x));
     }
     out
@@ -104,7 +130,10 @@ mod tests {
         let map = aclv_correction(grid, &err, DoseSensitivity::default(), -5.0, 5.0);
         let after = cd_uniformity(&corrected_cd_err(&err, &map, DoseSensitivity::default()));
         assert!(before.three_sigma_nm > 1.0);
-        assert!(after.three_sigma_nm < 0.01 * before.three_sigma_nm, "{after:?}");
+        assert!(
+            after.three_sigma_nm < 0.01 * before.three_sigma_nm,
+            "{after:?}"
+        );
     }
 
     #[test]

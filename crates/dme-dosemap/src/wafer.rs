@@ -99,7 +99,11 @@ impl WaferModel {
                 let cd = self.bowl_nm * (r2 - 0.5)
                     + self.tilt_nm * x / self.radius_mm
                     + self.noise_nm * std_normal(&mut state);
-                out.push(Field { x_mm: x, y_mm: y, cd_err_nm: cd });
+                out.push(Field {
+                    x_mm: x,
+                    y_mm: y,
+                    cd_err_nm: cd,
+                });
             }
         }
         out
@@ -145,7 +149,11 @@ mod tests {
         let w = WaferModel::default();
         let fields = w.fields();
         // A 26×33 mm field on a 147 mm radius: several tens of full fields.
-        assert!(fields.len() > 40 && fields.len() < 90, "{} fields", fields.len());
+        assert!(
+            fields.len() > 40 && fields.len() < 90,
+            "{} fields",
+            fields.len()
+        );
         // All fields fully on the wafer.
         for f in &fields {
             let r = ((f.x_mm.abs() + 13.0).powi(2) + (f.y_mm.abs() + 16.5).powi(2)).sqrt();
@@ -155,19 +163,18 @@ mod tests {
 
     #[test]
     fn fingerprint_is_radial_plus_tilt() {
-        let w = WaferModel { noise_nm: 0.0, ..WaferModel::default() };
+        let w = WaferModel {
+            noise_nm: 0.0,
+            ..WaferModel::default()
+        };
         let fields = w.fields();
         let center = fields
             .iter()
-            .min_by(|a, b| {
-                (a.x_mm.hypot(a.y_mm)).total_cmp(&b.x_mm.hypot(b.y_mm))
-            })
+            .min_by(|a, b| (a.x_mm.hypot(a.y_mm)).total_cmp(&b.x_mm.hypot(b.y_mm)))
             .unwrap();
         let edge = fields
             .iter()
-            .max_by(|a, b| {
-                (a.x_mm.hypot(a.y_mm)).total_cmp(&b.x_mm.hypot(b.y_mm))
-            })
+            .max_by(|a, b| (a.x_mm.hypot(a.y_mm)).total_cmp(&b.x_mm.hypot(b.y_mm)))
             .unwrap();
         assert!(edge.cd_err_nm.abs() > center.cd_err_nm.abs() - 1e-9);
     }
@@ -191,18 +198,27 @@ mod tests {
 
     #[test]
     fn offsets_respect_range() {
-        let w = WaferModel { bowl_nm: 40.0, ..WaferModel::default() }; // needs >5% dose
+        let w = WaferModel {
+            bowl_nm: 40.0,
+            ..WaferModel::default()
+        }; // needs >5% dose
         let fields = w.fields();
         let offsets = w.field_offsets(&fields, DoseSensitivity::default(), -5.0, 5.0);
         assert!(offsets.iter().all(|o| (-5.0..=5.0).contains(o)));
-        assert!(offsets.iter().any(|&o| o == 5.0 || o == -5.0), "clamp must engage");
+        assert!(
+            offsets.iter().any(|&o| o == 5.0 || o == -5.0),
+            "clamp must engage"
+        );
     }
 
     #[test]
     fn fields_are_deterministic() {
         let w = WaferModel::default();
         assert_eq!(w.fields(), w.fields());
-        let other = WaferModel { seed: 2, ..WaferModel::default() };
+        let other = WaferModel {
+            seed: 2,
+            ..WaferModel::default()
+        };
         assert_ne!(w.fields(), other.fields());
     }
 }

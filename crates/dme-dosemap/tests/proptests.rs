@@ -107,11 +107,11 @@ proptest! {
     ) {
         let grid = DoseGrid::with_granularity(cols as f64 * 5.0, rows as f64 * 5.0, 5.0);
         let mut vals = vec![0.0; grid.num_cells()];
-        for idx in 0..grid.num_cells() {
+        for (idx, v) in vals.iter_mut().enumerate() {
             let (c, r) = grid.coords(idx);
             let x = if grid.cols() > 1 { 2.0 * c as f64 / (grid.cols() - 1) as f64 - 1.0 } else { 0.0 };
             let y = if grid.rows() > 1 { 2.0 * r as f64 / (grid.rows() - 1) as f64 - 1.0 } else { 0.0 };
-            vals[idx] = a0 + a2 * x * x + l2 * legendre(2, y);
+            *v = a0 + a2 * x * x + l2 * legendre(2, y);
         }
         let map = DoseMap::from_values(grid, vals);
         let fit = actuator_fit(&map, 2, 2).expect("fit");

@@ -1,7 +1,7 @@
 //! Standard-cell masters built from equivalent-inverter stages.
 
-use crate::table::Table2d;
 use crate::library::TableAxes;
+use crate::table::Table2d;
 use dme_device::{StageParams, Technology};
 
 /// Logic function of a cell master.
@@ -52,11 +52,18 @@ impl CellFunction {
     pub fn num_inputs(self) -> usize {
         match self {
             CellFunction::Inv | CellFunction::Buf => 1,
-            CellFunction::Nand(k) | CellFunction::Nor(k) | CellFunction::And(k) | CellFunction::Or(k) => k as usize,
+            CellFunction::Nand(k)
+            | CellFunction::Nor(k)
+            | CellFunction::And(k)
+            | CellFunction::Or(k) => k as usize,
             CellFunction::Aoi21 | CellFunction::Oai21 | CellFunction::Mux2 => 3,
             CellFunction::Aoi22 | CellFunction::Oai22 => 4,
             CellFunction::Xor2 | CellFunction::Xnor2 => 2,
-            CellFunction::Dff | CellFunction::Dffr | CellFunction::Dffs | CellFunction::Dffrs | CellFunction::Latch => 1,
+            CellFunction::Dff
+            | CellFunction::Dffr
+            | CellFunction::Dffs
+            | CellFunction::Dffrs
+            | CellFunction::Latch => 1,
             CellFunction::Sdff => 2,
         }
     }
@@ -186,7 +193,11 @@ impl CellMaster {
         let mut stages = Vec::with_capacity(n_stages as usize);
         for s in 0..n_stages {
             // Multi-stage cells: earlier stages at reduced drive.
-            let scale = if s + 1 == n_stages { 1.0 } else { (1.0f64).max(drive / 2.0) / drive };
+            let scale = if s + 1 == n_stages {
+                1.0
+            } else {
+                (1.0f64).max(drive / 2.0) / drive
+            };
             stages.push(
                 StageParams::new(wn_eff * scale, wp_eff * scale, tech.lnom_nm)
                     .with_calibrated_intrinsic(tech),
@@ -312,7 +323,8 @@ impl CellMaster {
             } else {
                 // Internal node: next stage's gate cap.
                 let nx = &self.stages[i + 1];
-                tech.gate_cap_ff(nx.wn_nm + dw_nm, s.l_nm) + tech.gate_cap_ff(nx.wp_nm + dw_nm, s.l_nm)
+                tech.gate_cap_ff(nx.wn_nm + dw_nm, s.l_nm)
+                    + tech.gate_cap_ff(nx.wp_nm + dw_nm, s.l_nm)
             };
             let d = s.evaluate(tech, load, slew);
             rise += d.tplh_ns;
@@ -364,7 +376,12 @@ impl CellMaster {
         let slew_fall = Table2d::tabulate(&axes.slew_ns, &axes.load_ff, |s, c| {
             self.evaluate(tech, dl_nm, dw_nm, c, s).3
         });
-        CellTables { delay_rise, delay_fall, slew_rise, slew_fall }
+        CellTables {
+            delay_rise,
+            delay_fall,
+            slew_rise,
+            slew_fall,
+        }
     }
 }
 
@@ -385,19 +402,25 @@ impl CellTables {
     /// Worst-case (max of rise/fall) propagation delay at an operating
     /// point, ns.
     pub fn delay_worst(&self, slew_ns: f64, load_ff: f64) -> f64 {
-        self.delay_rise.lookup(slew_ns, load_ff).max(self.delay_fall.lookup(slew_ns, load_ff))
+        self.delay_rise
+            .lookup(slew_ns, load_ff)
+            .max(self.delay_fall.lookup(slew_ns, load_ff))
     }
 
     /// Worst-case (max of rise/fall) output transition at an operating
     /// point, ns.
     pub fn out_slew_worst(&self, slew_ns: f64, load_ff: f64) -> f64 {
-        self.slew_rise.lookup(slew_ns, load_ff).max(self.slew_fall.lookup(slew_ns, load_ff))
+        self.slew_rise
+            .lookup(slew_ns, load_ff)
+            .max(self.slew_fall.lookup(slew_ns, load_ff))
     }
 
     /// Best-case (min of rise/fall) propagation delay at an operating
     /// point, ns — the early/hold analysis corner.
     pub fn delay_best(&self, slew_ns: f64, load_ff: f64) -> f64 {
-        self.delay_rise.lookup(slew_ns, load_ff).min(self.delay_fall.lookup(slew_ns, load_ff))
+        self.delay_rise
+            .lookup(slew_ns, load_ff)
+            .min(self.delay_fall.lookup(slew_ns, load_ff))
     }
 }
 
@@ -413,7 +436,10 @@ mod tests {
     #[test]
     fn names_encode_function_and_drive() {
         let t = Technology::n65();
-        assert_eq!(CellMaster::new(&t, CellFunction::Nand(3), 2).name(), "NAND3X2");
+        assert_eq!(
+            CellMaster::new(&t, CellFunction::Nand(3), 2).name(),
+            "NAND3X2"
+        );
         assert_eq!(CellMaster::new(&t, CellFunction::Inv, 8).name(), "INVX8");
     }
 
@@ -509,6 +535,10 @@ mod tests {
         assert!(inv4.area_um2() > inv1.area_um2());
         assert!(nand4.area_um2() > inv1.area_um2());
         // Plausible magnitudes for a 65 nm library.
-        assert!(inv1.area_um2() > 0.5 && inv1.area_um2() < 5.0, "area = {}", inv1.area_um2());
+        assert!(
+            inv1.area_um2() > 0.5 && inv1.area_um2() < 5.0,
+            "area = {}",
+            inv1.area_um2()
+        );
     }
 }

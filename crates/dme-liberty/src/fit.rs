@@ -24,8 +24,8 @@ use dme_qp::lsq;
 /// Gate-length sample offsets used for fitting, nm (±5% dose at
 /// −2 nm/% sensitivity, 1 nm steps — the paper's 21 variants).
 pub const LENGTH_SAMPLES_NM: [f64; 21] = [
-    -10.0, -9.0, -8.0, -7.0, -6.0, -5.0, -4.0, -3.0, -2.0, -1.0, 0.0, 1.0, 2.0, 3.0, 4.0, 5.0,
-    6.0, 7.0, 8.0, 9.0, 10.0,
+    -10.0, -9.0, -8.0, -7.0, -6.0, -5.0, -4.0, -3.0, -2.0, -1.0, 0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0,
+    7.0, 8.0, 9.0, 10.0,
 ];
 
 /// Fitted surrogate coefficients for one cell master.
@@ -120,14 +120,20 @@ pub fn fit_cell(lib: &Library, idx: usize) -> CellFit {
 
     let ap = Table2d::tabulate(&axes.slew_ns, &axes.load_ff, |s, c| {
         let d0 = worst(cell.evaluate(tech, 0.0, 0.0, c, s));
-        let ys: Vec<f64> = dl.iter().map(|&x| worst(cell.evaluate(tech, x, 0.0, c, s))).collect();
+        let ys: Vec<f64> = dl
+            .iter()
+            .map(|&x| worst(cell.evaluate(tech, x, 0.0, c, s)))
+            .collect();
         let (_, slope, ssr) = lsq::fit_linear(&dl, &ys).expect("delay-vs-L fit");
         max_ssr_l = max_ssr_l.max(ssr / (d0 * d0));
         slope
     });
     let bp = Table2d::tabulate(&axes.slew_ns, &axes.load_ff, |s, c| {
         let d0 = worst(cell.evaluate(tech, 0.0, 0.0, c, s));
-        let ys: Vec<f64> = dw.iter().map(|&x| worst(cell.evaluate(tech, 0.0, x, c, s))).collect();
+        let ys: Vec<f64> = dw
+            .iter()
+            .map(|&x| worst(cell.evaluate(tech, 0.0, x, c, s)))
+            .collect();
         let (_, slope, ssr) = lsq::fit_linear(&dw, &ys).expect("delay-vs-W fit");
         max_ssr_w = max_ssr_w.max(ssr / (d0 * d0));
         slope
@@ -136,11 +142,15 @@ pub fn fit_cell(lib: &Library, idx: usize) -> CellFit {
     // Leakage: ΔLeak vs ΔL quadratic (through the origin is not enforced;
     // the constant term is discarded because ΔLeak(0) = 0 by construction).
     let leak0 = cell.leakage_nw(tech, 0.0, 0.0);
-    let leak_l: Vec<f64> =
-        dl.iter().map(|&x| cell.leakage_nw(tech, x, 0.0) - leak0).collect();
+    let leak_l: Vec<f64> = dl
+        .iter()
+        .map(|&x| cell.leakage_nw(tech, x, 0.0) - leak0)
+        .collect();
     let (_, beta, alpha, ssr_leak) = lsq::fit_quadratic(&dl, &leak_l).expect("leakage fit");
-    let leak_w: Vec<f64> =
-        dw.iter().map(|&x| cell.leakage_nw(tech, 0.0, x) - leak0).collect();
+    let leak_w: Vec<f64> = dw
+        .iter()
+        .map(|&x| cell.leakage_nw(tech, 0.0, x) - leak0)
+        .collect();
     let (_, gamma, _) = lsq::fit_linear(&dw, &leak_w).expect("leakage-vs-W fit");
 
     CellFit {
@@ -165,9 +175,19 @@ fn worst(d: (f64, f64, f64, f64)) -> f64 {
 /// milliseconds because the underlying models are analytic.
 pub fn fit_library(lib: &Library) -> LibraryFit {
     let cells: Vec<CellFit> = (0..lib.cells().len()).map(|i| fit_cell(lib, i)).collect();
-    let max_l = cells.iter().map(|c| c.max_ssr_delay_l).fold(0.0f64, f64::max);
-    let max_w = cells.iter().map(|c| c.max_ssr_delay_w).fold(0.0f64, f64::max);
-    LibraryFit { cells, max_ssr_delay_l: max_l, max_ssr_delay_w: max_w }
+    let max_l = cells
+        .iter()
+        .map(|c| c.max_ssr_delay_l)
+        .fold(0.0f64, f64::max);
+    let max_w = cells
+        .iter()
+        .map(|c| c.max_ssr_delay_w)
+        .fold(0.0f64, f64::max);
+    LibraryFit {
+        cells,
+        max_ssr_delay_l: max_l,
+        max_ssr_delay_w: max_w,
+    }
 }
 
 #[cfg(test)]
@@ -218,8 +238,16 @@ mod tests {
         // at least that small.
         let lib = Library::standard(Technology::n65());
         let fit = fit_library(&lib);
-        assert!(fit.max_ssr_delay_l < 5e-4, "max L SSR = {}", fit.max_ssr_delay_l);
-        assert!(fit.max_ssr_delay_w < 5e-4, "max W SSR = {}", fit.max_ssr_delay_w);
+        assert!(
+            fit.max_ssr_delay_l < 5e-4,
+            "max L SSR = {}",
+            fit.max_ssr_delay_l
+        );
+        assert!(
+            fit.max_ssr_delay_w < 5e-4,
+            "max W SSR = {}",
+            fit.max_ssr_delay_w
+        );
     }
 
     #[test]
@@ -236,7 +264,10 @@ mod tests {
             // error at mid-range points — the paper accepts the same
             // surrogate (its footnote 4) and validates with golden signoff.
             let tol = 0.25 * golden.abs() + 0.05 * leak0;
-            assert!((golden - surrogate).abs() <= tol, "dl = {dl}: {golden} vs {surrogate}");
+            assert!(
+                (golden - surrogate).abs() <= tol,
+                "dl = {dl}: {golden} vs {surrogate}"
+            );
         }
     }
 

@@ -93,7 +93,11 @@ fn write_table(out: &mut String, keyword: &str, t: &Table2d, indent: &str) {
         let row: Vec<f64> = (0..t.load_axis().len()).map(|c| t.at(r, c)).collect();
         let mut s = String::new();
         write_floats(&mut s, &row);
-        let sep = if r + 1 == t.slew_axis().len() { "" } else { ", \\" };
+        let sep = if r + 1 == t.slew_axis().len() {
+            ""
+        } else {
+            ", \\"
+        };
         let _ = writeln!(out, "{indent}  values (\"{s}\"){sep}");
     }
     let _ = writeln!(out, "{indent}}}");
@@ -110,9 +114,7 @@ pub fn write_library(lib: &Library, dl_nm: f64, dw_nm: f64) -> String {
     let _ = writeln!(
         out,
         "library (dme_{}_dl{}_dw{}) {{",
-        tech.name,
-        dl_nm,
-        dw_nm
+        tech.name, dl_nm, dw_nm
     );
     let _ = writeln!(out, "  delay_model : table_lookup;");
     let _ = writeln!(out, "  time_unit : \"1ns\";");
@@ -195,8 +197,10 @@ fn parse_floats(line: usize, s: &str) -> Result<Vec<f64>, ParseLibError> {
         .map(str::trim)
         .filter(|t| !t.is_empty())
         .map(|t| {
-            t.parse::<f64>()
-                .map_err(|_| ParseLibError::Number { line, token: t.to_string() })
+            t.parse::<f64>().map_err(|_| ParseLibError::Number {
+                line,
+                token: t.to_string(),
+            })
         })
         .collect()
 }
@@ -207,10 +211,13 @@ fn quoted(line: usize, s: &str) -> Result<&str, ParseLibError> {
         line,
         message: format!("expected quoted payload in {s:?}"),
     })?;
-    let b = s.rfind('"').filter(|&b| b > a).ok_or_else(|| ParseLibError::Syntax {
-        line,
-        message: "unterminated quote".into(),
-    })?;
+    let b = s
+        .rfind('"')
+        .filter(|&b| b > a)
+        .ok_or_else(|| ParseLibError::Syntax {
+            line,
+            message: "unterminated quote".into(),
+        })?;
     Ok(&s[a + 1..b])
 }
 
@@ -218,17 +225,20 @@ fn scalar_after_colon(line: usize, s: &str) -> Result<f64, ParseLibError> {
     let v = s
         .split(':')
         .nth(1)
-        .ok_or_else(|| ParseLibError::Syntax { line, message: format!("expected ':' in {s:?}") })?
+        .ok_or_else(|| ParseLibError::Syntax {
+            line,
+            message: format!("expected ':' in {s:?}"),
+        })?
         .trim()
         .trim_end_matches(';')
         .trim();
-    v.parse::<f64>().map_err(|_| ParseLibError::Number { line, token: v.to_string() })
+    v.parse::<f64>().map_err(|_| ParseLibError::Number {
+        line,
+        token: v.to_string(),
+    })
 }
 
-fn parse_table(
-    cur: &mut Cursor<'_>,
-    axes: &TableAxes,
-) -> Result<Table2d, ParseLibError> {
+fn parse_table(cur: &mut Cursor<'_>, axes: &TableAxes) -> Result<Table2d, ParseLibError> {
     // Header line already consumed by the caller; read `values` rows until
     // the closing brace.
     let mut rows: Vec<Vec<f64>> = Vec::new();
@@ -269,7 +279,10 @@ pub fn parse_library(text: &str) -> Result<ParsedLibrary, ParseLibError> {
     let mut cur = Cursor::new(text);
     let (line, header) = cur.next()?;
     if !header.starts_with("library") {
-        return Err(ParseLibError::Syntax { line, message: "expected `library (...) {`".into() });
+        return Err(ParseLibError::Syntax {
+            line,
+            message: "expected `library (...) {`".into(),
+        });
     }
     let name = header
         .split(['(', ')'])
@@ -303,7 +316,10 @@ pub fn parse_library(text: &str) -> Result<ParsedLibrary, ParseLibError> {
                     message: "template must define index_1 and index_2".into(),
                 });
             }
-            axes = Some(TableAxes { slew_ns: slew, load_ff: load });
+            axes = Some(TableAxes {
+                slew_ns: slew,
+                load_ff: load,
+            });
         } else if l.starts_with("cell ") || l.starts_with("cell(") {
             let axes = axes.clone().ok_or_else(|| ParseLibError::Syntax {
                 line,
@@ -419,20 +435,29 @@ mod tests {
 
     #[test]
     fn parse_rejects_garbage() {
-        assert!(matches!(parse_library(""), Err(ParseLibError::UnexpectedEof)));
+        assert!(matches!(
+            parse_library(""),
+            Err(ParseLibError::UnexpectedEof)
+        ));
         assert!(matches!(
             parse_library("hello world"),
             Err(ParseLibError::Syntax { .. })
         ));
         // A cell before the template is structural nonsense.
         let bad = "library (x) {\n cell (A) {\n }\n}\n";
-        assert!(matches!(parse_library(bad), Err(ParseLibError::Syntax { .. })));
+        assert!(matches!(
+            parse_library(bad),
+            Err(ParseLibError::Syntax { .. })
+        ));
     }
 
     #[test]
     fn parse_reports_bad_numbers() {
         let lib = Library::standard(Technology::n65());
         let text = write_library(&lib, 0.0, 0.0).replace("0.002000", "zero.oops");
-        assert!(matches!(parse_library(&text), Err(ParseLibError::Number { .. })));
+        assert!(matches!(
+            parse_library(&text),
+            Err(ParseLibError::Number { .. })
+        ));
     }
 }

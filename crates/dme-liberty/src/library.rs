@@ -3,7 +3,7 @@
 use crate::cell::{CellFunction, CellMaster, CellTables};
 use dme_device::Technology;
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Arc, RwLock};
 
 /// The slew/load grid shared by all NLDM tables in a library.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,10 +71,21 @@ impl Library {
         specs.push((Latch, 1));
         specs.push((Sdff, 1));
 
-        let cells: Vec<CellMaster> =
-            specs.into_iter().map(|(f, x)| CellMaster::new(&tech, f, x)).collect();
-        let by_name = cells.iter().enumerate().map(|(i, c)| (c.name().to_string(), i)).collect();
-        Self { tech, cells, axes: TableAxes::default(), by_name }
+        let cells: Vec<CellMaster> = specs
+            .into_iter()
+            .map(|(f, x)| CellMaster::new(&tech, f, x))
+            .collect();
+        let by_name = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.name().to_string(), i))
+            .collect();
+        Self {
+            tech,
+            cells,
+            axes: TableAxes::default(),
+            by_name,
+        }
     }
 
     /// The library's technology node.
@@ -123,12 +134,16 @@ impl Library {
 
     /// Indices of all combinational masters.
     pub fn combinational_indices(&self) -> Vec<usize> {
-        (0..self.cells.len()).filter(|&i| !self.cells[i].is_sequential()).collect()
+        (0..self.cells.len())
+            .filter(|&i| !self.cells[i].is_sequential())
+            .collect()
     }
 
     /// Indices of all sequential masters.
     pub fn sequential_indices(&self) -> Vec<usize> {
-        (0..self.cells.len()).filter(|&i| self.cells[i].is_sequential()).collect()
+        (0..self.cells.len())
+            .filter(|&i| self.cells[i].is_sequential())
+            .collect()
     }
 }
 
@@ -141,13 +156,20 @@ impl Library {
 #[derive(Debug)]
 pub struct VariantCache<'a> {
     library: &'a Library,
-    cache: Mutex<HashMap<(usize, i64, i64), CellTables>>,
+    /// Read-mostly: after warm-up every STA pass is pure lookups, so a
+    /// `RwLock` lets the level-parallel timing workers share the cache
+    /// without serializing on a mutex. Values are `Arc`s so a hit hands
+    /// out a pointer instead of cloning the tables.
+    cache: RwLock<HashMap<(usize, i64, i64), Arc<CellTables>>>,
 }
 
 impl<'a> VariantCache<'a> {
     /// Creates an empty cache over a library.
     pub fn new(library: &'a Library) -> Self {
-        Self { library, cache: Mutex::new(HashMap::new()) }
+        Self {
+            library,
+            cache: RwLock::new(HashMap::new()),
+        }
     }
 
     fn key(dl_nm: f64, dw_nm: f64) -> (i64, i64) {
@@ -156,25 +178,28 @@ impl<'a> VariantCache<'a> {
 
     /// Tables for cell `idx` at geometry deltas, characterizing on first
     /// use. Deltas are quantized to 0.1 nm.
-    pub fn tables(&self, idx: usize, dl_nm: f64, dw_nm: f64) -> CellTables {
+    pub fn tables(&self, idx: usize, dl_nm: f64, dw_nm: f64) -> Arc<CellTables> {
         let (kl, kw) = Self::key(dl_nm, dw_nm);
-        let mut cache = self.cache.lock().expect("variant cache poisoned");
-        cache
-            .entry((idx, kl, kw))
-            .or_insert_with(|| {
-                self.library.cell(idx).characterize(
-                    self.library.tech(),
-                    kl as f64 / 10.0,
-                    kw as f64 / 10.0,
-                    self.library.axes(),
-                )
-            })
-            .clone()
+        let key = (idx, kl, kw);
+        if let Some(hit) = self.cache.read().expect("variant cache poisoned").get(&key) {
+            return Arc::clone(hit);
+        }
+        // Characterize outside any lock: concurrent misses may duplicate
+        // the work, but the first writer wins and the result is identical
+        // (characterization is deterministic in the quantized key).
+        let tables = Arc::new(self.library.cell(idx).characterize(
+            self.library.tech(),
+            kl as f64 / 10.0,
+            kw as f64 / 10.0,
+            self.library.axes(),
+        ));
+        let mut cache = self.cache.write().expect("variant cache poisoned");
+        Arc::clone(cache.entry(key).or_insert(tables))
     }
 
     /// Number of distinct characterized variants held.
     pub fn len(&self) -> usize {
-        self.cache.lock().expect("variant cache poisoned").len()
+        self.cache.read().expect("variant cache poisoned").len()
     }
 
     /// Whether the cache is empty.

@@ -18,7 +18,12 @@ pub struct Table2d {
 
 impl fmt::Debug for Table2d {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Table2d({}x{})", self.slew_axis.len(), self.load_axis.len())
+        write!(
+            f,
+            "Table2d({}x{})",
+            self.slew_axis.len(),
+            self.load_axis.len()
+        )
     }
 }
 
@@ -34,7 +39,10 @@ impl Table2d {
         load_axis: &[f64],
         mut f: F,
     ) -> Self {
-        assert!(slew_axis.len() >= 2 && load_axis.len() >= 2, "axes need ≥ 2 points");
+        assert!(
+            slew_axis.len() >= 2 && load_axis.len() >= 2,
+            "axes need ≥ 2 points"
+        );
         for axis in [slew_axis, load_axis] {
             for w in axis.windows(2) {
                 assert!(w[1] > w[0], "table axis must be strictly increasing");
@@ -46,7 +54,11 @@ impl Table2d {
                 values.push(f(s, c));
             }
         }
-        Self { slew_axis: slew_axis.to_vec(), load_axis: load_axis.to_vec(), values }
+        Self {
+            slew_axis: slew_axis.to_vec(),
+            load_axis: load_axis.to_vec(),
+            values,
+        }
     }
 
     /// The slew (row) axis.
@@ -86,7 +98,10 @@ impl Table2d {
     /// to the query, as `(slew_idx, load_idx)`. Used when applying the
     /// "nearest entry" coefficient-selection rule from the paper.
     pub fn nearest_indices(&self, slew: f64, load: f64) -> (usize, usize) {
-        (nearest(&self.slew_axis, slew), nearest(&self.load_axis, load))
+        (
+            nearest(&self.slew_axis, slew),
+            nearest(&self.load_axis, load),
+        )
     }
 }
 
@@ -124,7 +139,9 @@ mod tests {
 
     fn plane() -> Table2d {
         // f(s, c) = 2 s + 3 c + 1 (bilinear interpolation is exact on planes)
-        Table2d::tabulate(&[0.0, 1.0, 2.0], &[0.0, 10.0, 20.0], |s, c| 2.0 * s + 3.0 * c + 1.0)
+        Table2d::tabulate(&[0.0, 1.0, 2.0], &[0.0, 10.0, 20.0], |s, c| {
+            2.0 * s + 3.0 * c + 1.0
+        })
     }
 
     #[test]
@@ -144,6 +161,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::neg_multiply)]
     fn linear_extrapolation_outside_grid() {
         let t = plane();
         let expect = 2.0 * 3.0 + 3.0 * 25.0 + 1.0;

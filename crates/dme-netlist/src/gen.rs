@@ -111,7 +111,10 @@ pub fn generate(profile: &DesignProfile, lib: &Library) -> Design {
     // --- primary inputs ---
     for i in 0..profile.num_primary_inputs {
         let id = NetId(nl.nets.len() as u32);
-        nl.nets.push(Net { name: format!("pi{i}"), ..Net::default() });
+        nl.nets.push(Net {
+            name: format!("pi{i}"),
+            ..Net::default()
+        });
         nl.primary_inputs.push(id);
         let lane = (i as f64 + 0.5) / profile.num_primary_inputs.max(1) as f64;
         level_outputs[0].push((lane, id));
@@ -123,7 +126,10 @@ pub fn generate(profile: &DesignProfile, lib: &Library) -> Design {
     let mut ff_lanes = Vec::with_capacity(n_seq);
     for i in 0..n_seq {
         let out = NetId(nl.nets.len() as u32);
-        nl.nets.push(Net { name: format!("ffq{i}"), ..Net::default() });
+        nl.nets.push(Net {
+            name: format!("ffq{i}"),
+            ..Net::default()
+        });
         let id = InstId(nl.instances.len() as u32);
         nl.instances.push(Instance {
             name: format!("ff{i}"),
@@ -146,8 +152,10 @@ pub fn generate(profile: &DesignProfile, lib: &Library) -> Design {
         .map(|l| (-profile.level_taper * (l - 1) as f64 / levels as f64).exp())
         .collect();
     let wsum: f64 = weights.iter().sum();
-    let mut per_level: Vec<usize> =
-        weights.iter().map(|w| ((w / wsum) * n_comb as f64).floor() as usize).collect();
+    let mut per_level: Vec<usize> = weights
+        .iter()
+        .map(|w| ((w / wsum) * n_comb as f64).floor() as usize)
+        .collect();
     // Guarantee at least one cell per level, then fix the total.
     for c in per_level.iter_mut() {
         if *c == 0 {
@@ -162,7 +170,12 @@ pub fn generate(profile: &DesignProfile, lib: &Library) -> Design {
         l += 1;
     }
     while assigned > n_comb {
-        let idx = per_level.iter().enumerate().max_by_key(|&(_, &c)| c).map(|(i, _)| i).unwrap_or(0);
+        let idx = per_level
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &c)| c)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
         per_level[idx] -= 1;
         assigned -= 1;
     }
@@ -173,7 +186,9 @@ pub fn generate(profile: &DesignProfile, lib: &Library) -> Design {
     fn pick_near(pool: &[(f64, NetId)], lane: f64, sigma: f64, rng: &mut StdRng) -> NetId {
         let n = pool.len();
         let jitter = (rng.gen::<f64>() + rng.gen::<f64>() - 1.0) * sigma;
-        let idx = ((lane + jitter) * n as f64).floor().clamp(0.0, n as f64 - 1.0) as usize;
+        let idx = ((lane + jitter) * n as f64)
+            .floor()
+            .clamp(0.0, n as f64 - 1.0) as usize;
         pool[idx].1
     }
     // Designs like AES are built from S structurally identical slices
@@ -204,13 +219,17 @@ pub fn generate(profile: &DesignProfile, lib: &Library) -> Design {
                     )
                 })
                 .collect();
-            draws.push(Draw { f, lane_frac: rng.gen(), pin_src });
+            draws.push(Draw {
+                f,
+                lane_frac: rng.gen(),
+                pin_src,
+            });
         }
         let emit = |f: CellFunction,
-                        lane: f64,
-                        pin_src: &[(bool, f64, f64)],
-                        nl: &mut Netlist,
-                        level_outputs: &mut Vec<Vec<(f64, NetId)>>| {
+                    lane: f64,
+                    pin_src: &[(bool, f64, f64)],
+                    nl: &mut Netlist,
+                    level_outputs: &mut Vec<Vec<(f64, NetId)>>| {
             let cell_idx = lib
                 .index_of(&master_name(f, 1))
                 .unwrap_or_else(|| panic!("{} in library", master_name(f, 1)));
@@ -235,14 +254,17 @@ pub fn generate(profile: &DesignProfile, lib: &Library) -> Design {
                 const FANOUT_CAP: usize = 8;
                 let mut best = pool[idx].1;
                 for probe in 0..20usize {
-                    let off = (probe + 1) / 2;
-                    let cand = if probe % 2 == 0 { idx + off } else { idx.wrapping_sub(off) };
+                    let off = probe.div_ceil(2);
+                    let cand = if probe % 2 == 0 {
+                        idx + off
+                    } else {
+                        idx.wrapping_sub(off)
+                    };
                     if nl.nets[best.0 as usize].sinks.len() < FANOUT_CAP {
                         break;
                     }
                     if let Some(&(_, c)) = cand.checked_sub(0).and_then(|ci| pool.get(ci)) {
-                        if nl.nets[c.0 as usize].sinks.len()
-                            < nl.nets[best.0 as usize].sinks.len()
+                        if nl.nets[c.0 as usize].sinks.len() < nl.nets[best.0 as usize].sinks.len()
                         {
                             best = c;
                         }
@@ -251,7 +273,10 @@ pub fn generate(profile: &DesignProfile, lib: &Library) -> Design {
                 inputs.push(best);
             }
             let out = NetId(nl.nets.len() as u32);
-            nl.nets.push(Net { name: format!("n{}", out.0), ..Net::default() });
+            nl.nets.push(Net {
+                name: format!("n{}", out.0),
+                ..Net::default()
+            });
             let id = InstId(nl.instances.len() as u32);
             for (pin, &net) in inputs.iter().enumerate() {
                 nl.nets[net.0 as usize].sinks.push((id, pin));
@@ -294,14 +319,20 @@ pub fn generate(profile: &DesignProfile, lib: &Library) -> Design {
     // Deep levels make register-to-register paths the critical ones; the
     // profile controls how deep the taps reach (Table VII shaping).
     let deep_start = ((levels as f64 * profile.ff_tap_deep_frac) as usize).min(levels - 1);
-    let mut deep_pool: Vec<(f64, NetId)> =
-        level_outputs[deep_start..].iter().flatten().copied().collect();
-    let mut any_pool: Vec<(f64, NetId)> =
-        level_outputs[1..].iter().flatten().copied().collect();
+    let mut deep_pool: Vec<(f64, NetId)> = level_outputs[deep_start..]
+        .iter()
+        .flatten()
+        .copied()
+        .collect();
+    let mut any_pool: Vec<(f64, NetId)> = level_outputs[1..].iter().flatten().copied().collect();
     deep_pool.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite lanes"));
     any_pool.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite lanes"));
     for (k, &ff) in ff_ids.iter().enumerate() {
-        let pool = if deep_pool.is_empty() { &any_pool } else { &deep_pool };
+        let pool = if deep_pool.is_empty() {
+            &any_pool
+        } else {
+            &deep_pool
+        };
         let net = pick_near(pool, ff_lanes[k], 0.1, &mut rng);
         let inst = &mut nl.instances[ff.0 as usize];
         inst.inputs[0] = net;
@@ -319,7 +350,10 @@ pub fn generate(profile: &DesignProfile, lib: &Library) -> Design {
     // --- fanout-based drive upgrades ---
     upgrade_drives(&mut nl, lib);
 
-    Design { netlist: nl, profile: profile.clone() }
+    Design {
+        netlist: nl,
+        profile: profile.clone(),
+    }
 }
 
 /// Upgrades cell drive strengths based on fanout: nets with heavy fanout
@@ -415,7 +449,12 @@ mod tests {
         let lib = lib65();
         let d = generate(&profiles::small(), &lib);
         d.netlist.validate(&lib).expect("valid");
-        let n_seq = d.netlist.instances.iter().filter(|i| i.is_sequential).count();
+        let n_seq = d
+            .netlist
+            .instances
+            .iter()
+            .filter(|i| i.is_sequential)
+            .count();
         let frac = n_seq as f64 / d.netlist.num_instances() as f64;
         assert!((frac - 0.12).abs() < 0.01, "seq fraction = {frac}");
         // Topological order exists and covers everything.
@@ -431,7 +470,11 @@ mod tests {
             let fanout = d.netlist.net(inst.output).sinks.len();
             let drive = lib.cell(inst.cell_idx).drive();
             if fanout > 10 && !inst.is_sequential {
-                assert!(drive >= 2.0, "{}: fanout {fanout} at drive {drive}", inst.name);
+                assert!(
+                    drive >= 2.0,
+                    "{}: fanout {fanout} at drive {drive}",
+                    inst.name
+                );
             }
         }
     }

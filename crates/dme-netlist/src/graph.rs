@@ -63,6 +63,36 @@ pub struct Netlist {
     pub primary_inputs: Vec<NetId>,
     /// Primary output nets.
     pub primary_outputs: Vec<NetId>,
+    /// Cached topological level decomposition (see
+    /// [`Netlist::topo_levels`]). Cell-master or placement changes keep it
+    /// valid; connectivity edits after the first `topo_levels` call must
+    /// go through [`Netlist::invalidate_levels`].
+    levels: std::sync::OnceLock<Option<TopoLevels>>,
+}
+
+/// Level decomposition of the combinational timing graph: level 0 holds
+/// the startpoints (sequential cells and zero-fanin combinational gates),
+/// and every gate sits one level above its deepest combinational fanin.
+/// Gates within a level have no timing dependencies on each other, so a
+/// forward STA pass may evaluate each level's gates in parallel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopoLevels {
+    /// `level[k]` lists the instances at depth `k`, ascending by id.
+    pub levels: Vec<Vec<InstId>>,
+    /// Depth of each instance (indexed by `InstId`).
+    pub depth: Vec<u32>,
+}
+
+impl TopoLevels {
+    /// Total number of levels.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Flattened level-major instance order — a valid topological order.
+    pub fn flatten(&self) -> Vec<InstId> {
+        self.levels.iter().flatten().copied().collect()
+    }
 }
 
 /// Netlist consistency violations found by [`Netlist::validate`].
@@ -153,7 +183,12 @@ impl Netlist {
         let n = self.instances.len();
         let mut indegree = vec![0u32; n];
         let mut order = Vec::with_capacity(n);
+        // Sequential cells are seeded strictly before zero-fanin
+        // combinational gates: a gate fed only by flip-flops has zero
+        // combinational indegree yet reads the flops' launch arrivals, so
+        // a consumer walking this order must see the flops first.
         let mut queue: Vec<InstId> = Vec::new();
+        let mut comb_seeds: Vec<InstId> = Vec::new();
         for id in self.inst_ids() {
             if self.instance(id).is_sequential {
                 queue.push(id);
@@ -162,11 +197,13 @@ impl Netlist {
             let deg = self.comb_fanin(id).len() as u32;
             indegree[id.0 as usize] = deg;
             if deg == 0 {
-                queue.push(id);
+                comb_seeds.push(id);
             }
         }
-        // Process in id order for determinism.
+        // Process in id order (within each seed class) for determinism.
         queue.sort_unstable();
+        comb_seeds.sort_unstable();
+        queue.extend(comb_seeds);
         let mut head = 0;
         while head < queue.len() {
             let id = queue[head];
@@ -195,6 +232,81 @@ impl Netlist {
         } else {
             None
         }
+    }
+
+    /// Topological level sets of the combinational timing graph, computed
+    /// once and cached. Returns `None` if the combinational part contains
+    /// a cycle.
+    ///
+    /// The cache stays valid across cell-master swaps and placement moves
+    /// (neither changes connectivity); after editing `instances`/`nets`
+    /// connectivity, call [`Netlist::invalidate_levels`] first.
+    pub fn topo_levels(&self) -> Option<&TopoLevels> {
+        self.levels.get_or_init(|| self.compute_levels()).as_ref()
+    }
+
+    /// Drops the cached level decomposition (required after connectivity
+    /// edits so [`Netlist::topo_levels`] recomputes).
+    pub fn invalidate_levels(&mut self) {
+        self.levels = std::sync::OnceLock::new();
+    }
+
+    fn compute_levels(&self) -> Option<TopoLevels> {
+        let n = self.instances.len();
+        let mut indegree = vec![0u32; n];
+        let mut depth = vec![0u32; n];
+        // Sequential cells are seeded strictly before zero-fanin
+        // combinational gates: a gate fed only by flip-flops has zero
+        // *combinational* indegree but still reads the flops' launch
+        // arrivals, so it must land on a strictly higher level.
+        let mut queue: Vec<InstId> = Vec::new();
+        let mut comb_seeds: Vec<InstId> = Vec::new();
+        for id in self.inst_ids() {
+            if self.instance(id).is_sequential {
+                queue.push(id);
+                continue;
+            }
+            let deg = self.comb_fanin(id).len() as u32;
+            indegree[id.0 as usize] = deg;
+            if deg == 0 {
+                comb_seeds.push(id);
+            }
+        }
+        queue.sort_unstable();
+        comb_seeds.sort_unstable();
+        queue.extend(comb_seeds);
+        let mut head = 0;
+        while head < queue.len() {
+            let id = queue[head];
+            head += 1;
+            let seq = self.instance(id).is_sequential;
+            let d = depth[id.0 as usize];
+            for &(sink, _) in &self.net(self.instance(id).output).sinks {
+                if self.instance(sink).is_sequential {
+                    // The sink's D input is an endpoint; no intra-cycle arc.
+                    continue;
+                }
+                let s = sink.0 as usize;
+                depth[s] = depth[s].max(d + 1);
+                if !seq {
+                    debug_assert!(indegree[s] > 0, "indegree underflow at {sink}");
+                    indegree[s] -= 1;
+                    if indegree[s] == 0 {
+                        queue.push(sink);
+                    }
+                }
+            }
+        }
+        if queue.len() != n {
+            return None;
+        }
+        let max_depth = depth.iter().copied().max().unwrap_or(0) as usize;
+        let mut levels: Vec<Vec<InstId>> = vec![Vec::new(); max_depth + 1];
+        // Iterating in id order keeps each level sorted by id.
+        for id in self.inst_ids() {
+            levels[depth[id.0 as usize] as usize].push(id);
+        }
+        Some(TopoLevels { levels, depth })
     }
 
     /// The paper's node indexing: reverse topological order with the
@@ -270,7 +382,10 @@ mod tests {
         let dff = lib.index_of("DFFX1").unwrap();
         let mut nl = Netlist::default();
         for i in 0..4 {
-            nl.nets.push(Net { name: format!("n{i}"), ..Net::default() });
+            nl.nets.push(Net {
+                name: format!("n{i}"),
+                ..Net::default()
+            });
         }
         nl.primary_inputs.push(NetId(0));
         nl.instances.push(Instance {
@@ -317,8 +432,12 @@ mod tests {
         let lib = Library::standard(Technology::n65());
         let nl = small(&lib);
         let order = nl.topo_order().unwrap();
-        let pos =
-            |id: u32| order.iter().position(|&x| x == InstId(id)).expect("present");
+        let pos = |id: u32| {
+            order
+                .iter()
+                .position(|&x| x == InstId(id))
+                .expect("present")
+        };
         assert!(pos(0) < pos(1), "u0 before u1");
         assert_eq!(order.len(), 3);
     }
@@ -335,6 +454,62 @@ mod tests {
         for &v in &idx {
             assert!(v >= 1 && v <= nl.num_instances());
         }
+    }
+
+    #[test]
+    fn topo_levels_match_dependencies() {
+        let lib = Library::standard(Technology::n65());
+        let nl = small(&lib);
+        let lv = nl.topo_levels().expect("acyclic").clone();
+        // u0 (level from PI) strictly below u1; the DFF sits at level 0.
+        assert!(lv.depth[0] < lv.depth[1]);
+        assert_eq!(lv.depth[2], 0);
+        // Every combinational gate sits strictly above its combinational
+        // fanins (a flop's D pin is an endpoint, not an intra-cycle arc).
+        for id in nl.inst_ids() {
+            if nl.instance(id).is_sequential {
+                continue;
+            }
+            for f in nl.comb_fanin(id) {
+                assert!(lv.depth[f.0 as usize] < lv.depth[id.0 as usize]);
+            }
+        }
+        // The flattened level order is a permutation of all instances.
+        let flat = lv.flatten();
+        assert_eq!(flat.len(), nl.num_instances());
+        // Cached: a second call returns the same decomposition.
+        assert_eq!(nl.topo_levels().unwrap(), &lv);
+    }
+
+    #[test]
+    fn gate_fed_only_by_flop_sits_above_it() {
+        let lib = Library::standard(Technology::n65());
+        let mut nl = small(&lib);
+        // Rewire u1 to read from the DFF output: u1 has no combinational
+        // fanin but still depends on the flop's launch arrival.
+        nl.instances[1].inputs[0] = NetId(3);
+        nl.nets[1].sinks.retain(|&(i, _)| i != InstId(1));
+        nl.nets[3].sinks.push((InstId(1), 0));
+        let lv = nl.topo_levels().expect("acyclic");
+        assert!(lv.depth[1] > lv.depth[2], "u1 must be above the DFF");
+        // And the flat topological order sees the flop first.
+        let order = nl.topo_order().unwrap();
+        let pos = |id: u32| order.iter().position(|&x| x == InstId(id)).unwrap();
+        assert!(pos(2) < pos(1));
+    }
+
+    #[test]
+    fn invalidate_levels_recomputes() {
+        let lib = Library::standard(Technology::n65());
+        let mut nl = small(&lib);
+        let before = nl.topo_levels().expect("acyclic").clone();
+        // Cut the u0 -> u1 arc; u1 now hangs off the PI directly.
+        nl.instances[1].inputs[0] = NetId(0);
+        nl.nets[1].sinks.retain(|&(i, _)| i != InstId(1));
+        nl.nets[0].sinks.push((InstId(1), 0));
+        nl.invalidate_levels();
+        let after = nl.topo_levels().expect("acyclic");
+        assert!(after.depth[1] < before.depth[1]);
     }
 
     #[test]

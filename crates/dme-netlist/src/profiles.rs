@@ -62,7 +62,10 @@ impl DesignProfile {
     ///
     /// Panics if `factor` is not in `(0, 1]`.
     pub fn scaled(&self, factor: f64) -> DesignProfile {
-        assert!(factor > 0.0 && factor <= 1.0, "scale factor must be in (0, 1]");
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "scale factor must be in (0, 1]"
+        );
         DesignProfile {
             name: format!("{}@{factor:.2}", self.name),
             target_cells: ((self.target_cells as f64 * factor) as usize).max(40),
@@ -89,7 +92,7 @@ pub fn aes65() -> DesignProfile {
         ff_tap_deep_frac: 0.93,
         die_area_mm2: 0.058,
         utilization: 0.7,
-        seed: 0xAE5_65,
+        seed: 0xAE565,
     }
 }
 
@@ -109,7 +112,7 @@ pub fn jpeg65() -> DesignProfile {
         ff_tap_deep_frac: 0.85,
         die_area_mm2: 0.268,
         utilization: 0.7,
-        seed: 0x19E6_65,
+        seed: 0x19E665,
     }
 }
 
@@ -129,7 +132,7 @@ pub fn aes90() -> DesignProfile {
         ff_tap_deep_frac: 0.6,
         die_area_mm2: 0.25,
         utilization: 0.7,
-        seed: 0xAE5_90,
+        seed: 0xAE590,
     }
 }
 
@@ -149,7 +152,7 @@ pub fn jpeg90() -> DesignProfile {
         ff_tap_deep_frac: 0.5,
         die_area_mm2: 1.09,
         utilization: 0.7,
-        seed: 0x19E6_90,
+        seed: 0x19E690,
     }
 }
 

@@ -56,7 +56,9 @@ pub fn compute(nl: &Netlist) -> NetlistStats {
 
 /// Longest combinational depth (in gates) from any startpoint.
 pub fn levels(nl: &Netlist) -> usize {
-    let Some(order) = nl.topo_order() else { return 0 };
+    let Some(order) = nl.topo_order() else {
+        return 0;
+    };
     let mut level = vec![0usize; nl.num_instances()];
     let mut max = 0;
     for id in order {
@@ -92,7 +94,15 @@ mod tests {
         assert_eq!(s.num_primary_inputs, p.num_primary_inputs);
         assert_eq!(s.num_nets, p.target_cells + p.num_primary_inputs);
         assert!(s.max_level <= p.levels);
-        assert!(s.max_level >= p.levels / 2, "depth collapsed: {}", s.max_level);
-        assert!(s.avg_fanout > 1.0 && s.avg_fanout < 6.0, "fanout = {}", s.avg_fanout);
+        assert!(
+            s.max_level >= p.levels / 2,
+            "depth collapsed: {}",
+            s.max_level
+        );
+        assert!(
+            s.avg_fanout > 1.0 && s.avg_fanout < 6.0,
+            "fanout = {}",
+            s.avg_fanout
+        );
     }
 }

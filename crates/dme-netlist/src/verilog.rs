@@ -58,7 +58,10 @@ impl fmt::Display for ParseVerilogError {
                 write!(f, "unknown cell master {master:?} at line {line}")
             }
             ParseVerilogError::PinCount { line, instance } => {
-                write!(f, "wrong connection count on instance {instance:?} at line {line}")
+                write!(
+                    f,
+                    "wrong connection count on instance {instance:?} at line {line}"
+                )
             }
             ParseVerilogError::MultipleDrivers { net } => {
                 write!(f, "net {net:?} has multiple drivers")
@@ -114,7 +117,13 @@ pub fn write_netlist(nl: &Netlist, lib: &Library, module: &str) -> String {
         if inst.is_sequential {
             conns.push("clk".into());
         }
-        let _ = writeln!(out, "  {} {} ({});", master.name(), inst.name, conns.join(", "));
+        let _ = writeln!(
+            out,
+            "  {} {} ({});",
+            master.name(),
+            inst.name,
+            conns.join(", ")
+        );
     }
     let _ = writeln!(out, "endmodule");
     out
@@ -161,7 +170,10 @@ pub fn parse_netlist(text: &str, lib: &Library) -> Result<Netlist, ParseVerilogE
             return id;
         }
         let id = NetId(nl.nets.len() as u32);
-        nl.nets.push(Net { name: name.to_string(), ..Net::default() });
+        nl.nets.push(Net {
+            name: name.to_string(),
+            ..Net::default()
+        });
         net_ids.insert(name.to_string(), id);
         id
     };
@@ -228,12 +240,14 @@ pub fn parse_netlist(text: &str, lib: &Library) -> Result<Netlist, ParseVerilogE
                     message: format!("expected `MASTER name (...)` in {stmt:?}"),
                 });
             };
-            let cell_idx = lib.index_of(master_name).ok_or_else(|| {
-                ParseVerilogError::UnknownMaster { line, master: master_name.to_string() }
-            })?;
+            let cell_idx =
+                lib.index_of(master_name)
+                    .ok_or_else(|| ParseVerilogError::UnknownMaster {
+                        line,
+                        master: master_name.to_string(),
+                    })?;
             let master = lib.cell(cell_idx);
-            let mut conns: Vec<&str> =
-                stmt[open + 1..close].split(',').map(str::trim).collect();
+            let mut conns: Vec<&str> = stmt[open + 1..close].split(',').map(str::trim).collect();
             if master.is_sequential() {
                 // Drop the trailing clock connection.
                 if conns.last() == Some(&"clk") {
@@ -247,8 +261,7 @@ pub fn parse_netlist(text: &str, lib: &Library) -> Result<Netlist, ParseVerilogE
                 });
             }
             let out_net = intern(&mut nl, conns[0]);
-            let inputs: Vec<NetId> =
-                conns[1..].iter().map(|c| intern(&mut nl, c)).collect();
+            let inputs: Vec<NetId> = conns[1..].iter().map(|c| intern(&mut nl, c)).collect();
             let id = InstId(nl.instances.len() as u32);
             if nl.nets[out_net.0 as usize].driver.is_some() {
                 return Err(ParseVerilogError::MultipleDrivers {

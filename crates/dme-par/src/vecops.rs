@@ -1,0 +1,222 @@
+//! Deterministic dense-vector kernels shared by the QP solvers.
+//!
+//! Every reduction here is computed over the fixed [`VEC_GRAIN`]-sized
+//! chunk decomposition of the input with the per-chunk partial sums
+//! combined in chunk order. The serial and parallel paths therefore
+//! produce **bitwise identical** results for any thread count — the only
+//! thing parallelism changes is which thread evaluates which chunk.
+//! Element-wise kernels (axpy, scale, …) are trivially deterministic.
+//!
+//! All kernels fall back to a plain serial loop below
+//! [`VEC_PAR_CUTOFF`] elements, where fork-join overhead would dominate.
+
+use crate::{
+    par_chunks_mut, par_fill, par_reduce_sum, would_parallelize, VEC_GRAIN, VEC_PAR_CUTOFF,
+};
+
+fn chunk_dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Dot product `aᵀb` with a fixed chunked reduction order.
+///
+/// # Panics
+/// Panics if the lengths differ.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    par_reduce_sum(a.len(), VEC_GRAIN, |r| chunk_dot(&a[r.clone()], &b[r]))
+}
+
+/// Squared Euclidean norm `‖v‖²` with a fixed chunked reduction order.
+pub fn norm_sq(v: &[f64]) -> f64 {
+    par_reduce_sum(v.len(), VEC_GRAIN, |r| chunk_dot(&v[r.clone()], &v[r]))
+}
+
+/// Euclidean norm `‖v‖`.
+pub fn norm2(v: &[f64]) -> f64 {
+    norm_sq(v).sqrt()
+}
+
+/// Infinity norm `max |vᵢ|` (order-independent, so parallel-safe by
+/// construction).
+pub fn inf_norm(v: &[f64]) -> f64 {
+    if !would_parallelize(v.len(), VEC_PAR_CUTOFF) {
+        return v.iter().fold(0.0f64, |m, x| m.max(x.abs()));
+    }
+    let chunks = v.len().div_ceil(VEC_GRAIN);
+    let mut partials = vec![0.0f64; chunks];
+    par_fill(&mut partials, 1, |t| {
+        let start = t * VEC_GRAIN;
+        let end = (start + VEC_GRAIN).min(v.len());
+        v[start..end].iter().fold(0.0f64, |m, x| m.max(x.abs()))
+    });
+    partials.iter().fold(0.0f64, |m, x| m.max(*x))
+}
+
+/// `y ← y + alpha·x`, element-wise.
+///
+/// # Panics
+/// Panics if the lengths differ.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    if !would_parallelize(y.len(), VEC_PAR_CUTOFF) {
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi += alpha * xi;
+        }
+        return;
+    }
+    par_chunks_mut(y, VEC_GRAIN, |start, chunk| {
+        for (k, yi) in chunk.iter_mut().enumerate() {
+            *yi += alpha * x[start + k];
+        }
+    });
+}
+
+/// `x ← x + alpha·p; r ← r + beta·q` — the fused CG update (one parallel
+/// region instead of two).
+///
+/// # Panics
+/// Panics if any length differs from `x.len()`.
+pub fn cg_update(x: &mut [f64], alpha: f64, p: &[f64], r: &mut [f64], beta: f64, q: &[f64]) {
+    let n = x.len();
+    assert!(
+        p.len() == n && r.len() == n && q.len() == n,
+        "cg_update: length mismatch"
+    );
+    if !would_parallelize(n, VEC_PAR_CUTOFF) {
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] += beta * q[i];
+        }
+        return;
+    }
+    // Two disjoint mutable buffers: update each in its own pass (still a
+    // single fork for x; r follows). Keeping the passes separate avoids
+    // aliasing gymnastics and the second pass reuses warm workers.
+    par_chunks_mut(x, VEC_GRAIN, |start, chunk| {
+        for (k, xi) in chunk.iter_mut().enumerate() {
+            *xi += alpha * p[start + k];
+        }
+    });
+    par_chunks_mut(r, VEC_GRAIN, |start, chunk| {
+        for (k, ri) in chunk.iter_mut().enumerate() {
+            *ri += beta * q[start + k];
+        }
+    });
+}
+
+/// `p ← r + beta·p`, the CG direction update.
+///
+/// # Panics
+/// Panics if the lengths differ.
+pub fn xpby(r: &[f64], beta: f64, p: &mut [f64]) {
+    assert_eq!(r.len(), p.len(), "xpby: length mismatch");
+    if !would_parallelize(p.len(), VEC_PAR_CUTOFF) {
+        for (pi, ri) in p.iter_mut().zip(r) {
+            *pi = ri + beta * *pi;
+        }
+        return;
+    }
+    par_chunks_mut(p, VEC_GRAIN, |start, chunk| {
+        for (k, pi) in chunk.iter_mut().enumerate() {
+            *pi = r[start + k] + beta * *pi;
+        }
+    });
+}
+
+/// `v ← d ⊙ v` (element-wise scaling in place).
+///
+/// # Panics
+/// Panics if the lengths differ.
+pub fn mul_assign(d: &[f64], v: &mut [f64]) {
+    assert_eq!(d.len(), v.len(), "mul_assign: length mismatch");
+    if !would_parallelize(v.len(), VEC_PAR_CUTOFF) {
+        for (vi, di) in v.iter_mut().zip(d) {
+            *vi *= di;
+        }
+        return;
+    }
+    par_chunks_mut(v, VEC_GRAIN, |start, chunk| {
+        for (k, vi) in chunk.iter_mut().enumerate() {
+            *vi *= d[start + k];
+        }
+    });
+}
+
+/// `z ← d ⊙ r` (element-wise product; Jacobi preconditioner apply).
+///
+/// # Panics
+/// Panics if any length differs from `z.len()`.
+pub fn hadamard(d: &[f64], r: &[f64], z: &mut [f64]) {
+    let n = z.len();
+    assert!(d.len() == n && r.len() == n, "hadamard: length mismatch");
+    if !would_parallelize(n, VEC_PAR_CUTOFF) {
+        for i in 0..n {
+            z[i] = d[i] * r[i];
+        }
+        return;
+    }
+    par_chunks_mut(z, VEC_GRAIN, |start, chunk| {
+        for (k, zi) in chunk.iter_mut().enumerate() {
+            *zi = d[start + k] * r[start + k];
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::set_force_serial;
+
+    fn vec_of(n: usize, f: impl Fn(usize) -> f64) -> Vec<f64> {
+        (0..n).map(f).collect()
+    }
+
+    #[test]
+    fn dot_matches_serial_bitwise() {
+        let n = 3 * VEC_PAR_CUTOFF + 17;
+        let a = vec_of(n, |i| (i as f64 * 0.123).sin());
+        let b = vec_of(n, |i| (i as f64 * 0.456).cos());
+        let par = dot(&a, &b);
+        set_force_serial(true);
+        let ser = dot(&a, &b);
+        set_force_serial(false);
+        assert_eq!(par.to_bits(), ser.to_bits());
+    }
+
+    #[test]
+    fn norms_agree_with_reference() {
+        let v = vec_of(1000, |i| i as f64 - 500.0);
+        let reference: f64 = v.iter().map(|x| x * x).sum();
+        assert!((norm_sq(&v) - reference).abs() <= 1e-6 * reference);
+        assert_eq!(inf_norm(&v), 500.0);
+        assert_eq!(inf_norm(&[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_and_xpby_elementwise() {
+        let n = VEC_PAR_CUTOFF + 3;
+        let x = vec_of(n, |i| i as f64);
+        let mut y = vec_of(n, |_| 1.0);
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y[10], 21.0);
+        let mut p = vec_of(n, |_| 3.0);
+        xpby(&y, 0.5, &mut p);
+        assert_eq!(p[10], 21.0 + 1.5);
+    }
+
+    #[test]
+    fn hadamard_and_cg_update() {
+        let n = 100;
+        let d = vec_of(n, |i| (i % 7) as f64);
+        let r = vec_of(n, |_| 2.0);
+        let mut z = vec![0.0; n];
+        hadamard(&d, &r, &mut z);
+        assert_eq!(z[8], 2.0);
+        let mut x = vec![0.0; n];
+        let mut rr = vec![1.0; n];
+        cg_update(&mut x, 1.0, &d, &mut rr, -1.0, &r);
+        assert_eq!(x[8], 1.0);
+        assert_eq!(rr[8], -1.0);
+    }
+}

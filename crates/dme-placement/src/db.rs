@@ -35,8 +35,14 @@ impl fmt::Display for LegalityError {
             LegalityError::Overlap { a, b } => write!(f, "cells {a} and {b} overlap"),
             LegalityError::OutOfDie(i) => write!(f, "cell {i} is outside the die"),
             LegalityError::OffRow(i) => write!(f, "cell {i} is not row-aligned"),
-            LegalityError::Overfull { cell_area_um2, die_area_um2 } => {
-                write!(f, "cell area {cell_area_um2} µm² exceeds die area {die_area_um2} µm²")
+            LegalityError::Overfull {
+                cell_area_um2,
+                die_area_um2,
+            } => {
+                write!(
+                    f,
+                    "cell area {cell_area_um2} µm² exceeds die area {die_area_um2} µm²"
+                )
             }
         }
     }
@@ -71,7 +77,10 @@ impl Placement {
     /// Panics if the id is out of range.
     pub fn center(&self, lib: &Library, nl: &Netlist, id: InstId) -> (f64, f64) {
         let w = lib.cell(nl.instance(id).cell_idx).width_um();
-        (self.x_um[id.0 as usize] + 0.5 * w, self.y_um[id.0 as usize] + 0.5 * self.row_h_um)
+        (
+            self.x_um[id.0 as usize] + 0.5 * w,
+            self.y_um[id.0 as usize] + 0.5 * self.row_h_um,
+        )
     }
 
     /// Number of rows on the die.
@@ -81,7 +90,10 @@ impl Placement {
 
     /// Position of the pad of a primary-input net, if it is one.
     pub fn pi_pad(&self, nl: &Netlist, net: NetId) -> Option<(f64, f64)> {
-        nl.primary_inputs.iter().position(|&n| n == net).map(|i| self.pi_pos[i])
+        nl.primary_inputs
+            .iter()
+            .position(|&n| n == net)
+            .map(|i| self.pi_pos[i])
     }
 
     /// All pin positions of a net: the driver output pin, every sink
@@ -108,7 +120,9 @@ impl Placement {
 
     /// Total HPWL over all nets, µm.
     pub fn total_hpwl(&self, lib: &Library, nl: &Netlist) -> f64 {
-        (0..nl.num_nets() as u32).map(|i| self.net_hpwl(lib, nl, NetId(i))).sum()
+        (0..nl.num_nets() as u32)
+            .map(|i| self.net_hpwl(lib, nl, NetId(i)))
+            .sum()
     }
 
     /// The dosePl *neighborhood bounding box* of a cell: the bounding box
@@ -161,8 +175,7 @@ impl Placement {
     /// Panics if the whole die cannot hold the cells (cannot happen for
     /// placements produced by [`crate::place`]).
     pub fn repack_rows(&mut self, lib: &Library, nl: &Netlist, rows: &[usize]) {
-        let width =
-            |m: InstId| lib.cell(nl.instance(m).cell_idx).width_um();
+        let width = |m: InstId| lib.cell(nl.instance(m).cell_idx).width_um();
         // Row membership and per-row occupied width for the whole die
         // (needed to find eviction targets).
         let nrows = self.num_rows();
@@ -216,7 +229,9 @@ impl Placement {
             for &m in &row_cells {
                 let w = width(m);
                 let desired = self.x_um[m.0 as usize].max(cursor);
-                let x = snap(desired, self.site_um).min(self.die_w_um - w).max(cursor);
+                let x = snap(desired, self.site_um)
+                    .min(self.die_w_um - w)
+                    .max(cursor);
                 self.x_um[m.0 as usize] = x;
                 self.y_um[m.0 as usize] = y;
                 cursor = x + w;
@@ -257,7 +272,10 @@ impl Placement {
             row.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite coordinates"));
             for pair in row.windows(2) {
                 if pair[0].1 > pair[1].0 + 1e-6 {
-                    return Err(LegalityError::Overlap { a: pair[0].2, b: pair[1].2 });
+                    return Err(LegalityError::Overlap {
+                        a: pair[0].2,
+                        b: pair[1].2,
+                    });
                 }
             }
         }

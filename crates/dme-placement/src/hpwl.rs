@@ -18,7 +18,12 @@ impl BoundingBox {
     pub fn of_points(points: &[(f64, f64)]) -> Option<Self> {
         let mut it = points.iter();
         let &(x, y) = it.next()?;
-        let mut b = BoundingBox { x_min: x, x_max: x, y_min: y, y_max: y };
+        let mut b = BoundingBox {
+            x_min: x,
+            x_max: x,
+            y_min: y,
+            y_max: y,
+        };
         for &(x, y) in it {
             b.x_min = b.x_min.min(x);
             b.x_max = b.x_max.max(x);
@@ -88,7 +93,9 @@ mod tests {
 
     #[test]
     fn expansion_grows_every_side() {
-        let b = BoundingBox::of_points(&[(1.0, 1.0), (2.0, 2.0)]).unwrap().expanded(0.5);
+        let b = BoundingBox::of_points(&[(1.0, 1.0), (2.0, 2.0)])
+            .unwrap()
+            .expanded(0.5);
         assert!(b.contains(0.6, 0.6));
         assert!(b.contains(2.4, 2.4));
         assert!(!b.contains(0.4, 1.0));

@@ -61,7 +61,11 @@ pub fn write_placement(p: &Placement, nl: &Netlist) -> String {
     let _ = writeln!(out, "VERSION 5.8 ;");
     let _ = writeln!(out, "DESIGN dme ;");
     let _ = writeln!(out, "UNITS DISTANCE MICRONS 1 ;");
-    let _ = writeln!(out, "DIEAREA ( 0 0 ) ( {:.4} {:.4} ) ;", p.die_w_um, p.die_h_um);
+    let _ = writeln!(
+        out,
+        "DIEAREA ( 0 0 ) ( {:.4} {:.4} ) ;",
+        p.die_w_um, p.die_h_um
+    );
     let _ = writeln!(out, "ROWHEIGHT {:.4} ;", p.row_h_um);
     let _ = writeln!(out, "SITEWIDTH {:.4} ;", p.site_um);
     let _ = writeln!(out, "COMPONENTS {} ;", nl.num_instances());
@@ -132,7 +136,9 @@ pub fn parse_placement(text: &str, nl: &Netlist) -> Result<Placement, ParseDefEr
             let name = toks[1];
             let &idx = name_to_id
                 .get(name)
-                .ok_or_else(|| ParseDefError::UnknownInstance { name: name.to_string() })?;
+                .ok_or_else(|| ParseDefError::UnknownInstance {
+                    name: name.to_string(),
+                })?;
             x[idx] = parse_f64(line, toks[4])?;
             y[idx] = parse_f64(line, toks[5])?;
         }
@@ -154,7 +160,10 @@ pub fn parse_placement(text: &str, nl: &Netlist) -> Result<Placement, ParseDefEr
             .iter()
             .enumerate()
             .map(|(i, _)| {
-                (0.0, die_h * (i as f64 + 0.5) / nl.primary_inputs.len().max(1) as f64)
+                (
+                    0.0,
+                    die_h * (i as f64 + 0.5) / nl.primary_inputs.len().max(1) as f64,
+                )
             })
             .collect(),
     })
@@ -191,10 +200,12 @@ mod tests {
         let p = crate::place(&d, &lib);
         let text = write_placement(&p, &d.netlist);
         // Drop one component line (ff0 always exists).
-        let truncated: Vec<&str> =
-            text.lines().filter(|l| !l.starts_with("- ff0 ")).collect();
+        let truncated: Vec<&str> = text.lines().filter(|l| !l.starts_with("- ff0 ")).collect();
         let err = parse_placement(&truncated.join("\n"), &d.netlist);
-        assert!(matches!(err, Err(ParseDefError::MissingInstances { count: 1 })));
+        assert!(matches!(
+            err,
+            Err(ParseDefError::MissingInstances { count: 1 })
+        ));
     }
 
     #[test]

@@ -14,13 +14,15 @@ pub fn legalize(p: &mut Placement, nl: &Netlist, lib: &Library) {
 
     let mut order: Vec<usize> = (0..nl.num_instances()).collect();
     order.sort_by(|&a, &b| {
-        p.x_um[a].partial_cmp(&p.x_um[b]).expect("finite coordinates").then(a.cmp(&b))
+        p.x_um[a]
+            .partial_cmp(&p.x_um[b])
+            .expect("finite coordinates")
+            .then(a.cmp(&b))
     });
 
     for &i in &order {
         let w = lib.cell(nl.instances[i].cell_idx).width_um();
-        let want_row =
-            ((p.y_um[i] / p.row_h_um).round() as i64).clamp(0, rows as i64 - 1) as usize;
+        let want_row = ((p.y_um[i] / p.row_h_um).round() as i64).clamp(0, rows as i64 - 1) as usize;
         // Pure packing: the cell lands at the row cursor (no gaps are ever
         // created, so the pass cannot fragment capacity); the row is
         // chosen to minimize total displacement, probing outward in y.
@@ -39,7 +41,7 @@ pub fn legalize(p: &mut Placement, nl: &Netlist, lib: &Library) {
                 let dy = (row as f64 * p.row_h_um - p.y_um[i]).abs();
                 let dx = (cursor[row] - p.x_um[i]).abs();
                 let cost = dx + 2.0 * dy;
-                if best.map_or(true, |(c, _)| cost < c) {
+                if best.is_none_or(|(c, _)| cost < c) {
                     best = Some((cost, row));
                 }
             }
@@ -84,10 +86,16 @@ mod tests {
             site_um: 3.08 * 65.0 / 1000.0,
             x_um: (0..n).map(|_| rng.gen::<f64>() * die).collect(),
             y_um: (0..n).map(|_| rng.gen::<f64>() * die).collect(),
-            pi_pos: d.netlist.primary_inputs.iter().map(|_| (0.0, 0.0)).collect(),
+            pi_pos: d
+                .netlist
+                .primary_inputs
+                .iter()
+                .map(|_| (0.0, 0.0))
+                .collect(),
         };
         legalize(&mut p, &d.netlist, &lib);
-        p.check_legal(&d.netlist, &lib).expect("legal after legalization");
+        p.check_legal(&d.netlist, &lib)
+            .expect("legal after legalization");
     }
 
     #[test]

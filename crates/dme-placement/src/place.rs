@@ -32,7 +32,11 @@ pub fn place_with_iterations(design: &Design, lib: &Library, iters: usize) -> Pl
     let die_h = (die_um / row_h).floor() * row_h;
     let die_w = die_um;
 
-    let cell_area: f64 = nl.instances.iter().map(|i| lib.cell(i.cell_idx).area_um2()).sum();
+    let cell_area: f64 = nl
+        .instances
+        .iter()
+        .map(|i| lib.cell(i.cell_idx).area_um2())
+        .sum();
     assert!(
         cell_area <= die_w * die_h,
         "cell area {cell_area:.0} µm² exceeds die {:.0} µm²",
@@ -66,7 +70,9 @@ pub fn place_with_iterations(design: &Design, lib: &Library, iters: usize) -> Pl
     let max_bins = (n as f64).sqrt().ceil() as usize;
     for it in 0..iters {
         average_toward_nets(nl, &pi_pos, &mut x, &mut y);
-        let bins = ((2.0 * 1.3f64.powi(it as i32)).ceil() as usize).min(max_bins).max(2);
+        let bins = ((2.0 * 1.3f64.powi(it as i32)).ceil() as usize)
+            .min(max_bins)
+            .max(2);
         spread(&mut x, &mut y, die_w, die_h, bins);
     }
 
@@ -292,7 +298,8 @@ mod tests {
         let row_b = (p.y_um[b.0 as usize] / p.row_h_um).round() as usize;
         p.swap_cells(a, b);
         p.repack_rows(&lib, &d.netlist, &[row_a, row_b]);
-        p.check_legal(&d.netlist, &lib).expect("legal after swap + repack");
+        p.check_legal(&d.netlist, &lib)
+            .expect("legal after swap + repack");
     }
 
     #[test]

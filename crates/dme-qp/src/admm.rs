@@ -11,6 +11,7 @@
 //! (up to ~10⁵ variables, ~3·10⁵ constraints) well.
 
 use crate::{CsrMatrix, QuadProgram, SolveError};
+use dme_par::vecops;
 
 /// Convergence / behaviour knobs for [`AdmmSolver`].
 #[derive(Debug, Clone)]
@@ -95,7 +96,11 @@ pub struct AdmmSolver {
 impl AdmmSolver {
     /// Creates a solver with the given settings.
     pub fn new(settings: AdmmSettings) -> Self {
-        Self { settings, warm_x: None, warm_y: None }
+        Self {
+            settings,
+            warm_x: None,
+            warm_y: None,
+        }
     }
 
     /// Provides a warm-start point (used by QCP bisection to reuse the
@@ -132,16 +137,20 @@ impl AdmmSolver {
         let rho_vec = |rb: f64| -> Vec<f64> {
             row_is_eq
                 .iter()
-                .map(|&eq| if eq { (rb * 1e3).clamp(1e-6, 1e6) } else { rb.clamp(1e-6, 1e6) })
+                .map(|&eq| {
+                    if eq {
+                        (rb * 1e3).clamp(1e-6, 1e6)
+                    } else {
+                        rb.clamp(1e-6, 1e6)
+                    }
+                })
                 .collect()
         };
         let mut rho = rho_vec(rho_bar);
 
         // --- state ---------------------------------------------------------------
         let mut x = match &self.warm_x {
-            Some(w) if w.len() == n => {
-                (0..n).map(|j| w[j] / scale.d[j]).collect::<Vec<_>>()
-            }
+            Some(w) if w.len() == n => (0..n).map(|j| w[j] / scale.d[j]).collect::<Vec<_>>(),
             Some(w) => {
                 return Err(SolveError::Dimension(format!(
                     "warm-start x has length {}, expected {n}",
@@ -151,9 +160,9 @@ impl AdmmSolver {
             None => vec![0.0; n],
         };
         let mut y = match &self.warm_y {
-            Some(w) if w.len() == m => {
-                (0..m).map(|i| w[i] * scale.cost / scale.e[i]).collect::<Vec<_>>()
-            }
+            Some(w) if w.len() == m => (0..m)
+                .map(|i| w[i] * scale.cost / scale.e[i])
+                .collect::<Vec<_>>(),
             Some(w) => {
                 return Err(SolveError::Dimension(format!(
                     "warm-start y has length {}, expected {m}",
@@ -195,7 +204,17 @@ impl AdmmSolver {
             // Solve (P + sigma I + A' R A) xt = rhs by PCG, warm-started at x.
             let cg_tol = (prim_res.min(dual_res) * 1e-2).clamp(1e-12, 1e-6);
             xt.copy_from_slice(&x);
-            cg.solve(&sp, &sa, &rho, st.sigma, &precond, &rhs, &mut xt, st.cg_max_iter, cg_tol)?;
+            cg.solve(
+                &sp,
+                &sa,
+                &rho,
+                st.sigma,
+                &precond,
+                &rhs,
+                &mut xt,
+                st.cg_max_iter,
+                cg_tol,
+            )?;
 
             sa.mul_vec_into(&xt, &mut zt);
 
@@ -270,7 +289,7 @@ impl AdmmSolver {
             // residual imbalance reshapes ρ.
             if st.adaptive_rho_interval > 0 && (k + 1) % st.adaptive_rho_interval == 0 {
                 let ratio = ((rp / eps_prim.max(1e-12)) / (rd / eps_dual.max(1e-12))).sqrt();
-                if ratio > 1.5 || ratio < 0.67 {
+                if !(0.67..=1.5).contains(&ratio) {
                     rho_bar = (rho_bar * ratio).clamp(1e-6, 1e6);
                     rho = rho_vec(rho_bar);
                     precond = build_precond(&p_diag, &sa, &rho, st.sigma);
@@ -310,12 +329,12 @@ fn primal_infeasible(
 ) -> bool {
     let m = y.len();
     let dy: Vec<f64> = (0..m).map(|i| y[i] - prev_y[i]).collect();
-    let dy_norm = dy.iter().fold(0.0f64, |acc, v| acc.max(v.abs()));
+    let dy_norm = vecops::inf_norm(&dy);
     if dy_norm < 1e-10 {
         return false;
     }
     let at_dy = a.mul_transpose_vec(&dy);
-    let at_norm = at_dy.iter().fold(0.0f64, |acc, v| acc.max(v.abs()));
+    let at_norm = vecops::inf_norm(&at_dy);
     if at_norm > eps * dy_norm {
         return false;
     }
@@ -343,9 +362,9 @@ fn build_precond(p_diag: &[f64], a: &CsrMatrix, rho: &[f64], sigma: f64) -> Vec<
     for j in 0..n {
         d[j] += p_diag[j];
     }
-    for r in 0..a.nrows() {
+    for (r, &rho_r) in rho.iter().enumerate().take(a.nrows()) {
         for (c, v) in a.row(r) {
-            d[c] += rho[r] * v * v;
+            d[c] += rho_r * v * v;
         }
     }
     for dj in &mut d {
@@ -357,6 +376,7 @@ fn build_precond(p_diag: &[f64], a: &CsrMatrix, rho: &[f64], sigma: f64) -> Vec<
 }
 
 /// `out = (P + σI + Aᵀ·diag(ρ)·A)·v`, applied matrix-free.
+#[allow(clippy::too_many_arguments)]
 fn apply_kkt(
     p: &CsrMatrix,
     a: &CsrMatrix,
@@ -369,13 +389,10 @@ fn apply_kkt(
 ) {
     p.mul_vec_into(v, out);
     a.mul_vec_into(v, scratch_m);
-    for (si, ri) in scratch_m.iter_mut().zip(rho) {
-        *si *= ri;
-    }
+    vecops::mul_assign(rho, scratch_m);
     a.mul_transpose_vec_into(scratch_m, scratch_n);
-    for j in 0..v.len() {
-        out[j] += sigma * v[j] + scratch_n[j];
-    }
+    vecops::axpy(sigma, v, out);
+    vecops::axpy(1.0, scratch_n, out);
 }
 
 /// Preconditioned conjugate gradients on `K = P + σI + AᵀRA` applied
@@ -387,6 +404,7 @@ struct CgWorkspace {
     kp: Vec<f64>,
     scratch_m: Vec<f64>,
     scratch_n: Vec<f64>,
+    inv_precond: Vec<f64>,
 }
 
 impl CgWorkspace {
@@ -398,6 +416,7 @@ impl CgWorkspace {
             kp: vec![0.0; n],
             scratch_m: vec![0.0; m],
             scratch_n: vec![0.0; n],
+            inv_precond: vec![0.0; n],
         }
     }
 
@@ -415,20 +434,34 @@ impl CgWorkspace {
         rel_tol: f64,
     ) -> Result<(), SolveError> {
         let n = b.len();
-        let b_norm = b.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-30);
+        let b_norm = vecops::norm2(b).max(1e-30);
+        // Inverted preconditioner: the apply becomes a parallel
+        // element-wise product.
+        if self.inv_precond.len() != n {
+            self.inv_precond = vec![0.0; n];
+        }
+        for (inv, p) in self.inv_precond.iter_mut().zip(precond) {
+            *inv = 1.0 / *p;
+        }
         // r = b - K x  (reuse kp as the K·x buffer)
-        apply_kkt(pm, a, rho, sigma, x, &mut self.kp, &mut self.scratch_m, &mut self.scratch_n);
-        for j in 0..n {
-            self.r[j] = b[j] - self.kp[j];
+        apply_kkt(
+            pm,
+            a,
+            rho,
+            sigma,
+            x,
+            &mut self.kp,
+            &mut self.scratch_m,
+            &mut self.scratch_n,
+        );
+        for ((rj, &bj), &kj) in self.r.iter_mut().zip(b).zip(&self.kp) {
+            *rj = bj - kj;
         }
-        let mut rz: f64 = 0.0;
-        for j in 0..n {
-            self.zv[j] = self.r[j] / precond[j];
-            rz += self.r[j] * self.zv[j];
-        }
+        vecops::hadamard(&self.inv_precond, &self.r, &mut self.zv);
+        let mut rz = vecops::dot(&self.r, &self.zv);
         self.p.copy_from_slice(&self.zv);
         for _ in 0..max_iter {
-            let r_norm = self.r.iter().map(|v| v * v).sum::<f64>().sqrt();
+            let r_norm = vecops::norm2(&self.r);
             if r_norm <= rel_tol * b_norm {
                 break;
             }
@@ -442,7 +475,7 @@ impl CgWorkspace {
                 &mut self.scratch_m,
                 &mut self.scratch_n,
             );
-            let pkp: f64 = (0..n).map(|j| self.p[j] * self.kp[j]).sum();
+            let pkp = vecops::dot(&self.p, &self.kp);
             if !pkp.is_finite() || pkp <= 0.0 {
                 if pkp < 0.0 {
                     return Err(SolveError::Numerical(
@@ -452,23 +485,17 @@ impl CgWorkspace {
                 break;
             }
             let alpha = rz / pkp;
-            for j in 0..n {
-                x[j] += alpha * self.p[j];
-                self.r[j] -= alpha * self.kp[j];
-            }
-            let mut rz_new = 0.0;
-            for j in 0..n {
-                self.zv[j] = self.r[j] / precond[j];
-                rz_new += self.r[j] * self.zv[j];
-            }
+            vecops::cg_update(x, alpha, &self.p, &mut self.r, -alpha, &self.kp);
+            vecops::hadamard(&self.inv_precond, &self.r, &mut self.zv);
+            let rz_new = vecops::dot(&self.r, &self.zv);
             let beta = rz_new / rz.max(1e-300);
             rz = rz_new;
-            for j in 0..n {
-                self.p[j] = self.zv[j] + beta * self.p[j];
-            }
+            vecops::xpby(&self.zv, beta, &mut self.p);
         }
         if x.iter().any(|v| !v.is_finite()) {
-            return Err(SolveError::Numerical("CG produced non-finite iterate".into()));
+            return Err(SolveError::Numerical(
+                "CG produced non-finite iterate".into(),
+            ));
         }
         Ok(())
     }
@@ -531,8 +558,9 @@ impl Scaling {
                 }
             }
             let mean_p = p_col.iter().sum::<f64>() / n as f64;
-            let q_norm =
-                (0..n).map(|j| (cost * d[j] * qp.q[j]).abs()).fold(0.0f64, f64::max);
+            let q_norm = (0..n)
+                .map(|j| (cost * d[j] * qp.q[j]).abs())
+                .fold(0.0f64, f64::max);
             let denom = mean_p.max(q_norm);
             if denom > 1e-12 {
                 cost = (cost / denom).clamp(1e-9, 1e9);
@@ -567,7 +595,9 @@ mod tests {
     use super::*;
 
     fn solve(qp: &QuadProgram) -> Solution {
-        AdmmSolver::new(AdmmSettings::default()).solve(qp).expect("solve")
+        AdmmSolver::new(AdmmSettings::default())
+            .solve(qp)
+            .expect("solve")
     }
 
     #[test]
@@ -702,7 +732,11 @@ mod tests {
             vec![1e9, 1e9],
         )
         .unwrap();
-        let settings = AdmmSettings { eps_abs: 1e-9, eps_rel: 0.0, ..AdmmSettings::default() };
+        let settings = AdmmSettings {
+            eps_abs: 1e-9,
+            eps_rel: 0.0,
+            ..AdmmSettings::default()
+        };
         let s = AdmmSolver::new(settings).solve(&qp).unwrap();
         assert_eq!(s.status, SolveStatus::Solved);
         assert!((s.x[0] - 1e-3).abs() < 1e-6, "x0 = {}", s.x[0]);

@@ -1,6 +1,15 @@
 //! Compressed sparse row matrices.
 
 use std::fmt;
+use std::sync::OnceLock;
+
+/// Minimum stored-entry count before a matrix–vector product fans out to
+/// the thread pool; below this fork-join overhead dominates.
+const SPMV_PAR_CUTOFF_NNZ: usize = 16 * 1024;
+
+/// Rows per parallel task in the SpMV kernels. The per-row accumulation
+/// order never changes, so this only affects load balancing.
+const SPMV_ROW_GRAIN: usize = 256;
 
 /// A sparse matrix in compressed-sparse-row (CSR) format.
 ///
@@ -8,25 +17,70 @@ use std::fmt;
 /// formulation builder need: construction from triplets or rows,
 /// matrix–vector products with the matrix and its transpose, and per-column
 /// squared norms (for Jacobi preconditioning of `AᵀA`).
-#[derive(Clone, PartialEq)]
+///
+/// Transpose products use a lazily built, cached explicit transpose so
+/// `Aᵀx` is a row-parallel gather instead of a serial scatter; the gather
+/// accumulates each output in the same (row-ascending) order the scatter
+/// did, so results are bitwise identical.
 pub struct CsrMatrix {
     nrows: usize,
     ncols: usize,
     row_ptr: Vec<usize>,
     col_idx: Vec<usize>,
     vals: Vec<f64>,
+    /// Cached explicit transpose (structural fields only; its own cache
+    /// is never populated). Built on first transpose product.
+    transpose: OnceLock<Box<CsrMatrix>>,
+}
+
+impl Clone for CsrMatrix {
+    fn clone(&self) -> Self {
+        // The cache is cheap to rebuild; don't deep-copy it.
+        Self {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            row_ptr: self.row_ptr.clone(),
+            col_idx: self.col_idx.clone(),
+            vals: self.vals.clone(),
+            transpose: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for CsrMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        // Structural equality only; the transpose cache is derived state.
+        self.nrows == other.nrows
+            && self.ncols == other.ncols
+            && self.row_ptr == other.row_ptr
+            && self.col_idx == other.col_idx
+            && self.vals == other.vals
+    }
 }
 
 impl fmt::Debug for CsrMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "CsrMatrix({}x{}, nnz={})", self.nrows, self.ncols, self.nnz())
+        write!(
+            f,
+            "CsrMatrix({}x{}, nnz={})",
+            self.nrows,
+            self.ncols,
+            self.nnz()
+        )
     }
 }
 
 impl CsrMatrix {
     /// Creates an empty (all-zero) matrix of the given shape.
     pub fn zeros(nrows: usize, ncols: usize) -> Self {
-        Self { nrows, ncols, row_ptr: vec![0; nrows + 1], col_idx: Vec::new(), vals: Vec::new() }
+        Self {
+            nrows,
+            ncols,
+            row_ptr: vec![0; nrows + 1],
+            col_idx: Vec::new(),
+            vals: Vec::new(),
+            transpose: OnceLock::new(),
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -37,6 +91,7 @@ impl CsrMatrix {
             row_ptr: (0..=n).collect(),
             col_idx: (0..n).collect(),
             vals: vec![1.0; n],
+            transpose: OnceLock::new(),
         }
     }
 
@@ -50,6 +105,7 @@ impl CsrMatrix {
             row_ptr: (0..=n).collect(),
             col_idx: (0..n).collect(),
             vals: diag.to_vec(),
+            transpose: OnceLock::new(),
         }
     }
 
@@ -61,7 +117,10 @@ impl CsrMatrix {
     /// Panics if any triplet indexes outside `nrows × ncols`.
     pub fn from_triplets(nrows: usize, ncols: usize, triplets: &[(usize, usize, f64)]) -> Self {
         for &(r, c, _) in triplets {
-            assert!(r < nrows && c < ncols, "triplet ({r},{c}) outside {nrows}x{ncols}");
+            assert!(
+                r < nrows && c < ncols,
+                "triplet ({r},{c}) outside {nrows}x{ncols}"
+            );
         }
         // Count entries per row.
         let mut counts = vec![0usize; nrows];
@@ -82,7 +141,14 @@ impl CsrMatrix {
             vals[k] = v;
             next[r] += 1;
         }
-        let mut m = Self { nrows, ncols, row_ptr, col_idx, vals };
+        let mut m = Self {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            vals,
+            transpose: OnceLock::new(),
+        };
         m.sort_and_dedup_rows();
         m
     }
@@ -106,7 +172,14 @@ impl CsrMatrix {
             }
             row_ptr.push(col_idx.len());
         }
-        let mut m = Self { nrows: rows.len(), ncols, row_ptr, col_idx, vals };
+        let mut m = Self {
+            nrows: rows.len(),
+            ncols,
+            row_ptr,
+            col_idx,
+            vals,
+            transpose: OnceLock::new(),
+        };
         m.sort_and_dedup_rows();
         m
     }
@@ -165,7 +238,10 @@ impl CsrMatrix {
         assert!(row < self.nrows);
         let lo = self.row_ptr[row];
         let hi = self.row_ptr[row + 1];
-        self.col_idx[lo..hi].iter().copied().zip(self.vals[lo..hi].iter().copied())
+        self.col_idx[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.vals[lo..hi].iter().copied())
     }
 
     /// Dense `y = A·x`.
@@ -188,13 +264,28 @@ impl CsrMatrix {
     pub fn mul_vec_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols, "x length mismatch");
         assert_eq!(y.len(), self.nrows, "y length mismatch");
-        for r in 0..self.nrows {
-            let mut acc = 0.0;
-            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
-                acc += self.vals[k] * x[self.col_idx[k]];
+        if !dme_par::would_parallelize(self.nnz(), SPMV_PAR_CUTOFF_NNZ) {
+            for (r, yr) in y.iter_mut().enumerate() {
+                *yr = self.row_dot(r, x);
             }
-            y[r] = acc;
+            return;
         }
+        // Row-parallel: each output element is one row's dot product, so
+        // the accumulation order (and thus the result) is unchanged.
+        dme_par::par_chunks_mut(y, SPMV_ROW_GRAIN, |row0, chunk| {
+            for (k, yr) in chunk.iter_mut().enumerate() {
+                *yr = self.row_dot(row0 + k, x);
+            }
+        });
+    }
+
+    #[inline]
+    fn row_dot(&self, r: usize, x: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+            acc += self.vals[k] * x[self.col_idx[k]];
+        }
+        acc
     }
 
     /// Dense `y = Aᵀ·x`.
@@ -216,16 +307,70 @@ impl CsrMatrix {
     pub fn mul_transpose_vec_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.nrows, "x length mismatch");
         assert_eq!(y.len(), self.ncols, "y length mismatch");
-        y.fill(0.0);
-        for r in 0..self.nrows {
-            let xr = x[r];
-            if xr == 0.0 {
-                continue;
+        // Gather through the cached explicit transpose instead of
+        // scattering through `self`: output elements become independent
+        // (parallelizable) and each `y[c]` accumulates its terms in the
+        // same row-ascending order the scatter used, so the result is
+        // bitwise identical. The zero-skip mirrors the scatter's
+        // `x[r] == 0.0` fast path exactly.
+        let t = self.transpose_ref();
+        let gather = |c: usize, x: &[f64]| -> f64 {
+            let mut acc = 0.0;
+            for k in t.row_ptr[c]..t.row_ptr[c + 1] {
+                let xr = x[t.col_idx[k]];
+                if xr == 0.0 {
+                    continue;
+                }
+                acc += t.vals[k] * xr;
             }
-            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
-                y[self.col_idx[k]] += self.vals[k] * xr;
+            acc
+        };
+        if !dme_par::would_parallelize(self.nnz(), SPMV_PAR_CUTOFF_NNZ) {
+            for (c, yc) in y.iter_mut().enumerate() {
+                *yc = gather(c, x);
             }
+            return;
         }
+        dme_par::par_chunks_mut(y, SPMV_ROW_GRAIN, |col0, chunk| {
+            for (k, yc) in chunk.iter_mut().enumerate() {
+                *yc = gather(col0 + k, x);
+            }
+        });
+    }
+
+    /// The cached explicit transpose, built on first use. Entries of each
+    /// transpose row are ordered by ascending original row index.
+    fn transpose_ref(&self) -> &CsrMatrix {
+        self.transpose.get_or_init(|| {
+            let mut counts = vec![0usize; self.ncols];
+            for &c in &self.col_idx {
+                counts[c] += 1;
+            }
+            let mut row_ptr = vec![0usize; self.ncols + 1];
+            for c in 0..self.ncols {
+                row_ptr[c + 1] = row_ptr[c] + counts[c];
+            }
+            let mut col_idx = vec![0usize; self.nnz()];
+            let mut vals = vec![0.0; self.nnz()];
+            let mut next = row_ptr.clone();
+            for r in 0..self.nrows {
+                for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                    let c = self.col_idx[k];
+                    let slot = next[c];
+                    col_idx[slot] = r;
+                    vals[slot] = self.vals[k];
+                    next[c] += 1;
+                }
+            }
+            Box::new(CsrMatrix {
+                nrows: self.ncols,
+                ncols: self.nrows,
+                row_ptr,
+                col_idx,
+                vals,
+                transpose: OnceLock::new(),
+            })
+        })
     }
 
     /// Per-column sums of squared entries, i.e. the diagonal of `AᵀA`.
@@ -241,10 +386,10 @@ impl CsrMatrix {
     pub fn diag(&self) -> Vec<f64> {
         let n = self.nrows.min(self.ncols);
         let mut d = vec![0.0; n];
-        for r in 0..n {
+        for (r, dr) in d.iter_mut().enumerate() {
             for k in self.row_ptr[r]..self.row_ptr[r + 1] {
                 if self.col_idx[k] == r {
-                    d[r] = self.vals[k];
+                    *dr = self.vals[k];
                 }
             }
         }
@@ -254,9 +399,9 @@ impl CsrMatrix {
     /// Converts to a dense row-major matrix (tests and tiny systems only).
     pub fn to_dense(&self) -> Vec<Vec<f64>> {
         let mut dense = vec![vec![0.0; self.ncols]; self.nrows];
-        for r in 0..self.nrows {
+        for (r, row) in dense.iter_mut().enumerate() {
             for k in self.row_ptr[r]..self.row_ptr[r + 1] {
-                dense[r][self.col_idx[k]] += self.vals[k];
+                row[self.col_idx[k]] += self.vals[k];
             }
         }
         dense
@@ -268,12 +413,15 @@ mod tests {
     use super::*;
 
     fn dense_mul(m: &[Vec<f64>], x: &[f64]) -> Vec<f64> {
-        m.iter().map(|row| row.iter().zip(x).map(|(a, b)| a * b).sum()).collect()
+        m.iter()
+            .map(|row| row.iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect()
     }
 
     #[test]
     fn triplets_sum_duplicates_and_sort() {
-        let m = CsrMatrix::from_triplets(2, 3, &[(0, 2, 1.0), (0, 0, 2.0), (0, 2, 3.0), (1, 1, -1.0)]);
+        let m =
+            CsrMatrix::from_triplets(2, 3, &[(0, 2, 1.0), (0, 0, 2.0), (0, 2, 3.0), (1, 1, -1.0)]);
         assert_eq!(m.nnz(), 3);
         let rows: Vec<Vec<(usize, f64)>> = (0..2).map(|r| m.row(r).collect()).collect();
         assert_eq!(rows[0], vec![(0, 2.0), (2, 4.0)]);
@@ -282,11 +430,8 @@ mod tests {
 
     #[test]
     fn mul_matches_dense() {
-        let m = CsrMatrix::from_triplets(
-            3,
-            2,
-            &[(0, 0, 1.0), (0, 1, 2.0), (1, 0, -3.0), (2, 1, 0.5)],
-        );
+        let m =
+            CsrMatrix::from_triplets(3, 2, &[(0, 0, 1.0), (0, 1, 2.0), (1, 0, -3.0), (2, 1, 0.5)]);
         let dense = m.to_dense();
         let x = [1.5, -2.0];
         assert_eq!(m.mul_vec(&x), dense_mul(&dense, &x));
@@ -319,7 +464,10 @@ mod tests {
 
     #[test]
     fn from_rows_builds_expected_shape() {
-        let m = CsrMatrix::from_rows(4, &[vec![(3, 1.0), (0, 2.0)], vec![], vec![(1, 1.0), (1, 1.0)]]);
+        let m = CsrMatrix::from_rows(
+            4,
+            &[vec![(3, 1.0), (0, 2.0)], vec![], vec![(1, 1.0), (1, 1.0)]],
+        );
         assert_eq!(m.nrows(), 3);
         assert_eq!(m.ncols(), 4);
         let r2: Vec<_> = m.row(2).collect();

@@ -53,7 +53,11 @@ mod tests {
     fn display_is_nonempty_and_lowercase() {
         let errs: Vec<SolveError> = vec![
             SolveError::Dimension("x".into()),
-            SolveError::InvalidBounds { row: 1, lower: 2.0, upper: 1.0 },
+            SolveError::InvalidBounds {
+                row: 1,
+                lower: 2.0,
+                upper: 1.0,
+            },
             SolveError::Numerical("bad".into()),
             SolveError::InvalidBracket { lo: 1.0, hi: 0.0 },
         ];

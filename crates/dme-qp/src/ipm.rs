@@ -20,8 +20,9 @@
 //! diagonal, which penalizes them stiffly; rows with both bounds infinite
 //! are inert.
 
-use crate::admm::{SolveStatus, Solution};
+use crate::admm::{Solution, SolveStatus};
 use crate::{CsrMatrix, QuadProgram, SolveError};
+use dme_par::vecops;
 
 /// Settings for [`IpmSolver`].
 #[derive(Debug, Clone)]
@@ -112,8 +113,9 @@ impl IpmSolver {
         // Residuals in unscaled space.
         let px = qp.p.mul_vec(&sol.x);
         let aty = qp.a.mul_transpose_vec(&sol.y);
-        sol.dual_residual =
-            (0..n).map(|j| (px[j] + qp.q[j] + aty[j]).abs()).fold(0.0f64, f64::max);
+        sol.dual_residual = (0..n)
+            .map(|j| (px[j] + qp.q[j] + aty[j]).abs())
+            .fold(0.0f64, f64::max);
         sol.primal_residual = qp.max_violation(&sol.x);
         Ok(sol)
     }
@@ -158,7 +160,10 @@ impl IpmSolver {
                 1.0
             };
             rows.s[i] = match (rows.has_l[i], rows.has_u[i]) {
-                (true, true) => ax0[i].clamp(lo + margin.min(0.4 * (hi - lo)), hi - margin.min(0.4 * (hi - lo))),
+                (true, true) => ax0[i].clamp(
+                    lo + margin.min(0.4 * (hi - lo)),
+                    hi - margin.min(0.4 * (hi - lo)),
+                ),
                 (true, false) => ax0[i].max(lo + margin),
                 (false, true) => ax0[i].min(hi - margin),
                 (false, false) => ax0[i],
@@ -264,7 +269,9 @@ impl IpmSolver {
             // are trying to reach: with a huge RHS (D·rp terms), relative
             // tolerance alone leaves an absolute error that becomes the
             // dual-residual floor.
-            let cg_abs_tol = (1e-2 * inf_norm(&rd)).max(0.05 * st.eps * q_norm).max(1e-13);
+            let cg_abs_tol = (1e-2 * inf_norm(&rd))
+                .max(0.05 * st.eps * q_norm)
+                .max(1e-13);
             // Affine predictor: (P + AᵀDA)Δx = −rd − Aᵀ(g + D·rp).
             let solve_newton = |cg: &mut CgScratch,
                                 dx: &mut Vec<f64>,
@@ -283,7 +290,17 @@ impl IpmSolver {
                     rhs[j] = -rd[j] - at_t[j];
                 }
                 dx.fill(0.0);
-                cg.solve(p, a, d, &p_diag, rhs, dx, st.cg_max_iter, st.cg_tol, cg_abs_tol)
+                cg.solve(
+                    p,
+                    a,
+                    d,
+                    &p_diag,
+                    rhs,
+                    dx,
+                    st.cg_max_iter,
+                    st.cg_tol,
+                    cg_abs_tol,
+                )
             };
             solve_newton(&mut cg, &mut dx, &mut rhs, &g, &d, &rd, &rp)?;
 
@@ -318,8 +335,11 @@ impl IpmSolver {
             if nfin > 0 {
                 mu_aff /= nfin as f64;
             }
-            let mut sigma =
-                if mu > 1e-300 { (mu_aff / mu).clamp(0.0, 1.0).powi(3) } else { 0.0 };
+            let mut sigma = if mu > 1e-300 {
+                (mu_aff / mu).clamp(0.0, 1.0).powi(3)
+            } else {
+                0.0
+            };
             // Centrality safeguard: while dual infeasibility dwarfs the
             // complementarity gap, hold the barrier up — letting µ collapse
             // first ill-conditions every later Newton system.
@@ -410,7 +430,9 @@ impl IpmSolver {
                 y[i] = rows.zu[i] - rows.zl[i];
             }
             if x.iter().any(|v| !v.is_finite()) {
-                return Err(SolveError::Numerical("IPM produced non-finite iterate".into()));
+                return Err(SolveError::Numerical(
+                    "IPM produced non-finite iterate".into(),
+                ));
             }
         }
 
@@ -428,7 +450,7 @@ impl IpmSolver {
 }
 
 fn inf_norm(v: &[f64]) -> f64 {
-    v.iter().fold(0.0f64, |acc, x| acc.max(x.abs()))
+    vecops::inf_norm(v)
 }
 
 /// Largest primal/dual steps `(α_p, α_d) ∈ (0, 1]²` keeping slacks
@@ -508,40 +530,38 @@ impl CgScratch {
     ) -> Result<(), SolveError> {
         let n = b.len();
         let trace = std::env::var_os("DME_IPM_TRACE").is_some();
-        // Jacobi preconditioner: diag(P) + Σ d_i·a_ij².
-        let mut prec = vec![1e-12f64; n];
+        // Jacobi preconditioner: diag(P) + Σ d_i·a_ij², stored inverted so
+        // the per-iteration apply is a parallel element-wise product.
+        let mut inv_prec = vec![1e-12f64; n];
         for j in 0..n {
-            prec[j] += p_diag[j];
+            inv_prec[j] += p_diag[j];
         }
-        for i in 0..a.nrows() {
+        for (i, &di) in d.iter().enumerate().take(a.nrows()) {
             for (c, v) in a.row(i) {
-                prec[c] += d[i] * v * v;
+                inv_prec[c] += di * v * v;
             }
         }
-        let b_norm = b.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-300);
+        for v in &mut inv_prec {
+            *v = 1.0 / *v;
+        }
+        let b_norm = vecops::norm2(b).max(1e-300);
         // x starts at 0, so r = b.
         self.r.copy_from_slice(b);
-        let mut rz = 0.0;
-        for j in 0..n {
-            self.z[j] = self.r[j] / prec[j];
-            rz += self.r[j] * self.z[j];
-        }
+        vecops::hadamard(&inv_prec, &self.r, &mut self.z);
+        let mut rz = vecops::dot(&self.r, &self.z);
         self.p.copy_from_slice(&self.z);
         for _ in 0..max_iter {
-            let r_norm = self.r.iter().map(|v| v * v).sum::<f64>().sqrt();
+            let r_norm = vecops::norm2(&self.r);
             if r_norm <= (rel_tol * b_norm).min(abs_tol.max(rel_tol * b_norm * 1e-3)) {
                 break;
             }
             pm.mul_vec_into(&self.p, &mut self.kp);
             a.mul_vec_into(&self.p, &mut self.sm);
-            for (si, di) in self.sm.iter_mut().zip(d) {
-                *si *= di;
-            }
+            vecops::mul_assign(d, &mut self.sm);
             a.mul_transpose_vec_into(&self.sm, &mut self.sn);
-            for j in 0..n {
-                self.kp[j] += self.sn[j] + 1e-12 * self.p[j];
-            }
-            let pkp: f64 = (0..n).map(|j| self.p[j] * self.kp[j]).sum();
+            vecops::axpy(1.0, &self.sn, &mut self.kp);
+            vecops::axpy(1e-12, &self.p, &mut self.kp);
+            let pkp = vecops::dot(&self.p, &self.kp);
             if !pkp.is_finite() || pkp <= 0.0 {
                 if pkp < 0.0 {
                     return Err(SolveError::Numerical(
@@ -551,27 +571,25 @@ impl CgScratch {
                 break;
             }
             let alpha = rz / pkp;
-            for j in 0..n {
-                x[j] += alpha * self.p[j];
-                self.r[j] -= alpha * self.kp[j];
-            }
-            let mut rz_new = 0.0;
-            for j in 0..n {
-                self.z[j] = self.r[j] / prec[j];
-                rz_new += self.r[j] * self.z[j];
-            }
+            vecops::cg_update(x, alpha, &self.p, &mut self.r, -alpha, &self.kp);
+            vecops::hadamard(&inv_prec, &self.r, &mut self.z);
+            let rz_new = vecops::dot(&self.r, &self.z);
             let beta = rz_new / rz.max(1e-300);
             rz = rz_new;
-            for j in 0..n {
-                self.p[j] = self.z[j] + beta * self.p[j];
-            }
+            vecops::xpby(&self.z, beta, &mut self.p);
         }
         if trace {
-            let r_norm = self.r.iter().map(|v| v * v).sum::<f64>().sqrt();
-            eprintln!("    cg: rel_res={:.2e} (b_norm={:.2e})", r_norm / b_norm, b_norm);
+            let r_norm = vecops::norm2(&self.r);
+            eprintln!(
+                "    cg: rel_res={:.2e} (b_norm={:.2e})",
+                r_norm / b_norm,
+                b_norm
+            );
         }
         if x.iter().any(|v| !v.is_finite()) {
-            return Err(SolveError::Numerical("CG produced non-finite iterate".into()));
+            return Err(SolveError::Numerical(
+                "CG produced non-finite iterate".into(),
+            ));
         }
         Ok(())
     }
@@ -582,7 +600,9 @@ mod tests {
     use super::*;
 
     fn solve(qp: &QuadProgram) -> Solution {
-        IpmSolver::new(IpmSettings::default()).solve(qp).expect("solve")
+        IpmSolver::new(IpmSettings::default())
+            .solve(qp)
+            .expect("solve")
     }
 
     #[test]
@@ -694,9 +714,17 @@ mod tests {
         let s = solve(&qp);
         assert_eq!(s.status, SolveStatus::Solved);
         assert!(s.iterations < 60, "took {} iterations", s.iterations);
-        assert!(qp.max_violation(&s.x) < 1e-6, "viol = {}", qp.max_violation(&s.x));
+        assert!(
+            qp.max_violation(&s.x) < 1e-6,
+            "viol = {}",
+            qp.max_violation(&s.x)
+        );
         // The timing bound is active at the optimum.
-        assert!((s.x[t_idx] - tau).abs() < 1e-5, "T = {} vs tau = {tau}", s.x[t_idx]);
+        assert!(
+            (s.x[t_idx] - tau).abs() < 1e-5,
+            "T = {} vs tau = {tau}",
+            s.x[t_idx]
+        );
         // Uniform dose d = 0.075 on every grid is feasible with objective
         // k·(d² + 6d) ≈ 4.56; the optimizer must do at least as well.
         let uniform_obj = k as f64 * (0.075f64 * 0.075 + 6.0 * 0.075);
@@ -737,7 +765,12 @@ mod tests {
             admm.objective
         );
         for j in 0..n {
-            assert!((ipm.x[j] - admm.x[j]).abs() < 5e-3, "x[{j}]: {} vs {}", ipm.x[j], admm.x[j]);
+            assert!(
+                (ipm.x[j] - admm.x[j]).abs() < 5e-3,
+                "x[{j}]: {} vs {}",
+                ipm.x[j],
+                admm.x[j]
+            );
         }
     }
 

@@ -48,10 +48,10 @@ mod ipm;
 pub mod lsq;
 pub mod qcp;
 
-pub use admm::{AdmmSettings, AdmmSolver, SolveStatus, Solution};
-pub use ipm::{IpmSettings, IpmSolver};
+pub use admm::{AdmmSettings, AdmmSolver, Solution, SolveStatus};
 pub use csr::CsrMatrix;
 pub use error::SolveError;
+pub use ipm::{IpmSettings, IpmSolver};
 
 /// A convex quadratic program `min ½·xᵀPx + qᵀx  s.t.  l ≤ Ax ≤ u`.
 ///
@@ -112,7 +112,11 @@ impl QuadProgram {
         }
         for i in 0..m {
             if l[i].is_nan() || u[i].is_nan() || l[i] > u[i] {
-                return Err(SolveError::InvalidBounds { row: i, lower: l[i], upper: u[i] });
+                return Err(SolveError::InvalidBounds {
+                    row: i,
+                    lower: l[i],
+                    upper: u[i],
+                });
             }
         }
         Ok(Self { p, q, a, l, u })
@@ -142,8 +146,8 @@ impl QuadProgram {
     pub fn max_violation(&self, x: &[f64]) -> f64 {
         let ax = self.a.mul_vec(x);
         let mut worst: f64 = 0.0;
-        for i in 0..ax.len() {
-            worst = worst.max(self.l[i] - ax[i]).max(ax[i] - self.u[i]);
+        for ((&axi, &li), &ui) in ax.iter().zip(&self.l).zip(&self.u) {
+            worst = worst.max(li - axi).max(axi - ui);
         }
         worst
     }
@@ -173,8 +177,7 @@ mod tests {
     fn objective_and_violation() {
         let p = CsrMatrix::diagonal(&[2.0, 4.0]);
         let a = CsrMatrix::identity(2);
-        let qp =
-            QuadProgram::new(p, vec![1.0, -1.0], a, vec![0.0, 0.0], vec![1.0, 1.0]).unwrap();
+        let qp = QuadProgram::new(p, vec![1.0, -1.0], a, vec![0.0, 0.0], vec![1.0, 1.0]).unwrap();
         // f(x) = x0^2 + 2 x1^2 + x0 - x1 at (1, 2) = 1 + 8 + 1 - 2 = 8
         let x = [1.0, 2.0];
         assert!((qp.objective(&x) - 8.0).abs() < 1e-12);

@@ -105,14 +105,19 @@ pub fn fit_basis(rows: &[Vec<f64>], y: &[f64], w: Option<&[f64]>) -> Result<Vec<
     }
     if let Some(w) = w {
         if w.len() != y.len() {
-            return Err(SolveError::Dimension("weight vector length mismatch".into()));
+            return Err(SolveError::Dimension(
+                "weight vector length mismatch".into(),
+            ));
         }
     }
     let mut ata = vec![vec![0.0; k]; k];
     let mut atb = vec![0.0; k];
     for (i, row) in rows.iter().enumerate() {
         if row.len() != k {
-            return Err(SolveError::Dimension(format!("design row {i} has length {}", row.len())));
+            return Err(SolveError::Dimension(format!(
+                "design row {i} has length {}",
+                row.len()
+            )));
         }
         let wi = w.map_or(1.0, |w| w[i]);
         for r in 0..k {
@@ -145,15 +150,19 @@ fn ssr_poly(c: &[f64], x: &[f64], y: &[f64]) -> f64 {
 /// `b`). A tiny ridge is added when the matrix is near-singular.
 fn solve_spd(m: &mut [Vec<f64>], b: &mut [f64]) -> Result<(), SolveError> {
     let n = b.len();
-    let max_diag =
-        m.iter().enumerate().map(|(i, row)| row[i].abs()).fold(0.0f64, f64::max).max(1e-300);
+    let max_diag = m
+        .iter()
+        .enumerate()
+        .map(|(i, row)| row[i].abs())
+        .fold(0.0f64, f64::max)
+        .max(1e-300);
     // Cholesky: M = L Lᵀ. A pivot that collapses relative to the largest
     // diagonal entry indicates rank deficiency (collinear sample points).
     for i in 0..n {
         for j in 0..=i {
             let mut sum = m[i][j];
-            for k in 0..j {
-                sum -= m[i][k] * m[j][k];
+            for (mik, mjk) in m[i][..j].iter().zip(&m[j][..j]) {
+                sum -= mik * mjk;
             }
             if i == j {
                 if sum <= 1e-12 * max_diag {
@@ -233,8 +242,14 @@ mod tests {
 
     #[test]
     fn insufficient_points_is_an_error() {
-        assert!(matches!(fit_quadratic(&[0.0, 1.0], &[1.0, 2.0]), Err(SolveError::Dimension(_))));
-        assert!(matches!(fit_linear(&[0.0], &[1.0]), Err(SolveError::Dimension(_))));
+        assert!(matches!(
+            fit_quadratic(&[0.0, 1.0], &[1.0, 2.0]),
+            Err(SolveError::Dimension(_))
+        ));
+        assert!(matches!(
+            fit_linear(&[0.0], &[1.0]),
+            Err(SolveError::Dimension(_))
+        ));
     }
 
     #[test]

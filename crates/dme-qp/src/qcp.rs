@@ -85,7 +85,11 @@ where
             }
         }
     }
-    Ok(BisectResult { t: best_t, witness: best_witness, probes })
+    Ok(BisectResult {
+        t: best_t,
+        witness: best_witness,
+        probes,
+    })
 }
 
 #[cfg(test)]
@@ -96,7 +100,11 @@ mod tests {
     fn finds_threshold_of_monotone_predicate() {
         // Feasible iff t >= pi.
         let r = bisect_min(0.0, 10.0, 1e-6, |t| {
-            Ok(if t >= std::f64::consts::PI { Probe::Feasible(t) } else { Probe::Infeasible })
+            Ok(if t >= std::f64::consts::PI {
+                Probe::Feasible(t)
+            } else {
+                Probe::Infeasible
+            })
         })
         .unwrap();
         assert!((r.t - std::f64::consts::PI).abs() < 1e-5);
@@ -106,7 +114,11 @@ mod tests {
     #[test]
     fn witness_comes_from_last_feasible_probe() {
         let r = bisect_min(0.0, 8.0, 0.5, |t| {
-            Ok(if t >= 3.0 { Probe::Feasible(format!("w@{t:.3}")) } else { Probe::Infeasible })
+            Ok(if t >= 3.0 {
+                Probe::Feasible(format!("w@{t:.3}"))
+            } else {
+                Probe::Infeasible
+            })
         })
         .unwrap();
         assert!(r.t >= 3.0 && r.t < 3.5);

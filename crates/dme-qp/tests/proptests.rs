@@ -3,6 +3,27 @@
 use dme_qp::{CsrMatrix, IpmSettings, IpmSolver, QuadProgram};
 use proptest::prelude::*;
 
+/// Deterministic banded matrix big enough to cross the SpMV parallel
+/// cutoff (16k nnz), with pseudorandom values derived from `seed`.
+fn banded_csr(rows: usize, cols: usize, band: usize, seed: u64) -> CsrMatrix {
+    let mut state = seed | 1;
+    let mut next = move || {
+        // xorshift64*; value in (-1, 1)
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+    };
+    let mut entries = Vec::new();
+    for r in 0..rows {
+        for k in 0..band {
+            let c = (r + k * 7) % cols;
+            entries.push((r, c, next()));
+        }
+    }
+    CsrMatrix::from_triplets(rows, cols, &entries)
+}
+
 /// Builds a random convex QP that is feasible *by construction*: bounds
 /// are placed around `A·x0` for a sampled point `x0`.
 fn feasible_qp(
@@ -71,6 +92,56 @@ proptest! {
                 prop_assert!(t.objective >= sol.objective - 1e-5,
                     "tightened {} < original {}", t.objective, sol.objective);
             }
+        }
+    }
+
+    /// Parallel SpMV (forward and transpose) is bitwise identical to the
+    /// serial path, above and below the size cutoff.
+    #[test]
+    fn spmv_parallel_matches_serial_bitwise(
+        seed in any::<u64>(),
+        rows in 300usize..500,
+        cols in 300usize..500,
+        band in 40usize..70,
+    ) {
+        // Ask for a multi-thread pool even on single-core CI machines so
+        // the parallel code path genuinely executes (first pool touch in
+        // this process wins; losing the race only means both runs are
+        // serial, which keeps the property trivially true).
+        std::env::set_var("DME_NUM_THREADS", "4");
+        let m = banded_csr(rows, cols, band, seed);
+        let x: Vec<f64> = (0..cols).map(|i| (i as f64 * 0.37).sin()).collect();
+        let xt: Vec<f64> = (0..rows).map(|i| (i as f64 * 0.71).cos()).collect();
+        let mut y_serial = vec![0.0; rows];
+        let mut y_par = vec![0.0; rows];
+        let mut yt_serial = vec![0.0; cols];
+        let mut yt_par = vec![0.0; cols];
+        dme_par::set_force_serial(true);
+        m.mul_vec_into(&x, &mut y_serial);
+        m.mul_transpose_vec_into(&xt, &mut yt_serial);
+        dme_par::set_force_serial(false);
+        m.mul_vec_into(&x, &mut y_par);
+        m.mul_transpose_vec_into(&xt, &mut yt_par);
+        for i in 0..rows {
+            prop_assert_eq!(y_serial[i].to_bits(), y_par[i].to_bits(), "row {}", i);
+        }
+        for j in 0..cols {
+            prop_assert_eq!(yt_serial[j].to_bits(), yt_par[j].to_bits(), "col {}", j);
+        }
+    }
+
+    /// The IPM produces the same solution bitwise with the parallel
+    /// kernels on and off.
+    #[test]
+    fn ipm_parallel_matches_serial((qp, _x0) in qp_strategy()) {
+        std::env::set_var("DME_NUM_THREADS", "4");
+        dme_par::set_force_serial(true);
+        let serial = IpmSolver::new(IpmSettings::default()).solve(&qp).expect("serial solve");
+        dme_par::set_force_serial(false);
+        let par = IpmSolver::new(IpmSettings::default()).solve(&qp).expect("parallel solve");
+        prop_assert_eq!(serial.objective.to_bits(), par.objective.to_bits());
+        for i in 0..serial.x.len() {
+            prop_assert_eq!(serial.x[i].to_bits(), par.x[i].to_bits(), "x[{}]", i);
         }
     }
 

@@ -1,9 +1,46 @@
 //! Block-based static timing analysis.
+//!
+//! The forward (arrival) passes are *levelized*: gates are grouped by
+//! topological depth ([`dme_netlist::TopoLevels`]) and each level's gates
+//! — which have no timing dependencies on each other — are evaluated in
+//! parallel. Per-gate results land in disjoint slots and no cross-gate
+//! reductions exist, so the parallel and serial analyses are bitwise
+//! identical ([`StaMode`] only changes wall-clock time).
 
 use crate::wire::WireModel;
 use dme_liberty::{Library, VariantCache};
-use dme_netlist::{NetId, Netlist};
+use dme_netlist::{InstId, NetId, Netlist};
 use dme_placement::Placement;
+
+/// Execution strategy for [`analyze_with_mode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StaMode {
+    /// Single-threaded level-order evaluation.
+    Serial,
+    /// Fan each sufficiently large level out to the thread pool.
+    Parallel,
+    /// [`StaMode::Parallel`] when the pool has more than one thread,
+    /// otherwise [`StaMode::Serial`].
+    #[default]
+    Auto,
+}
+
+impl StaMode {
+    fn parallel(self) -> bool {
+        match self {
+            StaMode::Serial => false,
+            StaMode::Parallel => true,
+            StaMode::Auto => dme_par::num_threads() > 1 && !dme_par::force_serial(),
+        }
+    }
+}
+
+/// Minimum gates in a level before its evaluation fans out; below this
+/// the fork-join overhead exceeds the NLDM interpolation work.
+const LEVEL_PAR_CUTOFF: usize = 64;
+
+/// Minimum net count before the load/wire-delay pass fans out.
+const NET_PAR_CUTOFF: usize = 2048;
 
 /// Per-instance gate-length / gate-width deltas (nm) induced by a dose
 /// map. This is the hand-off artifact between dose optimization and
@@ -19,12 +56,18 @@ pub struct GeometryAssignment {
 impl GeometryAssignment {
     /// All-nominal geometry (the pre-optimization state).
     pub fn nominal(n: usize) -> Self {
-        Self { dl_nm: vec![0.0; n], dw_nm: vec![0.0; n] }
+        Self {
+            dl_nm: vec![0.0; n],
+            dw_nm: vec![0.0; n],
+        }
     }
 
     /// Uniform deltas for every instance (the Table II/III dose sweeps).
     pub fn uniform(n: usize, dl_nm: f64, dw_nm: f64) -> Self {
-        Self { dl_nm: vec![dl_nm; n], dw_nm: vec![dw_nm; n] }
+        Self {
+            dl_nm: vec![dl_nm; n],
+            dw_nm: vec![dw_nm; n],
+        }
     }
 
     /// Number of instances covered.
@@ -73,7 +116,114 @@ pub struct TimingReport {
 }
 
 /// Default slew assumed at primary-input pads, ns.
-const PI_SLEW_NS: f64 = 0.03;
+pub(crate) const PI_SLEW_NS: f64 = 0.03;
+
+/// Per-net `(sink pin cap fF, total load fF, wire delay ns)` at the given
+/// placement and geometry. Shared by the full and incremental analyses so
+/// both compute bitwise-identical values.
+pub(crate) fn net_props(
+    lib: &Library,
+    nl: &Netlist,
+    placement: &Placement,
+    doses: &GeometryAssignment,
+    wire: &WireModel,
+    net_idx: usize,
+) -> (f64, f64, f64) {
+    let tech = lib.tech();
+    let net = NetId(net_idx as u32);
+    let mut pin_cap = 0.0;
+    for &(sink, _) in &nl.net(net).sinks {
+        let s = sink.0 as usize;
+        pin_cap +=
+            lib.cell(nl.instance(sink).cell_idx)
+                .input_cap_ff(tech, doses.dl_nm[s], doses.dw_nm[s]);
+    }
+    let hpwl = placement.net_hpwl(lib, nl, net);
+    (
+        pin_cap,
+        pin_cap + wire.wire_cap_ff(hpwl),
+        wire.wire_delay_ns(hpwl, pin_cap),
+    )
+}
+
+/// Late-pass evaluation of one gate: `(load, gate delay, arrival, input
+/// slew, output slew)`. Reads only strictly-lower-level fanin state, so
+/// gates of one topological level may be evaluated concurrently. Shared
+/// by the full and incremental analyses.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn late_gate(
+    nl: &Netlist,
+    cache: &VariantCache<'_>,
+    doses: &GeometryAssignment,
+    net_load_ff: &[f64],
+    net_wire_delay: &[f64],
+    arrival: &[f64],
+    out_slew: &[f64],
+    id: InstId,
+) -> (f64, f64, f64, f64, f64) {
+    let i = id.0 as usize;
+    let inst = nl.instance(id);
+    let out_load = net_load_ff[inst.output.0 as usize];
+    let tables = cache.tables(inst.cell_idx, doses.dl_nm[i], doses.dw_nm[i]);
+    if inst.is_sequential {
+        // Launch point: arrival at Q is the clk→Q delay.
+        let d = tables.delay_worst(PI_SLEW_NS, out_load);
+        let slew_out = tables.out_slew_worst(PI_SLEW_NS, out_load);
+        return (out_load, d, d, PI_SLEW_NS, slew_out);
+    }
+    // Worst input arrival and slew over fanin pins.
+    let mut arr = 0.0f64;
+    let mut slew = PI_SLEW_NS;
+    for &net in &inst.inputs {
+        let ni = net.0 as usize;
+        if let Some(drv) = nl.net(net).driver {
+            let d = drv.0 as usize;
+            arr = arr.max(arrival[d] + net_wire_delay[ni]);
+            // Wire degrades the transition; two wire time-constants.
+            slew = slew.max(out_slew[d] + 2.0 * net_wire_delay[ni]);
+        } else {
+            // Primary input: arrival 0 at pad plus wire to this pin.
+            arr = arr.max(net_wire_delay[ni]);
+        }
+    }
+    let d = tables.delay_worst(slew, out_load);
+    (
+        out_load,
+        d,
+        arr + d,
+        slew,
+        tables.out_slew_worst(slew, out_load),
+    )
+}
+
+/// Minimum cycle time implied by `arrival`: the worst endpoint path delay
+/// with FF setup included. Shared by the full and incremental analyses.
+pub(crate) fn mct_from_arrivals(
+    lib: &Library,
+    nl: &Netlist,
+    arrival: &[f64],
+    net_wire_delay: &[f64],
+) -> f64 {
+    let tech = lib.tech();
+    let mut mct = 0.0f64;
+    for id in nl.inst_ids() {
+        let inst = nl.instance(id);
+        if inst.is_sequential {
+            let data_net = inst.inputs[0];
+            let ni = data_net.0 as usize;
+            if let Some(drv) = nl.net(data_net).driver {
+                let setup = lib.cell(inst.cell_idx).setup_ns(tech);
+                mct = mct.max(arrival[drv.0 as usize] + net_wire_delay[ni] + setup);
+            }
+        }
+    }
+    for &po in &nl.primary_outputs {
+        if let Some(drv) = nl.net(po).driver {
+            mct = mct.max(arrival[drv.0 as usize]);
+        }
+    }
+    mct
+}
 
 /// Runs golden STA + leakage analysis on a placed netlist under a
 /// geometry assignment.
@@ -92,73 +242,106 @@ pub fn analyze(
     placement: &Placement,
     doses: &GeometryAssignment,
 ) -> TimingReport {
-    assert_eq!(doses.len(), nl.num_instances(), "assignment/netlist size mismatch");
+    analyze_with_mode(lib, nl, placement, doses, StaMode::Auto)
+}
+
+/// [`analyze`] with an explicit serial/parallel execution strategy. The
+/// returned report is bitwise identical across modes.
+///
+/// # Panics
+///
+/// Panics if the netlist has a combinational cycle or the assignment
+/// length does not match the instance count.
+pub fn analyze_with_mode(
+    lib: &Library,
+    nl: &Netlist,
+    placement: &Placement,
+    doses: &GeometryAssignment,
+    mode: StaMode,
+) -> TimingReport {
+    assert_eq!(
+        doses.len(),
+        nl.num_instances(),
+        "assignment/netlist size mismatch"
+    );
     let tech = lib.tech();
     let wire = WireModel::for_tech(tech);
     let cache = VariantCache::new(lib);
     let n = nl.num_instances();
+    let par = mode.parallel();
 
     // --- output load per net: wire cap + sink pin caps at sink geometry ---
-    let mut net_load_ff = vec![0.0f64; nl.num_nets()];
+    let props_of = |net_idx: usize| net_props(lib, nl, placement, doses, &wire, net_idx);
     let mut net_sink_cap = vec![0.0f64; nl.num_nets()];
+    let mut net_load_ff = vec![0.0f64; nl.num_nets()];
     let mut net_wire_delay = vec![0.0f64; nl.num_nets()];
-    for net_idx in 0..nl.num_nets() {
-        let net = NetId(net_idx as u32);
-        let mut pin_cap = 0.0;
-        for &(sink, _) in &nl.net(net).sinks {
-            let s = sink.0 as usize;
-            pin_cap +=
-                lib.cell(nl.instance(sink).cell_idx).input_cap_ff(tech, doses.dl_nm[s], doses.dw_nm[s]);
+    if par && nl.num_nets() >= NET_PAR_CUTOFF {
+        let mut props = vec![(0.0f64, 0.0f64, 0.0f64); nl.num_nets()];
+        dme_par::par_fill(&mut props, 64, props_of);
+        for (net_idx, (cap, load, delay)) in props.into_iter().enumerate() {
+            net_sink_cap[net_idx] = cap;
+            net_load_ff[net_idx] = load;
+            net_wire_delay[net_idx] = delay;
         }
-        let hpwl = placement.net_hpwl(lib, nl, net);
-        net_sink_cap[net_idx] = pin_cap;
-        net_load_ff[net_idx] = pin_cap + wire.wire_cap_ff(hpwl);
-        net_wire_delay[net_idx] = wire.wire_delay_ns(hpwl, pin_cap);
+    } else {
+        for net_idx in 0..nl.num_nets() {
+            let (cap, load, delay) = props_of(net_idx);
+            net_sink_cap[net_idx] = cap;
+            net_load_ff[net_idx] = load;
+            net_wire_delay[net_idx] = delay;
+        }
     }
 
-    // --- forward propagation in topological order ---
-    let order = nl.topo_order().expect("combinational cycle");
+    // --- forward propagation, one topological level at a time ---
+    let levels = nl.topo_levels().expect("combinational cycle");
     let mut arrival = vec![0.0f64; n];
     let mut out_slew = vec![PI_SLEW_NS; n];
     let mut in_slew = vec![PI_SLEW_NS; n];
     let mut gate_delay = vec![0.0f64; n];
     let mut load = vec![0.0f64; n];
 
-    for &id in &order {
-        let i = id.0 as usize;
-        let inst = nl.instance(id);
-        let out_load = net_load_ff[inst.output.0 as usize];
-        load[i] = out_load;
-        let tables = cache.tables(inst.cell_idx, doses.dl_nm[i], doses.dw_nm[i]);
-        if inst.is_sequential {
-            // Launch point: arrival at Q is the clk→Q delay.
-            let d = tables.delay_worst(PI_SLEW_NS, out_load);
-            arrival[i] = d;
-            gate_delay[i] = d;
-            in_slew[i] = PI_SLEW_NS;
-            out_slew[i] = tables.out_slew_worst(PI_SLEW_NS, out_load);
-            continue;
-        }
-        // Worst input arrival and slew over fanin pins.
-        let mut arr = 0.0f64;
-        let mut slew = PI_SLEW_NS;
-        for &net in &inst.inputs {
-            let ni = net.0 as usize;
-            if let Some(drv) = nl.net(net).driver {
-                let d = drv.0 as usize;
-                arr = arr.max(arrival[d] + net_wire_delay[ni]);
-                // Wire degrades the transition; two wire time-constants.
-                slew = slew.max(out_slew[d] + 2.0 * net_wire_delay[ni]);
+    {
+        // Late (setup) pass: worst arrival and slew per gate. Each gate
+        // only reads state of strictly lower levels, so all gates of one
+        // level may run concurrently.
+        let eval = |id: InstId, arrival: &[f64], out_slew: &[f64]| {
+            late_gate(
+                nl,
+                &cache,
+                doses,
+                &net_load_ff,
+                &net_wire_delay,
+                arrival,
+                out_slew,
+                id,
+            )
+        };
+        let mut results: Vec<(f64, f64, f64, f64, f64)> = Vec::new();
+        for level in &levels.levels {
+            if par && level.len() >= LEVEL_PAR_CUTOFF {
+                results.clear();
+                results.resize(level.len(), (0.0, 0.0, 0.0, 0.0, 0.0));
+                dme_par::par_fill(&mut results, 16, |k| eval(level[k], &arrival, &out_slew));
+                for (k, &(ld, d, arr, si, so)) in results.iter().enumerate() {
+                    let i = level[k].0 as usize;
+                    load[i] = ld;
+                    gate_delay[i] = d;
+                    arrival[i] = arr;
+                    in_slew[i] = si;
+                    out_slew[i] = so;
+                }
             } else {
-                // Primary input: arrival 0 at pad plus wire to this pin.
-                arr = arr.max(net_wire_delay[ni]);
+                for &id in level {
+                    let (ld, d, arr, si, so) = eval(id, &arrival, &out_slew);
+                    let i = id.0 as usize;
+                    load[i] = ld;
+                    gate_delay[i] = d;
+                    arrival[i] = arr;
+                    in_slew[i] = si;
+                    out_slew[i] = so;
+                }
             }
         }
-        let d = tables.delay_worst(slew, out_load);
-        arrival[i] = arr + d;
-        gate_delay[i] = d;
-        in_slew[i] = slew;
-        out_slew[i] = tables.out_slew_worst(slew, out_load);
     }
 
     // --- early (hold) propagation: best-case arrivals ---
@@ -167,31 +350,50 @@ pub fn analyze(
     // pin races this early arrival against the FF's hold requirement.
     let mut arrival_min = vec![0.0f64; n];
     let mut gate_delay_best = vec![0.0f64; n];
-    for &id in &order {
-        let i = id.0 as usize;
-        let inst = nl.instance(id);
-        let out_load = net_load_ff[inst.output.0 as usize];
-        let tables = cache.tables(inst.cell_idx, doses.dl_nm[i], doses.dw_nm[i]);
-        if inst.is_sequential {
-            arrival_min[i] = tables.delay_best(PI_SLEW_NS, out_load);
-            gate_delay_best[i] = arrival_min[i];
-            continue;
-        }
-        let mut arr = f64::INFINITY;
-        for &net in &inst.inputs {
-            let ni = net.0 as usize;
-            match nl.net(net).driver {
-                Some(drv) => {
-                    arr = arr.min(arrival_min[drv.0 as usize] + net_wire_delay[ni])
+    {
+        let early_gate = |id: InstId, arrival_min: &[f64]| -> (f64, f64) {
+            let i = id.0 as usize;
+            let inst = nl.instance(id);
+            let out_load = net_load_ff[inst.output.0 as usize];
+            let tables = cache.tables(inst.cell_idx, doses.dl_nm[i], doses.dw_nm[i]);
+            if inst.is_sequential {
+                let d = tables.delay_best(PI_SLEW_NS, out_load);
+                return (d, d);
+            }
+            let mut arr = f64::INFINITY;
+            for &net in &inst.inputs {
+                let ni = net.0 as usize;
+                match nl.net(net).driver {
+                    Some(drv) => arr = arr.min(arrival_min[drv.0 as usize] + net_wire_delay[ni]),
+                    None => arr = arr.min(net_wire_delay[ni]),
                 }
-                None => arr = arr.min(net_wire_delay[ni]),
+            }
+            if !arr.is_finite() {
+                arr = 0.0;
+            }
+            let best = tables.delay_best(in_slew[i], out_load);
+            (best, arr + best)
+        };
+        let mut results: Vec<(f64, f64)> = Vec::new();
+        for level in &levels.levels {
+            if par && level.len() >= LEVEL_PAR_CUTOFF {
+                results.clear();
+                results.resize(level.len(), (0.0, 0.0));
+                dme_par::par_fill(&mut results, 16, |k| early_gate(level[k], &arrival_min));
+                for (k, &(best, arr)) in results.iter().enumerate() {
+                    let i = level[k].0 as usize;
+                    gate_delay_best[i] = best;
+                    arrival_min[i] = arr;
+                }
+            } else {
+                for &id in level {
+                    let (best, arr) = early_gate(id, &arrival_min);
+                    let i = id.0 as usize;
+                    gate_delay_best[i] = best;
+                    arrival_min[i] = arr;
+                }
             }
         }
-        if !arr.is_finite() {
-            arr = 0.0;
-        }
-        gate_delay_best[i] = tables.delay_best(in_slew[i], out_load);
-        arrival_min[i] = arr + gate_delay_best[i];
     }
     let mut worst_hold = f64::INFINITY;
     for id in nl.inst_ids() {
@@ -200,8 +402,7 @@ pub fn analyze(
             let data = inst.inputs[0];
             if let Some(drv) = nl.net(data).driver {
                 let hold = lib.cell(inst.cell_idx).hold_ns(tech);
-                let early = arrival_min[drv.0 as usize]
-                    + net_wire_delay[data.0 as usize];
+                let early = arrival_min[drv.0 as usize] + net_wire_delay[data.0 as usize];
                 worst_hold = worst_hold.min(early - hold);
             }
         }
@@ -209,23 +410,7 @@ pub fn analyze(
 
     // --- endpoints and MCT ---
     // FF D pins capture with setup; primary outputs capture directly.
-    let mut mct = 0.0f64;
-    for id in nl.inst_ids() {
-        let inst = nl.instance(id);
-        if inst.is_sequential {
-            let data_net = inst.inputs[0];
-            let ni = data_net.0 as usize;
-            if let Some(drv) = nl.net(data_net).driver {
-                let setup = lib.cell(inst.cell_idx).setup_ns(tech);
-                mct = mct.max(arrival[drv.0 as usize] + net_wire_delay[ni] + setup);
-            }
-        }
-    }
-    for &po in &nl.primary_outputs {
-        if let Some(drv) = nl.net(po).driver {
-            mct = mct.max(arrival[drv.0 as usize]);
-        }
-    }
+    let mct = mct_from_arrivals(lib, nl, &arrival, &net_wire_delay);
 
     // --- backward required-time pass at clock = MCT ---
     let mut required = vec![f64::INFINITY; n];
@@ -248,7 +433,7 @@ pub fn analyze(
             required[d] = required[d].min(mct);
         }
     }
-    for &id in order.iter().rev() {
+    for &id in levels.flatten().iter().rev() {
         let i = id.0 as usize;
         let inst = nl.instance(id);
         if inst.is_sequential {
@@ -280,7 +465,8 @@ pub fn analyze(
     // --- golden leakage ---
     let total_leakage_uw: f64 = (0..n)
         .map(|i| {
-            lib.cell(nl.instances[i].cell_idx).leakage_nw(tech, doses.dl_nm[i], doses.dw_nm[i])
+            lib.cell(nl.instances[i].cell_idx)
+                .leakage_nw(tech, doses.dl_nm[i], doses.dw_nm[i])
         })
         .sum::<f64>()
         / 1000.0;
@@ -361,10 +547,20 @@ mod tests {
         let (lib, d, p) = setup();
         let n = d.netlist.num_instances();
         let nom = analyze(&lib, &d.netlist, &p, &GeometryAssignment::nominal(n));
-        let fast = analyze(&lib, &d.netlist, &p, &GeometryAssignment::uniform(n, -10.0, 0.0));
+        let fast = analyze(
+            &lib,
+            &d.netlist,
+            &p,
+            &GeometryAssignment::uniform(n, -10.0, 0.0),
+        );
         assert!(fast.mct_ns < nom.mct_ns);
         assert!(fast.total_leakage_uw > 2.0 * nom.total_leakage_uw);
-        let slow = analyze(&lib, &d.netlist, &p, &GeometryAssignment::uniform(n, 10.0, 0.0));
+        let slow = analyze(
+            &lib,
+            &d.netlist,
+            &p,
+            &GeometryAssignment::uniform(n, 10.0, 0.0),
+        );
         assert!(slow.mct_ns > nom.mct_ns);
         assert!(slow.total_leakage_uw < nom.total_leakage_uw);
     }
@@ -374,14 +570,28 @@ mod tests {
         let (lib, d, p) = setup();
         let n = d.netlist.num_instances();
         let nom = analyze(&lib, &d.netlist, &p, &GeometryAssignment::nominal(n));
-        let wide = analyze(&lib, &d.netlist, &p, &GeometryAssignment::uniform(n, 0.0, 10.0));
+        let wide = analyze(
+            &lib,
+            &d.netlist,
+            &p,
+            &GeometryAssignment::uniform(n, 0.0, 10.0),
+        );
         assert!(wide.mct_ns < nom.mct_ns);
         // Width effect is small relative to length effect (max ΔW = 10 nm
         // vs ≥ 200 nm widths — the paper's observation).
         let l_gain = nom.mct_ns
-            - analyze(&lib, &d.netlist, &p, &GeometryAssignment::uniform(n, -10.0, 0.0)).mct_ns;
+            - analyze(
+                &lib,
+                &d.netlist,
+                &p,
+                &GeometryAssignment::uniform(n, -10.0, 0.0),
+            )
+            .mct_ns;
         let w_gain = nom.mct_ns - wide.mct_ns;
-        assert!(w_gain < 0.5 * l_gain, "w_gain = {w_gain}, l_gain = {l_gain}");
+        assert!(
+            w_gain < 0.5 * l_gain,
+            "w_gain = {w_gain}, l_gain = {l_gain}"
+        );
     }
 
     #[test]
@@ -399,12 +609,20 @@ mod tests {
         }
         assert!(r.worst_hold_slack_ns.is_finite());
         // Raising dose everywhere (faster gates) tightens hold slack.
-        let fast =
-            analyze(&lib, &d.netlist, &p, &GeometryAssignment::uniform(d.netlist.num_instances(), -10.0, 0.0));
+        let fast = analyze(
+            &lib,
+            &d.netlist,
+            &p,
+            &GeometryAssignment::uniform(d.netlist.num_instances(), -10.0, 0.0),
+        );
         assert!(fast.worst_hold_slack_ns <= r.worst_hold_slack_ns + 1e-12);
         // Lowering dose everywhere (slower gates) relaxes it.
-        let slow =
-            analyze(&lib, &d.netlist, &p, &GeometryAssignment::uniform(d.netlist.num_instances(), 10.0, 0.0));
+        let slow = analyze(
+            &lib,
+            &d.netlist,
+            &p,
+            &GeometryAssignment::uniform(d.netlist.num_instances(), 10.0, 0.0),
+        );
         assert!(slow.worst_hold_slack_ns >= r.worst_hold_slack_ns - 1e-12);
     }
 
@@ -416,9 +634,17 @@ mod tests {
         let mut last_leak = f64::INFINITY;
         for step in -5..=5 {
             let dl = -2.0 * step as f64; // dose +5% → ΔL = −10 nm
-            let r = analyze(&lib, &d.netlist, &p, &GeometryAssignment::uniform(n, dl, 0.0));
+            let r = analyze(
+                &lib,
+                &d.netlist,
+                &p,
+                &GeometryAssignment::uniform(n, dl, 0.0),
+            );
             if step > -5 {
-                assert!(r.mct_ns <= last_mct + 1e-9, "MCT not decreasing at dose {step}");
+                assert!(
+                    r.mct_ns <= last_mct + 1e-9,
+                    "MCT not decreasing at dose {step}"
+                );
                 assert!(
                     r.total_leakage_uw >= last_leak - 1e-9,
                     "leakage not increasing at dose {step}"

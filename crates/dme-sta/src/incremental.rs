@@ -1,0 +1,397 @@
+//! Incremental late-corner re-timing for move/re-dose perturbations.
+//!
+//! [`IncrementalSta`] owns a mirror of the inputs it was last timed at
+//! (cell positions and geometry deltas) plus the full late-pass state
+//! (net loads, wire delays, arrivals, slews). [`IncrementalSta::retime`]
+//! diffs the new placement/assignment against the mirror, recomputes only
+//! the incident nets of the cells that actually moved or changed dose,
+//! and then propagates arrival/slew changes through the fanout cone in
+//! topological-depth order, stopping at gates whose outputs are bitwise
+//! unchanged.
+//!
+//! Every per-net and per-gate evaluation goes through the same functions
+//! as the full [`crate::analyze`] pass ([`engine::net_props`] and
+//! [`engine::late_gate`]), so after any sequence of `retime` calls the
+//! arrival/slew state — and therefore the reported MCT — is **bitwise
+//! identical** to a from-scratch analysis of the current inputs. The
+//! savings are proportional to the fraction of the design outside the
+//! perturbation's fanout cone, which for local cell swaps is nearly all
+//! of it.
+
+use crate::engine::{self, GeometryAssignment};
+use crate::wire::WireModel;
+use dme_liberty::{Library, VariantCache};
+use dme_netlist::{InstId, Netlist};
+use dme_placement::Placement;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Work counters of an [`IncrementalSta`], for comparing incremental
+/// against full-analysis cost in hardware-independent units.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetimeStats {
+    /// `retime` invocations (including the implicit full pass in `new`).
+    pub retime_calls: u64,
+    /// Gate evaluations performed (NLDM lookups — the dominant cost).
+    /// A full analysis evaluates every instance once per pass.
+    pub gates_retimed: u64,
+    /// Net load/wire-delay recomputations performed.
+    pub nets_updated: u64,
+}
+
+impl RetimeStats {
+    /// Gate evaluations a sequence of full re-analyses would have spent
+    /// on the same `retime_calls` (one evaluation per instance per call).
+    pub fn full_equivalent_gates(&self, num_instances: usize) -> u64 {
+        self.retime_calls * num_instances as u64
+    }
+}
+
+/// Incrementally maintained late-corner timing state (see the module
+/// docs for the contract).
+pub struct IncrementalSta<'a> {
+    lib: &'a Library,
+    nl: &'a Netlist,
+    wire: WireModel,
+    cache: VariantCache<'a>,
+    // Mirror of the inputs the state below was computed at.
+    x_um: Vec<f64>,
+    y_um: Vec<f64>,
+    dl_nm: Vec<f64>,
+    dw_nm: Vec<f64>,
+    // Late-pass state, always consistent with the mirror.
+    net_load_ff: Vec<f64>,
+    net_wire_delay: Vec<f64>,
+    arrival: Vec<f64>,
+    in_slew: Vec<f64>,
+    out_slew: Vec<f64>,
+    gate_delay: Vec<f64>,
+    load: Vec<f64>,
+    stats: RetimeStats,
+}
+
+impl<'a> IncrementalSta<'a> {
+    /// Builds the engine with a full late pass at the given inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist has a combinational cycle or the assignment
+    /// length does not match the instance count.
+    pub fn new(
+        lib: &'a Library,
+        nl: &'a Netlist,
+        placement: &Placement,
+        doses: &GeometryAssignment,
+    ) -> Self {
+        assert_eq!(
+            doses.len(),
+            nl.num_instances(),
+            "assignment/netlist size mismatch"
+        );
+        let n = nl.num_instances();
+        let mut s = Self {
+            lib,
+            nl,
+            wire: WireModel::for_tech(lib.tech()),
+            cache: VariantCache::new(lib),
+            x_um: placement.x_um.clone(),
+            y_um: placement.y_um.clone(),
+            dl_nm: doses.dl_nm.clone(),
+            dw_nm: doses.dw_nm.clone(),
+            net_load_ff: vec![0.0; nl.num_nets()],
+            net_wire_delay: vec![0.0; nl.num_nets()],
+            arrival: vec![0.0; n],
+            in_slew: vec![engine::PI_SLEW_NS; n],
+            out_slew: vec![engine::PI_SLEW_NS; n],
+            gate_delay: vec![0.0; n],
+            load: vec![0.0; n],
+            stats: RetimeStats::default(),
+        };
+        s.full_pass(placement, doses);
+        s
+    }
+
+    fn full_pass(&mut self, placement: &Placement, doses: &GeometryAssignment) {
+        self.stats.retime_calls += 1;
+        for net_idx in 0..self.nl.num_nets() {
+            let (_, load, delay) =
+                engine::net_props(self.lib, self.nl, placement, doses, &self.wire, net_idx);
+            self.net_load_ff[net_idx] = load;
+            self.net_wire_delay[net_idx] = delay;
+            self.stats.nets_updated += 1;
+        }
+        let levels = self.nl.topo_levels().expect("combinational cycle");
+        for &id in &levels.flatten() {
+            self.retime_gate(id, doses);
+        }
+    }
+
+    /// Evaluates one gate against the current state and writes its slots.
+    /// Returns `true` when the externally visible outputs (arrival or
+    /// output slew) changed.
+    fn retime_gate(&mut self, id: InstId, doses: &GeometryAssignment) -> bool {
+        let (ld, d, arr, si, so) = engine::late_gate(
+            self.nl,
+            &self.cache,
+            doses,
+            &self.net_load_ff,
+            &self.net_wire_delay,
+            &self.arrival,
+            &self.out_slew,
+            id,
+        );
+        self.stats.gates_retimed += 1;
+        let i = id.0 as usize;
+        let changed = self.arrival[i].to_bits() != arr.to_bits()
+            || self.out_slew[i].to_bits() != so.to_bits();
+        self.load[i] = ld;
+        self.gate_delay[i] = d;
+        self.arrival[i] = arr;
+        self.in_slew[i] = si;
+        self.out_slew[i] = so;
+        changed
+    }
+
+    /// Re-times against a perturbed placement/assignment and returns the
+    /// new MCT (ns). Cells outside the perturbation's fanout cone are not
+    /// touched; the resulting state is bitwise identical to a full
+    /// re-analysis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment length does not match the instance count.
+    pub fn retime(&mut self, placement: &Placement, doses: &GeometryAssignment) -> f64 {
+        let n = self.nl.num_instances();
+        assert_eq!(doses.len(), n, "assignment/netlist size mismatch");
+        self.stats.retime_calls += 1;
+        let levels = self.nl.topo_levels().expect("combinational cycle");
+
+        // Diff the mirror to find perturbed cells and their incident nets.
+        let mut net_affected = vec![false; self.nl.num_nets()];
+        let mut dirty: Vec<InstId> = Vec::new();
+        let mut in_cone = vec![false; n];
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..n {
+            let moved = self.x_um[i].to_bits() != placement.x_um[i].to_bits()
+                || self.y_um[i].to_bits() != placement.y_um[i].to_bits();
+            let redosed = self.dl_nm[i].to_bits() != doses.dl_nm[i].to_bits()
+                || self.dw_nm[i].to_bits() != doses.dw_nm[i].to_bits();
+            if !(moved || redosed) {
+                continue;
+            }
+            self.x_um[i] = placement.x_um[i];
+            self.y_um[i] = placement.y_um[i];
+            self.dl_nm[i] = doses.dl_nm[i];
+            self.dw_nm[i] = doses.dw_nm[i];
+            let id = InstId(i as u32);
+            let inst = self.nl.instance(id);
+            // A move shifts the HPWL of every incident net; a re-dose
+            // changes the pin caps this cell presents on its input nets
+            // and the delay tables of the cell itself.
+            for &net in &inst.inputs {
+                net_affected[net.0 as usize] = true;
+            }
+            net_affected[inst.output.0 as usize] = true;
+            if !in_cone[i] {
+                in_cone[i] = true;
+                dirty.push(id);
+            }
+        }
+
+        // Refresh affected nets; their drivers re-time on a load change
+        // and their sinks on a wire-delay (or load) change.
+        for (net_idx, _) in net_affected.iter().enumerate().filter(|(_, &a)| a) {
+            let (_, load, delay) =
+                engine::net_props(self.lib, self.nl, placement, doses, &self.wire, net_idx);
+            self.stats.nets_updated += 1;
+            let load_changed = self.net_load_ff[net_idx].to_bits() != load.to_bits();
+            let delay_changed = self.net_wire_delay[net_idx].to_bits() != delay.to_bits();
+            self.net_load_ff[net_idx] = load;
+            self.net_wire_delay[net_idx] = delay;
+            if !(load_changed || delay_changed) {
+                continue;
+            }
+            let net = self.nl.net(dme_netlist::NetId(net_idx as u32));
+            if load_changed {
+                if let Some(drv) = net.driver {
+                    if !in_cone[drv.0 as usize] {
+                        in_cone[drv.0 as usize] = true;
+                        dirty.push(drv);
+                    }
+                }
+            }
+            if delay_changed {
+                for &(sink, _) in &net.sinks {
+                    let s = sink.0 as usize;
+                    // A flop's data arrival is read directly off the
+                    // driver at MCT query time; its own launch (clk→Q)
+                    // does not depend on input timing.
+                    if !self.nl.instance(sink).is_sequential && !in_cone[s] {
+                        in_cone[s] = true;
+                        dirty.push(sink);
+                    }
+                }
+            }
+        }
+
+        // Propagate in depth order. Fanout always sits at strictly greater
+        // depth, so by the time a gate is popped every dirty fanin has
+        // settled and each gate is evaluated at most once.
+        let mut heap: BinaryHeap<Reverse<(u32, u32)>> = dirty
+            .iter()
+            .map(|&id| Reverse((levels.depth[id.0 as usize], id.0)))
+            .collect();
+        while let Some(Reverse((_, raw))) = heap.pop() {
+            let id = InstId(raw);
+            if !self.retime_gate(id, doses) {
+                continue; // outputs bitwise unchanged: the cone ends here
+            }
+            let out = self.nl.instance(id).output;
+            for &(sink, _) in &self.nl.net(out).sinks {
+                let s = sink.0 as usize;
+                if !self.nl.instance(sink).is_sequential && !in_cone[s] {
+                    in_cone[s] = true;
+                    heap.push(Reverse((levels.depth[s], sink.0)));
+                }
+            }
+        }
+
+        self.mct_ns()
+    }
+
+    /// MCT implied by the current state (worst endpoint delay, ns).
+    pub fn mct_ns(&self) -> f64 {
+        engine::mct_from_arrivals(self.lib, self.nl, &self.arrival, &self.net_wire_delay)
+    }
+
+    /// Arrival time at each instance output, ns.
+    pub fn arrival_ns(&self) -> &[f64] {
+        &self.arrival
+    }
+
+    /// Output slew of each instance, ns.
+    pub fn output_slew_ns(&self) -> &[f64] {
+        &self.out_slew
+    }
+
+    /// Accumulated work counters.
+    pub fn stats(&self) -> RetimeStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze;
+    use dme_device::Technology;
+    use dme_netlist::{gen, profiles};
+
+    fn setup() -> (Library, dme_netlist::Design, Placement) {
+        let lib = Library::standard(Technology::n65());
+        let d = gen::generate(&profiles::tiny(), &lib);
+        let p = dme_placement::place(&d, &lib);
+        (lib, d, p)
+    }
+
+    fn assert_matches_full(
+        inc: &IncrementalSta<'_>,
+        lib: &Library,
+        nl: &Netlist,
+        p: &Placement,
+        doses: &GeometryAssignment,
+    ) {
+        let full = analyze(lib, nl, p, doses);
+        for i in 0..nl.num_instances() {
+            assert_eq!(
+                inc.arrival_ns()[i].to_bits(),
+                full.arrival_ns[i].to_bits(),
+                "arrival mismatch at instance {i}"
+            );
+            assert_eq!(
+                inc.output_slew_ns()[i].to_bits(),
+                full.output_slew_ns[i].to_bits(),
+                "slew mismatch at instance {i}"
+            );
+        }
+        assert_eq!(
+            inc.mct_ns().to_bits(),
+            full.mct_ns.to_bits(),
+            "MCT mismatch"
+        );
+    }
+
+    #[test]
+    fn fresh_engine_matches_full_analysis() {
+        let (lib, d, p) = setup();
+        let doses = GeometryAssignment::nominal(d.netlist.num_instances());
+        let inc = IncrementalSta::new(&lib, &d.netlist, &p, &doses);
+        assert_matches_full(&inc, &lib, &d.netlist, &p, &doses);
+    }
+
+    #[test]
+    fn retime_after_move_matches_full_analysis() {
+        let (lib, d, mut p) = setup();
+        let n = d.netlist.num_instances();
+        let doses = GeometryAssignment::nominal(n);
+        let mut inc = IncrementalSta::new(&lib, &d.netlist, &p, &doses);
+        // Swap two cells and repack, as dosePl does.
+        let (a, b) = (InstId(3), InstId(n as u32 / 2));
+        p.swap_cells(a, b);
+        let rows = [
+            (p.y_um[a.0 as usize] / p.row_h_um).round() as usize,
+            (p.y_um[b.0 as usize] / p.row_h_um).round() as usize,
+        ];
+        p.repack_rows(&lib, &d.netlist, &rows);
+        inc.retime(&p, &doses);
+        assert_matches_full(&inc, &lib, &d.netlist, &p, &doses);
+        // The cone must be a strict subset of the design.
+        let s = inc.stats();
+        assert!(s.gates_retimed < s.full_equivalent_gates(n), "{s:?}");
+    }
+
+    #[test]
+    fn retime_after_redose_matches_full_analysis() {
+        let (lib, d, p) = setup();
+        let n = d.netlist.num_instances();
+        let mut doses = GeometryAssignment::nominal(n);
+        let mut inc = IncrementalSta::new(&lib, &d.netlist, &p, &doses);
+        doses.dl_nm[7] = -4.0;
+        doses.dl_nm[n - 1] = 3.0;
+        inc.retime(&p, &doses);
+        assert_matches_full(&inc, &lib, &d.netlist, &p, &doses);
+    }
+
+    #[test]
+    fn noop_retime_touches_nothing() {
+        let (lib, d, p) = setup();
+        let doses = GeometryAssignment::nominal(d.netlist.num_instances());
+        let mut inc = IncrementalSta::new(&lib, &d.netlist, &p, &doses);
+        let before = inc.stats();
+        let mct0 = inc.mct_ns();
+        let mct1 = inc.retime(&p, &doses);
+        assert_eq!(mct0.to_bits(), mct1.to_bits());
+        let after = inc.stats();
+        assert_eq!(after.gates_retimed, before.gates_retimed);
+        assert_eq!(after.nets_updated, before.nets_updated);
+        assert_eq!(after.retime_calls, before.retime_calls + 1);
+    }
+
+    #[test]
+    fn perturb_and_revert_restores_state_bitwise() {
+        let (lib, d, p) = setup();
+        let n = d.netlist.num_instances();
+        let doses = GeometryAssignment::nominal(n);
+        let mut inc = IncrementalSta::new(&lib, &d.netlist, &p, &doses);
+        let mct0 = inc.mct_ns();
+        let arrival0 = inc.arrival_ns().to_vec();
+        let mut p2 = p.clone();
+        p2.swap_cells(InstId(1), InstId(9));
+        inc.retime(&p2, &doses);
+        inc.retime(&p, &doses);
+        assert_eq!(inc.mct_ns().to_bits(), mct0.to_bits());
+        for (i, a0) in arrival0.iter().enumerate() {
+            assert_eq!(inc.arrival_ns()[i].to_bits(), a0.to_bits());
+        }
+    }
+}

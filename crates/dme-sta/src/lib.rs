@@ -34,11 +34,13 @@
 #![deny(missing_docs)]
 
 mod engine;
+pub mod incremental;
 pub mod paths;
 pub mod report;
 pub mod sdf;
 mod wire;
 
-pub use engine::{analyze, GeometryAssignment, TimingReport};
+pub use engine::{analyze, analyze_with_mode, GeometryAssignment, StaMode, TimingReport};
+pub use incremental::{IncrementalSta, RetimeStats};
 pub use paths::{top_k_paths, worst_path_per_endpoint, TimingPath};
 pub use wire::WireModel;

@@ -130,7 +130,13 @@ impl<'a> PathGraph<'a> {
             }
             psi[i] = best;
         }
-        Self { nl, report, end_weight, psi, succ }
+        Self {
+            nl,
+            report,
+            end_weight,
+            psi,
+            succ,
+        }
     }
 
     /// Startpoints with their base delays: sequential outputs (clk→Q) and
@@ -195,7 +201,7 @@ pub fn worst_path_per_endpoint(
                 match nl.net(net).driver {
                     Some(drv) => {
                         let a = report.arrival_ns[drv.0 as usize] + wire;
-                        if best.map_or(true, |(b, _)| a > b) {
+                        if best.is_none_or(|(b, _)| a > b) {
                             best = Some((a, drv));
                         }
                     }
@@ -271,7 +277,10 @@ pub fn top_k_paths(
             est: base + g.psi[i],
             prefix: base,
             at: Some(id),
-            path: Rc::new(PathNode { inst: id, prev: None }),
+            path: Rc::new(PathNode {
+                inst: id,
+                prev: None,
+            }),
         });
     }
     let mut out = Vec::with_capacity(k);
@@ -306,7 +315,10 @@ pub fn top_k_paths(
                         est: s.prefix + w + g.psi[qi],
                         prefix: s.prefix + w,
                         at: Some(q),
-                        path: Rc::new(PathNode { inst: q, prev: Some(s.path.clone()) }),
+                        path: Rc::new(PathNode {
+                            inst: q,
+                            prev: Some(s.path.clone()),
+                        }),
                     });
                 }
             }
@@ -331,7 +343,10 @@ mod tests {
     }
 
     fn setups(lib: &Library, nl: &Netlist) -> Vec<f64> {
-        nl.instances.iter().map(|i| lib.cell(i.cell_idx).setup_ns(lib.tech())).collect()
+        nl.instances
+            .iter()
+            .map(|i| lib.cell(i.cell_idx).setup_ns(lib.tech()))
+            .collect()
     }
 
     #[test]
@@ -388,7 +403,10 @@ mod tests {
         let paths = top_k_paths(&d.netlist, &r, &setups(&lib, &d.netlist), 100);
         for i in 0..paths.len() {
             for j in i + 1..paths.len() {
-                assert!(paths[i].instances != paths[j].instances, "duplicate path at {i}/{j}");
+                assert!(
+                    paths[i].instances != paths[j].instances,
+                    "duplicate path at {i}/{j}"
+                );
             }
         }
     }
@@ -399,7 +417,12 @@ mod tests {
         let doses = GeometryAssignment::nominal(d.netlist.num_instances());
         let r = analyze(&lib, &d.netlist, &p, &doses);
         let paths = worst_path_per_endpoint(&d.netlist, &r, &setups(&lib, &d.netlist));
-        let n_ff = d.netlist.instances.iter().filter(|i| i.is_sequential).count();
+        let n_ff = d
+            .netlist
+            .instances
+            .iter()
+            .filter(|i| i.is_sequential)
+            .count();
         let n_po = d.netlist.primary_outputs.len();
         assert_eq!(paths.len(), n_ff + n_po);
         // Sorted most-critical first and the top path matches the MCT.

@@ -19,10 +19,18 @@ pub struct SlackBin {
 /// tiny negative numerical slack land in the first bin.
 pub fn slack_profile(paths: &[TimingPath], bins: usize) -> Vec<SlackBin> {
     assert!(bins > 0, "need at least one bin");
-    let max_slack = paths.iter().map(|p| p.slack_ns).fold(0.0f64, f64::max).max(1e-12);
+    let max_slack = paths
+        .iter()
+        .map(|p| p.slack_ns)
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
     let width = max_slack / bins as f64;
     let mut out: Vec<SlackBin> = (0..bins)
-        .map(|i| SlackBin { lo_ns: i as f64 * width, hi_ns: (i as f64 + 1.0) * width, count: 0 })
+        .map(|i| SlackBin {
+            lo_ns: i as f64 * width,
+            hi_ns: (i as f64 + 1.0) * width,
+            count: 0,
+        })
         .collect();
     for p in paths {
         let idx = ((p.slack_ns / width).floor().max(0.0) as usize).min(bins - 1);
@@ -54,13 +62,16 @@ mod tests {
     use dme_netlist::InstId;
 
     fn path(delay: f64, slack: f64) -> TimingPath {
-        TimingPath { instances: vec![InstId(0)], delay_ns: delay, slack_ns: slack }
+        TimingPath {
+            instances: vec![InstId(0)],
+            delay_ns: delay,
+            slack_ns: slack,
+        }
     }
 
     #[test]
     fn profile_counts_every_path() {
-        let paths: Vec<TimingPath> =
-            (0..100).map(|i| path(1.0, i as f64 * 0.01)).collect();
+        let paths: Vec<TimingPath> = (0..100).map(|i| path(1.0, i as f64 * 0.01)).collect();
         let prof = slack_profile(&paths, 10);
         assert_eq!(prof.iter().map(|b| b.count).sum::<usize>(), 100);
         // Uniform slacks → roughly uniform bins.
@@ -79,7 +90,9 @@ mod tests {
 
     #[test]
     fn criticality_is_monotone_in_threshold() {
-        let paths: Vec<TimingPath> = (0..1000).map(|i| path(1.0 - i as f64 * 0.0005, 0.0)).collect();
+        let paths: Vec<TimingPath> = (0..1000)
+            .map(|i| path(1.0 - i as f64 * 0.0005, 0.0))
+            .collect();
         let pct = criticality_percentages(&paths, 1.0, &[0.95, 0.90, 0.80]);
         assert!(pct[0] <= pct[1] && pct[1] <= pct[2]);
         assert!((pct[0] - 10.1).abs() < 1.0, "pct95 = {}", pct[0]);

@@ -90,7 +90,12 @@ mod tests {
     #[test]
     fn sdf_has_one_cell_per_instance_plus_top() {
         let (lib, d, p) = sample();
-        let r = analyze(&lib, &d.netlist, &p, &GeometryAssignment::nominal(d.netlist.num_instances()));
+        let r = analyze(
+            &lib,
+            &d.netlist,
+            &p,
+            &GeometryAssignment::nominal(d.netlist.num_instances()),
+        );
         let sdf = write_sdf(&d.netlist, &r, "tiny");
         assert_eq!(
             sdf.matches("(CELL\n").count(),
@@ -105,7 +110,12 @@ mod tests {
     #[test]
     fn sdf_min_never_exceeds_max() {
         let (lib, d, p) = sample();
-        let r = analyze(&lib, &d.netlist, &p, &GeometryAssignment::uniform(d.netlist.num_instances(), -6.0, 0.0));
+        let r = analyze(
+            &lib,
+            &d.netlist,
+            &p,
+            &GeometryAssignment::uniform(d.netlist.num_instances(), -6.0, 0.0),
+        );
         let sdf = write_sdf(&d.netlist, &r, "tiny");
         for line in sdf.lines().filter(|l| l.contains("IOPATH")) {
             let nums: Vec<f64> = line
@@ -123,7 +133,12 @@ mod tests {
     #[test]
     fn interconnect_count_matches_sink_pins() {
         let (lib, d, p) = sample();
-        let r = analyze(&lib, &d.netlist, &p, &GeometryAssignment::nominal(d.netlist.num_instances()));
+        let r = analyze(
+            &lib,
+            &d.netlist,
+            &p,
+            &GeometryAssignment::nominal(d.netlist.num_instances()),
+        );
         let sdf = write_sdf(&d.netlist, &r, "tiny");
         let expected: usize = d
             .netlist

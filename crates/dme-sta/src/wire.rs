@@ -27,9 +27,15 @@ impl WireModel {
     /// the designs far from the paper's gate-dominated timing regime.
     pub fn for_tech(tech: &Technology) -> Self {
         if tech.lnom_nm <= 65.0 {
-            Self { r_ohm_per_um: 1.5, c_ff_per_um: 0.05 }
+            Self {
+                r_ohm_per_um: 1.5,
+                c_ff_per_um: 0.05,
+            }
         } else {
-            Self { r_ohm_per_um: 1.0, c_ff_per_um: 0.06 }
+            Self {
+                r_ohm_per_um: 1.0,
+                c_ff_per_um: 0.06,
+            }
         }
     }
 
@@ -44,7 +50,7 @@ impl WireModel {
     pub fn wire_delay_ns(&self, hpwl_um: f64, sink_cap_ff: f64) -> f64 {
         let r = self.r_ohm_per_um * hpwl_um; // Ω
         let c = self.c_ff_per_um * hpwl_um; // fF
-        // Ω·fF = 1e-6 ns.
+                                            // Ω·fF = 1e-6 ns.
         r * (0.5 * c + sink_cap_ff) * 1e-6
     }
 }
@@ -73,6 +79,9 @@ mod tests {
 
     #[test]
     fn nodes_have_different_parasitics() {
-        assert_ne!(WireModel::for_tech(&Technology::n65()), WireModel::for_tech(&Technology::n90()));
+        assert_ne!(
+            WireModel::for_tech(&Technology::n65()),
+            WireModel::for_tech(&Technology::n90())
+        );
     }
 }

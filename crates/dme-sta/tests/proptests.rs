@@ -3,7 +3,10 @@
 use dme_device::Technology;
 use dme_liberty::Library;
 use dme_netlist::{gen, profiles, profiles::TechNode, DesignProfile};
-use dme_sta::{analyze, worst_path_per_endpoint, GeometryAssignment};
+use dme_sta::{
+    analyze, analyze_with_mode, worst_path_per_endpoint, GeometryAssignment, IncrementalSta,
+    StaMode,
+};
 use proptest::prelude::*;
 
 fn random_profile() -> impl Strategy<Value = DesignProfile> {
@@ -69,6 +72,76 @@ proptest! {
         let paths = worst_path_per_endpoint(&d.netlist, &r, &setup);
         prop_assert!(!paths.is_empty());
         prop_assert!((paths[0].delay_ns - r.mct_ns).abs() < 1e-9);
+    }
+
+    /// Level-parallel forward propagation is bitwise identical to the
+    /// serial level-order pass, for every report field that feeds
+    /// downstream optimization. Wide profiles make individual levels
+    /// cross the parallel cutoff.
+    #[test]
+    fn levelized_parallel_matches_serial(
+        cells in 400usize..800,
+        seed in any::<u64>(),
+        dose_step in -8i32..=8,
+    ) {
+        // Ask for a multi-thread pool even on single-core CI machines so
+        // the parallel code path genuinely executes (see dme-par docs).
+        std::env::set_var("DME_NUM_THREADS", "4");
+        let lib = Library::standard(Technology::n65());
+        let profile = DesignProfile {
+            name: "PROP-WIDE".into(),
+            node: TechNode::N65,
+            target_cells: cells,
+            num_primary_inputs: 16,
+            seq_fraction: 0.12,
+            levels: 5,
+            chain_bias: 0.5,
+            level_taper: 0.0,
+            slices: 1,
+            ff_tap_deep_frac: 0.75,
+            die_area_mm2: cells as f64 * 5.0e-6,
+            utilization: 0.7,
+            seed,
+        };
+        let d = gen::generate(&profile, &lib);
+        let p = dme_placement::place(&d, &lib);
+        let n = d.netlist.num_instances();
+        let doses = GeometryAssignment::uniform(n, dose_step as f64, 0.0);
+        let rs = analyze_with_mode(&lib, &d.netlist, &p, &doses, StaMode::Serial);
+        let rp = analyze_with_mode(&lib, &d.netlist, &p, &doses, StaMode::Parallel);
+        for i in 0..n {
+            prop_assert_eq!(rs.arrival_ns[i].to_bits(), rp.arrival_ns[i].to_bits(), "arrival {}", i);
+            prop_assert_eq!(rs.output_slew_ns[i].to_bits(), rp.output_slew_ns[i].to_bits(), "slew {}", i);
+            prop_assert_eq!(rs.arrival_min_ns[i].to_bits(), rp.arrival_min_ns[i].to_bits(), "early {}", i);
+            prop_assert_eq!(rs.slack_ns[i].to_bits(), rp.slack_ns[i].to_bits(), "slack {}", i);
+        }
+        prop_assert_eq!(rs.mct_ns.to_bits(), rp.mct_ns.to_bits());
+        prop_assert_eq!(rs.worst_hold_slack_ns.to_bits(), rp.worst_hold_slack_ns.to_bits());
+    }
+
+    /// Incremental re-timing after arbitrary dose perturbations lands on
+    /// the same late-corner state as a from-scratch analysis.
+    #[test]
+    fn incremental_retime_matches_full(
+        profile in random_profile(),
+        touched in proptest::collection::vec((0usize..usize::MAX, -8i32..=8), 1..12),
+    ) {
+        let lib = Library::standard(Technology::n65());
+        let d = gen::generate(&profile, &lib);
+        let p = dme_placement::place(&d, &lib);
+        let n = d.netlist.num_instances();
+        let mut doses = GeometryAssignment::nominal(n);
+        let mut inc = IncrementalSta::new(&lib, &d.netlist, &p, &doses);
+        for &(raw, step) in &touched {
+            doses.dl_nm[raw % n] = step as f64;
+        }
+        let mct = inc.retime(&p, &doses);
+        let full = analyze(&lib, &d.netlist, &p, &doses);
+        for i in 0..n {
+            prop_assert_eq!(inc.arrival_ns()[i].to_bits(), full.arrival_ns[i].to_bits(), "arrival {}", i);
+            prop_assert_eq!(inc.output_slew_ns()[i].to_bits(), full.output_slew_ns[i].to_bits(), "slew {}", i);
+        }
+        prop_assert_eq!(mct.to_bits(), full.mct_ns.to_bits());
     }
 
     /// Dose monotonicity at chip level: more dose (shorter gates) never

@@ -1,0 +1,290 @@
+//! Offline work-alike for the subset of the `criterion` API this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so the real
+//! `criterion` cannot be fetched. This harness keeps the workspace's
+//! `[[bench]]` targets source-compatible and produces wall-clock
+//! statistics good enough for perf-trajectory tracking: each benchmark is
+//! warmed up, then timed over a fixed number of samples, and the result
+//! is printed both human-readably and as a machine-parsable
+//! `BENCHLINE <name> mean_ns=<..> median_ns=<..> samples=<..>` line that
+//! `scripts/bench_perf.sh` collects into `BENCH_perf.json`. No plots, no
+//! statistical regression testing.
+
+#![deny(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Hint for how batched inputs are grouped; accepted for source
+/// compatibility, the shim times every batch individually either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Collected timing for one benchmark.
+#[derive(Debug, Clone)]
+pub struct Sampled {
+    /// Benchmark id (`group/name` for grouped benches).
+    pub name: String,
+    /// Mean wall time per iteration, nanoseconds.
+    pub mean_ns: f64,
+    /// Median wall time per iteration, nanoseconds.
+    pub median_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+/// The benchmark driver handed to `criterion_group!` functions.
+#[derive(Debug)]
+pub struct Criterion {
+    filter: Option<String>,
+    sample_size: usize,
+    warmup: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <substring>` filters benchmarks, as upstream.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "bench");
+        let sample_size = std::env::var("CRITERION_SAMPLE_SIZE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(20);
+        Self {
+            filter,
+            sample_size,
+            warmup: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let sample_size = self.sample_size;
+        let warmup = self.warmup;
+        if self.matches(name) {
+            run_bench(name, sample_size, warmup, f);
+        }
+        self
+    }
+
+    /// Opens a named group; benchmarks inside are reported as
+    /// `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            prefix: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    prefix: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let full = format!("{}/{name}", self.prefix);
+        let samples = self.sample_size.unwrap_or(self.parent.sample_size);
+        let warmup = self.parent.warmup;
+        if self.parent.matches(&full) {
+            run_bench(&full, samples, warmup, f);
+        }
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; the shim prints
+    /// eagerly, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; `iter`/`iter_batched` time the
+/// routine.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    warmup: Duration,
+    per_iter_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, called repeatedly.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warmup also calibrates how many iterations fit one sample.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warmup {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = self.warmup.as_secs_f64() / warm_iters.max(1) as f64;
+        // Aim for ~10ms per sample, at least one iteration.
+        let iters_per_sample = ((0.01 / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let dt = t0.elapsed().as_secs_f64();
+            self.per_iter_ns.push(dt * 1e9 / iters_per_sample as f64);
+        }
+    }
+
+    /// Times `routine` on fresh inputs built by `setup` (setup excluded
+    /// from the timing).
+    pub fn iter_batched<I, R, S: FnMut() -> I, F: FnMut(I) -> R>(
+        &mut self,
+        mut setup: S,
+        mut routine: F,
+        _size: BatchSize,
+    ) {
+        // One warmup batch.
+        black_box(routine(setup()));
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.per_iter_ns.push(t0.elapsed().as_secs_f64() * 1e9);
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, warmup: Duration, mut f: F) {
+    let mut b = Bencher {
+        sample_size: sample_size.max(1),
+        warmup,
+        per_iter_ns: Vec::new(),
+    };
+    f(&mut b);
+    if b.per_iter_ns.is_empty() {
+        // The closure never called iter/iter_batched; nothing to report.
+        println!("{name:<48} (no measurement)");
+        return;
+    }
+    let mut sorted = b.per_iter_ns.clone();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let mean = b.per_iter_ns.iter().sum::<f64>() / b.per_iter_ns.len() as f64;
+    let median = sorted[sorted.len() / 2];
+    let s = Sampled {
+        name: name.to_string(),
+        mean_ns: mean,
+        median_ns: median,
+        samples: b.per_iter_ns.len(),
+    };
+    println!(
+        "{:<48} mean {:>12} median {:>12}",
+        s.name,
+        fmt_ns(s.mean_ns),
+        fmt_ns(s.median_ns)
+    );
+    println!(
+        "BENCHLINE {} mean_ns={:.1} median_ns={:.1} samples={}",
+        s.name, s.mean_ns, s.median_ns, s.samples
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Builds a function running a list of benchmark functions, mirroring
+/// upstream's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Builds the bench `main` from one or more `criterion_group!`s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_collects_samples() {
+        let mut b = Bencher {
+            sample_size: 5,
+            warmup: Duration::from_millis(1),
+            per_iter_ns: Vec::new(),
+        };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert_eq!(b.per_iter_ns.len(), 5);
+        assert!(b.per_iter_ns.iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn iter_batched_times_each_batch() {
+        let mut b = Bencher {
+            sample_size: 4,
+            warmup: Duration::from_millis(1),
+            per_iter_ns: Vec::new(),
+        };
+        b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput);
+        assert_eq!(b.per_iter_ns.len(), 4);
+    }
+
+    #[test]
+    fn groups_prefix_names() {
+        let mut c = Criterion {
+            filter: None,
+            sample_size: 2,
+            warmup: Duration::from_millis(1),
+        };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2)
+            .bench_function("inner", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+}

@@ -1,0 +1,182 @@
+//! Offline work-alike for the subset of the `rand` crate API this
+//! workspace uses.
+//!
+//! The build environment has no access to crates.io, so the real `rand`
+//! cannot be fetched. This crate provides source-compatible replacements
+//! for exactly what the workspace imports: the [`Rng`] / [`SeedableRng`]
+//! traits and [`rngs::StdRng`]. The generator is xoshiro256++ seeded via
+//! SplitMix64 — statistically solid for synthetic-design generation, but
+//! the streams differ from upstream `rand`'s ChaCha-based `StdRng`, so
+//! seeded designs are reproducible *within* this workspace only.
+
+#![deny(missing_docs)]
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// High-level sampling interface, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value from the standard distribution of `T`
+    /// (`f64` ∈ [0, 1), integers uniform over their full range).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_rng(self)
+    }
+
+    /// Samples uniformly from `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low >= high`.
+    fn gen_range(&mut self, range: std::ops::Range<f64>) -> f64
+    where
+        Self: Sized,
+    {
+        assert!(range.start < range.end, "gen_range: empty range");
+        range.start + (range.end - range.start) * self.gen::<f64>()
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types samplable by [`Rng::gen`] (the `Standard` distribution of the
+/// real crate, flattened into a trait).
+pub trait Standard {
+    /// Draws one value from `rng`.
+    fn from_rng<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn from_rng<R: RngCore>(rng: &mut R) -> Self {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn from_rng<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn from_rng<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn from_rng<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard seeded generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed into the xoshiro state, as
+            // recommended by the xoshiro authors.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            Self {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn f64_samples_live_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean = {mean}");
+    }
+
+    #[test]
+    fn gen_range_and_bool_behave() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-2.0..3.0);
+            assert!((-2.0..3.0).contains(&v));
+        }
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((1_800..3_200).contains(&heads), "heads = {heads}");
+    }
+}

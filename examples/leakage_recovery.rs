@@ -19,11 +19,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ctx = OptContext::new(&lib, &design, &placement);
     let n = design.netlist.num_instances();
     let nominal = ctx.nominal_summary();
-    println!("nominal: MCT {:.4} ns, leakage {:.1} µW", nominal.mct_ns, nominal.leakage_uw);
+    println!(
+        "nominal: MCT {:.4} ns, leakage {:.1} µW",
+        nominal.mct_ns, nominal.leakage_uw
+    );
 
     // The naive knob: uniform dose reduction. Leakage falls, timing dies.
     println!("\nuniform dose sweep (the Table II trade-off):");
-    println!("{:>8} {:>10} {:>10} {:>9} {:>9}", "dose(%)", "MCT(ns)", "leak(µW)", "ΔMCT(%)", "Δleak(%)");
+    println!(
+        "{:>8} {:>10} {:>10} {:>9} {:>9}",
+        "dose(%)", "MCT(ns)", "leak(µW)", "ΔMCT(%)", "Δleak(%)"
+    );
     for step in [-5.0f64, -2.5, 0.0, 2.5, 5.0] {
         let doses = GeometryAssignment::uniform(n, -2.0 * step, 0.0);
         let r = analyze(&lib, &design.netlist, &placement, &doses);
@@ -39,9 +45,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The design-aware knob: DMopt QP at several grid granularities.
     println!("\ndesign-aware dose maps (QP: min leakage s.t. timing):");
-    println!("{:>10} {:>8} {:>10} {:>10} {:>9} {:>9}", "grid(µm)", "#grids", "MCT(ns)", "leak(µW)", "ΔMCT(%)", "Δleak(%)");
+    println!(
+        "{:>10} {:>8} {:>10} {:>10} {:>9} {:>9}",
+        "grid(µm)", "#grids", "MCT(ns)", "leak(µW)", "ΔMCT(%)", "Δleak(%)"
+    );
     for g in [5.0f64, 10.0, 30.0] {
-        let cfg = DmoptConfig { grid_g_um: g, ..DmoptConfig::default() };
+        let cfg = DmoptConfig {
+            grid_g_um: g,
+            ..DmoptConfig::default()
+        };
         let r = optimize(&ctx, &cfg)?;
         let (mct_imp, leak_imp) = r.golden_after.improvement_over(&nominal);
         println!(

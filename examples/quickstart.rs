@@ -49,8 +49,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "dose map: {}×{} grids, range [{:.1}%, {:.1}%]",
         result.poly_map.grid.cols(),
         result.poly_map.grid.rows(),
-        result.poly_map.dose_pct.iter().cloned().fold(f64::INFINITY, f64::min),
-        result.poly_map.dose_pct.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        result
+            .poly_map
+            .dose_pct
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min),
+        result
+            .poly_map
+            .dose_pct
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max),
     );
     Ok(())
 }

@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Runs the serial-vs-parallel kernel benchmarks (`perf/` group in
+# crates/bench/benches/kernels.rs) and distills them into BENCH_perf.json
+# so successive PRs have a perf trajectory.
+#
+# Usage: scripts/bench_perf.sh [output.json]
+#   DME_NUM_THREADS=N   pool width for the parallel variants (default: nproc)
+#   CRITERION_SAMPLE_SIZE=N  timed samples per bench (default: 20)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_perf.json}"
+threads="${DME_NUM_THREADS:-$(nproc)}"
+log="$(mktemp)"
+trap 'rm -f "$log"' EXIT
+
+echo "== bench_perf: threads=$threads (nproc=$(nproc)) ==" >&2
+DME_NUM_THREADS="$threads" cargo bench --offline -p dme-bench --bench kernels -- perf/ \
+    2>&1 | tee "$log" >&2
+
+NPROC="$(nproc)" THREADS="$threads" OUT="$out" python3 - "$log" <<'PY'
+import json, os, sys
+
+benches, work, info = {}, {}, {}
+for line in open(sys.argv[1]):
+    tok = line.split()
+    if not tok:
+        continue
+    if tok[0] == "BENCHLINE":
+        kv = dict(t.split("=", 1) for t in tok[2:])
+        benches[tok[1]] = {
+            "mean_ns": float(kv["mean_ns"]),
+            "median_ns": float(kv["median_ns"]),
+            "samples": int(kv["samples"]),
+        }
+    elif tok[0] == "WORKLINE":
+        work[tok[1]] = {k: int(v) for k, v in (t.split("=", 1) for t in tok[2:])}
+    elif tok[0] == "INFOLINE":
+        info.update(dict(t.split("=", 1) for t in tok[1:]))
+
+def speedup(stem):
+    s = benches.get(f"perf/{stem}_serial")
+    p = benches.get(f"perf/{stem}_parallel")
+    if s and p and p["mean_ns"] > 0:
+        return round(s["mean_ns"] / p["mean_ns"], 3)
+    return None
+
+result = {
+    "threads": int(info.get("dme_par_threads", os.environ["THREADS"])),
+    "nproc": int(os.environ["NPROC"]),
+    "benches": benches,
+    "speedups_parallel_over_serial": {
+        stem: speedup(stem)
+        for stem in ("spmv_mul", "spmv_tmul", "cg_ipm_solve", "sta_pass")
+    },
+}
+
+se = work.get("swap_eval")
+inc = benches.get("perf/swap_eval_incremental")
+full = benches.get("perf/swap_eval_full_sta")
+if se:
+    result["swap_eval"] = dict(se)
+    if se["gates_per_retime"] > 0:
+        result["swap_eval"]["work_reduction_x"] = round(
+            se["gates_per_full_sta"] / se["gates_per_retime"], 2
+        )
+    if inc and full and inc["mean_ns"] > 0:
+        result["swap_eval"]["wall_speedup_x"] = round(
+            full["mean_ns"] / inc["mean_ns"], 2
+        )
+
+dp = work.get("dosepl_run")
+if dp:
+    result["dosepl_run"] = dict(dp)
+    if dp["incremental_gate_evals"] > 0:
+        result["dosepl_run"]["work_reduction_x"] = round(
+            dp["full_equivalent_gate_evals"] / dp["incremental_gate_evals"], 2
+        )
+
+with open(os.environ["OUT"], "w") as f:
+    json.dump(result, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {os.environ['OUT']}", file=sys.stderr)
+PY

@@ -34,7 +34,9 @@ fn full_flow_stays_legal_and_improves() {
     // dosePl never makes golden timing worse than its input.
     assert!(dp.golden_after.mct_ns <= dp.golden_before.mct_ns + 1e-12);
     // The final placement is legal.
-    dp.placement.check_legal(&design.netlist, &lib).expect("legal placement");
+    dp.placement
+        .check_legal(&design.netlist, &lib)
+        .expect("legal placement");
     // The whole flow improves on nominal timing at bounded leakage.
     let fin = r.final_summary();
     assert!(fin.mct_ns < r.nominal.mct_ns);
@@ -57,7 +59,12 @@ fn slack_profile_improves_after_optimization() {
         .collect();
 
     let n = design.netlist.num_instances();
-    let before = analyze(&lib, &design.netlist, &placement, &GeometryAssignment::nominal(n));
+    let before = analyze(
+        &lib,
+        &design.netlist,
+        &placement,
+        &GeometryAssignment::nominal(n),
+    );
     let paths_before = top_k_paths(&design.netlist, &before, &setup, 500);
 
     let cfg = DmoptConfig {
@@ -70,15 +77,22 @@ fn slack_profile_improves_after_optimization() {
 
     // Same number of paths, but measured against the ORIGINAL MCT the
     // optimized design has strictly positive worst slack.
-    let worst_after = paths_after.iter().map(|p| p.delay_ns).fold(0.0f64, f64::max);
-    let worst_before = paths_before.iter().map(|p| p.delay_ns).fold(0.0f64, f64::max);
-    assert!(worst_after < worst_before, "{worst_after} !< {worst_before}");
+    let worst_after = paths_after
+        .iter()
+        .map(|p| p.delay_ns)
+        .fold(0.0f64, f64::max);
+    let worst_before = paths_before
+        .iter()
+        .map(|p| p.delay_ns)
+        .fold(0.0f64, f64::max);
+    assert!(
+        worst_after < worst_before,
+        "{worst_after} !< {worst_before}"
+    );
 
     // Criticality percentages (Table VII machinery) drop at 95% threshold.
-    let pct_before =
-        report::criticality_percentages(&paths_before, before.mct_ns, &[0.95])[0];
-    let pct_after =
-        report::criticality_percentages(&paths_after, before.mct_ns, &[0.95])[0];
+    let pct_before = report::criticality_percentages(&paths_before, before.mct_ns, &[0.95])[0];
+    let pct_after = report::criticality_percentages(&paths_after, before.mct_ns, &[0.95])[0];
     assert!(
         pct_after <= pct_before,
         "95% criticality went from {pct_before}% to {pct_after}%"
@@ -101,7 +115,12 @@ fn bias_headroom_bound_holds() {
         .map(|i| lib.cell(i.cell_idx).setup_ns(lib.tech()))
         .collect();
     let n = design.netlist.num_instances();
-    let nominal = analyze(&lib, &design.netlist, &placement, &GeometryAssignment::nominal(n));
+    let nominal = analyze(
+        &lib,
+        &design.netlist,
+        &placement,
+        &GeometryAssignment::nominal(n),
+    );
     let paths = top_k_paths(&design.netlist, &nominal, &setup, 1000);
 
     // Bias: ΔL = −10 nm for every cell on a top path.
@@ -114,7 +133,9 @@ fn bias_headroom_bound_holds() {
     let bias_report = analyze(&lib, &design.netlist, &placement, &bias);
 
     let cfg = DmoptConfig {
-        objective: Objective::MinTiming { xi_uw: f64::INFINITY },
+        objective: Objective::MinTiming {
+            xi_uw: f64::INFINITY,
+        },
         ..DmoptConfig::default()
     };
     let r = dmeopt::optimize(&ctx, &cfg).expect("optimize");

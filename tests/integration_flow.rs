@@ -21,13 +21,28 @@ fn qp_recovers_leakage_at_constant_timing() {
     let ctx = OptContext::new(&lib, &design, &placement);
     let r = optimize(&ctx, &DmoptConfig::default()).expect("QP optimize");
     let (mct_imp, leak_imp) = r.golden_after.improvement_over(&r.golden_before);
-    assert!(leak_imp > 3.0, "expected noticeable leakage recovery, got {leak_imp}%");
+    assert!(
+        leak_imp > 3.0,
+        "expected noticeable leakage recovery, got {leak_imp}%"
+    );
     assert!(mct_imp > -0.25, "timing degraded by {}%", -mct_imp);
     // Equipment feasibility of the produced map (snap can add one step).
-    r.poly_map.check(-5.0, 5.0, 2.5).expect("dose map constraints");
+    r.poly_map
+        .check(-5.0, 5.0, 2.5)
+        .expect("dose map constraints");
     // Non-trivial map: not all grids at the same dose.
-    let min = r.poly_map.dose_pct.iter().cloned().fold(f64::INFINITY, f64::min);
-    let max = r.poly_map.dose_pct.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let min = r
+        .poly_map
+        .dose_pct
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+    let max = r
+        .poly_map
+        .dose_pct
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
     assert!(max > min, "dose map collapsed to uniform");
 }
 
@@ -90,13 +105,29 @@ fn granularity_trend_matches_table4() {
     let ctx = OptContext::new(&lib, &design, &placement);
     let mut leaks = Vec::new();
     for g in [5.0, 10.0, 30.0] {
-        let r = optimize(&ctx, &DmoptConfig { grid_g_um: g, ..DmoptConfig::default() })
-            .expect("optimize");
+        let r = optimize(
+            &ctx,
+            &DmoptConfig {
+                grid_g_um: g,
+                ..DmoptConfig::default()
+            },
+        )
+        .expect("optimize");
         leaks.push(r.golden_after.leakage_uw);
     }
     // Finer grids never lose (small tolerance for snapping noise).
-    assert!(leaks[0] <= leaks[1] * 1.02, "5 µm {} vs 10 µm {}", leaks[0], leaks[1]);
-    assert!(leaks[1] <= leaks[2] * 1.02, "10 µm {} vs 30 µm {}", leaks[1], leaks[2]);
+    assert!(
+        leaks[0] <= leaks[1] * 1.02,
+        "5 µm {} vs 10 µm {}",
+        leaks[0],
+        leaks[1]
+    );
+    assert!(
+        leaks[1] <= leaks[2] * 1.02,
+        "10 µm {} vs 30 µm {}",
+        leaks[1],
+        leaks[2]
+    );
     // And the coarsest grid must visibly lag the finest.
     assert!(leaks[0] < leaks[2], "no granularity benefit at all");
 }

@@ -16,23 +16,48 @@ fn uniform_sweep_matches_paper_shape_65nm() {
     let placement = dme_placement::place(&design, &lib);
     let n = design.netlist.num_instances();
 
-    let nominal = analyze(&lib, &design.netlist, &placement, &GeometryAssignment::nominal(n));
+    let nominal = analyze(
+        &lib,
+        &design.netlist,
+        &placement,
+        &GeometryAssignment::nominal(n),
+    );
     // +5% dose: ΔL = −10 nm.
-    let fast =
-        analyze(&lib, &design.netlist, &placement, &GeometryAssignment::uniform(n, -10.0, 0.0));
+    let fast = analyze(
+        &lib,
+        &design.netlist,
+        &placement,
+        &GeometryAssignment::uniform(n, -10.0, 0.0),
+    );
     // −5% dose: ΔL = +10 nm.
-    let slow =
-        analyze(&lib, &design.netlist, &placement, &GeometryAssignment::uniform(n, 10.0, 0.0));
+    let slow = analyze(
+        &lib,
+        &design.netlist,
+        &placement,
+        &GeometryAssignment::uniform(n, 10.0, 0.0),
+    );
 
     // Paper Table II: MCT ×0.871 / ×1.114, leakage ×2.55 / ×0.624.
     let fast_mct = fast.mct_ns / nominal.mct_ns;
     let slow_mct = slow.mct_ns / nominal.mct_ns;
-    assert!((fast_mct - 0.871).abs() < 0.05, "fast MCT ratio = {fast_mct}");
-    assert!((slow_mct - 1.114).abs() < 0.05, "slow MCT ratio = {slow_mct}");
+    assert!(
+        (fast_mct - 0.871).abs() < 0.05,
+        "fast MCT ratio = {fast_mct}"
+    );
+    assert!(
+        (slow_mct - 1.114).abs() < 0.05,
+        "slow MCT ratio = {slow_mct}"
+    );
     let fast_leak = fast.total_leakage_uw / nominal.total_leakage_uw;
     let slow_leak = slow.total_leakage_uw / nominal.total_leakage_uw;
-    assert!((fast_leak - 2.55).abs() < 0.35, "fast leakage ratio = {fast_leak}");
-    assert!((slow_leak - 0.624).abs() < 0.08, "slow leakage ratio = {slow_leak}");
+    assert!(
+        (fast_leak - 2.55).abs() < 0.35,
+        "fast leakage ratio = {fast_leak}"
+    );
+    assert!(
+        (slow_leak - 0.624).abs() < 0.08,
+        "slow leakage ratio = {slow_leak}"
+    );
 }
 
 /// The sweep is monotone in dose on both axes — the structural fact that
@@ -48,9 +73,16 @@ fn uniform_sweep_monotone_in_dose() {
     for step in 0..=10 {
         let dose = -5.0 + step as f64; // −5% … +5%
         let dl = -2.0 * dose;
-        let r =
-            analyze(&lib, &design.netlist, &placement, &GeometryAssignment::uniform(n, dl, 0.0));
-        assert!(r.mct_ns <= prev_mct + 1e-12, "MCT must fall as dose rises (step {step})");
+        let r = analyze(
+            &lib,
+            &design.netlist,
+            &placement,
+            &GeometryAssignment::uniform(n, dl, 0.0),
+        );
+        assert!(
+            r.mct_ns <= prev_mct + 1e-12,
+            "MCT must fall as dose rises (step {step})"
+        );
         assert!(
             r.total_leakage_uw >= prev_leak - 1e-12,
             "leakage must rise with dose (step {step})"
@@ -70,19 +102,41 @@ fn uniform_sweep_matches_paper_shape_90nm() {
     let placement = dme_placement::place(&design, &lib);
     let n = design.netlist.num_instances();
 
-    let nominal = analyze(&lib, &design.netlist, &placement, &GeometryAssignment::nominal(n));
-    let fast =
-        analyze(&lib, &design.netlist, &placement, &GeometryAssignment::uniform(n, -10.0, 0.0));
-    let slow =
-        analyze(&lib, &design.netlist, &placement, &GeometryAssignment::uniform(n, 10.0, 0.0));
+    let nominal = analyze(
+        &lib,
+        &design.netlist,
+        &placement,
+        &GeometryAssignment::nominal(n),
+    );
+    let fast = analyze(
+        &lib,
+        &design.netlist,
+        &placement,
+        &GeometryAssignment::uniform(n, -10.0, 0.0),
+    );
+    let slow = analyze(
+        &lib,
+        &design.netlist,
+        &placement,
+        &GeometryAssignment::uniform(n, 10.0, 0.0),
+    );
 
     // Paper Table III: MCT ×0.883 / ×1.100, leakage ×1.90 / ×0.699.
     let fast_leak = fast.total_leakage_uw / nominal.total_leakage_uw;
     let slow_leak = slow.total_leakage_uw / nominal.total_leakage_uw;
-    assert!((fast_leak - 1.90).abs() < 0.25, "fast leakage ratio = {fast_leak}");
-    assert!((slow_leak - 0.699).abs() < 0.08, "slow leakage ratio = {slow_leak}");
+    assert!(
+        (fast_leak - 1.90).abs() < 0.25,
+        "fast leakage ratio = {fast_leak}"
+    );
+    assert!(
+        (slow_leak - 0.699).abs() < 0.08,
+        "slow leakage ratio = {slow_leak}"
+    );
     let fast_mct = fast.mct_ns / nominal.mct_ns;
-    assert!((fast_mct - 0.883).abs() < 0.05, "fast MCT ratio = {fast_mct}");
+    assert!(
+        (fast_mct - 0.883).abs() < 0.05,
+        "fast MCT ratio = {fast_mct}"
+    );
     // 90 nm leakage swings less than 65 nm (compare Table II vs III).
     assert!(fast_leak < 2.3);
 }
