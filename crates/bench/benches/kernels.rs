@@ -138,7 +138,11 @@ fn bench_perf(c: &mut Criterion) {
             return;
         }
     }
-    println!("INFOLINE dme_par_threads={}", dme_par::num_threads());
+    println!(
+        "INFOLINE dme_par_threads={} dme_par_parallel={}",
+        dme_par::num_threads(),
+        dme_par::parallel_enabled()
+    );
     let mut group = c.benchmark_group("perf");
     group.sample_size(20);
 

@@ -13,14 +13,21 @@ use dme_netlist::profiles;
 use dmeopt::{optimize, DmoptConfig, OptContext};
 
 fn main() {
+    let _obs = dme_bench::obs_session("ablation_prune");
     let scale = scale_arg(1.0);
-    println!("Pruning ablation on AES-65, QP objective (scale = {scale})");
+    dme_obs::report!("Pruning ablation on AES-65, QP objective (scale = {scale})");
     let tb = Testbench::prepare_scaled(&profiles::aes65(), scale);
     let ctx = OptContext::new(&tb.lib, &tb.design, &tb.placement);
     let nominal = ctx.nominal_summary();
-    println!(
+    dme_obs::report!(
         "{:>9} {:>6} {:>8} {:>10} {:>10} {:>8} {:>9}",
-        "grid(µm)", "prune", "#vars", "#rows", "Δleak(%)", "ΔMCT(%)", "time(s)"
+        "grid(µm)",
+        "prune",
+        "#vars",
+        "#rows",
+        "Δleak(%)",
+        "ΔMCT(%)",
+        "time(s)"
     );
     for g in [5.0, 10.0, 30.0] {
         for prune in [false, true] {
@@ -30,7 +37,7 @@ fn main() {
                 ..DmoptConfig::default()
             };
             match optimize(&ctx, &cfg) {
-                Ok(r) => println!(
+                Ok(r) => dme_obs::report!(
                     "{:>9.0} {:>6} {:>8} {:>10} {:>10.2} {:>8.2} {:>9.1}",
                     g,
                     prune,
@@ -40,7 +47,7 @@ fn main() {
                     imp_pct(nominal.mct_ns, r.golden_after.mct_ns),
                     r.runtime.as_secs_f64(),
                 ),
-                Err(e) => println!("{g:>9.0} {prune:>6}  FAILED: {e}"),
+                Err(e) => dme_obs::report!("{g:>9.0} {prune:>6}  FAILED: {e}"),
             }
         }
     }

@@ -15,6 +15,7 @@ use dme_netlist::profiles;
 use dmeopt::{optimize, DmoptConfig, Objective, OptContext};
 
 fn main() {
+    let _obs = dme_bench::obs_session("aclv_baseline");
     let scale = scale_arg(1.0);
     let tb = Testbench::prepare_scaled(&profiles::aes65(), scale);
     let grid = DoseGrid::with_granularity(tb.placement.die_w_um, tb.placement.die_h_um, 5.0);
@@ -25,15 +26,17 @@ fn main() {
     let before = metrics::cd_uniformity(&cd_err);
     let correction = metrics::aclv_correction(grid, &cd_err, sens, -5.0, 5.0);
     let after = metrics::cd_uniformity(&metrics::corrected_cd_err(&cd_err, &correction, sens));
-    println!("classic (design-blind) DoseMapper — ACLV correction:");
-    println!(
+    dme_obs::report!("classic (design-blind) DoseMapper — ACLV correction:");
+    dme_obs::report!(
         "  CD 3σ before: {:.3} nm, after: {:.4} nm",
-        before.three_sigma_nm, after.three_sigma_nm
+        before.three_sigma_nm,
+        after.three_sigma_nm
     );
     let fit = actuator_fit(&correction, 6, 8).expect("actuator fit");
-    println!(
+    dme_obs::report!(
         "  actuator realizability: rms residual {:.4}% / max {:.4}% of dose",
-        fit.rms_residual_pct, fit.max_residual_pct
+        fit.rms_residual_pct,
+        fit.max_residual_pct
     );
 
     // 2. Design-aware map (QCP) realizability on the same actuators.
@@ -46,8 +49,8 @@ fn main() {
     match optimize(&ctx, &cfg) {
         Ok(r) => {
             let fit = actuator_fit(&r.poly_map, 6, 8).expect("actuator fit");
-            println!("\ndesign-aware map (QCP) on the same slit/scan actuators:");
-            println!(
+            dme_obs::report!("\ndesign-aware map (QCP) on the same slit/scan actuators:");
+            dme_obs::report!(
                 "  dose range [{:.1}%, {:.1}%], rms residual {:.3}% / max {:.3}%",
                 r.poly_map
                     .dose_pct
@@ -62,9 +65,9 @@ fn main() {
                 fit.rms_residual_pct,
                 fit.max_residual_pct
             );
-            println!("  (the residual quantifies the benefit of finer-grained");
-            println!("   CD-control hardware — the Zeiss/Pixer CDC the paper cites)");
+            dme_obs::report!("  (the residual quantifies the benefit of finer-grained");
+            dme_obs::report!("   CD-control hardware — the Zeiss/Pixer CDC the paper cites)");
         }
-        Err(e) => println!("design-aware map failed: {e}"),
+        Err(e) => dme_obs::report!("design-aware map failed: {e}"),
     }
 }

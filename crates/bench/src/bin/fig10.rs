@@ -34,8 +34,9 @@ fn paths_against_orig_mct(
 }
 
 fn main() {
+    let _obs = dme_bench::obs_session("fig10");
     let scale = scale_arg(1.0);
-    println!("# Fig 10: slack profiles of AES-65 (top {TOP_K} paths, scale = {scale})");
+    dme_obs::report!("# Fig 10: slack profiles of AES-65 (top {TOP_K} paths, scale = {scale})");
     let tb = Testbench::prepare_scaled(&profiles::aes65(), scale);
     let nl = &tb.design.netlist;
     let n = nl.num_instances();
@@ -91,8 +92,8 @@ fn main() {
         .iter()
         .flat_map(|ps| ps.iter().map(|p| p.slack_ns))
         .fold(0.0f64, f64::max);
-    println!("# original MCT = {orig_mct:.4} ns; slack bins span [0, {max_slack:.4}] ns");
-    println!("bin_lo_ns,bin_hi_ns,orig,dmopt,dosepl,bias");
+    dme_obs::report!("# original MCT = {orig_mct:.4} ns; slack bins span [0, {max_slack:.4}] ns");
+    dme_obs::report!("bin_lo_ns,bin_hi_ns,orig,dmopt,dosepl,bias");
     // Shared bins across stages: slacks are measured against the original
     // MCT, so the original design pins the zero-slack edge and improved
     // stages shift mass to the right (negative numerical noise lands in
@@ -116,7 +117,7 @@ fn main() {
         .collect();
     #[allow(clippy::needless_range_loop)]
     for b in 0..BINS {
-        println!(
+        dme_obs::report!(
             "{:.4},{:.4},{},{},{},{}",
             profs[0][b].lo_ns,
             profs[0][b].hi_ns,
@@ -126,7 +127,7 @@ fn main() {
             profs[3][b].count
         );
     }
-    println!(
+    dme_obs::report!(
         "# worst path delay: orig {:.4}, dmopt {:.4}, dosepl {:.4}, bias {:.4} ns",
         orig.iter().map(|p| p.delay_ns).fold(0.0f64, f64::max),
         dmopt.iter().map(|p| p.delay_ns).fold(0.0f64, f64::max),

@@ -10,26 +10,27 @@
 use dme_device::{sweep, Technology};
 
 fn main() {
+    let _obs = dme_bench::obs_session("fig3to6");
     for tech in [Technology::n65(), Technology::n90()] {
-        println!("# Fig 3 ({}): delay vs gate length", tech.name);
-        println!("L_nm,TPLH_ns,TPHL_ns");
+        dme_obs::report!("# Fig 3 ({}): delay vs gate length", tech.name);
+        dme_obs::report!("L_nm,TPLH_ns,TPHL_ns");
         for p in sweep::delay_vs_gate_length(&tech) {
-            println!("{:.1},{:.6},{:.6}", p.x_nm, p.tplh_ns, p.tphl_ns);
+            dme_obs::report!("{:.1},{:.6},{:.6}", p.x_nm, p.tplh_ns, p.tphl_ns);
         }
-        println!("# Fig 4 ({}): delay vs gate-width delta", tech.name);
-        println!("dW_nm,TPLH_ns,TPHL_ns");
+        dme_obs::report!("# Fig 4 ({}): delay vs gate-width delta", tech.name);
+        dme_obs::report!("dW_nm,TPLH_ns,TPHL_ns");
         for p in sweep::delay_vs_gate_width(&tech) {
-            println!("{:.1},{:.6},{:.6}", p.x_nm, p.tplh_ns, p.tphl_ns);
+            dme_obs::report!("{:.1},{:.6},{:.6}", p.x_nm, p.tplh_ns, p.tphl_ns);
         }
-        println!("# Fig 5 ({}): leakage vs gate length", tech.name);
-        println!("L_nm,leakage_nW");
+        dme_obs::report!("# Fig 5 ({}): leakage vs gate length", tech.name);
+        dme_obs::report!("L_nm,leakage_nW");
         for p in sweep::leakage_vs_gate_length(&tech) {
-            println!("{:.1},{:.4}", p.x_nm, p.leakage_nw);
+            dme_obs::report!("{:.1},{:.4}", p.x_nm, p.leakage_nw);
         }
-        println!("# Fig 6 ({}): leakage vs gate-width delta", tech.name);
-        println!("dW_nm,leakage_nW");
+        dme_obs::report!("# Fig 6 ({}): leakage vs gate-width delta", tech.name);
+        dme_obs::report!("dW_nm,leakage_nW");
         for p in sweep::leakage_vs_gate_width(&tech) {
-            println!("{:.1},{:.4}", p.x_nm, p.leakage_nw);
+            dme_obs::report!("{:.1},{:.4}", p.x_nm, p.leakage_nw);
         }
     }
 }

@@ -9,16 +9,23 @@ use dme_bench::{scale_arg, Testbench};
 use dme_netlist::{profiles, stats};
 
 fn main() {
+    let _obs = dme_bench::obs_session("table1");
     let scale = scale_arg(1.0);
-    println!("Table I: testcase characteristics (scale = {scale})");
-    println!(
+    dme_obs::report!("Table I: testcase characteristics (scale = {scale})");
+    dme_obs::report!(
         "{:<10} {:>12} {:>10} {:>10} {:>8} {:>8} {:>10}",
-        "Design", "Size (mm^2)", "#Cells", "#Nets", "#FFs", "Levels", "AvgFanout"
+        "Design",
+        "Size (mm^2)",
+        "#Cells",
+        "#Nets",
+        "#FFs",
+        "Levels",
+        "AvgFanout"
     );
     for profile in profiles::paper_testcases() {
         let tb = Testbench::prepare_scaled(&profile, scale);
         let s = stats::compute(&tb.design.netlist);
-        println!(
+        dme_obs::report!(
             "{:<10} {:>12.3} {:>10} {:>10} {:>8} {:>8} {:>10.2}",
             profile.name,
             tb.design.profile.die_area_mm2,

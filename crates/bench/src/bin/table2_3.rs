@@ -19,10 +19,14 @@ fn sweep(tb: &Testbench, title: &str) {
         &tb.placement,
         &GeometryAssignment::nominal(n),
     );
-    println!("\n{title} ({} cells)", n);
-    println!(
+    dme_obs::report!("\n{title} ({} cells)", n);
+    dme_obs::report!(
         "{:>9} {:>10} {:>10} {:>12} {:>10}",
-        "dose(%)", "MCT(ns)", "imp(%)", "Leakage(uW)", "imp(%)"
+        "dose(%)",
+        "MCT(ns)",
+        "imp(%)",
+        "Leakage(uW)",
+        "imp(%)"
     );
     for step in -10..=10 {
         let dose_pct = step as f64 * 0.5;
@@ -33,7 +37,7 @@ fn sweep(tb: &Testbench, title: &str) {
             &tb.placement,
             &GeometryAssignment::uniform(n, dl_nm, 0.0),
         );
-        println!(
+        dme_obs::report!(
             "{:>9.1} {:>10.4} {:>10.2} {:>12.1} {:>10.2}",
             dose_pct,
             r.mct_ns,
@@ -45,8 +49,9 @@ fn sweep(tb: &Testbench, title: &str) {
 }
 
 fn main() {
+    let _obs = dme_bench::obs_session("table2_3");
     let scale = scale_arg(1.0);
-    println!("Tables II/III: uniform dose sweep (scale = {scale})");
+    dme_obs::report!("Tables II/III: uniform dose sweep (scale = {scale})");
     let aes65 = Testbench::prepare_scaled(&profiles::aes65(), scale);
     sweep(&aes65, "Table II: AES-65, poly-layer dose sweep");
     let aes90 = Testbench::prepare_scaled(&profiles::aes90(), scale);

@@ -25,7 +25,7 @@ fn run_case(profile: &DesignProfile, grids_um: &[f64], scale: f64, prune_flag: b
     let prune = prune_flag || tb.design.netlist.num_instances() > 30_000;
     let ctx = OptContext::new(&tb.lib, &tb.design, &tb.placement);
     let nominal = ctx.nominal_summary();
-    println!(
+    dme_obs::report!(
         "\n{}: nominal MCT {:.4} ns, leakage {:.1} µW ({} cells, prune = {})",
         profile.name,
         nominal.mct_ns,
@@ -33,9 +33,15 @@ fn run_case(profile: &DesignProfile, grids_um: &[f64], scale: f64, prune_flag: b
         tb.design.netlist.num_instances(),
         prune
     );
-    println!(
+    dme_obs::report!(
         "{:>9} {:>5} {:>10} {:>8} {:>12} {:>8} {:>9}",
-        "grid(µm)", "form", "MCT(ns)", "imp(%)", "Leakage(µW)", "imp(%)", "time(s)"
+        "grid(µm)",
+        "form",
+        "MCT(ns)",
+        "imp(%)",
+        "Leakage(µW)",
+        "imp(%)",
+        "time(s)"
     );
     for &g in grids_um {
         for (name, objective) in [
@@ -49,7 +55,7 @@ fn run_case(profile: &DesignProfile, grids_um: &[f64], scale: f64, prune_flag: b
                 ..DmoptConfig::default()
             };
             match optimize(&ctx, &cfg) {
-                Ok(r) => println!(
+                Ok(r) => dme_obs::report!(
                     "{:>9.0} {:>5} {:>10.4} {:>8.2} {:>12.1} {:>8.2} {:>9.1}",
                     g,
                     name,
@@ -59,13 +65,14 @@ fn run_case(profile: &DesignProfile, grids_um: &[f64], scale: f64, prune_flag: b
                     imp_pct(nominal.leakage_uw, r.golden_after.leakage_uw),
                     r.runtime.as_secs_f64(),
                 ),
-                Err(e) => println!("{g:>9.0} {name:>5}  FAILED: {e}"),
+                Err(e) => dme_obs::report!("{g:>9.0} {name:>5}  FAILED: {e}"),
             }
         }
     }
 }
 
 fn main() {
+    let _obs = dme_bench::obs_session("table4");
     let scale = scale_arg(1.0);
     let prune = std::env::args().any(|a| a == "--prune");
     // `--design <name>` restricts the run (aes65|jpeg65|aes90|jpeg90).
@@ -76,7 +83,9 @@ fn main() {
             only = args.next();
         }
     }
-    println!("Table IV: DMopt on poly layer, δ = 2, ±5% (scale = {scale}, prune = {prune})");
+    dme_obs::report!(
+        "Table IV: DMopt on poly layer, δ = 2, ±5% (scale = {scale}, prune = {prune})"
+    );
     let cases = [
         (profiles::aes65(), [5.0, 10.0, 30.0], "aes65"),
         (profiles::jpeg65(), [5.0, 10.0, 30.0], "jpeg65"),

@@ -15,13 +15,21 @@ fn run_case(profile: &DesignProfile, scale: f64) {
     let prune = tb.design.netlist.num_instances() > 30_000;
     let ctx = OptContext::new(&tb.lib, &tb.design, &tb.placement);
     let nominal = ctx.nominal_summary();
-    println!(
+    dme_obs::report!(
         "\n{}: nominal MCT {:.4} ns, leakage {:.1} µW",
-        profile.name, nominal.mct_ns, nominal.leakage_uw
+        profile.name,
+        nominal.mct_ns,
+        nominal.leakage_uw
     );
-    println!(
+    dme_obs::report!(
         "{:>9} {:>7} {:>10} {:>8} {:>12} {:>8} {:>9}",
-        "grid(µm)", "layers", "MCT(ns)", "imp(%)", "Leakage(µW)", "imp(%)", "time(s)"
+        "grid(µm)",
+        "layers",
+        "MCT(ns)",
+        "imp(%)",
+        "Leakage(µW)",
+        "imp(%)",
+        "time(s)"
     );
     for g in [5.0, 10.0, 30.0] {
         for (name, layers) in [("Lgate", Layers::PolyOnly), ("Both", Layers::PolyAndActive)] {
@@ -33,7 +41,7 @@ fn run_case(profile: &DesignProfile, scale: f64) {
                 ..DmoptConfig::default()
             };
             match optimize(&ctx, &cfg) {
-                Ok(r) => println!(
+                Ok(r) => dme_obs::report!(
                     "{:>9.0} {:>7} {:>10.4} {:>8.2} {:>12.1} {:>8.2} {:>9.1}",
                     g,
                     name,
@@ -43,15 +51,16 @@ fn run_case(profile: &DesignProfile, scale: f64) {
                     imp_pct(nominal.leakage_uw, r.golden_after.leakage_uw),
                     r.runtime.as_secs_f64(),
                 ),
-                Err(e) => println!("{g:>9.0} {name:>7}  FAILED: {e}"),
+                Err(e) => dme_obs::report!("{g:>9.0} {name:>7}  FAILED: {e}"),
             }
         }
     }
 }
 
 fn main() {
+    let _obs = dme_bench::obs_session("table5");
     let scale = scale_arg(1.0);
-    println!("Table V: QCP on poly+active layers, 65 nm designs (scale = {scale})");
+    dme_obs::report!("Table V: QCP on poly+active layers, 65 nm designs (scale = {scale})");
     run_case(&profiles::aes65(), scale);
     run_case(&profiles::jpeg65(), scale);
 }

@@ -12,11 +12,17 @@ use dme_netlist::profiles;
 use dme_sta::{analyze, report, worst_path_per_endpoint, GeometryAssignment};
 
 fn main() {
+    let _obs = dme_bench::obs_session("table7");
     let scale = scale_arg(1.0);
-    println!("Table VII: endpoint-path criticality (one worst path per endpoint, scale = {scale})");
-    println!(
+    dme_obs::report!(
+        "Table VII: endpoint-path criticality (one worst path per endpoint, scale = {scale})"
+    );
+    dme_obs::report!(
         "{:<10} {:>14} {:>14} {:>14}",
-        "Design", "95-100% MCT(%)", "90-100% MCT(%)", "80-100% MCT(%)"
+        "Design",
+        "95-100% MCT(%)",
+        "90-100% MCT(%)",
+        "80-100% MCT(%)"
     );
     for profile in profiles::paper_testcases() {
         let tb = Testbench::prepare_scaled(&profile, scale);
@@ -36,9 +42,12 @@ fn main() {
             .collect();
         let paths = worst_path_per_endpoint(&tb.design.netlist, &r, &setup);
         let pct = report::criticality_percentages(&paths, r.mct_ns, &[0.95, 0.90, 0.80]);
-        println!(
+        dme_obs::report!(
             "{:<10} {:>14.2} {:>14.2} {:>14.2}",
-            profile.name, pct[0], pct[1], pct[2]
+            profile.name,
+            pct[0],
+            pct[1],
+            pct[2]
         );
     }
 }

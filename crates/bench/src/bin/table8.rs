@@ -33,20 +33,28 @@ fn run_case(profile: &DesignProfile, scale: f64) {
             let nom = r.nominal;
             let dm = r.dmopt.golden_after;
             let dp = r.dosepl.as_ref().expect("dosePl enabled");
-            println!(
+            dme_obs::report!(
                 "\n{} ({} cells)",
                 profile.name,
                 tb.design.netlist.num_instances()
             );
-            println!(
+            dme_obs::report!(
                 "{:<14} {:>10} {:>8} {:>12} {:>8}",
-                "stage", "MCT(ns)", "imp(%)", "Leakage(µW)", "imp(%)"
+                "stage",
+                "MCT(ns)",
+                "imp(%)",
+                "Leakage(µW)",
+                "imp(%)"
             );
-            println!(
+            dme_obs::report!(
                 "{:<14} {:>10.4} {:>8} {:>12.1} {:>8}",
-                "Nom Lgate", nom.mct_ns, "-", nom.leakage_uw, "-"
+                "Nom Lgate",
+                nom.mct_ns,
+                "-",
+                nom.leakage_uw,
+                "-"
             );
-            println!(
+            dme_obs::report!(
                 "{:<14} {:>10.4} {:>8.2} {:>12.1} {:>8.2}",
                 "QCP",
                 dm.mct_ns,
@@ -54,7 +62,7 @@ fn run_case(profile: &DesignProfile, scale: f64) {
                 dm.leakage_uw,
                 imp_pct(nom.leakage_uw, dm.leakage_uw)
             );
-            println!(
+            dme_obs::report!(
                 "{:<14} {:>10.4} {:>8.2} {:>12.1} {:>8.2}   ({} swaps accepted / {} attempted, {} rounds)",
                 "dosePl",
                 dp.golden_after.mct_ns,
@@ -66,13 +74,14 @@ fn run_case(profile: &DesignProfile, scale: f64) {
                 dp.rounds_run,
             );
         }
-        Err(e) => println!("{}: FAILED: {e}", profile.name),
+        Err(e) => dme_obs::report!("{}: FAILED: {e}", profile.name),
     }
 }
 
 fn main() {
+    let _obs = dme_bench::obs_session("table8");
     let scale = scale_arg(1.0);
-    println!("Table VIII: QCP followed by dosePl, 5×5 µm² grids (scale = {scale})");
+    dme_obs::report!("Table VIII: QCP followed by dosePl, 5×5 µm² grids (scale = {scale})");
     run_case(&profiles::aes65(), scale);
     run_case(&profiles::jpeg65(), scale);
 }

@@ -34,8 +34,9 @@ fn mct_stats(mcts: &[f64]) -> (f64, f64, f64, f64) {
 }
 
 fn main() {
+    let _obs = dme_bench::obs_session("wafer_extension");
     let scale = scale_arg(0.25);
-    println!("Across-wafer extension on AES-65 (scale = {scale})");
+    dme_obs::report!("Across-wafer extension on AES-65 (scale = {scale})");
     let tb = Testbench::prepare_scaled(&profiles::aes65(), scale);
     let n = tb.design.netlist.num_instances();
     let sens = DoseSensitivity::default();
@@ -45,7 +46,7 @@ fn main() {
     let raw: Vec<f64> = fields.iter().map(|f| f.cd_err_nm).collect();
     let offsets = wafer.field_offsets(&fields, sens, -5.0, 5.0);
     let corrected = wafer.corrected_errors(&fields, &offsets, sens);
-    println!(
+    dme_obs::report!(
         "{} exposure fields; AWLV 3σ: {:.3} nm uncorrected → {:.4} nm corrected",
         fields.len(),
         metrics::cd_uniformity(&raw).three_sigma_nm,
@@ -78,9 +79,14 @@ fn main() {
         (r.mct_ns, r.total_leakage_uw)
     };
 
-    println!(
+    dme_obs::report!(
         "\n{:<34} {:>9} {:>9} {:>9} {:>9} {:>11}",
-        "policy", "MCT min", "mean", "max", "3σ", "leak(µW)"
+        "policy",
+        "MCT min",
+        "mean",
+        "max",
+        "3σ",
+        "leak(µW)"
     );
     for (name, errs, with_map) in [
         ("uncorrected", &raw, false),
@@ -91,11 +97,11 @@ fn main() {
         let mcts: Vec<f64> = results.iter().map(|r| r.0).collect();
         let leak = results.iter().map(|r| r.1).sum::<f64>() / results.len() as f64;
         let (min, mean, max, sigma) = mct_stats(&mcts);
-        println!(
+        dme_obs::report!(
             "{name:<34} {min:>9.4} {mean:>9.4} {max:>9.4} {:>9.4} {leak:>11.1}",
             3.0 * sigma
         );
     }
-    println!("\nthe wafer sellable-die story: correction collapses the MCT spread;");
-    println!("the design-aware intrafield map then moves the whole wafer faster.");
+    dme_obs::report!("\nthe wafer sellable-die story: correction collapses the MCT spread;");
+    dme_obs::report!("the design-aware intrafield map then moves the whole wafer faster.");
 }

@@ -77,7 +77,10 @@ pub fn scale_arg(default: f64) -> f64 {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: <bin> [--scale f]   with f in (0, 1]; default from DME_SCALE or built-in");
+    eprintln!(
+        "usage: <bin> [--scale f] [--trace] [--trace-json path] [--report path] [--verbose]\n\
+         with f in (0, 1]; default from DME_SCALE or built-in"
+    );
     std::process::exit(2);
 }
 
@@ -85,6 +88,72 @@ fn usage() -> ! {
 /// papers' "imp. (%)" convention.
 pub fn imp_pct(base: f64, new: f64) -> f64 {
     100.0 * (base - new) / base
+}
+
+/// RAII guard for one observed benchmark run; created by [`obs_session`].
+/// On drop it writes the run manifest (when `--report <path>` was given)
+/// and prints the end-of-run summary table to stderr.
+pub struct ObsSession {
+    report: Option<String>,
+}
+
+impl Drop for ObsSession {
+    fn drop(&mut self) {
+        if !dme_obs::enabled() {
+            return;
+        }
+        if let Some(path) = &self.report {
+            match dme_obs::write_report(path) {
+                Ok(()) => dme_obs::info!("wrote run manifest {path}"),
+                Err(e) => dme_obs::error!("writing run manifest {path}: {e}"),
+            }
+        }
+        eprint!("{}", dme_obs::summary_table());
+        dme_obs::close_trace();
+    }
+}
+
+/// Applies the observability options shared by every bench binary —
+/// `--trace` (collect telemetry), `--trace-json <path>` (stream JSONL
+/// events), `--report <path>` (write a run manifest; implies `--trace`),
+/// `--verbose` (raise the stderr log threshold to `info`) — and stamps
+/// run metadata (binary name, thread count, feature flags). Tracing can
+/// equivalently be enabled via `DME_TRACE`/`DME_TRACE_JSON`.
+///
+/// Table/figure output itself always goes to stdout; keep the returned
+/// guard alive to the end of `main` so the manifest covers the full run.
+pub fn obs_session(bin: &str) -> ObsSession {
+    let mut args = std::env::args();
+    let mut report = None;
+    let mut trace = false;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--trace" => trace = true,
+            "--trace-json" => {
+                if let Some(path) = args.next() {
+                    if let Err(e) = dme_obs::set_trace_path(&path) {
+                        dme_obs::error!("opening trace {path}: {e}");
+                    }
+                }
+            }
+            "--report" => report = args.next(),
+            "--verbose" => dme_obs::set_max_level(dme_obs::Level::Info),
+            _ => {}
+        }
+    }
+    if trace || report.is_some() {
+        dme_obs::set_enabled(true);
+    }
+    if dme_obs::enabled() {
+        dme_obs::set_meta_str("bin", bin);
+        dme_obs::set_meta_num("threads", dme_par::num_threads() as f64);
+        dme_obs::set_meta_bool("feature_parallel", dme_par::parallel_enabled());
+        dme_obs::set_meta_num(
+            "manifest_schema_version",
+            f64::from(dme_obs::MANIFEST_SCHEMA_VERSION),
+        );
+    }
+    ObsSession { report }
 }
 
 #[cfg(test)]

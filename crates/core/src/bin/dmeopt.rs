@@ -14,6 +14,14 @@
 //! `generate` can also be driven from files instead of a built-in
 //! profile: `--verilog-in design.v --def-in design.def --tech 65`
 //! (for `analyze`/`optimize`/`flow`).
+//!
+//! Every subcommand also accepts the observability options `--trace`
+//! (collect in-process telemetry), `--trace-json events.jsonl` (stream
+//! JSONL trace events), `--report run.json` (write a run manifest with
+//! stage spans, solver telemetry and swap tallies; implies `--trace`)
+//! and `--verbose` (raise the stderr log threshold to `info`). The
+//! `DME_TRACE` / `DME_TRACE_JSON` / `DME_LOG` environment variables are
+//! equivalent.
 
 use dme_device::Technology;
 use dme_dosemap::io::{parse_dose_map, write_dose_map};
@@ -56,6 +64,56 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         opts.insert(k, String::new());
     }
     Ok(Args { command, opts })
+}
+
+/// Applies the observability options (see the module docs) and stamps
+/// run metadata into the manifest. Call once, right after arg parsing.
+fn init_obs(args: &Args) {
+    if let Some(path) = args.opts.get("trace-json") {
+        if path.is_empty() {
+            eprintln!("error: --trace-json requires a path");
+        } else if let Err(e) = dme_obs::set_trace_path(path) {
+            eprintln!("error: opening trace {path}: {e}");
+        }
+    }
+    if args.opts.contains_key("verbose") {
+        dme_obs::set_max_level(dme_obs::Level::Info);
+    }
+    if args.opts.contains_key("trace") || args.opts.contains_key("report") {
+        dme_obs::set_enabled(true);
+    }
+    if dme_obs::enabled() {
+        dme_obs::set_meta_str("bin", "dmeopt");
+        dme_obs::set_meta_str("command", &args.command);
+        if let Some(p) = args.opts.get("profile") {
+            dme_obs::set_meta_str("profile", p);
+        }
+        if let Some(s) = args.opts.get("scale") {
+            dme_obs::set_meta_str("scale", s);
+        }
+        dme_obs::set_meta_num("threads", dme_par::num_threads() as f64);
+        dme_obs::set_meta_bool("feature_parallel", dme_par::parallel_enabled());
+    }
+}
+
+/// Writes the `--report` manifest (if requested), prints the summary
+/// table to stderr, and closes the JSONL sink. Call once before exit.
+fn finish_obs(args: &Args) {
+    if !dme_obs::enabled() {
+        return;
+    }
+    if let Some(path) = args.opts.get("report") {
+        if path.is_empty() {
+            eprintln!("error: --report requires a path");
+        } else {
+            match dme_obs::write_report(path) {
+                Ok(()) => dme_obs::info!("wrote run manifest {path}"),
+                Err(e) => dme_obs::error!("writing run manifest {path}: {e}"),
+            }
+        }
+    }
+    eprint!("{}", dme_obs::summary_table());
+    dme_obs::close_trace();
 }
 
 fn profile_by_name(name: &str) -> Option<DesignProfile> {
@@ -118,7 +176,10 @@ fn load_bench(args: &Args) -> Result<Bench, String> {
     };
     let lib = Library::standard(tech);
     let design = gen::generate(&profile, &lib);
-    let placement = dme_placement::place(&design, &lib);
+    let placement = {
+        let _span = dme_obs::span("place");
+        dme_placement::place(&design, &lib)
+    };
     Ok(Bench {
         lib,
         design,
@@ -163,7 +224,7 @@ fn dmopt_config(args: &Args) -> Result<DmoptConfig, String> {
 
 fn cmd_generate(args: &Args) -> Result<(), String> {
     let b = load_bench(args)?;
-    println!(
+    dme_obs::report!(
         "generated {}: {} cells, {} nets, die {:.1}×{:.1} µm",
         b.design.profile.name,
         b.design.netlist.num_instances(),
@@ -174,17 +235,17 @@ fn cmd_generate(args: &Args) -> Result<(), String> {
     if let Some(path) = args.opts.get("verilog") {
         let text = verilog::write_netlist(&b.design.netlist, &b.lib, "dme");
         std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
-        println!("wrote {path}");
+        dme_obs::report!("wrote {path}");
     }
     if let Some(path) = args.opts.get("def") {
         let text = place_io::write_placement(&b.placement, &b.design.netlist);
         std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
-        println!("wrote {path}");
+        dme_obs::report!("wrote {path}");
     }
     if let Some(path) = args.opts.get("lib") {
         let text = dme_liberty::io::write_library(&b.lib, 0.0, 0.0);
         std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
-        println!("wrote {path}");
+        dme_obs::report!("wrote {path}");
     }
     Ok(())
 }
@@ -201,9 +262,12 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
         }
         None => GeometryAssignment::nominal(n),
     };
-    let r = analyze(&b.lib, &b.design.netlist, &b.placement, &doses);
-    println!("MCT      : {:.4} ns", r.mct_ns);
-    println!("leakage  : {:.1} µW", r.total_leakage_uw);
+    let r = {
+        let _span = dme_obs::span("golden_sta");
+        analyze(&b.lib, &b.design.netlist, &b.placement, &doses)
+    };
+    dme_obs::report!("MCT      : {:.4} ns", r.mct_ns);
+    dme_obs::report!("leakage  : {:.1} µW", r.total_leakage_uw);
     let setup: Vec<f64> = b
         .design
         .netlist
@@ -213,48 +277,62 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
         .collect();
     let paths = dme_sta::worst_path_per_endpoint(&b.design.netlist, &r, &setup);
     let pct = dme_sta::report::criticality_percentages(&paths, r.mct_ns, &[0.95, 0.90, 0.80]);
-    println!("endpoints: {}", paths.len());
-    println!(
+    dme_obs::report!("endpoints: {}", paths.len());
+    dme_obs::report!(
         "criticality (95/90/80% of MCT): {:.2}% / {:.2}% / {:.2}%",
-        pct[0], pct[1], pct[2]
+        pct[0],
+        pct[1],
+        pct[2]
     );
-    println!("hold     : worst slack {:.4} ns", r.worst_hold_slack_ns);
+    dme_obs::report!("hold     : worst slack {:.4} ns", r.worst_hold_slack_ns);
     if let Some(path) = args.opts.get("sdf") {
         let text = dme_sta::sdf::write_sdf(&b.design.netlist, &r, "dme");
         std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
-        println!("wrote {path}");
+        dme_obs::report!("wrote {path}");
     }
     Ok(())
 }
 
 fn cmd_optimize(args: &Args) -> Result<(), String> {
     let b = load_bench(args)?;
-    let ctx = OptContext::new(&b.lib, &b.design, &b.placement);
+    let ctx = {
+        let _span = dme_obs::span("golden_sta");
+        OptContext::new(&b.lib, &b.design, &b.placement)
+    };
     let cfg = dmopt_config(args)?;
     let r = optimize(&ctx, &cfg).map_err(|e| e.to_string())?;
     let (mct_imp, leak_imp) = r.golden_after.improvement_over(&r.golden_before);
-    println!(
+    dme_obs::report!(
         "MCT      : {:.4} -> {:.4} ns ({mct_imp:+.2}%)",
-        r.golden_before.mct_ns, r.golden_after.mct_ns
+        r.golden_before.mct_ns,
+        r.golden_after.mct_ns
     );
-    println!(
+    dme_obs::report!(
         "leakage  : {:.1} -> {:.1} µW ({leak_imp:+.2}%)",
-        r.golden_before.leakage_uw, r.golden_after.leakage_uw
+        r.golden_before.leakage_uw,
+        r.golden_after.leakage_uw
     );
-    println!(
+    dme_obs::report!(
         "solver   : {} vars, {} rows, {} iterations, {} probe(s), {:.2?}",
-        r.num_vars, r.num_constraints, r.iterations, r.probes, r.runtime
+        r.num_vars,
+        r.num_constraints,
+        r.iterations,
+        r.probes,
+        r.runtime
     );
     if let Some(path) = args.opts.get("dosemap-out") {
         std::fs::write(path, write_dose_map(&r.poly_map)).map_err(|e| format!("{path}: {e}"))?;
-        println!("wrote {path}");
+        dme_obs::report!("wrote {path}");
     }
     Ok(())
 }
 
 fn cmd_flow(args: &Args) -> Result<(), String> {
     let b = load_bench(args)?;
-    let ctx = OptContext::new(&b.lib, &b.design, &b.placement);
+    let ctx = {
+        let _span = dme_obs::span("golden_sta");
+        OptContext::new(&b.lib, &b.design, &b.placement)
+    };
     let mut cfg = FlowConfig {
         dmopt: dmopt_config(args)?,
         dosepl: Some(DoseplConfig::default()),
@@ -266,18 +344,22 @@ fn cmd_flow(args: &Args) -> Result<(), String> {
         }
     }
     let r = run_flow(&ctx, &cfg).map_err(|e| e.to_string())?;
-    println!(
+    dme_obs::report!(
         "nominal   : MCT {:.4} ns, leakage {:.1} µW",
-        r.nominal.mct_ns, r.nominal.leakage_uw
+        r.nominal.mct_ns,
+        r.nominal.leakage_uw
     );
-    println!(
+    dme_obs::report!(
         "after QCP : MCT {:.4} ns, leakage {:.1} µW",
-        r.dmopt.golden_after.mct_ns, r.dmopt.golden_after.leakage_uw
+        r.dmopt.golden_after.mct_ns,
+        r.dmopt.golden_after.leakage_uw
     );
     if let Some(dp) = &r.dosepl {
-        println!(
+        dme_obs::report!(
             "after dosePl: MCT {:.4} ns, leakage {:.1} µW ({} swaps accepted)",
-            dp.golden_after.mct_ns, dp.golden_after.leakage_uw, dp.swaps_accepted
+            dp.golden_after.mct_ns,
+            dp.golden_after.leakage_uw,
+            dp.swaps_accepted
         );
     }
     Ok(())
@@ -291,7 +373,9 @@ const USAGE: &str = "usage: dmeopt <generate|analyze|optimize|flow> [options]
   optimize: [--objective leakage|timing] [--xi-uw x] [--grid g]
             [--layers poly|both] [--prune] [--hold-margin-ns h]
             [--dosemap-out map.csv]
-  flow    : [--grid g] [--top-k k]";
+  flow    : [--grid g] [--top-k k]
+  observability (all subcommands): [--trace] [--trace-json events.jsonl]
+          [--report run.json] [--verbose]";
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -302,6 +386,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    init_obs(&args);
     let result = match args.command.as_str() {
         "generate" => cmd_generate(&args),
         "analyze" => cmd_analyze(&args),
@@ -309,6 +394,7 @@ fn main() -> ExitCode {
         "flow" => cmd_flow(&args),
         other => Err(format!("unknown subcommand {other:?}")),
     };
+    finish_obs(&args);
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

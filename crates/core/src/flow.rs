@@ -45,6 +45,7 @@ impl FlowResult {
 /// Propagates any [`DmoptError`] from the DMopt stage (dosePl cannot
 /// fail: it simply accepts no swaps).
 pub fn run(ctx: &OptContext<'_>, cfg: &FlowConfig) -> Result<FlowResult, DmoptError> {
+    let _span = dme_obs::span("flow");
     let dmopt_result = optimize(ctx, &cfg.dmopt)?;
     let dosepl_result = cfg.dosepl.as_ref().map(|dcfg| {
         dosepl(

@@ -30,9 +30,48 @@ impl Default for SolverKind {
     }
 }
 
+/// Streams IPM telemetry into the observability registry: one `ipm_iter`
+/// record per Newton iteration (the convergence trajectory — µ, primal/
+/// dual residuals, σ, α) plus CG effort counters and a per-solve CG
+/// iteration histogram. Only used when tracing is enabled.
+struct ObsSolverObserver;
+
+impl dme_qp::SolverObserver for ObsSolverObserver {
+    fn ipm_iteration(&mut self, it: &dme_qp::IpmIteration) {
+        dme_obs::record(
+            "ipm_iter",
+            &[
+                ("iter", it.iter as f64),
+                ("mu", it.mu),
+                ("rp_inf", it.primal_residual),
+                ("rd_inf", it.dual_residual),
+                ("sigma", it.sigma),
+                ("alpha", it.alpha),
+                ("cg_pred", it.cg_iters_predictor as f64),
+                ("cg_corr", it.cg_iters_corrector as f64),
+            ],
+        );
+        dme_obs::counter_add("qp/ipm_iterations", 1);
+    }
+
+    fn cg_solve(&mut self, cg: &dme_qp::CgSolve) {
+        dme_obs::counter_add("qp/cg_solves", 1);
+        dme_obs::counter_add("qp/cg_iterations", cg.iterations as u64);
+        dme_obs::histogram_record("qp/cg_iters_per_solve", cg.iterations as u64);
+    }
+}
+
 fn solve_with(kind: &SolverKind, qp: &QuadProgram) -> Result<Solution, dme_qp::SolveError> {
+    let _span = dme_obs::span("solve");
+    dme_obs::counter_add("qp/solves", 1);
     match kind {
-        SolverKind::Ipm(st) => IpmSolver::new(st.clone()).solve(qp),
+        SolverKind::Ipm(st) => {
+            if dme_obs::enabled() {
+                IpmSolver::new(st.clone()).solve_observed(qp, &mut ObsSolverObserver)
+            } else {
+                IpmSolver::new(st.clone()).solve(qp)
+            }
+        }
         SolverKind::Admm(st) => AdmmSolver::new(st.clone()).solve(qp),
     }
 }
@@ -210,6 +249,7 @@ pub fn surrogate_mct(ctx: &OptContext<'_>, dp_pct: f64, da_pct: f64, ds: f64) ->
 /// [`DmoptError::Infeasible`] when no dose map satisfies the constraints,
 /// and [`DmoptError::Solver`] on numerical failure.
 pub fn optimize(ctx: &OptContext<'_>, cfg: &DmoptConfig) -> Result<DmoptResult, DmoptError> {
+    let _span = dme_obs::span("dmopt");
     let t0 = Instant::now();
     if cfg.dose_lo_pct > cfg.dose_hi_pct {
         return Err(DmoptError::Config("dose_lo_pct > dose_hi_pct".into()));
@@ -270,7 +310,10 @@ pub fn optimize(ctx: &OptContext<'_>, cfg: &DmoptConfig) -> Result<DmoptResult, 
         elastic_weight,
         hold_margin_ns: cfg.hold_margin_ns,
     };
-    let mut form = Formulation::build(ctx, &grid, &params);
+    let mut form = {
+        let _s = dme_obs::span("formulate");
+        Formulation::build(ctx, &grid, &params)
+    };
     let num_vars = form.qp.num_vars();
     let num_constraints = form.qp.num_constraints();
     let num_kept = form.num_kept;
@@ -340,6 +383,7 @@ pub fn optimize(ctx: &OptContext<'_>, cfg: &DmoptConfig) -> Result<DmoptResult, 
 
     // --- extract, snap, apply (golden signoff) ---
     let extract = |form: &Formulation, x: &[f64]| {
+        let _s = dme_obs::span("snap_signoff");
         let mut poly_map = DoseMap::from_values(grid, form.poly_doses(x));
         poly_map.snap_to_step(cfg.snap_step_pct);
         let active_map = if active {
@@ -383,6 +427,8 @@ pub fn optimize(ctx: &OptContext<'_>, cfg: &DmoptConfig) -> Result<DmoptResult, 
         }
     }
     let surrogate_delta_leakage_uw = ctx.surrogate_leakage_delta_nw(&assignment) / 1000.0;
+    dme_obs::counter_add("dmopt/qp_probes", probes as u64);
+    dme_obs::counter_add("dmopt/solver_iterations", iterations as u64);
 
     Ok(DmoptResult {
         poly_map,

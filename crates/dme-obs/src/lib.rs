@@ -1,0 +1,220 @@
+//! Vendored offline observability for the DME workspace.
+//!
+//! This crate provides the four primitives the DMopt/dosePl flow
+//! reports through, with **zero external dependencies** (the build
+//! environment has no crates.io access):
+//!
+//! - **Spans** ([`span`]): RAII wall-clock timers that nest into
+//!   `/`-separated hierarchical paths (`flow/dmopt/solve`).
+//! - **Counters** ([`counter_add`]): monotonic `u64` tallies.
+//! - **Histograms** ([`histogram_record`]): fixed power-of-two-bucket
+//!   distributions (retime cone sizes, CG iteration counts).
+//! - **Records** ([`record`]): bounded per-kind series of structured
+//!   rows (one row per IPM Newton iteration).
+//!
+//! Everything funnels into a thread-safe in-memory registry that can
+//! be exported as a JSON run manifest ([`manifest_json`],
+//! [`write_report`]) or rendered as a human-readable summary
+//! ([`summary_table`]). When a JSONL sink is open, each event is also
+//! streamed to disk as it happens.
+//!
+//! # Cost model
+//!
+//! Tracing is **off by default**. Every public entry point starts with
+//! [`enabled`] — one lazily-initialized relaxed atomic load — and a
+//! disabled [`Span`] is an `Option::None` guard: no clock read, no
+//! thread-local access, no heap allocation (enforced by the
+//! `no_alloc` integration test).
+//!
+//! # Environment variables
+//!
+//! | Variable         | Effect                                             |
+//! |------------------|----------------------------------------------------|
+//! | `DME_TRACE=1`    | Enable telemetry collection (registry only).       |
+//! | `DME_TRACE_JSON=<path>` | Enable telemetry and stream JSONL events to `<path>`. |
+//! | `DME_LOG=<level>`| stderr diagnostics threshold: `error`, `warn` (default), `info`, `debug`. |
+
+#![deny(missing_docs)]
+
+pub mod json;
+pub mod log;
+mod manifest;
+mod registry;
+pub(crate) mod sink;
+mod span;
+
+pub use log::{level_enabled, set_max_level, Level};
+pub use manifest::{
+    manifest_json, set_meta_bool, set_meta_num, set_meta_str, summary_table, write_report,
+    MetaValue, MANIFEST_SCHEMA_VERSION,
+};
+pub use registry::{Histogram, RecordSeries, SpanStats, HISTOGRAM_BUCKETS, RECORD_CAP};
+pub use sink::TRACE_SCHEMA_VERSION;
+pub use span::{depth, Span};
+
+use registry::Registry;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Once, OnceLock};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static ENV_INIT: Once = Once::new();
+
+fn env_truthy(name: &str) -> bool {
+    std::env::var(name).is_ok_and(|v| {
+        let v = v.trim();
+        !v.is_empty() && v != "0" && !v.eq_ignore_ascii_case("false")
+    })
+}
+
+/// Applies `DME_TRACE` / `DME_TRACE_JSON` exactly once per process.
+/// Called from [`enabled`] so binaries that never mention this crate's
+/// setup functions (e.g. tests run under `DME_TRACE=1`) still honor
+/// the environment.
+fn ensure_env_init() {
+    ENV_INIT.call_once(|| {
+        if env_truthy("DME_TRACE") {
+            ENABLED.store(true, Ordering::Relaxed);
+        }
+        if let Ok(path) = std::env::var("DME_TRACE_JSON") {
+            if !path.trim().is_empty() {
+                match sink::set_path(&path) {
+                    Ok(()) => ENABLED.store(true, Ordering::Relaxed),
+                    Err(e) => eprintln!("[dme error] DME_TRACE_JSON={path}: {e}"),
+                }
+            }
+        }
+    });
+}
+
+/// Whether telemetry collection is on. This is the hot-path gate: a
+/// `Once` fast-path check plus one relaxed atomic load.
+#[inline]
+pub fn enabled() -> bool {
+    ensure_env_init();
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns telemetry collection on or off programmatically (overrides
+/// the environment; used by `--trace`/`--report` CLI flags).
+pub fn set_enabled(on: bool) {
+    ensure_env_init();
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Opens (or replaces) the JSONL event sink at `path` and enables
+/// telemetry.
+///
+/// # Errors
+///
+/// Propagates the filesystem error if the file cannot be created.
+pub fn set_trace_path(path: &str) -> std::io::Result<()> {
+    ensure_env_init();
+    sink::set_path(path)?;
+    ENABLED.store(true, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Closes the JSONL sink (flushing it); telemetry collection stays in
+/// whatever state it was.
+pub fn close_trace() {
+    sink::close();
+}
+
+/// Whether a JSONL sink is currently open.
+pub fn sink_open() -> bool {
+    sink::is_open()
+}
+
+pub(crate) fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+/// Opens a timing span named `name`, nested under any span already
+/// open on this thread. Returns an inert guard when tracing is off.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if enabled() {
+        Span::enter(name)
+    } else {
+        Span::disabled()
+    }
+}
+
+/// Adds `delta` to the monotonic counter `name` (no-op when tracing is
+/// off).
+#[inline]
+pub fn counter_add(name: &'static str, delta: u64) {
+    if enabled() {
+        registry().counter_add(name, delta);
+    }
+}
+
+/// Records `value` into the power-of-two histogram `name` (no-op when
+/// tracing is off).
+#[inline]
+pub fn histogram_record(name: &'static str, value: u64) {
+    if enabled() {
+        registry().histogram_record(name, value);
+    }
+}
+
+/// Appends one structured row to the record series `kind` (no-op when
+/// tracing is off). Series are bounded at [`RECORD_CAP`] rows; the
+/// overflow count is reported, never silently discarded.
+#[inline]
+pub fn record(kind: &'static str, fields: &[(&'static str, f64)]) {
+    if enabled() {
+        registry().record(kind, fields);
+        sink::emit_record(kind, fields);
+    }
+}
+
+/// Current value of counter `name` (0 if never touched).
+pub fn counter_value(name: &str) -> u64 {
+    registry()
+        .counters
+        .lock()
+        .expect("counters poisoned")
+        .get(name)
+        .copied()
+        .unwrap_or(0)
+}
+
+/// Aggregate stats for the span path `path`, if it ever completed.
+pub fn span_stats(path: &str) -> Option<SpanStats> {
+    registry()
+        .spans
+        .lock()
+        .expect("spans poisoned")
+        .get(path)
+        .copied()
+}
+
+/// Snapshot of histogram `name`, if any value was recorded.
+pub fn histogram_snapshot(name: &str) -> Option<Histogram> {
+    registry()
+        .histograms
+        .lock()
+        .expect("histograms poisoned")
+        .get(name)
+        .cloned()
+}
+
+/// Snapshot of the record series `kind`, if any row was emitted.
+pub fn record_series(kind: &str) -> Option<RecordSeries> {
+    registry()
+        .records
+        .lock()
+        .expect("records poisoned")
+        .get(kind)
+        .cloned()
+}
+
+/// Clears the registry and manifest metadata (telemetry enablement and
+/// the sink are untouched). Intended for tests and for separating
+/// phases within one process.
+pub fn reset() {
+    registry().reset();
+    manifest::reset_meta();
+}

@@ -1,0 +1,129 @@
+//! Leveled diagnostics logging and the `report!` program-output macro.
+//!
+//! Diagnostics (`error!`/`warn!`/`info!`/`debug!`) go to **stderr**,
+//! filtered by `DME_LOG` (default `warn`, so runs are quiet unless
+//! something is wrong). Program deliverables — result tables and the
+//! machine-parsed `WORKLINE`/`BENCHLINE`/`INFOLINE` lines — use
+//! [`report!`](crate::report), which always prints to **stdout**.
+//! Both are mirrored into the JSONL sink when one is open, so a trace
+//! file is a complete account of the run.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Severity of a diagnostic line, in decreasing order of urgency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// The run cannot produce its result.
+    Error = 0,
+    /// Suspicious but survivable (the default visibility threshold).
+    Warn = 1,
+    /// Progress and configuration notes.
+    Info = 2,
+    /// High-volume inner-loop detail.
+    Debug = 3,
+}
+
+impl Level {
+    /// Lower-case name as it appears in `DME_LOG` and trace events.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" | "e" | "0" => Some(Level::Error),
+            "warn" | "warning" | "w" | "1" => Some(Level::Warn),
+            "info" | "i" | "2" => Some(Level::Info),
+            "debug" | "d" | "3" | "trace" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+}
+
+/// 255 = not yet initialized from the environment.
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(255);
+
+fn max_level() -> Level {
+    match MAX_LEVEL.load(Ordering::Relaxed) {
+        255 => {
+            let lvl = std::env::var("DME_LOG")
+                .ok()
+                .and_then(|s| Level::parse(&s))
+                .unwrap_or(Level::Warn);
+            MAX_LEVEL.store(lvl as u8, Ordering::Relaxed);
+            lvl
+        }
+        0 => Level::Error,
+        1 => Level::Warn,
+        2 => Level::Info,
+        _ => Level::Debug,
+    }
+}
+
+/// Overrides the `DME_LOG` threshold programmatically (CLI `-v`/`-q`).
+pub fn set_max_level(level: Level) {
+    MAX_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Whether a diagnostic at `level` would currently be printed.
+pub fn level_enabled(level: Level) -> bool {
+    level <= max_level()
+}
+
+/// Backend for the logging macros; prefer the macros.
+pub fn log(level: Level, args: std::fmt::Arguments<'_>) {
+    let printed = level_enabled(level);
+    if !printed && !crate::sink_open() {
+        return;
+    }
+    let msg = args.to_string();
+    if printed {
+        eprintln!("[dme {}] {msg}", level.name());
+    }
+    crate::sink::emit_log(level.name(), &msg);
+}
+
+/// Backend for [`report!`](crate::report); prefer the macro.
+pub fn report(args: std::fmt::Arguments<'_>) {
+    let msg = args.to_string();
+    println!("{msg}");
+    crate::sink::emit_log("report", &msg);
+}
+
+/// Logs an unrecoverable problem to stderr (always visible).
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)*) => { $crate::log::log($crate::Level::Error, format_args!($($arg)*)) };
+}
+
+/// Logs a survivable anomaly to stderr (visible by default).
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => { $crate::log::log($crate::Level::Warn, format_args!($($arg)*)) };
+}
+
+/// Logs progress detail to stderr (hidden unless `DME_LOG=info`).
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => { $crate::log::log($crate::Level::Info, format_args!($($arg)*)) };
+}
+
+/// Logs inner-loop detail to stderr (hidden unless `DME_LOG=debug`).
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => { $crate::log::log($crate::Level::Debug, format_args!($($arg)*)) };
+}
+
+/// Prints program output (tables, `WORKLINE`/`BENCHLINE` records) to
+/// stdout unconditionally, mirroring it into the trace when open.
+#[macro_export]
+macro_rules! report {
+    () => { $crate::log::report(format_args!("")) };
+    ($($arg:tt)*) => { $crate::log::report(format_args!($($arg)*)) };
+}

@@ -1,0 +1,253 @@
+//! Run manifests: a single JSON document summarizing a run.
+//!
+//! The manifest gathers everything the registry accumulated — stage
+//! span timings, counters, histograms, bounded record series — plus
+//! caller-supplied metadata (binary name, thread count, feature flags,
+//! git SHA). `dmeopt --report <path>` and the bench bins write one per
+//! run; [`summary_table`] renders the same data as a human-readable
+//! end-of-run table.
+
+use crate::json;
+use crate::registry::RECORD_CAP;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+/// Version of the manifest document layout, stamped as
+/// `"schema_version"`; bumped whenever the structure changes shape.
+pub const MANIFEST_SCHEMA_VERSION: u32 = 1;
+
+/// A caller-supplied metadata value attached to the manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetaValue {
+    /// Free-form text (binary name, git SHA, feature list).
+    Str(String),
+    /// A numeric fact (thread count, scale factor).
+    Num(f64),
+    /// An on/off fact (feature flags).
+    Bool(bool),
+}
+
+static META: Mutex<BTreeMap<String, MetaValue>> = Mutex::new(BTreeMap::new());
+
+/// Attaches a string metadata entry to the next manifest.
+pub fn set_meta_str(key: &str, value: &str) {
+    META.lock()
+        .expect("meta poisoned")
+        .insert(key.to_string(), MetaValue::Str(value.to_string()));
+}
+
+/// Attaches a numeric metadata entry to the next manifest.
+pub fn set_meta_num(key: &str, value: f64) {
+    META.lock()
+        .expect("meta poisoned")
+        .insert(key.to_string(), MetaValue::Num(value));
+}
+
+/// Attaches a boolean metadata entry to the next manifest.
+pub fn set_meta_bool(key: &str, value: bool) {
+    META.lock()
+        .expect("meta poisoned")
+        .insert(key.to_string(), MetaValue::Bool(value));
+}
+
+pub(crate) fn reset_meta() {
+    META.lock().expect("meta poisoned").clear();
+}
+
+/// Serializes the current registry contents (and metadata) as one JSON
+/// manifest document.
+pub fn manifest_json() -> String {
+    let reg = crate::registry();
+    let mut s = String::with_capacity(4096);
+    let _ = write!(s, "{{\"schema_version\":{MANIFEST_SCHEMA_VERSION}");
+
+    s.push_str(",\"meta\":{");
+    {
+        let meta = META.lock().expect("meta poisoned");
+        for (i, (k, v)) in meta.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            json::write_escaped(&mut s, k);
+            s.push(':');
+            match v {
+                MetaValue::Str(t) => json::write_escaped(&mut s, t),
+                MetaValue::Num(x) => json::write_f64(&mut s, *x),
+                MetaValue::Bool(b) => s.push_str(if *b { "true" } else { "false" }),
+            }
+        }
+    }
+    s.push('}');
+
+    s.push_str(",\"spans\":{");
+    {
+        let spans = reg.spans.lock().expect("spans poisoned");
+        for (i, (path, st)) in spans.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            json::write_escaped(&mut s, path);
+            let _ = write!(
+                s,
+                ":{{\"count\":{},\"total_ns\":{},\"max_ns\":{}}}",
+                st.count, st.total_ns, st.max_ns
+            );
+        }
+    }
+    s.push('}');
+
+    s.push_str(",\"counters\":{");
+    {
+        let counters = reg.counters.lock().expect("counters poisoned");
+        for (i, (name, v)) in counters.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            json::write_escaped(&mut s, name);
+            let _ = write!(s, ":{v}");
+        }
+    }
+    s.push('}');
+
+    s.push_str(",\"histograms\":{");
+    {
+        let hists = reg.histograms.lock().expect("histograms poisoned");
+        for (i, (name, h)) in hists.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            json::write_escaped(&mut s, name);
+            let _ = write!(
+                s,
+                ":{{\"count\":{},\"sum\":{},\"max\":{},\"mean\":",
+                h.count, h.sum, h.max
+            );
+            json::write_f64(&mut s, h.mean());
+            s.push_str(",\"buckets\":[");
+            for (j, b) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "{b}");
+            }
+            s.push_str("]}");
+        }
+    }
+    s.push('}');
+
+    s.push_str(",\"records\":{");
+    {
+        let records = reg.records.lock().expect("records poisoned");
+        for (i, (kind, series)) in records.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            json::write_escaped(&mut s, kind);
+            let _ = write!(s, ":{{\"cap\":{RECORD_CAP},\"dropped\":{}", series.dropped);
+            s.push_str(",\"rows\":[");
+            for (j, row) in series.rows.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                s.push('{');
+                for (k, (name, v)) in row.iter().enumerate() {
+                    if k > 0 {
+                        s.push(',');
+                    }
+                    json::write_escaped(&mut s, name);
+                    s.push(':');
+                    json::write_f64(&mut s, *v);
+                }
+                s.push('}');
+            }
+            s.push_str("]}");
+        }
+    }
+    s.push_str("}}");
+    s
+}
+
+/// Writes [`manifest_json`] to `path`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from creating or writing the file.
+pub fn write_report(path: &str) -> std::io::Result<()> {
+    std::fs::write(path, manifest_json())
+}
+
+fn fmt_ms(ns: u64) -> String {
+    format!("{:.2}", ns as f64 / 1.0e6)
+}
+
+/// Renders the registry as a human-readable end-of-run summary table
+/// (spans sorted by total time, then counters, then histogram means).
+pub fn summary_table() -> String {
+    let reg = crate::registry();
+    let mut out = String::new();
+    out.push_str("== run summary ==\n");
+
+    let spans = reg.spans.lock().expect("spans poisoned");
+    if !spans.is_empty() {
+        let mut rows: Vec<_> = spans.iter().collect();
+        rows.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then(a.0.cmp(b.0)));
+        let w = rows.iter().map(|(p, _)| p.len()).max().unwrap_or(4).max(4);
+        let _ = writeln!(
+            out,
+            "{:<w$}  {:>6}  {:>12}  {:>12}",
+            "span", "count", "total_ms", "max_ms"
+        );
+        for (path, st) in rows {
+            let _ = writeln!(
+                out,
+                "{path:<w$}  {:>6}  {:>12}  {:>12}",
+                st.count,
+                fmt_ms(st.total_ns),
+                fmt_ms(st.max_ns)
+            );
+        }
+    }
+    drop(spans);
+
+    let counters = reg.counters.lock().expect("counters poisoned");
+    if !counters.is_empty() {
+        out.push_str("-- counters --\n");
+        let w = counters.keys().map(|k| k.len()).max().unwrap_or(4);
+        for (name, v) in counters.iter() {
+            let _ = writeln!(out, "{name:<w$}  {v}");
+        }
+    }
+    drop(counters);
+
+    let hists = reg.histograms.lock().expect("histograms poisoned");
+    if !hists.is_empty() {
+        out.push_str("-- histograms --\n");
+        let w = hists.keys().map(|k| k.len()).max().unwrap_or(4);
+        for (name, h) in hists.iter() {
+            let _ = writeln!(
+                out,
+                "{name:<w$}  count={} mean={:.1} max={}",
+                h.count,
+                h.mean(),
+                h.max
+            );
+        }
+    }
+    drop(hists);
+
+    let records = reg.records.lock().expect("records poisoned");
+    if !records.is_empty() {
+        out.push_str("-- record series --\n");
+        let w = records.keys().map(|k| k.len()).max().unwrap_or(4);
+        for (kind, series) in records.iter() {
+            let _ = writeln!(
+                out,
+                "{kind:<w$}  rows={} dropped={}",
+                series.rows.len(),
+                series.dropped
+            );
+        }
+    }
+    out
+}

@@ -1,0 +1,177 @@
+//! The in-memory telemetry registry: counters, histograms, span
+//! aggregates and bounded record series.
+//!
+//! Everything lives behind coarse mutexes keyed by name. The hot paths
+//! only reach this module when tracing is enabled ([`crate::enabled`]
+//! gates every public entry point in `lib.rs` with a single relaxed
+//! atomic load), so lock contention is a diagnostics-mode cost, not a
+//! production one. Maps are `BTreeMap` so every exported artifact is
+//! deterministically ordered.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Number of power-of-two histogram buckets: bucket `i` holds values
+/// `v` with `2^(i-1) ≤ v < 2^i` (bucket 0 holds zero), and the last
+/// bucket absorbs everything larger.
+pub const HISTOGRAM_BUCKETS: usize = 33;
+
+/// A fixed-bucket power-of-two histogram of `u64` samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Largest sample seen (0 when empty).
+    pub max: u64,
+    /// Bucket counts (see [`HISTOGRAM_BUCKETS`]).
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            count: 0,
+            sum: 0,
+            max: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    /// Index of the bucket a value falls into.
+    pub fn bucket_of(v: u64) -> usize {
+        ((64 - v.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+        self.buckets[Self::bucket_of(v)] += 1;
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Aggregate timing of one span path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Completed enter/exit pairs.
+    pub count: u64,
+    /// Total wall-clock time, ns.
+    pub total_ns: u64,
+    /// Longest single execution, ns.
+    pub max_ns: u64,
+}
+
+/// Cap on retained rows per record series; further rows are counted in
+/// [`RecordSeries::dropped`] rather than silently discarded.
+pub const RECORD_CAP: usize = 4096;
+
+/// A bounded series of structured records (e.g. one row per IPM Newton
+/// iteration).
+#[derive(Debug, Clone, Default)]
+pub struct RecordSeries {
+    /// Retained rows, in emission order (at most [`RECORD_CAP`]).
+    pub rows: Vec<Vec<(&'static str, f64)>>,
+    /// Rows dropped once the cap was reached.
+    pub dropped: u64,
+}
+
+#[derive(Default)]
+pub(crate) struct Registry {
+    pub(crate) counters: Mutex<BTreeMap<&'static str, u64>>,
+    pub(crate) histograms: Mutex<BTreeMap<&'static str, Histogram>>,
+    pub(crate) spans: Mutex<BTreeMap<String, SpanStats>>,
+    pub(crate) records: Mutex<BTreeMap<&'static str, RecordSeries>>,
+}
+
+impl Registry {
+    pub(crate) fn counter_add(&self, name: &'static str, delta: u64) {
+        let mut map = self.counters.lock().expect("counter registry poisoned");
+        *map.entry(name).or_insert(0) += delta;
+    }
+
+    pub(crate) fn histogram_record(&self, name: &'static str, value: u64) {
+        let mut map = self.histograms.lock().expect("histogram registry poisoned");
+        map.entry(name).or_default().record(value);
+    }
+
+    pub(crate) fn span_record(&self, path: &str, dur: Duration) {
+        let ns = u64::try_from(dur.as_nanos()).unwrap_or(u64::MAX);
+        let mut map = self.spans.lock().expect("span registry poisoned");
+        let s = map.entry(path.to_string()).or_default();
+        s.count += 1;
+        s.total_ns += ns;
+        s.max_ns = s.max_ns.max(ns);
+    }
+
+    pub(crate) fn record(&self, kind: &'static str, fields: &[(&'static str, f64)]) {
+        let mut map = self.records.lock().expect("record registry poisoned");
+        let series = map.entry(kind).or_default();
+        if series.rows.len() < RECORD_CAP {
+            series.rows.push(fields.to_vec());
+        } else {
+            series.dropped += 1;
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        self.counters.lock().expect("counters").clear();
+        self.histograms.lock().expect("histograms").clear();
+        self.spans.lock().expect("spans").clear();
+        self.records.lock().expect("records").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_power_of_two() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(1023), 10);
+        assert_eq!(Histogram::bucket_of(1024), 11);
+        assert_eq!(Histogram::bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        let mut h = Histogram::default();
+        for v in [0, 1, 3, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 1028);
+        assert_eq!(h.max, 1024);
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[1], 1);
+        assert_eq!(h.buckets[2], 1);
+        assert_eq!(h.buckets[11], 1);
+        assert!((h.mean() - 257.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_series_is_bounded() {
+        let r = Registry::default();
+        for i in 0..(RECORD_CAP + 10) {
+            r.record("k", &[("i", i as f64)]);
+        }
+        let map = r.records.lock().unwrap();
+        let s = &map["k"];
+        assert_eq!(s.rows.len(), RECORD_CAP);
+        assert_eq!(s.dropped, 10);
+    }
+}

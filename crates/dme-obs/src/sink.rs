@@ -1,0 +1,106 @@
+//! The JSONL event sink.
+//!
+//! When a trace path is configured (`DME_TRACE_JSON=<path>` or
+//! [`crate::set_trace_path`]), every span exit, structured record and
+//! log line is appended to the file as one self-contained JSON object
+//! per line. Lines are flushed eagerly: tracing is a diagnostics mode,
+//! and a crash mid-run must not lose the events leading up to it.
+
+use crate::json;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Version stamped into every event line as `"v"`, bumped whenever the
+/// event schema changes shape.
+pub const TRACE_SCHEMA_VERSION: u32 = 1;
+
+static SINK: Mutex<Option<BufWriter<File>>> = Mutex::new(None);
+
+/// Monotonic process-relative clock for event timestamps.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+pub(crate) fn ts_us() -> u64 {
+    u64::try_from(epoch().elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+pub(crate) fn set_path(path: &str) -> std::io::Result<()> {
+    let file = File::create(path)?;
+    *SINK.lock().expect("trace sink poisoned") = Some(BufWriter::new(file));
+    Ok(())
+}
+
+pub(crate) fn is_open() -> bool {
+    SINK.lock().expect("trace sink poisoned").is_some()
+}
+
+pub(crate) fn close() {
+    *SINK.lock().expect("trace sink poisoned") = None;
+}
+
+/// Writes one pre-serialized JSON object line to the sink, if open.
+fn emit_line(line: &str) {
+    let mut guard = SINK.lock().expect("trace sink poisoned");
+    if let Some(w) = guard.as_mut() {
+        let _ = writeln!(w, "{line}");
+        let _ = w.flush();
+    }
+}
+
+/// Starts an event object with the common envelope fields.
+fn event(kind: &str) -> String {
+    let mut s = String::with_capacity(96);
+    let _ = write!(
+        s,
+        "{{\"type\":\"{kind}\",\"v\":{TRACE_SCHEMA_VERSION},\"ts_us\":{}",
+        ts_us()
+    );
+    s
+}
+
+pub(crate) fn emit_span(path: &str, dur_ns: u64) {
+    if !is_open() {
+        return;
+    }
+    let mut s = event("span");
+    s.push_str(",\"path\":");
+    json::write_escaped(&mut s, path);
+    let _ = write!(s, ",\"dur_ns\":{dur_ns}}}");
+    emit_line(&s);
+}
+
+pub(crate) fn emit_record(kind: &str, fields: &[(&'static str, f64)]) {
+    if !is_open() {
+        return;
+    }
+    let mut s = event("record");
+    s.push_str(",\"kind\":");
+    json::write_escaped(&mut s, kind);
+    s.push_str(",\"fields\":{");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        json::write_escaped(&mut s, k);
+        s.push(':');
+        json::write_f64(&mut s, *v);
+    }
+    s.push_str("}}");
+    emit_line(&s);
+}
+
+pub(crate) fn emit_log(level: &str, msg: &str) {
+    if !is_open() {
+        return;
+    }
+    let mut s = event("log");
+    let _ = write!(s, ",\"level\":\"{level}\",\"msg\":");
+    json::write_escaped(&mut s, msg);
+    s.push('}');
+    emit_line(&s);
+}

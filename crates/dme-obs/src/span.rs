@@ -1,0 +1,77 @@
+//! Hierarchical timing spans.
+//!
+//! A [`Span`] is an RAII guard: construction notes the wall clock and
+//! pushes the span name onto a thread-local stack; drop pops it, joins
+//! the stack into a `/`-separated path (`flow/dmopt/solve`), folds the
+//! duration into the registry aggregate, and emits a JSONL event if a
+//! sink is open. When tracing is disabled the guard holds `None` — no
+//! clock read, no thread-local touch and no heap allocation.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII guard timing one named region; create via [`crate::span`].
+#[must_use = "a span measures the scope it is bound to; binding to _ drops it immediately"]
+pub struct Span {
+    active: Option<ActiveSpan>,
+}
+
+struct ActiveSpan {
+    start: Instant,
+    depth: usize,
+}
+
+impl Span {
+    pub(crate) fn disabled() -> Self {
+        Span { active: None }
+    }
+
+    pub(crate) fn enter(name: &'static str) -> Self {
+        let depth = STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            s.push(name);
+            s.len()
+        });
+        Span {
+            active: Some(ActiveSpan {
+                start: Instant::now(),
+                depth,
+            }),
+        }
+    }
+
+    /// Whether this span is actually recording (tracing was enabled at
+    /// creation time).
+    pub fn is_recording(&self) -> bool {
+        self.active.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(active) = self.active.take() else {
+            return;
+        };
+        let dur = active.start.elapsed();
+        let path = STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            // Defensive: if spans were dropped out of order, unwind to
+            // this span's depth rather than corrupting the stack.
+            s.truncate(active.depth);
+            let path = s.join("/");
+            s.pop();
+            path
+        });
+        crate::registry().span_record(&path, dur);
+        crate::sink::emit_span(&path, u64::try_from(dur.as_nanos()).unwrap_or(u64::MAX));
+    }
+}
+
+/// Current span nesting depth on this thread (0 outside any span).
+pub fn depth() -> usize {
+    STACK.with(|s| s.borrow().len())
+}

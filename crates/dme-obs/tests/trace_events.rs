@@ -1,0 +1,185 @@
+//! Integration tests for the tracing pipeline: JSONL event schema,
+//! span nesting/timing, counter aggregation across worker threads, and
+//! manifest round-tripping through the crate's own JSON parser.
+//!
+//! All tests mutate the process-global registry/sink, so they
+//! serialize on one mutex and reset state up front.
+
+use dme_obs::json::{self, Value};
+use std::sync::Mutex;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn tmp_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("dme_obs_{tag}_{}.jsonl", std::process::id()))
+}
+
+#[test]
+fn jsonl_events_match_schema() {
+    let _guard = serial();
+    dme_obs::reset();
+    let path = tmp_path("schema");
+    dme_obs::set_trace_path(path.to_str().unwrap()).unwrap();
+
+    {
+        let _outer = dme_obs::span("outer");
+        let _inner = dme_obs::span("inner");
+        dme_obs::record(
+            "ipm_iter",
+            &[("iter", 0.0), ("mu", 1.5e-3), ("rp_inf", 0.25)],
+        );
+    }
+    dme_obs::log::log(dme_obs::Level::Error, format_args!("boom {}", 42));
+    dme_obs::close_trace();
+    dme_obs::set_enabled(false);
+
+    let text = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    let mut kinds = Vec::new();
+    let mut last_ts = 0.0f64;
+    for line in text.lines() {
+        let v = json::parse(line).expect("every line is a standalone JSON object");
+        let ty = v
+            .get("type")
+            .and_then(Value::as_str)
+            .expect("type")
+            .to_string();
+        assert_eq!(
+            v.get("v").and_then(Value::as_f64),
+            Some(f64::from(dme_obs::TRACE_SCHEMA_VERSION))
+        );
+        let ts = v.get("ts_us").and_then(Value::as_f64).expect("ts_us");
+        assert!(ts >= last_ts, "timestamps are monotonic");
+        last_ts = ts;
+        match ty.as_str() {
+            "span" => {
+                assert!(v.get("path").and_then(Value::as_str).is_some());
+                assert!(v.get("dur_ns").and_then(Value::as_f64).unwrap() >= 0.0);
+            }
+            "record" => {
+                assert_eq!(v.get("kind").and_then(Value::as_str), Some("ipm_iter"));
+                let fields = v.get("fields").and_then(Value::as_object).unwrap();
+                assert_eq!(fields["mu"].as_f64(), Some(1.5e-3));
+            }
+            "log" => {
+                assert_eq!(v.get("level").and_then(Value::as_str), Some("error"));
+                assert_eq!(v.get("msg").and_then(Value::as_str), Some("boom 42"));
+            }
+            other => panic!("unknown event type {other:?}"),
+        }
+        kinds.push(ty);
+    }
+    // Inner span closes before outer; the record precedes both exits.
+    assert_eq!(kinds, ["record", "span", "span", "log"]);
+}
+
+#[test]
+fn spans_nest_and_time_monotonically() {
+    let _guard = serial();
+    dme_obs::reset();
+    dme_obs::set_enabled(true);
+
+    assert_eq!(dme_obs::depth(), 0);
+    {
+        let outer = dme_obs::span("outer");
+        assert!(outer.is_recording());
+        assert_eq!(dme_obs::depth(), 1);
+        for _ in 0..3 {
+            let _inner = dme_obs::span("inner");
+            assert_eq!(dme_obs::depth(), 2);
+            std::hint::black_box(vec![0u8; 1024]);
+        }
+    }
+    assert_eq!(dme_obs::depth(), 0);
+    dme_obs::set_enabled(false);
+
+    let outer = dme_obs::span_stats("outer").expect("outer recorded");
+    let inner = dme_obs::span_stats("outer/inner").expect("nested path recorded");
+    assert_eq!(outer.count, 1);
+    assert_eq!(inner.count, 3);
+    assert!(inner.max_ns <= inner.total_ns);
+    assert!(
+        outer.total_ns >= inner.total_ns,
+        "a parent span covers its children: outer={} inner={}",
+        outer.total_ns,
+        inner.total_ns
+    );
+    assert!(
+        dme_obs::span_stats("inner").is_none(),
+        "path is hierarchical"
+    );
+}
+
+#[test]
+fn counters_aggregate_across_worker_threads() {
+    let _guard = serial();
+    dme_obs::reset();
+    dme_obs::set_enabled(true);
+
+    const N: usize = 10_000;
+    let mut out = vec![0u64; N];
+    // Tiny grain so the pool actually splits the range across workers.
+    dme_par::par_fill(&mut out, 64, |i| {
+        dme_obs::counter_add("test/worker_increments", 1);
+        dme_obs::histogram_record("test/index", i as u64);
+        i as u64
+    });
+    dme_obs::set_enabled(false);
+
+    assert_eq!(dme_obs::counter_value("test/worker_increments"), N as u64);
+    let h = dme_obs::histogram_snapshot("test/index").unwrap();
+    assert_eq!(h.count, N as u64);
+    assert_eq!(h.sum, (N as u64) * (N as u64 - 1) / 2);
+    assert_eq!(h.max, N as u64 - 1);
+}
+
+#[test]
+fn manifest_round_trips_through_parser() {
+    let _guard = serial();
+    dme_obs::reset();
+    dme_obs::set_enabled(true);
+
+    dme_obs::set_meta_str("bin", "trace_events");
+    dme_obs::set_meta_num("threads", 3.0);
+    dme_obs::set_meta_bool("parallel", true);
+    {
+        let _s = dme_obs::span("stage");
+    }
+    dme_obs::counter_add("c", 7);
+    for i in 0..(dme_obs::RECORD_CAP + 5) {
+        dme_obs::record("r", &[("i", i as f64)]);
+    }
+    dme_obs::set_enabled(false);
+
+    let v = json::parse(&dme_obs::manifest_json()).expect("manifest parses");
+    assert_eq!(
+        v.get("schema_version").and_then(Value::as_f64),
+        Some(f64::from(dme_obs::MANIFEST_SCHEMA_VERSION))
+    );
+    let meta = v.get("meta").unwrap();
+    assert_eq!(
+        meta.get("bin").and_then(Value::as_str),
+        Some("trace_events")
+    );
+    assert_eq!(meta.get("threads").and_then(Value::as_f64), Some(3.0));
+    assert_eq!(meta.get("parallel"), Some(&Value::Bool(true)));
+
+    let stage = v.get("spans").unwrap().get("stage").unwrap();
+    assert_eq!(stage.get("count").and_then(Value::as_f64), Some(1.0));
+    assert_eq!(
+        v.get("counters").unwrap().get("c").and_then(Value::as_f64),
+        Some(7.0)
+    );
+
+    let r = v.get("records").unwrap().get("r").unwrap();
+    assert_eq!(r.get("dropped").and_then(Value::as_f64), Some(5.0));
+    let rows = r.get("rows").and_then(Value::as_array).unwrap();
+    assert_eq!(rows.len(), dme_obs::RECORD_CAP);
+    assert_eq!(rows[3].get("i").and_then(Value::as_f64), Some(3.0));
+
+    assert!(dme_obs::summary_table().contains("stage"));
+}

@@ -63,6 +63,12 @@ pub fn num_threads() -> usize {
     pool().workers + 1
 }
 
+/// Whether this build was compiled with the `parallel` feature (run
+/// manifests report this so results can be attributed to a build mode).
+pub fn parallel_enabled() -> bool {
+    cfg!(feature = "parallel")
+}
+
 /// Whether a parallel primitive over `len` elements would actually fan
 /// out right now.
 pub fn would_parallelize(len: usize, cutoff: usize) -> bool {

@@ -21,6 +21,7 @@
 //! are inert.
 
 use crate::admm::{Solution, SolveStatus};
+use crate::observer::{CgSolve, IpmIteration, NopObserver, SolverObserver};
 use crate::{CsrMatrix, QuadProgram, SolveError};
 use dme_par::vecops;
 
@@ -90,6 +91,20 @@ impl IpmSolver {
     /// Returns [`SolveError::Numerical`] if a Newton system solve produces
     /// non-finite values (e.g. `P` not PSD).
     pub fn solve(&self, qp: &QuadProgram) -> Result<Solution, SolveError> {
+        self.solve_observed(qp, &mut NopObserver)
+    }
+
+    /// Solves the program, streaming per-iteration telemetry to `obs`
+    /// (see [`SolverObserver`]).
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`IpmSolver::solve`].
+    pub fn solve_observed(
+        &self,
+        qp: &QuadProgram,
+        obs: &mut dyn SolverObserver,
+    ) -> Result<Solution, SolveError> {
         // Ruiz equilibration: mixed row/column units (ns-scale timing rows
         // against %-scale dose rows) otherwise stall the dual residual.
         let scale = crate::admm::Scaling::compute(qp, self.settings.scaling_iters);
@@ -102,7 +117,7 @@ impl IpmSolver {
             l: (0..m).map(|i| scale.e[i] * qp.l[i]).collect(),
             u: (0..m).map(|i| scale.e[i] * qp.u[i]).collect(),
         };
-        let mut sol = self.solve_scaled(&scaled)?;
+        let mut sol = self.solve_scaled(&scaled, obs)?;
         for j in 0..n {
             sol.x[j] *= scale.d[j];
         }
@@ -120,7 +135,11 @@ impl IpmSolver {
         Ok(sol)
     }
 
-    fn solve_scaled(&self, qp: &QuadProgram) -> Result<Solution, SolveError> {
+    fn solve_scaled(
+        &self,
+        qp: &QuadProgram,
+        obs: &mut dyn SolverObserver,
+    ) -> Result<Solution, SolveError> {
         let st = &self.settings;
         let n = qp.num_vars();
         let m = qp.num_constraints();
@@ -280,7 +299,7 @@ impl IpmSolver {
                                 d: &[f64],
                                 rd: &[f64],
                                 rp: &[f64]|
-             -> Result<(), SolveError> {
+             -> Result<CgSolve, SolveError> {
                 let mut t = vec![0.0f64; m];
                 for i in 0..m {
                     t[i] = g[i] + d[i] * rp[i];
@@ -302,7 +321,8 @@ impl IpmSolver {
                     cg_abs_tol,
                 )
             };
-            solve_newton(&mut cg, &mut dx, &mut rhs, &g, &d, &rd, &rp)?;
+            let cg_pred = solve_newton(&mut cg, &mut dx, &mut rhs, &g, &d, &rd, &rp)?;
+            obs.cg_solve(&cg_pred);
 
             // Recover affine Δs, Δzl, Δzu.
             let adx = a.mul_vec(&dx);
@@ -360,7 +380,8 @@ impl IpmSolver {
                 }
                 g[i] = gi;
             }
-            solve_newton(&mut cg, &mut dx, &mut rhs, &g, &d, &rd, &rp)?;
+            let cg_corr = solve_newton(&mut cg, &mut dx, &mut rhs, &g, &d, &rd, &rp)?;
+            obs.cg_solve(&cg_corr);
 
             let adx = a.mul_vec(&dx);
             let mut ds = vec![0.0f64; m];
@@ -382,6 +403,16 @@ impl IpmSolver {
             // unequal steps would inject error proportional to the (large)
             // direction magnitudes.
             let alpha = ap_step.min(ad_step);
+            obs.ipm_iteration(&IpmIteration {
+                iter,
+                mu,
+                primal_residual: final_rp,
+                dual_residual: final_rd,
+                sigma,
+                alpha,
+                cg_iters_predictor: cg_pred.iterations,
+                cg_iters_corrector: cg_corr.iterations,
+            });
             if std::env::var_os("DME_IPM_TRACE").is_some() {
                 eprintln!(
                     "ipm iter {iter:>3}: mu={mu:.3e} rp={:.2e} rd={:.2e} sigma={sigma:.2e} alpha={alpha:.3e}",
@@ -527,7 +558,7 @@ impl CgScratch {
         max_iter: usize,
         rel_tol: f64,
         abs_tol: f64,
-    ) -> Result<(), SolveError> {
+    ) -> Result<CgSolve, SolveError> {
         let n = b.len();
         let trace = std::env::var_os("DME_IPM_TRACE").is_some();
         // Jacobi preconditioner: diag(P) + Σ d_i·a_ij², stored inverted so
@@ -550,6 +581,7 @@ impl CgScratch {
         vecops::hadamard(&inv_prec, &self.r, &mut self.z);
         let mut rz = vecops::dot(&self.r, &self.z);
         self.p.copy_from_slice(&self.z);
+        let mut iterations = 0usize;
         for _ in 0..max_iter {
             let r_norm = vecops::norm2(&self.r);
             if r_norm <= (rel_tol * b_norm).min(abs_tol.max(rel_tol * b_norm * 1e-3)) {
@@ -570,6 +602,7 @@ impl CgScratch {
                 }
                 break;
             }
+            iterations += 1;
             let alpha = rz / pkp;
             vecops::cg_update(x, alpha, &self.p, &mut self.r, -alpha, &self.kp);
             vecops::hadamard(&inv_prec, &self.r, &mut self.z);
@@ -578,20 +611,19 @@ impl CgScratch {
             rz = rz_new;
             vecops::xpby(&self.z, beta, &mut self.p);
         }
+        let rel_residual = vecops::norm2(&self.r) / b_norm;
         if trace {
-            let r_norm = vecops::norm2(&self.r);
-            eprintln!(
-                "    cg: rel_res={:.2e} (b_norm={:.2e})",
-                r_norm / b_norm,
-                b_norm
-            );
+            eprintln!("    cg: rel_res={rel_residual:.2e} (b_norm={b_norm:.2e})");
         }
         if x.iter().any(|v| !v.is_finite()) {
             return Err(SolveError::Numerical(
                 "CG produced non-finite iterate".into(),
             ));
         }
-        Ok(())
+        Ok(CgSolve {
+            iterations,
+            rel_residual,
+        })
     }
 }
 
@@ -772,6 +804,53 @@ mod tests {
                 admm.x[j]
             );
         }
+    }
+
+    #[test]
+    fn observer_streams_per_iteration_telemetry() {
+        #[derive(Default)]
+        struct Collect {
+            iters: Vec<IpmIteration>,
+            cg: Vec<CgSolve>,
+        }
+        impl SolverObserver for Collect {
+            fn ipm_iteration(&mut self, it: &IpmIteration) {
+                self.iters.push(*it);
+            }
+            fn cg_solve(&mut self, cg: &CgSolve) {
+                self.cg.push(*cg);
+            }
+        }
+        let qp = QuadProgram::new(
+            CsrMatrix::diagonal(&[2.0, 2.0]),
+            vec![-2.0, -4.0],
+            CsrMatrix::from_triplets(3, 2, &[(0, 0, 1.0), (0, 1, 1.0), (1, 0, 1.0), (2, 1, 1.0)]),
+            vec![f64::NEG_INFINITY, 0.0, 0.0],
+            vec![2.0, f64::INFINITY, f64::INFINITY],
+        )
+        .unwrap();
+        let mut obs = Collect::default();
+        let s = IpmSolver::new(IpmSettings::default())
+            .solve_observed(&qp, &mut obs)
+            .expect("solve");
+        assert_eq!(s.status, SolveStatus::Solved);
+        // One record per completed Newton iteration, indexed in order,
+        // and two CG solves (predictor + corrector) per record.
+        assert_eq!(obs.iters.len(), s.iterations);
+        assert!(!obs.iters.is_empty());
+        for (k, it) in obs.iters.iter().enumerate() {
+            assert_eq!(it.iter, k);
+            assert!(it.mu.is_finite() && it.mu >= 0.0);
+            assert!(it.primal_residual.is_finite());
+            assert!(it.dual_residual.is_finite());
+            assert!((0.0..=1.0).contains(&it.alpha));
+        }
+        assert_eq!(obs.cg.len(), 2 * obs.iters.len());
+        assert!(obs.cg.iter().any(|c| c.iterations > 0));
+        // µ must shrink substantially from first to last iteration.
+        let first = obs.iters.first().unwrap().mu;
+        let last = obs.iters.last().unwrap().mu;
+        assert!(last < first, "mu did not decrease: {first} -> {last}");
     }
 
     #[test]

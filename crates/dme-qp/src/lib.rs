@@ -46,12 +46,14 @@ mod csr;
 mod error;
 mod ipm;
 pub mod lsq;
+mod observer;
 pub mod qcp;
 
 pub use admm::{AdmmSettings, AdmmSolver, Solution, SolveStatus};
 pub use csr::CsrMatrix;
 pub use error::SolveError;
 pub use ipm::{IpmSettings, IpmSolver};
+pub use observer::{CgSolve, IpmIteration, NopObserver, SolverObserver};
 
 /// A convex quadratic program `min ½·xᵀPx + qᵀx  s.t.  l ≤ Ax ≤ u`.
 ///

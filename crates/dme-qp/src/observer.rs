@@ -1,0 +1,61 @@
+//! Solver telemetry hooks.
+//!
+//! The IPM exposes its inner loop through a pure observer trait so that
+//! callers can collect per-iteration convergence telemetry without this
+//! crate depending on any tracing infrastructure. The solver invokes
+//! the hooks unconditionally; a no-op implementation ([`NopObserver`])
+//! keeps the default path free of any cost beyond a virtual call per
+//! Newton iteration (two per CG solve), which is noise next to the
+//! matrix-vector products each iteration performs.
+
+/// Telemetry for one completed Mehrotra predictor-corrector (Newton)
+/// iteration, reported just before the step is applied.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IpmIteration {
+    /// Zero-based Newton iteration index.
+    pub iter: usize,
+    /// Average complementarity gap µ at the top of the iteration.
+    pub mu: f64,
+    /// Primal residual `‖Ax − s‖∞` (scaled problem, absolute).
+    pub primal_residual: f64,
+    /// Dual residual `‖Px + q + Aᵀy‖∞` (scaled problem, absolute).
+    pub dual_residual: f64,
+    /// Mehrotra centering parameter σ chosen this iteration.
+    pub sigma: f64,
+    /// Common primal/dual step length α actually taken.
+    pub alpha: f64,
+    /// CG iterations spent on the affine predictor solve.
+    pub cg_iters_predictor: usize,
+    /// CG iterations spent on the corrector solve.
+    pub cg_iters_corrector: usize,
+}
+
+/// Telemetry for one inner conjugate-gradient solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CgSolve {
+    /// CG iterations performed.
+    pub iterations: usize,
+    /// Final relative residual `‖r‖₂ / ‖b‖₂`.
+    pub rel_residual: f64,
+}
+
+/// Receiver for solver telemetry; all methods default to no-ops so
+/// implementors override only what they consume.
+pub trait SolverObserver {
+    /// Called once per completed Newton iteration.
+    fn ipm_iteration(&mut self, it: &IpmIteration) {
+        let _ = it;
+    }
+
+    /// Called after every inner CG solve (twice per Newton iteration:
+    /// predictor then corrector).
+    fn cg_solve(&mut self, cg: &CgSolve) {
+        let _ = cg;
+    }
+}
+
+/// The do-nothing observer used by [`crate::IpmSolver::solve`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NopObserver;
+
+impl SolverObserver for NopObserver {}

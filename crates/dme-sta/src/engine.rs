@@ -264,11 +264,22 @@ pub fn analyze_with_mode(
         nl.num_instances(),
         "assignment/netlist size mismatch"
     );
+    let _span = dme_obs::span("sta_analyze");
     let tech = lib.tech();
     let wire = WireModel::for_tech(tech);
     let cache = VariantCache::new(lib);
     let n = nl.num_instances();
     let par = mode.parallel();
+    dme_obs::counter_add("sta/analyze_calls", 1);
+    dme_obs::counter_add("sta/gates_evaluated", n as u64);
+    dme_obs::counter_add(
+        if par {
+            "sta/analyze_parallel"
+        } else {
+            "sta/analyze_serial"
+        },
+        1,
+    );
 
     // --- output load per net: wire cap + sink pin caps at sink geometry ---
     let props_of = |net_idx: usize| net_props(lib, nl, placement, doses, &wire, net_idx);
@@ -294,6 +305,7 @@ pub fn analyze_with_mode(
 
     // --- forward propagation, one topological level at a time ---
     let levels = nl.topo_levels().expect("combinational cycle");
+    dme_obs::counter_add("sta/levels_evaluated", levels.levels.len() as u64);
     let mut arrival = vec![0.0f64; n];
     let mut out_slew = vec![PI_SLEW_NS; n];
     let mut in_slew = vec![PI_SLEW_NS; n];

@@ -237,6 +237,7 @@ impl<'a> IncrementalSta<'a> {
         // Propagate in depth order. Fanout always sits at strictly greater
         // depth, so by the time a gate is popped every dirty fanin has
         // settled and each gate is evaluated at most once.
+        let gates_before = self.stats.gates_retimed;
         let mut heap: BinaryHeap<Reverse<(u32, u32)>> = dirty
             .iter()
             .map(|&id| Reverse((levels.depth[id.0 as usize], id.0)))
@@ -255,6 +256,11 @@ impl<'a> IncrementalSta<'a> {
                 }
             }
         }
+        dme_obs::counter_add("sta/retime_calls", 1);
+        dme_obs::histogram_record(
+            "sta/retime_cone_gates",
+            self.stats.gates_retimed - gates_before,
+        );
 
         self.mct_ns()
     }

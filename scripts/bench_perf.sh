@@ -11,6 +11,9 @@ cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_perf.json}"
 threads="${DME_NUM_THREADS:-$(nproc)}"
+git_sha="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+git_dirty="false"
+if ! git diff --quiet HEAD 2>/dev/null; then git_dirty="true"; fi
 log="$(mktemp)"
 trap 'rm -f "$log"' EXIT
 
@@ -18,7 +21,8 @@ echo "== bench_perf: threads=$threads (nproc=$(nproc)) ==" >&2
 DME_NUM_THREADS="$threads" cargo bench --offline -p dme-bench --bench kernels -- perf/ \
     2>&1 | tee "$log" >&2
 
-NPROC="$(nproc)" THREADS="$threads" OUT="$out" python3 - "$log" <<'PY'
+NPROC="$(nproc)" THREADS="$threads" OUT="$out" GIT_SHA="$git_sha" GIT_DIRTY="$git_dirty" \
+    python3 - "$log" <<'PY'
 import json, os, sys
 
 benches, work, info = {}, {}, {}
@@ -46,6 +50,15 @@ def speedup(stem):
     return None
 
 result = {
+    "schema_version": 2,
+    "meta": {
+        "git_sha": os.environ["GIT_SHA"],
+        "git_dirty": os.environ["GIT_DIRTY"] == "true",
+        "dme_num_threads": int(os.environ["THREADS"]),
+        "features": {
+            "dme_par_parallel": info.get("dme_par_parallel", "unknown") == "true",
+        },
+    },
     "threads": int(info.get("dme_par_threads", os.environ["THREADS"])),
     "nproc": int(os.environ["NPROC"]),
     "benches": benches,

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Validates a dme-obs JSONL trace (and optionally a run manifest).
+
+Usage: scripts/validate_trace.py trace.jsonl [manifest.json]
+
+Checks every line of the trace against event schema v1 (see
+crates/dme-obs/src/sink.rs): the common envelope plus the per-type
+payload, monotonically non-decreasing timestamps, and — when a manifest
+is given — manifest schema v1 (crates/dme-obs/src/manifest.rs).
+Exits non-zero on the first violation; used by the CI trace-schema job.
+"""
+
+import json
+import sys
+
+TRACE_SCHEMA_VERSION = 1
+MANIFEST_SCHEMA_VERSION = 1
+LOG_LEVELS = {"error", "warn", "info", "debug", "report"}
+
+
+def fail(msg):
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_event(lineno, ev):
+    where = f"line {lineno}"
+    if not isinstance(ev, dict):
+        fail(f"{where}: event is not an object")
+    for key in ("type", "v", "ts_us"):
+        if key not in ev:
+            fail(f"{where}: missing envelope field {key!r}")
+    if ev["v"] != TRACE_SCHEMA_VERSION:
+        fail(f"{where}: schema version {ev['v']} != {TRACE_SCHEMA_VERSION}")
+    if not isinstance(ev["ts_us"], (int, float)) or ev["ts_us"] < 0:
+        fail(f"{where}: bad ts_us {ev['ts_us']!r}")
+    kind = ev["type"]
+    if kind == "span":
+        if not isinstance(ev.get("path"), str) or not ev["path"]:
+            fail(f"{where}: span missing path")
+        if not isinstance(ev.get("dur_ns"), (int, float)) or ev["dur_ns"] < 0:
+            fail(f"{where}: span bad dur_ns {ev.get('dur_ns')!r}")
+    elif kind == "record":
+        if not isinstance(ev.get("kind"), str) or not ev["kind"]:
+            fail(f"{where}: record missing kind")
+        fields = ev.get("fields")
+        if not isinstance(fields, dict):
+            fail(f"{where}: record missing fields object")
+        for k, v in fields.items():
+            # Non-finite values serialize as null by design.
+            if v is not None and not isinstance(v, (int, float)):
+                fail(f"{where}: record field {k!r} is not numeric: {v!r}")
+    elif kind == "log":
+        if ev.get("level") not in LOG_LEVELS:
+            fail(f"{where}: log bad level {ev.get('level')!r}")
+        if not isinstance(ev.get("msg"), str):
+            fail(f"{where}: log missing msg")
+    else:
+        fail(f"{where}: unknown event type {kind!r}")
+
+
+def check_trace(path):
+    count = 0
+    last_ts = -1
+    by_type = {}
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                ev = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(f"line {lineno}: not valid JSON: {e}")
+            check_event(lineno, ev)
+            if ev["ts_us"] < last_ts:
+                fail(f"line {lineno}: ts_us went backwards")
+            last_ts = ev["ts_us"]
+            by_type[ev["type"]] = by_type.get(ev["type"], 0) + 1
+            count += 1
+    if count == 0:
+        fail(f"{path}: no events")
+    print(f"validate_trace: {path}: {count} events OK {by_type}")
+
+
+def check_manifest(path):
+    with open(path, encoding="utf-8") as f:
+        m = json.load(f)
+    if m.get("schema_version") != MANIFEST_SCHEMA_VERSION:
+        fail(f"{path}: manifest schema_version {m.get('schema_version')!r}")
+    for key in ("meta", "spans", "counters", "histograms", "records"):
+        if not isinstance(m.get(key), dict):
+            fail(f"{path}: manifest missing object {key!r}")
+    for span, st in m["spans"].items():
+        for k in ("count", "total_ns", "max_ns"):
+            if not isinstance(st.get(k), (int, float)) or st[k] < 0:
+                fail(f"{path}: span {span!r} bad {k!r}")
+    for name, v in m["counters"].items():
+        if not isinstance(v, (int, float)) or v < 0:
+            fail(f"{path}: counter {name!r} bad value {v!r}")
+    for kind, series in m["records"].items():
+        if not isinstance(series.get("rows"), list):
+            fail(f"{path}: record series {kind!r} missing rows")
+    print(
+        f"validate_trace: {path}: manifest OK "
+        f"({len(m['spans'])} spans, {len(m['counters'])} counters, "
+        f"{sum(len(s['rows']) for s in m['records'].values())} record rows)"
+    )
+
+
+def main():
+    if len(sys.argv) < 2 or len(sys.argv) > 3:
+        print(__doc__.strip(), file=sys.stderr)
+        sys.exit(2)
+    check_trace(sys.argv[1])
+    if len(sys.argv) == 3:
+        check_manifest(sys.argv[2])
+
+
+if __name__ == "__main__":
+    main()

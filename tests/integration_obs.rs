@@ -1,0 +1,116 @@
+//! End-to-end observability: runs the `dmeopt` binary with `--report`
+//! and `--trace-json` and validates the manifest and event stream with
+//! `dme-obs`'s own JSON parser — the acceptance check that a single CLI
+//! invocation yields stage spans, per-iteration solver telemetry, and
+//! dosePl accept/reject tallies.
+
+use dme_obs::json::{parse, Value};
+use std::process::Command;
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("dme_obs_it_{}_{name}", std::process::id()))
+}
+
+#[test]
+fn flow_report_contains_stage_spans_solver_telemetry_and_tallies() {
+    let report = tmp("run.json");
+    let trace = tmp("trace.jsonl");
+    let out = Command::new(env!("CARGO_BIN_EXE_dmeopt"))
+        .args([
+            "flow",
+            "--profile",
+            "tiny",
+            "--report",
+            report.to_str().expect("utf8 path"),
+            "--trace-json",
+            trace.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("dmeopt runs");
+    assert!(
+        out.status.success(),
+        "dmeopt flow failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Stage results still reach stdout; the summary table goes to stderr.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("nominal"), "stdout: {stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("== run summary =="), "stderr: {stderr}");
+
+    let text = std::fs::read_to_string(&report).expect("manifest written");
+    let m = parse(&text).expect("manifest parses");
+    assert_eq!(m.get("schema_version").and_then(Value::as_f64), Some(1.0));
+
+    let meta = m.get("meta").expect("meta");
+    assert_eq!(meta.get("bin").and_then(Value::as_str), Some("dmeopt"));
+    assert_eq!(meta.get("command").and_then(Value::as_str), Some("flow"));
+    assert!(meta.get("threads").and_then(Value::as_f64).unwrap_or(0.0) >= 1.0);
+
+    // Stage spans for place / DMopt / dosePl / signoff.
+    let spans = m.get("spans").and_then(Value::as_object).expect("spans");
+    for path in [
+        "place",
+        "golden_sta",
+        "flow",
+        "flow/dmopt",
+        "flow/dmopt/solve",
+        "flow/dosepl",
+        "flow/dosepl/signoff",
+    ] {
+        let stats = spans.get(path).unwrap_or_else(|| panic!("span {path:?}"));
+        assert!(
+            stats.get("count").and_then(Value::as_f64).unwrap_or(0.0) >= 1.0,
+            "span {path:?} never closed"
+        );
+        let total = stats
+            .get("total_ns")
+            .and_then(Value::as_f64)
+            .unwrap_or(-1.0);
+        let max = stats.get("max_ns").and_then(Value::as_f64).unwrap_or(-1.0);
+        assert!(total >= max && max >= 0.0, "span {path:?} timing");
+    }
+
+    // IPM per-iteration residual records.
+    let rows = m
+        .get("records")
+        .and_then(|r| r.get("ipm_iter"))
+        .and_then(|r| r.get("rows"))
+        .and_then(Value::as_array)
+        .expect("ipm_iter rows");
+    assert!(!rows.is_empty(), "no IPM iterations recorded");
+    for field in ["iter", "mu", "rp_inf", "rd_inf", "cg_pred", "cg_corr"] {
+        assert!(rows[0].get(field).is_some(), "ipm_iter missing {field:?}");
+    }
+
+    // dosePl accept/reject tallies.
+    let counters = m
+        .get("counters")
+        .and_then(Value::as_object)
+        .expect("counters");
+    for name in [
+        "dosepl/swaps_attempted",
+        "dosepl/rejected_timing",
+        "dosepl/accepted_provisional",
+        "qp/ipm_iterations",
+        "sta/analyze_calls",
+    ] {
+        assert!(counters.contains_key(name), "counter {name:?} missing");
+    }
+
+    // Every JSONL event line parses and carries the v1 envelope.
+    let events = std::fs::read_to_string(&trace).expect("trace written");
+    let mut n = 0;
+    for line in events.lines().filter(|l| !l.trim().is_empty()) {
+        let ev = parse(line).expect("event parses");
+        assert_eq!(ev.get("v").and_then(Value::as_f64), Some(1.0));
+        assert!(ev.get("ts_us").and_then(Value::as_f64).is_some());
+        let ty = ev.get("type").and_then(Value::as_str).expect("type");
+        assert!(matches!(ty, "span" | "record" | "log"), "type {ty:?}");
+        n += 1;
+    }
+    assert!(n > 0, "trace stream is empty");
+
+    let _ = std::fs::remove_file(&report);
+    let _ = std::fs::remove_file(&trace);
+}
