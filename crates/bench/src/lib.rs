@@ -91,10 +91,13 @@ pub fn imp_pct(base: f64, new: f64) -> f64 {
 }
 
 /// RAII guard for one observed benchmark run; created by [`obs_session`].
-/// On drop it writes the run manifest (when `--report <path>` was given)
-/// and prints the end-of-run summary table to stderr.
+/// On drop it writes the run manifest (when `--report <path>` was
+/// given), appends a normalized QoR record to the history file (when
+/// `--qor-history <path>` was given), and prints the end-of-run summary
+/// table to stderr.
 pub struct ObsSession {
     report: Option<String>,
+    qor_history: Option<String>,
 }
 
 impl Drop for ObsSession {
@@ -102,10 +105,26 @@ impl Drop for ObsSession {
         if !dme_obs::enabled() {
             return;
         }
+        dme_obs::set_meta_str("status", "ok");
         if let Some(path) = &self.report {
             match dme_obs::write_report(path) {
                 Ok(()) => dme_obs::info!("wrote run manifest {path}"),
                 Err(e) => dme_obs::error!("writing run manifest {path}: {e}"),
+            }
+        }
+        if let Some(path) = &self.qor_history {
+            match dme_qor::normalize_manifest(&dme_obs::manifest_json()) {
+                Ok(mut rec) => {
+                    rec.ts_s = std::time::SystemTime::now()
+                        .duration_since(std::time::UNIX_EPOCH)
+                        .map(|d| d.as_secs_f64())
+                        .unwrap_or(0.0);
+                    match dme_qor::append_history(std::path::Path::new(path), &rec) {
+                        Ok(()) => dme_obs::info!("appended QoR record to {path}"),
+                        Err(e) => dme_obs::error!("appending QoR record to {path}: {e}"),
+                    }
+                }
+                Err(e) => dme_obs::error!("normalizing manifest for {path}: {e}"),
             }
         }
         eprint!("{}", dme_obs::summary_table());
@@ -116,15 +135,18 @@ impl Drop for ObsSession {
 /// Applies the observability options shared by every bench binary —
 /// `--trace` (collect telemetry), `--trace-json <path>` (stream JSONL
 /// events), `--report <path>` (write a run manifest; implies `--trace`),
-/// `--verbose` (raise the stderr log threshold to `info`) — and stamps
-/// run metadata (binary name, thread count, feature flags). Tracing can
-/// equivalently be enabled via `DME_TRACE`/`DME_TRACE_JSON`.
+/// `--qor-history <path>` (append a normalized QoR record on exit;
+/// implies `--trace`), `--verbose` (raise the stderr log threshold to
+/// `info`) — and stamps run metadata (binary name, git SHA from
+/// `DME_GIT_SHA`, thread count, feature flags). Tracing can equivalently
+/// be enabled via `DME_TRACE`/`DME_TRACE_JSON`.
 ///
 /// Table/figure output itself always goes to stdout; keep the returned
 /// guard alive to the end of `main` so the manifest covers the full run.
 pub fn obs_session(bin: &str) -> ObsSession {
     let mut args = std::env::args();
     let mut report = None;
+    let mut qor_history = None;
     let mut trace = false;
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -137,23 +159,38 @@ pub fn obs_session(bin: &str) -> ObsSession {
                 }
             }
             "--report" => report = args.next(),
+            "--qor-history" => qor_history = args.next(),
             "--verbose" => dme_obs::set_max_level(dme_obs::Level::Info),
             _ => {}
         }
     }
-    if trace || report.is_some() {
+    if trace || report.is_some() || qor_history.is_some() {
         dme_obs::set_enabled(true);
     }
     if dme_obs::enabled() {
         dme_obs::set_meta_str("bin", bin);
+        if let Ok(sha) = std::env::var("DME_GIT_SHA") {
+            if !sha.trim().is_empty() {
+                dme_obs::set_meta_str("git_sha", sha.trim());
+            }
+        }
         dme_obs::set_meta_num("threads", dme_par::num_threads() as f64);
         dme_obs::set_meta_bool("feature_parallel", dme_par::parallel_enabled());
         dme_obs::set_meta_num(
             "manifest_schema_version",
             f64::from(dme_obs::MANIFEST_SCHEMA_VERSION),
         );
+        if let Some(path) = &report {
+            dme_obs::set_report_path(path);
+        }
+        // A bench bin that panics mid-table still leaves a flushed
+        // trace and a `status: "panicked"` manifest stub.
+        dme_obs::install_panic_hook();
     }
-    ObsSession { report }
+    ObsSession {
+        report,
+        qor_history,
+    }
 }
 
 #[cfg(test)]

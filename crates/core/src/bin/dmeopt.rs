@@ -9,6 +9,7 @@
 //!                 [--objective leakage|timing] [--xi-uw 0] [--grid 5]
 //!                 [--layers poly|both] [--prune] [--dosemap-out map.csv]
 //! dmeopt flow     --profile aes65 [--scale 0.2] [--grid 5] [--top-k 1000]
+//! dmeopt qor      ingest run.json... | diff run baseline | report
 //! ```
 //!
 //! `generate` can also be driven from files instead of a built-in
@@ -21,7 +22,13 @@
 //! stage spans, solver telemetry and swap tallies; implies `--trace`)
 //! and `--verbose` (raise the stderr log threshold to `info`). The
 //! `DME_TRACE` / `DME_TRACE_JSON` / `DME_LOG` environment variables are
-//! equivalent.
+//! equivalent; `DME_GIT_SHA` stamps the manifest's `git_sha`.
+//!
+//! `qor` is the QoR regression sentinel (see `crates/dme-qor`): `ingest`
+//! normalizes run manifests into `results/qor_history.jsonl`, `diff`
+//! gates a run against a baseline with noise-aware median/MAD
+//! thresholds (exit 3 = confirmed regression), and `report` renders a
+//! self-contained HTML dashboard.
 
 use dme_device::Technology;
 use dme_dosemap::io::{parse_dose_map, write_dose_map};
@@ -35,18 +42,21 @@ use dmeopt::{optimize, DmoptConfig, DoseplConfig, Layers, Objective, OptContext}
 use std::collections::HashMap;
 use std::process::ExitCode;
 
-/// Parsed command line: a subcommand plus `--key value` options
-/// (`--flag` with no value stores an empty string).
+/// Parsed command line: a subcommand, `--key value` options (`--flag`
+/// with no value stores an empty string), and positional arguments
+/// (used by `qor` for its verb and file paths).
 #[derive(Debug, Default)]
 struct Args {
     command: String,
     opts: HashMap<String, String>,
+    positionals: Vec<String>,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut it = argv.iter();
     let command = it.next().cloned().ok_or("missing subcommand")?;
     let mut opts = HashMap::new();
+    let mut positionals = Vec::new();
     let mut key: Option<String> = None;
     for a in it {
         if let Some(k) = a.strip_prefix("--") {
@@ -57,13 +67,17 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         } else if let Some(k) = key.take() {
             opts.insert(k, a.clone());
         } else {
-            return Err(format!("unexpected positional argument {a:?}"));
+            positionals.push(a.clone());
         }
     }
     if let Some(k) = key {
         opts.insert(k, String::new());
     }
-    Ok(Args { command, opts })
+    Ok(Args {
+        command,
+        opts,
+        positionals,
+    })
 }
 
 /// Applies the observability options (see the module docs) and stamps
@@ -91,8 +105,21 @@ fn init_obs(args: &Args) {
         if let Some(s) = args.opts.get("scale") {
             dme_obs::set_meta_str("scale", s);
         }
+        if let Ok(sha) = std::env::var("DME_GIT_SHA") {
+            if !sha.trim().is_empty() {
+                dme_obs::set_meta_str("git_sha", sha.trim());
+            }
+        }
         dme_obs::set_meta_num("threads", dme_par::num_threads() as f64);
         dme_obs::set_meta_bool("feature_parallel", dme_par::parallel_enabled());
+        if let Some(path) = args.opts.get("report") {
+            if !path.is_empty() {
+                dme_obs::set_report_path(path);
+            }
+        }
+        // A crashing run must still flush its trace and leave a
+        // manifest stub (status: "panicked") at the --report path.
+        dme_obs::install_panic_hook();
     }
 }
 
@@ -106,6 +133,7 @@ fn finish_obs(args: &Args) {
         if path.is_empty() {
             eprintln!("error: --report requires a path");
         } else {
+            dme_obs::set_meta_str("status", "ok");
             match dme_obs::write_report(path) {
                 Ok(()) => dme_obs::info!("wrote run manifest {path}"),
                 Err(e) => dme_obs::error!("writing run manifest {path}: {e}"),
@@ -365,7 +393,185 @@ fn cmd_flow(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-const USAGE: &str = "usage: dmeopt <generate|analyze|optimize|flow> [options]
+/// Default committed QoR history, relative to the repo root.
+const DEFAULT_HISTORY: &str = "results/qor_history.jsonl";
+
+/// Exit code for a confirmed QoR regression (distinct from generic
+/// errors so CI can tell "the gate fired" from "the tool broke").
+const EXIT_REGRESSION: u8 = 3;
+
+/// Loads the run under test: a `.jsonl` history (its last record) or a
+/// run-manifest JSON document (normalized on the fly).
+fn qor_load_run(path: &str) -> Result<dme_qor::QorRecord, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    if path.ends_with(".jsonl") {
+        dme_qor::parse_history(&text)
+            .map_err(|e| format!("{path}: {e}"))?
+            .pop()
+            .ok_or_else(|| format!("{path}: history is empty"))
+    } else {
+        dme_qor::normalize_manifest(&text).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+/// Loads the baseline: every record of a `.jsonl` history (the diff
+/// config windows it), or a single-record baseline from one manifest.
+fn qor_load_baseline(path: &str) -> Result<Vec<dme_qor::QorRecord>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    if path.ends_with(".jsonl") {
+        dme_qor::parse_history(&text).map_err(|e| format!("{path}: {e}"))
+    } else {
+        Ok(vec![
+            dme_qor::normalize_manifest(&text).map_err(|e| format!("{path}: {e}"))?
+        ])
+    }
+}
+
+fn qor_diff_config(args: &Args) -> Result<dme_qor::DiffConfig, String> {
+    let mut cfg = dme_qor::DiffConfig::default();
+    let parse_f64 = |key: &str, target: &mut f64| -> Result<(), String> {
+        if let Some(v) = args.opts.get(key) {
+            *target = v.parse().map_err(|_| format!("bad --{key} {v:?}"))?;
+        }
+        Ok(())
+    };
+    parse_f64("k-mad", &mut cfg.k_mad)?;
+    parse_f64("min-rel", &mut cfg.min_rel)?;
+    parse_f64("time-min-rel", &mut cfg.time_min_rel)?;
+    if let Some(w) = args.opts.get("window") {
+        cfg.window = w.parse().map_err(|_| format!("bad --window {w:?}"))?;
+    }
+    Ok(cfg)
+}
+
+fn qor_ingest(args: &Args) -> Result<(), String> {
+    let manifests = &args.positionals[1..];
+    if manifests.is_empty() {
+        return Err("qor ingest requires at least one manifest path".into());
+    }
+    let history = args
+        .opts
+        .get("history")
+        .cloned()
+        .unwrap_or_else(|| DEFAULT_HISTORY.to_string());
+    for path in manifests {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let mut rec = dme_qor::normalize_manifest(&text).map_err(|e| format!("{path}: {e}"))?;
+        if let Some(sha) = args.opts.get("git-sha") {
+            rec.git_sha = sha.clone();
+        }
+        rec.ts_s = match args.opts.get("ts") {
+            Some(t) => t.parse().map_err(|_| format!("bad --ts {t:?}"))?,
+            None => std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs_f64())
+                .unwrap_or(0.0),
+        };
+        dme_qor::append_history(std::path::Path::new(&history), &rec)
+            .map_err(|e| format!("{history}: {e}"))?;
+        dme_obs::report!("qor: appended {} to {history}", rec.label());
+    }
+    Ok(())
+}
+
+fn qor_diff(args: &Args) -> Result<ExitCode, String> {
+    let [_, run_path, baseline_path] = args.positionals.as_slice() else {
+        return Err("qor diff requires exactly two paths: <run> <baseline>".into());
+    };
+    let run = qor_load_run(run_path)?;
+    let baseline = qor_load_baseline(baseline_path)?;
+    if baseline.is_empty() {
+        return Err(format!("{baseline_path}: baseline is empty"));
+    }
+    let cfg = qor_diff_config(args)?;
+    let mut report = dme_qor::diff_records(&run, &baseline, &cfg);
+    report.baseline_label = baseline_path.clone();
+    let md = dme_qor::markdown::diff_markdown(&report);
+    print!("{md}");
+    if let Some(path) = args.opts.get("md") {
+        std::fs::write(path, &md).map_err(|e| format!("{path}: {e}"))?;
+    }
+    if report.has_regression() && !args.opts.contains_key("informational") {
+        return Ok(ExitCode::from(EXIT_REGRESSION));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn qor_report(args: &Args) -> Result<(), String> {
+    let history_path = args
+        .opts
+        .get("history")
+        .cloned()
+        .unwrap_or_else(|| DEFAULT_HISTORY.to_string());
+    let text =
+        std::fs::read_to_string(&history_path).map_err(|e| format!("{history_path}: {e}"))?;
+    let history = dme_qor::parse_history(&text).map_err(|e| format!("{history_path}: {e}"))?;
+
+    let manifest_doc = match args.opts.get("manifest") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            Some(dme_obs::json::parse(&text).map_err(|e| format!("{path}: {e}"))?)
+        }
+        None => None,
+    };
+    let bench: Vec<dme_obs::json::Value> = match args.opts.get("bench-history") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            text.lines()
+                .filter(|l| !l.trim().is_empty())
+                .map(|l| dme_obs::json::parse(l).map_err(|e| format!("{path}: {e}")))
+                .collect::<Result<_, _>>()?
+        }
+        None => Vec::new(),
+    };
+    // With two or more records, embed a latest-vs-rest comparison.
+    let diff = if history.len() >= 2 {
+        let (run, base) = history.split_last().expect("len >= 2");
+        let mut d = dme_qor::diff_records(run, base, &qor_diff_config(args)?);
+        d.baseline_label = history_path.clone();
+        Some(d)
+    } else {
+        None
+    };
+    let html = dme_qor::dashboard::render(&dme_qor::dashboard::DashboardInput {
+        history: &history,
+        manifest: manifest_doc.as_ref(),
+        bench_history: &bench,
+        diff: diff.as_ref(),
+        title: "DME QoR dashboard",
+    });
+    let out = args
+        .opts
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "qor_dashboard.html".to_string());
+    std::fs::write(&out, html).map_err(|e| format!("{out}: {e}"))?;
+    dme_obs::report!("qor: wrote dashboard {out}");
+    if let Some(path) = args.opts.get("md") {
+        match &diff {
+            Some(d) => {
+                let md = dme_qor::markdown::diff_markdown(d);
+                std::fs::write(path, md).map_err(|e| format!("{path}: {e}"))?;
+                dme_obs::report!("qor: wrote markdown summary {path}");
+            }
+            None => dme_obs::warn!("--md needs at least two history records; skipped"),
+        }
+    }
+    Ok(())
+}
+
+/// `dmeopt qor <ingest|diff|report>` — the QoR regression sentinel.
+fn cmd_qor(args: &Args) -> Result<ExitCode, String> {
+    match args.positionals.first().map(String::as_str) {
+        Some("ingest") => qor_ingest(args).map(|()| ExitCode::SUCCESS),
+        Some("diff") => qor_diff(args),
+        Some("report") => qor_report(args).map(|()| ExitCode::SUCCESS),
+        Some(other) => Err(format!("unknown qor verb {other:?}")),
+        None => Err("qor requires a verb: ingest, diff or report".into()),
+    }
+}
+
+const USAGE: &str = "usage: dmeopt <generate|analyze|optimize|flow|qor> [options]
   common: --profile aes65|jpeg65|aes90|jpeg90|small|tiny [--scale f]
           or --verilog-in f.v --def-in f.def [--tech 65|90]
   generate: [--verilog out.v] [--def out.def] [--lib out.lib]
@@ -374,6 +580,12 @@ const USAGE: &str = "usage: dmeopt <generate|analyze|optimize|flow> [options]
             [--layers poly|both] [--prune] [--hold-margin-ns h]
             [--dosemap-out map.csv]
   flow    : [--grid g] [--top-k k]
+  qor     : ingest <manifest.json>... [--history h.jsonl] [--git-sha sha] [--ts secs]
+            diff <run> <baseline> [--window n] [--k-mad k] [--min-rel f]
+                 [--time-min-rel f] [--md out.md] [--informational]
+                 (exit 3 = confirmed regression)
+            report [--history h.jsonl] [--manifest run.json]
+                 [--bench-history b.jsonl] [--out dash.html] [--md out.md]
   observability (all subcommands): [--trace] [--trace-json events.jsonl]
           [--report run.json] [--verbose]";
 
@@ -387,16 +599,23 @@ fn main() -> ExitCode {
         }
     };
     init_obs(&args);
+    // Test hook: crash after observability is armed so the integration
+    // suite can verify the panic hook flushes the trace and leaves a
+    // `status: "panicked"` manifest stub.
+    if std::env::var_os("DME_TEST_PANIC").is_some() {
+        panic!("DME_TEST_PANIC set");
+    }
     let result = match args.command.as_str() {
-        "generate" => cmd_generate(&args),
-        "analyze" => cmd_analyze(&args),
-        "optimize" => cmd_optimize(&args),
-        "flow" => cmd_flow(&args),
+        "generate" => cmd_generate(&args).map(|()| ExitCode::SUCCESS),
+        "analyze" => cmd_analyze(&args).map(|()| ExitCode::SUCCESS),
+        "optimize" => cmd_optimize(&args).map(|()| ExitCode::SUCCESS),
+        "flow" => cmd_flow(&args).map(|()| ExitCode::SUCCESS),
+        "qor" => cmd_qor(&args),
         other => Err(format!("unknown subcommand {other:?}")),
     };
     finish_obs(&args);
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}\n{USAGE}");
             ExitCode::from(1)
@@ -428,9 +647,44 @@ mod tests {
     }
 
     #[test]
-    fn bad_args_are_rejected() {
+    fn bad_args_are_rejected_and_positionals_collected() {
         assert!(parse_args(&[]).is_err());
-        assert!(parse_args(&["x".into(), "stray".into()]).is_err());
+        let a = args(&["qor", "diff", "run.json", "base.jsonl", "--window", "5"]);
+        assert_eq!(a.command, "qor");
+        assert_eq!(a.positionals, ["diff", "run.json", "base.jsonl"]);
+        assert_eq!(a.opts["window"], "5");
+    }
+
+    #[test]
+    fn qor_rejects_bad_verbs_and_arities() {
+        assert!(cmd_qor(&args(&["qor"])).is_err());
+        assert!(cmd_qor(&args(&["qor", "frobnicate"])).is_err());
+        assert!(cmd_qor(&args(&["qor", "diff", "only-one.json"])).is_err());
+        assert!(cmd_qor(&args(&["qor", "ingest"])).is_err());
+    }
+
+    #[test]
+    fn qor_diff_config_maps_options() {
+        let a = args(&[
+            "qor",
+            "diff",
+            "r",
+            "b",
+            "--window",
+            "9",
+            "--k-mad",
+            "2.5",
+            "--min-rel",
+            "0.01",
+            "--time-min-rel",
+            "0.4",
+        ]);
+        let cfg = qor_diff_config(&a).expect("config");
+        assert_eq!(cfg.window, 9);
+        assert_eq!(cfg.k_mad, 2.5);
+        assert_eq!(cfg.min_rel, 0.01);
+        assert_eq!(cfg.time_min_rel, 0.4);
+        assert!(qor_diff_config(&args(&["qor", "diff", "r", "b", "--window", "x"])).is_err());
     }
 
     #[test]

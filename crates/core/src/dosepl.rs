@@ -484,6 +484,13 @@ pub fn dosepl(
         tallies.accepted_provisional as u64,
     );
     dme_obs::counter_add("dosepl/rolled_back", tallies.rolled_back as u64);
+    if dme_obs::enabled() {
+        dme_obs::set_qor("dosepl/mct_ns", golden_after.mct_ns);
+        dme_obs::set_qor("dosepl/leakage_uw", golden_after.leakage_uw);
+        dme_obs::set_qor("dosepl/swaps_accepted", swaps_accepted as f64);
+        dme_obs::set_qor("dosepl/swaps_attempted", swaps_attempted as f64);
+        dme_obs::set_qor("dosepl/incremental_work_ratio", incremental_work_ratio);
+    }
     DoseplResult {
         placement,
         assignment,

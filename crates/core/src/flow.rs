@@ -56,11 +56,28 @@ pub fn run(ctx: &OptContext<'_>, cfg: &FlowConfig) -> Result<FlowResult, DmoptEr
             dcfg,
         )
     });
-    Ok(FlowResult {
+    let result = FlowResult {
         nominal: ctx.nominal_summary(),
         dmopt: dmopt_result,
         dosepl: dosepl_result,
-    })
+    };
+    if dme_obs::enabled() {
+        // The manifest's QoR section: the deltas the paper's tables
+        // report, recorded run-over-run by dme-qor and gated in CI.
+        let final_summary = result.final_summary();
+        dme_obs::set_qor("flow/nominal_mct_ns", result.nominal.mct_ns);
+        dme_obs::set_qor("flow/nominal_leakage_uw", result.nominal.leakage_uw);
+        dme_obs::set_qor("flow/final_mct_ns", final_summary.mct_ns);
+        dme_obs::set_qor("flow/final_leakage_uw", final_summary.leakage_uw);
+        dme_obs::set_qor(
+            "flow/delta_leakage_uw",
+            final_summary.leakage_uw - result.nominal.leakage_uw,
+        );
+        // Worst negative slack of the optimized design against the
+        // nominal clock period (positive = timing improved).
+        dme_obs::set_qor("flow/wns_ns", result.nominal.mct_ns - final_summary.mct_ns);
+    }
+    Ok(result)
 }
 
 #[cfg(test)]

@@ -429,6 +429,16 @@ pub fn optimize(ctx: &OptContext<'_>, cfg: &DmoptConfig) -> Result<DmoptResult, 
     let surrogate_delta_leakage_uw = ctx.surrogate_leakage_delta_nw(&assignment) / 1000.0;
     dme_obs::counter_add("dmopt/qp_probes", probes as u64);
     dme_obs::counter_add("dmopt/solver_iterations", iterations as u64);
+    if dme_obs::enabled() {
+        let before = ctx.nominal_summary();
+        dme_obs::set_qor("dmopt/mct_ns", after.mct_ns);
+        dme_obs::set_qor("dmopt/leakage_uw", after.total_leakage_uw);
+        dme_obs::set_qor(
+            "dmopt/delta_leakage_uw",
+            after.total_leakage_uw - before.leakage_uw,
+        );
+        dme_obs::set_qor("dmopt/achieved_t_ns", solved_t.unwrap_or(after.mct_ns));
+    }
 
     Ok(DmoptResult {
         poly_map,

@@ -45,8 +45,8 @@ mod span;
 
 pub use log::{level_enabled, set_max_level, Level};
 pub use manifest::{
-    manifest_json, set_meta_bool, set_meta_num, set_meta_str, summary_table, write_report,
-    MetaValue, MANIFEST_SCHEMA_VERSION,
+    manifest_json, qor_values, report_path, set_meta_bool, set_meta_num, set_meta_str, set_qor,
+    set_report_path, summary_table, write_report, MetaValue, MANIFEST_SCHEMA_VERSION,
 };
 pub use registry::{Histogram, RecordSeries, SpanStats, HISTOGRAM_BUCKETS, RECORD_CAP};
 pub use sink::TRACE_SCHEMA_VERSION;
@@ -217,4 +217,31 @@ pub fn record_series(kind: &str) -> Option<RecordSeries> {
 pub fn reset() {
     registry().reset();
     manifest::reset_meta();
+}
+
+/// Installs a process-wide panic hook (idempotent) so a crashing run
+/// still leaves usable telemetry: the panic message is appended to the
+/// JSONL trace, the sink is flushed and closed, and — when a report path
+/// was registered via [`set_report_path`] — a manifest stub carrying
+/// everything collected up to the crash is written with
+/// `meta.status = "panicked"`. The previously installed hook (normally
+/// the default backtrace printer) still runs afterwards.
+pub fn install_panic_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if enabled() {
+                sink::emit_log("error", &format!("panic: {info}"));
+                manifest::set_meta_str("status", "panicked");
+                if let Some(path) = manifest::report_path() {
+                    if let Err(e) = manifest::write_report(&path) {
+                        eprintln!("[dme error] writing panic manifest {path}: {e}");
+                    }
+                }
+            }
+            sink::close();
+            prev(info);
+        }));
+    });
 }

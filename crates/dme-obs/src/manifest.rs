@@ -15,7 +15,8 @@ use std::sync::Mutex;
 
 /// Version of the manifest document layout, stamped as
 /// `"schema_version"`; bumped whenever the structure changes shape.
-pub const MANIFEST_SCHEMA_VERSION: u32 = 1;
+/// v2 added the top-level `"qor"` section and histogram percentiles.
+pub const MANIFEST_SCHEMA_VERSION: u32 = 2;
 
 /// A caller-supplied metadata value attached to the manifest.
 #[derive(Debug, Clone, PartialEq)]
@@ -29,6 +30,8 @@ pub enum MetaValue {
 }
 
 static META: Mutex<BTreeMap<String, MetaValue>> = Mutex::new(BTreeMap::new());
+static QOR: Mutex<BTreeMap<String, f64>> = Mutex::new(BTreeMap::new());
+static REPORT_PATH: Mutex<Option<String>> = Mutex::new(None);
 
 /// Attaches a string metadata entry to the next manifest.
 pub fn set_meta_str(key: &str, value: &str) {
@@ -51,8 +54,37 @@ pub fn set_meta_bool(key: &str, value: bool) {
         .insert(key.to_string(), MetaValue::Bool(value));
 }
 
+/// Attaches a quality-of-result metric to the next manifest's `"qor"`
+/// section. QoR values are the run-over-run comparison surface: the
+/// numbers the paper's tables report (ΔLeakage, achieved clock period,
+/// WNS) plus flow tallies (accepted swaps). `dme-qor` normalizes this
+/// section into `results/qor_history.jsonl` and gates on it.
+pub fn set_qor(key: &str, value: f64) {
+    QOR.lock()
+        .expect("qor poisoned")
+        .insert(key.to_string(), value);
+}
+
+/// Snapshot of the QoR metrics accumulated so far (key → value).
+pub fn qor_values() -> BTreeMap<String, f64> {
+    QOR.lock().expect("qor poisoned").clone()
+}
+
+/// Registers the path `write_report` will be asked to use, so the panic
+/// hook ([`crate::install_panic_hook`]) can write a manifest stub for a
+/// run that dies before its normal end-of-run reporting.
+pub fn set_report_path(path: &str) {
+    *REPORT_PATH.lock().expect("report path poisoned") = Some(path.to_string());
+}
+
+/// The report path registered via [`set_report_path`], if any.
+pub fn report_path() -> Option<String> {
+    REPORT_PATH.lock().expect("report path poisoned").clone()
+}
+
 pub(crate) fn reset_meta() {
     META.lock().expect("meta poisoned").clear();
+    QOR.lock().expect("qor poisoned").clear();
 }
 
 /// Serializes the current registry contents (and metadata) as one JSON
@@ -76,6 +108,20 @@ pub fn manifest_json() -> String {
                 MetaValue::Num(x) => json::write_f64(&mut s, *x),
                 MetaValue::Bool(b) => s.push_str(if *b { "true" } else { "false" }),
             }
+        }
+    }
+    s.push('}');
+
+    s.push_str(",\"qor\":{");
+    {
+        let qor = QOR.lock().expect("qor poisoned");
+        for (i, (k, v)) in qor.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            json::write_escaped(&mut s, k);
+            s.push(':');
+            json::write_f64(&mut s, *v);
         }
     }
     s.push('}');
@@ -120,8 +166,13 @@ pub fn manifest_json() -> String {
             json::write_escaped(&mut s, name);
             let _ = write!(
                 s,
-                ":{{\"count\":{},\"sum\":{},\"max\":{},\"mean\":",
-                h.count, h.sum, h.max
+                ":{{\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"mean\":",
+                h.count,
+                h.sum,
+                h.max,
+                h.p50(),
+                h.p95(),
+                h.p99()
             );
             json::write_f64(&mut s, h.mean());
             s.push_str(",\"buckets\":[");
@@ -210,6 +261,16 @@ pub fn summary_table() -> String {
     }
     drop(spans);
 
+    let qor = QOR.lock().expect("qor poisoned");
+    if !qor.is_empty() {
+        out.push_str("-- qor --\n");
+        let w = qor.keys().map(|k| k.len()).max().unwrap_or(4);
+        for (name, v) in qor.iter() {
+            let _ = writeln!(out, "{name:<w$}  {v:.6}");
+        }
+    }
+    drop(qor);
+
     let counters = reg.counters.lock().expect("counters poisoned");
     if !counters.is_empty() {
         out.push_str("-- counters --\n");
@@ -227,9 +288,12 @@ pub fn summary_table() -> String {
         for (name, h) in hists.iter() {
             let _ = writeln!(
                 out,
-                "{name:<w$}  count={} mean={:.1} max={}",
+                "{name:<w$}  count={} mean={:.1} p50={} p95={} p99={} max={}",
                 h.count,
                 h.mean(),
+                h.p50(),
+                h.p95(),
+                h.p99(),
                 h.max
             );
         }

@@ -62,6 +62,47 @@ impl Histogram {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Approximate value at quantile `q ∈ [0, 1]`: the upper edge of the
+    /// first bucket whose cumulative count reaches `q·count`, clamped to
+    /// the observed maximum. Resolution is therefore one power of two —
+    /// sufficient for iteration counts and cone sizes.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cum += b;
+            if cum >= rank {
+                let upper = if i == 0 {
+                    0
+                } else if i < HISTOGRAM_BUCKETS - 1 {
+                    (1u64 << i) - 1
+                } else {
+                    self.max
+                };
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate (see [`Histogram::percentile`]).
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 95th-percentile estimate (see [`Histogram::percentile`]).
+    pub fn p95(&self) -> u64 {
+        self.percentile(0.95)
+    }
+
+    /// 99th-percentile estimate (see [`Histogram::percentile`]).
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
 }
 
 /// Aggregate timing of one span path.

@@ -1,0 +1,457 @@
+//! Noise-aware run-over-run comparison.
+//!
+//! A run is compared metric-by-metric against a rolling baseline
+//! window. For each metric the baseline's **median** and **MAD**
+//! (median absolute deviation — robust to the occasional outlier run)
+//! set a regression threshold of `k·MAD`, floored by a small relative
+//! tolerance so an all-identical baseline (MAD = 0) does not flag
+//! floating-point dust, with a larger floor for wall-clock metrics
+//! which are inherently machine-noisy. Every metric carries a
+//! direction: leakage, clock period and stage time regress *upward*;
+//! accepted swaps and WNS regress *downward*.
+
+use crate::record::QorRecord;
+use std::collections::BTreeSet;
+
+/// Which way "better" points for a metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Smaller is better (leakage, clock period, wall time, iterations).
+    LowerIsBetter,
+    /// Larger is better (accepted swaps, WNS, speedups, work ratios).
+    HigherIsBetter,
+}
+
+/// Directionality by metric name. Higher-is-better names are the
+/// explicit exceptions; everything else (leakage, periods, times,
+/// iteration counts, reject tallies) regresses upward.
+pub fn metric_direction(name: &str) -> Direction {
+    const HIGHER: [&str; 5] = ["accepted", "wns", "speedup", "work_ratio", "improvement"];
+    if HIGHER.iter().any(|k| name.contains(k)) {
+        Direction::HigherIsBetter
+    } else {
+        Direction::LowerIsBetter
+    }
+}
+
+/// Per-metric comparison outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Worse than the baseline by more than the noise threshold.
+    Regressed,
+    /// Better than the baseline by more than the noise threshold.
+    Improved,
+    /// Within the noise threshold.
+    Stable,
+    /// Present in the run but absent from every baseline record.
+    New,
+    /// Present in the baseline but absent from the run.
+    Missing,
+}
+
+impl Verdict {
+    /// Lower-case name, as printed in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Verdict::Regressed => "regressed",
+            Verdict::Improved => "improved",
+            Verdict::Stable => "stable",
+            Verdict::New => "new",
+            Verdict::Missing => "missing",
+        }
+    }
+}
+
+/// Thresholding knobs. Defaults: 3×MAD, a 0.1% relative floor for
+/// deterministic metrics, a 25% floor for wall-clock metrics, and a
+/// 20-run rolling window.
+#[derive(Debug, Clone)]
+pub struct DiffConfig {
+    /// Multiple of the baseline MAD a deviation must exceed to count.
+    pub k_mad: f64,
+    /// Relative floor (fraction of |median|) for deterministic metrics.
+    pub min_rel: f64,
+    /// Relative floor for `stage_ms/` wall-clock metrics, which vary
+    /// run-to-run on real machines even when nothing changed.
+    pub time_min_rel: f64,
+    /// Absolute floor, guarding against MAD = median = 0.
+    pub min_abs: f64,
+    /// Number of most-recent baseline records considered.
+    pub window: usize,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        Self {
+            k_mad: 3.0,
+            min_rel: 0.001,
+            time_min_rel: 0.25,
+            min_abs: 1e-9,
+            window: 20,
+        }
+    }
+}
+
+/// The comparison result for one metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricVerdict {
+    /// Flattened metric name (`qor/…`, `stage_ms/…`, `counter/…`).
+    pub name: String,
+    /// Direction applied.
+    pub direction: Direction,
+    /// The run's value (`None` for [`Verdict::Missing`]).
+    pub value: Option<f64>,
+    /// Baseline median (`None` for [`Verdict::New`]).
+    pub median: Option<f64>,
+    /// Baseline MAD (`None` for [`Verdict::New`]).
+    pub mad: Option<f64>,
+    /// Signed deviation in the *worse* direction (positive = worse).
+    pub worse_by: f64,
+    /// The threshold the deviation was compared against.
+    pub threshold: f64,
+    /// The outcome.
+    pub verdict: Verdict,
+}
+
+/// A full run-vs-baseline comparison.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// Label of the run under test.
+    pub run_label: String,
+    /// Label of the baseline (file name or record label).
+    pub baseline_label: String,
+    /// Baseline records actually used (after windowing).
+    pub baseline_n: usize,
+    /// Per-metric verdicts, regressions first, then improvements, new,
+    /// missing, and stable metrics, each group sorted by name.
+    pub verdicts: Vec<MetricVerdict>,
+}
+
+impl DiffReport {
+    /// Number of metrics with the given verdict.
+    pub fn count(&self, v: Verdict) -> usize {
+        self.verdicts.iter().filter(|m| m.verdict == v).count()
+    }
+
+    /// Whether any metric regressed beyond its noise threshold.
+    pub fn has_regression(&self) -> bool {
+        self.count(Verdict::Regressed) > 0
+    }
+
+    /// The regressed metrics, worst (largest threshold-relative
+    /// deviation) first.
+    pub fn regressions(&self) -> Vec<&MetricVerdict> {
+        let mut v: Vec<_> = self
+            .verdicts
+            .iter()
+            .filter(|m| m.verdict == Verdict::Regressed)
+            .collect();
+        v.sort_by(|a, b| {
+            let ra = a.worse_by / a.threshold.max(f64::MIN_POSITIVE);
+            let rb = b.worse_by / b.threshold.max(f64::MIN_POSITIVE);
+            rb.partial_cmp(&ra).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        v
+    }
+}
+
+/// Flattens a record into `(metric name, value)` pairs: the `qor`
+/// section, per-stage times, and counters, under distinguishing
+/// prefixes.
+pub fn metrics_of(rec: &QorRecord) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for (k, v) in &rec.qor {
+        out.push((format!("qor/{k}"), *v));
+    }
+    for (k, v) in &rec.stages_ms {
+        out.push((format!("stage_ms/{k}"), *v));
+    }
+    for (k, v) in &rec.counters {
+        out.push((format!("counter/{k}"), *v));
+    }
+    out
+}
+
+fn metric_value(rec: &QorRecord, name: &str) -> Option<f64> {
+    if let Some(k) = name.strip_prefix("qor/") {
+        rec.qor.get(k).copied()
+    } else if let Some(k) = name.strip_prefix("stage_ms/") {
+        rec.stages_ms.get(k).copied()
+    } else if let Some(k) = name.strip_prefix("counter/") {
+        rec.counters.get(k).copied()
+    } else {
+        None
+    }
+}
+
+fn median_of(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    }
+}
+
+/// Median and MAD of a non-empty sample.
+fn robust_stats(values: &[f64]) -> (f64, f64) {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let med = median_of(&sorted);
+    let mut dev: Vec<f64> = sorted.iter().map(|x| (x - med).abs()).collect();
+    dev.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    (med, median_of(&dev))
+}
+
+/// Compares `run` against the last [`DiffConfig::window`] records of
+/// `baseline`, metric by metric.
+pub fn diff_records(run: &QorRecord, baseline: &[QorRecord], cfg: &DiffConfig) -> DiffReport {
+    let window_start = baseline.len().saturating_sub(cfg.window.max(1));
+    let window = &baseline[window_start..];
+
+    let mut names: BTreeSet<String> = metrics_of(run).into_iter().map(|(n, _)| n).collect();
+    for rec in window {
+        names.extend(metrics_of(rec).into_iter().map(|(n, _)| n));
+    }
+
+    let mut verdicts = Vec::with_capacity(names.len());
+    for name in names {
+        let direction = metric_direction(&name);
+        let value = metric_value(run, &name);
+        let samples: Vec<f64> = window
+            .iter()
+            .filter_map(|rec| metric_value(rec, &name))
+            .collect();
+        let mv = match (value, samples.is_empty()) {
+            (None, _) => MetricVerdict {
+                name,
+                direction,
+                value: None,
+                median: None,
+                mad: None,
+                worse_by: 0.0,
+                threshold: 0.0,
+                verdict: Verdict::Missing,
+            },
+            (Some(v), true) => MetricVerdict {
+                name,
+                direction,
+                value: Some(v),
+                median: None,
+                mad: None,
+                worse_by: 0.0,
+                threshold: 0.0,
+                verdict: Verdict::New,
+            },
+            (Some(v), false) => {
+                let (median, mad) = robust_stats(&samples);
+                let rel_floor = if name.starts_with("stage_ms/") {
+                    cfg.time_min_rel
+                } else {
+                    cfg.min_rel
+                };
+                let threshold = (cfg.k_mad * mad)
+                    .max(rel_floor * median.abs())
+                    .max(cfg.min_abs);
+                let worse_by = match direction {
+                    Direction::LowerIsBetter => v - median,
+                    Direction::HigherIsBetter => median - v,
+                };
+                let verdict = if worse_by > threshold {
+                    Verdict::Regressed
+                } else if worse_by < -threshold {
+                    Verdict::Improved
+                } else {
+                    Verdict::Stable
+                };
+                MetricVerdict {
+                    name,
+                    direction,
+                    value: Some(v),
+                    median: Some(median),
+                    mad: Some(mad),
+                    worse_by,
+                    threshold,
+                    verdict,
+                }
+            }
+        };
+        verdicts.push(mv);
+    }
+
+    let group = |v: Verdict| match v {
+        Verdict::Regressed => 0,
+        Verdict::Improved => 1,
+        Verdict::New => 2,
+        Verdict::Missing => 3,
+        Verdict::Stable => 4,
+    };
+    verdicts.sort_by(|a, b| {
+        group(a.verdict)
+            .cmp(&group(b.verdict))
+            .then_with(|| a.name.cmp(&b.name))
+    });
+
+    DiffReport {
+        run_label: run.label(),
+        baseline_label: String::new(),
+        baseline_n: window.len(),
+        verdicts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal record carrying one leakage metric plus one stage time.
+    fn rec(leakage: f64, stage_ms: f64) -> QorRecord {
+        let mut r = QorRecord {
+            git_sha: "test".into(),
+            bin: "dmeopt".into(),
+            command: "flow".into(),
+            ..QorRecord::default()
+        };
+        r.qor.insert("flow/final_leakage_uw".into(), leakage);
+        r.stages_ms.insert("flow".into(), stage_ms);
+        r
+    }
+
+    /// Baseline: median 100.0, MAD 0.2 on leakage; stage times with
+    /// heavy (±40%) machine noise.
+    fn noisy_baseline() -> Vec<QorRecord> {
+        [
+            (99.6, 80.0),
+            (100.4, 120.0),
+            (99.8, 95.0),
+            (100.2, 140.0),
+            (99.9, 100.0),
+            (100.1, 105.0),
+            (100.0, 91.0),
+        ]
+        .iter()
+        .map(|&(l, t)| rec(l, t))
+        .collect()
+    }
+
+    #[test]
+    fn directionality_assignments() {
+        assert_eq!(
+            metric_direction("qor/flow/delta_leakage_uw"),
+            Direction::LowerIsBetter
+        );
+        assert_eq!(
+            metric_direction("qor/flow/wns_ns"),
+            Direction::HigherIsBetter
+        );
+        assert_eq!(
+            metric_direction("counter/dosepl/swaps_accepted"),
+            Direction::HigherIsBetter
+        );
+        assert_eq!(metric_direction("stage_ms/flow"), Direction::LowerIsBetter);
+        assert_eq!(
+            metric_direction("counter/qp/ipm_iterations"),
+            Direction::LowerIsBetter
+        );
+    }
+
+    #[test]
+    fn pure_noise_rerun_has_no_false_positive() {
+        let baseline = noisy_baseline();
+        // A rerun inside the noise band on every axis (stage-time MAD
+        // is 9 ms → 3×MAD threshold 27 ms around the 100 ms median).
+        let run = rec(100.3, 118.0);
+        let report = diff_records(&run, &baseline, &DiffConfig::default());
+        assert!(
+            !report.has_regression(),
+            "false positive: {:?}",
+            report.regressions()
+        );
+    }
+
+    #[test]
+    fn three_mad_leakage_step_is_detected() {
+        let baseline = noisy_baseline();
+        // MAD = 0.2 → threshold 3×MAD = 0.6; a step just past it (3.5×)
+        // must be flagged, and charged to the leakage metric only.
+        let run = rec(100.7, 100.0);
+        let report = diff_records(&run, &baseline, &DiffConfig::default());
+        assert!(report.has_regression());
+        let regs = report.regressions();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].name, "qor/flow/final_leakage_uw");
+        assert_eq!(regs[0].verdict, Verdict::Regressed);
+    }
+
+    #[test]
+    fn improvement_is_not_a_regression() {
+        let baseline = noisy_baseline();
+        let run = rec(95.0, 100.0);
+        let report = diff_records(&run, &baseline, &DiffConfig::default());
+        assert!(!report.has_regression());
+        assert_eq!(report.count(Verdict::Improved), 1);
+    }
+
+    #[test]
+    fn higher_is_better_regresses_downward() {
+        let mut baseline = Vec::new();
+        for accepted in [10.0, 11.0, 10.0, 9.0, 10.0] {
+            let mut r = rec(100.0, 100.0);
+            r.counters.insert("dosepl/swaps_accepted".into(), accepted);
+            baseline.push(r);
+        }
+        // MAD = 0; the 0.1% relative floor applies. Dropping 10 → 2
+        // accepted swaps is far beyond it.
+        let mut run = rec(100.0, 100.0);
+        run.counters.insert("dosepl/swaps_accepted".into(), 2.0);
+        let report = diff_records(&run, &baseline, &DiffConfig::default());
+        let regs = report.regressions();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].name, "counter/dosepl/swaps_accepted");
+    }
+
+    #[test]
+    fn identical_baseline_tolerates_fp_dust() {
+        let baseline = vec![rec(100.0, 100.0); 5];
+        let run = rec(100.0 + 1e-10, 100.0);
+        let report = diff_records(&run, &baseline, &DiffConfig::default());
+        assert!(!report.has_regression());
+    }
+
+    #[test]
+    fn wall_time_noise_needs_the_bigger_floor() {
+        // Single-sample baseline: MAD = 0, so stage times fall back to
+        // the 25% floor — a 20% slower run is noise, 50% is not.
+        let baseline = vec![rec(100.0, 100.0)];
+        let cfg = DiffConfig::default();
+        assert!(!diff_records(&rec(100.0, 120.0), &baseline, &cfg).has_regression());
+        let slow = diff_records(&rec(100.0, 160.0), &baseline, &cfg);
+        assert_eq!(slow.regressions()[0].name, "stage_ms/flow");
+    }
+
+    #[test]
+    fn new_and_missing_metrics_are_informational() {
+        let baseline = vec![rec(100.0, 100.0)];
+        let mut run = rec(100.0, 100.0);
+        run.qor.remove("flow/final_leakage_uw");
+        run.qor.insert("flow/extra_metric".into(), 1.0);
+        let report = diff_records(&run, &baseline, &DiffConfig::default());
+        assert!(!report.has_regression());
+        assert_eq!(report.count(Verdict::New), 1);
+        assert_eq!(report.count(Verdict::Missing), 1);
+    }
+
+    #[test]
+    fn window_limits_the_baseline() {
+        // Old garbage outside the window must not perturb the stats.
+        let mut baseline = vec![rec(1e9, 100.0); 10];
+        baseline.extend(noisy_baseline());
+        let cfg = DiffConfig {
+            window: 7,
+            ..DiffConfig::default()
+        };
+        let report = diff_records(&rec(100.0, 100.0), &baseline, &cfg);
+        assert!(!report.has_regression());
+        assert_eq!(report.baseline_n, 7);
+    }
+}

@@ -1,0 +1,42 @@
+//! QoR regression sentinel for the DME workspace.
+//!
+//! `dme-obs` (PR 2) gave every run a manifest and a JSONL trace; this
+//! crate is the layer that *consumes* them. The paper's contribution is
+//! measured entirely in deltas — leakage reduction at iso-delay,
+//! timing-yield improvement over the baseline placement (Tables 2–8) —
+//! so a QoR regression that ships silently defeats the reproduction.
+//! `dme-qor` turns per-run telemetry into a run-over-run record and a
+//! gate:
+//!
+//! - **History** ([`record`]): normalizes a run manifest into a compact
+//!   [`record::QorRecord`] (git SHA, threads, per-stage span times,
+//!   solver iteration counts, dosePl tallies, the manifest's `qor`
+//!   section) and appends it as one JSON line to a committed history
+//!   file (`results/qor_history.jsonl`).
+//! - **Diff** ([`diff`]): compares a run against a rolling baseline
+//!   window with noise-aware verdicts — per-metric median/MAD
+//!   thresholds, per-metric directionality (leakage/period/time
+//!   lower-is-better, accepted-swaps/WNS higher-is-better) — and
+//!   reports confirmed regressions for the CLI to exit nonzero on.
+//! - **Reports** ([`markdown`], [`dashboard`]): a markdown diff summary
+//!   and a self-contained HTML dashboard (per-stage time breakdown, IPM
+//!   convergence sparkline from observer records, swap-filter
+//!   accept/reject bars) with zero external dependencies, hand-rolled
+//!   like `dme-obs`'s JSON.
+//!
+//! The `dmeopt qor` subcommands (`ingest`, `diff`, `report`) are the
+//! front end; `scripts/bench_perf.sh` feeds the companion
+//! `results/bench_history.jsonl` perf trajectory that the dashboard
+//! also renders.
+
+#![deny(missing_docs)]
+
+pub mod dashboard;
+pub mod diff;
+pub mod markdown;
+pub mod record;
+
+pub use diff::{diff_records, DiffConfig, DiffReport, Direction, MetricVerdict, Verdict};
+pub use record::{
+    append_history, normalize_manifest, parse_history, QorRecord, QOR_HISTORY_SCHEMA_VERSION,
+};

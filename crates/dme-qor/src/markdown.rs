@@ -1,0 +1,127 @@
+//! Markdown rendering of a [`DiffReport`].
+//!
+//! One self-contained document: a verdict headline, a table of every
+//! metric that moved (regressions first), and a collapsed count of the
+//! stable remainder. Written for CI job summaries and PR comments.
+
+use crate::diff::{DiffReport, Verdict};
+use std::fmt::Write as _;
+
+/// Compact, stable number formatting for report tables: up to six
+/// significant-looking decimals with trailing zeros trimmed.
+fn fmt_num(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{x:.0}")
+    } else {
+        let s = format!("{x:.6}");
+        let s = s.trim_end_matches('0').trim_end_matches('.');
+        s.to_string()
+    }
+}
+
+fn opt(x: Option<f64>) -> String {
+    x.map_or_else(|| "—".to_string(), fmt_num)
+}
+
+/// Renders the diff as a markdown document.
+pub fn diff_markdown(report: &DiffReport) -> String {
+    let mut out = String::with_capacity(2048);
+    let _ = writeln!(
+        out,
+        "# QoR diff: {} vs {} (baseline n={})",
+        report.run_label, report.baseline_label, report.baseline_n
+    );
+    out.push('\n');
+
+    let regressed = report.count(Verdict::Regressed);
+    let improved = report.count(Verdict::Improved);
+    let stable = report.count(Verdict::Stable);
+    let new = report.count(Verdict::New);
+    let missing = report.count(Verdict::Missing);
+    let headline = if regressed > 0 { "REGRESSED" } else { "OK" };
+    let _ = writeln!(
+        out,
+        "**Verdict: {headline}** — {regressed} regressed, {improved} improved, \
+         {stable} stable, {new} new, {missing} missing"
+    );
+    out.push('\n');
+
+    let moved: Vec<_> = report
+        .verdicts
+        .iter()
+        .filter(|m| m.verdict != Verdict::Stable)
+        .collect();
+    if !moved.is_empty() {
+        out.push_str("| metric | run | baseline median | MAD | worse-by | threshold | verdict |\n");
+        out.push_str("|---|---:|---:|---:|---:|---:|---|\n");
+        for m in &moved {
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {} | {} | {} |",
+                m.name,
+                opt(m.value),
+                opt(m.median),
+                opt(m.mad),
+                fmt_num(m.worse_by),
+                fmt_num(m.threshold),
+                m.verdict.name()
+            );
+        }
+        out.push('\n');
+    }
+    let _ = writeln!(out, "{stable} metric(s) stable within noise thresholds.");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::{diff_records, DiffConfig};
+    use crate::record::QorRecord;
+
+    /// Golden test: the markdown layout is part of the tool's contract
+    /// (CI annotations parse nothing, humans read everything).
+    #[test]
+    fn golden_diff_markdown() {
+        let mk = |leakage: f64, wns: f64| {
+            let mut r = QorRecord {
+                git_sha: "base123".into(),
+                bin: "dmeopt".into(),
+                command: "flow".into(),
+                profile: "tiny".into(),
+                ..QorRecord::default()
+            };
+            r.qor.insert("flow/final_leakage_uw".into(), leakage);
+            r.qor.insert("flow/wns_ns".into(), wns);
+            r
+        };
+        let baseline = vec![mk(100.0, 0.5), mk(102.0, 0.5), mk(98.0, 0.5)];
+        let mut run = mk(120.0, 0.5);
+        run.git_sha = "run456".into();
+        let mut report = diff_records(&run, &baseline, &DiffConfig::default());
+        report.baseline_label = "results/qor_history.jsonl".into();
+
+        let md = diff_markdown(&report);
+        let expected = "\
+# QoR diff: run456 dmeopt/flow (tiny) vs results/qor_history.jsonl (baseline n=3)
+
+**Verdict: REGRESSED** — 1 regressed, 0 improved, 1 stable, 0 new, 0 missing
+
+| metric | run | baseline median | MAD | worse-by | threshold | verdict |
+|---|---:|---:|---:|---:|---:|---|
+| qor/flow/final_leakage_uw | 120 | 100 | 2 | 20 | 6 | regressed |
+
+1 metric(s) stable within noise thresholds.
+";
+        assert_eq!(md, expected);
+    }
+
+    #[test]
+    fn ok_headline_when_nothing_moved() {
+        let mut r = QorRecord::default();
+        r.qor.insert("m".into(), 1.0);
+        let report = diff_records(&r.clone(), &[r], &DiffConfig::default());
+        let md = diff_markdown(&report);
+        assert!(md.contains("**Verdict: OK**"), "{md}");
+    }
+}

@@ -1,0 +1,341 @@
+//! Normalized QoR history records.
+//!
+//! A [`QorRecord`] is the flat, comparison-ready distillation of one run
+//! manifest: identity metadata (git SHA, binary, profile, threads),
+//! per-stage wall times in milliseconds, the counter tallies worth
+//! trending (solver iterations, dosePl filter dispositions), and the
+//! manifest's `qor` section verbatim. Records serialize as one JSON
+//! object per line so a history file is append-only and mergeable.
+
+use dme_obs::json::{self, Value};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Version of the history-line layout, stamped as `"schema_version"` on
+/// every line; bumped whenever the record changes shape.
+pub const QOR_HISTORY_SCHEMA_VERSION: u32 = 1;
+
+/// One normalized run: the unit of the QoR history.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct QorRecord {
+    /// Unix timestamp of ingestion, seconds (0 when unknown).
+    pub ts_s: f64,
+    /// Git commit the run was built from (`"unknown"` when absent).
+    pub git_sha: String,
+    /// Binary that produced the manifest (`dmeopt`, `table4`, …).
+    pub bin: String,
+    /// Subcommand, when the binary has one (`flow`, `optimize`, …).
+    pub command: String,
+    /// Design profile (`tiny`, `aes65`, …) when recorded.
+    pub profile: String,
+    /// Worker-pool width the run used.
+    pub threads: f64,
+    /// Whether the `parallel` feature was compiled in.
+    pub parallel: bool,
+    /// Run status from the manifest (`"ok"`, `"panicked"`, or empty for
+    /// manifests predating the status field).
+    pub status: String,
+    /// Per-span total wall time, milliseconds, keyed by span path.
+    pub stages_ms: BTreeMap<String, f64>,
+    /// Counter values (solver iterations, dosePl tallies, …).
+    pub counters: BTreeMap<String, f64>,
+    /// The manifest's `qor` section: ΔLeakage, achieved T, WNS, swap
+    /// counts — the metrics the paper's tables report.
+    pub qor: BTreeMap<String, f64>,
+}
+
+fn meta_str(meta: &Value, key: &str) -> String {
+    meta.get(key)
+        .and_then(Value::as_str)
+        .unwrap_or_default()
+        .to_string()
+}
+
+/// Normalizes a run-manifest JSON document (schema v1 or v2) into a
+/// [`QorRecord`].
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem: unparseable
+/// JSON, a missing/unsupported `schema_version`, or missing sections.
+pub fn normalize_manifest(text: &str) -> Result<QorRecord, String> {
+    let doc = json::parse(text).map_err(|e| format!("manifest does not parse: {e}"))?;
+    let version = doc
+        .get("schema_version")
+        .and_then(Value::as_f64)
+        .ok_or("manifest missing schema_version")?;
+    if !(version == 1.0 || version == 2.0) {
+        return Err(format!("unsupported manifest schema_version {version}"));
+    }
+    let meta = doc.get("meta").ok_or("manifest missing meta")?;
+    let spans = doc
+        .get("spans")
+        .and_then(Value::as_object)
+        .ok_or("manifest missing spans")?;
+    let counters = doc
+        .get("counters")
+        .and_then(Value::as_object)
+        .ok_or("manifest missing counters")?;
+
+    let mut rec = QorRecord {
+        git_sha: {
+            let s = meta_str(meta, "git_sha");
+            if s.is_empty() {
+                "unknown".to_string()
+            } else {
+                s
+            }
+        },
+        bin: meta_str(meta, "bin"),
+        command: meta_str(meta, "command"),
+        profile: meta_str(meta, "profile"),
+        threads: meta.get("threads").and_then(Value::as_f64).unwrap_or(0.0),
+        parallel: meta.get("feature_parallel") == Some(&Value::Bool(true)),
+        status: meta_str(meta, "status"),
+        ..QorRecord::default()
+    };
+    for (path, st) in spans {
+        if let Some(total_ns) = st.get("total_ns").and_then(Value::as_f64) {
+            rec.stages_ms.insert(path.clone(), total_ns / 1.0e6);
+        }
+    }
+    for (name, v) in counters {
+        if let Some(x) = v.as_f64() {
+            rec.counters.insert(name.clone(), x);
+        }
+    }
+    if let Some(qor) = doc.get("qor").and_then(Value::as_object) {
+        for (k, v) in qor {
+            if let Some(x) = v.as_f64() {
+                rec.qor.insert(k.clone(), x);
+            }
+        }
+    }
+    Ok(rec)
+}
+
+fn write_map(out: &mut String, map: &BTreeMap<String, f64>) {
+    out.push('{');
+    for (i, (k, v)) in map.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::write_escaped(out, k);
+        out.push(':');
+        json::write_f64(out, *v);
+    }
+    out.push('}');
+}
+
+impl QorRecord {
+    /// Serializes the record as one JSON history line (no trailing
+    /// newline).
+    pub fn to_json_line(&self) -> String {
+        let mut s = String::with_capacity(512);
+        let _ = write!(s, "{{\"schema_version\":{QOR_HISTORY_SCHEMA_VERSION}");
+        s.push_str(",\"ts_s\":");
+        json::write_f64(&mut s, self.ts_s);
+        for (key, val) in [
+            ("git_sha", &self.git_sha),
+            ("bin", &self.bin),
+            ("command", &self.command),
+            ("profile", &self.profile),
+            ("status", &self.status),
+        ] {
+            let _ = write!(s, ",\"{key}\":");
+            json::write_escaped(&mut s, val);
+        }
+        s.push_str(",\"threads\":");
+        json::write_f64(&mut s, self.threads);
+        let _ = write!(s, ",\"parallel\":{}", self.parallel);
+        s.push_str(",\"stages_ms\":");
+        write_map(&mut s, &self.stages_ms);
+        s.push_str(",\"counters\":");
+        write_map(&mut s, &self.counters);
+        s.push_str(",\"qor\":");
+        write_map(&mut s, &self.qor);
+        s.push('}');
+        s
+    }
+
+    /// Reconstructs a record from a parsed history line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub fn from_value(v: &Value) -> Result<QorRecord, String> {
+        let version = v
+            .get("schema_version")
+            .and_then(Value::as_f64)
+            .ok_or("history line missing schema_version")?;
+        if version != f64::from(QOR_HISTORY_SCHEMA_VERSION) {
+            return Err(format!("unsupported history schema_version {version}"));
+        }
+        let read_map = |key: &str| -> Result<BTreeMap<String, f64>, String> {
+            let obj = v
+                .get(key)
+                .and_then(Value::as_object)
+                .ok_or_else(|| format!("history line missing object {key:?}"))?;
+            Ok(obj
+                .iter()
+                .filter_map(|(k, val)| val.as_f64().map(|x| (k.clone(), x)))
+                .collect())
+        };
+        Ok(QorRecord {
+            ts_s: v.get("ts_s").and_then(Value::as_f64).unwrap_or(0.0),
+            git_sha: meta_str(v, "git_sha"),
+            bin: meta_str(v, "bin"),
+            command: meta_str(v, "command"),
+            profile: meta_str(v, "profile"),
+            threads: v.get("threads").and_then(Value::as_f64).unwrap_or(0.0),
+            parallel: v.get("parallel") == Some(&Value::Bool(true)),
+            status: meta_str(v, "status"),
+            stages_ms: read_map("stages_ms")?,
+            counters: read_map("counters")?,
+            qor: read_map("qor")?,
+        })
+    }
+
+    /// A short human label for the record (`git_sha bin/command profile`).
+    pub fn label(&self) -> String {
+        let mut s = self.git_sha.clone();
+        if !self.bin.is_empty() {
+            s.push(' ');
+            s.push_str(&self.bin);
+        }
+        if !self.command.is_empty() {
+            s.push('/');
+            s.push_str(&self.command);
+        }
+        if !self.profile.is_empty() {
+            let _ = write!(s, " ({})", self.profile);
+        }
+        s
+    }
+}
+
+/// Parses a JSONL history file's content into records, in file order.
+/// Blank lines are skipped; any malformed line is an error (a corrupted
+/// history should fail loudly, not silently shrink the baseline).
+///
+/// # Errors
+///
+/// Returns the offending line number and the parse problem.
+pub fn parse_history(text: &str) -> Result<Vec<QorRecord>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v = json::parse(line).map_err(|e| format!("history line {}: {e}", lineno + 1))?;
+        out.push(
+            QorRecord::from_value(&v).map_err(|e| format!("history line {}: {e}", lineno + 1))?,
+        );
+    }
+    Ok(out)
+}
+
+/// Appends one record to the JSONL history at `path`, creating the file
+/// (and its parent directory) if needed.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn append_history(path: &Path, record: &QorRecord) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(f, "{}", record.to_json_line())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample_manifest() -> String {
+        concat!(
+            "{\"schema_version\":2,",
+            "\"meta\":{\"bin\":\"dmeopt\",\"command\":\"flow\",\"profile\":\"tiny\",",
+            "\"git_sha\":\"abc1234\",\"threads\":4,\"feature_parallel\":true,\"status\":\"ok\"},",
+            "\"qor\":{\"flow/delta_leakage_uw\":-12.5,\"flow/final_mct_ns\":1.875,",
+            "\"flow/wns_ns\":0.125,\"dosepl/swaps_accepted\":7},",
+            "\"spans\":{\"flow\":{\"count\":1,\"total_ns\":2000000,\"max_ns\":2000000},",
+            "\"flow/dmopt\":{\"count\":1,\"total_ns\":1500000,\"max_ns\":1500000}},",
+            "\"counters\":{\"qp/ipm_iterations\":18,\"dosepl/swaps_accepted\":7},",
+            "\"histograms\":{},\"records\":{}}"
+        )
+        .to_string()
+    }
+
+    #[test]
+    fn normalization_extracts_every_section() {
+        let rec = normalize_manifest(&sample_manifest()).expect("normalizes");
+        assert_eq!(rec.git_sha, "abc1234");
+        assert_eq!(rec.bin, "dmeopt");
+        assert_eq!(rec.command, "flow");
+        assert_eq!(rec.profile, "tiny");
+        assert_eq!(rec.threads, 4.0);
+        assert!(rec.parallel);
+        assert_eq!(rec.status, "ok");
+        assert_eq!(rec.stages_ms["flow"], 2.0);
+        assert_eq!(rec.stages_ms["flow/dmopt"], 1.5);
+        assert_eq!(rec.counters["qp/ipm_iterations"], 18.0);
+        assert_eq!(rec.qor["flow/delta_leakage_uw"], -12.5);
+        assert_eq!(rec.qor["flow/wns_ns"], 0.125);
+    }
+
+    #[test]
+    fn v1_manifest_without_qor_still_normalizes() {
+        let text = sample_manifest()
+            .replace("\"schema_version\":2", "\"schema_version\":1")
+            .replace(
+                "\"qor\":{\"flow/delta_leakage_uw\":-12.5,\"flow/final_mct_ns\":1.875,\
+                 \"flow/wns_ns\":0.125,\"dosepl/swaps_accepted\":7},",
+                "",
+            );
+        let rec = normalize_manifest(&text).expect("v1 normalizes");
+        assert!(rec.qor.is_empty());
+        assert_eq!(rec.stages_ms.len(), 2);
+    }
+
+    #[test]
+    fn history_line_round_trips() {
+        let mut rec = normalize_manifest(&sample_manifest()).expect("normalizes");
+        rec.ts_s = 1_700_000_000.5;
+        let line = rec.to_json_line();
+        let back = QorRecord::from_value(&json::parse(&line).expect("line parses"))
+            .expect("record parses");
+        assert_eq!(rec, back);
+    }
+
+    #[test]
+    fn history_parse_rejects_corruption() {
+        assert!(parse_history("{\"schema_version\":1").is_err());
+        assert!(parse_history("{\"schema_version\":99,\"stages_ms\":{}}").is_err());
+        assert!(parse_history("").expect("empty ok").is_empty());
+    }
+
+    #[test]
+    fn append_and_parse_history_file() {
+        let dir = std::env::temp_dir().join(format!("dme_qor_hist_{}", std::process::id()));
+        let path = dir.join("h.jsonl");
+        let _ = std::fs::remove_dir_all(&dir);
+        let rec = normalize_manifest(&sample_manifest()).expect("normalizes");
+        append_history(&path, &rec).expect("append 1");
+        append_history(&path, &rec).expect("append 2");
+        let text = std::fs::read_to_string(&path).expect("readable");
+        let recs = parse_history(&text).expect("parses");
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0], rec);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,15 +1,21 @@
 #!/usr/bin/env bash
 # Runs the serial-vs-parallel kernel benchmarks (`perf/` group in
 # crates/bench/benches/kernels.rs) and distills them into BENCH_perf.json
-# so successive PRs have a perf trajectory.
+# so successive PRs have a perf trajectory. Each run is also appended as
+# one line to results/bench_history.jsonl (stamped with a timestamp),
+# which `dmeopt qor report --bench-history` plots as the speedup
+# trajectory on the dashboard.
 #
 # Usage: scripts/bench_perf.sh [output.json]
 #   DME_NUM_THREADS=N   pool width for the parallel variants (default: nproc)
 #   CRITERION_SAMPLE_SIZE=N  timed samples per bench (default: 20)
+#   DME_BENCH_HISTORY=path   history file (default: results/bench_history.jsonl;
+#                            empty string disables the append)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_perf.json}"
+history="${DME_BENCH_HISTORY-results/bench_history.jsonl}"
 threads="${DME_NUM_THREADS:-$(nproc)}"
 git_sha="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 git_dirty="false"
@@ -21,9 +27,10 @@ echo "== bench_perf: threads=$threads (nproc=$(nproc)) ==" >&2
 DME_NUM_THREADS="$threads" cargo bench --offline -p dme-bench --bench kernels -- perf/ \
     2>&1 | tee "$log" >&2
 
-NPROC="$(nproc)" THREADS="$threads" OUT="$out" GIT_SHA="$git_sha" GIT_DIRTY="$git_dirty" \
+NPROC="$(nproc)" THREADS="$threads" OUT="$out" HISTORY="$history" \
+    GIT_SHA="$git_sha" GIT_DIRTY="$git_dirty" \
     python3 - "$log" <<'PY'
-import json, os, sys
+import json, os, sys, time
 
 benches, work, info = {}, {}, {}
 for line in open(sys.argv[1]):
@@ -94,4 +101,13 @@ with open(os.environ["OUT"], "w") as f:
     json.dump(result, f, indent=2, sort_keys=True)
     f.write("\n")
 print(f"wrote {os.environ['OUT']}", file=sys.stderr)
+
+history = os.environ.get("HISTORY", "")
+if history:
+    record = dict(result, ts_s=round(time.time(), 3))
+    os.makedirs(os.path.dirname(history) or ".", exist_ok=True)
+    with open(history, "a") as f:
+        json.dump(record, f, sort_keys=True)
+        f.write("\n")
+    print(f"appended run to {history}", file=sys.stderr)
 PY

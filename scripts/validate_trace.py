@@ -6,15 +6,18 @@ Usage: scripts/validate_trace.py trace.jsonl [manifest.json]
 Checks every line of the trace against event schema v1 (see
 crates/dme-obs/src/sink.rs): the common envelope plus the per-type
 payload, monotonically non-decreasing timestamps, and — when a manifest
-is given — manifest schema v1 (crates/dme-obs/src/manifest.rs).
+is given — manifest schema v1 or v2 (crates/dme-obs/src/manifest.rs).
+Schema v2 additionally carries a top-level `qor` object of finite
+numeric metrics and per-histogram p50/p95/p99 percentile fields.
 Exits non-zero on the first violation; used by the CI trace-schema job.
 """
 
 import json
+import math
 import sys
 
 TRACE_SCHEMA_VERSION = 1
-MANIFEST_SCHEMA_VERSION = 1
+MANIFEST_SCHEMA_VERSIONS = (1, 2)
 LOG_LEVELS = {"error", "warn", "info", "debug", "report"}
 
 
@@ -86,9 +89,13 @@ def check_trace(path):
 def check_manifest(path):
     with open(path, encoding="utf-8") as f:
         m = json.load(f)
-    if m.get("schema_version") != MANIFEST_SCHEMA_VERSION:
-        fail(f"{path}: manifest schema_version {m.get('schema_version')!r}")
-    for key in ("meta", "spans", "counters", "histograms", "records"):
+    version = m.get("schema_version")
+    if version not in MANIFEST_SCHEMA_VERSIONS:
+        fail(f"{path}: manifest schema_version {version!r}")
+    keys = ["meta", "spans", "counters", "histograms", "records"]
+    if version >= 2:
+        keys.append("qor")
+    for key in keys:
         if not isinstance(m.get(key), dict):
             fail(f"{path}: manifest missing object {key!r}")
     for span, st in m["spans"].items():
@@ -101,10 +108,22 @@ def check_manifest(path):
     for kind, series in m["records"].items():
         if not isinstance(series.get("rows"), list):
             fail(f"{path}: record series {kind!r} missing rows")
+    if version >= 2:
+        for name, v in m["qor"].items():
+            if not isinstance(v, (int, float)) or not math.isfinite(v):
+                fail(f"{path}: qor metric {name!r} not finite: {v!r}")
+        for name, h in m["histograms"].items():
+            for k in ("p50", "p95", "p99"):
+                if not isinstance(h.get(k), (int, float)) or h[k] < 0:
+                    fail(f"{path}: histogram {name!r} bad {k!r}")
+            if not h["p50"] <= h["p95"] <= h["p99"] <= h.get("max", float("inf")):
+                fail(f"{path}: histogram {name!r} percentile ordering")
+    qor_note = f", {len(m['qor'])} qor metrics" if version >= 2 else ""
     print(
         f"validate_trace: {path}: manifest OK "
         f"({len(m['spans'])} spans, {len(m['counters'])} counters, "
-        f"{sum(len(s['rows']) for s in m['records'].values())} record rows)"
+        f"{sum(len(s['rows']) for s in m['records'].values())} record rows"
+        f"{qor_note})"
     )
 
 

@@ -40,12 +40,36 @@ fn flow_report_contains_stage_spans_solver_telemetry_and_tallies() {
 
     let text = std::fs::read_to_string(&report).expect("manifest written");
     let m = parse(&text).expect("manifest parses");
-    assert_eq!(m.get("schema_version").and_then(Value::as_f64), Some(1.0));
+    assert_eq!(m.get("schema_version").and_then(Value::as_f64), Some(2.0));
 
     let meta = m.get("meta").expect("meta");
     assert_eq!(meta.get("bin").and_then(Value::as_str), Some("dmeopt"));
     assert_eq!(meta.get("command").and_then(Value::as_str), Some("flow"));
+    assert_eq!(meta.get("status").and_then(Value::as_str), Some("ok"));
     assert!(meta.get("threads").and_then(Value::as_f64).unwrap_or(0.0) >= 1.0);
+
+    // Schema v2: the QoR section carries the paper's headline metrics.
+    let qor = m.get("qor").and_then(Value::as_object).expect("qor");
+    for name in [
+        "flow/nominal_mct_ns",
+        "flow/final_mct_ns",
+        "flow/delta_leakage_uw",
+        "flow/wns_ns",
+        "dmopt/achieved_t_ns",
+        "dosepl/swaps_accepted",
+        "dosepl/swaps_attempted",
+    ] {
+        let v = qor.get(name).and_then(Value::as_f64);
+        assert!(v.is_some(), "qor metric {name:?} missing");
+        assert!(v.expect("checked").is_finite(), "qor metric {name:?} NaN");
+    }
+    // The flow improves timing on the tiny profile, so WNS is positive.
+    assert!(
+        qor.get("flow/wns_ns")
+            .and_then(Value::as_f64)
+            .unwrap_or(-1.0)
+            > 0.0
+    );
 
     // Stage spans for place / DMopt / dosePl / signoff.
     let spans = m.get("spans").and_then(Value::as_object).expect("spans");
@@ -81,6 +105,20 @@ fn flow_report_contains_stage_spans_solver_telemetry_and_tallies() {
     assert!(!rows.is_empty(), "no IPM iterations recorded");
     for field in ["iter", "mu", "rp_inf", "rd_inf", "cg_pred", "cg_corr"] {
         assert!(rows[0].get(field).is_some(), "ipm_iter missing {field:?}");
+    }
+
+    // Schema v2 histograms carry percentile fields.
+    if let Some(hists) = m.get("histograms").and_then(Value::as_object) {
+        for (name, h) in hists {
+            for field in ["p50", "p95", "p99"] {
+                let v = h.get(field).and_then(Value::as_f64);
+                assert!(v.is_some(), "histogram {name:?} missing {field}");
+            }
+            let p50 = h.get("p50").and_then(Value::as_f64).expect("p50");
+            let p99 = h.get("p99").and_then(Value::as_f64).expect("p99");
+            let max = h.get("max").and_then(Value::as_f64).expect("max");
+            assert!(p50 <= p99 && p99 <= max, "histogram {name:?} ordering");
+        }
     }
 
     // dosePl accept/reject tallies.

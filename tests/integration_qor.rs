@@ -1,0 +1,220 @@
+//! End-to-end QoR sentinel: runs the `dmeopt` binary twice, ingests the
+//! manifests into a history file, and exercises the three `qor` verbs —
+//! a pure-noise rerun must pass the gate (exit 0), an injected leakage
+//! regression well beyond 3×MAD must trip it (exit 3), and `qor report`
+//! must emit a self-contained HTML dashboard. A final case crashes the
+//! binary to verify the panic hook leaves a flushed trace and a
+//! `status: "panicked"` manifest stub.
+
+use dme_obs::json::{parse, Value};
+use std::process::Command;
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("dme_qor_it_{}_{name}", std::process::id()))
+}
+
+fn dmeopt() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dmeopt"))
+}
+
+fn run_flow(report: &std::path::Path) {
+    let out = dmeopt()
+        .args([
+            "flow",
+            "--profile",
+            "tiny",
+            "--report",
+            report.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("dmeopt runs");
+    assert!(
+        out.status.success(),
+        "dmeopt flow failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn qor_gate_passes_reruns_and_trips_on_injected_regression() {
+    let r1 = tmp("run1.json");
+    let r2 = tmp("run2.json");
+    let history = tmp("history.jsonl");
+    let _ = std::fs::remove_file(&history);
+    run_flow(&r1);
+    run_flow(&r2);
+
+    // Ingest both manifests with pinned metadata.
+    for (path, sha, ts) in [(&r1, "aaaa111", "1000"), (&r2, "bbbb222", "2000")] {
+        let out = dmeopt()
+            .args([
+                "qor",
+                "ingest",
+                path.to_str().expect("utf8 path"),
+                "--history",
+                history.to_str().expect("utf8 path"),
+                "--git-sha",
+                sha,
+                "--ts",
+                ts,
+            ])
+            .output()
+            .expect("qor ingest runs");
+        assert!(
+            out.status.success(),
+            "qor ingest failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let text = std::fs::read_to_string(&history).expect("history written");
+    let records = dme_qor::parse_history(&text).expect("history parses");
+    assert_eq!(records.len(), 2);
+    assert_eq!(records[0].git_sha, "aaaa111");
+    assert!(records[1].qor.contains_key("flow/delta_leakage_uw"));
+
+    // Pure-noise rerun: the second manifest against the full history
+    // must pass the gate. The flow is deterministic, so QoR metrics
+    // match exactly and wall-clock jitter stays under the 25% floor.
+    let out = dmeopt()
+        .args([
+            "qor",
+            "diff",
+            r2.to_str().expect("utf8 path"),
+            history.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("qor diff runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "noise rerun flagged: {stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("**Verdict: OK**"), "stdout: {stdout}");
+
+    // Inject a leakage regression far beyond 3×MAD and rerun the gate.
+    let mut bad = records[1].clone();
+    let leak = bad.qor["flow/final_leakage_uw"];
+    bad.qor.insert("flow/final_leakage_uw".into(), leak * 1.5);
+    let bad_path = tmp("bad_run.jsonl");
+    std::fs::write(&bad_path, bad.to_json_line() + "\n").expect("write tampered run");
+    let out = dmeopt()
+        .args([
+            "qor",
+            "diff",
+            bad_path.to_str().expect("utf8 path"),
+            history.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("qor diff runs");
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "gate must exit 3 on regression: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("**Verdict: REGRESSED**"),
+        "stdout: {stdout}"
+    );
+    assert!(stdout.contains("flow/final_leakage_uw"), "stdout: {stdout}");
+
+    // `--informational` reports the same verdict but exits 0 (CI soak mode).
+    let out = dmeopt()
+        .args([
+            "qor",
+            "diff",
+            bad_path.to_str().expect("utf8 path"),
+            history.to_str().expect("utf8 path"),
+            "--informational",
+        ])
+        .output()
+        .expect("qor diff runs");
+    assert!(out.status.success(), "informational mode must exit 0");
+
+    // Dashboard: self-contained HTML, no external fetches.
+    let dash = tmp("dash.html");
+    let md = tmp("summary.md");
+    let out = dmeopt()
+        .args([
+            "qor",
+            "report",
+            "--history",
+            history.to_str().expect("utf8 path"),
+            "--manifest",
+            r2.to_str().expect("utf8 path"),
+            "--out",
+            dash.to_str().expect("utf8 path"),
+            "--md",
+            md.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("qor report runs");
+    assert!(
+        out.status.success(),
+        "qor report failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let html = std::fs::read_to_string(&dash).expect("dashboard written");
+    assert!(html.starts_with("<!doctype html>"), "not an HTML document");
+    assert!(html.contains("<svg"), "dashboard has no inline charts");
+    for forbidden in ["http://", "https://", "<script src", "<link"] {
+        assert!(
+            !html.contains(forbidden),
+            "external reference {forbidden:?}"
+        );
+    }
+    let summary = std::fs::read_to_string(&md).expect("markdown written");
+    assert!(summary.contains("**Verdict:"), "markdown: {summary}");
+
+    for p in [&r1, &r2, &history, &bad_path, &dash, &md] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn panic_hook_flushes_trace_and_writes_panicked_manifest() {
+    let report = tmp("panic_run.json");
+    let trace = tmp("panic_trace.jsonl");
+    let out = dmeopt()
+        .args([
+            "flow",
+            "--profile",
+            "tiny",
+            "--report",
+            report.to_str().expect("utf8 path"),
+            "--trace-json",
+            trace.to_str().expect("utf8 path"),
+        ])
+        .env("DME_TEST_PANIC", "1")
+        .output()
+        .expect("dmeopt runs");
+    assert!(!out.status.success(), "injected panic must fail the run");
+
+    // The manifest stub marks the run as panicked.
+    let text = std::fs::read_to_string(&report).expect("panic manifest written");
+    let m = parse(&text).expect("manifest parses");
+    let meta = m.get("meta").expect("meta");
+    assert_eq!(meta.get("status").and_then(Value::as_str), Some("panicked"));
+
+    // The trace sink was flushed: every line parses, and the panic
+    // itself is on the stream as an error log event.
+    let events = std::fs::read_to_string(&trace).expect("trace written");
+    let mut saw_panic = false;
+    for line in events.lines().filter(|l| !l.trim().is_empty()) {
+        let ev = parse(line).expect("event parses");
+        if ev.get("type").and_then(Value::as_str) == Some("log")
+            && ev
+                .get("msg")
+                .and_then(Value::as_str)
+                .is_some_and(|m| m.contains("panic"))
+        {
+            saw_panic = true;
+        }
+    }
+    assert!(saw_panic, "panic log event missing from trace: {events}");
+
+    let _ = std::fs::remove_file(&report);
+    let _ = std::fs::remove_file(&trace);
+}
