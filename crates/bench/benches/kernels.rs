@@ -8,7 +8,7 @@ use dme_device::Technology;
 use dme_dosemap::{DoseGrid, DoseSensitivity};
 use dme_liberty::{fit, Library};
 use dme_netlist::{gen, profiles};
-use dme_qp::{CsrMatrix, IpmSettings, IpmSolver};
+use dme_qp::{CsrMatrix, IpmSettings, IpmSolver, NewtonBackend};
 use dme_sta::{
     analyze, analyze_with_mode, top_k_paths, GeometryAssignment, IncrementalSta, StaMode,
 };
@@ -180,14 +180,20 @@ fn bench_perf(c: &mut Criterion) {
         hold_margin_ns: None,
     };
     let form = Formulation::build(&ctx, &grid, &params);
+    // Pin the backend explicitly: under the `Auto` default these two
+    // benches would silently run the direct factorization and stop
+    // measuring the CG path.
     let cg_group = |name: &str, group: &mut criterion::BenchmarkGroup<'_>| {
         group.bench_function(name, |b| {
             b.iter_batched(
                 || form.qp.clone(),
                 |qp| {
-                    IpmSolver::new(IpmSettings::default())
-                        .solve(&qp)
-                        .expect("solve")
+                    IpmSolver::new(IpmSettings {
+                        backend: NewtonBackend::Cg,
+                        ..IpmSettings::default()
+                    })
+                    .solve(&qp)
+                    .expect("solve")
                 },
                 BatchSize::SmallInput,
             );
@@ -197,6 +203,34 @@ fn bench_perf(c: &mut Criterion) {
     cg_group("cg_ipm_solve_serial", &mut group);
     dme_par::set_force_serial(false);
     cg_group("cg_ipm_solve_parallel", &mut group);
+
+    // --- sparse direct (LDLᵀ) Newton backend on the same QP ---
+    // `ipm_direct_solve` pays the full cost each iteration: fresh solver,
+    // symbolic analysis + ordering included. `ipm_direct_refactor_solve`
+    // reuses one solver across iterations, so only numeric refactors run —
+    // the steady state inside QCP bisection, where `set_tau` preserves the
+    // sparsity pattern.
+    let direct_settings = IpmSettings {
+        backend: NewtonBackend::Direct,
+        ..IpmSettings::default()
+    };
+    dme_par::set_force_serial(true);
+    group.bench_function("ipm_direct_solve", |b| {
+        b.iter_batched(
+            || form.qp.clone(),
+            |qp| {
+                IpmSolver::new(direct_settings.clone())
+                    .solve(&qp)
+                    .expect("solve")
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    let direct_solver = IpmSolver::new(direct_settings.clone());
+    group.bench_function("ipm_direct_refactor_solve", |b| {
+        b.iter(|| direct_solver.solve(&form.qp).expect("solve"));
+    });
+    dme_par::set_force_serial(false);
 
     // --- full STA forward pass ---
     let n = tb.design.netlist.num_instances();
@@ -253,6 +287,29 @@ fn bench_perf(c: &mut Criterion) {
             toggled.dl_nm[n / 2] = if flip2 { -4.0 } else { 0.0 };
             analyze(&tb.lib, &tb.design.netlist, &tb.placement, &toggled)
         });
+    });
+
+    // --- end-to-end MinTiming bisection: cold CG probes vs the new
+    // default (warm-started probes, cached symbolic factorization) ---
+    let qcp_tb = Testbench::prepare(&profiles::tiny());
+    let qcp_ctx = OptContext::new(&qcp_tb.lib, &qcp_tb.design, &qcp_tb.placement);
+    let qcp_cfg = |warm: bool, backend: NewtonBackend| DmoptConfig {
+        objective: dmeopt::Objective::MinTiming { xi_uw: 0.0 },
+        grid_g_um: 5.0,
+        warm_start: warm,
+        solver: dmeopt::SolverKind::Ipm(IpmSettings {
+            backend,
+            ..IpmSettings::default()
+        }),
+        ..DmoptConfig::default()
+    };
+    group.bench_function("qcp_mintiming_cold", |b| {
+        let cfg = qcp_cfg(false, NewtonBackend::Cg);
+        b.iter(|| optimize(&qcp_ctx, &cfg).expect("cold qcp"));
+    });
+    group.bench_function("qcp_mintiming_warm", |b| {
+        let cfg = qcp_cfg(true, NewtonBackend::Auto);
+        b.iter(|| optimize(&qcp_ctx, &cfg).expect("warm qcp"));
     });
     group.finish();
 

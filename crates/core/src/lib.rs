@@ -60,4 +60,4 @@ pub use context::{GoldenSummary, OptContext};
 pub use dosepl::{dosepl, DoseplConfig, DoseplResult};
 pub use error::DmoptError;
 pub use formulate::{Formulation, FormulationParams, VarLayout};
-pub use optimize::{optimize, DmoptConfig, DmoptResult, Layers, Objective};
+pub use optimize::{optimize, DmoptConfig, DmoptResult, Layers, Objective, SolverKind};

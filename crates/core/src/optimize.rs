@@ -6,7 +6,8 @@ use crate::formulate::{Formulation, FormulationParams};
 use dme_dosemap::{DoseGrid, DoseMap, DoseSensitivity};
 use dme_qp::qcp::{bisect_min, Probe};
 use dme_qp::{
-    AdmmSettings, AdmmSolver, IpmSettings, IpmSolver, QuadProgram, Solution, SolveStatus,
+    AdmmSettings, AdmmSolver, IpmSettings, IpmSolver, NewtonBackend, QuadProgram, Solution,
+    SolveStatus,
 };
 use dme_sta::{analyze, GeometryAssignment};
 use std::time::{Duration, Instant};
@@ -59,20 +60,114 @@ impl dme_qp::SolverObserver for ObsSolverObserver {
         dme_obs::counter_add("qp/cg_iterations", cg.iterations as u64);
         dme_obs::histogram_record("qp/cg_iters_per_solve", cg.iterations as u64);
     }
+
+    fn newton_backend(&mut self, backend: &'static str) {
+        match backend {
+            "direct" => dme_obs::counter_add("qp/backend_direct", 1),
+            _ => dme_obs::counter_add("qp/backend_cg", 1),
+        }
+    }
+
+    fn factorization(&mut self, ev: &dme_qp::FactorizationEvent) {
+        dme_obs::counter_add("qp/factorizations", 1);
+        if ev.symbolic_reused {
+            dme_obs::counter_add("qp/symbolic_reuse", 1);
+        }
+        dme_obs::counter_add("qp/refactor_ns", ev.refactor_ns);
+        dme_obs::histogram_record("qp/refactor_ns_per_iter", ev.refactor_ns);
+    }
 }
 
-fn solve_with(kind: &SolverKind, qp: &QuadProgram) -> Result<Solution, dme_qp::SolveError> {
-    let _span = dme_obs::span("solve");
-    dme_obs::counter_add("qp/solves", 1);
-    match kind {
-        SolverKind::Ipm(st) => {
-            if dme_obs::enabled() {
-                IpmSolver::new(st.clone()).solve_observed(qp, &mut ObsSolverObserver)
-            } else {
-                IpmSolver::new(st.clone()).solve(qp)
+/// Parses a `DME_QP_BACKEND` override value. Unknown strings are ignored
+/// (the configured backend stands) so a typo degrades gracefully rather
+/// than aborting a long flow.
+fn parse_backend(s: &str) -> Option<NewtonBackend> {
+    match s.to_ascii_lowercase().as_str() {
+        "direct" => Some(NewtonBackend::Direct),
+        "cg" => Some(NewtonBackend::Cg),
+        "auto" => Some(NewtonBackend::Auto),
+        _ => None,
+    }
+}
+
+/// One solver instance reused for every QP solve inside a single
+/// [`optimize`] call — all bisection probes and the adaptive guard-band
+/// retry. Holding the instance (rather than rebuilding per solve) is what
+/// lets the IPM's direct backend reuse its cached symbolic factorization
+/// across probes (`set_tau` only moves a bound, never the sparsity
+/// pattern) and lets both solvers warm-start each probe from the previous
+/// probe's optimum.
+struct SolverDriver {
+    kind: DriverKind,
+    warm_start: bool,
+    /// Whether warm-start vectors from a previous solve are loaded.
+    primed: bool,
+    /// Solves that began from a previous probe's solution.
+    warm_hits: u64,
+}
+
+enum DriverKind {
+    Ipm(IpmSolver),
+    Admm(AdmmSolver),
+}
+
+impl SolverDriver {
+    fn new(kind: &SolverKind, warm_start: bool) -> Self {
+        let kind = match kind {
+            SolverKind::Ipm(st) => {
+                let mut st = st.clone();
+                if let Some(b) = std::env::var("DME_QP_BACKEND")
+                    .ok()
+                    .and_then(|v| parse_backend(&v))
+                {
+                    st.backend = b;
+                }
+                DriverKind::Ipm(IpmSolver::new(st))
             }
+            SolverKind::Admm(st) => DriverKind::Admm(AdmmSolver::new(st.clone())),
+        };
+        Self {
+            kind,
+            warm_start,
+            primed: false,
+            warm_hits: 0,
         }
-        SolverKind::Admm(st) => AdmmSolver::new(st.clone()).solve(qp),
+    }
+
+    fn solve(&mut self, qp: &QuadProgram) -> Result<Solution, dme_qp::SolveError> {
+        let _span = dme_obs::span("solve");
+        dme_obs::counter_add("qp/solves", 1);
+        let warm = self.warm_start && self.primed;
+        if warm {
+            self.warm_hits += 1;
+        }
+        let sol = match &mut self.kind {
+            DriverKind::Ipm(solver) => {
+                if dme_obs::enabled() {
+                    solver.solve_observed(qp, &mut ObsSolverObserver)
+                } else {
+                    solver.solve(qp)
+                }
+            }
+            DriverKind::Admm(solver) => {
+                dme_obs::counter_add("qp/backend_admm", 1);
+                solver.solve(qp)
+            }
+        }?;
+        if self.warm_start {
+            // Seed the next probe from this optimum. Bisection only moves
+            // the τ bound, so the previous central path is a good start.
+            match &mut self.kind {
+                DriverKind::Ipm(s) => {
+                    s.warm_start(sol.x.clone(), sol.y.clone());
+                }
+                DriverKind::Admm(s) => {
+                    s.warm_start(sol.x.clone(), sol.y.clone());
+                }
+            }
+            self.primed = true;
+        }
+        Ok(sol)
     }
 }
 
@@ -136,6 +231,10 @@ pub struct DmoptConfig {
     pub solver: SolverKind,
     /// Bisection convergence tolerance as a fraction of the nominal MCT.
     pub bisect_tol_frac: f64,
+    /// Warm-start each QP solve (bisection probes, guard-band retry) from
+    /// the previous solve's primal/dual optimum. On by default; disable to
+    /// reproduce fully independent cold solves.
+    pub warm_start: bool,
 }
 
 impl Default for DmoptConfig {
@@ -154,6 +253,7 @@ impl Default for DmoptConfig {
             hold_margin_ns: None,
             solver: SolverKind::default(),
             bisect_tol_frac: 0.002,
+            warm_start: true,
         }
     }
 }
@@ -320,13 +420,17 @@ pub fn optimize(ctx: &OptContext<'_>, cfg: &DmoptConfig) -> Result<DmoptResult, 
 
     let mut iterations = 0usize;
     let mut probes = 0usize;
-    let solve_min_leakage = |form: &mut Formulation,
-                             tau: f64,
-                             iterations: &mut usize,
-                             probes: &mut usize|
-     -> Result<Solution, DmoptError> {
+    let mut driver = SolverDriver::new(&cfg.solver, cfg.warm_start);
+    fn solve_min_leakage(
+        driver: &mut SolverDriver,
+        form: &mut Formulation,
+        tau: f64,
+        nominal_mct: f64,
+        iterations: &mut usize,
+        probes: &mut usize,
+    ) -> Result<Solution, DmoptError> {
         form.set_tau(tau);
-        let sol = solve_with(&cfg.solver, &form.qp)?;
+        let sol = driver.solve(&form.qp)?;
         *iterations += sol.iterations;
         *probes += 1;
         match sol.status {
@@ -341,10 +445,17 @@ pub fn optimize(ctx: &OptContext<'_>, cfg: &DmoptConfig) -> Result<DmoptResult, 
             }
             _ => Ok(sol),
         }
-    };
+    }
     let (solution, solved_t): (Solution, Option<f64>) = match cfg.objective {
         Objective::MinLeakage { .. } => (
-            solve_min_leakage(&mut form, tau_init, &mut iterations, &mut probes)?,
+            solve_min_leakage(
+                &mut driver,
+                &mut form,
+                tau_init,
+                nominal_mct,
+                &mut iterations,
+                &mut probes,
+            )?,
             None,
         ),
         Objective::MinTiming { xi_uw } => {
@@ -352,9 +463,11 @@ pub fn optimize(ctx: &OptContext<'_>, cfg: &DmoptConfig) -> Result<DmoptResult, 
             let leak_scale_nw = (ctx.nominal.total_leakage_uw * 1000.0).abs().max(1.0);
             let tol_nw = 1e-3 * leak_scale_nw;
             let tol_t = cfg.bisect_tol_frac * nominal_mct;
+            let driver = &mut driver;
             let result = bisect_min(tau_ref, nominal_mct, tol_t, |tau| {
                 form.set_tau(tau);
-                let sol = solve_with(&cfg.solver, &form.qp)?;
+                let warm = driver.warm_start && driver.primed;
+                let sol = driver.solve(&form.qp)?;
                 iterations += sol.iterations;
                 probes += 1;
                 // Elastic probe: τ is achievable iff the elastic violation
@@ -362,6 +475,18 @@ pub fn optimize(ctx: &OptContext<'_>, cfg: &DmoptConfig) -> Result<DmoptResult, 
                 let feasible = form.elastic_violation(&sol.x) <= 1e-4 * nominal_mct
                     && form.leakage_objective(&sol.x) <= xi_nw + tol_nw
                     && form.qp.max_violation(&sol.x) <= 1e-3 * nominal_mct;
+                if dme_obs::enabled() {
+                    dme_obs::record(
+                        "qcp_probe",
+                        &[
+                            ("probe", probes as f64),
+                            ("tau_ns", tau),
+                            ("feasible", if feasible { 1.0 } else { 0.0 }),
+                            ("iterations", sol.iterations as f64),
+                            ("warm", if warm { 1.0 } else { 0.0 }),
+                        ],
+                    );
+                }
                 if feasible {
                     Ok(Probe::Feasible(sol))
                 } else {
@@ -422,13 +547,21 @@ pub fn optimize(ctx: &OptContext<'_>, cfg: &DmoptConfig) -> Result<DmoptResult, 
         let gap = (after.mct_ns - nominal_mct) / nominal_mct;
         if gap > 1e-3 {
             let tau2 = nominal_mct * (1.0 - gap - 0.002);
-            let retry = solve_min_leakage(&mut form, tau2, &mut iterations, &mut probes)?;
+            let retry = solve_min_leakage(
+                &mut driver,
+                &mut form,
+                tau2,
+                nominal_mct,
+                &mut iterations,
+                &mut probes,
+            )?;
             (poly_map, active_map, assignment, after) = extract(&form, &retry.x);
         }
     }
     let surrogate_delta_leakage_uw = ctx.surrogate_leakage_delta_nw(&assignment) / 1000.0;
     dme_obs::counter_add("dmopt/qp_probes", probes as u64);
     dme_obs::counter_add("dmopt/solver_iterations", iterations as u64);
+    dme_obs::counter_add("dmopt/warm_start_hits", driver.warm_hits);
     if dme_obs::enabled() {
         let before = ctx.nominal_summary();
         dme_obs::set_qor("dmopt/mct_ns", after.mct_ns);
@@ -667,6 +800,115 @@ mod tests {
         );
         // Setup timing must still improve.
         assert!(held.golden_after.mct_ns < held.golden_before.mct_ns);
+    }
+
+    #[test]
+    fn warm_started_bisection_matches_cold_bitwise() {
+        let (lib, d, p) = setup();
+        let ctx = OptContext::new(&lib, &d, &p);
+        let base = DmoptConfig {
+            objective: Objective::MinTiming { xi_uw: 0.0 },
+            grid_g_um: 5.0,
+            ..DmoptConfig::default()
+        };
+        let cold = optimize(
+            &ctx,
+            &DmoptConfig {
+                warm_start: false,
+                ..base.clone()
+            },
+        )
+        .expect("cold");
+        let warm = optimize(&ctx, &base).expect("warm");
+        // Warm starting changes the solver's path, not the answer. The QP
+        // optimum is not unique in dose cells that carry no objective
+        // weight, so individual cells may quantize to an adjacent library
+        // step — but never further, and the signed-off QoR must match.
+        assert_eq!(cold.poly_map.dose_pct.len(), warm.poly_map.dose_pct.len());
+        let step = base.snap_step_pct;
+        for (i, (c, w)) in cold
+            .poly_map
+            .dose_pct
+            .iter()
+            .zip(&warm.poly_map.dose_pct)
+            .enumerate()
+        {
+            assert!(
+                (c - w).abs() <= step + 1e-12,
+                "grid cell {i}: cold {c} vs warm {w}"
+            );
+        }
+        assert_eq!(cold.probes, warm.probes, "same bisection trajectory");
+        let t_cold = cold.solved_t_ns.expect("cold tau");
+        let t_warm = warm.solved_t_ns.expect("warm tau");
+        assert!(
+            (t_cold - t_warm).abs() <= 1e-9 * t_cold.abs().max(1.0),
+            "bisected tau: cold {t_cold} vs warm {t_warm}"
+        );
+        // An adjacent-step quantization difference in a cell on the
+        // critical path shifts the signed-off MCT by roughly one snap
+        // step's worth of delay, so the QoR tolerance must cover it.
+        assert!(
+            (cold.golden_after.mct_ns - warm.golden_after.mct_ns).abs()
+                <= 3e-3 * cold.golden_after.mct_ns,
+            "mct: cold {} vs warm {}",
+            cold.golden_after.mct_ns,
+            warm.golden_after.mct_ns
+        );
+        assert!(
+            warm.iterations <= cold.iterations,
+            "warm {} vs cold {} total IPM iterations",
+            warm.iterations,
+            cold.iterations
+        );
+    }
+
+    #[test]
+    fn direct_and_cg_backends_agree_on_golden_signoff() {
+        let (lib, d, p) = setup();
+        let ctx = OptContext::new(&lib, &d, &p);
+        let run = |backend| {
+            let cfg = DmoptConfig {
+                grid_g_um: 5.0,
+                objective: Objective::MinLeakage {
+                    tau_ns: Some(ctx.nominal.mct_ns),
+                },
+                solver: SolverKind::Ipm(IpmSettings {
+                    backend,
+                    ..IpmSettings::default()
+                }),
+                ..DmoptConfig::default()
+            };
+            optimize(&ctx, &cfg).expect("optimize")
+        };
+        let cg = run(NewtonBackend::Cg);
+        let direct = run(NewtonBackend::Direct);
+        assert!(
+            (cg.golden_after.leakage_uw - direct.golden_after.leakage_uw).abs()
+                <= 1e-3 * cg.golden_after.leakage_uw.abs().max(1.0),
+            "leakage: cg {} vs direct {}",
+            cg.golden_after.leakage_uw,
+            direct.golden_after.leakage_uw
+        );
+        assert!(
+            (cg.golden_after.mct_ns - direct.golden_after.mct_ns).abs()
+                <= 1e-3 * cg.golden_after.mct_ns,
+            "mct: cg {} vs direct {}",
+            cg.golden_after.mct_ns,
+            direct.golden_after.mct_ns
+        );
+    }
+
+    #[test]
+    fn backend_override_parses_known_values_only() {
+        assert!(matches!(
+            parse_backend("direct"),
+            Some(NewtonBackend::Direct)
+        ));
+        assert!(matches!(parse_backend("CG"), Some(NewtonBackend::Cg)));
+        assert!(matches!(parse_backend("Auto"), Some(NewtonBackend::Auto)));
+        assert!(parse_backend("fancy").is_none());
+        assert!(parse_backend("").is_none());
     }
 
     #[test]

@@ -69,6 +69,22 @@ pub fn parallel_enabled() -> bool {
     cfg!(feature = "parallel")
 }
 
+/// The parallelism a fork-join primitive would *actually* get right now:
+/// 1 when the pool is width 1, the serial switch is on, or the caller is
+/// already inside a pool task (nested calls run inline); the pool width
+/// otherwise. Dispatch layers should consult this — not [`num_threads`] —
+/// when deciding whether a parallel code path is worth its setup cost: on
+/// a 1-thread pool [`run_tasks`] degrades to an inline serial loop, so a
+/// "parallel" algorithm variant pays its partitioning overhead for
+/// nothing.
+pub fn effective_parallelism() -> usize {
+    if force_serial() || IN_POOL_TASK.with(|f| f.get()) {
+        1
+    } else {
+        num_threads()
+    }
+}
+
 /// Whether a parallel primitive over `len` elements would actually fan
 /// out right now.
 pub fn would_parallelize(len: usize, cutoff: usize) -> bool {
@@ -238,8 +254,13 @@ pub fn run_tasks(num_tasks: usize, f: &(dyn Fn(usize) + Sync)) {
         p.shared.work_cv.notify_all();
     }
     // The submitter works too (and is usually the one draining the queue
-    // on small jobs).
+    // on small jobs). It is inside a pool task for the duration: nested
+    // parallel calls from its tasks must run inline, both for the no-
+    // deadlock contract (the submit lock is held) and so dispatch layers
+    // see `effective_parallelism() == 1` from within a task.
+    IN_POOL_TASK.with(|flag| flag.set(true));
     run_job_tasks(&job, &counters, &p.shared);
+    IN_POOL_TASK.with(|flag| flag.set(false));
     // Wait for tasks claimed by workers.
     {
         let mut slot = p.shared.slot.lock().expect("pool slot poisoned");
@@ -393,6 +414,42 @@ mod tests {
             }
         });
         assert!(out.iter().zip(0..).all(|(v, i)| *v >= i as f64));
+    }
+
+    #[test]
+    fn one_thread_dispatch_is_inline_serial() {
+        // With the serial switch on, a "parallel" run must execute every
+        // task inline on the calling thread in index order — exactly the
+        // dispatch a width-1 pool gets. This pins the contract that
+        // 1-thread parallel == serial (no cross-thread handoff, no
+        // reordering), which the STA engine's Auto mode relies on.
+        set_force_serial(true);
+        assert_eq!(effective_parallelism(), 1);
+        let caller = std::thread::current().id();
+        let order = Mutex::new(Vec::new());
+        run_tasks(64, &|i| {
+            assert_eq!(std::thread::current().id(), caller, "task {i} migrated");
+            order.lock().unwrap().push(i);
+        });
+        set_force_serial(false);
+        let order = order.into_inner().unwrap();
+        assert_eq!(order, (0..64).collect::<Vec<_>>(), "inline order");
+    }
+
+    #[test]
+    fn effective_parallelism_reflects_context() {
+        assert_eq!(effective_parallelism(), num_threads());
+        set_force_serial(true);
+        assert_eq!(effective_parallelism(), 1);
+        set_force_serial(false);
+        // Inside a pool task, nested primitives run inline.
+        let mut seen = vec![0usize; 4];
+        par_chunks_mut(&mut seen, 1, |_, chunk| {
+            chunk[0] = effective_parallelism();
+        });
+        if num_threads() > 1 {
+            assert!(seen.iter().all(|&p| p == 1), "nested: {seen:?}");
+        }
     }
 
     #[test]

@@ -155,6 +155,38 @@ fn ipm_convergence(input: &DashboardInput) -> String {
     }
 }
 
+fn qcp_probe_panel(input: &DashboardInput) -> String {
+    let Some(rows) = input
+        .manifest
+        .and_then(|m| m.get("records"))
+        .and_then(|r| r.get("qcp_probe"))
+        .and_then(|r| r.get("rows"))
+        .and_then(Value::as_array)
+    else {
+        return "<p class=\"muted\">no QCP probe telemetry (MinTiming runs with tracing \
+                record one row per bisection probe)</p>"
+            .to_string();
+    };
+    let iters: Vec<f64> = rows
+        .iter()
+        .filter_map(|r| r.get("iterations").and_then(Value::as_f64))
+        .collect();
+    let flag = |key: &str| {
+        rows.iter()
+            .filter(|r| r.get(key).and_then(Value::as_f64).unwrap_or(0.0) > 0.5)
+            .count()
+    };
+    let warm = flag("warm");
+    let feasible = flag("feasible");
+    let mut body = format!(
+        "<p>{} bisection probes — {warm} warm-started, {feasible} feasible. \
+         IPM iterations per probe (warm starts should flatten the tail):</p>",
+        rows.len()
+    );
+    body.push_str(&sparkline(&iters, 480, 60));
+    body
+}
+
 fn swap_tallies(latest: &QorRecord) -> String {
     let tallies: Vec<(&String, &f64)> = latest
         .counters
@@ -328,6 +360,7 @@ pub fn render(input: &DashboardInput) -> String {
             &stage_breakdown(latest),
         );
         section(&mut out, "IPM convergence", &ipm_convergence(input));
+        section(&mut out, "QCP probe warm starts", &qcp_probe_panel(input));
         section(
             &mut out,
             "dosePl swap-filter tallies",
@@ -377,9 +410,13 @@ mod tests {
     #[test]
     fn dashboard_is_self_contained_and_has_every_section() {
         let history = vec![rec_with_everything(), rec_with_everything()];
-        let manifest = json::parse(
-            "{\"records\":{\"ipm_iter\":{\"rows\":[{\"mu\":1.0},{\"mu\":0.1},{\"mu\":0.001}]}}}",
-        )
+        let manifest = json::parse(concat!(
+            "{\"records\":{\"ipm_iter\":{\"rows\":[{\"mu\":1.0},{\"mu\":0.1},{\"mu\":0.001}]},",
+            "\"qcp_probe\":{\"rows\":[",
+            "{\"probe\":1,\"tau_ns\":1.9,\"feasible\":1,\"iterations\":14,\"warm\":0},",
+            "{\"probe\":2,\"tau_ns\":1.7,\"feasible\":0,\"iterations\":9,\"warm\":1},",
+            "{\"probe\":3,\"tau_ns\":1.8,\"feasible\":1,\"iterations\":7,\"warm\":1}]}}}",
+        ))
         .unwrap();
         let bench = vec![
             json::parse("{\"speedups_parallel_over_serial\":{\"spmv_mul\":2.5}}").unwrap(),
@@ -395,6 +432,8 @@ mod tests {
         for needle in [
             "Per-stage time breakdown",
             "IPM convergence",
+            "QCP probe warm starts",
+            "3 bisection probes — 2 warm-started, 2 feasible",
             "dosePl swap-filter tallies",
             "QoR trends",
             "Kernel speedup trajectory",

@@ -257,8 +257,19 @@ pub fn diff_records(run: &QorRecord, baseline: &[QorRecord], cfg: &DiffConfig) -
                     Direction::LowerIsBetter => v - median,
                     Direction::HigherIsBetter => median - v,
                 };
+                // On a width-1 pool every parallel variant runs the
+                // inline-serial path, so speedup ratios measure dispatch
+                // noise rather than parallel QoR: report them but never
+                // gate on them (threads = 0 means "unknown" and still
+                // gates).
+                let informational =
+                    name.contains("speedup") && run.threads > 0.0 && run.threads <= 1.0;
                 let verdict = if worse_by > threshold {
-                    Verdict::Regressed
+                    if informational {
+                        Verdict::Stable
+                    } else {
+                        Verdict::Regressed
+                    }
                 } else if worse_by < -threshold {
                     Verdict::Improved
                 } else {
@@ -439,6 +450,43 @@ mod tests {
         assert!(!report.has_regression());
         assert_eq!(report.count(Verdict::New), 1);
         assert_eq!(report.count(Verdict::Missing), 1);
+    }
+
+    #[test]
+    fn speedups_never_gate_on_a_one_thread_run() {
+        let mut baseline = Vec::new();
+        for s in [3.0, 3.1, 2.9, 3.0, 3.05] {
+            let mut r = rec(100.0, 100.0);
+            r.threads = 4.0;
+            r.qor.insert("bench/speedup_sta_pass".into(), s);
+            baseline.push(r);
+        }
+        // A 1-thread run inevitably "loses" the speedup (the parallel
+        // variant runs serially) — informational, not a regression.
+        let mut run = rec(100.0, 100.0);
+        run.threads = 1.0;
+        run.qor.insert("bench/speedup_sta_pass".into(), 0.7);
+        let report = diff_records(&run, &baseline, &DiffConfig::default());
+        assert!(
+            !report.has_regression(),
+            "one-thread speedup gated: {:?}",
+            report.regressions()
+        );
+        // The same drop on a multi-thread run is a real regression, and
+        // threads = 0 (unknown) must not get the exemption either.
+        for threads in [4.0, 0.0] {
+            let mut run = rec(100.0, 100.0);
+            run.threads = threads;
+            run.qor.insert("bench/speedup_sta_pass".into(), 0.7);
+            let report = diff_records(&run, &baseline, &DiffConfig::default());
+            assert!(
+                report
+                    .regressions()
+                    .iter()
+                    .any(|m| m.name == "qor/bench/speedup_sta_pass"),
+                "threads={threads} should gate"
+            );
+        }
     }
 
     #[test]

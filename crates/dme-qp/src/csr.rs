@@ -229,6 +229,35 @@ impl CsrMatrix {
         self.vals.len()
     }
 
+    /// Raw CSR arrays `(row_ptr, col_idx, vals)` for the in-crate direct
+    /// factorization (pattern enumeration and scatter-plan replay need
+    /// positional access that the `row` iterator cannot express).
+    pub(crate) fn raw_parts(&self) -> (&[usize], &[usize], &[f64]) {
+        (&self.row_ptr, &self.col_idx, &self.vals)
+    }
+
+    /// FNV-1a hash of the sparsity *structure*: dimensions, row pointers
+    /// and column indices (values excluded). Two matrices with equal
+    /// fingerprints share assembly plans and symbolic factorizations —
+    /// the key that lets the IPM reuse its direct-backend cache across
+    /// bisection probes, where only bounds and values change.
+    pub(crate) fn pattern_fingerprint(&self, mut hash: u64) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut mix = |v: u64| {
+            hash ^= v;
+            hash = hash.wrapping_mul(PRIME);
+        };
+        mix(self.nrows as u64);
+        mix(self.ncols as u64);
+        for &p in &self.row_ptr {
+            mix(p as u64);
+        }
+        for &c in &self.col_idx {
+            mix(c as u64);
+        }
+        hash
+    }
+
     /// Iterates over the stored entries of one row as `(col, value)` pairs.
     ///
     /// # Panics

@@ -21,9 +21,32 @@
 //! are inert.
 
 use crate::admm::{Solution, SolveStatus};
-use crate::observer::{CgSolve, IpmIteration, NopObserver, SolverObserver};
+use crate::ldl::DirectSolver;
+use crate::observer::{CgSolve, FactorizationEvent, IpmIteration, NopObserver, SolverObserver};
 use crate::{CsrMatrix, QuadProgram, SolveError};
 use dme_par::vecops;
+use std::cell::RefCell;
+use std::time::Instant;
+
+/// Which linear solver computes each Newton step `(P + AᵀDA)·Δx = rhs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NewtonBackend {
+    /// Matrix-free Jacobi-preconditioned conjugate gradients. Memory
+    /// stays linear in the nonzeros; iteration count depends on the
+    /// conditioning of the barrier diagonal.
+    Cg,
+    /// Assembled sparse LDLᵀ with a cached symbolic factorization: the
+    /// pattern, fill-reducing ordering, and elimination tree are built
+    /// once per problem structure; each IPM iteration only replays a
+    /// scatter plan and refactors numerically. Falls back to CG when the
+    /// structure disqualifies itself (a dense constraint row).
+    Direct,
+    /// Direct when the symbolic fill estimate stays below
+    /// [`IpmSettings::direct_fill_limit`], else CG. The estimate is
+    /// computed once per structure and the decision is cached.
+    #[default]
+    Auto,
+}
 
 /// Settings for [`IpmSolver`].
 #[derive(Debug, Clone)]
@@ -36,12 +59,23 @@ pub struct IpmSettings {
     pub max_iter: usize,
     /// Maximum CG iterations per Newton solve.
     pub cg_max_iter: usize,
-    /// Relative CG tolerance.
+    /// Relative CG tolerance (the floor when adaptive forcing is on).
     pub cg_tol: f64,
     /// Fraction-to-the-boundary step factor.
     pub step_frac: f64,
     /// Ruiz equilibration passes (0 disables scaling).
     pub scaling_iters: usize,
+    /// Newton-system backend selection.
+    pub backend: NewtonBackend,
+    /// `Auto` picks the direct backend only while `nnz(L) / nnz(K)` stays
+    /// at or below this ratio; past it the factor is deemed too dense and
+    /// CG wins on memory and per-iteration cost.
+    pub direct_fill_limit: f64,
+    /// Eisenstat–Walker adaptive forcing for the CG path: early Newton
+    /// iterations, whose steps are inaccurate anyway, solve to a loose
+    /// tolerance tied to the KKT residual decrease instead of grinding
+    /// to `cg_tol`.
+    pub adaptive_cg: bool,
 }
 
 impl Default for IpmSettings {
@@ -54,14 +88,38 @@ impl Default for IpmSettings {
             cg_tol: 1e-10,
             step_frac: 0.995,
             scaling_iters: 10,
+            backend: NewtonBackend::default(),
+            direct_fill_limit: 16.0,
+            adaptive_cg: true,
         }
     }
+}
+
+/// Per-structure cache for the direct backend, validated by a pattern
+/// fingerprint so one solver instance can be reused across bisection
+/// probes (`set_tau` only moves bounds, never the sparsity).
+#[derive(Debug, Clone, Default)]
+enum DirectCache {
+    /// No structure seen yet.
+    #[default]
+    Empty,
+    /// The structure with this fingerprint was examined and turned down
+    /// (dense row, pattern blowup, or fill estimate past the limit).
+    Rejected(u64),
+    /// Built and ready for numeric refactorization.
+    Built(Box<DirectSolver>),
 }
 
 /// Mehrotra predictor-corrector interior-point solver.
 #[derive(Debug, Clone, Default)]
 pub struct IpmSolver {
     settings: IpmSettings,
+    /// Warm-start point `(x, y)` in the *unscaled* problem space, carried
+    /// across solves until replaced (parity with `AdmmSolver`).
+    warm: Option<(Vec<f64>, Vec<f64>)>,
+    /// Direct-backend cache; interior-mutable so `solve(&self)` keeps its
+    /// signature while the symbolic factorization persists across calls.
+    direct: RefCell<DirectCache>,
 }
 
 /// Barrier state per constraint row.
@@ -81,7 +139,21 @@ struct Rows {
 impl IpmSolver {
     /// Creates a solver with the given settings.
     pub fn new(settings: IpmSettings) -> Self {
-        Self { settings }
+        Self {
+            settings,
+            warm: None,
+            direct: RefCell::new(DirectCache::Empty),
+        }
+    }
+
+    /// Provides a warm-start point (in the original, unscaled problem
+    /// space) for the next solves — typically the solution of an adjacent
+    /// bisection probe. The point seeds the primal iterate, the row
+    /// slacks, and the barrier multipliers; it persists until replaced.
+    /// Mirrors [`crate::AdmmSolver::warm_start`].
+    pub fn warm_start(&mut self, x: Vec<f64>, y: Vec<f64>) -> &mut Self {
+        self.warm = Some((x, y));
+        self
     }
 
     /// Solves the program.
@@ -117,7 +189,18 @@ impl IpmSolver {
             l: (0..m).map(|i| scale.e[i] * qp.l[i]).collect(),
             u: (0..m).map(|i| scale.e[i] * qp.u[i]).collect(),
         };
-        let mut sol = self.solve_scaled(&scaled, obs)?;
+        // Map the warm-start point into the scaled space (the inverse of
+        // the un-scaling applied to the solution below). A point with the
+        // wrong dimensions is silently ignored.
+        let warm_scaled = self.warm.as_ref().and_then(|(wx, wy)| {
+            if wx.len() != n || wy.len() != m {
+                return None;
+            }
+            let x: Vec<f64> = (0..n).map(|j| wx[j] / scale.d[j]).collect();
+            let y: Vec<f64> = (0..m).map(|i| wy[i] * scale.cost / scale.e[i]).collect();
+            (x.iter().chain(y.iter()).all(|v| v.is_finite())).then_some((x, y))
+        });
+        let mut sol = self.solve_scaled(&scaled, warm_scaled, obs)?;
         for j in 0..n {
             sol.x[j] *= scale.d[j];
         }
@@ -135,9 +218,42 @@ impl IpmSolver {
         Ok(sol)
     }
 
+    /// Decides (and lazily builds) the direct backend for this structure.
+    /// The decision is cached by pattern fingerprint, so repeated solves
+    /// on the same structure — IPM bisection probes — pay the symbolic
+    /// cost exactly once.
+    fn use_direct(&self, qp: &QuadProgram) -> bool {
+        let st = &self.settings;
+        if st.backend == NewtonBackend::Cg {
+            return false;
+        }
+        let fp =
+            qp.a.pattern_fingerprint(qp.p.pattern_fingerprint(0xcbf2_9ce4_8422_2325));
+        let mut cache = self.direct.borrow_mut();
+        match &*cache {
+            DirectCache::Built(ds) if ds.fingerprint == fp => return true,
+            DirectCache::Rejected(rej) if *rej == fp => return false,
+            _ => {}
+        }
+        match DirectSolver::build(&qp.p, &qp.a, fp) {
+            Some(ds)
+                if st.backend == NewtonBackend::Direct
+                    || ds.fill_ratio() <= st.direct_fill_limit =>
+            {
+                *cache = DirectCache::Built(Box::new(ds));
+                true
+            }
+            _ => {
+                *cache = DirectCache::Rejected(fp);
+                false
+            }
+        }
+    }
+
     fn solve_scaled(
         &self,
         qp: &QuadProgram,
+        warm: Option<(Vec<f64>, Vec<f64>)>,
         obs: &mut dyn SolverObserver,
     ) -> Result<Solution, SolveError> {
         let st = &self.settings;
@@ -169,14 +285,24 @@ impl IpmSolver {
         };
 
         // --- initialization ---
+        // Cold start: x = 0, unit multipliers, slacks pushed well inside
+        // the bounds. Warm start: seed x from the caller's point, keep the
+        // slacks only a sliver inside the boundary (the point is expected
+        // near-optimal, where active constraints sit *on* the boundary),
+        // and split the warm dual row-multipliers into the two one-sided
+        // barrier multipliers with a small positivity floor.
         let mut x = vec![0.0f64; n];
+        if let Some((wx, _)) = &warm {
+            x.copy_from_slice(wx);
+        }
         let ax0 = a.mul_vec(&x);
         for i in 0..m {
             let (lo, hi) = (l[i], u[i]);
-            let margin = if lo.is_finite() && hi.is_finite() {
-                (0.1 * (hi - lo)).clamp(1e-6, 1.0)
-            } else {
-                1.0
+            let margin = match (&warm, lo.is_finite() && hi.is_finite()) {
+                (None, true) => (0.1 * (hi - lo)).clamp(1e-6, 1.0),
+                (None, false) => 1.0,
+                (Some(_), true) => (1e-3 * (hi - lo)).clamp(1e-9, 1e-3),
+                (Some(_), false) => 1e-6,
             };
             rows.s[i] = match (rows.has_l[i], rows.has_u[i]) {
                 (true, true) => ax0[i].clamp(
@@ -187,11 +313,12 @@ impl IpmSolver {
                 (false, true) => ax0[i].min(hi - margin),
                 (false, false) => ax0[i],
             };
+            let wy = warm.as_ref().map_or(0.0, |(_, wy)| wy[i]);
             if rows.has_l[i] {
-                rows.zl[i] = 1.0;
+                rows.zl[i] = if warm.is_some() { (-wy).max(1e-4) } else { 1.0 };
             }
             if rows.has_u[i] {
-                rows.zu[i] = 1.0;
+                rows.zu[i] = if warm.is_some() { wy.max(1e-4) } else { 1.0 };
             }
         }
         let mut y: Vec<f64> = (0..m).map(|i| rows.zu[i] - rows.zl[i]).collect();
@@ -201,8 +328,18 @@ impl IpmSolver {
         let mut g = vec![0.0f64; m];
         let mut rhs = vec![0.0f64; n];
         let mut dx = vec![0.0f64; n];
-        let mut cg = CgScratch::new(n, m);
+
+        // Newton backend: resolved once per solve; the direct cache (and
+        // its symbolic factorization) persists across solves on the same
+        // structure.
+        let use_direct = self.use_direct(qp);
+        obs.newton_backend(if use_direct { "direct" } else { "cg" });
+        let mut direct_cache = use_direct.then(|| self.direct.borrow_mut());
+        let mut cg = (!use_direct).then(|| CgScratch::new(n, m));
         let p_diag = p.diag();
+        // Eisenstat–Walker forcing state (CG path): previous relative KKT
+        // residual, driving the next solve's relative tolerance.
+        let mut prev_kkt: Option<f64> = None;
 
         let q_norm = inf_norm(q).max(1.0);
         let b_norm = l
@@ -212,12 +349,26 @@ impl IpmSolver {
             .fold(0.0f64, |acc, v| acc.max(v.abs()))
             .max(1.0);
 
+        // Reduced-precision acceptance bounds for the two stall exits
+        // below: primal feasibility and the complementarity gap must be
+        // near full precision (those are what downstream timing checks
+        // consume), while the dual residual — the quantity a degenerate
+        // active set pins away from zero — is accepted at 1e-2 relative.
+        const STALL_RP: f64 = 1e-4;
+        const STALL_RD: f64 = 1e-2;
+        const STALL_MU: f64 = 1e-4;
+
         let mut status = SolveStatus::MaxIterations;
         let mut iterations = st.max_iter;
         let mut final_rp = f64::INFINITY;
         let mut final_rd = f64::INFINITY;
         let mut stalled_steps = 0usize;
         let mut prev_mu = f64::INFINITY;
+        // Merit-based stall detection: the best combined KKT merit seen
+        // so far and the number of consecutive iterations without a ≥1%
+        // improvement on it.
+        let mut best_merit = f64::INFINITY;
+        let mut no_progress = 0usize;
 
         for iter in 0..st.max_iter {
             // Residuals.
@@ -242,11 +393,46 @@ impl IpmSolver {
             if nfin > 0 {
                 mu /= nfin as f64;
             }
-            let rp_inf = inf_norm(&rp) / b_norm;
-            let rd_inf = inf_norm(&rd) / q_norm;
+            // OSQP-style relative residuals: normalize by the magnitude of
+            // the terms composing each residual, not just the static data
+            // norms. On the dose-map QPs the active timing multipliers are
+            // orders of magnitude above ‖q‖ (≈1 after cost scaling), so a
+            // q-only denominator would turn the dual test into an absolute
+            // one and overstate the residual by the same factor.
+            let rp_scale = b_norm.max(inf_norm(&ax)).max(inf_norm(&rows.s));
+            let rd_scale = q_norm.max(inf_norm(&px)).max(inf_norm(&aty));
+            let rp_inf = inf_norm(&rp) / rp_scale;
+            let rd_inf = inf_norm(&rd) / rd_scale;
             final_rp = inf_norm(&rp);
             final_rd = inf_norm(&rd);
             if rp_inf < st.eps && rd_inf < st.eps && mu < st.eps_mu {
+                status = SolveStatus::Solved;
+                iterations = iter;
+                break;
+            }
+            // Reduced-precision stall exit. On degenerate programs (the
+            // dose-map QPs at τ = nominal have a maximally active timing
+            // set) the central path leads to a non-strictly-complementary
+            // point: the merit stops contracting while the step length
+            // collapses, and Mehrotra iterations churn forever. When the
+            // merit has not improved by ≥1% for several consecutive
+            // iterations AND the iterate already meets the reduced
+            // tolerances below (primal and µ near full precision, dual
+            // within 1e-2 — the dual is exactly what non-strict
+            // complementarity blocks), declare it solved at reduced
+            // precision — the behaviour of production interior-point
+            // codes. An iterate that is stalled but *not* within reduced
+            // precision keeps iterating (an inexact Newton backend may
+            // still escape, and an honest MaxIterations beats a wrong
+            // Solved).
+            let merit = rp_inf.max(rd_inf).max(mu);
+            if merit < 0.99 * best_merit {
+                best_merit = merit;
+                no_progress = 0;
+            } else {
+                no_progress += 1;
+            }
+            if no_progress >= 5 && rp_inf < STALL_RP && rd_inf < STALL_RD && mu < STALL_MU {
                 status = SolveStatus::Solved;
                 iterations = iter;
                 break;
@@ -291,10 +477,41 @@ impl IpmSolver {
             let cg_abs_tol = (1e-2 * inf_norm(&rd))
                 .max(0.05 * st.eps * q_norm)
                 .max(1e-13);
+            // Eisenstat–Walker forcing: the relative CG tolerance tracks
+            // the square of the KKT residual contraction, so early Newton
+            // steps (inaccurate regardless) stop over-solving while the
+            // endgame still reaches `cg_tol`. The absolute floor above is
+            // what guarantees final accuracy either way.
+            let kkt = rp_inf.max(rd_inf);
+            let cg_rel_tol = if st.adaptive_cg {
+                match prev_kkt {
+                    Some(prev) if prev > 0.0 && kkt.is_finite() => {
+                        (0.9 * (kkt / prev).powi(2)).clamp(st.cg_tol, 1e-2)
+                    }
+                    _ => 1e-2,
+                }
+            } else {
+                st.cg_tol
+            };
+            prev_kkt = Some(kkt);
+
+            // Direct backend: one numeric refactorization per iteration
+            // (the predictor and corrector share D, hence the factor).
+            if let Some(ds) = direct_mut(&mut direct_cache) {
+                let t0 = Instant::now();
+                ds.factor(p, a, &d);
+                obs.factorization(&FactorizationEvent {
+                    symbolic_reused: ds.factors > 1,
+                    refactor_ns: t0.elapsed().as_nanos() as u64,
+                    nnz_l: ds.nnz_l,
+                    n: ds.num_vars(),
+                });
+            }
             // Affine predictor: (P + AᵀDA)Δx = −rd − Aᵀ(g + D·rp).
-            let solve_newton = |cg: &mut CgScratch,
-                                dx: &mut Vec<f64>,
+            let solve_newton = |dx: &mut Vec<f64>,
                                 rhs: &mut Vec<f64>,
+                                cg: Option<&mut CgScratch>,
+                                ds: Option<&mut DirectSolver>,
                                 g: &[f64],
                                 d: &[f64],
                                 rd: &[f64],
@@ -309,6 +526,10 @@ impl IpmSolver {
                     rhs[j] = -rd[j] - at_t[j];
                 }
                 dx.fill(0.0);
+                if let Some(ds) = ds {
+                    return direct_newton_solve(ds, p, a, d, rhs, dx, cg_abs_tol);
+                }
+                let cg = cg.expect("CG scratch exists on the CG path");
                 cg.solve(
                     p,
                     a,
@@ -317,12 +538,23 @@ impl IpmSolver {
                     rhs,
                     dx,
                     st.cg_max_iter,
-                    st.cg_tol,
+                    cg_rel_tol,
                     cg_abs_tol,
                 )
             };
-            let cg_pred = solve_newton(&mut cg, &mut dx, &mut rhs, &g, &d, &rd, &rp)?;
-            obs.cg_solve(&cg_pred);
+            let cg_pred = solve_newton(
+                &mut dx,
+                &mut rhs,
+                cg.as_mut(),
+                direct_mut(&mut direct_cache),
+                &g,
+                &d,
+                &rd,
+                &rp,
+            )?;
+            if !use_direct {
+                obs.cg_solve(&cg_pred);
+            }
 
             // Recover affine Δs, Δzl, Δzu.
             let adx = a.mul_vec(&dx);
@@ -380,8 +612,19 @@ impl IpmSolver {
                 }
                 g[i] = gi;
             }
-            let cg_corr = solve_newton(&mut cg, &mut dx, &mut rhs, &g, &d, &rd, &rp)?;
-            obs.cg_solve(&cg_corr);
+            let cg_corr = solve_newton(
+                &mut dx,
+                &mut rhs,
+                cg.as_mut(),
+                direct_mut(&mut direct_cache),
+                &g,
+                &d,
+                &rd,
+                &rp,
+            )?;
+            if !use_direct {
+                obs.cg_solve(&cg_corr);
+            }
 
             let adx = a.mul_vec(&dx);
             let mut ds = vec![0.0f64; m];
@@ -415,8 +658,10 @@ impl IpmSolver {
             });
             if std::env::var_os("DME_IPM_TRACE").is_some() {
                 eprintln!(
-                    "ipm iter {iter:>3}: mu={mu:.3e} rp={:.2e} rd={:.2e} sigma={sigma:.2e} alpha={alpha:.3e}",
-                    inf_norm(&rp), inf_norm(&rd)
+                    "ipm iter {iter:>3}: mu={mu:.3e} rp={:.2e} rd={:.2e} rp_rel={rp_inf:.2e} \
+                     rd_rel={rd_inf:.2e} sigma={sigma:.2e} alpha={alpha:.3e}",
+                    inf_norm(&rp),
+                    inf_norm(&rd)
                 );
             }
 
@@ -431,7 +676,7 @@ impl IpmSolver {
             if alpha < 1e-6 && mu_frozen {
                 stalled_steps += 1;
                 if stalled_steps >= 3 {
-                    if inf_norm(&rp) / b_norm < 1e-4 {
+                    if rp_inf < STALL_RP && rd_inf < STALL_RD && mu < STALL_MU {
                         status = SolveStatus::Solved;
                     }
                     iterations = iter + 1;
@@ -482,6 +727,68 @@ impl IpmSolver {
 
 fn inf_norm(v: &[f64]) -> f64 {
     vecops::inf_norm(v)
+}
+
+/// Re-borrows the built direct solver out of the per-solve cache guard.
+fn direct_mut<'a>(
+    cache: &'a mut Option<std::cell::RefMut<'_, DirectCache>>,
+) -> Option<&'a mut DirectSolver> {
+    match cache.as_mut().map(|c| &mut **c) {
+        Some(DirectCache::Built(ds)) => Some(ds.as_mut()),
+        _ => None,
+    }
+}
+
+/// Direct Newton solve: LDLᵀ triangular solves plus up to two iterative-
+/// refinement passes against the matrix-free operator, honoring the same
+/// absolute accuracy target as the CG path (the pivot floor and the
+/// normal-equations conditioning make raw triangular solves a hair less
+/// accurate than the factorization's cost would suggest).
+fn direct_newton_solve(
+    ds: &mut DirectSolver,
+    p: &CsrMatrix,
+    a: &CsrMatrix,
+    d: &[f64],
+    rhs: &[f64],
+    dx: &mut [f64],
+    abs_tol: f64,
+) -> Result<CgSolve, SolveError> {
+    let n = rhs.len();
+    let m = d.len();
+    ds.solve(rhs, dx);
+    let mut corr = vec![0.0f64; n];
+    let mut resid = vec![0.0f64; n];
+    let mut tm = vec![0.0f64; m];
+    let b_norm = vecops::norm2(rhs).max(1e-300);
+    let mut rel = 0.0;
+    for _ in 0..3 {
+        // resid = rhs − (P + AᵀDA)·dx, matrix-free.
+        p.mul_vec_into(dx, &mut resid);
+        a.mul_vec_into(dx, &mut tm);
+        vecops::mul_assign(d, &mut tm);
+        let at = a.mul_transpose_vec(&tm);
+        for j in 0..n {
+            resid[j] = rhs[j] - resid[j] - at[j];
+        }
+        let r_norm = vecops::norm2(&resid);
+        rel = r_norm / b_norm;
+        if r_norm <= abs_tol.max(1e-14 * b_norm) {
+            break;
+        }
+        ds.solve(&resid, &mut corr);
+        for j in 0..n {
+            dx[j] += corr[j];
+        }
+    }
+    if dx.iter().any(|v| !v.is_finite()) {
+        return Err(SolveError::Numerical(
+            "direct Newton solve produced non-finite values".into(),
+        ));
+    }
+    Ok(CgSolve {
+        iterations: 0,
+        rel_residual: rel,
+    })
 }
 
 /// Largest primal/dual steps `(α_p, α_d) ∈ (0, 1]²` keeping slacks
@@ -806,33 +1113,50 @@ mod tests {
         }
     }
 
-    #[test]
-    fn observer_streams_per_iteration_telemetry() {
-        #[derive(Default)]
-        struct Collect {
-            iters: Vec<IpmIteration>,
-            cg: Vec<CgSolve>,
+    #[derive(Default)]
+    struct Collect {
+        iters: Vec<IpmIteration>,
+        cg: Vec<CgSolve>,
+        factorizations: Vec<FactorizationEvent>,
+        backends: Vec<&'static str>,
+    }
+    impl SolverObserver for Collect {
+        fn ipm_iteration(&mut self, it: &IpmIteration) {
+            self.iters.push(*it);
         }
-        impl SolverObserver for Collect {
-            fn ipm_iteration(&mut self, it: &IpmIteration) {
-                self.iters.push(*it);
-            }
-            fn cg_solve(&mut self, cg: &CgSolve) {
-                self.cg.push(*cg);
-            }
+        fn cg_solve(&mut self, cg: &CgSolve) {
+            self.cg.push(*cg);
         }
-        let qp = QuadProgram::new(
+        fn newton_backend(&mut self, backend: &'static str) {
+            self.backends.push(backend);
+        }
+        fn factorization(&mut self, ev: &FactorizationEvent) {
+            self.factorizations.push(*ev);
+        }
+    }
+
+    fn small_qp() -> QuadProgram {
+        QuadProgram::new(
             CsrMatrix::diagonal(&[2.0, 2.0]),
             vec![-2.0, -4.0],
             CsrMatrix::from_triplets(3, 2, &[(0, 0, 1.0), (0, 1, 1.0), (1, 0, 1.0), (2, 1, 1.0)]),
             vec![f64::NEG_INFINITY, 0.0, 0.0],
             vec![2.0, f64::INFINITY, f64::INFINITY],
         )
-        .unwrap();
+        .unwrap()
+    }
+
+    #[test]
+    fn observer_streams_per_iteration_telemetry() {
+        let qp = small_qp();
         let mut obs = Collect::default();
-        let s = IpmSolver::new(IpmSettings::default())
-            .solve_observed(&qp, &mut obs)
-            .expect("solve");
+        // Pin the CG backend: this test asserts the per-CG-solve stream.
+        let s = IpmSolver::new(IpmSettings {
+            backend: NewtonBackend::Cg,
+            ..IpmSettings::default()
+        })
+        .solve_observed(&qp, &mut obs)
+        .expect("solve");
         assert_eq!(s.status, SolveStatus::Solved);
         // One record per completed Newton iteration, indexed in order,
         // and two CG solves (predictor + corrector) per record.
@@ -847,10 +1171,145 @@ mod tests {
         }
         assert_eq!(obs.cg.len(), 2 * obs.iters.len());
         assert!(obs.cg.iter().any(|c| c.iterations > 0));
+        assert_eq!(obs.backends, vec!["cg"]);
+        assert!(obs.factorizations.is_empty());
         // µ must shrink substantially from first to last iteration.
         let first = obs.iters.first().unwrap().mu;
         let last = obs.iters.last().unwrap().mu;
         assert!(last < first, "mu did not decrease: {first} -> {last}");
+    }
+
+    #[test]
+    fn direct_backend_matches_cg() {
+        let qp = small_qp();
+        let cg = IpmSolver::new(IpmSettings {
+            backend: NewtonBackend::Cg,
+            ..IpmSettings::default()
+        })
+        .solve(&qp)
+        .expect("cg solve");
+        let direct = IpmSolver::new(IpmSettings {
+            backend: NewtonBackend::Direct,
+            ..IpmSettings::default()
+        })
+        .solve(&qp)
+        .expect("direct solve");
+        assert_eq!(cg.status, direct.status);
+        assert!(
+            (cg.objective - direct.objective).abs() < 1e-6,
+            "objectives diverge: {} vs {}",
+            cg.objective,
+            direct.objective
+        );
+        for j in 0..qp.num_vars() {
+            assert!((cg.x[j] - direct.x[j]).abs() < 1e-5, "x[{j}]");
+        }
+    }
+
+    #[test]
+    fn direct_backend_streams_factorization_telemetry() {
+        let qp = small_qp();
+        let solver = IpmSolver::new(IpmSettings {
+            backend: NewtonBackend::Direct,
+            ..IpmSettings::default()
+        });
+        let mut obs = Collect::default();
+        let s = solver.solve_observed(&qp, &mut obs).expect("solve");
+        assert_eq!(s.status, SolveStatus::Solved);
+        assert_eq!(obs.backends, vec!["direct"]);
+        // One factorization per Newton iteration, no CG events; only the
+        // very first numeric pass builds the symbolic side.
+        assert_eq!(obs.factorizations.len(), obs.iters.len().max(s.iterations));
+        assert!(obs.cg.is_empty());
+        assert!(!obs.factorizations[0].symbolic_reused);
+        assert!(obs.factorizations[1..].iter().all(|f| f.symbolic_reused));
+        assert!(obs.factorizations.iter().all(|f| f.nnz_l > 0 && f.n == 2));
+        assert!(obs
+            .iters
+            .iter()
+            .all(|it| it.cg_iters_predictor == 0 && it.cg_iters_corrector == 0));
+        // A second solve on the same solver reuses the cached symbolic
+        // factorization from the very first iteration on.
+        let mut obs2 = Collect::default();
+        solver.solve_observed(&qp, &mut obs2).expect("re-solve");
+        assert!(!obs2.factorizations.is_empty());
+        assert!(obs2.factorizations.iter().all(|f| f.symbolic_reused));
+    }
+
+    #[test]
+    fn auto_backend_falls_back_on_dense_rows() {
+        // One row touching 100+ variables disqualifies the direct build;
+        // Auto (and even forced Direct) must degrade to CG and still solve.
+        let n = 128usize;
+        let mut trips: Vec<(usize, usize, f64)> = (0..n).map(|j| (0, j, 1.0)).collect();
+        for j in 0..n {
+            trips.push((1 + j, j, 1.0));
+        }
+        let qp = QuadProgram::new(
+            CsrMatrix::diagonal(&vec![2.0; n]),
+            vec![1.0; n],
+            CsrMatrix::from_triplets(1 + n, n, &trips),
+            std::iter::once(-1e3).chain((0..n).map(|_| -1.0)).collect(),
+            std::iter::once(1e3).chain((0..n).map(|_| 1.0)).collect(),
+        )
+        .unwrap();
+        for backend in [NewtonBackend::Auto, NewtonBackend::Direct] {
+            let mut obs = Collect::default();
+            let s = IpmSolver::new(IpmSettings {
+                backend,
+                ..IpmSettings::default()
+            })
+            .solve_observed(&qp, &mut obs)
+            .expect("solve");
+            assert_eq!(s.status, SolveStatus::Solved);
+            assert_eq!(obs.backends, vec!["cg"]);
+        }
+    }
+
+    #[test]
+    fn warm_start_cuts_iterations() {
+        // Re-solving from the previous optimum after a small bound change
+        // (a bisection probe) must not take more iterations than cold.
+        let qp = {
+            let n = 40usize;
+            let p_diag: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();
+            let q: Vec<f64> = (0..n).map(|i| ((i * 5) % 7) as f64 - 3.0).collect();
+            let mut trips = Vec::new();
+            for i in 0..n {
+                trips.push((i, i, 1.0));
+                if i + 1 < n {
+                    trips.push((n + i, i, 1.0));
+                    trips.push((n + i, i + 1, -1.0));
+                }
+            }
+            let m = 2 * n - 1;
+            QuadProgram::new(
+                CsrMatrix::diagonal(&p_diag),
+                q,
+                CsrMatrix::from_triplets(m, n, &trips),
+                vec![-1.5; m],
+                vec![1.5; m],
+            )
+            .unwrap()
+        };
+        let mut solver = IpmSolver::new(IpmSettings::default());
+        let base = solver.solve(&qp).expect("cold solve");
+        // Nudge the bounds slightly (what set_tau does between probes).
+        let mut probe = qp.clone();
+        for u in probe.u.iter_mut() {
+            *u *= 0.98;
+        }
+        let cold = solver.solve(&probe).expect("cold probe");
+        solver.warm_start(base.x.clone(), base.y.clone());
+        let warm = solver.solve(&probe).expect("warm probe");
+        assert_eq!(warm.status, SolveStatus::Solved);
+        assert!(
+            warm.iterations <= cold.iterations,
+            "warm {} vs cold {}",
+            warm.iterations,
+            cold.iterations
+        );
+        assert!((warm.objective - cold.objective).abs() < 1e-5 * (1.0 + cold.objective.abs()));
     }
 
     #[test]

@@ -1,0 +1,587 @@
+//! Sparse direct Newton backend: LDLᵀ on the assembled normal equations.
+//!
+//! Each IPM iteration solves `(P + AᵀDA)·Δx = rhs` where only the barrier
+//! diagonal `D` changes. That split drives the design:
+//!
+//! - **once per `QuadProgram` structure** ([`DirectSolver::build`]): the
+//!   sparsity pattern of `K = P + AᵀDA` (the symbolic `AᵀA` comes from
+//!   per-row column pairs), a reverse Cuthill–McKee fill-reducing
+//!   permutation of that pattern, a *scatter plan* mapping every `P`
+//!   entry and every `A`-row entry pair to its slot in the permuted
+//!   upper-triangular value array, and the symbolic LDLᵀ factorization
+//!   (elimination tree + column counts + column pointers);
+//! - **once per IPM iteration** ([`DirectSolver::factor`]): a numeric
+//!   assembly that replays the scatter plan with the current `D`, then an
+//!   up-looking numeric refactorization into the cached symbolic
+//!   structure — no allocation, no pattern work;
+//! - **twice per iteration** ([`DirectSolver::solve`]): permuted
+//!   triangular solves (predictor and corrector share one factor).
+//!
+//! The factorization follows Davis's `LDL` (up-looking, elimination-tree
+//! driven); tiny or non-positive pivots — variables whose `K` diagonal
+//! vanishes — are clamped to a floor proportional to the largest diagonal
+//! entry, and the IPM layer compensates with iterative refinement.
+
+use crate::ordering::{minimum_degree, reverse_cuthill_mckee};
+use crate::CsrMatrix;
+
+/// A constraint row with this many nonzeros or more disqualifies the
+/// direct backend: `AᵀA` gains `nnz_row²` entries per row, so a dense row
+/// would densify `K`.
+const DENSE_ROW_CAP: usize = 96;
+
+/// Hard cap on the number of (pre-dedup) pattern entries the builder will
+/// enumerate; beyond this the pattern build itself is the bottleneck and
+/// the matrix-free CG path is the better tool.
+const PATTERN_ENTRY_CAP: usize = 1 << 26;
+
+/// Symbolic + numeric state for the cached sparse LDLᵀ of `K = P + AᵀDA`.
+#[derive(Debug, Clone)]
+pub(crate) struct DirectSolver {
+    /// Structural fingerprint of (P, A) this cache was built for.
+    pub fingerprint: u64,
+    n: usize,
+    /// Fill-reducing permutation, `perm[new] = old`.
+    perm: Vec<usize>,
+    /// Column pointers of the permuted upper-triangular `K` (CSC).
+    kp: Vec<usize>,
+    /// Row indices of the permuted upper-triangular `K`.
+    ki: Vec<usize>,
+    /// Numeric values, rebuilt by [`DirectSolver::factor`].
+    kx: Vec<f64>,
+    /// Slot of the diagonal entry `(j, j)` per permuted column.
+    diag_slot: Vec<usize>,
+    /// `(slot, index into P.vals)` for every upper-triangular `P` entry.
+    p_plan: Vec<(u32, u32)>,
+    /// Scatter plan for `AᵀDA`: slot `+= d[row]·a.vals[ai]·a.vals[aj]`.
+    a_slot: Vec<u32>,
+    a_i: Vec<u32>,
+    a_j: Vec<u32>,
+    a_row: Vec<u32>,
+    factor: LdlFactor,
+    /// Nonzeros in the upper triangle of `K` (diagonal included).
+    pub nnz_k: usize,
+    /// Nonzeros in `L` (strict lower triangle) from the symbolic phase.
+    pub nnz_l: usize,
+    /// Numeric factorizations performed since the symbolic build.
+    pub factors: u64,
+    /// Permuted-space scratch for [`DirectSolver::solve`].
+    scratch: Vec<f64>,
+}
+
+impl DirectSolver {
+    /// Builds the full symbolic side — pattern, ordering, scatter plan,
+    /// elimination tree — for the structure of `(p, a)`. Returns `None`
+    /// when a structural guard trips (a dense constraint row or a pattern
+    /// too large to enumerate), in which case the caller falls back to CG.
+    pub fn build(p: &CsrMatrix, a: &CsrMatrix, fingerprint: u64) -> Option<Self> {
+        let n = p.nrows();
+        let (a_ptr, a_idx, _) = a.raw_parts();
+        let (p_ptr, p_idx, _) = p.raw_parts();
+        let m = a.nrows();
+
+        // Guard: dense rows densify K; pattern size must stay enumerable.
+        let mut pair_count = n + p.nnz();
+        for r in 0..m {
+            let len = a_ptr[r + 1] - a_ptr[r];
+            if len > DENSE_ROW_CAP {
+                return None;
+            }
+            pair_count += len * (len + 1) / 2;
+            if pair_count > PATTERN_ENTRY_CAP {
+                return None;
+            }
+        }
+
+        // Pattern of K in original indices as packed (max<<32 | min) keys:
+        // the full diagonal (so regularization always has a slot), upper
+        // P entries, and all within-row column pairs of A.
+        let mut keys: Vec<u64> = Vec::with_capacity(pair_count);
+        let pack = |i: usize, j: usize| -> u64 {
+            let (lo, hi) = if i <= j { (i, j) } else { (j, i) };
+            ((hi as u64) << 32) | lo as u64
+        };
+        for j in 0..n {
+            keys.push(pack(j, j));
+        }
+        for r in 0..n {
+            for &c in &p_idx[p_ptr[r]..p_ptr[r + 1]] {
+                if c >= r {
+                    keys.push(pack(r, c));
+                }
+            }
+        }
+        for r in 0..m {
+            let row = &a_idx[a_ptr[r]..a_ptr[r + 1]];
+            for (k1, &c1) in row.iter().enumerate() {
+                for &c2 in &row[k1..] {
+                    keys.push(pack(c1, c2));
+                }
+            }
+        }
+        keys.sort_unstable();
+        keys.dedup();
+
+        // RCM on the off-diagonal adjacency (both directions).
+        let mut deg = vec![0usize; n];
+        for &k in &keys {
+            let (lo, hi) = ((k & 0xffff_ffff) as usize, (k >> 32) as usize);
+            if lo != hi {
+                deg[lo] += 1;
+                deg[hi] += 1;
+            }
+        }
+        let mut adj_ptr = vec![0usize; n + 1];
+        for v in 0..n {
+            adj_ptr[v + 1] = adj_ptr[v] + deg[v];
+        }
+        let mut adj_idx = vec![0usize; adj_ptr[n]];
+        let mut fill = adj_ptr.clone();
+        for &k in &keys {
+            let (lo, hi) = ((k & 0xffff_ffff) as usize, (k >> 32) as usize);
+            if lo != hi {
+                adj_idx[fill[lo]] = hi;
+                fill[lo] += 1;
+                adj_idx[fill[hi]] = lo;
+                fill[hi] += 1;
+            }
+        }
+        // Candidate orderings: RCM wins on pure chains, minimum degree
+        // wins once hub-like dose columns appear (one dose variable
+        // couples to every arrival variable in its grid cell). One
+        // symbolic pass costs far less than one numeric factor, so run
+        // it for both candidates and keep the sparser factor.
+        struct Candidate {
+            perm: Vec<usize>,
+            iperm: Vec<usize>,
+            kp: Vec<usize>,
+            ki: Vec<usize>,
+            factor: LdlFactor,
+        }
+        // Permutes the pattern into upper-CSC space: entry (row pi,
+        // col pj) with pi <= pj, sorted column-major — exactly the
+        // numeric order of the re-packed keys.
+        let permute_symbolic = |perm: Vec<usize>| -> Candidate {
+            let mut iperm = vec![0usize; n];
+            for (new, &old) in perm.iter().enumerate() {
+                iperm[old] = new;
+            }
+            let mut pkeys: Vec<u64> = keys
+                .iter()
+                .map(|&k| {
+                    let (i, j) = ((k & 0xffff_ffff) as usize, (k >> 32) as usize);
+                    let (lo, hi) = if iperm[i] <= iperm[j] {
+                        (iperm[i], iperm[j])
+                    } else {
+                        (iperm[j], iperm[i])
+                    };
+                    ((hi as u64) << 32) | lo as u64
+                })
+                .collect();
+            pkeys.sort_unstable();
+            let mut kp = vec![0usize; n + 1];
+            let mut ki = vec![0usize; pkeys.len()];
+            for (s, &k) in pkeys.iter().enumerate() {
+                let col = (k >> 32) as usize;
+                kp[col + 1] += 1;
+                ki[s] = (k & 0xffff_ffff) as usize;
+            }
+            for j in 0..n {
+                kp[j + 1] += kp[j];
+            }
+            let factor = LdlFactor::symbolic(n, &kp, &ki);
+            Candidate {
+                perm,
+                iperm,
+                kp,
+                ki,
+                factor,
+            }
+        };
+        let rcm = permute_symbolic(reverse_cuthill_mckee(n, &adj_ptr, &adj_idx));
+        let md = permute_symbolic(minimum_degree(n, &adj_ptr, &adj_idx));
+        let chosen = if md.factor.nnz_l() <= rcm.factor.nnz_l() {
+            md
+        } else {
+            rcm
+        };
+        let Candidate {
+            perm,
+            iperm,
+            kp,
+            ki,
+            factor,
+        } = chosen;
+        let nnz_k = keys.len();
+        let ppack = |i: usize, j: usize| -> u64 {
+            let (pi, pj) = (iperm[i], iperm[j]);
+            let (lo, hi) = if pi <= pj { (pi, pj) } else { (pj, pi) };
+            ((hi as u64) << 32) | lo as u64
+        };
+        let slot_of = |i: usize, j: usize| -> usize {
+            // Upper-CSC binary search for permuted original-index (i, j).
+            let key = ppack(i, j);
+            let (lo, hi) = ((key & 0xffff_ffff) as usize, (key >> 32) as usize);
+            let col = &ki[kp[hi]..kp[hi + 1]];
+            kp[hi] + col.partition_point(|&r| r < lo)
+        };
+        let mut diag_slot = vec![0usize; n];
+        for (j, slot) in diag_slot.iter_mut().enumerate() {
+            *slot = slot_of(perm[j], perm[j]);
+        }
+
+        // Scatter plans against the current value layouts of P and A.
+        let mut p_plan = Vec::with_capacity(p.nnz());
+        for r in 0..n {
+            for (e, &c) in p_idx.iter().enumerate().take(p_ptr[r + 1]).skip(p_ptr[r]) {
+                if c >= r {
+                    p_plan.push((slot_of(r, c) as u32, e as u32));
+                }
+            }
+        }
+        let mut a_slot = Vec::new();
+        let mut a_i = Vec::new();
+        let mut a_j = Vec::new();
+        let mut a_row = Vec::new();
+        for r in 0..m {
+            for e1 in a_ptr[r]..a_ptr[r + 1] {
+                for e2 in e1..a_ptr[r + 1] {
+                    a_slot.push(slot_of(a_idx[e1], a_idx[e2]) as u32);
+                    a_i.push(e1 as u32);
+                    a_j.push(e2 as u32);
+                    a_row.push(r as u32);
+                }
+            }
+        }
+
+        let nnz_l = factor.nnz_l();
+        Some(Self {
+            fingerprint,
+            n,
+            perm,
+            kp,
+            ki,
+            kx: vec![0.0; nnz_k],
+            diag_slot,
+            p_plan,
+            a_slot,
+            a_i,
+            a_j,
+            a_row,
+            factor,
+            nnz_k,
+            nnz_l,
+            factors: 0,
+            scratch: vec![0.0; n],
+        })
+    }
+
+    /// Fill ratio `nnz(L) / nnz(K)` — the Auto-backend selection metric.
+    pub fn fill_ratio(&self) -> f64 {
+        self.nnz_l as f64 / self.nnz_k.max(1) as f64
+    }
+
+    /// Numeric phase: reassembles `K = P + AᵀDA` through the cached
+    /// scatter plan and refactors into the cached symbolic structure.
+    pub fn factor(&mut self, p: &CsrMatrix, a: &CsrMatrix, d: &[f64]) {
+        let (_, _, pv) = p.raw_parts();
+        let (_, _, av) = a.raw_parts();
+        self.kx.fill(0.0);
+        for &(slot, e) in &self.p_plan {
+            self.kx[slot as usize] += pv[e as usize];
+        }
+        for q in 0..self.a_slot.len() {
+            let w = d[self.a_row[q] as usize] * av[self.a_i[q] as usize] * av[self.a_j[q] as usize];
+            self.kx[self.a_slot[q] as usize] += w;
+        }
+        let mut max_diag = 0.0f64;
+        for &s in &self.diag_slot {
+            max_diag = max_diag.max(self.kx[s].abs());
+        }
+        // Pivot floor: a vanished diagonal (variable untouched by P and
+        // the active barrier rows) must not zero a pivot; refinement in
+        // the IPM layer absorbs the perturbation.
+        let pivot_floor = 1e-12 * max_diag.max(1e-300);
+        self.factor
+            .numeric(&self.kp, &self.ki, &self.kx, pivot_floor);
+        self.factors += 1;
+    }
+
+    /// Solves `K·x = b` with the current factor (original variable order).
+    pub fn solve(&mut self, b: &[f64], x: &mut [f64]) {
+        for (new, &old) in self.perm.iter().enumerate() {
+            self.scratch[new] = b[old];
+        }
+        self.factor.solve(&mut self.scratch);
+        for (new, &old) in self.perm.iter().enumerate() {
+            x[old] = self.scratch[new];
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.n
+    }
+}
+
+/// Up-looking sparse LDLᵀ (Davis) with a persistent symbolic phase.
+#[derive(Debug, Clone)]
+struct LdlFactor {
+    n: usize,
+    /// Elimination-tree parent per column (`usize::MAX` = root).
+    parent: Vec<usize>,
+    /// Column pointers of `L` (strict lower triangle, CSC), length n+1.
+    lp: Vec<usize>,
+    /// Row indices of `L`, refilled by each numeric pass.
+    li: Vec<usize>,
+    /// Values of `L`.
+    lx: Vec<f64>,
+    /// Diagonal `D`.
+    d: Vec<f64>,
+    /// Dense accumulator workspace.
+    y: Vec<f64>,
+    /// Nonzero-pattern stack workspace.
+    pattern: Vec<usize>,
+    /// Visitation stamps (column index of last touch).
+    flag: Vec<usize>,
+    /// Per-column entry counts during the numeric pass.
+    lnz: Vec<usize>,
+}
+
+impl LdlFactor {
+    /// Symbolic factorization of the upper-CSC pattern (`kp`, `ki`):
+    /// elimination tree and exact column counts of `L`.
+    fn symbolic(n: usize, kp: &[usize], ki: &[usize]) -> Self {
+        let mut parent = vec![usize::MAX; n];
+        let mut flag = vec![usize::MAX; n];
+        let mut counts = vec![0usize; n];
+        for k in 0..n {
+            flag[k] = k;
+            for &row in &ki[kp[k]..kp[k + 1]] {
+                let mut i = row;
+                // Walk the elimination tree from i up toward k, marking.
+                while i < k && flag[i] != k {
+                    if parent[i] == usize::MAX {
+                        parent[i] = k;
+                    }
+                    counts[i] += 1;
+                    flag[i] = k;
+                    i = parent[i];
+                }
+            }
+        }
+        let mut lp = vec![0usize; n + 1];
+        for j in 0..n {
+            lp[j + 1] = lp[j] + counts[j];
+        }
+        let lnz_total = lp[n];
+        Self {
+            n,
+            parent,
+            lp,
+            li: vec![0; lnz_total],
+            lx: vec![0.0; lnz_total],
+            d: vec![0.0; n],
+            y: vec![0.0; n],
+            pattern: vec![0; n],
+            flag,
+            lnz: vec![0; n],
+        }
+    }
+
+    fn nnz_l(&self) -> usize {
+        self.lp[self.n]
+    }
+
+    /// Numeric factorization into the symbolic structure. Pivots below
+    /// `pivot_floor` are clamped to it (K is SPSD up to barrier
+    /// regularization, so negative pivots only arise from roundoff).
+    fn numeric(&mut self, kp: &[usize], ki: &[usize], kx: &[f64], pivot_floor: f64) {
+        let n = self.n;
+        self.y[..n].fill(0.0);
+        self.flag.fill(usize::MAX);
+        self.lnz.fill(0);
+        for k in 0..n {
+            // Scatter column k of K and compute its L-pattern (the path
+            // closure of the entries' rows in the elimination tree),
+            // depth-first so `pattern[top..]` ends up topologically sorted.
+            let mut top = n;
+            self.flag[k] = k;
+            for e in kp[k]..kp[k + 1] {
+                let mut i = ki[e];
+                self.y[i] += kx[e];
+                let mut len = 0usize;
+                while self.flag[i] != k {
+                    self.pattern[len] = i;
+                    len += 1;
+                    self.flag[i] = k;
+                    i = self.parent[i];
+                }
+                while len > 0 {
+                    len -= 1;
+                    top -= 1;
+                    self.pattern[top] = self.pattern[len];
+                }
+            }
+            let mut dk = self.y[k];
+            self.y[k] = 0.0;
+            for t in top..n {
+                let i = self.pattern[t];
+                let yi = self.y[i];
+                self.y[i] = 0.0;
+                let p2 = self.lp[i] + self.lnz[i];
+                for e in self.lp[i]..p2 {
+                    self.y[self.li[e]] -= self.lx[e] * yi;
+                }
+                let l_ki = yi / self.d[i];
+                dk -= l_ki * yi;
+                self.li[p2] = k;
+                self.lx[p2] = l_ki;
+                self.lnz[i] += 1;
+            }
+            self.d[k] = if dk.is_finite() && dk > pivot_floor {
+                dk
+            } else {
+                pivot_floor
+            };
+        }
+    }
+
+    /// In-place solve `L·D·Lᵀ·x = b` in the permuted index space.
+    fn solve(&self, x: &mut [f64]) {
+        let n = self.n;
+        for j in 0..n {
+            let xj = x[j];
+            if xj != 0.0 {
+                for e in self.lp[j]..self.lp[j + 1] {
+                    x[self.li[e]] -= self.lx[e] * xj;
+                }
+            }
+        }
+        for (xj, dj) in x.iter_mut().zip(&self.d) {
+            *xj /= dj;
+        }
+        for j in (0..n).rev() {
+            let mut xj = x[j];
+            for e in self.lp[j]..self.lp[j + 1] {
+                xj -= self.lx[e] * x[self.li[e]];
+            }
+            x[j] = xj;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Dense reference: K·x for the assembled normal equations.
+    fn normal_mul(p: &CsrMatrix, a: &CsrMatrix, d: &[f64], x: &[f64]) -> Vec<f64> {
+        let mut y = p.mul_vec(x);
+        let mut t = a.mul_vec(x);
+        for (ti, &di) in t.iter_mut().zip(d) {
+            *ti *= di;
+        }
+        let at = a.mul_transpose_vec(&t);
+        for (yi, ai) in y.iter_mut().zip(at) {
+            *yi += ai;
+        }
+        y
+    }
+
+    fn check_solve(p: &CsrMatrix, a: &CsrMatrix, d: &[f64], b: &[f64], tol: f64) {
+        let mut ds = DirectSolver::build(p, a, 0).expect("buildable");
+        ds.factor(p, a, d);
+        let mut x = vec![0.0; b.len()];
+        ds.solve(b, &mut x);
+        let kx = normal_mul(p, a, d, &x);
+        for i in 0..b.len() {
+            assert!(
+                (kx[i] - b[i]).abs() < tol,
+                "residual at {i}: {} vs {}",
+                kx[i],
+                b[i]
+            );
+        }
+    }
+
+    #[test]
+    fn factors_and_solves_a_small_spd_system() {
+        // P diagonal + a few coupling rows: strictly positive definite K.
+        let p = CsrMatrix::diagonal(&[2.0, 1.0, 3.0, 0.5]);
+        let a = CsrMatrix::from_triplets(
+            3,
+            4,
+            &[
+                (0, 0, 1.0),
+                (0, 1, -1.0),
+                (1, 1, 2.0),
+                (1, 2, 1.0),
+                (2, 2, -1.0),
+                (2, 3, 1.0),
+            ],
+        );
+        let d = vec![1.5, 0.25, 4.0];
+        check_solve(&p, &a, &d, &[1.0, -2.0, 0.5, 3.0], 1e-9);
+    }
+
+    #[test]
+    fn refactor_tracks_changing_d() {
+        let p = CsrMatrix::diagonal(&[1.0, 1.0, 1.0]);
+        let a =
+            CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 1.0), (1, 2, -1.0)]);
+        let mut ds = DirectSolver::build(&p, &a, 0).expect("buildable");
+        for scale in [1.0, 10.0, 1e4] {
+            let d = vec![scale, 2.0 * scale];
+            ds.factor(&p, &a, &d);
+            let b = vec![1.0, 2.0, 3.0];
+            let mut x = vec![0.0; 3];
+            ds.solve(&b, &mut x);
+            let kx = normal_mul(&p, &a, &d, &x);
+            for i in 0..3 {
+                assert!((kx[i] - b[i]).abs() < 1e-7 * scale, "scale {scale} row {i}");
+            }
+        }
+        assert_eq!(ds.factors, 3);
+    }
+
+    #[test]
+    fn zero_diagonal_variables_survive_via_pivot_floor() {
+        // Variable 1 appears in neither P nor A: K has a zero diagonal.
+        let p = CsrMatrix::diagonal(&[2.0, 0.0, 1.0]);
+        let a = CsrMatrix::from_triplets(1, 3, &[(0, 0, 1.0), (0, 2, 1.0)]);
+        let mut ds = DirectSolver::build(&p, &a, 0).expect("buildable");
+        ds.factor(&p, &a, &[3.0]);
+        let mut x = vec![0.0; 3];
+        ds.solve(&[1.0, 0.0, 1.0], &mut x);
+        assert!(x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn dense_row_disqualifies_build() {
+        let n = DENSE_ROW_CAP + 8;
+        let p = CsrMatrix::identity(n);
+        let trips: Vec<(usize, usize, f64)> = (0..n).map(|j| (0, j, 1.0)).collect();
+        let a = CsrMatrix::from_triplets(1, n, &trips);
+        assert!(DirectSolver::build(&p, &a, 0).is_none());
+    }
+
+    #[test]
+    fn chain_structure_stays_sparse() {
+        // Tridiagonal-ish chain: RCM + LDL must produce O(n) fill.
+        let n = 500usize;
+        let p = CsrMatrix::identity(n);
+        let mut trips = Vec::new();
+        for i in 0..n - 1 {
+            trips.push((i, i, 1.0));
+            trips.push((i, i + 1, -1.0));
+        }
+        let a = CsrMatrix::from_triplets(n - 1, n, &trips);
+        let ds = DirectSolver::build(&p, &a, 0).expect("buildable");
+        assert!(
+            ds.fill_ratio() < 2.0,
+            "chain fill ratio {} should be ~1",
+            ds.fill_ratio()
+        );
+    }
+}

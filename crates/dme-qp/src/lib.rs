@@ -45,15 +45,17 @@ mod admm;
 mod csr;
 mod error;
 mod ipm;
+mod ldl;
 pub mod lsq;
 mod observer;
+mod ordering;
 pub mod qcp;
 
 pub use admm::{AdmmSettings, AdmmSolver, Solution, SolveStatus};
 pub use csr::CsrMatrix;
 pub use error::SolveError;
-pub use ipm::{IpmSettings, IpmSolver};
-pub use observer::{CgSolve, IpmIteration, NopObserver, SolverObserver};
+pub use ipm::{IpmSettings, IpmSolver, NewtonBackend};
+pub use observer::{CgSolve, FactorizationEvent, IpmIteration, NopObserver, SolverObserver};
 
 /// A convex quadratic program `min ½·xᵀPx + qᵀx  s.t.  l ≤ Ax ≤ u`.
 ///

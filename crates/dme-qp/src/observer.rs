@@ -39,6 +39,24 @@ pub struct CgSolve {
     pub rel_residual: f64,
 }
 
+/// Telemetry for one numeric (re)factorization in the direct Newton
+/// backend — one per IPM iteration (the predictor and corrector share
+/// the factor).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FactorizationEvent {
+    /// Whether the symbolic factorization (elimination tree, pattern,
+    /// ordering, scatter plan) was reused from an earlier iteration or
+    /// probe — `false` only for the first numeric pass after a symbolic
+    /// (re)build.
+    pub symbolic_reused: bool,
+    /// Wall-clock nanoseconds spent on numeric assembly + refactorization.
+    pub refactor_ns: u64,
+    /// Nonzeros in the `L` factor (strict lower triangle).
+    pub nnz_l: usize,
+    /// Dimension of the Newton system.
+    pub n: usize,
+}
+
 /// Receiver for solver telemetry; all methods default to no-ops so
 /// implementors override only what they consume.
 pub trait SolverObserver {
@@ -48,9 +66,21 @@ pub trait SolverObserver {
     }
 
     /// Called after every inner CG solve (twice per Newton iteration:
-    /// predictor then corrector).
+    /// predictor then corrector). Not called by the direct backend.
     fn cg_solve(&mut self, cg: &CgSolve) {
         let _ = cg;
+    }
+
+    /// Called once per solve after backend selection resolves, with
+    /// `"direct"` or `"cg"`.
+    fn newton_backend(&mut self, backend: &'static str) {
+        let _ = backend;
+    }
+
+    /// Called once per IPM iteration on the direct backend, after the
+    /// numeric (re)factorization.
+    fn factorization(&mut self, ev: &FactorizationEvent) {
+        let _ = ev;
     }
 }
 

@@ -1,6 +1,6 @@
 //! Property-based tests for the convex solvers.
 
-use dme_qp::{CsrMatrix, IpmSettings, IpmSolver, QuadProgram};
+use dme_qp::{CsrMatrix, IpmSettings, IpmSolver, NewtonBackend, QuadProgram};
 use proptest::prelude::*;
 
 /// Deterministic banded matrix big enough to cross the SpMV parallel
@@ -143,6 +143,47 @@ proptest! {
         for i in 0..serial.x.len() {
             prop_assert_eq!(serial.x[i].to_bits(), par.x[i].to_bits(), "x[{}]", i);
         }
+    }
+
+    /// The sparse direct (LDLᵀ) and matrix-free CG Newton backends agree:
+    /// same solve status, objectives within tolerance, and both feasible.
+    #[test]
+    fn direct_and_cg_backends_agree((qp, _x0) in qp_strategy()) {
+        let cg = IpmSolver::new(IpmSettings {
+            backend: NewtonBackend::Cg,
+            ..IpmSettings::default()
+        })
+        .solve(&qp);
+        let direct = IpmSolver::new(IpmSettings {
+            backend: NewtonBackend::Direct,
+            ..IpmSettings::default()
+        })
+        .solve(&qp);
+        match (cg, direct) {
+            (Ok(c), Ok(d)) => {
+                prop_assert_eq!(c.status, d.status);
+                prop_assert!((c.objective - d.objective).abs() < 1e-4,
+                    "cg {} vs direct {}", c.objective, d.objective);
+                prop_assert!(qp.max_violation(&d.x) < 1e-5,
+                    "direct violation {}", qp.max_violation(&d.x));
+            }
+            (c, d) => prop_assert!(false, "backend disagreement: cg {:?} direct {:?}",
+                c.map(|s| s.status), d.map(|s| s.status)),
+        }
+    }
+
+    /// Warm-starting a solver with a previous probe's solution converges
+    /// to the same answer as a cold start on the same problem.
+    #[test]
+    fn warm_start_converges_to_same_answer((qp, _x0) in qp_strategy()) {
+        let cold = IpmSolver::new(IpmSettings::default()).solve(&qp).expect("cold solve");
+        let mut solver = IpmSolver::new(IpmSettings::default());
+        solver.warm_start(cold.x.clone(), cold.y.clone());
+        let warm = solver.solve(&qp).expect("warm solve");
+        prop_assert_eq!(cold.status, warm.status);
+        prop_assert!((cold.objective - warm.objective).abs() < 1e-4,
+            "cold {} vs warm {}", cold.objective, warm.objective);
+        prop_assert!(qp.max_violation(&warm.x) < 1e-5);
     }
 
     /// Least-squares: the fitted line's residual never exceeds that of

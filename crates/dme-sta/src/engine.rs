@@ -17,10 +17,14 @@ use dme_placement::Placement;
 pub enum StaMode {
     /// Single-threaded level-order evaluation.
     Serial,
-    /// Fan each sufficiently large level out to the thread pool.
+    /// Fan each sufficiently large level out to the thread pool — when
+    /// the pool can actually deliver parallelism. On a width-1 pool (or
+    /// with the serial switch on) every fork-join call degrades to an
+    /// inline loop, so this mode dispatches to the serial pass rather
+    /// than paying the level-partitioning overhead for nothing.
     Parallel,
-    /// [`StaMode::Parallel`] when the pool has more than one thread,
-    /// otherwise [`StaMode::Serial`].
+    /// Same dispatch rule as [`StaMode::Parallel`] (kept distinct so
+    /// explicit mode requests remain visible in configs and manifests).
     #[default]
     Auto,
 }
@@ -29,8 +33,7 @@ impl StaMode {
     fn parallel(self) -> bool {
         match self {
             StaMode::Serial => false,
-            StaMode::Parallel => true,
-            StaMode::Auto => dme_par::num_threads() > 1 && !dme_par::force_serial(),
+            StaMode::Parallel | StaMode::Auto => dme_par::effective_parallelism() > 1,
         }
     }
 }
@@ -527,6 +530,30 @@ mod tests {
         for i in 0..d.netlist.num_instances() {
             assert!(r.arrival_ns[i] >= 0.0);
             assert!(r.slack_ns[i].is_finite());
+        }
+    }
+
+    #[test]
+    fn parallel_mode_dispatches_serially_on_one_thread() {
+        // A width-1 pool (or forced-serial context) makes the parallel
+        // level pass pure overhead: `run_tasks` inlines every task anyway.
+        // `StaMode::Parallel` must therefore select the serial pass — and
+        // still produce the identical (bitwise) report.
+        let (lib, d, p) = setup();
+        let doses = GeometryAssignment::nominal(d.netlist.num_instances());
+        dme_par::set_force_serial(true);
+        assert!(
+            !StaMode::Parallel.parallel(),
+            "Parallel mode must degrade to serial dispatch at 1 effective thread"
+        );
+        assert!(!StaMode::Auto.parallel());
+        let rp = analyze_with_mode(&lib, &d.netlist, &p, &doses, StaMode::Parallel);
+        let rs = analyze_with_mode(&lib, &d.netlist, &p, &doses, StaMode::Serial);
+        dme_par::set_force_serial(false);
+        assert_eq!(rs.mct_ns.to_bits(), rp.mct_ns.to_bits());
+        for i in 0..d.netlist.num_instances() {
+            assert_eq!(rs.arrival_ns[i].to_bits(), rp.arrival_ns[i].to_bits());
+            assert_eq!(rs.slack_ns[i].to_bits(), rp.slack_ns[i].to_bits());
         }
     }
 

@@ -108,6 +108,7 @@ def check_manifest(path):
     for kind, series in m["records"].items():
         if not isinstance(series.get("rows"), list):
             fail(f"{path}: record series {kind!r} missing rows")
+    check_solver_consistency(path, m)
     if version >= 2:
         for name, v in m["qor"].items():
             if not isinstance(v, (int, float)) or not math.isfinite(v):
@@ -125,6 +126,64 @@ def check_manifest(path):
         f"{sum(len(s['rows']) for s in m['records'].values())} record rows"
         f"{qor_note})"
     )
+
+
+def check_solver_consistency(path, m):
+    """Cross-field invariants for the QP solver/backend telemetry.
+
+    All conditional: older manifests (or CG-only runs) simply lack the
+    counters and skip the corresponding checks.
+    """
+    counters = m.get("counters", {})
+
+    def c(name):
+        return counters.get(name)
+
+    # Every observed IPM solve resolves to exactly one backend.
+    backends = [c(k) for k in ("qp/backend_direct", "qp/backend_cg")]
+    if any(v is not None for v in backends):
+        total = sum(v or 0 for v in backends)
+        solves = c("qp/solves")
+        admm = c("qp/backend_admm") or 0
+        if solves is not None and total + admm > solves:
+            fail(
+                f"{path}: backend counters ({total} ipm + {admm} admm) "
+                f"exceed qp/solves ({solves})"
+            )
+
+    # Factorization telemetry: refactor time accompanies any factor count,
+    # and symbolic reuse cannot outnumber the factorizations it amortizes.
+    factors = c("qp/factorizations")
+    if factors:
+        if c("qp/refactor_ns") is None:
+            fail(f"{path}: qp/factorizations without qp/refactor_ns")
+        reuse = c("qp/symbolic_reuse") or 0
+        if reuse > factors:
+            fail(
+                f"{path}: qp/symbolic_reuse ({reuse}) > "
+                f"qp/factorizations ({factors})"
+            )
+
+    # Warm starts only happen on repeat probes of the same program.
+    hits = c("dmopt/warm_start_hits")
+    probes = c("dmopt/qp_probes")
+    if hits is not None and probes is not None and hits >= max(probes, 1):
+        fail(
+            f"{path}: dmopt/warm_start_hits ({hits}) not < "
+            f"dmopt/qp_probes ({probes})"
+        )
+
+    # Per-probe rows carry the full tuple with sane flag values.
+    rows = m.get("records", {}).get("qcp_probe", {}).get("rows", [])
+    for i, row in enumerate(rows):
+        for field in ("probe", "tau_ns", "feasible", "iterations", "warm"):
+            if not isinstance(row.get(field), (int, float)):
+                fail(f"{path}: qcp_probe row {i} missing {field!r}")
+        for flag in ("feasible", "warm"):
+            if row[flag] not in (0, 1, 0.0, 1.0):
+                fail(f"{path}: qcp_probe row {i} non-boolean {flag!r}: {row[flag]!r}")
+    if rows and rows[0].get("warm") not in (0, 0.0):
+        fail(f"{path}: first qcp_probe row claims a warm start")
 
 
 def main():
