@@ -5,16 +5,35 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use dme_bench::Testbench;
 use dme_device::Technology;
-use dme_dosemap::{DoseGrid, DoseSensitivity};
+use dme_dosemap::{DoseGrid, DoseMap, DoseSensitivity};
 use dme_liberty::{fit, Library};
-use dme_netlist::{gen, profiles};
+use dme_netlist::{gen, profiles, profiles::TechNode, DesignProfile, InstId};
+use dme_placement::{NetBoxCache, NetPins, PlacementDelta};
 use dme_qp::{CsrMatrix, IpmSettings, IpmSolver, NewtonBackend};
 use dme_sta::{
-    analyze, analyze_with_mode, top_k_paths, GeometryAssignment, IncrementalSta, StaMode,
+    analyze, analyze_with_mode, top_k_paths, AssignmentDelta, GeometryAssignment, IncrementalSta,
+    StaMode,
 };
 use dmeopt::{
-    dosepl, optimize, DmoptConfig, DoseplConfig, Formulation, FormulationParams, Layers, OptContext,
+    dosepl, optimize, DmoptConfig, DoseplConfig, Formulation, FormulationParams, Layers,
+    OptContext, SwapEngine,
 };
+
+/// Deterministic pseudorandom dose map in [−4%, +4%] on the given die —
+/// the dosePl engine benches only read the map, so no QP solve is needed.
+fn synthetic_map(die_w_um: f64, die_h_um: f64, granularity_um: f64, seed: u64) -> DoseMap {
+    let grid = DoseGrid::with_granularity(die_w_um, die_h_um, granularity_um);
+    let vals: Vec<f64> = (0..grid.num_cells())
+        .map(|i| {
+            let h = (i as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(seed)
+                .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            ((h >> 11) as f64 / (1u64 << 53) as f64) * 8.0 - 4.0
+        })
+        .collect();
+    DoseMap::from_values(grid, vals)
+}
 
 fn bench_characterization(c: &mut Criterion) {
     let lib = Library::standard(Technology::n65());
@@ -288,6 +307,194 @@ fn bench_perf(c: &mut Criterion) {
             analyze(&tb.lib, &tb.design.netlist, &tb.placement, &toggled)
         });
     });
+
+    // --- O(Δ) swap-scratch structures vs their from-scratch baselines,
+    // one microbench pair per structure ---
+    //
+    // These run on a 12k-cell wide/shallow (datapath-like) design: per-swap
+    // re-timing cones stay small, so — as at the paper's production design
+    // sizes — the candidate loop is dominated by exactly the O(n)/O(G)
+    // state maintenance the O(Δ) structures replace, not by the shared
+    // incremental STA.
+    let wide = DesignProfile {
+        name: "WIDE12K".into(),
+        node: TechNode::N65,
+        target_cells: 12_000,
+        num_primary_inputs: 64,
+        seq_fraction: 0.12,
+        levels: 6,
+        chain_bias: 0.3,
+        level_taper: 0.0,
+        slices: 1,
+        ff_tap_deep_frac: 0.8,
+        die_area_mm2: 12_000.0 * 5.0e-6,
+        utilization: 0.7,
+        seed: 7,
+    };
+    let wtb = Testbench::prepare(&wide);
+    let wctx = OptContext::new(&wtb.lib, &wtb.design, &wtb.placement);
+    let wn = wtb.design.netlist.num_instances();
+
+    // Rectangular grid range query vs the full-grid scan it replaces.
+    let qgrid = DoseGrid::with_granularity(wtb.placement.die_w_um, wtb.placement.die_h_um, 2.0);
+    let (qx, qy) = (0.5 * wtb.placement.die_w_um, 0.5 * wtb.placement.die_h_um);
+    let rect = (qx - 6.0, qx + 6.0, qy - 6.0, qy + 6.0);
+    group.bench_function("grid_query_scan", |b| {
+        b.iter(|| {
+            (0..qgrid.num_cells())
+                .filter(|&g| {
+                    let (cx, cy) = qgrid.cell_center_um(g);
+                    cx >= rect.0 && cx <= rect.1 && cy >= rect.2 && cy <= rect.3
+                })
+                .collect::<Vec<usize>>()
+        });
+    });
+    group.bench_function("grid_query_rect", |b| {
+        b.iter(|| qgrid.cells_in_rect(rect.0, rect.1, rect.2, rect.3));
+    });
+
+    // γ₃ HPWL what-if query: cached net-box extremes vs pin re-walk. The
+    // probe is the cell with the most pins across its nets — high-fanout
+    // cells are exactly where the scratch re-walk hurts (the cache answers
+    // from O(nets-on-cell) extremes regardless of net size).
+    let pins = NetPins::build(&wtb.design.netlist, &wtb.placement);
+    let mut nbcache = NetBoxCache::build(&wtb.lib, &wtb.design.netlist, &wtb.placement);
+    let probe = (0..wn)
+        .max_by_key(|&i| {
+            pins.nets_of(InstId(i as u32))
+                .iter()
+                .map(|&net| pins.pin_count(net))
+                .sum::<usize>()
+        })
+        .map(|i| InstId(i as u32))
+        .expect("non-empty design");
+    let target = (0.25 * wtb.placement.die_w_um, 0.25 * wtb.placement.die_h_um);
+    group.bench_function("hpwl_delta_scratch", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &net in pins.nets_of(probe) {
+                acc += pins
+                    .scratch_bbox(
+                        &wtb.lib,
+                        &wtb.design.netlist,
+                        &wtb.placement,
+                        net,
+                        Some((probe, target)),
+                    )
+                    .map_or(0.0, |bb| bb.half_perimeter());
+            }
+            acc
+        });
+    });
+    group.bench_function("hpwl_delta_cached", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for k in 0..nbcache.pins().nets_of(probe).len() {
+                let net = nbcache.pins().nets_of(probe)[k];
+                let mult = nbcache.pins().mult_of(probe)[k];
+                acc += nbcache
+                    .bbox_with_moved(
+                        &wtb.lib,
+                        &wtb.design.netlist,
+                        &wtb.placement,
+                        net,
+                        probe,
+                        mult,
+                        target,
+                    )
+                    .map_or(0.0, |bb| bb.half_perimeter());
+            }
+            acc
+        });
+    });
+
+    // Candidate undo: full coordinate-vector snapshot vs journal replay.
+    // Both engines pay the identical swap + ECO row repack to *apply* a
+    // candidate, so the mutation here is just the O(1) cell swap — the
+    // pair isolates the capture/restore machinery the structure replaces
+    // (O(n) clone + write-back vs O(Δ) journal).
+    let mut up = wtb.placement.clone();
+    let (ua, ub) = (InstId(10), InstId((wn - 10) as u32));
+    group.bench_function("swap_undo_clone", |b| {
+        b.iter(|| {
+            let pre = (up.x_um.clone(), up.y_um.clone());
+            up.swap_cells(ua, ub);
+            up.x_um = pre.0;
+            up.y_um = pre.1;
+        });
+    });
+    let mut journal = PlacementDelta::new();
+    group.bench_function("swap_undo_journal", |b| {
+        b.iter(|| {
+            let mark = journal.mark();
+            up.swap_cells_tracked(ua, ub, &mut journal);
+            journal.undo_to(&mut up, mark);
+        });
+    });
+
+    // Geometry assignment: full per-instance rebuild vs journaled updates
+    // of a typical touched set.
+    let amap = synthetic_map(wtb.placement.die_w_um, wtb.placement.die_h_um, 2.0, 7);
+    group.bench_function("assignment_full", |b| {
+        b.iter(|| {
+            dmeopt::dosepl::assignment_for_placement(&wctx, &wtb.placement, &amap, None, -2.0)
+        });
+    });
+    let mut inc_assign =
+        dmeopt::dosepl::assignment_for_placement(&wctx, &wtb.placement, &amap, None, -2.0);
+    let mut adelta = AssignmentDelta::new();
+    group.bench_function("assignment_incremental", |b| {
+        b.iter(|| {
+            let mark = adelta.mark();
+            for i in 0..4usize {
+                let t = (wn / 2 + i) % wn;
+                let (x, y) = wtb
+                    .placement
+                    .center(&wtb.lib, &wtb.design.netlist, InstId(t as u32));
+                let dw = inc_assign.dw_nm[t];
+                adelta.set(&mut inc_assign, t, -2.0 * amap.dose_at_um(x, y) + 0.001, dw);
+            }
+            adelta.undo_to(&mut inc_assign, mark);
+        });
+    });
+
+    // --- dosePl candidate loop end to end: O(Δ) engine vs reference ---
+    // Same 12k-cell design; synthetic fine-grained map so candidate
+    // enumeration and per-eval state maintenance dominate, as on
+    // production grids.
+    let dmap = synthetic_map(wtb.placement.die_w_um, wtb.placement.die_h_um, 2.0, 42);
+    let dp_cfg = |engine| DoseplConfig {
+        top_k: 300,
+        rounds: 2,
+        swaps_per_round: 8,
+        engine,
+        ..DoseplConfig::default()
+    };
+    group.bench_function("dosepl_run_fast", |b| {
+        let cfg = dp_cfg(SwapEngine::Delta);
+        b.iter(|| dosepl(&wctx, &dmap, None, -2.0, &cfg));
+    });
+    group.bench_function("dosepl_run_reference", |b| {
+        let cfg = dp_cfg(SwapEngine::Reference);
+        b.iter(|| dosepl(&wctx, &dmap, None, -2.0, &cfg));
+    });
+    let dp_fast = dosepl(&wctx, &dmap, None, -2.0, &dp_cfg(SwapEngine::Delta));
+    println!(
+        "WORKLINE dosepl_candidates swaps_attempted={} swap_evals={} swaps_accepted={} \
+         rounds={} num_instances={}",
+        dp_fast.swaps_attempted, dp_fast.swap_evals, dp_fast.swaps_accepted, dp_fast.rounds_run, wn
+    );
+    let ds = dp_fast.delta_stats;
+    println!(
+        "WORKLINE dosepl_delta assignment_evals_avoided={} grid_cell_evals_avoided={} \
+         hpwl_fast_nets={} hpwl_rescans={} undo_coord_writes={} undo_evals_avoided={}",
+        ds.assignment_evals_avoided,
+        ds.grid_cell_evals_avoided,
+        ds.hpwl_fast_nets,
+        ds.hpwl_rescans,
+        ds.undo_coord_writes,
+        ds.undo_evals_avoided
+    );
 
     // --- end-to-end MinTiming bisection: cold CG probes vs the new
     // default (warm-started probes, cached symbolic factorization) ---

@@ -11,12 +11,62 @@
 //! After each round the perturbed rows are re-legalized (the ECO step)
 //! and golden timing decides accept-or-rollback; rolled-back cells are
 //! frozen for subsequent rounds.
+//!
+//! # Swap engines
+//!
+//! Two interchangeable engines ([`SwapEngine`]) drive the candidate
+//! loop; they make bitwise-identical decisions and return
+//! bitwise-identical results, differing only in per-candidate cost:
+//!
+//! - [`SwapEngine::Delta`] (the default) is O(Δ) per candidate: a
+//!   [`PlacementDelta`] coordinate journal undoes rejected swaps by
+//!   replay instead of restoring O(n) vector clones, an
+//!   [`AssignmentDelta`] re-derives ΔL/ΔW only for the journal-touched
+//!   instances instead of rebuilding the whole [`GeometryAssignment`],
+//!   a [`NetBoxCache`] answers the γ₃ HPWL filter from cached per-net
+//!   extremes instead of re-walking every incident pin, and candidate
+//!   grids come from a banded rectangular range query
+//!   (`DoseGrid::cells_in_rect`) instead of a full-grid scan.
+//! - [`SwapEngine::Reference`] is the from-scratch baseline kept for
+//!   verification and as the proptest oracle.
 
 use crate::context::{GoldenSummary, OptContext};
 use dme_dosemap::DoseMap;
-use dme_netlist::InstId;
-use dme_placement::Placement;
-use dme_sta::{analyze, worst_path_per_endpoint, GeometryAssignment, IncrementalSta};
+use dme_liberty::Library;
+use dme_netlist::{InstId, Netlist};
+use dme_placement::{NetBoxCache, NetPins, Placement, PlacementDelta};
+use dme_sta::{
+    analyze, worst_path_per_endpoint, AssignmentDelta, GeometryAssignment, IncrementalSta,
+};
+
+/// Selects the candidate-loop implementation (see module docs). Both
+/// engines are bitwise-equivalent; `Reference` exists as the oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SwapEngine {
+    /// Resolve from the `DME_DOSEPL_ENGINE` environment variable
+    /// (`"reference"` selects [`SwapEngine::Reference`]); otherwise use
+    /// [`SwapEngine::Delta`].
+    #[default]
+    Auto,
+    /// The O(Δ)-per-candidate engine (journaled undo, incremental
+    /// assignment, cached net boxes, banded grid queries).
+    Delta,
+    /// The from-scratch engine (full clones, rebuilds and scans).
+    Reference,
+}
+
+impl SwapEngine {
+    /// Whether the O(Δ) engine should run.
+    fn use_delta(self) -> bool {
+        match self {
+            SwapEngine::Delta => true,
+            SwapEngine::Reference => false,
+            SwapEngine::Auto => {
+                std::env::var("DME_DOSEPL_ENGINE").map_or(true, |v| v != "reference")
+            }
+        }
+    }
+}
 
 /// Tuning knobs of the swapping heuristic (γ-parameters of the paper).
 #[derive(Debug, Clone)]
@@ -38,6 +88,8 @@ pub struct DoseplConfig {
     pub leak_increase_frac: f64,
     /// γ₅: maximum swaps per round.
     pub swaps_per_round: usize,
+    /// Candidate-loop engine (bitwise-equivalent implementations).
+    pub engine: SwapEngine,
 }
 
 impl Default for DoseplConfig {
@@ -50,6 +102,7 @@ impl Default for DoseplConfig {
             hpwl_increase_frac: 0.2,
             leak_increase_frac: 0.1,
             swaps_per_round: 1,
+            engine: SwapEngine::Auto,
         }
     }
 }
@@ -78,6 +131,34 @@ pub struct SwapFilterTallies {
     pub accepted_provisional: usize,
     /// Provisionally accepted swaps undone by a round-level rollback.
     pub rolled_back: usize,
+}
+
+/// Work-avoided telemetry of the O(Δ) engine. All counters are zero
+/// when [`SwapEngine::Reference`] ran — the reference engine pays the
+/// full from-scratch cost these counters measure the avoidance of.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaEngineStats {
+    /// Whether the O(Δ) engine produced this result.
+    pub delta_engine: bool,
+    /// Per-instance ΔL/ΔW derivations skipped by incremental assignment
+    /// maintenance (instances − journal-touched, summed over timed
+    /// evaluations; the reference engine rebuilds all of them).
+    pub assignment_evals_avoided: u64,
+    /// Grid cells never tested against the neighborhood bbox thanks to
+    /// the banded range query (grid cells − band, summed over queries).
+    pub grid_cell_evals_avoided: u64,
+    /// γ₃ net-box queries answered in O(1) from cached extremes.
+    pub hpwl_fast_nets: u64,
+    /// γ₃ net-box queries that re-walked a net's pins (shrinking-pin
+    /// escapes).
+    pub hpwl_rescans: u64,
+    /// Coordinate writes recorded in the placement journal across timed
+    /// evaluations (the undo cost actually paid).
+    pub undo_coord_writes: u64,
+    /// Coordinate restorations skipped by journal replay relative to the
+    /// reference engine's full-vector snapshots (instances − journal
+    /// writes, summed over timed evaluations).
+    pub undo_evals_avoided: u64,
 }
 
 /// Outcome of the dosePl pass.
@@ -117,6 +198,9 @@ pub struct DoseplResult {
     pub incremental_work_ratio: f64,
     /// Per-filter candidate disposition tallies.
     pub filter_tallies: SwapFilterTallies,
+    /// Work-avoided telemetry of the O(Δ) engine (zeros under
+    /// [`SwapEngine::Reference`]).
+    pub delta_stats: DeltaEngineStats,
 }
 
 /// Re-derives the per-instance geometry assignment from dose maps for an
@@ -141,36 +225,77 @@ pub fn assignment_for_placement(
     a
 }
 
-/// Estimated fractional HPWL change of a cell's incident nets if its
-/// center moved to `new_center`.
-fn hpwl_delta_frac(
-    ctx: &OptContext<'_>,
-    placement: &Placement,
-    cell: InstId,
-    new_center: (f64, f64),
-) -> f64 {
-    let nl = &ctx.design.netlist;
-    let inst = nl.instance(cell);
-    let mut nets: Vec<dme_netlist::NetId> = inst.inputs.clone();
-    nets.push(inst.output);
-    nets.sort_unstable();
-    nets.dedup();
-    let old_center = placement.center(ctx.lib, nl, cell);
-    let mut before = 0.0;
-    let mut after = 0.0;
-    for &net in &nets {
-        let pins = placement.net_pins(ctx.lib, nl, net);
-        before += dme_placement::BoundingBox::of_points(&pins).map_or(0.0, |b| b.half_perimeter());
-        let moved: Vec<(f64, f64)> = pins
-            .iter()
-            .map(|&p| if p == old_center { new_center } else { p })
-            .collect();
-        after += dme_placement::BoundingBox::of_points(&moved).map_or(0.0, |b| b.half_perimeter());
-    }
+/// `(after − before) / before`, 0.0 for a degenerate baseline.
+fn hpwl_frac(before: f64, after: f64) -> f64 {
     if before <= 1e-12 {
         return 0.0;
     }
     (after - before) / before
+}
+
+/// Estimated fractional HPWL change of a cell's incident nets if its
+/// center moved to `new_center`, evaluated from scratch: every incident
+/// net's box is re-folded over its pins, with `cell`'s pins (identified
+/// by ownership, not coordinate) relocated. The reference-engine γ₃
+/// filter and the oracle the cached path must match bitwise.
+fn hpwl_delta_frac_scratch(
+    lib: &Library,
+    nl: &Netlist,
+    placement: &Placement,
+    pins: &NetPins,
+    cell: InstId,
+    new_center: (f64, f64),
+) -> f64 {
+    let mut before = 0.0;
+    let mut after = 0.0;
+    for &net in pins.nets_of(cell) {
+        before += pins
+            .scratch_bbox(lib, nl, placement, net, None)
+            .map_or(0.0, |b| b.half_perimeter());
+        after += pins
+            .scratch_bbox(lib, nl, placement, net, Some((cell, new_center)))
+            .map_or(0.0, |b| b.half_perimeter());
+    }
+    hpwl_frac(before, after)
+}
+
+/// [`hpwl_delta_frac_scratch`] answered from the net-box cache: cached
+/// extremes give the before boxes in O(1), and the what-if boxes in
+/// O(1) unless the cell holds an extreme alone (then one pin rescan).
+fn hpwl_delta_frac_cached(
+    cache: &mut NetBoxCache,
+    lib: &Library,
+    nl: &Netlist,
+    placement: &Placement,
+    cell: InstId,
+    new_center: (f64, f64),
+) -> f64 {
+    let mut before = 0.0;
+    let mut after = 0.0;
+    for k in 0..cache.pins().nets_of(cell).len() {
+        let net = cache.pins().nets_of(cell)[k];
+        let mult = cache.pins().mult_of(cell)[k];
+        before += cache.bbox(net).map_or(0.0, |b| b.half_perimeter());
+        after += cache
+            .bbox_with_moved(lib, nl, placement, net, cell, mult, new_center)
+            .map_or(0.0, |b| b.half_perimeter());
+    }
+    hpwl_frac(before, after)
+}
+
+/// Per-engine mutable scratch state of the candidate loop. The `Delta`
+/// variant holds the O(Δ) structures; `Reference` only needs the static
+/// pin-identity structure for the γ₃ filter.
+enum SwapScratch {
+    Delta {
+        pdelta: PlacementDelta,
+        adelta: AssignmentDelta,
+        cache: NetBoxCache,
+        stats: DeltaEngineStats,
+    },
+    Reference {
+        pins: NetPins,
+    },
 }
 
 /// Runs the dosePl cell-swapping optimization on top of a DMopt result.
@@ -210,6 +335,22 @@ pub fn dosepl(
     let mut mct_cur = inc.mct_ns();
     debug_assert_eq!(mct_cur.to_bits(), golden_before.mct_ns.to_bits());
 
+    let mut scratch = if cfg.engine.use_delta() {
+        SwapScratch::Delta {
+            pdelta: PlacementDelta::new(),
+            adelta: AssignmentDelta::new(),
+            cache: NetBoxCache::build(lib, nl, &placement),
+            stats: DeltaEngineStats {
+                delta_engine: true,
+                ..DeltaEngineStats::default()
+            },
+        }
+    } else {
+        SwapScratch::Reference {
+            pins: NetPins::build(nl, &placement),
+        }
+    };
+
     let mut fixed = vec![false; n];
     let mut swaps_attempted = 0usize;
     let mut swaps_accepted = 0usize;
@@ -221,10 +362,19 @@ pub fn dosepl(
         let _round_span = dme_obs::span("round");
         let round_attempt_base = swaps_attempted;
         rounds_run += 1;
-        // Snapshot for exact rollback: ECO repacking can evict third-party
+        // Exact-rollback scratch: ECO repacking can evict third-party
         // cells to neighboring rows, so undoing only the swapped pair
-        // would leave residue.
-        let snapshot = (placement.x_um.clone(), placement.y_um.clone());
+        // would leave residue. The reference engine snapshots the full
+        // coordinate vectors; the delta engine starts a fresh journal
+        // scope instead.
+        let snapshot = match &mut scratch {
+            SwapScratch::Delta { pdelta, adelta, .. } => {
+                pdelta.clear();
+                adelta.clear();
+                None
+            }
+            SwapScratch::Reference { .. } => Some((placement.x_um.clone(), placement.y_um.clone())),
+        };
         let report = analyze(lib, nl, &placement, &assignment);
         debug_assert_eq!(
             report.mct_ns.to_bits(),
@@ -236,16 +386,31 @@ pub fn dosepl(
         let mut paths = worst_path_per_endpoint(nl, &report, &ctx.setup_ns);
         paths.truncate(cfg.top_k);
 
-        // Criticality flags and Eq. (13) weights.
+        // Criticality flags and Eq. (13) weights, plus the cell → path
+        // inverted index: accepted swaps bump the swap count of every
+        // path containing the swapped critical cell without re-scanning
+        // the whole path list.
         let mut critical = vec![false; n];
         let mut weight = vec![0.0f64; n];
-        for p in &paths {
+        let mut paths_of_cell: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut path_cells_scratch: Vec<InstId> = Vec::new();
+        for (pi, p) in paths.iter().enumerate() {
             let w = (-p.slack_ns).exp();
             for &c in &p.instances {
                 critical[c.0 as usize] = true;
                 weight[c.0 as usize] += w;
             }
+            // Deduped membership: a path counts once per cell no matter
+            // how often the cell appears on it.
+            path_cells_scratch.clear();
+            path_cells_scratch.extend_from_slice(&p.instances);
+            path_cells_scratch.sort_unstable();
+            path_cells_scratch.dedup();
+            for &c in &path_cells_scratch {
+                paths_of_cell[c.0 as usize].push(pi as u32);
+            }
         }
+        let mut swapped_on_path = vec![0usize; paths.len()];
 
         // Per-grid non-critical cell lists at current positions.
         let grid = &poly.grid;
@@ -260,13 +425,11 @@ pub fn dosepl(
             }
         }
 
-        let mut swapped_on_path: std::collections::HashMap<usize, usize> =
-            std::collections::HashMap::new();
         let mut round_swaps: Vec<(InstId, InstId)> = Vec::new();
         let mut num_swaps = 0usize;
 
         'paths: for (pi, path) in paths.iter().enumerate() {
-            if *swapped_on_path.get(&pi).unwrap_or(&0) >= cfg.max_swapped_per_path {
+            if swapped_on_path[pi] >= cfg.max_swapped_per_path {
                 continue;
             }
             // Cells ordered by non-increasing weight.
@@ -279,34 +442,43 @@ pub fn dosepl(
                 }
                 let bl = placement.neighborhood_bbox(lib, nl, cell_l);
                 let my_dose = poly.dose_pct[grid_of[li]];
-                // Grids intersecting bl, sorted by dose descending.
-                let mut cand_grids: Vec<usize> = (0..grid.num_cells())
-                    .filter(|&g| {
-                        let (cx, cy) = grid.cell_center_um(g);
-                        let half_x = 0.5 * grid.pitch_x_um();
-                        let half_y = 0.5 * grid.pitch_y_um();
-                        bl.expanded(half_x.max(half_y)).contains(cx, cy)
-                    })
-                    .collect();
+                // Grids intersecting bl, sorted by dose descending. The
+                // delta engine enumerates only the banded rectangle of
+                // candidate cells; the reference engine scans the grid.
+                let half_x = 0.5 * grid.pitch_x_um();
+                let half_y = 0.5 * grid.pitch_y_um();
+                let eb = bl.expanded(half_x.max(half_y));
+                let mut cand_grids: Vec<usize> = match &mut scratch {
+                    SwapScratch::Delta { stats, .. } => {
+                        let band = grid.rect_band_cells(eb.x_min, eb.x_max, eb.y_min, eb.y_max);
+                        stats.grid_cell_evals_avoided +=
+                            (grid.num_cells() - band.min(grid.num_cells())) as u64;
+                        grid.cells_in_rect(eb.x_min, eb.x_max, eb.y_min, eb.y_max)
+                    }
+                    SwapScratch::Reference { .. } => (0..grid.num_cells())
+                        .filter(|&g| {
+                            let (cx, cy) = grid.cell_center_um(g);
+                            eb.contains(cx, cy)
+                        })
+                        .collect(),
+                };
                 cand_grids.sort_by(|&a, &b| poly.dose_pct[b].total_cmp(&poly.dose_pct[a]));
                 for g in cand_grids {
                     if poly.dose_pct[g] <= my_dose {
                         break;
                     }
-                    // Non-critical candidates by distance.
-                    let mut nc: Vec<InstId> = grid_members[g]
+                    // Non-critical candidates by distance, each distance
+                    // computed once and carried as the sort key.
+                    let mut nc: Vec<(InstId, f64)> = grid_members[g]
                         .iter()
                         .copied()
                         .filter(|&m| !fixed[m.0 as usize] && m != cell_l)
+                        .map(|m| (m, placement.distance(lib, nl, cell_l, m)))
                         .collect();
-                    nc.sort_by(|&a, &b| {
-                        placement
-                            .distance(lib, nl, cell_l, a)
-                            .total_cmp(&placement.distance(lib, nl, cell_l, b))
-                    });
-                    for cell_m in nc {
+                    nc.sort_by(|a, b| a.1.total_cmp(&b.1));
+                    for (cell_m, dist) in nc {
                         let mi = cell_m.0 as usize;
-                        if placement.distance(lib, nl, cell_l, cell_m) > max_dist {
+                        if dist > max_dist {
                             tallies.distance_cutoffs += 1;
                             break;
                         }
@@ -318,9 +490,23 @@ pub fn dosepl(
                             tallies.rejected_bbox += 1;
                             continue;
                         }
-                        if hpwl_delta_frac(ctx, &placement, cell_l, cm) > cfg.hpwl_increase_frac
-                            || hpwl_delta_frac(ctx, &placement, cell_m, cl) > cfg.hpwl_increase_frac
-                        {
+                        let hpwl_reject = match &mut scratch {
+                            SwapScratch::Delta { cache, .. } => {
+                                hpwl_delta_frac_cached(cache, lib, nl, &placement, cell_l, cm)
+                                    > cfg.hpwl_increase_frac
+                                    || hpwl_delta_frac_cached(
+                                        cache, lib, nl, &placement, cell_m, cl,
+                                    ) > cfg.hpwl_increase_frac
+                            }
+                            SwapScratch::Reference { pins } => {
+                                hpwl_delta_frac_scratch(lib, nl, &placement, pins, cell_l, cm)
+                                    > cfg.hpwl_increase_frac
+                                    || hpwl_delta_frac_scratch(
+                                        lib, nl, &placement, pins, cell_m, cl,
+                                    ) > cfg.hpwl_increase_frac
+                            }
+                        };
+                        if hpwl_reject {
                             tallies.rejected_hpwl += 1;
                             continue;
                         }
@@ -341,38 +527,95 @@ pub fn dosepl(
                         }
                         // All heuristic filters pass: apply the swap and
                         // let the incremental timer arbitrate. ECO
-                        // repacking can evict third-party cells, so keep
-                        // a coordinate snapshot for exact rejection.
-                        let pre_swap = (placement.x_um.clone(), placement.y_um.clone());
-                        placement.swap_cells(cell_l, cell_m);
-                        let rows = [
-                            (placement.y_um[li] / placement.row_h_um).round() as usize,
-                            (placement.y_um[mi] / placement.row_h_um).round() as usize,
-                        ];
-                        placement.repack_rows(lib, nl, &rows);
-                        let cand_assignment =
-                            assignment_for_placement(ctx, &placement, poly, active, ds);
-                        let cand_mct = inc.retime(&placement, &cand_assignment);
+                        // repacking can evict third-party cells; the
+                        // delta engine journals every overwritten
+                        // coordinate for exact O(Δ) rejection, the
+                        // reference engine snapshots the full vectors.
                         swap_evals += 1;
-                        if cand_mct >= mct_cur - 1e-12 {
-                            // No MCT gain: revert the move and re-time
-                            // back (bitwise-exact state restoration).
+                        let accepted_mct = match &mut scratch {
+                            SwapScratch::Delta {
+                                pdelta,
+                                adelta,
+                                cache,
+                                stats,
+                            } => {
+                                let pmark = pdelta.mark();
+                                let amark = adelta.mark();
+                                placement.swap_cells_tracked(cell_l, cell_m, pdelta);
+                                let rows = [
+                                    (placement.y_um[li] / placement.row_h_um).round() as usize,
+                                    (placement.y_um[mi] / placement.row_h_um).round() as usize,
+                                ];
+                                placement.repack_rows_tracked(lib, nl, &rows, pdelta);
+                                // Only journal-touched instances can have
+                                // changed dose; everyone else's ΔL/ΔW is
+                                // already correct.
+                                let touched = pdelta.touched_since(pmark);
+                                for &t in &touched {
+                                    let ti = t.0 as usize;
+                                    let (x, y) = placement.center(lib, nl, t);
+                                    let dl = ds * poly.dose_at_um(x, y);
+                                    let dw = match active {
+                                        Some(am) => ds * am.dose_at_um(x, y),
+                                        None => assignment.dw_nm[ti],
+                                    };
+                                    adelta.set(&mut assignment, ti, dl, dw);
+                                }
+                                stats.assignment_evals_avoided += (n - touched.len().min(n)) as u64;
+                                let writes = pdelta.writes_since(pmark) as u64;
+                                stats.undo_coord_writes += writes;
+                                stats.undo_evals_avoided += (n as u64).saturating_sub(writes);
+                                let cand_mct = inc.retime(&placement, &assignment);
+                                if cand_mct >= mct_cur - 1e-12 {
+                                    // No MCT gain: replay the journals to
+                                    // restore the exact prior bits and
+                                    // re-time back.
+                                    pdelta.undo_to(&mut placement, pmark);
+                                    adelta.undo_to(&mut assignment, amark);
+                                    inc.retime(&placement, &assignment);
+                                    None
+                                } else {
+                                    cache.refresh_for_moved(lib, nl, &placement, &touched);
+                                    Some(cand_mct)
+                                }
+                            }
+                            SwapScratch::Reference { .. } => {
+                                let pre_swap = (placement.x_um.clone(), placement.y_um.clone());
+                                placement.swap_cells(cell_l, cell_m);
+                                let rows = [
+                                    (placement.y_um[li] / placement.row_h_um).round() as usize,
+                                    (placement.y_um[mi] / placement.row_h_um).round() as usize,
+                                ];
+                                placement.repack_rows(lib, nl, &rows);
+                                let cand_assignment =
+                                    assignment_for_placement(ctx, &placement, poly, active, ds);
+                                let cand_mct = inc.retime(&placement, &cand_assignment);
+                                if cand_mct >= mct_cur - 1e-12 {
+                                    // No MCT gain: revert the move and
+                                    // re-time back (bitwise-exact state
+                                    // restoration).
+                                    placement.x_um = pre_swap.0;
+                                    placement.y_um = pre_swap.1;
+                                    inc.retime(&placement, &assignment);
+                                    None
+                                } else {
+                                    assignment = cand_assignment;
+                                    Some(cand_mct)
+                                }
+                            }
+                        };
+                        let Some(cand_mct) = accepted_mct else {
                             tallies.rejected_timing += 1;
-                            placement.x_um = pre_swap.0;
-                            placement.y_um = pre_swap.1;
-                            inc.retime(&placement, &assignment);
                             continue;
-                        }
+                        };
                         tallies.accepted_provisional += 1;
                         mct_cur = cand_mct;
-                        assignment = cand_assignment;
                         round_swaps.push((cell_l, cell_m));
                         num_swaps += 1;
-                        // Update swap counts on every path containing cell_l.
-                        for (qi, q) in paths.iter().enumerate() {
-                            if q.instances.contains(&cell_l) {
-                                *swapped_on_path.entry(qi).or_insert(0) += 1;
-                            }
+                        // Update swap counts on every path containing
+                        // cell_l via the inverted index.
+                        for &qi in &paths_of_cell[li] {
+                            swapped_on_path[qi as usize] += 1;
                         }
                         if num_swaps >= cfg.swaps_per_round {
                             break 'paths;
@@ -416,13 +659,31 @@ pub fn dosepl(
             swaps_accepted += round_swaps.len();
         } else {
             tallies.rolled_back += round_swaps.len();
-            placement.x_um = snapshot.0;
-            placement.y_um = snapshot.1;
+            match &mut scratch {
+                SwapScratch::Delta {
+                    pdelta,
+                    adelta,
+                    cache,
+                    ..
+                } => {
+                    // Replay the whole round's journals; only the nets of
+                    // the cells that actually moved need re-caching.
+                    let touched = pdelta.touched_since(0);
+                    pdelta.undo_all(&mut placement);
+                    adelta.undo_all(&mut assignment);
+                    cache.refresh_for_moved(lib, nl, &placement, &touched);
+                }
+                SwapScratch::Reference { .. } => {
+                    let (sx, sy) = snapshot.expect("reference engine snapshots every round");
+                    placement.x_um = sx;
+                    placement.y_um = sy;
+                    assignment = assignment_for_placement(ctx, &placement, poly, active, ds);
+                }
+            }
             for &(a, b) in &round_swaps {
                 fixed[a.0 as usize] = true;
                 fixed[b.0 as usize] = true;
             }
-            assignment = assignment_for_placement(ctx, &placement, poly, active, ds);
             mct_cur = inc.retime(&placement, &assignment);
         }
         dme_obs::record(
@@ -434,6 +695,28 @@ pub fn dosepl(
                 ("accepted", f64::from(u8::from(round_accepted))),
                 ("mct_ns", signoff.mct_ns),
             ],
+        );
+    }
+
+    // The incremental assignment must agree bitwise with a from-scratch
+    // rebuild at the final placement — the invariant the O(Δ) engine
+    // rests on.
+    #[cfg(debug_assertions)]
+    {
+        let rebuilt = assignment_for_placement(ctx, &placement, poly, active, ds);
+        let same = rebuilt
+            .dl_nm
+            .iter()
+            .zip(&assignment.dl_nm)
+            .all(|(a, b)| a.to_bits() == b.to_bits())
+            && rebuilt
+                .dw_nm
+                .iter()
+                .zip(&assignment.dw_nm)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+        debug_assert!(
+            same,
+            "incrementally maintained assignment diverged from rebuild"
         );
     }
 
@@ -470,6 +753,17 @@ pub fn dosepl(
              full-equivalent (ratio {incremental_work_ratio:.2}, expected ≥ 3)"
         );
     }
+    let delta_stats = match scratch {
+        SwapScratch::Delta {
+            cache, mut stats, ..
+        } => {
+            let s = cache.stats();
+            stats.hpwl_fast_nets = s.fast_nets;
+            stats.hpwl_rescans = s.rescans;
+            stats
+        }
+        SwapScratch::Reference { .. } => DeltaEngineStats::default(),
+    };
     dme_obs::counter_add("dosepl/swaps_attempted", swaps_attempted as u64);
     dme_obs::counter_add("dosepl/swaps_accepted", swaps_accepted as u64);
     dme_obs::counter_add("dosepl/swap_evals", swap_evals as u64);
@@ -484,6 +778,20 @@ pub fn dosepl(
         tallies.accepted_provisional as u64,
     );
     dme_obs::counter_add("dosepl/rolled_back", tallies.rolled_back as u64);
+    if delta_stats.delta_engine {
+        dme_obs::counter_add(
+            "dosepl/assignment_evals_avoided",
+            delta_stats.assignment_evals_avoided,
+        );
+        dme_obs::counter_add(
+            "dosepl/grid_cell_evals_avoided",
+            delta_stats.grid_cell_evals_avoided,
+        );
+        dme_obs::counter_add("dosepl/hpwl_fast_nets", delta_stats.hpwl_fast_nets);
+        dme_obs::counter_add("dosepl/hpwl_rescans", delta_stats.hpwl_rescans);
+        dme_obs::counter_add("dosepl/undo_coord_writes", delta_stats.undo_coord_writes);
+        dme_obs::counter_add("dosepl/undo_evals_avoided", delta_stats.undo_evals_avoided);
+    }
     if dme_obs::enabled() {
         dme_obs::set_qor("dosepl/mct_ns", golden_after.mct_ns);
         dme_obs::set_qor("dosepl/leakage_uw", golden_after.leakage_uw);
@@ -504,6 +812,7 @@ pub fn dosepl(
         full_equivalent_gate_evals,
         incremental_work_ratio,
         filter_tallies: tallies,
+        delta_stats,
     }
 }
 
@@ -571,6 +880,94 @@ mod tests {
         }
     }
 
+    /// Field-by-field bitwise comparison of two dosePl results; the
+    /// [`DeltaEngineStats`] telemetry is the only allowed difference.
+    fn assert_results_bitwise_equal(a: &DoseplResult, b: &DoseplResult) {
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a.placement.x_um), bits(&b.placement.x_um), "x_um");
+        assert_eq!(bits(&a.placement.y_um), bits(&b.placement.y_um), "y_um");
+        assert_eq!(
+            bits(&a.assignment.dl_nm),
+            bits(&b.assignment.dl_nm),
+            "dl_nm"
+        );
+        assert_eq!(
+            bits(&a.assignment.dw_nm),
+            bits(&b.assignment.dw_nm),
+            "dw_nm"
+        );
+        assert_eq!(
+            a.golden_before.mct_ns.to_bits(),
+            b.golden_before.mct_ns.to_bits()
+        );
+        assert_eq!(
+            a.golden_after.mct_ns.to_bits(),
+            b.golden_after.mct_ns.to_bits()
+        );
+        assert_eq!(
+            a.golden_after.leakage_uw.to_bits(),
+            b.golden_after.leakage_uw.to_bits()
+        );
+        assert_eq!(a.swaps_attempted, b.swaps_attempted);
+        assert_eq!(a.swaps_accepted, b.swaps_accepted);
+        assert_eq!(a.rounds_run, b.rounds_run);
+        assert_eq!(a.swap_evals, b.swap_evals);
+        assert_eq!(a.incremental_gate_evals, b.incremental_gate_evals);
+        assert_eq!(a.full_equivalent_gate_evals, b.full_equivalent_gate_evals);
+        assert_eq!(a.filter_tallies, b.filter_tallies);
+    }
+
+    #[test]
+    fn delta_engine_matches_reference_bitwise() {
+        let lib = Library::standard(Technology::n65());
+        let d = gen::generate(&profiles::tiny(), &lib);
+        let p = dme_placement::place(&d, &lib);
+        let ctx = OptContext::new(&lib, &d, &p);
+        let dm = optimize(
+            &ctx,
+            &DmoptConfig {
+                objective: Objective::MinTiming { xi_uw: 0.0 },
+                grid_g_um: 5.0,
+                ..DmoptConfig::default()
+            },
+        )
+        .expect("dmopt");
+        let base = DoseplConfig {
+            top_k: 100,
+            rounds: 4,
+            swaps_per_round: 2,
+            ..DoseplConfig::default()
+        };
+        let fast = dosepl(
+            &ctx,
+            &dm.poly_map,
+            None,
+            -2.0,
+            &DoseplConfig {
+                engine: SwapEngine::Delta,
+                ..base.clone()
+            },
+        );
+        let refr = dosepl(
+            &ctx,
+            &dm.poly_map,
+            None,
+            -2.0,
+            &DoseplConfig {
+                engine: SwapEngine::Reference,
+                ..base
+            },
+        );
+        assert_results_bitwise_equal(&fast, &refr);
+        assert!(fast.delta_stats.delta_engine);
+        assert!(!refr.delta_stats.delta_engine);
+        if fast.swap_evals > 0 {
+            // The O(Δ) engine must actually avoid work, not just match.
+            assert!(fast.delta_stats.assignment_evals_avoided > 0);
+            assert!(fast.delta_stats.undo_evals_avoided > 0);
+        }
+    }
+
     #[test]
     fn assignment_tracks_cell_positions() {
         let lib = Library::standard(Technology::n65());
@@ -604,16 +1001,23 @@ mod tests {
         let lib = Library::standard(Technology::n65());
         let d = gen::generate(&profiles::tiny(), &lib);
         let p = dme_placement::place(&d, &lib);
-        let ctx = OptContext::new(&lib, &d, &p);
+        let pins = NetPins::build(&d.netlist, &p);
         let cell = dme_netlist::InstId(5);
         let near = p.center(&lib, &d.netlist, cell);
-        let delta_stay = hpwl_delta_frac(&ctx, &p, cell, near);
+        let delta_stay = hpwl_delta_frac_scratch(&lib, &d.netlist, &p, &pins, cell, near);
         assert!(delta_stay.abs() < 1e-12);
         let far = (p.die_w_um, p.die_h_um);
-        let delta_far = hpwl_delta_frac(&ctx, &p, cell, far);
+        let delta_far = hpwl_delta_frac_scratch(&lib, &d.netlist, &p, &pins, cell, far);
         assert!(
             delta_far > 0.1,
             "moving across the die must blow up HPWL: {delta_far}"
         );
+        // The cached evaluation answers the same queries bitwise.
+        let mut cache = NetBoxCache::build(&lib, &d.netlist, &p);
+        for &target in &[near, far, (0.0, 0.0)] {
+            let scratch = hpwl_delta_frac_scratch(&lib, &d.netlist, &p, &pins, cell, target);
+            let cached = hpwl_delta_frac_cached(&mut cache, &lib, &d.netlist, &p, cell, target);
+            assert_eq!(scratch.to_bits(), cached.to_bits(), "target {target:?}");
+        }
     }
 }

@@ -57,7 +57,7 @@ mod formulate;
 mod optimize;
 
 pub use context::{GoldenSummary, OptContext};
-pub use dosepl::{dosepl, DoseplConfig, DoseplResult};
+pub use dosepl::{dosepl, DeltaEngineStats, DoseplConfig, DoseplResult, SwapEngine};
 pub use error::DmoptError;
 pub use formulate::{Formulation, FormulationParams, VarLayout};
 pub use optimize::{optimize, DmoptConfig, DmoptResult, Layers, Objective, SolverKind};

@@ -1,9 +1,10 @@
 //! Property-based tests for DMopt end to end on small random designs.
 
 use dme_device::Technology;
+use dme_dosemap::{DoseGrid, DoseMap};
 use dme_liberty::Library;
 use dme_netlist::{gen, profiles::TechNode, DesignProfile};
-use dmeopt::{optimize, DmoptConfig, Objective, OptContext};
+use dmeopt::{dosepl, optimize, DmoptConfig, DoseplConfig, Objective, OptContext, SwapEngine};
 use proptest::prelude::*;
 
 fn random_profile() -> impl Strategy<Value = DesignProfile> {
@@ -79,6 +80,65 @@ proptest! {
             );
             prop_assert!((r.assignment.dl_nm[i] - (-2.0) * r.poly_map.dose_pct[g]).abs() < 1e-9);
         }
+    }
+
+    /// The O(Δ) dosePl engine is bitwise-identical to the from-scratch
+    /// reference on random designs and synthetic dose maps: the same
+    /// candidates are filtered the same way, the same swaps are
+    /// accepted, and the final placement/assignment/MCT bits agree.
+    #[test]
+    fn dosepl_delta_engine_matches_reference(
+        profile in random_profile(),
+        g in 4.0f64..12.0,
+        map_seed in any::<u64>(),
+        rounds in 1usize..4,
+        swaps_per_round in 1usize..4,
+    ) {
+        let lib = Library::standard(Technology::n65());
+        let d = gen::generate(&profile, &lib);
+        let p = dme_placement::place(&d, &lib);
+        let ctx = OptContext::new(&lib, &d, &p);
+        // Synthetic dose map: deterministic pseudorandom per-cell doses in
+        // [−4%, +4%] — dosePl only reads the map, so equipment smoothness
+        // is irrelevant here and no QP solve is needed.
+        let grid = DoseGrid::with_granularity(p.die_w_um, p.die_h_um, g);
+        let vals: Vec<f64> = (0..grid.num_cells())
+            .map(|i| {
+                let h = (i as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(map_seed)
+                    .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                ((h >> 11) as f64 / (1u64 << 53) as f64) * 8.0 - 4.0
+            })
+            .collect();
+        let map = DoseMap::from_values(grid, vals);
+        let base = DoseplConfig {
+            top_k: 50,
+            rounds,
+            swaps_per_round,
+            ..DoseplConfig::default()
+        };
+        let fast = dosepl(&ctx, &map, None, -2.0, &DoseplConfig {
+            engine: SwapEngine::Delta,
+            ..base.clone()
+        });
+        let refr = dosepl(&ctx, &map, None, -2.0, &DoseplConfig {
+            engine: SwapEngine::Reference,
+            ..base
+        });
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        prop_assert_eq!(bits(&fast.placement.x_um), bits(&refr.placement.x_um));
+        prop_assert_eq!(bits(&fast.placement.y_um), bits(&refr.placement.y_um));
+        prop_assert_eq!(bits(&fast.assignment.dl_nm), bits(&refr.assignment.dl_nm));
+        prop_assert_eq!(bits(&fast.assignment.dw_nm), bits(&refr.assignment.dw_nm));
+        prop_assert_eq!(fast.golden_after.mct_ns.to_bits(), refr.golden_after.mct_ns.to_bits());
+        prop_assert_eq!(fast.golden_after.leakage_uw.to_bits(), refr.golden_after.leakage_uw.to_bits());
+        prop_assert_eq!(fast.swaps_attempted, refr.swaps_attempted);
+        prop_assert_eq!(fast.swaps_accepted, refr.swaps_accepted);
+        prop_assert_eq!(fast.rounds_run, refr.rounds_run);
+        prop_assert_eq!(fast.swap_evals, refr.swap_evals);
+        prop_assert_eq!(fast.incremental_gate_evals, refr.incremental_gate_evals);
+        prop_assert_eq!(fast.filter_tallies, refr.filter_tallies);
     }
 
     /// The QCP with ξ = 0 never increases surrogate leakage and never

@@ -110,6 +110,67 @@ impl DoseGrid {
         )
     }
 
+    /// Indices of every grid cell whose *center* lies inside the
+    /// inclusive rectangle `[x_min, x_max] × [y_min, y_max]`, ascending —
+    /// the same cells (in the same order) as filtering `0..num_cells()`
+    /// by center containment, but visiting only the O(area) band of
+    /// candidate rows/columns instead of the whole grid. Returns an empty
+    /// vector for degenerate or fully outside rectangles.
+    pub fn cells_in_rect(&self, x_min: f64, x_max: f64, y_min: f64, y_max: f64) -> Vec<usize> {
+        let Some((c_lo, c_hi, r_lo, r_hi)) = self.rect_band(x_min, x_max, y_min, y_max) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for r in r_lo..=r_hi {
+            let cy = (r as f64 + 0.5) * self.pitch_y_um;
+            if cy < y_min || cy > y_max {
+                continue;
+            }
+            for c in c_lo..=c_hi {
+                let cx = (c as f64 + 0.5) * self.pitch_x_um;
+                if cx >= x_min && cx <= x_max {
+                    out.push(r * self.cols + c);
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of cells [`DoseGrid::cells_in_rect`] examines for a given
+    /// rectangle (the conservative band size) — used by the dosePl
+    /// work-avoided telemetry to compare against a full-grid scan.
+    pub fn rect_band_cells(&self, x_min: f64, x_max: f64, y_min: f64, y_max: f64) -> usize {
+        self.rect_band(x_min, x_max, y_min, y_max)
+            .map_or(0, |(c_lo, c_hi, r_lo, r_hi)| {
+                (c_hi - c_lo + 1) * (r_hi - r_lo + 1)
+            })
+    }
+
+    /// Conservative `(c_lo, c_hi, r_lo, r_hi)` band of cells whose center
+    /// could lie in the rectangle (±1 cell for floating-point slack);
+    /// `None` for degenerate rectangles. Callers apply the exact
+    /// center-containment predicate per candidate, so results stay
+    /// identical to a full-grid scan.
+    fn rect_band(
+        &self,
+        x_min: f64,
+        x_max: f64,
+        y_min: f64,
+        y_max: f64,
+    ) -> Option<(usize, usize, usize, usize)> {
+        if !(x_min <= x_max && y_min <= y_max) {
+            return None;
+        }
+        let band = |lo: f64, hi: f64, pitch: f64, count: usize| {
+            let a = ((lo / pitch - 0.5).floor() as i64 - 1).max(0) as usize;
+            let b = ((hi / pitch - 0.5).ceil() as i64 + 1).clamp(0, count as i64 - 1) as usize;
+            (a.min(count - 1), b)
+        };
+        let (c_lo, c_hi) = band(x_min, x_max, self.pitch_x_um, self.cols);
+        let (r_lo, r_hi) = band(y_min, y_max, self.pitch_y_um, self.rows);
+        Some((c_lo, c_hi, r_lo, r_hi))
+    }
+
     /// All smoothness-constrained neighbor pairs: horizontal, vertical
     /// and diagonal (the three families of Eq. 4 in the paper).
     pub fn neighbor_pairs(&self) -> Vec<(usize, usize)> {

@@ -118,6 +118,34 @@ proptest! {
         prop_assert!(fit.rms_residual_pct < 1e-6, "rms = {}", fit.rms_residual_pct);
     }
 
+    /// The banded rectangular range query returns exactly the cells a
+    /// full-grid scan of the center-containment predicate returns, in
+    /// the same (ascending-index) order.
+    #[test]
+    fn cells_in_rect_matches_scan(
+        w in 10.0f64..300.0,
+        h in 10.0f64..300.0,
+        g in 2.0f64..40.0,
+        fx0 in -0.2f64..1.2,
+        fx1 in -0.2f64..1.2,
+        fy0 in -0.2f64..1.2,
+        fy1 in -0.2f64..1.2,
+    ) {
+        let grid = DoseGrid::with_granularity(w, h, g);
+        let (x_min, x_max) = (fx0.min(fx1) * w, fx0.max(fx1) * w);
+        let (y_min, y_max) = (fy0.min(fy1) * h, fy0.max(fy1) * h);
+        let scan: Vec<usize> = (0..grid.num_cells())
+            .filter(|&idx| {
+                let (cx, cy) = grid.cell_center_um(idx);
+                cx >= x_min && cx <= x_max && cy >= y_min && cy <= y_max
+            })
+            .collect();
+        let fast = grid.cells_in_rect(x_min, x_max, y_min, y_max);
+        prop_assert_eq!(&fast, &scan);
+        // The conservative band never misses a matching cell.
+        prop_assert!(grid.rect_band_cells(x_min, x_max, y_min, y_max) >= scan.len());
+    }
+
     /// Dose sensitivity round-trips.
     #[test]
     fn sensitivity_roundtrip(d in -5.0f64..5.0) {

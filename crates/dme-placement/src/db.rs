@@ -1,5 +1,6 @@
 //! Placement database: die geometry and per-instance coordinates.
 
+use crate::delta::PlacementDelta;
 use crate::hpwl::BoundingBox;
 use dme_liberty::Library;
 use dme_netlist::{InstId, NetId, Netlist};
@@ -164,6 +165,19 @@ impl Placement {
         self.y_um.swap(a.0 as usize, b.0 as usize);
     }
 
+    /// [`Placement::swap_cells`] with the overwritten coordinates
+    /// journaled into `delta` for O(Δ) undo.
+    pub fn swap_cells_tracked(&mut self, a: InstId, b: InstId, delta: &mut PlacementDelta) {
+        let (ai, bi) = (a.0 as usize, b.0 as usize);
+        if self.x_um[ai].to_bits() != self.x_um[bi].to_bits()
+            || self.y_um[ai].to_bits() != self.y_um[bi].to_bits()
+        {
+            delta.record(a, self.x_um[ai], self.y_um[ai]);
+            delta.record(b, self.x_um[bi], self.y_um[bi]);
+        }
+        self.swap_cells(a, b);
+    }
+
     /// Re-packs every cell in the given rows left-to-right, eliminating
     /// overlaps while preserving order — the ECO legalization used after
     /// dosePl swaps. `rows` are row indices (y / row height). If a swap
@@ -175,6 +189,33 @@ impl Placement {
     /// Panics if the whole die cannot hold the cells (cannot happen for
     /// placements produced by [`crate::place`]).
     pub fn repack_rows(&mut self, lib: &Library, nl: &Netlist, rows: &[usize]) {
+        self.repack_rows_inner(lib, nl, rows, None);
+    }
+
+    /// [`Placement::repack_rows`] with every coordinate overwrite (swap
+    /// evictions included) journaled into `delta` for O(Δ) undo. The
+    /// packing itself is identical to the untracked variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the whole die cannot hold the cells.
+    pub fn repack_rows_tracked(
+        &mut self,
+        lib: &Library,
+        nl: &Netlist,
+        rows: &[usize],
+        delta: &mut PlacementDelta,
+    ) {
+        self.repack_rows_inner(lib, nl, rows, Some(delta));
+    }
+
+    fn repack_rows_inner(
+        &mut self,
+        lib: &Library,
+        nl: &Netlist,
+        rows: &[usize],
+        mut delta: Option<&mut PlacementDelta>,
+    ) {
         let width = |m: InstId| lib.cell(nl.instance(m).cell_idx).width_um();
         // Row membership and per-row occupied width for the whole die
         // (needed to find eviction targets).
@@ -210,7 +251,8 @@ impl Placement {
                     .filter(|&r2| r2 != r && used[r2] + w <= self.die_w_um + 1e-9)
                     .min_by_key(|&r2| r2.abs_diff(r))
                     .expect("die cannot hold the cells");
-                self.y_um[evict.0 as usize] = target as f64 * self.row_h_um;
+                let ex = self.x_um[evict.0 as usize];
+                self.write_coords(evict, ex, target as f64 * self.row_h_um, &mut delta);
                 members[target].push(evict);
                 used[target] += w;
                 done[target] = false;
@@ -232,18 +274,39 @@ impl Placement {
                 let x = snap(desired, self.site_um)
                     .min(self.die_w_um - w)
                     .max(cursor);
-                self.x_um[m.0 as usize] = x;
-                self.y_um[m.0 as usize] = y;
+                self.write_coords(m, x, y, &mut delta);
                 cursor = x + w;
             }
             let mut limit = self.die_w_um;
             for &m in row_cells.iter().rev() {
                 let w = width(m);
                 let x = self.x_um[m.0 as usize].min(snap(limit - w, self.site_um));
-                self.x_um[m.0 as usize] = x.max(0.0);
+                let my = self.y_um[m.0 as usize];
+                self.write_coords(m, x.max(0.0), my, &mut delta);
                 limit = self.x_um[m.0 as usize];
             }
         }
+    }
+
+    /// Writes an instance's coordinates, journaling the prior values when
+    /// they actually change (bitwise). Writing identical bits is skipped,
+    /// so tracked and untracked packing leave identical state.
+    fn write_coords(
+        &mut self,
+        id: InstId,
+        x: f64,
+        y: f64,
+        delta: &mut Option<&mut PlacementDelta>,
+    ) {
+        let i = id.0 as usize;
+        if self.x_um[i].to_bits() == x.to_bits() && self.y_um[i].to_bits() == y.to_bits() {
+            return;
+        }
+        if let Some(d) = delta.as_deref_mut() {
+            d.record(id, self.x_um[i], self.y_um[i]);
+        }
+        self.x_um[i] = x;
+        self.y_um[i] = y;
     }
 
     /// Checks legality: row alignment, die bounds, no overlaps.

@@ -1,0 +1,136 @@
+//! Coordinate-delta journal for O(Δ) undo of placement perturbations.
+//!
+//! The dosePl swap loop perturbs a [`Placement`](crate::Placement) with a
+//! cell swap plus row repacking, times the result, and usually rejects
+//! it. Snapshotting the full coordinate vectors per candidate costs O(n);
+//! a [`PlacementDelta`] instead records the *previous* coordinates of
+//! only the cells a tracked operation actually moved (bitwise change
+//! detection, so a repack that rewrites a coordinate with the same value
+//! records nothing). Undo replays the journal in reverse, restoring the
+//! exact prior bits — so a reject is O(moved cells), not O(design).
+//!
+//! Marks ([`PlacementDelta::mark`]) delimit nested scopes: a candidate
+//! undoes back to its own mark, while a round-level rollback undoes the
+//! whole journal, replacing the per-round full-vector snapshot.
+
+use crate::Placement;
+use dme_netlist::InstId;
+
+/// One journal entry: an instance's coordinates before a tracked write.
+#[derive(Debug, Clone, Copy)]
+struct DeltaEntry {
+    inst: u32,
+    old_x: f64,
+    old_y: f64,
+}
+
+/// An append-only journal of coordinate overwrites (see module docs).
+#[derive(Debug, Clone, Default)]
+pub struct PlacementDelta {
+    entries: Vec<DeltaEntry>,
+    // Scratch reused by `touched_since` to deduplicate without
+    // reallocating per call.
+    scratch: Vec<u32>,
+}
+
+impl PlacementDelta {
+    /// An empty journal.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current journal position; pass to [`PlacementDelta::undo_to`] or
+    /// [`PlacementDelta::touched_since`] to scope a perturbation.
+    pub fn mark(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Records that `inst` is about to move away from `(old_x, old_y)`.
+    pub(crate) fn record(&mut self, inst: InstId, old_x: f64, old_y: f64) {
+        self.entries.push(DeltaEntry {
+            inst: inst.0,
+            old_x,
+            old_y,
+        });
+    }
+
+    /// Undoes every write recorded after `mark`, restoring the exact
+    /// prior coordinate bits, and truncates the journal back to `mark`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mark` is beyond the current journal length.
+    pub fn undo_to(&mut self, placement: &mut Placement, mark: usize) {
+        assert!(mark <= self.entries.len(), "mark beyond journal length");
+        while self.entries.len() > mark {
+            let e = self.entries.pop().expect("len > mark");
+            placement.x_um[e.inst as usize] = e.old_x;
+            placement.y_um[e.inst as usize] = e.old_y;
+        }
+    }
+
+    /// Undoes the whole journal (round-level rollback).
+    pub fn undo_all(&mut self, placement: &mut Placement) {
+        self.undo_to(placement, 0);
+    }
+
+    /// Number of recorded coordinate writes since `mark` (not deduped).
+    pub fn writes_since(&self, mark: usize) -> usize {
+        self.entries.len().saturating_sub(mark)
+    }
+
+    /// The distinct instances written after `mark`, ascending by id.
+    /// These are the only cells whose derived state (dose assignment,
+    /// incident-net boxes) can differ from the pre-perturbation state.
+    pub fn touched_since(&mut self, mark: usize) -> Vec<InstId> {
+        self.scratch.clear();
+        self.scratch
+            .extend(self.entries[mark..].iter().map(|e| e.inst));
+        self.scratch.sort_unstable();
+        self.scratch.dedup();
+        self.scratch.iter().map(|&i| InstId(i)).collect()
+    }
+
+    /// Forgets all entries without undoing them (accept the moves and
+    /// start a new scope).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dme_device::Technology;
+    use dme_liberty::Library;
+    use dme_netlist::{gen, profiles};
+
+    #[test]
+    fn undo_restores_bitwise_and_marks_nest() {
+        let lib = Library::standard(Technology::n65());
+        let d = gen::generate(&profiles::tiny(), &lib);
+        let mut p = crate::place(&d, &lib);
+        let (x0, y0) = (p.x_um.clone(), p.y_um.clone());
+        let mut j = PlacementDelta::new();
+
+        p.swap_cells_tracked(InstId(1), InstId(7), &mut j);
+        let outer = j.mark();
+        p.swap_cells_tracked(InstId(2), InstId(9), &mut j);
+        assert_eq!(j.touched_since(outer), vec![InstId(2), InstId(9)]);
+        j.undo_to(&mut p, outer);
+        assert_eq!(p.x_um[2].to_bits(), x0[2].to_bits());
+        assert_eq!(p.y_um[9].to_bits(), y0[9].to_bits());
+
+        j.undo_all(&mut p);
+        for i in 0..p.x_um.len() {
+            assert_eq!(p.x_um[i].to_bits(), x0[i].to_bits(), "x[{i}]");
+            assert_eq!(p.y_um[i].to_bits(), y0[i].to_bits(), "y[{i}]");
+        }
+        assert!(j.is_empty());
+    }
+}

@@ -13,6 +13,10 @@
 //!   net HPWL, neighborhood bounding boxes (the dosePl swap filter), and
 //!   cell swapping with incremental re-legalization (the paper's ECO
 //!   step);
+//! - [`PlacementDelta`]: a coordinate journal for O(Δ) undo of tracked
+//!   swap/repack perturbations, and [`NetBoxCache`]: cached per-net
+//!   bounding boxes with O(1) what-if HPWL queries — the swap-scratch
+//!   layer behind the dosePl candidate loop;
 //! - density statistics used to sanity-check utilization against Table I.
 //!
 //! # Example
@@ -31,11 +35,15 @@
 #![deny(missing_docs)]
 
 mod db;
+mod delta;
 mod hpwl;
 pub mod io;
 mod legalize;
+mod netbox;
 mod place;
 
 pub use db::{LegalityError, Placement};
+pub use delta::PlacementDelta;
 pub use hpwl::BoundingBox;
+pub use netbox::{NetBoxCache, NetBoxStats, NetPins};
 pub use place::{place, place_with_iterations};

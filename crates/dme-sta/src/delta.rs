@@ -1,0 +1,132 @@
+//! Geometry-delta journal for O(Δ) undo of assignment perturbations.
+//!
+//! The dosePl swap loop re-derives the [`GeometryAssignment`] entries of
+//! the cells a candidate perturbation moved (their dose, hence ΔL/ΔW,
+//! depends only on their own position), times the result, and usually
+//! rejects it. Rebuilding the assignment from scratch per candidate
+//! costs O(n); an [`AssignmentDelta`] instead records the *previous*
+//! ΔL/ΔW of only the instances actually rewritten (bitwise change
+//! detection, so rewriting an entry with the same value records
+//! nothing). Undo replays the journal in reverse, restoring the exact
+//! prior bits.
+//!
+//! Marks ([`AssignmentDelta::mark`]) delimit nested scopes: a candidate
+//! undoes back to its own mark, while a round-level rollback undoes the
+//! whole journal, replacing the per-round full rebuild.
+
+use crate::GeometryAssignment;
+
+/// One journal entry: an instance's ΔL/ΔW before a tracked write.
+#[derive(Debug, Clone, Copy)]
+struct DeltaEntry {
+    inst: u32,
+    old_dl: f64,
+    old_dw: f64,
+}
+
+/// An append-only journal of assignment overwrites (see module docs).
+#[derive(Debug, Clone, Default)]
+pub struct AssignmentDelta {
+    entries: Vec<DeltaEntry>,
+}
+
+impl AssignmentDelta {
+    /// An empty journal.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current journal position; pass to [`AssignmentDelta::undo_to`]
+    /// to scope a perturbation.
+    pub fn mark(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Writes `(dl_nm, dw_nm)` for instance `inst`, journaling the prior
+    /// values iff they differ bitwise.
+    pub fn set(
+        &mut self,
+        assignment: &mut GeometryAssignment,
+        inst: usize,
+        dl_nm: f64,
+        dw_nm: f64,
+    ) {
+        let (old_dl, old_dw) = (assignment.dl_nm[inst], assignment.dw_nm[inst]);
+        if old_dl.to_bits() == dl_nm.to_bits() && old_dw.to_bits() == dw_nm.to_bits() {
+            return;
+        }
+        self.entries.push(DeltaEntry {
+            inst: inst as u32,
+            old_dl,
+            old_dw,
+        });
+        assignment.dl_nm[inst] = dl_nm;
+        assignment.dw_nm[inst] = dw_nm;
+    }
+
+    /// Undoes every write recorded after `mark`, restoring the exact
+    /// prior bits, and truncates the journal back to `mark`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mark` is beyond the current journal length.
+    pub fn undo_to(&mut self, assignment: &mut GeometryAssignment, mark: usize) {
+        assert!(mark <= self.entries.len(), "mark beyond journal length");
+        while self.entries.len() > mark {
+            let e = self.entries.pop().expect("len > mark");
+            assignment.dl_nm[e.inst as usize] = e.old_dl;
+            assignment.dw_nm[e.inst as usize] = e.old_dw;
+        }
+    }
+
+    /// Undoes the whole journal (round-level rollback).
+    pub fn undo_all(&mut self, assignment: &mut GeometryAssignment) {
+        self.undo_to(assignment, 0);
+    }
+
+    /// Number of recorded writes since `mark` (not deduped).
+    pub fn writes_since(&self, mark: usize) -> usize {
+        self.entries.len().saturating_sub(mark)
+    }
+
+    /// Forgets all entries without undoing them (accept the writes and
+    /// start a new scope).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_journals_and_undo_restores_bitwise() {
+        let mut a = GeometryAssignment::nominal(4);
+        let mut j = AssignmentDelta::new();
+
+        j.set(&mut a, 1, -1.5, 0.25);
+        let m = j.mark();
+        // Same-bits rewrite records nothing.
+        j.set(&mut a, 1, -1.5, 0.25);
+        assert_eq!(j.writes_since(m), 0);
+        j.set(&mut a, 2, 3.0, -0.5);
+        j.set(&mut a, 1, 0.75, 0.25);
+        assert_eq!(j.writes_since(m), 2);
+
+        j.undo_to(&mut a, m);
+        assert_eq!(a.dl_nm[1].to_bits(), (-1.5f64).to_bits());
+        assert_eq!(a.dw_nm[1].to_bits(), 0.25f64.to_bits());
+        assert_eq!(a.dl_nm[2].to_bits(), 0.0f64.to_bits());
+
+        j.undo_all(&mut a);
+        let nominal = GeometryAssignment::nominal(4);
+        assert_eq!(a, nominal);
+        assert!(j.is_empty());
+    }
+}

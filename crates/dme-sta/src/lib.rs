@@ -33,6 +33,7 @@
 
 #![deny(missing_docs)]
 
+mod delta;
 mod engine;
 pub mod incremental;
 pub mod paths;
@@ -40,6 +41,7 @@ pub mod report;
 pub mod sdf;
 mod wire;
 
+pub use delta::AssignmentDelta;
 pub use engine::{analyze, analyze_with_mode, GeometryAssignment, StaMode, TimingReport};
 pub use incremental::{IncrementalSta, RetimeStats};
 pub use paths::{top_k_paths, worst_path_per_endpoint, TimingPath};

@@ -109,6 +109,7 @@ def check_manifest(path):
         if not isinstance(series.get("rows"), list):
             fail(f"{path}: record series {kind!r} missing rows")
     check_solver_consistency(path, m)
+    check_dosepl_consistency(path, m)
     if version >= 2:
         for name, v in m["qor"].items():
             if not isinstance(v, (int, float)) or not math.isfinite(v):
@@ -184,6 +185,65 @@ def check_solver_consistency(path, m):
                 fail(f"{path}: qcp_probe row {i} non-boolean {flag!r}: {row[flag]!r}")
     if rows and rows[0].get("warm") not in (0, 0.0):
         fail(f"{path}: first qcp_probe row claims a warm start")
+
+
+def check_dosepl_consistency(path, m):
+    """Cross-field invariants for the dosePl swap-loop telemetry.
+
+    All conditional: traces without a dosePl run lack the counters and
+    skip the checks. The identities are additive, so they hold even when
+    several dosePl runs contributed to one manifest.
+    """
+    counters = m.get("counters", {})
+
+    def c(name):
+        return counters.get(name)
+
+    attempted = c("dosepl/swaps_attempted")
+    if attempted is None:
+        return
+    # Every attempted candidate is dispositioned by exactly one filter.
+    filters = [
+        "dosepl/rejected_bbox",
+        "dosepl/rejected_hpwl",
+        "dosepl/rejected_leakage",
+        "dosepl/rejected_timing",
+        "dosepl/accepted_provisional",
+    ]
+    dispositioned = sum(c(k) or 0 for k in filters)
+    if dispositioned != attempted:
+        fail(
+            f"{path}: dosepl filter tallies ({dispositioned}) != "
+            f"dosepl/swaps_attempted ({attempted})"
+        )
+    # Only candidates surviving the heuristic filters reach the timer.
+    evals = c("dosepl/swap_evals")
+    timed = (c("dosepl/rejected_timing") or 0) + (c("dosepl/accepted_provisional") or 0)
+    if evals is not None and timed != evals:
+        fail(
+            f"{path}: timed candidates ({timed}) != dosepl/swap_evals ({evals})"
+        )
+    # Every provisional swap is either accepted at round signoff or
+    # rolled back, never both.
+    provisional = c("dosepl/accepted_provisional") or 0
+    accepted = c("dosepl/swaps_accepted")
+    rolled = c("dosepl/rolled_back") or 0
+    if accepted is not None and accepted + rolled != provisional:
+        fail(
+            f"{path}: dosepl/swaps_accepted ({accepted}) + rolled_back "
+            f"({rolled}) != accepted_provisional ({provisional})"
+        )
+    # The O(Δ) engine's work-avoided counters are written as one family.
+    delta_family = [
+        "dosepl/assignment_evals_avoided",
+        "dosepl/grid_cell_evals_avoided",
+        "dosepl/undo_coord_writes",
+        "dosepl/undo_evals_avoided",
+    ]
+    present = [k for k in delta_family if c(k) is not None]
+    if present and len(present) != len(delta_family):
+        missing = sorted(set(delta_family) - set(present))
+        fail(f"{path}: partial dosepl delta-engine counter family: missing {missing}")
 
 
 def main():

@@ -45,6 +45,79 @@ fn full_flow_stays_legal_and_improves() {
 
 #[test]
 #[cfg_attr(debug_assertions, ignore = "expensive optimizer run: use --release")]
+fn dosepl_engines_agree_bitwise_on_fixed_seed() {
+    // Fixed-seed regression for the O(Δ) swap engine: on the small
+    // profile with a real DMopt dose map, the delta and reference
+    // engines must make identical decisions and produce bitwise-equal
+    // results — placements, assignments, golden summaries, and every
+    // counter except the delta-only work-avoided telemetry.
+    let lib = Library::standard(Technology::n65());
+    let design = gen::generate(&profiles::small(), &lib);
+    let placement = dme_placement::place(&design, &lib);
+    let ctx = OptContext::new(&lib, &design, &placement);
+    let dm = dmeopt::optimize(
+        &ctx,
+        &DmoptConfig {
+            objective: Objective::MinTiming { xi_uw: 0.0 },
+            grid_g_um: 5.0,
+            ..DmoptConfig::default()
+        },
+    )
+    .expect("dmopt");
+    let base = DoseplConfig {
+        top_k: 500,
+        rounds: 5,
+        swaps_per_round: 3,
+        ..DoseplConfig::default()
+    };
+    let fast = dmeopt::dosepl(
+        &ctx,
+        &dm.poly_map,
+        None,
+        -2.0,
+        &DoseplConfig {
+            engine: dmeopt::SwapEngine::Delta,
+            ..base.clone()
+        },
+    );
+    let refr = dmeopt::dosepl(
+        &ctx,
+        &dm.poly_map,
+        None,
+        -2.0,
+        &DoseplConfig {
+            engine: dmeopt::SwapEngine::Reference,
+            ..base
+        },
+    );
+    assert!(
+        fast.swaps_attempted > 0,
+        "regression fixture must exercise the candidate loop"
+    );
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(&fast.placement.x_um), bits(&refr.placement.x_um));
+    assert_eq!(bits(&fast.placement.y_um), bits(&refr.placement.y_um));
+    assert_eq!(bits(&fast.assignment.dl_nm), bits(&refr.assignment.dl_nm));
+    assert_eq!(bits(&fast.assignment.dw_nm), bits(&refr.assignment.dw_nm));
+    assert_eq!(
+        fast.golden_after.mct_ns.to_bits(),
+        refr.golden_after.mct_ns.to_bits()
+    );
+    assert_eq!(
+        fast.golden_after.leakage_uw.to_bits(),
+        refr.golden_after.leakage_uw.to_bits()
+    );
+    assert_eq!(fast.swaps_attempted, refr.swaps_attempted);
+    assert_eq!(fast.swaps_accepted, refr.swaps_accepted);
+    assert_eq!(fast.rounds_run, refr.rounds_run);
+    assert_eq!(fast.swap_evals, refr.swap_evals);
+    assert_eq!(fast.incremental_gate_evals, refr.incremental_gate_evals);
+    assert_eq!(fast.filter_tallies, refr.filter_tallies);
+    assert!(fast.delta_stats.delta_engine && !refr.delta_stats.delta_engine);
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "expensive optimizer run: use --release")]
 fn slack_profile_improves_after_optimization() {
     // The Fig. 10 storyline: the worst-slack region thins out after DMopt.
     let lib = Library::standard(Technology::n65());
