@@ -7,7 +7,7 @@ use dme_bench::Testbench;
 use dme_device::Technology;
 use dme_dosemap::{DoseGrid, DoseMap, DoseSensitivity};
 use dme_liberty::{fit, Library};
-use dme_netlist::{gen, profiles, profiles::TechNode, DesignProfile, InstId};
+use dme_netlist::{gen, profiles, InstId};
 use dme_placement::{NetBoxCache, NetPins, PlacementDelta};
 use dme_qp::{CsrMatrix, IpmSettings, IpmSolver, NewtonBackend};
 use dme_sta::{
@@ -316,21 +316,7 @@ fn bench_perf(c: &mut Criterion) {
     // sizes — the candidate loop is dominated by exactly the O(n)/O(G)
     // state maintenance the O(Δ) structures replace, not by the shared
     // incremental STA.
-    let wide = DesignProfile {
-        name: "WIDE12K".into(),
-        node: TechNode::N65,
-        target_cells: 12_000,
-        num_primary_inputs: 64,
-        seq_fraction: 0.12,
-        levels: 6,
-        chain_bias: 0.3,
-        level_taper: 0.0,
-        slices: 1,
-        ff_tap_deep_frac: 0.8,
-        die_area_mm2: 12_000.0 * 5.0e-6,
-        utilization: 0.7,
-        seed: 7,
-    };
+    let wide = profiles::scaling(12_000, 7);
     let wtb = Testbench::prepare(&wide);
     let wctx = OptContext::new(&wtb.lib, &wtb.design, &wtb.placement);
     let wn = wtb.design.netlist.num_instances();
@@ -470,6 +456,9 @@ fn bench_perf(c: &mut Criterion) {
         engine,
         ..DoseplConfig::default()
     };
+    // Each end-to-end run is seconds of wall time; a handful of samples
+    // is enough for the ratio the sentinel tracks.
+    group.sample_size(3);
     group.bench_function("dosepl_run_fast", |b| {
         let cfg = dp_cfg(SwapEngine::Delta);
         b.iter(|| dosepl(&wctx, &dmap, None, -2.0, &cfg));
@@ -478,6 +467,7 @@ fn bench_perf(c: &mut Criterion) {
         let cfg = dp_cfg(SwapEngine::Reference);
         b.iter(|| dosepl(&wctx, &dmap, None, -2.0, &cfg));
     });
+    group.sample_size(20);
     let dp_fast = dosepl(&wctx, &dmap, None, -2.0, &dp_cfg(SwapEngine::Delta));
     println!(
         "WORKLINE dosepl_candidates swaps_attempted={} swap_evals={} swaps_accepted={} \
@@ -495,6 +485,35 @@ fn bench_perf(c: &mut Criterion) {
         ds.undo_coord_writes,
         ds.undo_evals_avoided
     );
+
+    // --- push-based retime arbiter: O(cone) scaling proof ---
+    // The same single-cell dose perturbation, re-timed through the push
+    // API on the 12k and 100k instances of the *same* wide/shallow
+    // scaling profile. The level count is fixed, so the fanout cone has
+    // the same expected size at both scales; a push retime that stays
+    // flat (within 2×) across an 8× design-size step is O(cone), one
+    // that grows ~8× still hides an O(n) term.
+    for (tag, cells) in [("12k", 12_000usize), ("100k", 100_000usize)] {
+        let stb = if cells == 12_000 {
+            None // reuse `wtb` below; identical profile and seed
+        } else {
+            Some(Testbench::prepare(&profiles::scaling(cells, 7)))
+        };
+        let tb = stb.as_ref().unwrap_or(&wtb);
+        let sn = tb.design.netlist.num_instances();
+        let sdoses = GeometryAssignment::nominal(sn);
+        let mut sinc = IncrementalSta::new(&tb.lib, &tb.design.netlist, &tb.placement, &sdoses);
+        let mut stog = sdoses.clone();
+        let probe = sn / 2;
+        let mut flip = false;
+        group.bench_function(format!("retime_cone_{tag}").as_str(), |b| {
+            b.iter(|| {
+                flip = !flip;
+                stog.dl_nm[probe] = if flip { -4.0 } else { 0.0 };
+                sinc.retime_touched(&tb.placement, &stog, &[InstId(probe as u32)])
+            });
+        });
+    }
 
     // --- end-to-end MinTiming bisection: cold CG probes vs the new
     // default (warm-started probes, cached symbolic factorization) ---

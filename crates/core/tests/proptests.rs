@@ -137,7 +137,16 @@ proptest! {
         prop_assert_eq!(fast.swaps_accepted, refr.swaps_accepted);
         prop_assert_eq!(fast.rounds_run, refr.rounds_run);
         prop_assert_eq!(fast.swap_evals, refr.swap_evals);
-        prop_assert_eq!(fast.incremental_gate_evals, refr.incremental_gate_evals);
+        // The delta engine replays rejected candidates from its undo
+        // journal (zero gate evaluations) where the reference engine
+        // re-times the cone back, so it must do no more work — while
+        // reaching the bitwise-identical result checked above.
+        prop_assert!(
+            fast.incremental_gate_evals <= refr.incremental_gate_evals,
+            "delta engine did more gate evals ({}) than reference ({})",
+            fast.incremental_gate_evals,
+            refr.incremental_gate_evals
+        );
         prop_assert_eq!(fast.filter_tallies, refr.filter_tallies);
     }
 

@@ -161,6 +161,35 @@ pub fn paper_testcases() -> Vec<DesignProfile> {
     vec![aes65(), jpeg65(), aes90(), jpeg90()]
 }
 
+/// Parameterized wide/shallow (datapath-like) scaling profile: the level
+/// count is fixed, so a local perturbation's fanout cone has the same
+/// expected size at every design size — the shape that isolates O(cone)
+/// from O(n) costs when sweeping 12k → 100k → 1M cells. At 12 000 cells
+/// and seed 7 this is exactly the 12k design the `perf/dosepl_run_*`
+/// benches use.
+///
+/// # Panics
+///
+/// Panics if `target_cells` is zero.
+pub fn scaling(target_cells: usize, seed: u64) -> DesignProfile {
+    assert!(target_cells > 0, "scaling profile needs at least one cell");
+    DesignProfile {
+        name: format!("SCALE-{target_cells}"),
+        node: TechNode::N65,
+        target_cells,
+        num_primary_inputs: (target_cells * 64 / 12_000).max(16),
+        seq_fraction: 0.12,
+        levels: 6,
+        chain_bias: 0.3,
+        level_taper: 0.0,
+        slices: 1,
+        ff_tap_deep_frac: 0.8,
+        die_area_mm2: target_cells as f64 * 5.0e-6,
+        utilization: 0.7,
+        seed,
+    }
+}
+
 /// A tiny design for unit tests (fast, but structurally complete).
 pub fn tiny() -> DesignProfile {
     DesignProfile {

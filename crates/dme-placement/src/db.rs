@@ -217,16 +217,29 @@ impl Placement {
         mut delta: Option<&mut PlacementDelta>,
     ) {
         let width = |m: InstId| lib.cell(nl.instance(m).cell_idx).width_um();
-        // Row membership and per-row occupied width for the whole die
-        // (needed to find eviction targets).
+        // Row membership and occupied width, gathered only for the rows
+        // being repacked (per-row `used` sums accumulate in ascending
+        // instance order so the overfull test sees bitwise-stable
+        // totals). The full-die picture is completed lazily iff an
+        // eviction needs occupancy of other rows — rare, since rows keep
+        // distributed slack.
         let nrows = self.num_rows();
         let mut members: Vec<Vec<InstId>> = vec![Vec::new(); nrows];
         let mut used = vec![0.0f64; nrows];
+        let mut collected = vec![false; nrows];
+        let mut all_collected = false;
+        for &r in rows {
+            if r < nrows {
+                collected[r] = true;
+            }
+        }
         for i in nl.inst_ids() {
             let r = ((self.y_um[i.0 as usize] / self.row_h_um).round() as i64)
                 .clamp(0, nrows as i64 - 1) as usize;
-            members[r].push(i);
-            used[r] += width(i);
+            if collected[r] {
+                members[r].push(i);
+                used[r] += width(i);
+            }
         }
         let mut dirty: Vec<usize> = rows.to_vec();
         let mut done: Vec<bool> = vec![false; nrows];
@@ -235,6 +248,19 @@ impl Placement {
                 continue;
             }
             done[r] = true;
+            if used[r] > self.die_w_um + 1e-9 && !all_collected {
+                // Eviction target selection needs every row's occupancy.
+                for i in nl.inst_ids() {
+                    let rr = ((self.y_um[i.0 as usize] / self.row_h_um).round() as i64)
+                        .clamp(0, nrows as i64 - 1) as usize;
+                    if !collected[rr] {
+                        members[rr].push(i);
+                        used[rr] += width(i);
+                    }
+                }
+                collected.iter_mut().for_each(|c| *c = true);
+                all_collected = true;
+            }
             // Evict rightmost cells while the row is overfull.
             while used[r] > self.die_w_um + 1e-9 {
                 let (pos, _) = members[r]
@@ -258,33 +284,58 @@ impl Placement {
                 done[target] = false;
                 dirty.push(target);
             }
-            // Forward pack preserving x order, then clamp back from the
-            // right edge (the row fits, so this cannot underflow 0).
+            // Pack the row preserving x order and (where possible) the
+            // cells' current positions.
             let mut row_cells = members[r].clone();
             row_cells.sort_by(|&a, &b| {
                 self.x_um[a.0 as usize]
                     .total_cmp(&self.x_um[b.0 as usize])
                     .then(a.cmp(&b))
             });
-            let y = r as f64 * self.row_h_um;
-            let mut cursor = 0.0f64;
-            for &m in &row_cells {
-                let w = width(m);
-                let desired = self.x_um[m.0 as usize].max(cursor);
-                let x = snap(desired, self.site_um)
-                    .min(self.die_w_um - w)
-                    .max(cursor);
-                self.write_coords(m, x, y, &mut delta);
-                cursor = x + w;
-            }
-            let mut limit = self.die_w_um;
-            for &m in row_cells.iter().rev() {
-                let w = width(m);
-                let x = self.x_um[m.0 as usize].min(snap(limit - w, self.site_um));
-                let my = self.y_um[m.0 as usize];
-                self.write_coords(m, x.max(0.0), my, &mut delta);
-                limit = self.x_um[m.0 as usize];
-            }
+            self.pack_row(lib, nl, &row_cells, r, &mut delta);
+        }
+    }
+
+    /// Packs one row's cells (already sorted by ascending x, ties by id):
+    /// a forward pass resolves overlaps left-to-right while keeping every
+    /// non-overlapping cell at its current position (gaps are preserved,
+    /// not compacted), then a backward pass clamps overhang at the right
+    /// die edge. Final coordinates are computed in scratch and written
+    /// once per cell, so cells whose position is unchanged never touch
+    /// the journal — the undo cost and the downstream re-timing cone are
+    /// proportional to the cells that genuinely moved.
+    pub(crate) fn pack_row(
+        &mut self,
+        lib: &Library,
+        nl: &Netlist,
+        row_cells: &[InstId],
+        r: usize,
+        delta: &mut Option<&mut PlacementDelta>,
+    ) {
+        let width = |m: InstId| lib.cell(nl.instance(m).cell_idx).width_um();
+        let y = r as f64 * self.row_h_um;
+        // Forward pack preserving x order, then clamp back from the
+        // right edge (the row fits, so this cannot underflow 0).
+        let mut xs: Vec<f64> = Vec::with_capacity(row_cells.len());
+        let mut cursor = 0.0f64;
+        for &m in row_cells {
+            let w = width(m);
+            let desired = self.x_um[m.0 as usize].max(cursor);
+            let x = snap(desired, self.site_um)
+                .min(self.die_w_um - w)
+                .max(cursor);
+            xs.push(x);
+            cursor = x + w;
+        }
+        let mut limit = self.die_w_um;
+        for (k, &m) in row_cells.iter().enumerate().rev() {
+            let w = width(m);
+            let x = xs[k].min(snap(limit - w, self.site_um)).max(0.0);
+            xs[k] = x;
+            limit = x;
+        }
+        for (k, &m) in row_cells.iter().enumerate() {
+            self.write_coords(m, xs[k], y, delta);
         }
     }
 

@@ -1,16 +1,24 @@
-//! Tetris-style legalization.
+//! Displacement-preserving Tetris legalization.
 
-use crate::db::{snap, Placement};
+use crate::db::Placement;
 use dme_liberty::Library;
-use dme_netlist::Netlist;
+use dme_netlist::{InstId, Netlist};
 
-/// Legalizes a global placement in place: cells are processed in x order
-/// and packed into the row closest to their global position that still
-/// has room, left to right ("Tetris"). Guarantees row alignment, die
-/// containment and zero overlap provided total cell area fits the die.
+/// Legalizes a global placement in place. Cells are processed in x order
+/// and assigned to the row closest to their global position that still
+/// has capacity ("Tetris" row choice), but within a row each cell keeps
+/// its global x where possible: rows are packed with the same
+/// forward-resolve / right-edge-clamp pass the incremental repack uses,
+/// so gaps between cells survive legalization instead of being
+/// compacted away. The distributed slack matters downstream — a
+/// width-mismatched swap is absorbed by the few cells next to the gap
+/// rather than rippling the whole row tail, which keeps the re-timing
+/// cone of an ECO small. Guarantees row alignment, die containment and
+/// zero overlap provided total cell width fits the rows.
 pub fn legalize(p: &mut Placement, nl: &Netlist, lib: &Library) {
     let rows = p.num_rows().max(1);
-    let mut cursor = vec![0.0f64; rows]; // next free x per row (pure packing)
+    let mut used = vec![0.0f64; rows]; // total cell width assigned per row
+    let mut members: Vec<Vec<InstId>> = vec![Vec::new(); rows];
 
     let mut order: Vec<usize> = (0..nl.num_instances()).collect();
     order.sort_by(|&a, &b| {
@@ -23,43 +31,32 @@ pub fn legalize(p: &mut Placement, nl: &Netlist, lib: &Library) {
     for &i in &order {
         let w = lib.cell(nl.instances[i].cell_idx).width_um();
         let want_row = ((p.y_um[i] / p.row_h_um).round() as i64).clamp(0, rows as i64 - 1) as usize;
-        // Pure packing: the cell lands at the row cursor (no gaps are ever
-        // created, so the pass cannot fragment capacity); the row is
-        // chosen to minimize total displacement, probing outward in y.
-        let mut best: Option<(f64, usize)> = None; // (cost, row)
-        for dr in 0..rows {
-            let mut candidates_left = false;
+        // Probe outward in y from the wanted row; take the nearest row
+        // with remaining capacity (below-row wins ties for determinism).
+        let mut chosen: Option<usize> = None;
+        'probe: for dr in 0..rows {
             for row in [want_row as i64 - dr as i64, want_row as i64 + dr as i64] {
                 if row < 0 || row >= rows as i64 || (dr == 0 && row != want_row as i64) {
                     continue;
                 }
-                candidates_left = true;
                 let row = row as usize;
-                if cursor[row] + w > p.die_w_um + 1e-9 {
+                if used[row] + w > p.die_w_um + 1e-9 {
                     continue;
                 }
-                let dy = (row as f64 * p.row_h_um - p.y_um[i]).abs();
-                let dx = (cursor[row] - p.x_um[i]).abs();
-                let cost = dx + 2.0 * dy;
-                if best.is_none_or(|(c, _)| cost < c) {
-                    best = Some((cost, row));
-                }
-            }
-            // Stop once rows can only be farther in y than the best cost.
-            if let Some((c, _)) = best {
-                if (dr as f64) * p.row_h_um * 2.0 > c {
-                    break;
-                }
-            }
-            if !candidates_left && dr > 0 {
-                break;
+                chosen = Some(row);
+                break 'probe;
             }
         }
-        let (_, row) = best.expect("legalization failed: total cell width exceeds row capacity");
-        let x = snap(cursor[row], p.site_um).max(cursor[row]);
-        p.x_um[i] = x;
+        let row = chosen.expect("legalization failed: total cell width exceeds row capacity");
+        used[row] += w;
+        members[row].push(InstId(i as u32));
         p.y_um[i] = row as f64 * p.row_h_um;
-        cursor[row] = x + w;
+    }
+
+    // Members were pushed in ascending global-x order (ties by id), which
+    // is exactly the order pack_row expects.
+    for (r, row_cells) in members.iter().enumerate() {
+        p.pack_row(lib, nl, row_cells, r, &mut None);
     }
 }
 

@@ -144,6 +144,57 @@ proptest! {
         prop_assert_eq!(mct.to_bits(), full.mct_ns.to_bits());
     }
 
+    /// The push retime API (`retime_touched`, fed the touched set a
+    /// caller's journals would supply) lands on the same bits as the
+    /// pull mirror-diff `retime` and as a from-scratch analysis, across
+    /// random swap/re-dose/repack sequences. The bench-scale (12k)
+    /// instance of this contract is `push_matches_pull_and_full_at_
+    /// bench_scale` in `incremental.rs`.
+    #[test]
+    fn push_retime_matches_pull_and_full_on_random_sequences(
+        profile in random_profile(),
+        steps in proptest::collection::vec(
+            (any::<u32>(), any::<u32>(), any::<u32>(), -8i32..=8, any::<bool>()),
+            1..8,
+        ),
+    ) {
+        let lib = Library::standard(Technology::n65());
+        let d = gen::generate(&profile, &lib);
+        let mut p = dme_placement::place(&d, &lib);
+        let n = d.netlist.num_instances();
+        let mut doses = GeometryAssignment::nominal(n);
+        let mut push = IncrementalSta::new(&lib, &d.netlist, &p, &doses);
+        let mut pull = IncrementalSta::new(&lib, &d.netlist, &p, &doses);
+        let mut pd = dme_placement::PlacementDelta::default();
+        for &(ra, rb, rc, step, do_move) in &steps {
+            let mark = pd.mark();
+            let mut touched = Vec::new();
+            let (a, b) = (ra as usize % n, rb as usize % n);
+            if do_move && a != b {
+                let (a, b) = (dme_netlist::InstId(a as u32), dme_netlist::InstId(b as u32));
+                p.swap_cells_tracked(a, b, &mut pd);
+                let rows = [
+                    (p.y_um[a.0 as usize] / p.row_h_um).round() as usize,
+                    (p.y_um[b.0 as usize] / p.row_h_um).round() as usize,
+                ];
+                p.repack_rows_tracked(&lib, &d.netlist, &rows, &mut pd);
+                touched = pd.touched_since(mark);
+            }
+            let redosed = rc as usize % n;
+            doses.dl_nm[redosed] = step as f64;
+            touched.push(dme_netlist::InstId(redosed as u32));
+            let m_push = push.retime_touched(&p, &doses, &touched);
+            let m_pull = pull.retime(&p, &doses);
+            prop_assert_eq!(m_push.to_bits(), m_pull.to_bits(), "push/pull MCT");
+        }
+        let full = analyze(&lib, &d.netlist, &p, &doses);
+        for i in 0..n {
+            prop_assert_eq!(push.arrival_ns()[i].to_bits(), full.arrival_ns[i].to_bits(), "arrival {}", i);
+            prop_assert_eq!(push.output_slew_ns()[i].to_bits(), full.output_slew_ns[i].to_bits(), "slew {}", i);
+        }
+        prop_assert_eq!(push.mct_ns().to_bits(), full.mct_ns.to_bits());
+    }
+
     /// Dose monotonicity at chip level: more dose (shorter gates) never
     /// slows the design down and never reduces leakage.
     #[test]

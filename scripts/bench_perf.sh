@@ -11,6 +11,7 @@
 #   CRITERION_SAMPLE_SIZE=N  timed samples per bench (default: 20)
 #   DME_BENCH_HISTORY=path   history file (default: results/bench_history.jsonl;
 #                            empty string disables the append)
+#   DME_BENCH_SWEEP=0   skip the 12k/100k/1M scaling sweep (default: run it)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,18 +19,45 @@ out="${1:-BENCH_perf.json}"
 history="${DME_BENCH_HISTORY-results/bench_history.jsonl}"
 threads="${DME_NUM_THREADS:-$(nproc)}"
 git_sha="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+git_sha_full="$(git rev-parse HEAD 2>/dev/null || echo unknown)"
 git_dirty="false"
 if ! git diff --quiet HEAD 2>/dev/null; then git_dirty="true"; fi
+if [ "$git_dirty" = "true" ]; then
+    cat >&2 <<EOF
+!!============================================================!!
+!! bench_perf: WORKING TREE IS DIRTY.                         !!
+!! The numbers below do NOT measure commit $git_sha — they
+!! measure uncommitted local state. The manifest is stamped
+!! git_dirty=true and the QoR sentinel will not trust it as a
+!! trajectory point. Commit (or stash) before a record run.
+!!============================================================!!
+EOF
+fi
 log="$(mktemp)"
-trap 'rm -f "$log"' EXIT
+sweep_log="$(mktemp)"
+trap 'rm -f "$log" "$sweep_log"' EXIT
 
 echo "== bench_perf: threads=$threads (nproc=$(nproc)) ==" >&2
 DME_NUM_THREADS="$threads" cargo bench --offline -p dme-bench --bench kernels -- perf/ \
     2>&1 | tee "$log" >&2
 
+# Scaling sweep: the same bounded dosePl round (delta engine) at 12k,
+# 100k and 1M cells of the wide/shallow scaling profile. The SMOKELINE
+# rows land in the manifest's `scaling_sweep` section; flat per-eval
+# gate counts across sizes are the O(cone) arbiter's acceptance proof.
+if [ "${DME_BENCH_SWEEP:-1}" != "0" ]; then
+    echo "== bench_perf: scaling sweep 12k -> 100k -> 1M ==" >&2
+    cargo build --release --offline -p dmeopt --example scale_smoke >&2
+    for cells in 12000 100000 1000000; do
+        DME_SMOKE_CELLS="$cells" DME_SMOKE_SEED=7 DME_SMOKE_TOPK=50 \
+            DME_SMOKE_ROUNDS=1 DME_SMOKE_SWAPS=4 DME_SMOKE_ENGINE=delta \
+            ./target/release/examples/scale_smoke 2>&1 | tee -a "$sweep_log" >&2
+    done
+fi
+
 NPROC="$(nproc)" THREADS="$threads" OUT="$out" HISTORY="$history" \
-    GIT_SHA="$git_sha" GIT_DIRTY="$git_dirty" \
-    python3 - "$log" <<'PY'
+    GIT_SHA="$git_sha" GIT_SHA_FULL="$git_sha_full" GIT_DIRTY="$git_dirty" \
+    python3 - "$log" "$sweep_log" <<'PY'
 import json, os, sys, time
 
 benches, work, info = {}, {}, {}
@@ -70,6 +98,9 @@ result = {
     "schema_version": 3,
     "meta": {
         "git_sha": os.environ["GIT_SHA"],
+        # Full SHA of the commit actually benched (unknown when the
+        # tree is dirty: the checkout no longer equals any commit).
+        "git_sha_full": os.environ["GIT_SHA_FULL"],
         "git_dirty": os.environ["GIT_DIRTY"] == "true",
         "dme_num_threads": int(os.environ["THREADS"]),
         "features": {
@@ -128,15 +159,18 @@ if dp:
 #                       refresh + undo restore), counter-derived from a
 #                       real run. Hardware-independent; this is the
 #                       headline candidate-evaluation throughput ratio.
-#   wall_speedup_x    — end-to-end dosePl wall ratio. Both engines share
-#                       the incremental-STA arbiter and ECO row repack,
-#                       which dominate wall time, so this is near 1 and
-#                       informational (see end_to_end_informational).
+#   wall_speedup_x    — end-to-end dosePl wall ratio. Since the push
+#                       retime arbiter landed, the engines no longer
+#                       share their dominant cost (the delta engine
+#                       seeds retimes from journals and replays undos;
+#                       the reference pays an O(n) pull diff per eval
+#                       and re-times every rejection back), so this is
+#                       a real headline number, not informational.
 fastb = benches.get("perf/dosepl_run_fast")
 refb = benches.get("perf/dosepl_run_reference")
 if fastb and refb and fastb["median_ns"] > 0:
     entry = {"wall_speedup_x": round(refb["median_ns"] / fastb["median_ns"], 2)}
-    entry["end_to_end_informational"] = True
+    entry["end_to_end_informational"] = False
     cand = work.get("dosepl_candidates")
     if cand:
         entry.update(cand)
@@ -166,6 +200,45 @@ if fastb and refb and fastb["median_ns"] > 0:
             entry["state_evals_delta"] = delta_work
             entry["work_reduction_x"] = round(ref_work / delta_work, 2)
     result["dosepl_candidate_throughput"] = entry
+# Push-based retime arbiter flatness across design sizes: O(cone) means
+# the single-perturbation retime cost barely moves from 12k to 100k.
+rc12 = benches.get("perf/retime_cone_12k")
+rc100 = benches.get("perf/retime_cone_100k")
+if rc12 and rc100 and rc12["median_ns"] > 0:
+    result["retime_cone_scaling"] = {
+        "median_ns_12k": rc12["median_ns"],
+        "median_ns_100k": rc100["median_ns"],
+        "ratio_100k_over_12k": round(rc100["median_ns"] / rc12["median_ns"], 3),
+    }
+
+# Scaling sweep rows (scale_smoke SMOKELINE at 12k/100k/1M cells).
+sweep = []
+if len(sys.argv) > 2 and os.path.exists(sys.argv[2]):
+    for line in open(sys.argv[2]):
+        tok = line.split()
+        if not tok or tok[0] != "SMOKELINE":
+            continue
+        row = {}
+        for t in tok[1:]:
+            k, v = t.split("=", 1)
+            try:
+                row[k] = int(v)
+            except ValueError:
+                try:
+                    row[k] = float(v)
+                except ValueError:
+                    row[k] = v
+        if row.get("swap_evals"):
+            row["gate_evals_per_swap_eval"] = round(
+                row.get("gate_evals", 0) / row["swap_evals"], 1
+            )
+        sweep.append(row)
+if sweep:
+    result["scaling_sweep"] = {
+        "knobs": {"top_k": 50, "rounds": 1, "swaps_per_round": 4, "seed": 7},
+        "rows": sweep,
+    }
+
 structure_pairs = {
     "grid_query": ("grid_query_scan", "grid_query_rect"),
     "hpwl_delta": ("hpwl_delta_scratch", "hpwl_delta_cached"),

@@ -110,6 +110,7 @@ def check_manifest(path):
             fail(f"{path}: record series {kind!r} missing rows")
     check_solver_consistency(path, m)
     check_dosepl_consistency(path, m)
+    check_sta_consistency(path, m)
     if version >= 2:
         for name, v in m["qor"].items():
             if not isinstance(v, (int, float)) or not math.isfinite(v):
@@ -244,6 +245,41 @@ def check_dosepl_consistency(path, m):
     if present and len(present) != len(delta_family):
         missing = sorted(set(delta_family) - set(present))
         fail(f"{path}: partial dosepl delta-engine counter family: missing {missing}")
+
+
+def check_sta_consistency(path, m):
+    """Cross-field invariants for the incremental-STA retime arbiter.
+
+    All conditional: traces without an IncrementalSta run lack the
+    counters and skip the checks.
+    """
+    counters = m.get("counters", {})
+
+    def c(name):
+        return counters.get(name)
+
+    # Every retime enters through exactly one API: the pull diff
+    # (`retime`) or the push dirty-set (`retime_touched`).
+    calls = c("sta/retime_calls")
+    pull = c("sta/retime_pull_calls")
+    push = c("sta/retime_push_calls")
+    if calls is not None:
+        if (pull or 0) + (push or 0) != calls:
+            fail(
+                f"{path}: sta/retime_pull_calls ({pull}) + "
+                f"sta/retime_push_calls ({push}) != sta/retime_calls ({calls})"
+            )
+    elif pull is not None or push is not None:
+        fail(f"{path}: sta retime path counters without sta/retime_calls")
+    # Journal undo telemetry is written as a pair: every undo_to call
+    # bumps replays and adds its (possibly zero) entry count.
+    replays = c("sta/retime_undo_replays")
+    entries = c("sta/retime_undo_entries")
+    if (replays is None) != (entries is None):
+        fail(
+            f"{path}: partial sta undo counter pair "
+            f"(replays={replays!r}, entries={entries!r})"
+        )
 
 
 def main():

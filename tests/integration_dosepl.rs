@@ -111,7 +111,15 @@ fn dosepl_engines_agree_bitwise_on_fixed_seed() {
     assert_eq!(fast.swaps_accepted, refr.swaps_accepted);
     assert_eq!(fast.rounds_run, refr.rounds_run);
     assert_eq!(fast.swap_evals, refr.swap_evals);
-    assert_eq!(fast.incremental_gate_evals, refr.incremental_gate_evals);
+    // The delta engine replays rejected candidates from its undo journal
+    // (zero gate evaluations); the reference engine re-times the cone
+    // back. Identical results above, strictly less work here.
+    assert!(
+        fast.incremental_gate_evals <= refr.incremental_gate_evals,
+        "delta {} vs reference {}",
+        fast.incremental_gate_evals,
+        refr.incremental_gate_evals
+    );
     assert_eq!(fast.filter_tallies, refr.filter_tallies);
     assert!(fast.delta_stats.delta_engine && !refr.delta_stats.delta_engine);
 }
