@@ -10,6 +10,7 @@
 //!                 [--layers poly|both] [--prune] [--dosemap-out map.csv]
 //! dmeopt flow     --profile aes65 [--scale 0.2] [--grid 5] [--top-k 1000]
 //! dmeopt qor      ingest run.json... | diff run baseline | report
+//! dmeopt prof     report run.json [--flame out.svg] | diff run base...
 //! ```
 //!
 //! `generate` can also be driven from files instead of a built-in
@@ -29,6 +30,16 @@
 //! gates a run against a baseline with noise-aware median/MAD
 //! thresholds (exit 3 = confirmed regression), and `report` renders a
 //! self-contained HTML dashboard.
+//!
+//! `prof` consumes the manifest v3 `profile` section: `report` prints
+//! the span-tree breakdown (per-path calls, total/self wall time,
+//! allocation attribution) and can render a standalone flamegraph SVG;
+//! `diff` compares a run's per-path self times against one or more
+//! baseline manifests with the same median/MAD floors the QoR gate
+//! uses, exiting 3 on a confirmed self-time regression. The binary
+//! installs [`dme_obs::TrackingAllocator`] as its global allocator, so
+//! traced runs (`--trace` / `--report`) also attribute heap traffic to
+//! the innermost open span at ~one branch per allocation when idle.
 
 use dme_device::Technology;
 use dme_dosemap::io::{parse_dose_map, write_dose_map};
@@ -41,6 +52,13 @@ use dmeopt::flow::{run as run_flow, FlowConfig};
 use dmeopt::{optimize, DmoptConfig, DoseplConfig, Layers, Objective, OptContext};
 use std::collections::HashMap;
 use std::process::ExitCode;
+
+/// Route every allocation through the observability layer so profiled
+/// runs can attribute heap churn to the innermost open span. Disabled
+/// (one relaxed atomic load per call) unless tracing is armed.
+#[global_allocator]
+static GLOBAL: dme_obs::TrackingAllocator<std::alloc::System> =
+    dme_obs::TrackingAllocator(std::alloc::System);
 
 /// Parsed command line: a subcommand, `--key value` options (`--flag`
 /// with no value stores an empty string), and positional arguments
@@ -571,7 +589,93 @@ fn cmd_qor(args: &Args) -> Result<ExitCode, String> {
     }
 }
 
-const USAGE: &str = "usage: dmeopt <generate|analyze|optimize|flow|qor> [options]
+/// Parses the profile section of a manifest file, labelled by its path.
+fn prof_load(path: &str) -> Result<dme_qor::Profile, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    dme_qor::parse_manifest_profile(&text, path).map_err(|e| format!("{path}: {e}"))
+}
+
+fn prof_diff_config(args: &Args) -> Result<dme_qor::ProfileDiffConfig, String> {
+    let mut cfg = dme_qor::ProfileDiffConfig::default();
+    let parse_f64 = |key: &str, target: &mut f64| -> Result<(), String> {
+        if let Some(v) = args.opts.get(key) {
+            *target = v.parse().map_err(|_| format!("bad --{key} {v:?}"))?;
+        }
+        Ok(())
+    };
+    parse_f64("k-mad", &mut cfg.k_mad)?;
+    parse_f64("time-min-rel", &mut cfg.time_min_rel)?;
+    if let Some(v) = args.opts.get("min-abs-us") {
+        let us: f64 = v.parse().map_err(|_| format!("bad --min-abs-us {v:?}"))?;
+        cfg.min_abs_ns = us * 1e3;
+    }
+    if let Some(w) = args.opts.get("window") {
+        cfg.window = w.parse().map_err(|_| format!("bad --window {w:?}"))?;
+    }
+    Ok(cfg)
+}
+
+/// `prof report <manifest.json>` — span-tree breakdown + flamegraph.
+fn prof_report(args: &Args) -> Result<(), String> {
+    let [_, manifest_path] = args.positionals.as_slice() else {
+        return Err("prof report requires exactly one manifest path".into());
+    };
+    let profile = prof_load(manifest_path)?;
+    print!("{}", dme_qor::profile_tree_text(&profile));
+    if let Some(out) = args.opts.get("flame") {
+        if out.is_empty() {
+            return Err("--flame requires a path".into());
+        }
+        let title = format!("dmeopt profile — {manifest_path}");
+        let svg = dme_qor::flamegraph_svg(&profile, &title, true);
+        std::fs::write(out, svg).map_err(|e| format!("{out}: {e}"))?;
+        dme_obs::report!("prof: wrote flamegraph {out}");
+    }
+    Ok(())
+}
+
+/// `prof diff <run> <baseline>...` — gate per-path self times against
+/// baseline manifests. Exit 3 = confirmed self-time regression.
+fn prof_diff(args: &Args) -> Result<ExitCode, String> {
+    let paths = &args.positionals[1..];
+    let [run_path, baseline_paths @ ..] = paths else {
+        return Err("prof diff requires <run> <baseline>... manifest paths".into());
+    };
+    if baseline_paths.is_empty() {
+        return Err("prof diff requires at least one baseline manifest".into());
+    }
+    let run = prof_load(run_path)?;
+    let baselines: Vec<dme_qor::Profile> = baseline_paths
+        .iter()
+        .map(|p| prof_load(p))
+        .collect::<Result<_, _>>()?;
+    let cfg = prof_diff_config(args)?;
+    let mut report = dme_qor::diff_profiles(&run, &baselines, &cfg);
+    if let [single] = baseline_paths {
+        report.baseline_label = single.clone();
+    }
+    let md = dme_qor::markdown::diff_markdown(&report);
+    print!("{md}");
+    if let Some(path) = args.opts.get("md") {
+        std::fs::write(path, &md).map_err(|e| format!("{path}: {e}"))?;
+    }
+    if report.has_regression() && !args.opts.contains_key("informational") {
+        return Ok(ExitCode::from(EXIT_REGRESSION));
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `dmeopt prof <report|diff>` — the self-profiling front end.
+fn cmd_prof(args: &Args) -> Result<ExitCode, String> {
+    match args.positionals.first().map(String::as_str) {
+        Some("report") => prof_report(args).map(|()| ExitCode::SUCCESS),
+        Some("diff") => prof_diff(args),
+        Some(other) => Err(format!("unknown prof verb {other:?}")),
+        None => Err("prof requires a verb: report or diff".into()),
+    }
+}
+
+const USAGE: &str = "usage: dmeopt <generate|analyze|optimize|flow|qor|prof> [options]
   common: --profile aes65|jpeg65|aes90|jpeg90|small|tiny [--scale f]
           or --verilog-in f.v --def-in f.def [--tech 65|90]
   generate: [--verilog out.v] [--def out.def] [--lib out.lib]
@@ -586,6 +690,10 @@ const USAGE: &str = "usage: dmeopt <generate|analyze|optimize|flow|qor> [options
                  (exit 3 = confirmed regression)
             report [--history h.jsonl] [--manifest run.json]
                  [--bench-history b.jsonl] [--out dash.html] [--md out.md]
+  prof    : report <run.json> [--flame out.svg]
+            diff <run.json> <baseline.json>... [--window n] [--k-mad k]
+                 [--time-min-rel f] [--min-abs-us us] [--md out.md]
+                 [--informational] (exit 3 = confirmed self-time regression)
   observability (all subcommands): [--trace] [--trace-json events.jsonl]
           [--report run.json] [--verbose]";
 
@@ -611,6 +719,7 @@ fn main() -> ExitCode {
         "optimize" => cmd_optimize(&args).map(|()| ExitCode::SUCCESS),
         "flow" => cmd_flow(&args).map(|()| ExitCode::SUCCESS),
         "qor" => cmd_qor(&args),
+        "prof" => cmd_prof(&args),
         other => Err(format!("unknown subcommand {other:?}")),
     };
     finish_obs(&args);
@@ -685,6 +794,39 @@ mod tests {
         assert_eq!(cfg.min_rel, 0.01);
         assert_eq!(cfg.time_min_rel, 0.4);
         assert!(qor_diff_config(&args(&["qor", "diff", "r", "b", "--window", "x"])).is_err());
+    }
+
+    #[test]
+    fn prof_rejects_bad_verbs_and_arities() {
+        assert!(cmd_prof(&args(&["prof"])).is_err());
+        assert!(cmd_prof(&args(&["prof", "flame"])).is_err());
+        assert!(cmd_prof(&args(&["prof", "report"])).is_err());
+        assert!(cmd_prof(&args(&["prof", "report", "a.json", "b.json"])).is_err());
+        assert!(cmd_prof(&args(&["prof", "diff", "only-run.json"])).is_err());
+    }
+
+    #[test]
+    fn prof_diff_config_maps_options() {
+        let a = args(&[
+            "prof",
+            "diff",
+            "r",
+            "b",
+            "--window",
+            "7",
+            "--k-mad",
+            "4.0",
+            "--time-min-rel",
+            "0.5",
+            "--min-abs-us",
+            "100",
+        ]);
+        let cfg = prof_diff_config(&a).expect("config");
+        assert_eq!(cfg.window, 7);
+        assert_eq!(cfg.k_mad, 4.0);
+        assert_eq!(cfg.time_min_rel, 0.5);
+        assert_eq!(cfg.min_abs_ns, 100_000.0);
+        assert!(prof_diff_config(&args(&["prof", "diff", "r", "b", "--window", "x"])).is_err());
     }
 
     #[test]

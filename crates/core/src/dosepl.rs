@@ -34,7 +34,7 @@ use crate::context::{GoldenSummary, OptContext};
 use dme_dosemap::DoseMap;
 use dme_liberty::Library;
 use dme_netlist::{InstId, Netlist};
-use dme_placement::{NetBoxCache, NetPins, Placement, PlacementDelta};
+use dme_placement::{NetBoxCache, NetPins, Placement, PlacementDelta, RowIndex};
 use dme_sta::{
     analyze, worst_path_per_endpoint, AssignmentDelta, GeometryAssignment, IncrementalSta,
 };
@@ -286,11 +286,15 @@ fn hpwl_delta_frac_cached(
 /// Per-engine mutable scratch state of the candidate loop. The `Delta`
 /// variant holds the O(Δ) structures; `Reference` only needs the static
 /// pin-identity structure for the γ₃ filter.
+// One instance exists per dosePl run and it never moves, so the
+// variant size asymmetry costs nothing.
+#[allow(clippy::large_enum_variant)]
 enum SwapScratch {
     Delta {
         pdelta: PlacementDelta,
         adelta: AssignmentDelta,
         cache: NetBoxCache,
+        rowindex: RowIndex,
         stats: DeltaEngineStats,
     },
     Reference {
@@ -346,6 +350,7 @@ pub fn dosepl(
             pdelta: PlacementDelta::new(),
             adelta: AssignmentDelta::new(),
             cache: NetBoxCache::build(lib, nl, &placement),
+            rowindex: RowIndex::build(&placement, nl),
             stats: DeltaEngineStats {
                 delta_engine: true,
                 ..DeltaEngineStats::default()
@@ -448,6 +453,7 @@ pub fn dosepl(
                 if fixed[li] {
                     continue;
                 }
+                let enum_span = dme_obs::span("enumerate");
                 let bl = placement.neighborhood_bbox(lib, nl, cell_l);
                 let my_dose = poly.dose_pct[grid_of[li]];
                 // Grids intersecting bl, sorted by dose descending. The
@@ -471,6 +477,8 @@ pub fn dosepl(
                         .collect(),
                 };
                 cand_grids.sort_by(|&a, &b| poly.dose_pct[b].total_cmp(&poly.dose_pct[a]));
+                drop(enum_span);
+                let _filter_span = dme_obs::span("filter");
                 for g in cand_grids {
                     if poly.dose_pct[g] <= my_dose {
                         break;
@@ -545,18 +553,20 @@ pub fn dosepl(
                                 pdelta,
                                 adelta,
                                 cache,
+                                rowindex,
                                 stats,
                             } => {
                                 let pmark = pdelta.mark();
                                 let amark = adelta.mark();
                                 placement.swap_cells_tracked(cell_l, cell_m, pdelta);
+                                rowindex.sync(&placement, &[cell_l, cell_m]);
                                 let rows = [
                                     (placement.y_um[li] / placement.row_h_um).round() as usize,
                                     (placement.y_um[mi] / placement.row_h_um).round() as usize,
                                 ];
                                 {
                                     let _s = dme_obs::span("repack");
-                                    placement.repack_rows_tracked(lib, nl, &rows, pdelta);
+                                    placement.repack_rows_indexed(lib, nl, &rows, pdelta, rowindex);
                                 }
                                 // Only journal-touched instances can have
                                 // changed dose; everyone else's ΔL/ΔW is
@@ -590,6 +600,7 @@ pub fn dosepl(
                                     // timing state by old-value replay,
                                     // with zero gate evaluations.
                                     pdelta.undo_to(&mut placement, pmark);
+                                    rowindex.sync(&placement, &touched);
                                     adelta.undo_to(&mut assignment, amark);
                                     let _s = dme_obs::span("retime_undo");
                                     inc.undo_to(smark);
@@ -637,6 +648,7 @@ pub fn dosepl(
                             tallies.rejected_timing += 1;
                             continue;
                         };
+                        let _commit_span = dme_obs::span("commit");
                         tallies.accepted_provisional += 1;
                         mct_cur = cand_mct;
                         round_swaps.push((cell_l, cell_m));
@@ -694,6 +706,7 @@ pub fn dosepl(
                     pdelta,
                     adelta,
                     cache,
+                    rowindex,
                     ..
                 } => {
                     // Replay the whole round's journals; only the nets of
@@ -702,6 +715,7 @@ pub fn dosepl(
                     // replay to the round-start mark.
                     let touched = pdelta.touched_since(0);
                     pdelta.undo_all(&mut placement);
+                    rowindex.sync(&placement, &touched);
                     adelta.undo_all(&mut assignment);
                     cache.refresh_for_moved(lib, nl, &placement, &touched);
                     inc.undo_to(sta_round);

@@ -1,0 +1,146 @@
+//! Thread-local allocation accounting for span attribution.
+//!
+//! [`TrackingAllocator`] wraps any [`GlobalAlloc`] and, when tracking
+//! is on, bumps two thread-local monotonic tallies (bytes requested,
+//! allocation count) on every `alloc`/`alloc_zeroed`/`realloc`. Spans
+//! snapshot the tallies at enter and read the delta at drop, so each
+//! span path accumulates the allocations performed while it was the
+//! innermost open span on its thread (inclusive of children; the
+//! profile tree derives per-span *self* allocation by subtracting the
+//! children, see [`crate::profile`]).
+//!
+//! # Cost model
+//!
+//! The hook is **branch-only when tracking is off**: one relaxed
+//! atomic load per allocation, no thread-local access, no extra
+//! allocation (the `no_alloc` integration test runs with this wrapper
+//! installed and still asserts a zero allocation count for the
+//! disabled-tracing span path). Tracking follows [`crate::enabled`] —
+//! [`crate::set_enabled`] and the `DME_TRACE`/`DME_TRACE_JSON`
+//! environment toggles flip both.
+//!
+//! Tallies only move if the embedding binary actually installs the
+//! wrapper as its `#[global_allocator]` (`dmeopt` does; libraries
+//! cannot). [`allocator_installed`] probes for that at runtime so
+//! manifests can say whether their alloc columns are meaningful.
+//!
+//! Deallocation is deliberately not tracked: the tallies answer
+//! "how much allocator traffic did this phase cause", not "what is
+//! the live heap size" — churn is the cost signal for a hot path.
+
+use std::alloc::{GlobalAlloc, Layout};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TRACKING: AtomicBool = AtomicBool::new(false);
+
+struct Tally {
+    bytes: Cell<u64>,
+    count: Cell<u64>,
+    /// Re-entrancy pause depth: while positive, allocations are not
+    /// counted. The span machinery holds a pause over its own internal
+    /// work (path interning, registry inserts, sink formatting) so
+    /// instrumentation overhead is never charged to the caller.
+    paused: Cell<u32>,
+}
+
+thread_local! {
+    static TALLY: Tally = const {
+        Tally {
+            bytes: Cell::new(0),
+            count: Cell::new(0),
+            paused: Cell::new(0),
+        }
+    };
+}
+
+/// A `#[global_allocator]` wrapper that feeds the per-thread
+/// allocation tallies read by spans. Wrap whatever allocator the
+/// binary would otherwise use: `TrackingAllocator(System)`.
+pub struct TrackingAllocator<A>(pub A);
+
+// SAFETY: every method delegates directly to the inner allocator; the
+// tallies are side effects on plain thread-local cells.
+unsafe impl<A: GlobalAlloc> GlobalAlloc for TrackingAllocator<A> {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if TRACKING.load(Ordering::Relaxed) {
+            note(layout.size());
+        }
+        unsafe { self.0.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { self.0.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        if TRACKING.load(Ordering::Relaxed) {
+            note(layout.size());
+        }
+        unsafe { self.0.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if TRACKING.load(Ordering::Relaxed) {
+            note(new_size);
+        }
+        unsafe { self.0.realloc(ptr, layout, new_size) }
+    }
+}
+
+fn note(bytes: usize) {
+    // try_with: the allocator can run during TLS teardown, where
+    // touching a destroyed thread-local would abort.
+    let _ = TALLY.try_with(|t| {
+        if t.paused.get() == 0 {
+            t.bytes.set(t.bytes.get().saturating_add(bytes as u64));
+            t.count.set(t.count.get().saturating_add(1));
+        }
+    });
+}
+
+pub(crate) fn set_tracking(on: bool) {
+    TRACKING.store(on, Ordering::Relaxed);
+}
+
+/// Whether the allocation hook is currently counting.
+pub fn alloc_tracking() -> bool {
+    TRACKING.load(Ordering::Relaxed)
+}
+
+/// This thread's monotonic allocation tallies: `(bytes, count)` since
+/// thread start. Zero forever if no [`TrackingAllocator`] is installed
+/// or tracking never turned on.
+pub fn thread_alloc_totals() -> (u64, u64) {
+    TALLY
+        .try_with(|t| (t.bytes.get(), t.count.get()))
+        .unwrap_or((0, 0))
+}
+
+/// RAII guard suppressing allocation counting on this thread while
+/// held (nestable).
+pub(crate) struct PauseGuard(());
+
+pub(crate) fn pause() -> PauseGuard {
+    let _ = TALLY.try_with(|t| t.paused.set(t.paused.get() + 1));
+    PauseGuard(())
+}
+
+impl Drop for PauseGuard {
+    fn drop(&mut self) {
+        let _ = TALLY.try_with(|t| t.paused.set(t.paused.get().saturating_sub(1)));
+    }
+}
+
+/// Probes whether a [`TrackingAllocator`] is actually installed as the
+/// global allocator: with tracking on, a test allocation must move the
+/// tallies. Returns `false` when tracking is off (nothing to observe).
+pub fn allocator_installed() -> bool {
+    if !alloc_tracking() {
+        return false;
+    }
+    let (b0, c0) = thread_alloc_totals();
+    std::hint::black_box(Box::new(0xD05Eu64));
+    let (b1, c1) = thread_alloc_totals();
+    b1 > b0 || c1 > c0
+}

@@ -12,6 +12,12 @@
 //! - **Records** ([`record`]): bounded per-kind series of structured
 //!   rows (one row per IPM Newton iteration).
 //!
+//! On top of the spans sits a self-profiling layer: per-span
+//! allocation attribution (when the embedding binary installs
+//! [`TrackingAllocator`] as its global allocator) and a hierarchical
+//! [`profile`] tree — calls, total/self wall time, p50/p95, bytes —
+//! emitted as the manifest's `"profile"` section (schema v3).
+//!
 //! Everything funnels into a thread-safe in-memory registry that can
 //! be exported as a JSON run manifest ([`manifest_json`],
 //! [`write_report`]) or rendered as a human-readable summary
@@ -36,18 +42,22 @@
 
 #![deny(missing_docs)]
 
+mod alloc;
 pub mod json;
 pub mod log;
 mod manifest;
+pub mod profile;
 mod registry;
 pub(crate) mod sink;
 mod span;
 
+pub use alloc::{alloc_tracking, allocator_installed, thread_alloc_totals, TrackingAllocator};
 pub use log::{level_enabled, set_max_level, Level};
 pub use manifest::{
     manifest_json, qor_values, report_path, set_meta_bool, set_meta_num, set_meta_str, set_qor,
     set_report_path, summary_table, write_report, MetaValue, MANIFEST_SCHEMA_VERSION,
 };
+pub use profile::{profile_snapshot, ProfileNode};
 pub use registry::{Histogram, RecordSeries, SpanStats, HISTOGRAM_BUCKETS, RECORD_CAP};
 pub use sink::TRACE_SCHEMA_VERSION;
 pub use span::{depth, Span};
@@ -83,6 +93,9 @@ fn ensure_env_init() {
                 }
             }
         }
+        if ENABLED.load(Ordering::Relaxed) {
+            alloc::set_tracking(true);
+        }
     });
 }
 
@@ -99,6 +112,7 @@ pub fn enabled() -> bool {
 pub fn set_enabled(on: bool) {
     ensure_env_init();
     ENABLED.store(on, Ordering::Relaxed);
+    alloc::set_tracking(on);
 }
 
 /// Opens (or replaces) the JSONL event sink at `path` and enables
@@ -111,6 +125,7 @@ pub fn set_trace_path(path: &str) -> std::io::Result<()> {
     ensure_env_init();
     sink::set_path(path)?;
     ENABLED.store(true, Ordering::Relaxed);
+    alloc::set_tracking(true);
     Ok(())
 }
 

@@ -15,8 +15,10 @@ use std::sync::Mutex;
 
 /// Version of the manifest document layout, stamped as
 /// `"schema_version"`; bumped whenever the structure changes shape.
-/// v2 added the top-level `"qor"` section and histogram percentiles.
-pub const MANIFEST_SCHEMA_VERSION: u32 = 2;
+/// v2 added the top-level `"qor"` section and histogram percentiles;
+/// v3 added the `"profile"` section (hierarchical self/total span tree
+/// with allocation attribution).
+pub const MANIFEST_SCHEMA_VERSION: u32 = 3;
 
 /// A caller-supplied metadata value attached to the manifest.
 #[derive(Debug, Clone, PartialEq)]
@@ -142,6 +144,39 @@ pub fn manifest_json() -> String {
         }
     }
     s.push('}');
+
+    s.push_str(",\"profile\":{");
+    {
+        let _ = write!(
+            s,
+            "\"alloc_tracking\":{}",
+            crate::alloc::allocator_installed()
+        );
+        s.push_str(",\"nodes\":{");
+        for (i, n) in crate::profile::profile_snapshot().iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            json::write_escaped(&mut s, &n.path);
+            let _ = write!(
+                s,
+                ":{{\"calls\":{},\"total_ns\":{},\"self_ns\":{},\"max_ns\":{},\
+                 \"p50_ns\":{},\"p95_ns\":{},\"alloc_bytes\":{},\"alloc_count\":{},\
+                 \"self_alloc_bytes\":{},\"self_alloc_count\":{}}}",
+                n.stats.count,
+                n.stats.total_ns,
+                n.self_ns,
+                n.stats.max_ns,
+                n.p50_ns,
+                n.p95_ns,
+                n.stats.alloc_bytes,
+                n.stats.alloc_count,
+                n.self_alloc_bytes,
+                n.self_alloc_count
+            );
+        }
+        s.push_str("}}");
+    }
 
     s.push_str(",\"counters\":{");
     {

@@ -1,0 +1,167 @@
+//! The profile tree: a hierarchical self/total view over the flat span
+//! registry.
+//!
+//! Span paths are `/`-separated (`dosepl/round/repack`), so the
+//! registry's sorted map already encodes a forest. [`profile_snapshot`]
+//! materializes it: each node carries its aggregate [`SpanStats`] plus
+//! derived **self** tallies — total minus the sum over direct children
+//! — for both wall time and allocation. Self time is the quantity the
+//! `dmeopt prof diff` gate compares run-over-run: a child getting
+//! slower never blames the parent twice.
+//!
+//! # Invariants
+//!
+//! - `self_ns ≤ total_ns` per node (saturating subtraction guards
+//!   clock pathologies).
+//! - Σ children `total_ns` ≤ parent `total_ns` whenever spans nest as
+//!   RAII guards on one thread: each child interval is contained in
+//!   the parent interval and children are disjoint in time. Spans on
+//!   other threads start fresh stacks, so they become roots rather
+//!   than phantom children.
+//! - Σ `self_ns` over **all** nodes equals Σ `total_ns` over root
+//!   nodes (telescoping; property-tested in `profile_tree.rs`).
+//!
+//! A node whose literal parent path never completed a span (e.g. the
+//! enclosing span was still open when the snapshot was taken) is
+//! attached to its nearest completed ancestor, or becomes a root.
+
+use crate::registry::SpanStats;
+use std::collections::BTreeMap;
+
+/// One node of the profile tree (see module docs).
+#[derive(Debug, Clone)]
+pub struct ProfileNode {
+    /// Full `/`-separated span path.
+    pub path: String,
+    /// Index (into the snapshot vector) of the nearest recorded
+    /// ancestor, or `None` for roots.
+    pub parent: Option<usize>,
+    /// Aggregate stats straight from the registry.
+    pub stats: SpanStats,
+    /// Wall time not accounted to any recorded child, ns.
+    pub self_ns: u64,
+    /// Allocated bytes not accounted to any recorded child.
+    pub self_alloc_bytes: u64,
+    /// Allocation count not accounted to any recorded child.
+    pub self_alloc_count: u64,
+    /// Median per-execution duration (power-of-two resolution), ns.
+    pub p50_ns: u64,
+    /// 95th-percentile per-execution duration, ns.
+    pub p95_ns: u64,
+}
+
+/// Builds the profile tree from the current span registry, sorted by
+/// path (parents therefore always precede their descendants).
+pub fn profile_snapshot() -> Vec<ProfileNode> {
+    let spans = crate::registry()
+        .spans
+        .lock()
+        .expect("spans poisoned")
+        .clone();
+    build(&spans)
+}
+
+/// Tree construction from any path → stats map (exposed for tests and
+/// for rebuilding trees parsed back out of manifests).
+pub fn build(spans: &BTreeMap<String, SpanStats>) -> Vec<ProfileNode> {
+    let index: BTreeMap<&str, usize> = spans
+        .keys()
+        .enumerate()
+        .map(|(i, p)| (p.as_str(), i))
+        .collect();
+    let parent_of = |path: &str| -> Option<usize> {
+        let mut p = path;
+        while let Some(pos) = p.rfind('/') {
+            p = &p[..pos];
+            if let Some(&i) = index.get(p) {
+                return Some(i);
+            }
+        }
+        None
+    };
+    let mut nodes: Vec<ProfileNode> = spans
+        .iter()
+        .map(|(path, st)| ProfileNode {
+            path: path.clone(),
+            parent: parent_of(path),
+            stats: *st,
+            self_ns: st.total_ns,
+            self_alloc_bytes: st.alloc_bytes,
+            self_alloc_count: st.alloc_count,
+            p50_ns: st.dur_hist.p50(),
+            p95_ns: st.dur_hist.p95(),
+        })
+        .collect();
+    for i in 0..nodes.len() {
+        if let Some(pi) = nodes[i].parent {
+            let (t, b, c) = (
+                nodes[i].stats.total_ns,
+                nodes[i].stats.alloc_bytes,
+                nodes[i].stats.alloc_count,
+            );
+            let p = &mut nodes[pi];
+            p.self_ns = p.self_ns.saturating_sub(t);
+            p.self_alloc_bytes = p.self_alloc_bytes.saturating_sub(b);
+            p.self_alloc_count = p.self_alloc_count.saturating_sub(c);
+        }
+    }
+    nodes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(total_ns: u64, alloc_bytes: u64) -> SpanStats {
+        SpanStats {
+            count: 1,
+            total_ns,
+            max_ns: total_ns,
+            alloc_bytes,
+            alloc_count: alloc_bytes / 8,
+            ..SpanStats::default()
+        }
+    }
+
+    #[test]
+    fn self_time_subtracts_direct_children_only() {
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), stats(100, 800));
+        m.insert("a/b".to_string(), stats(60, 320));
+        m.insert("a/b/c".to_string(), stats(10, 80));
+        m.insert("d".to_string(), stats(5, 0));
+        let nodes = build(&m);
+        let by_path: BTreeMap<&str, &ProfileNode> =
+            nodes.iter().map(|n| (n.path.as_str(), n)).collect();
+        assert_eq!(by_path["a"].self_ns, 40);
+        assert_eq!(by_path["a"].self_alloc_bytes, 480);
+        assert_eq!(by_path["a/b"].self_ns, 50);
+        assert_eq!(by_path["a/b/c"].self_ns, 10);
+        assert_eq!(by_path["d"].self_ns, 5);
+        assert_eq!(by_path["a"].parent, None);
+        assert_eq!(by_path["a/b/c"].parent.map(|i| nodes[i].path.as_str()), {
+            Some("a/b")
+        });
+        // Telescoping: Σ self == Σ root totals.
+        let self_sum: u64 = nodes.iter().map(|n| n.self_ns).sum();
+        let root_sum: u64 = nodes
+            .iter()
+            .filter(|n| n.parent.is_none())
+            .map(|n| n.stats.total_ns)
+            .sum();
+        assert_eq!(self_sum, root_sum);
+    }
+
+    #[test]
+    fn missing_parent_attaches_to_nearest_ancestor() {
+        let mut m = BTreeMap::new();
+        m.insert("flow".to_string(), stats(100, 0));
+        // "flow/solve" never completed; its child still nests under flow.
+        m.insert("flow/solve/factor".to_string(), stats(30, 0));
+        let nodes = build(&m);
+        let child = nodes.iter().find(|n| n.path.ends_with("factor")).unwrap();
+        assert_eq!(child.parent.map(|i| nodes[i].path.as_str()), Some("flow"));
+        let flow = nodes.iter().find(|n| n.path == "flow").unwrap();
+        assert_eq!(flow.self_ns, 70);
+    }
+}

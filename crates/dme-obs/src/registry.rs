@@ -18,7 +18,7 @@ use std::time::Duration;
 pub const HISTOGRAM_BUCKETS: usize = 33;
 
 /// A fixed-bucket power-of-two histogram of `u64` samples.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Histogram {
     /// Samples recorded.
     pub count: u64,
@@ -47,7 +47,7 @@ impl Histogram {
         ((64 - v.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
     }
 
-    fn record(&mut self, v: u64) {
+    pub(crate) fn record(&mut self, v: u64) {
         self.count += 1;
         self.sum += v;
         self.max = self.max.max(v);
@@ -105,7 +105,7 @@ impl Histogram {
     }
 }
 
-/// Aggregate timing of one span path.
+/// Aggregate timing and allocation attribution of one span path.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SpanStats {
     /// Completed enter/exit pairs.
@@ -114,6 +114,15 @@ pub struct SpanStats {
     pub total_ns: u64,
     /// Longest single execution, ns.
     pub max_ns: u64,
+    /// Bytes allocated while this span was open on its thread
+    /// (inclusive of child spans; 0 unless a
+    /// [`crate::TrackingAllocator`] is installed and tracking is on).
+    pub alloc_bytes: u64,
+    /// Allocation count over the same windows.
+    pub alloc_count: u64,
+    /// Distribution of per-execution durations (ns), powering the
+    /// profile tree's p50/p95 columns.
+    pub dur_hist: Histogram,
 }
 
 /// Cap on retained rows per record series; further rows are counted in
@@ -149,13 +158,27 @@ impl Registry {
         map.entry(name).or_default().record(value);
     }
 
-    pub(crate) fn span_record(&self, path: &str, dur: Duration) {
+    pub(crate) fn span_record(
+        &self,
+        path: &str,
+        dur: Duration,
+        alloc_bytes: u64,
+        alloc_count: u64,
+    ) {
         let ns = u64::try_from(dur.as_nanos()).unwrap_or(u64::MAX);
         let mut map = self.spans.lock().expect("span registry poisoned");
-        let s = map.entry(path.to_string()).or_default();
+        // get_mut-first so the steady state (path already interned in a
+        // prior drop) needs no owned key.
+        let s = match map.get_mut(path) {
+            Some(s) => s,
+            None => map.entry(path.to_string()).or_default(),
+        };
         s.count += 1;
         s.total_ns += ns;
         s.max_ns = s.max_ns.max(ns);
+        s.alloc_bytes = s.alloc_bytes.saturating_add(alloc_bytes);
+        s.alloc_count = s.alloc_count.saturating_add(alloc_count);
+        s.dur_hist.record(ns);
     }
 
     pub(crate) fn record(&self, kind: &'static str, fields: &[(&'static str, f64)]) {

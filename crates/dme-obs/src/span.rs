@@ -1,17 +1,82 @@
-//! Hierarchical timing spans.
+//! Hierarchical timing spans with per-span allocation attribution.
 //!
-//! A [`Span`] is an RAII guard: construction notes the wall clock and
-//! pushes the span name onto a thread-local stack; drop pops it, joins
-//! the stack into a `/`-separated path (`flow/dmopt/solve`), folds the
-//! duration into the registry aggregate, and emits a JSONL event if a
-//! sink is open. When tracing is disabled the guard holds `None` — no
-//! clock read, no thread-local touch and no heap allocation.
+//! A [`Span`] is an RAII guard: construction interns the span's
+//! `/`-separated path (`flow/dmopt/solve`) into a thread-local tree,
+//! notes the wall clock and this thread's allocation tallies, and
+//! pushes the node onto the open-span stack; drop pops it, folds the
+//! duration and allocation delta into the registry aggregate, and
+//! emits a JSONL event if a sink is open. When tracing is disabled the
+//! guard holds `None` — no clock read, no thread-local touch and no
+//! heap allocation.
+//!
+//! # Path interning
+//!
+//! Every `(parent, name)` pair a thread observes is interned once into
+//! a thread-local node that caches the joined path string. Steady-state
+//! span drops therefore do **not** allocate the path: they look the
+//! cached `&str` up in the registry map in place. The one-time interning
+//! cost (and the registry/sink work at drop) runs under an allocation
+//! pause ([`crate::alloc`]) so instrumentation overhead is never
+//! charged to the enclosing span's allocation tallies.
 
 use std::cell::RefCell;
 use std::time::Instant;
 
+/// One interned span-path node on this thread.
+struct Node {
+    name: &'static str,
+    /// Cached `/`-joined path from the root to this node.
+    path: String,
+    /// Child node indices; fan-out per phase is small, so child lookup
+    /// is a linear scan comparing names.
+    children: Vec<usize>,
+}
+
+struct Tls {
+    /// Node 0 is the synthetic root (empty path, never recorded).
+    nodes: Vec<Node>,
+    /// Open spans, innermost last (indices into `nodes`).
+    stack: Vec<usize>,
+}
+
+impl Tls {
+    fn new() -> Self {
+        Tls {
+            nodes: vec![Node {
+                name: "",
+                path: String::new(),
+                children: Vec::new(),
+            }],
+            stack: Vec::new(),
+        }
+    }
+
+    fn intern(&mut self, parent: usize, name: &'static str) -> usize {
+        for &c in &self.nodes[parent].children {
+            if self.nodes[c].name == name {
+                return c;
+            }
+        }
+        let path = if parent == 0 {
+            name.to_string()
+        } else {
+            format!("{}/{}", self.nodes[parent].path, name)
+        };
+        let id = self.nodes.len();
+        self.nodes.push(Node {
+            name,
+            path,
+            children: Vec::new(),
+        });
+        self.nodes[parent].children.push(id);
+        id
+    }
+}
+
 thread_local! {
-    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    // Option so that disabled-mode probes (`depth()`) never allocate
+    // the root node.
+    static TLS: RefCell<Option<Tls>> = const { RefCell::new(None) };
 }
 
 /// RAII guard timing one named region; create via [`crate::span`].
@@ -21,8 +86,11 @@ pub struct Span {
 }
 
 struct ActiveSpan {
-    start: Instant,
+    node: usize,
     depth: usize,
+    alloc_bytes0: u64,
+    alloc_count0: u64,
+    start: Instant,
 }
 
 impl Span {
@@ -31,15 +99,26 @@ impl Span {
     }
 
     pub(crate) fn enter(name: &'static str) -> Self {
-        let depth = STACK.with(|s| {
-            let mut s = s.borrow_mut();
-            s.push(name);
-            s.len()
+        let pause = crate::alloc::pause();
+        let (node, depth) = TLS.with(|t| {
+            let mut t = t.borrow_mut();
+            let t = t.get_or_insert_with(Tls::new);
+            let parent = t.stack.last().copied().unwrap_or(0);
+            let node = t.intern(parent, name);
+            t.stack.push(node);
+            (node, t.stack.len())
         });
+        drop(pause);
+        // Snapshot tallies and clock last, so interning cost is outside
+        // the measured window.
+        let (alloc_bytes0, alloc_count0) = crate::alloc::thread_alloc_totals();
         Span {
             active: Some(ActiveSpan {
-                start: Instant::now(),
+                node,
                 depth,
+                alloc_bytes0,
+                alloc_count0,
+                start: Instant::now(),
             }),
         }
     }
@@ -57,21 +136,25 @@ impl Drop for Span {
             return;
         };
         let dur = active.start.elapsed();
-        let path = STACK.with(|s| {
-            let mut s = s.borrow_mut();
+        let (bytes1, count1) = crate::alloc::thread_alloc_totals();
+        let alloc_bytes = bytes1.saturating_sub(active.alloc_bytes0);
+        let alloc_count = count1.saturating_sub(active.alloc_count0);
+        let _pause = crate::alloc::pause();
+        TLS.with(|t| {
+            let mut t = t.borrow_mut();
+            let t = t.get_or_insert_with(Tls::new);
             // Defensive: if spans were dropped out of order, unwind to
             // this span's depth rather than corrupting the stack.
-            s.truncate(active.depth);
-            let path = s.join("/");
-            s.pop();
-            path
+            t.stack.truncate(active.depth);
+            t.stack.pop();
+            let path = t.nodes[active.node].path.as_str();
+            crate::registry().span_record(path, dur, alloc_bytes, alloc_count);
+            crate::sink::emit_span(path, u64::try_from(dur.as_nanos()).unwrap_or(u64::MAX));
         });
-        crate::registry().span_record(&path, dur);
-        crate::sink::emit_span(&path, u64::try_from(dur.as_nanos()).unwrap_or(u64::MAX));
     }
 }
 
 /// Current span nesting depth on this thread (0 outside any span).
 pub fn depth() -> usize {
-    STACK.with(|s| s.borrow().len())
+    TLS.with(|t| t.borrow().as_ref().map_or(0, |t| t.stack.len()))
 }

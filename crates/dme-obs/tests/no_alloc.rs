@@ -1,8 +1,13 @@
 //! Verifies the disabled-tracing cost contract: with tracing off, a
-//! span is a branch plus an inert guard — **zero heap allocations**.
+//! span is a branch plus an inert guard — **zero heap allocations** —
+//! and the [`dme_obs::TrackingAllocator`] hook is branch-only (one
+//! relaxed load, no tally movement).
 //!
 //! Lives in its own integration binary so the counting allocator and
-//! single-threaded accounting don't interfere with other tests.
+//! single-threaded accounting don't interfere with other tests. The
+//! global allocator here is the same wrapper `dmeopt` installs,
+//! stacked on a raw allocation counter, so the zero-alloc assertion
+//! also covers the profiling hook itself.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -23,7 +28,8 @@ unsafe impl GlobalAlloc for CountingAlloc {
 }
 
 #[global_allocator]
-static GLOBAL: CountingAlloc = CountingAlloc;
+static GLOBAL: dme_obs::TrackingAllocator<CountingAlloc> =
+    dme_obs::TrackingAllocator(CountingAlloc);
 
 #[test]
 fn disabled_tracing_does_not_allocate() {
@@ -44,7 +50,31 @@ fn disabled_tracing_does_not_allocate() {
         dme_obs::counter_add("hot/counter", 1);
         dme_obs::histogram_record("hot/hist", i);
         dme_obs::record("hot/rec", &[("i", i as f64)]);
+        // Profiling hooks on the disabled path: depth probe and the
+        // thread tally read are alloc-free too.
+        assert_eq!(dme_obs::depth(), 0);
+        std::hint::black_box(dme_obs::thread_alloc_totals());
     }
     let after = ALLOCS.load(Ordering::Relaxed);
     assert_eq!(after - before, 0, "disabled tracing must not heap-allocate");
+}
+
+#[test]
+fn disabled_tracking_leaves_tallies_untouched() {
+    if std::env::var("DME_TRACE").is_ok() || std::env::var("DME_TRACE_JSON").is_ok() {
+        eprintln!("skipping: DME_TRACE set, tracing is enabled");
+        return;
+    }
+    assert!(!dme_obs::enabled());
+    assert!(!dme_obs::alloc_tracking());
+    assert!(!dme_obs::allocator_installed());
+
+    let (b0, c0) = dme_obs::thread_alloc_totals();
+    // Real allocator traffic through the installed wrapper...
+    for i in 0..64usize {
+        std::hint::black_box(vec![0u8; 128 + i]);
+    }
+    // ...moves the raw counter but not the tracking tallies.
+    let (b1, c1) = dme_obs::thread_alloc_totals();
+    assert_eq!((b1, c1), (b0, c0), "tracking-off hook must not count");
 }

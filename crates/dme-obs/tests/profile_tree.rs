@@ -1,0 +1,120 @@
+//! Property tests for the profile tree built from live span nestings:
+//! across random open/close sequences, per-node self time never
+//! exceeds total, direct children stay within their parent, and the
+//! self times telescope — Σ self over every node equals Σ total over
+//! the roots. The same invariants are checked for the allocation
+//! tallies, with the [`dme_obs::TrackingAllocator`] installed so the
+//! attribution path is exercised for real.
+//!
+//! All tests mutate the process-global registry, so they serialize on
+//! one mutex and reset state up front (same pattern as
+//! `trace_events.rs`).
+
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+#[global_allocator]
+static GLOBAL: dme_obs::TrackingAllocator<std::alloc::System> =
+    dme_obs::TrackingAllocator(std::alloc::System);
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+const NAMES: [&str; 4] = ["seed", "propagate", "mct", "undo"];
+const MAX_DEPTH: usize = 8;
+
+proptest! {
+    #[test]
+    fn self_times_sum_to_root_totals(ops in proptest::collection::vec(0u8..6, 1..64)) {
+        let _guard = serial();
+        dme_obs::reset();
+        dme_obs::set_enabled(true);
+
+        // Interpret each op as "open span NAMES[op]" (op < 4, depth
+        // permitting) or "close the innermost". Guards close LIFO.
+        let mut guards: Vec<dme_obs::Span> = Vec::new();
+        for op in ops {
+            if (op as usize) < NAMES.len() && guards.len() < MAX_DEPTH {
+                guards.push(dme_obs::span(NAMES[op as usize]));
+                // Allocator traffic to attribute to the open span.
+                std::hint::black_box(vec![0u8; 64]);
+            } else {
+                guards.pop();
+            }
+        }
+        while guards.pop().is_some() {}
+        dme_obs::set_enabled(false);
+
+        let nodes = dme_obs::profile_snapshot();
+        let mut child_ns = vec![0u64; nodes.len()];
+        let mut child_bytes = vec![0u64; nodes.len()];
+        for n in &nodes {
+            if let Some(p) = n.parent {
+                child_ns[p] += n.stats.total_ns;
+                child_bytes[p] += n.stats.alloc_bytes;
+            }
+        }
+        for (i, n) in nodes.iter().enumerate() {
+            prop_assert!(n.self_ns <= n.stats.total_ns, "self>total at {}", n.path);
+            prop_assert!(
+                child_ns[i] <= n.stats.total_ns,
+                "children exceed parent at {}: {} > {}",
+                n.path, child_ns[i], n.stats.total_ns
+            );
+            prop_assert_eq!(n.self_ns, n.stats.total_ns - child_ns[i]);
+            prop_assert!(child_bytes[i] <= n.stats.alloc_bytes);
+            prop_assert_eq!(
+                n.self_alloc_bytes,
+                n.stats.alloc_bytes - child_bytes[i]
+            );
+        }
+        let self_sum: u64 = nodes.iter().map(|n| n.self_ns).sum();
+        let root_total: u64 = nodes
+            .iter()
+            .filter(|n| n.parent.is_none())
+            .map(|n| n.stats.total_ns)
+            .sum();
+        prop_assert_eq!(self_sum, root_total, "self times must telescope");
+
+        let self_bytes: u64 = nodes.iter().map(|n| n.self_alloc_bytes).sum();
+        let root_bytes: u64 = nodes
+            .iter()
+            .filter(|n| n.parent.is_none())
+            .map(|n| n.stats.alloc_bytes)
+            .sum();
+        prop_assert_eq!(self_bytes, root_bytes, "alloc bytes must telescope");
+    }
+}
+
+#[test]
+fn attribution_charges_the_innermost_open_span() {
+    let _guard = serial();
+    dme_obs::reset();
+    dme_obs::set_enabled(true);
+    assert!(dme_obs::allocator_installed());
+
+    {
+        let _outer = dme_obs::span("outer");
+        std::hint::black_box(vec![0u8; 10_000]);
+        {
+            let _inner = dme_obs::span("inner");
+            std::hint::black_box(vec![0u8; 100_000]);
+        }
+    }
+    dme_obs::set_enabled(false);
+
+    let nodes = dme_obs::profile_snapshot();
+    let by_path = |p: &str| nodes.iter().find(|n| n.path == p).unwrap().clone();
+    let outer = by_path("outer");
+    let inner = by_path("outer/inner");
+    assert!(inner.stats.alloc_bytes >= 100_000);
+    assert!(outer.stats.alloc_bytes >= inner.stats.alloc_bytes + 10_000);
+    // Inner's traffic lands in outer's inclusive tally but not its self
+    // tally; the 10k vec stays charged to outer itself.
+    assert!(outer.self_alloc_bytes >= 10_000);
+    assert!(outer.self_alloc_bytes < 100_000 + 10_000);
+    assert!(outer.self_ns <= outer.stats.total_ns);
+}

@@ -2,6 +2,7 @@
 
 use crate::delta::PlacementDelta;
 use crate::hpwl::BoundingBox;
+use crate::rowindex::RowIndex;
 use dme_liberty::Library;
 use dme_netlist::{InstId, NetId, Netlist};
 use std::error::Error;
@@ -189,7 +190,7 @@ impl Placement {
     /// Panics if the whole die cannot hold the cells (cannot happen for
     /// placements produced by [`crate::place`]).
     pub fn repack_rows(&mut self, lib: &Library, nl: &Netlist, rows: &[usize]) {
-        self.repack_rows_inner(lib, nl, rows, None);
+        self.repack_rows_inner(lib, nl, rows, None, None);
     }
 
     /// [`Placement::repack_rows`] with every coordinate overwrite (swap
@@ -206,7 +207,33 @@ impl Placement {
         rows: &[usize],
         delta: &mut PlacementDelta,
     ) {
-        self.repack_rows_inner(lib, nl, rows, Some(delta));
+        self.repack_rows_inner(lib, nl, rows, Some(delta), None);
+    }
+
+    /// [`Placement::repack_rows_tracked`] driven by a persistent
+    /// [`RowIndex`]: row membership comes from the index instead of the
+    /// per-call scan over every instance, making the repack O(Δ). The
+    /// index must be in sync with the placement on entry (including the
+    /// swap that dirtied `rows` — sync it with the swapped pair first);
+    /// on return it is re-synced from the coordinates this call wrote.
+    /// The packing is bitwise identical to the scan-based variants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the whole die cannot hold the cells.
+    pub fn repack_rows_indexed(
+        &mut self,
+        lib: &Library,
+        nl: &Netlist,
+        rows: &[usize],
+        delta: &mut PlacementDelta,
+        index: &mut RowIndex,
+    ) {
+        debug_assert!(index.is_consistent(self, nl), "stale row index on entry");
+        let mark = delta.mark();
+        self.repack_rows_inner(lib, nl, rows, Some(delta), Some(index));
+        let touched = delta.touched_since(mark);
+        index.sync(self, &touched);
     }
 
     fn repack_rows_inner(
@@ -215,6 +242,7 @@ impl Placement {
         nl: &Netlist,
         rows: &[usize],
         mut delta: Option<&mut PlacementDelta>,
+        index: Option<&RowIndex>,
     ) {
         let width = |m: InstId| lib.cell(nl.instance(m).cell_idx).width_um();
         // Row membership and occupied width, gathered only for the rows
@@ -233,12 +261,29 @@ impl Placement {
                 collected[r] = true;
             }
         }
-        for i in nl.inst_ids() {
-            let r = ((self.y_um[i.0 as usize] / self.row_h_um).round() as i64)
-                .clamp(0, nrows as i64 - 1) as usize;
-            if collected[r] {
-                members[r].push(i);
-                used[r] += width(i);
+        match index {
+            // Index path: membership of just the dirty rows, in the same
+            // ascending-id order the scan produces (identical `used`
+            // accumulation order, bitwise-stable totals).
+            Some(ix) => {
+                for &r in rows {
+                    if r < nrows && members[r].is_empty() && used[r] == 0.0 {
+                        for &i in ix.members(r) {
+                            members[r].push(i);
+                            used[r] += width(i);
+                        }
+                    }
+                }
+            }
+            None => {
+                for i in nl.inst_ids() {
+                    let r = ((self.y_um[i.0 as usize] / self.row_h_um).round() as i64)
+                        .clamp(0, nrows as i64 - 1) as usize;
+                    if collected[r] {
+                        members[r].push(i);
+                        used[r] += width(i);
+                    }
+                }
             }
         }
         let mut dirty: Vec<usize> = rows.to_vec();
@@ -250,12 +295,30 @@ impl Placement {
             done[r] = true;
             if used[r] > self.die_w_um + 1e-9 && !all_collected {
                 // Eviction target selection needs every row's occupancy.
-                for i in nl.inst_ids() {
-                    let rr = ((self.y_um[i.0 as usize] / self.row_h_um).round() as i64)
-                        .clamp(0, nrows as i64 - 1) as usize;
-                    if !collected[rr] {
-                        members[rr].push(i);
-                        used[rr] += width(i);
+                // No cell has changed row yet at this point (prior rows
+                // only saw x-only packing), so the entry-time index is
+                // still an exact picture of the uncollected rows.
+                match index {
+                    Some(ix) => {
+                        for (rr, row_members) in members.iter_mut().enumerate() {
+                            if !collected[rr] {
+                                for &i in ix.members(rr) {
+                                    row_members.push(i);
+                                    used[rr] += width(i);
+                                }
+                            }
+                        }
+                    }
+                    None => {
+                        for i in nl.inst_ids() {
+                            let rr = ((self.y_um[i.0 as usize] / self.row_h_um).round() as i64)
+                                .clamp(0, nrows as i64 - 1)
+                                as usize;
+                            if !collected[rr] {
+                                members[rr].push(i);
+                                used[rr] += width(i);
+                            }
+                        }
                     }
                 }
                 collected.iter_mut().for_each(|c| *c = true);

@@ -16,6 +16,7 @@ use dme_netlist::{InstId, Netlist};
 /// cone of an ECO small. Guarantees row alignment, die containment and
 /// zero overlap provided total cell width fits the rows.
 pub fn legalize(p: &mut Placement, nl: &Netlist, lib: &Library) {
+    let _span = dme_obs::span("legalize");
     let rows = p.num_rows().max(1);
     let mut used = vec![0.0f64; rows]; // total cell width assigned per row
     let mut members: Vec<Vec<InstId>> = vec![Vec::new(); rows];

@@ -14,9 +14,11 @@
 //!   cell swapping with incremental re-legalization (the paper's ECO
 //!   step);
 //! - [`PlacementDelta`]: a coordinate journal for O(Δ) undo of tracked
-//!   swap/repack perturbations, and [`NetBoxCache`]: cached per-net
-//!   bounding boxes with O(1) what-if HPWL queries — the swap-scratch
-//!   layer behind the dosePl candidate loop;
+//!   swap/repack perturbations, [`RowIndex`]: persistent row membership
+//!   so an ECO repack gathers only the dirty rows instead of scanning
+//!   every instance, and [`NetBoxCache`]: cached per-net bounding boxes
+//!   with O(1) what-if HPWL queries — the swap-scratch layer behind the
+//!   dosePl candidate loop;
 //! - density statistics used to sanity-check utilization against Table I.
 //!
 //! # Example
@@ -41,9 +43,11 @@ pub mod io;
 mod legalize;
 mod netbox;
 mod place;
+mod rowindex;
 
 pub use db::{LegalityError, Placement};
 pub use delta::PlacementDelta;
 pub use hpwl::BoundingBox;
 pub use netbox::{NetBoxCache, NetBoxStats, NetPins};
 pub use place::{place, place_with_iterations};
+pub use rowindex::RowIndex;

@@ -1,0 +1,185 @@
+//! Persistent row-membership index for O(Δ) ECO repacking.
+//!
+//! [`Placement::repack_rows_tracked`](crate::Placement::repack_rows_tracked)
+//! rediscovers row membership with one pass over *every* instance per
+//! call — the dominant cost of a repack once designs reach 100k+ cells,
+//! since a dosePl candidate only ever perturbs two rows. A [`RowIndex`]
+//! keeps the membership persistent across calls: per-row instance lists
+//! (ascending by id, the same order the full scan produces, so the
+//! per-row occupied-width sums accumulate in the identical order and
+//! stay bitwise-stable) plus each instance's current row. After any
+//! tracked perturbation the caller re-syncs just the journal-touched
+//! instances, making the whole repack O(Δ) instead of O(n).
+
+use crate::Placement;
+use dme_netlist::{InstId, Netlist};
+
+/// Persistent per-row membership (see module docs). The index is only
+/// valid for the placement it was built against and must be re-synced
+/// ([`RowIndex::sync`]) after every coordinate mutation — including
+/// undo replays, which move cells back.
+#[derive(Debug, Clone)]
+pub struct RowIndex {
+    /// Row members, ascending by instance id.
+    members: Vec<Vec<InstId>>,
+    /// Current row of each instance.
+    row_of: Vec<u32>,
+}
+
+/// The row an instance currently occupies — the same rounding/clamp the
+/// repack gather uses, so index and scan can never disagree.
+fn row_for(p: &Placement, i: usize) -> usize {
+    let nrows = p.num_rows().max(1);
+    ((p.y_um[i] / p.row_h_um).round() as i64).clamp(0, nrows as i64 - 1) as usize
+}
+
+impl RowIndex {
+    /// Builds the index with one full scan (the only O(n) pass; every
+    /// later update is O(touched)).
+    pub fn build(p: &Placement, nl: &Netlist) -> Self {
+        let nrows = p.num_rows().max(1);
+        let mut members: Vec<Vec<InstId>> = vec![Vec::new(); nrows];
+        let mut row_of = vec![0u32; nl.num_instances()];
+        for id in nl.inst_ids() {
+            let r = row_for(p, id.0 as usize);
+            members[r].push(id); // inst_ids is ascending, lists stay sorted
+            row_of[id.0 as usize] = r as u32;
+        }
+        Self { members, row_of }
+    }
+
+    /// Instances currently in row `r`, ascending by id.
+    pub fn members(&self, r: usize) -> &[InstId] {
+        &self.members[r]
+    }
+
+    /// Re-homes the given instances after their coordinates changed.
+    /// Instances whose row is unchanged (x-only moves, the common case)
+    /// cost one comparison; a row change is two binary searches.
+    pub fn sync(&mut self, p: &Placement, touched: &[InstId]) {
+        for &id in touched {
+            let i = id.0 as usize;
+            let r_new = row_for(p, i);
+            let r_old = self.row_of[i] as usize;
+            if r_new == r_old {
+                continue;
+            }
+            let old = &mut self.members[r_old];
+            let pos = old.binary_search(&id).expect("instance indexed in its row");
+            old.remove(pos);
+            let new = &mut self.members[r_new];
+            let pos = new
+                .binary_search(&id)
+                .expect_err("instance in one row only");
+            new.insert(pos, id);
+            self.row_of[i] = r_new as u32;
+        }
+    }
+
+    /// Full cross-check against a fresh scan (debug assertions only —
+    /// this is exactly the O(n) pass the index exists to avoid).
+    pub fn is_consistent(&self, p: &Placement, nl: &Netlist) -> bool {
+        if self.row_of.len() != nl.num_instances() {
+            return false;
+        }
+        let mut counted = 0usize;
+        for (r, row) in self.members.iter().enumerate() {
+            counted += row.len();
+            if !row.windows(2).all(|w| w[0] < w[1]) {
+                return false;
+            }
+            if !row
+                .iter()
+                .all(|&id| self.row_of[id.0 as usize] as usize == r)
+            {
+                return false;
+            }
+        }
+        counted == nl.num_instances()
+            && nl
+                .inst_ids()
+                .all(|id| self.row_of[id.0 as usize] as usize == row_for(p, id.0 as usize))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PlacementDelta;
+    use dme_device::Technology;
+    use dme_liberty::Library;
+    use dme_netlist::{gen, profiles};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn index_tracks_swaps_repacks_and_undo() {
+        let lib = Library::standard(Technology::n65());
+        let d = gen::generate(&profiles::small(), &lib);
+        let mut p = crate::place(&d, &lib);
+        let n = d.netlist.num_instances();
+        let mut ix = RowIndex::build(&p, &d.netlist);
+        assert!(ix.is_consistent(&p, &d.netlist));
+
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut delta = PlacementDelta::new();
+        for step in 0..40 {
+            let a = InstId(rng.gen::<u32>() % n as u32);
+            let b = InstId(rng.gen::<u32>() % n as u32);
+            let mark = delta.mark();
+            p.swap_cells_tracked(a, b, &mut delta);
+            ix.sync(&p, &[a, b]);
+            let rows = [
+                (p.y_um[a.0 as usize] / p.row_h_um).round() as usize,
+                (p.y_um[b.0 as usize] / p.row_h_um).round() as usize,
+            ];
+            p.repack_rows_indexed(&lib, &d.netlist, &rows, &mut delta, &mut ix);
+            assert!(ix.is_consistent(&p, &d.netlist), "after repack {step}");
+            if step % 3 == 0 {
+                // Reject path: journal replay moves cells back; the
+                // index must follow.
+                let touched = delta.touched_since(mark);
+                delta.undo_to(&mut p, mark);
+                ix.sync(&p, &touched);
+                assert!(ix.is_consistent(&p, &d.netlist), "after undo {step}");
+            }
+        }
+        // Round-level rollback restores the initial placement exactly.
+        let touched = delta.touched_since(0);
+        delta.undo_all(&mut p);
+        ix.sync(&p, &touched);
+        assert!(ix.is_consistent(&p, &d.netlist));
+    }
+
+    #[test]
+    fn indexed_repack_is_bitwise_identical_to_tracked() {
+        let lib = Library::standard(Technology::n65());
+        let d = gen::generate(&profiles::small(), &lib);
+        let base = crate::place(&d, &lib);
+        let n = d.netlist.num_instances();
+
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut p_ix = base.clone();
+        let mut p_scan = base.clone();
+        let mut ix = RowIndex::build(&p_ix, &d.netlist);
+        let mut d_ix = PlacementDelta::new();
+        let mut d_scan = PlacementDelta::new();
+        for _ in 0..25 {
+            let a = InstId(rng.gen::<u32>() % n as u32);
+            let b = InstId(rng.gen::<u32>() % n as u32);
+            let rows = [
+                (p_ix.y_um[b.0 as usize] / p_ix.row_h_um).round() as usize,
+                (p_ix.y_um[a.0 as usize] / p_ix.row_h_um).round() as usize,
+            ];
+            p_ix.swap_cells_tracked(a, b, &mut d_ix);
+            ix.sync(&p_ix, &[a, b]);
+            p_ix.repack_rows_indexed(&lib, &d.netlist, &rows, &mut d_ix, &mut ix);
+            p_scan.swap_cells_tracked(a, b, &mut d_scan);
+            p_scan.repack_rows_tracked(&lib, &d.netlist, &rows, &mut d_scan);
+            for i in 0..n {
+                assert_eq!(p_ix.x_um[i].to_bits(), p_scan.x_um[i].to_bits(), "x[{i}]");
+                assert_eq!(p_ix.y_um[i].to_bits(), p_scan.y_um[i].to_bits(), "y[{i}]");
+            }
+        }
+    }
+}

@@ -11,7 +11,8 @@
 //!    iteration-count trend across history;
 //! 4. dosePl swap-filter accept/reject bars;
 //! 5. QoR metric trends across the history (sparkline per metric);
-//! 6. optional diff verdicts and bench-perf speedup trajectory.
+//! 6. profile flamegraph (manifest v3 `profile` section, inline icicle);
+//! 7. optional diff verdicts and bench-perf speedup trajectory.
 
 use crate::diff::{DiffReport, Verdict};
 use crate::record::QorRecord;
@@ -287,6 +288,28 @@ fn diff_section(diff: &DiffReport) -> String {
     body
 }
 
+fn flamegraph_panel(input: &DashboardInput) -> String {
+    let profile = input
+        .manifest
+        .and_then(|m| crate::profile::profile_from_manifest_value(m, "latest run"));
+    match profile {
+        Some(p) if !p.nodes.is_empty() => {
+            let mut body = String::from(
+                "<p>Span-path icicle: width ∝ total wall time; the gap right of a \
+                 parent's children is its self time. Hover a frame for calls, \
+                 self time and allocation attribution.</p>",
+            );
+            // Inline variant: the dashboard forbids external references,
+            // including the SVG namespace URL a standalone file needs.
+            body.push_str(&crate::flamegraph::flamegraph_svg(&p, "profile", false));
+            body
+        }
+        _ => "<p class=\"muted\">no profile section in the manifest (schema v3 runs \
+              with tracing enabled record one)</p>"
+            .to_string(),
+    }
+}
+
 fn bench_trajectory(bench: &[Value]) -> String {
     if bench.is_empty() {
         return "<p class=\"muted\">no bench history (run scripts/bench_perf.sh)</p>".to_string();
@@ -367,6 +390,7 @@ pub fn render(input: &DashboardInput) -> String {
             &swap_tallies(latest),
         );
         section(&mut out, "QoR trends", &qor_trends(input.history));
+        section(&mut out, "Profile flamegraph", &flamegraph_panel(input));
     } else {
         out.push_str("<p class=\"muted\">empty history — nothing to render</p>");
     }
@@ -415,7 +439,16 @@ mod tests {
             "\"qcp_probe\":{\"rows\":[",
             "{\"probe\":1,\"tau_ns\":1.9,\"feasible\":1,\"iterations\":14,\"warm\":0},",
             "{\"probe\":2,\"tau_ns\":1.7,\"feasible\":0,\"iterations\":9,\"warm\":1},",
-            "{\"probe\":3,\"tau_ns\":1.8,\"feasible\":1,\"iterations\":7,\"warm\":1}]}}}",
+            "{\"probe\":3,\"tau_ns\":1.8,\"feasible\":1,\"iterations\":7,\"warm\":1}]}},",
+            "\"profile\":{\"alloc_tracking\":true,\"nodes\":{",
+            "\"flow\":{\"calls\":1,\"total_ns\":20000000,\"self_ns\":5000000,",
+            "\"max_ns\":20000000,\"p50_ns\":20000000,\"p95_ns\":20000000,",
+            "\"alloc_bytes\":2048,\"alloc_count\":4,\"self_alloc_bytes\":1024,",
+            "\"self_alloc_count\":2},",
+            "\"flow/dmopt\":{\"calls\":1,\"total_ns\":15000000,\"self_ns\":15000000,",
+            "\"max_ns\":15000000,\"p50_ns\":15000000,\"p95_ns\":15000000,",
+            "\"alloc_bytes\":1024,\"alloc_count\":2,\"self_alloc_bytes\":1024,",
+            "\"self_alloc_count\":2}}}}",
         ))
         .unwrap();
         let bench = vec![
@@ -436,6 +469,8 @@ mod tests {
             "3 bisection probes — 2 warm-started, 2 feasible",
             "dosePl swap-filter tallies",
             "QoR trends",
+            "Profile flamegraph",
+            "<title>flow/dmopt",
             "Kernel speedup trajectory",
             "flow/dmopt — 15.00 ms",
             "<svg",

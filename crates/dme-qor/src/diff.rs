@@ -194,7 +194,7 @@ fn median_of(sorted: &[f64]) -> f64 {
 }
 
 /// Median and MAD of a non-empty sample.
-fn robust_stats(values: &[f64]) -> (f64, f64) {
+pub(crate) fn robust_stats(values: &[f64]) -> (f64, f64) {
     let mut sorted = values.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let med = median_of(&sorted);

@@ -1,0 +1,278 @@
+//! Hand-rolled flamegraph SVG exporter for profile trees.
+//!
+//! Icicle layout (roots on top, children below), x-width proportional
+//! to total wall time, same zero-dependency inline-SVG approach as the
+//! dashboard: no scripts, no fonts, no fetches — hover tooltips come
+//! from `<title>` elements, colors from a deterministic hash of the
+//! frame name (warm flamegraph palette), so the same profile always
+//! renders the same bytes. The gap at the right of a parent's children
+//! row *is* the parent's self time.
+
+use crate::profile::{Profile, ProfileNode};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+const WIDTH: f64 = 1200.0;
+const ROW_H: f64 = 18.0;
+const HEADER_H: f64 = 26.0;
+const FONT_PX: f64 = 11.0;
+/// Frames narrower than this are drawn but unlabeled.
+const LABEL_MIN_PX: f64 = 35.0;
+/// Frames narrower than this are culled entirely.
+const CULL_PX: f64 = 0.3;
+
+fn esc(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Deterministic warm color from a frame name (FNV-1a hash spread over
+/// the classic red/orange flamegraph band).
+fn color(name: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let r = 205 + (h % 50) as u32;
+    let g = 60 + ((h >> 8) % 130) as u32;
+    let b = ((h >> 16) % 50) as u32;
+    format!("rgb({r},{g},{b})")
+}
+
+struct Frame<'a> {
+    path: &'a str,
+    node: &'a ProfileNode,
+    x: f64,
+    w: f64,
+    depth: usize,
+}
+
+/// Renders the profile as a flamegraph SVG. With `standalone` set the
+/// document carries the SVG namespace declaration (required for
+/// browsers to render a bare `.svg` file); without it the markup is
+/// suitable for inlining into the dashboard's HTML, which forbids
+/// external references entirely.
+pub fn flamegraph_svg(profile: &Profile, title: &str, standalone: bool) -> String {
+    // Children grouped under the nearest recorded ancestor, in path
+    // order (deterministic left-to-right packing).
+    let mut children: BTreeMap<Option<&str>, Vec<&str>> = BTreeMap::new();
+    for path in profile.nodes.keys() {
+        children
+            .entry(profile.parent_of(path))
+            .or_default()
+            .push(path);
+    }
+    let scale_ns = profile.root_total_ns().max(1.0);
+    let px_per_ns = WIDTH / scale_ns;
+
+    // Depth-first placement: each child occupies total_ns-proportional
+    // width packed from its parent's left edge.
+    let mut frames: Vec<Frame> = Vec::with_capacity(profile.nodes.len());
+    let mut stack: Vec<(&str, f64, usize)> = Vec::new();
+    let mut x = 0.0;
+    for root in children.get(&None).into_iter().flatten() {
+        stack.push((root, x, 0));
+        x += profile.nodes[*root].total_ns * px_per_ns;
+    }
+    // Re-walk depth-first so children are placed after their parent.
+    let mut ordered: Vec<(&str, f64, usize)> = Vec::new();
+    stack.reverse();
+    while let Some((path, x0, depth)) = stack.pop() {
+        ordered.push((path, x0, depth));
+        // Each child's x is fixed here (packed left-to-right from the
+        // parent's left edge), so stack processing order is free.
+        let mut cx = x0;
+        if let Some(kids) = children.get(&Some(path)) {
+            for kid in kids {
+                stack.push((kid, cx, depth + 1));
+                cx += profile.nodes[*kid].total_ns * px_per_ns;
+            }
+        }
+    }
+    let mut max_depth = 0;
+    for (path, x0, depth) in ordered {
+        let node = &profile.nodes[path];
+        let w = node.total_ns * px_per_ns;
+        if w < CULL_PX {
+            continue;
+        }
+        max_depth = max_depth.max(depth);
+        frames.push(Frame {
+            path,
+            node,
+            x: x0,
+            w,
+            depth,
+        });
+    }
+
+    let height = HEADER_H + ROW_H * (max_depth + 1) as f64 + 4.0;
+    let mut s = String::with_capacity(4096 + 256 * frames.len());
+    let xmlns = if standalone {
+        " xmlns=\"http://www.w3.org/2000/svg\""
+    } else {
+        ""
+    };
+    let _ = write!(
+        s,
+        "<svg{xmlns} width=\"{WIDTH:.0}\" height=\"{height:.0}\" \
+         viewBox=\"0 0 {WIDTH:.0} {height:.0}\" \
+         style=\"font:{FONT_PX:.0}px monospace;background:#fdf6e3\">"
+    );
+    s.push_str("<text x=\"6\" y=\"17\" style=\"font-weight:bold\">");
+    esc(&mut s, title);
+    let _ = write!(
+        s,
+        " — {:.2} ms total{}</text>",
+        scale_ns / 1e6,
+        if profile.alloc_tracking {
+            ""
+        } else {
+            " (no alloc tracking)"
+        }
+    );
+
+    for f in &frames {
+        let y = HEADER_H + ROW_H * f.depth as f64;
+        let pct = 100.0 * f.node.total_ns / scale_ns;
+        let _ = write!(
+            s,
+            "<g><rect x=\"{:.2}\" y=\"{y:.1}\" width=\"{:.2}\" height=\"{:.1}\" \
+             fill=\"{}\" stroke=\"#fdf6e3\" stroke-width=\"0.5\"><title>",
+            f.x,
+            f.w.max(CULL_PX),
+            ROW_H - 1.0,
+            color(f.path.rsplit('/').next().unwrap_or(f.path)),
+        );
+        esc(&mut s, f.path);
+        let _ = write!(
+            s,
+            "\ncalls {}  total {:.3} ms ({pct:.1}%)  self {:.3} ms\n\
+             p50 {:.1} us  p95 {:.1} us  alloc {:.1} kB (self {:.1} kB, {} allocs)",
+            f.node.calls as u64,
+            f.node.total_ns / 1e6,
+            f.node.self_ns / 1e6,
+            f.node.p50_ns / 1e3,
+            f.node.p95_ns / 1e3,
+            f.node.alloc_bytes / 1024.0,
+            f.node.self_alloc_bytes / 1024.0,
+            f.node.alloc_count as u64,
+        );
+        s.push_str("</title></rect>");
+        if f.w >= LABEL_MIN_PX {
+            let name = f.path.rsplit('/').next().unwrap_or(f.path);
+            let max_chars = ((f.w - 6.0) / (FONT_PX * 0.62)) as usize;
+            let shown: String = if name.len() > max_chars {
+                name.chars()
+                    .take(max_chars.saturating_sub(1))
+                    .chain("…".chars())
+                    .collect()
+            } else {
+                name.to_string()
+            };
+            let _ = write!(
+                s,
+                "<text x=\"{:.2}\" y=\"{:.1}\" fill=\"#222\">",
+                f.x + 3.0,
+                y + ROW_H - 5.5
+            );
+            esc(&mut s, &shown);
+            s.push_str("</text>");
+        }
+        s.push_str("</g>");
+    }
+    s.push_str("</svg>");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::ProfileNode;
+
+    fn node(total_ms: f64, self_ms: f64) -> ProfileNode {
+        ProfileNode {
+            calls: 3.0,
+            total_ns: total_ms * 1e6,
+            self_ns: self_ms * 1e6,
+            max_ns: total_ms * 1e6,
+            p50_ns: 1000.0,
+            p95_ns: 2000.0,
+            alloc_bytes: 4096.0,
+            alloc_count: 4.0,
+            self_alloc_bytes: 2048.0,
+            self_alloc_count: 2.0,
+        }
+    }
+
+    fn sample() -> Profile {
+        let mut p = Profile {
+            label: "run".into(),
+            alloc_tracking: true,
+            nodes: BTreeMap::new(),
+        };
+        p.nodes.insert("flow".into(), node(100.0, 10.0));
+        p.nodes.insert("flow/solve".into(), node(70.0, 70.0));
+        p.nodes.insert("flow/sta".into(), node(20.0, 20.0));
+        p.nodes.insert("bench".into(), node(50.0, 50.0));
+        p
+    }
+
+    #[test]
+    fn standalone_svg_is_wellformed_and_labelled() {
+        let svg = flamegraph_svg(&sample(), "tiny flow", true);
+        assert!(svg.starts_with("<svg xmlns=\"http://www.w3.org/2000/svg\""));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("tiny flow"));
+        assert!(svg.contains("<title>flow/solve"));
+        // One rect per node (none culled at this scale).
+        assert_eq!(svg.matches("<rect").count(), 4);
+        // Tooltips carry the self/alloc attribution.
+        assert!(svg.contains("self 70.000 ms"));
+        assert!(svg.contains("alloc 4.0 kB"));
+        // No scripts, no external fetches beyond the namespace decl.
+        assert!(!svg.contains("<script"));
+        assert_eq!(svg.matches("http").count(), 1);
+    }
+
+    #[test]
+    fn inline_variant_has_no_external_references() {
+        let svg = flamegraph_svg(&sample(), "embedded", false);
+        for forbidden in ["http://", "https://", "<script", "<link"] {
+            assert!(!svg.contains(forbidden), "external ref {forbidden:?}");
+        }
+    }
+
+    #[test]
+    fn children_pack_within_the_parent_row() {
+        let svg = flamegraph_svg(&sample(), "t", true);
+        // Roots pack in path order on a 150 ms scale (8 px/ms): bench
+        // (50 ms) at x=0, flow (100 ms) at x=400; flow's children pack
+        // from its left edge on the next row.
+        assert!(svg.contains("x=\"0.00\" y=\"26.0\""), "bench at origin");
+        assert!(svg.contains("x=\"400.00\" y=\"26.0\""), "flow after bench");
+        assert!(
+            svg.contains("x=\"400.00\" y=\"44.0\""),
+            "flow/solve under flow"
+        );
+        assert!(
+            svg.contains("x=\"960.00\" y=\"44.0\""),
+            "sta packed after solve"
+        );
+    }
+
+    #[test]
+    fn colors_are_deterministic() {
+        assert_eq!(color("solve"), color("solve"));
+        assert_ne!(color("solve"), color("sta"));
+    }
+}

@@ -23,6 +23,12 @@
 //!   convergence sparkline from observer records, swap-filter
 //!   accept/reject bars) with zero external dependencies, hand-rolled
 //!   like `dme-obs`'s JSON.
+//! - **Profiles** ([`profile`], [`flamegraph`]): parses the manifest
+//!   v3 `profile` section (per-span self/total wall time and
+//!   allocation attribution), diffs two runs' profile trees with the
+//!   same median/MAD floors (`dmeopt prof diff` exits 3 on a confirmed
+//!   self-time regression), and renders self-contained flamegraph
+//!   SVGs — standalone or embedded as a dashboard panel.
 //!
 //! The `dmeopt qor` subcommands (`ingest`, `diff`, `report`) are the
 //! front end; `scripts/bench_perf.sh` feeds the companion
@@ -33,10 +39,17 @@
 
 pub mod dashboard;
 pub mod diff;
+pub mod flamegraph;
 pub mod markdown;
+pub mod profile;
 pub mod record;
 
 pub use diff::{diff_records, DiffConfig, DiffReport, Direction, MetricVerdict, Verdict};
+pub use flamegraph::flamegraph_svg;
+pub use profile::{
+    diff_profiles, parse_manifest_profile, profile_from_manifest_value, profile_tree_text, Profile,
+    ProfileDiffConfig,
+};
 pub use record::{
     append_history, normalize_manifest, parse_history, QorRecord, QOR_HISTORY_SCHEMA_VERSION,
 };

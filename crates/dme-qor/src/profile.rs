@@ -1,0 +1,457 @@
+//! Parsing and differential comparison of manifest `profile` sections.
+//!
+//! A manifest (schema v3, see `dme-obs`) carries a `profile` section:
+//! one node per span path with calls, total/self wall time, p50/p95,
+//! and allocation attribution. [`parse_manifest_profile`] lifts that
+//! section into a [`Profile`]; [`diff_profiles`] compares a run's
+//! per-path **self** times against one or more baseline profiles with
+//! the same median/MAD + relative-floor machinery the QoR gate uses
+//! (self time is the right gating axis: a child regressing must not
+//! flag every ancestor too). Allocation deltas ride along
+//! informationally — reported, never gated, since byte tallies depend
+//! on whether the producing binary had the tracking allocator
+//! installed.
+
+use crate::diff::{robust_stats, DiffReport, Direction, MetricVerdict, Verdict};
+use dme_obs::json::{self, Value};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One span path's row of the profile tree, as read from a manifest.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ProfileNode {
+    /// Completed executions.
+    pub calls: f64,
+    /// Total wall time, ns (inclusive of children).
+    pub total_ns: f64,
+    /// Wall time not accounted to any recorded child, ns.
+    pub self_ns: f64,
+    /// Longest single execution, ns.
+    pub max_ns: f64,
+    /// Median per-execution duration, ns (power-of-two resolution).
+    pub p50_ns: f64,
+    /// 95th-percentile per-execution duration, ns.
+    pub p95_ns: f64,
+    /// Bytes allocated while open (inclusive of children).
+    pub alloc_bytes: f64,
+    /// Allocations while open (inclusive of children).
+    pub alloc_count: f64,
+    /// Bytes not accounted to any recorded child.
+    pub self_alloc_bytes: f64,
+    /// Allocations not accounted to any recorded child.
+    pub self_alloc_count: f64,
+}
+
+/// A manifest's profile section: the flat path → node map (paths are
+/// `/`-separated, so the hierarchy is recoverable) plus whether the
+/// producing binary actually counted allocations.
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    /// Label for reports (file name or git SHA).
+    pub label: String,
+    /// Whether a tracking allocator was installed and counting.
+    pub alloc_tracking: bool,
+    /// Span path → profile row.
+    pub nodes: BTreeMap<String, ProfileNode>,
+}
+
+impl Profile {
+    /// Index of the nearest ancestor path present in the map, walking
+    /// `/` boundaries outward; `None` for roots.
+    pub fn parent_of<'a>(&self, path: &'a str) -> Option<&'a str> {
+        let mut p = path;
+        while let Some(pos) = p.rfind('/') {
+            p = &p[..pos];
+            if self.nodes.contains_key(p) {
+                return Some(p);
+            }
+        }
+        None
+    }
+
+    /// Sum of `total_ns` over root nodes — the flamegraph x-axis scale.
+    pub fn root_total_ns(&self) -> f64 {
+        self.nodes
+            .iter()
+            .filter(|(p, _)| self.parent_of(p).is_none())
+            .map(|(_, n)| n.total_ns)
+            .sum()
+    }
+}
+
+fn num(v: &Value, key: &str) -> f64 {
+    v.get(key).and_then(Value::as_f64).unwrap_or(0.0)
+}
+
+/// Parses the `profile` section out of a run-manifest JSON document.
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem: unparseable
+/// JSON, a pre-v3 `schema_version` (no profile section existed), or a
+/// missing/malformed `profile` section.
+pub fn parse_manifest_profile(text: &str, label: &str) -> Result<Profile, String> {
+    let doc = json::parse(text).map_err(|e| format!("manifest does not parse: {e}"))?;
+    let version = doc
+        .get("schema_version")
+        .and_then(Value::as_f64)
+        .ok_or("manifest missing schema_version")?;
+    if version < 3.0 {
+        return Err(format!(
+            "manifest schema_version {version} predates the profile section (needs >= 3)"
+        ));
+    }
+    profile_from_manifest_value(&doc, label)
+        .ok_or_else(|| "manifest missing profile section".into())
+}
+
+/// Lifts the `profile` section out of an already-parsed manifest
+/// document, if present (no schema-version check: absent section →
+/// `None`). The dashboard uses this to decide whether to render a
+/// flamegraph panel.
+pub fn profile_from_manifest_value(doc: &Value, label: &str) -> Option<Profile> {
+    let profile = doc.get("profile")?;
+    let nodes_obj = profile.get("nodes").and_then(Value::as_object)?;
+    let mut nodes = BTreeMap::new();
+    for (path, n) in nodes_obj {
+        nodes.insert(
+            path.clone(),
+            ProfileNode {
+                calls: num(n, "calls"),
+                total_ns: num(n, "total_ns"),
+                self_ns: num(n, "self_ns"),
+                max_ns: num(n, "max_ns"),
+                p50_ns: num(n, "p50_ns"),
+                p95_ns: num(n, "p95_ns"),
+                alloc_bytes: num(n, "alloc_bytes"),
+                alloc_count: num(n, "alloc_count"),
+                self_alloc_bytes: num(n, "self_alloc_bytes"),
+                self_alloc_count: num(n, "self_alloc_count"),
+            },
+        );
+    }
+    Some(Profile {
+        label: label.to_string(),
+        alloc_tracking: profile.get("alloc_tracking") == Some(&Value::Bool(true)),
+        nodes,
+    })
+}
+
+/// Thresholding knobs for [`diff_profiles`]. Self times are wall-clock
+/// measurements, so the defaults mirror the QoR gate's wall-time
+/// treatment: 3×MAD with a 25% relative floor, plus an absolute floor
+/// of 50 µs so sub-resolution paths never gate.
+#[derive(Debug, Clone)]
+pub struct ProfileDiffConfig {
+    /// Multiple of the baseline MAD a deviation must exceed to count.
+    pub k_mad: f64,
+    /// Relative floor (fraction of the baseline median self time).
+    pub time_min_rel: f64,
+    /// Absolute floor, ns.
+    pub min_abs_ns: f64,
+    /// Relative floor for the informational allocation metrics.
+    pub alloc_min_rel: f64,
+    /// Number of most-recent baseline profiles considered.
+    pub window: usize,
+}
+
+impl Default for ProfileDiffConfig {
+    fn default() -> Self {
+        Self {
+            k_mad: 3.0,
+            time_min_rel: 0.25,
+            min_abs_ns: 50_000.0,
+            alloc_min_rel: 0.10,
+            window: 20,
+        }
+    }
+}
+
+/// Compares a run's profile against the last [`ProfileDiffConfig::window`]
+/// baseline profiles, span path by span path.
+///
+/// Metric names are `self_ms/<path>` (gated: exceeding the noise
+/// threshold is a confirmed self-time regression) and
+/// `self_alloc_kb/<path>` (informational: a regression verdict is
+/// downgraded to stable, mirroring how one-thread speedups are
+/// handled by the QoR gate). The result reuses [`DiffReport`], so the
+/// existing markdown/dashboard renderers apply unchanged.
+pub fn diff_profiles(run: &Profile, baselines: &[Profile], cfg: &ProfileDiffConfig) -> DiffReport {
+    let window_start = baselines.len().saturating_sub(cfg.window.max(1));
+    let window = &baselines[window_start..];
+
+    let mut paths: BTreeSet<&str> = run.nodes.keys().map(String::as_str).collect();
+    for b in window {
+        paths.extend(b.nodes.keys().map(String::as_str));
+    }
+    let any_alloc = run.alloc_tracking || window.iter().any(|b| b.alloc_tracking);
+
+    let mut verdicts = Vec::new();
+    for path in paths {
+        let value = run.nodes.get(path).map(|n| n.self_ns / 1e6);
+        let samples: Vec<f64> = window
+            .iter()
+            .filter_map(|b| b.nodes.get(path).map(|n| n.self_ns / 1e6))
+            .collect();
+        verdicts.push(metric(
+            format!("self_ms/{path}"),
+            value,
+            &samples,
+            cfg.k_mad,
+            cfg.time_min_rel,
+            cfg.min_abs_ns / 1e6,
+            false,
+        ));
+        if any_alloc {
+            let value = run.nodes.get(path).map(|n| n.self_alloc_bytes / 1024.0);
+            let samples: Vec<f64> = window
+                .iter()
+                .filter_map(|b| b.nodes.get(path).map(|n| n.self_alloc_bytes / 1024.0))
+                .collect();
+            verdicts.push(metric(
+                format!("self_alloc_kb/{path}"),
+                value,
+                &samples,
+                cfg.k_mad,
+                cfg.alloc_min_rel,
+                1.0,
+                true,
+            ));
+        }
+    }
+
+    let group = |v: Verdict| match v {
+        Verdict::Regressed => 0,
+        Verdict::Improved => 1,
+        Verdict::New => 2,
+        Verdict::Missing => 3,
+        Verdict::Stable => 4,
+    };
+    verdicts.sort_by(|a, b| {
+        group(a.verdict)
+            .cmp(&group(b.verdict))
+            .then_with(|| a.name.cmp(&b.name))
+    });
+
+    DiffReport {
+        run_label: run.label.clone(),
+        baseline_label: window.last().map(|b| b.label.clone()).unwrap_or_default(),
+        baseline_n: window.len(),
+        verdicts,
+    }
+}
+
+fn metric(
+    name: String,
+    value: Option<f64>,
+    samples: &[f64],
+    k_mad: f64,
+    min_rel: f64,
+    min_abs: f64,
+    informational: bool,
+) -> MetricVerdict {
+    match (value, samples.is_empty()) {
+        (None, _) => MetricVerdict {
+            name,
+            direction: Direction::LowerIsBetter,
+            value: None,
+            median: None,
+            mad: None,
+            worse_by: 0.0,
+            threshold: 0.0,
+            verdict: Verdict::Missing,
+        },
+        (Some(v), true) => MetricVerdict {
+            name,
+            direction: Direction::LowerIsBetter,
+            value: Some(v),
+            median: None,
+            mad: None,
+            worse_by: 0.0,
+            threshold: 0.0,
+            verdict: Verdict::New,
+        },
+        (Some(v), false) => {
+            let (median, mad) = robust_stats(samples);
+            let threshold = (k_mad * mad).max(min_rel * median.abs()).max(min_abs);
+            let worse_by = v - median;
+            let verdict = if worse_by > threshold {
+                if informational {
+                    Verdict::Stable
+                } else {
+                    Verdict::Regressed
+                }
+            } else if worse_by < -threshold {
+                Verdict::Improved
+            } else {
+                Verdict::Stable
+            };
+            MetricVerdict {
+                name,
+                direction: Direction::LowerIsBetter,
+                value: Some(v),
+                median: Some(median),
+                mad: Some(mad),
+                worse_by,
+                threshold,
+                verdict,
+            }
+        }
+    }
+}
+
+/// Renders the profile as a fixed-width text tree (children indented
+/// under parents, heaviest self time first at each level) for
+/// `dmeopt prof report`.
+pub fn profile_tree_text(profile: &Profile) -> String {
+    use std::fmt::Write as _;
+    let mut children: BTreeMap<Option<&str>, Vec<&str>> = BTreeMap::new();
+    for path in profile.nodes.keys() {
+        children
+            .entry(profile.parent_of(path))
+            .or_default()
+            .push(path);
+    }
+    for v in children.values_mut() {
+        v.sort_by(|a, b| {
+            let sa = profile.nodes[*a].self_ns;
+            let sb = profile.nodes[*b].self_ns;
+            sb.partial_cmp(&sa)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.cmp(b))
+        });
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<52} {:>8} {:>12} {:>12} {:>10} {:>10} {:>12}",
+        "span", "calls", "total_ms", "self_ms", "p50_us", "p95_us", "alloc_kb"
+    );
+    let mut stack: Vec<(&str, usize)> = children
+        .get(&None)
+        .map(|roots| roots.iter().rev().map(|p| (*p, 0usize)).collect())
+        .unwrap_or_default();
+    while let Some((path, depth)) = stack.pop() {
+        let n = &profile.nodes[path];
+        let name = path.rsplit('/').next().unwrap_or(path);
+        let label = format!("{}{}", "  ".repeat(depth), name);
+        let _ = writeln!(
+            out,
+            "{label:<52} {:>8} {:>12.3} {:>12.3} {:>10.1} {:>10.1} {:>12.1}",
+            n.calls as u64,
+            n.total_ns / 1e6,
+            n.self_ns / 1e6,
+            n.p50_ns / 1e3,
+            n.p95_ns / 1e3,
+            n.alloc_bytes / 1024.0
+        );
+        if let Some(kids) = children.get(&Some(path)) {
+            for k in kids.iter().rev() {
+                stack.push((k, depth + 1));
+            }
+        }
+    }
+    if !profile.alloc_tracking {
+        out.push_str("(alloc columns are zero: no tracking allocator installed in the run)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prof(pairs: &[(&str, f64)]) -> Profile {
+        let mut p = Profile {
+            label: "test".into(),
+            alloc_tracking: false,
+            nodes: BTreeMap::new(),
+        };
+        for &(path, self_ms) in pairs {
+            p.nodes.insert(
+                path.to_string(),
+                ProfileNode {
+                    calls: 1.0,
+                    total_ns: self_ms * 1e6,
+                    self_ns: self_ms * 1e6,
+                    ..ProfileNode::default()
+                },
+            );
+        }
+        p
+    }
+
+    #[test]
+    fn parse_rejects_pre_v3_manifests() {
+        let err = parse_manifest_profile("{\"schema_version\":2}", "x").unwrap_err();
+        assert!(err.contains("predates"), "{err}");
+    }
+
+    #[test]
+    fn parse_reads_nodes_and_tracking_flag() {
+        let text = "{\"schema_version\":3,\"profile\":{\"alloc_tracking\":true,\"nodes\":{\
+                    \"a\":{\"calls\":2,\"total_ns\":100,\"self_ns\":40,\"max_ns\":80,\
+                    \"p50_ns\":50,\"p95_ns\":90,\"alloc_bytes\":1024,\"alloc_count\":3,\
+                    \"self_alloc_bytes\":512,\"self_alloc_count\":1},\
+                    \"a/b\":{\"calls\":1,\"total_ns\":60,\"self_ns\":60,\"max_ns\":60,\
+                    \"p50_ns\":60,\"p95_ns\":60,\"alloc_bytes\":512,\"alloc_count\":2,\
+                    \"self_alloc_bytes\":512,\"self_alloc_count\":2}}}}";
+        let p = parse_manifest_profile(text, "run").unwrap();
+        assert!(p.alloc_tracking);
+        assert_eq!(p.nodes.len(), 2);
+        assert_eq!(p.nodes["a"].self_ns, 40.0);
+        assert_eq!(p.parent_of("a/b"), Some("a"));
+        assert_eq!(p.root_total_ns(), 100.0);
+    }
+
+    #[test]
+    fn self_replay_diff_is_clean() {
+        let p = prof(&[("flow", 5.0), ("flow/solve", 80.0), ("flow/sta", 12.0)]);
+        let report = diff_profiles(&p, std::slice::from_ref(&p), &ProfileDiffConfig::default());
+        assert!(!report.has_regression(), "{:?}", report.regressions());
+        assert_eq!(report.count(Verdict::New), 0);
+        assert_eq!(report.count(Verdict::Missing), 0);
+    }
+
+    #[test]
+    fn doubled_self_time_in_one_path_gates() {
+        let base = prof(&[("flow", 5.0), ("flow/solve", 80.0), ("flow/sta", 12.0)]);
+        let run = prof(&[("flow", 5.0), ("flow/solve", 160.0), ("flow/sta", 12.0)]);
+        let report = diff_profiles(&run, &[base], &ProfileDiffConfig::default());
+        let regs = report.regressions();
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert_eq!(regs[0].name, "self_ms/flow/solve");
+    }
+
+    #[test]
+    fn sub_resolution_paths_never_gate() {
+        // 20 µs median, "doubled" to 40 µs: below the 50 µs absolute
+        // floor, so timer jitter on tiny spans cannot flag.
+        let base = prof(&[("tick", 0.020)]);
+        let run = prof(&[("tick", 0.040)]);
+        let report = diff_profiles(&run, &[base], &ProfileDiffConfig::default());
+        assert!(!report.has_regression());
+    }
+
+    #[test]
+    fn alloc_metrics_are_informational() {
+        let mut base = prof(&[("flow", 10.0)]);
+        base.alloc_tracking = true;
+        base.nodes.get_mut("flow").unwrap().self_alloc_bytes = 1024.0 * 100.0;
+        let mut run = base.clone();
+        run.nodes.get_mut("flow").unwrap().self_alloc_bytes = 1024.0 * 500.0;
+        let report = diff_profiles(&run, &[base], &ProfileDiffConfig::default());
+        assert!(!report.has_regression(), "alloc growth must not gate");
+        assert!(report
+            .verdicts
+            .iter()
+            .any(|m| m.name == "self_alloc_kb/flow"));
+    }
+
+    #[test]
+    fn tree_text_indents_children() {
+        let p = prof(&[("flow", 5.0), ("flow/solve", 80.0)]);
+        let text = profile_tree_text(&p);
+        assert!(text.contains("\nflow "), "{text}");
+        assert!(text.contains("\n  solve"), "{text}");
+    }
+}

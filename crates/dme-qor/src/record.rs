@@ -53,8 +53,8 @@ fn meta_str(meta: &Value, key: &str) -> String {
         .to_string()
 }
 
-/// Normalizes a run-manifest JSON document (schema v1 or v2) into a
-/// [`QorRecord`].
+/// Normalizes a run-manifest JSON document (schema v1, v2 or v3) into
+/// a [`QorRecord`].
 ///
 /// # Errors
 ///
@@ -66,7 +66,7 @@ pub fn normalize_manifest(text: &str) -> Result<QorRecord, String> {
         .get("schema_version")
         .and_then(Value::as_f64)
         .ok_or("manifest missing schema_version")?;
-    if !(version == 1.0 || version == 2.0) {
+    if !(version == 1.0 || version == 2.0 || version == 3.0) {
         return Err(format!("unsupported manifest schema_version {version}"));
     }
     let meta = doc.get("meta").ok_or("manifest missing meta")?;

@@ -177,6 +177,7 @@ impl IpmSolver {
         qp: &QuadProgram,
         obs: &mut dyn SolverObserver,
     ) -> Result<Solution, SolveError> {
+        let _span = dme_obs::span("ipm");
         // Ruiz equilibration: mixed row/column units (ns-scale timing rows
         // against %-scale dose rows) otherwise stall the dual residual.
         let scale = crate::admm::Scaling::compute(qp, self.settings.scaling_iters);
@@ -498,6 +499,7 @@ impl IpmSolver {
             // Direct backend: one numeric refactorization per iteration
             // (the predictor and corrector share D, hence the factor).
             if let Some(ds) = direct_mut(&mut direct_cache) {
+                let _span = dme_obs::span("refactor");
                 let t0 = Instant::now();
                 ds.factor(p, a, &d);
                 obs.factorization(&FactorizationEvent {
@@ -517,6 +519,7 @@ impl IpmSolver {
                                 rd: &[f64],
                                 rp: &[f64]|
              -> Result<CgSolve, SolveError> {
+                let _span = dme_obs::span("solve");
                 let mut t = vec![0.0f64; m];
                 for i in 0..m {
                     t[i] = g[i] + d[i] * rp[i];
@@ -570,7 +573,10 @@ impl IpmSolver {
                     dzu_aff[i] = -rows.zu[i] + rows.zu[i] * ds_aff[i] / su_eff[i];
                 }
             }
-            let (ap_aff, ad_aff) = step_lengths(&rows, &l, &u, &ds_aff, &dzl_aff, &dzu_aff, 1.0);
+            let (ap_aff, ad_aff) = {
+                let _span = dme_obs::span("line_search");
+                step_lengths(&rows, &l, &u, &ds_aff, &dzl_aff, &dzu_aff, 1.0)
+            };
             let a_aff = ap_aff.min(ad_aff);
             // µ after the affine step.
             let mut mu_aff = 0.0;
@@ -641,7 +647,10 @@ impl IpmSolver {
                     dzu[i] = (cu + rows.zu[i] * ds[i]) / su_eff[i];
                 }
             }
-            let (ap_step, ad_step) = step_lengths(&rows, &l, &u, &ds, &dzl, &dzu, st.step_frac);
+            let (ap_step, ad_step) = {
+                let _span = dme_obs::span("line_search");
+                step_lengths(&rows, &l, &u, &ds, &dzl, &dzu, st.step_frac)
+            };
             // One common step: the QP dual residual couples x and y, so
             // unequal steps would inject error proportional to the (large)
             // direction magnitudes.

@@ -75,6 +75,7 @@ impl DirectSolver {
     /// when a structural guard trips (a dense constraint row or a pattern
     /// too large to enumerate), in which case the caller falls back to CG.
     pub fn build(p: &CsrMatrix, a: &CsrMatrix, fingerprint: u64) -> Option<Self> {
+        let _span = dme_obs::span("symbolic");
         let n = p.nrows();
         let (a_ptr, a_idx, _) = a.raw_parts();
         let (p_ptr, p_idx, _) = p.raw_parts();

@@ -670,6 +670,7 @@ impl<'a> IncrementalSta<'a> {
     /// evaluations. The mirror is restored too, so the caller must roll
     /// its placement/assignment back to the same point.
     pub fn undo_to(&mut self, mark: StaMark) {
+        let _s = dme_obs::span("retime_undo_replay");
         let entries = (self.journal.len() - mark.0) as u64;
         while self.journal.len() > mark.0 {
             let e = self.journal.pop().expect("journal entry");

@@ -200,6 +200,36 @@ if fastb and refb and fastb["median_ns"] > 0:
             entry["state_evals_delta"] = delta_work
             entry["work_reduction_x"] = round(ref_work / delta_work, 2)
     result["dosepl_candidate_throughput"] = entry
+# Self-profiler overhead: the same bounded dosePl run with spans and
+# allocation attribution armed vs disarmed. The acceptance budget is
+# < 5% wall overhead at 12k cells (over_budget flags a breach, it does
+# not gate the bench itself — the QoR sentinel reads it). The headline
+# ratio comes from the interleaved back-to-back WORKLINE measurement
+# (immune to the wall-clock drift between the criterion pair's separate
+# runs); the criterion pair is kept as a cross-check when present.
+po = work.get("profiling_overhead")
+prof = benches.get("perf/dosepl_run_fast_profiled")
+if po and po.get("off_med_ns", 0) > 0:
+    ratio = po["on_med_ns"] / po["off_med_ns"]
+    result["profiling_overhead"] = {
+        "median_ns_off": po["off_med_ns"],
+        "median_ns_on": po["on_med_ns"],
+        "overhead_ratio": round(ratio, 4),
+        "budget_ratio": 1.05,
+        "over_budget": ratio > 1.05,
+        "interleaved": True,
+    }
+elif fastb and prof and fastb["median_ns"] > 0:
+    ratio = prof["median_ns"] / fastb["median_ns"]
+    result["profiling_overhead"] = {
+        "median_ns_off": fastb["median_ns"],
+        "median_ns_on": prof["median_ns"],
+        "overhead_ratio": round(ratio, 4),
+        "budget_ratio": 1.05,
+        "over_budget": ratio > 1.05,
+        "interleaved": False,
+    }
+
 # Push-based retime arbiter flatness across design sizes: O(cone) means
 # the single-perturbation retime cost barely moves from 12k to 100k.
 rc12 = benches.get("perf/retime_cone_12k")

@@ -6,9 +6,13 @@ Usage: scripts/validate_trace.py trace.jsonl [manifest.json]
 Checks every line of the trace against event schema v1 (see
 crates/dme-obs/src/sink.rs): the common envelope plus the per-type
 payload, monotonically non-decreasing timestamps, and — when a manifest
-is given — manifest schema v1 or v2 (crates/dme-obs/src/manifest.rs).
+is given — manifest schema v1, v2 or v3 (crates/dme-obs/src/manifest.rs).
 Schema v2 additionally carries a top-level `qor` object of finite
 numeric metrics and per-histogram p50/p95/p99 percentile fields.
+Schema v3 adds a `profile` object: the span tree with per-path self
+times and allocation attribution, checked here for its structural
+invariants (self <= total per node, children totals fitting inside the
+parent, non-negative allocation tallies).
 Exits non-zero on the first violation; used by the CI trace-schema job.
 """
 
@@ -17,7 +21,7 @@ import math
 import sys
 
 TRACE_SCHEMA_VERSION = 1
-MANIFEST_SCHEMA_VERSIONS = (1, 2)
+MANIFEST_SCHEMA_VERSIONS = (1, 2, 3)
 LOG_LEVELS = {"error", "warn", "info", "debug", "report"}
 
 
@@ -111,6 +115,8 @@ def check_manifest(path):
     check_solver_consistency(path, m)
     check_dosepl_consistency(path, m)
     check_sta_consistency(path, m)
+    if version >= 3:
+        check_profile(path, m)
     if version >= 2:
         for name, v in m["qor"].items():
             if not isinstance(v, (int, float)) or not math.isfinite(v):
@@ -128,6 +134,65 @@ def check_manifest(path):
         f"{sum(len(s['rows']) for s in m['records'].values())} record rows"
         f"{qor_note})"
     )
+
+
+def check_profile(path, m):
+    """Structural invariants of the schema-v3 profile section.
+
+    The profile tree parents each span path under its nearest recorded
+    ancestor (longest proper '/'-prefix present in the node map), the
+    same rule the Rust builder uses. Per node: self <= total, every
+    tally non-negative; per parent: the direct children's totals fit
+    inside the parent's total (children are sequential within one open
+    parent span, so their durations are disjoint).
+    """
+    profile = m.get("profile")
+    if not isinstance(profile, dict):
+        fail(f"{path}: schema v3 manifest missing profile object")
+    if not isinstance(profile.get("alloc_tracking"), bool):
+        fail(f"{path}: profile.alloc_tracking is not a bool")
+    nodes = profile.get("nodes")
+    if not isinstance(nodes, dict):
+        fail(f"{path}: profile.nodes is not an object")
+
+    fields = (
+        "calls", "total_ns", "self_ns", "max_ns", "p50_ns", "p95_ns",
+        "alloc_bytes", "alloc_count", "self_alloc_bytes", "self_alloc_count",
+    )
+    for node_path, n in nodes.items():
+        for k in fields:
+            if not isinstance(n.get(k), (int, float)) or n[k] < 0:
+                fail(f"{path}: profile node {node_path!r} bad {k!r}: {n.get(k)!r}")
+        if n["self_ns"] > n["total_ns"]:
+            fail(f"{path}: profile node {node_path!r} self_ns > total_ns")
+        if n["self_alloc_bytes"] > n["alloc_bytes"]:
+            fail(f"{path}: profile node {node_path!r} self_alloc_bytes > alloc_bytes")
+        if n["self_alloc_count"] > n["alloc_count"]:
+            fail(f"{path}: profile node {node_path!r} self_alloc_count > alloc_count")
+
+    def parent_of(node_path):
+        prefix = node_path
+        while "/" in prefix:
+            prefix = prefix.rsplit("/", 1)[0]
+            if prefix in nodes:
+                return prefix
+        return None
+
+    children_total = {}
+    for node_path in nodes:
+        parent = parent_of(node_path)
+        if parent is not None:
+            children_total[parent] = (
+                children_total.get(parent, 0.0) + nodes[node_path]["total_ns"]
+            )
+    for parent, total in children_total.items():
+        # 1e-6 relative slack: totals are integer ns, but the sum of
+        # many children may round against a parent measured once.
+        if total > nodes[parent]["total_ns"] * (1 + 1e-6) + 1:
+            fail(
+                f"{path}: profile children of {parent!r} total {total} ns > "
+                f"parent total {nodes[parent]['total_ns']} ns"
+            )
 
 
 def check_solver_consistency(path, m):

@@ -40,7 +40,7 @@ fn flow_report_contains_stage_spans_solver_telemetry_and_tallies() {
 
     let text = std::fs::read_to_string(&report).expect("manifest written");
     let m = parse(&text).expect("manifest parses");
-    assert_eq!(m.get("schema_version").and_then(Value::as_f64), Some(2.0));
+    assert_eq!(m.get("schema_version").and_then(Value::as_f64), Some(3.0));
 
     let meta = m.get("meta").expect("meta");
     assert_eq!(meta.get("bin").and_then(Value::as_str), Some("dmeopt"));
@@ -119,6 +119,38 @@ fn flow_report_contains_stage_spans_solver_telemetry_and_tallies() {
             let max = h.get("max").and_then(Value::as_f64).expect("max");
             assert!(p50 <= p99 && p99 <= max, "histogram {name:?} ordering");
         }
+    }
+
+    // Schema v3: the profile section carries the span tree with self
+    // times and allocation attribution. The dmeopt binary installs the
+    // tracking allocator, so alloc_tracking must report true and the
+    // flow itself must charge allocations somewhere.
+    let profile = m.get("profile").expect("profile section");
+    assert_eq!(
+        profile
+            .get("alloc_tracking")
+            .map(|v| matches!(v, Value::Bool(true))),
+        Some(true),
+        "dmeopt installs the tracking allocator"
+    );
+    let nodes = profile
+        .get("nodes")
+        .and_then(Value::as_object)
+        .expect("profile nodes");
+    let flow = nodes.get("flow").expect("flow profile node");
+    let total = flow.get("total_ns").and_then(Value::as_f64).expect("total");
+    let own = flow.get("self_ns").and_then(Value::as_f64).expect("self");
+    assert!(own <= total && own >= 0.0, "self/total invariant");
+    assert!(
+        flow.get("alloc_bytes")
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0)
+            > 0.0,
+        "flow should allocate with tracking on"
+    );
+    // The hot-path phase spans landed in the tree.
+    for path in ["flow/dmopt/solve/ipm", "flow/dosepl/round/filter"] {
+        assert!(nodes.contains_key(path), "profile node {path:?} missing");
     }
 
     // dosePl accept/reject tallies.
