@@ -210,7 +210,12 @@ if fastb and refb and fastb["median_ns"] > 0:
 po = work.get("profiling_overhead")
 prof = benches.get("perf/dosepl_run_fast_profiled")
 if po and po.get("off_med_ns", 0) > 0:
-    ratio = po["on_med_ns"] / po["off_med_ns"]
+    # Median of per-pair ratios when the bench emitted it (adjacent
+    # runs share machine conditions); ratio of medians as fallback.
+    if po.get("ratio_ppm", 0) > 0:
+        ratio = po["ratio_ppm"] / 1e6
+    else:
+        ratio = po["on_med_ns"] / po["off_med_ns"]
     result["profiling_overhead"] = {
         "median_ns_off": po["off_med_ns"],
         "median_ns_on": po["on_med_ns"],
