@@ -198,6 +198,7 @@ pub fn counter_value(name: &str) -> u64 {
 
 /// Aggregate stats for the span path `path`, if it ever completed.
 pub fn span_stats(path: &str) -> Option<SpanStats> {
+    span::flush_current_thread();
     registry()
         .spans
         .lock()
@@ -230,6 +231,9 @@ pub fn record_series(kind: &str) -> Option<RecordSeries> {
 /// the sink are untouched). Intended for tests and for separating
 /// phases within one process.
 pub fn reset() {
+    // Flush first so this thread's batched span deltas are discarded by
+    // the clear below rather than resurfacing at the next flush.
+    span::flush_current_thread();
     registry().reset();
     manifest::reset_meta();
 }

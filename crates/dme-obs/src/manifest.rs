@@ -92,6 +92,7 @@ pub(crate) fn reset_meta() {
 /// Serializes the current registry contents (and metadata) as one JSON
 /// manifest document.
 pub fn manifest_json() -> String {
+    crate::span::flush_current_thread();
     let reg = crate::registry();
     let mut s = String::with_capacity(4096);
     let _ = write!(s, "{{\"schema_version\":{MANIFEST_SCHEMA_VERSION}");
@@ -270,6 +271,7 @@ fn fmt_ms(ns: u64) -> String {
 /// Renders the registry as a human-readable end-of-run summary table
 /// (spans sorted by total time, then counters, then histogram means).
 pub fn summary_table() -> String {
+    crate::span::flush_current_thread();
     let reg = crate::registry();
     let mut out = String::new();
     out.push_str("== run summary ==\n");

@@ -53,6 +53,7 @@ pub struct ProfileNode {
 /// Builds the profile tree from the current span registry, sorted by
 /// path (parents therefore always precede their descendants).
 pub fn profile_snapshot() -> Vec<ProfileNode> {
+    crate::span::flush_current_thread();
     let spans = crate::registry()
         .spans
         .lock()

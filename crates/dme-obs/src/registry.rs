@@ -10,7 +10,6 @@
 
 use std::collections::BTreeMap;
 use std::sync::Mutex;
-use std::time::Duration;
 
 /// Number of power-of-two histogram buckets: bucket `i` holds values
 /// `v` with `2^(i-1) ≤ v < 2^i` (bucket 0 holds zero), and the last
@@ -52,6 +51,16 @@ impl Histogram {
         self.sum += v;
         self.max = self.max.max(v);
         self.buckets[Self::bucket_of(v)] += 1;
+    }
+
+    /// Folds another histogram's samples into this one (bucket-wise).
+    pub(crate) fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
     }
 
     /// Mean sample value (0 when empty).
@@ -125,6 +134,28 @@ pub struct SpanStats {
     pub dur_hist: Histogram,
 }
 
+impl SpanStats {
+    /// Folds one completed execution into this aggregate.
+    pub(crate) fn record_one(&mut self, ns: u64, alloc_bytes: u64, alloc_count: u64) {
+        self.count += 1;
+        self.total_ns = self.total_ns.saturating_add(ns);
+        self.max_ns = self.max_ns.max(ns);
+        self.alloc_bytes = self.alloc_bytes.saturating_add(alloc_bytes);
+        self.alloc_count = self.alloc_count.saturating_add(alloc_count);
+        self.dur_hist.record(ns);
+    }
+
+    /// Folds another aggregate (a thread-local delta) into this one.
+    pub(crate) fn merge(&mut self, delta: &SpanStats) {
+        self.count += delta.count;
+        self.total_ns = self.total_ns.saturating_add(delta.total_ns);
+        self.max_ns = self.max_ns.max(delta.max_ns);
+        self.alloc_bytes = self.alloc_bytes.saturating_add(delta.alloc_bytes);
+        self.alloc_count = self.alloc_count.saturating_add(delta.alloc_count);
+        self.dur_hist.merge(&delta.dur_hist);
+    }
+}
+
 /// Cap on retained rows per record series; further rows are counted in
 /// [`RecordSeries::dropped`] rather than silently discarded.
 pub const RECORD_CAP: usize = 4096;
@@ -158,27 +189,15 @@ impl Registry {
         map.entry(name).or_default().record(value);
     }
 
-    pub(crate) fn span_record(
-        &self,
-        path: &str,
-        dur: Duration,
-        alloc_bytes: u64,
-        alloc_count: u64,
-    ) {
-        let ns = u64::try_from(dur.as_nanos()).unwrap_or(u64::MAX);
+    pub(crate) fn span_merge(&self, path: &str, delta: &SpanStats) {
         let mut map = self.spans.lock().expect("span registry poisoned");
-        // get_mut-first so the steady state (path already interned in a
-        // prior drop) needs no owned key.
-        let s = match map.get_mut(path) {
+        // get_mut-first so the steady state (path already present from a
+        // prior flush) needs no owned key.
+        match map.get_mut(path) {
             Some(s) => s,
             None => map.entry(path.to_string()).or_default(),
-        };
-        s.count += 1;
-        s.total_ns += ns;
-        s.max_ns = s.max_ns.max(ns);
-        s.alloc_bytes = s.alloc_bytes.saturating_add(alloc_bytes);
-        s.alloc_count = s.alloc_count.saturating_add(alloc_count);
-        s.dur_hist.record(ns);
+        }
+        .merge(delta);
     }
 
     pub(crate) fn record(&self, kind: &'static str, fields: &[(&'static str, f64)]) {

@@ -10,6 +10,7 @@ use crate::json;
 use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{BufWriter, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
@@ -18,6 +19,10 @@ use std::time::Instant;
 pub const TRACE_SCHEMA_VERSION: u32 = 1;
 
 static SINK: Mutex<Option<BufWriter<File>>> = Mutex::new(None);
+
+/// Mirrors `SINK.is_some()` so the per-span-exit open check is one
+/// relaxed load instead of a global mutex acquisition.
+static SINK_OPEN: AtomicBool = AtomicBool::new(false);
 
 /// Monotonic process-relative clock for event timestamps.
 fn epoch() -> Instant {
@@ -32,15 +37,18 @@ pub(crate) fn ts_us() -> u64 {
 pub(crate) fn set_path(path: &str) -> std::io::Result<()> {
     let file = File::create(path)?;
     *SINK.lock().expect("trace sink poisoned") = Some(BufWriter::new(file));
+    SINK_OPEN.store(true, Ordering::Relaxed);
     Ok(())
 }
 
 pub(crate) fn is_open() -> bool {
-    SINK.lock().expect("trace sink poisoned").is_some()
+    SINK_OPEN.load(Ordering::Relaxed)
 }
 
 pub(crate) fn close() {
-    *SINK.lock().expect("trace sink poisoned") = None;
+    let mut guard = SINK.lock().expect("trace sink poisoned");
+    SINK_OPEN.store(false, Ordering::Relaxed);
+    *guard = None;
 }
 
 /// Writes one pre-serialized JSON object line to the sink, if open.

@@ -3,24 +3,38 @@
 //! A [`Span`] is an RAII guard: construction interns the span's
 //! `/`-separated path (`flow/dmopt/solve`) into a thread-local tree,
 //! notes the wall clock and this thread's allocation tallies, and
-//! pushes the node onto the open-span stack; drop pops it, folds the
-//! duration and allocation delta into the registry aggregate, and
-//! emits a JSONL event if a sink is open. When tracing is disabled the
-//! guard holds `None` — no clock read, no thread-local touch and no
-//! heap allocation.
+//! pushes the node onto the open-span stack; drop pops it and folds the
+//! duration and allocation delta into the node's thread-local
+//! aggregate, emitting a JSONL event if a sink is open. When tracing is
+//! disabled the guard holds `None` — no clock read, no thread-local
+//! touch and no heap allocation.
+//!
+//! # Batched publication
+//!
+//! Span drops do **not** touch the global registry: each exit folds
+//! into a per-node [`SpanStats`] delta held in this thread's tree, and
+//! the accumulated deltas flush to [`crate::registry`] only when the
+//! thread's open-span stack empties (the outermost span of a burst
+//! closes). Every registry read path additionally calls
+//! [`flush_current_thread`] first, so readers on a thread with no open
+//! spans always observe exact totals. The tight enter/exit loops in
+//! dosePl (one span per candidate site) therefore cost two clock reads
+//! and a thread-local update each, not a global mutex plus a
+//! `BTreeMap<String>` lookup.
 //!
 //! # Path interning
 //!
 //! Every `(parent, name)` pair a thread observes is interned once into
 //! a thread-local node that caches the joined path string. Steady-state
-//! span drops therefore do **not** allocate the path: they look the
-//! cached `&str` up in the registry map in place. The one-time interning
-//! cost (and the registry/sink work at drop) runs under an allocation
+//! span drops therefore do **not** allocate the path. The one-time
+//! interning cost (and the flush/sink work) runs under an allocation
 //! pause ([`crate::alloc`]) so instrumentation overhead is never
 //! charged to the enclosing span's allocation tallies.
 
 use std::cell::RefCell;
 use std::time::Instant;
+
+use crate::registry::SpanStats;
 
 /// One interned span-path node on this thread.
 struct Node {
@@ -30,6 +44,8 @@ struct Node {
     /// Child node indices; fan-out per phase is small, so child lookup
     /// is a linear scan comparing names.
     children: Vec<usize>,
+    /// Executions accumulated since the last flush to the registry.
+    stats: SpanStats,
 }
 
 struct Tls {
@@ -37,6 +53,8 @@ struct Tls {
     nodes: Vec<Node>,
     /// Open spans, innermost last (indices into `nodes`).
     stack: Vec<usize>,
+    /// Nodes whose `stats` hold unflushed executions.
+    dirty: Vec<usize>,
 }
 
 impl Tls {
@@ -46,8 +64,10 @@ impl Tls {
                 name: "",
                 path: String::new(),
                 children: Vec::new(),
+                stats: SpanStats::default(),
             }],
             stack: Vec::new(),
+            dirty: Vec::new(),
         }
     }
 
@@ -67,9 +87,24 @@ impl Tls {
             name,
             path,
             children: Vec::new(),
+            stats: SpanStats::default(),
         });
         self.nodes[parent].children.push(id);
         id
+    }
+
+    /// Publishes every dirty node's accumulated delta to the registry
+    /// and clears the thread-local aggregates.
+    fn flush(&mut self) {
+        if self.dirty.is_empty() {
+            return;
+        }
+        let reg = crate::registry();
+        for id in std::mem::take(&mut self.dirty) {
+            let node = &mut self.nodes[id];
+            let delta = std::mem::take(&mut node.stats);
+            reg.span_merge(&node.path, &delta);
+        }
     }
 }
 
@@ -136,6 +171,7 @@ impl Drop for Span {
             return;
         };
         let dur = active.start.elapsed();
+        let ns = u64::try_from(dur.as_nanos()).unwrap_or(u64::MAX);
         let (bytes1, count1) = crate::alloc::thread_alloc_totals();
         let alloc_bytes = bytes1.saturating_sub(active.alloc_bytes0);
         let alloc_count = count1.saturating_sub(active.alloc_count0);
@@ -147,11 +183,35 @@ impl Drop for Span {
             // this span's depth rather than corrupting the stack.
             t.stack.truncate(active.depth);
             t.stack.pop();
-            let path = t.nodes[active.node].path.as_str();
-            crate::registry().span_record(path, dur, alloc_bytes, alloc_count);
-            crate::sink::emit_span(path, u64::try_from(dur.as_nanos()).unwrap_or(u64::MAX));
+            let node = &mut t.nodes[active.node];
+            let was_clean = node.stats.count == 0;
+            node.stats.record_one(ns, alloc_bytes, alloc_count);
+            crate::sink::emit_span(&node.path, ns);
+            if was_clean {
+                t.dirty.push(active.node);
+            }
+            if t.stack.is_empty() {
+                t.flush();
+            }
         });
     }
+}
+
+/// Publishes this thread's unflushed span deltas to the registry.
+///
+/// Called by every registry read path (`span_stats`, manifest/profile
+/// snapshots, `reset`) so a reader whose own spans are closed sees
+/// exact aggregates. A no-op when the thread has never opened a span or
+/// when its TLS is mid-borrow (re-entrant read from inside `Drop`).
+pub(crate) fn flush_current_thread() {
+    let _pause = crate::alloc::pause();
+    let _ = TLS.try_with(|t| {
+        if let Ok(mut t) = t.try_borrow_mut() {
+            if let Some(t) = t.as_mut() {
+                t.flush();
+            }
+        }
+    });
 }
 
 /// Current span nesting depth on this thread (0 outside any span).
