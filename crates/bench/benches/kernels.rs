@@ -145,6 +145,42 @@ fn banded_csr(rows: usize, cols: usize, band: usize) -> CsrMatrix {
 
 /// Serial-vs-parallel kernel benchmarks parsed by `scripts/bench_perf.sh`
 /// into `BENCH_perf.json`. Run with `cargo bench -p dme-bench -- perf/`.
+/// Steady-state cost of one span enter/exit pair under the profiler
+/// arming states the flow can run in. No testbench setup, and
+/// deliberately outside [`bench_perf`]'s filter gate so
+/// `cargo bench -- span_pair` answers in seconds.
+fn bench_span_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perf");
+    group.sample_size(20);
+    // An outer span stays open so per-exit work is the thread-local
+    // fold, not a registry flush — multiplied by `spans_per_run` (from
+    // bench_perf's WORKLINE) this bounds the span share of the armed
+    // overhead deterministically.
+    group.bench_function("span_pair_armed", |b| {
+        dme_obs::set_enabled(true);
+        let outer = dme_obs::span("span_bench_outer");
+        b.iter(|| dme_obs::span("span_bench_leaf"));
+        drop(outer);
+        dme_obs::set_enabled(false);
+        dme_obs::reset();
+    });
+    // The same pair with the live event stream armed on top (ring push
+    // + racy stack-view update per exit). This is the per-span cost a
+    // `dmeopt watch` run pays, and what the `profiling_overhead` gate
+    // uses when the snapshot publisher is on.
+    group.bench_function("span_pair_streamed", |b| {
+        dme_obs::set_enabled(true);
+        dme_obs::set_stream_armed(true);
+        let outer = dme_obs::span("span_bench_outer");
+        b.iter(|| dme_obs::span("span_bench_leaf"));
+        drop(outer);
+        dme_obs::set_stream_armed(false);
+        dme_obs::set_enabled(false);
+        dme_obs::reset();
+    });
+    group.finish();
+}
+
 fn bench_perf(c: &mut Criterion) {
     // The setup below (testbench, QP formulation, a dosePl run) is
     // expensive; skip it entirely when a bench filter excludes the
@@ -482,21 +518,11 @@ fn bench_perf(c: &mut Criterion) {
     // a shared 1-core box carry one-sided scheduling noise of up to
     // ~10% — above the 5% budget — so `bench_perf.sh` gates on the
     // deterministic span-cost decomposition (`spans_per_run` emitted
-    // here times the `span_pair_armed` cost above) and records these
+    // here times the `span_pair_armed` cost from `bench_span_cost`,
+    // or `span_pair_streamed` when the live stream is on) and records
+    // these
     // back-to-back alternating-arm wall ratios (best-of-N and median)
     // as cross-checks.
-    // Steady-state cost of one armed span enter/exit pair (an outer
-    // span stays open so per-exit work is the thread-local fold, not a
-    // registry flush) — multiplied by `spans_per_run` below it bounds
-    // the span share of the armed overhead deterministically.
-    group.bench_function("span_pair_armed", |b| {
-        dme_obs::set_enabled(true);
-        let outer = dme_obs::span("span_bench_outer");
-        b.iter(|| dme_obs::span("span_bench_leaf"));
-        drop(outer);
-        dme_obs::set_enabled(false);
-        dme_obs::reset();
-    });
     {
         let cfg = dp_cfg(SwapEngine::Delta);
         let run = |armed: bool| {
@@ -649,6 +675,7 @@ criterion_group!(
     bench_paths,
     bench_formulate_and_solve,
     bench_dmopt_end_to_end,
+    bench_span_cost,
     bench_perf
 );
 criterion_main!(benches);

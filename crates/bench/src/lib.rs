@@ -98,10 +98,16 @@ pub fn imp_pct(base: f64, new: f64) -> f64 {
 pub struct ObsSession {
     report: Option<String>,
     qor_history: Option<String>,
+    /// Live snapshot publisher (when `DME_SNAPSHOT_MS` is set); stopped
+    /// before the manifest write so the `final` snapshot precedes it.
+    publisher: Option<dme_obs::publisher::Publisher>,
 }
 
 impl Drop for ObsSession {
     fn drop(&mut self) {
+        if let Some(mut publisher) = self.publisher.take() {
+            publisher.stop();
+        }
         if !dme_obs::enabled() {
             return;
         }
@@ -187,9 +193,16 @@ pub fn obs_session(bin: &str) -> ObsSession {
         // trace and a `status: "panicked"` manifest stub.
         dme_obs::install_panic_hook();
     }
+    // `DME_SNAPSHOT_MS` starts the live snapshot publisher for bench
+    // runs too (long sweeps benefit most from `dmeopt watch`).
+    let publisher = dme_obs::publisher::start_from_env();
+    if publisher.is_some() {
+        dme_obs::install_panic_hook();
+    }
     ObsSession {
         report,
         qor_history,
+        publisher,
     }
 }
 

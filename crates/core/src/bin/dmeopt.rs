@@ -9,6 +9,8 @@
 //!                 [--objective leakage|timing] [--xi-uw 0] [--grid 5]
 //!                 [--layers poly|both] [--prune] [--dosemap-out map.csv]
 //! dmeopt flow     --profile aes65 [--scale 0.2] [--grid 5] [--top-k 1000]
+//! dmeopt watch    snapshot.json [--interval-ms 500] [--once]
+//! dmeopt obs      ls
 //! dmeopt qor      ingest run.json... | diff run baseline | report
 //! dmeopt prof     report run.json [--flame out.svg] | diff run base...
 //! ```
@@ -24,6 +26,13 @@
 //! and `--verbose` (raise the stderr log threshold to `info`). The
 //! `DME_TRACE` / `DME_TRACE_JSON` / `DME_LOG` environment variables are
 //! equivalent; `DME_GIT_SHA` stamps the manifest's `git_sha`.
+//!
+//! Run commands additionally accept `--snapshot <path>` /
+//! `--snapshot-ms <n>` (`DME_SNAPSHOT_MS` / `DME_SNAPSHOT_PATH` are
+//! equivalent) to start the live snapshot publisher; point
+//! `dmeopt watch <path>` at the file from another terminal for a live
+//! stage/rate view, and `dmeopt obs ls` lists every metric name the
+//! flow can emit.
 //!
 //! `qor` is the QoR regression sentinel (see `crates/dme-qor`): `ingest`
 //! normalizes run manifests into `results/qor_history.jsonl`, `diff`
@@ -100,7 +109,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
 
 /// Applies the observability options (see the module docs) and stamps
 /// run metadata into the manifest. Call once, right after arg parsing.
-fn init_obs(args: &Args) {
+/// Returns the live snapshot publisher when one was requested (via
+/// `--snapshot`/`--snapshot-ms` or `DME_SNAPSHOT_MS`); the handle
+/// publishes the `final` snapshot when dropped at the end of `main`.
+fn init_obs(args: &Args) -> Option<dme_obs::publisher::Publisher> {
     if let Some(path) = args.opts.get("trace-json") {
         if path.is_empty() {
             eprintln!("error: --trace-json requires a path");
@@ -114,6 +126,30 @@ fn init_obs(args: &Args) {
     if args.opts.contains_key("trace") || args.opts.contains_key("report") {
         dme_obs::set_enabled(true);
     }
+    // The publisher only makes sense for commands that actually run the
+    // flow — `watch` in particular must never overwrite the snapshot it
+    // is reading.
+    let run_command = matches!(
+        args.command.as_str(),
+        "generate" | "analyze" | "optimize" | "flow"
+    );
+    let publisher = if !run_command {
+        None
+    } else if args.opts.contains_key("snapshot") || args.opts.contains_key("snapshot-ms") {
+        let path = match args.opts.get("snapshot").map(String::as_str) {
+            Some("") | None => "snapshot.json".to_string(),
+            Some(p) => p.to_string(),
+        };
+        let interval_ms = args
+            .opts
+            .get("snapshot-ms")
+            .and_then(|v| v.parse::<u64>().ok())
+            .filter(|ms| *ms > 0)
+            .unwrap_or(200);
+        Some(dme_obs::publisher::start(&path, interval_ms))
+    } else {
+        dme_obs::publisher::start_from_env()
+    };
     if dme_obs::enabled() {
         dme_obs::set_meta_str("bin", "dmeopt");
         dme_obs::set_meta_str("command", &args.command);
@@ -139,6 +175,7 @@ fn init_obs(args: &Args) {
         // manifest stub (status: "panicked") at the --report path.
         dme_obs::install_panic_hook();
     }
+    publisher
 }
 
 /// Writes the `--report` manifest (if requested), prints the summary
@@ -542,6 +579,15 @@ fn qor_report(args: &Args) -> Result<(), String> {
         }
         None => Vec::new(),
     };
+    // `--snapshot <path>` embeds the run's last live telemetry snapshot
+    // (the file the publisher leaves behind) as a dashboard panel.
+    let snapshot_doc = match args.opts.get("snapshot") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            Some(dme_obs::json::parse(&text).map_err(|e| format!("{path}: {e}"))?)
+        }
+        None => None,
+    };
     // With two or more records, embed a latest-vs-rest comparison.
     let diff = if history.len() >= 2 {
         let (run, base) = history.split_last().expect("len >= 2");
@@ -556,6 +602,7 @@ fn qor_report(args: &Args) -> Result<(), String> {
         manifest: manifest_doc.as_ref(),
         bench_history: &bench,
         diff: diff.as_ref(),
+        snapshot: snapshot_doc.as_ref(),
         title: "DME QoR dashboard",
     });
     let out = args
@@ -675,7 +722,90 @@ fn cmd_prof(args: &Args) -> Result<ExitCode, String> {
     }
 }
 
-const USAGE: &str = "usage: dmeopt <generate|analyze|optimize|flow|qor|prof> [options]
+/// Reads the `status` field out of snapshot JSON (`None` when the text
+/// does not parse — e.g. caught mid-rename on a non-atomic filesystem).
+fn snapshot_status(text: &str) -> Option<String> {
+    dme_obs::json::parse(text)
+        .ok()?
+        .get("status")
+        .and_then(dme_obs::json::Value::as_str)
+        .map(str::to_string)
+}
+
+/// `dmeopt watch <snapshot.json>` — refresh-loop terminal view of a
+/// live run. Exits when the snapshot reports `final` or `panicked`
+/// status (or after one frame with `--once`).
+fn cmd_watch(args: &Args) -> Result<(), String> {
+    let path = args
+        .positionals
+        .first()
+        .ok_or("watch requires a snapshot path")?;
+    let interval_ms: u64 = match args.opts.get("interval-ms") {
+        Some(v) => v
+            .parse()
+            .ok()
+            .filter(|ms| *ms > 0)
+            .ok_or_else(|| format!("bad --interval-ms {v:?}"))?,
+        None => 500,
+    };
+    let once = args.opts.contains_key("once");
+    let mut waiting_reported = false;
+    loop {
+        match std::fs::read_to_string(path) {
+            Ok(text) => match dme_qor::render_snapshot(&text) {
+                Ok(frame) => {
+                    if !once {
+                        // Clear screen and home the cursor between frames.
+                        print!("\x1b[2J\x1b[H");
+                    }
+                    print!("{frame}");
+                    use std::io::Write as _;
+                    let _ = std::io::stdout().flush();
+                    let status = snapshot_status(&text).unwrap_or_default();
+                    if once {
+                        return Ok(());
+                    }
+                    if status == "final" || status == "panicked" {
+                        println!("\nrun {status}; exiting watch");
+                        return Ok(());
+                    }
+                }
+                Err(e) => {
+                    if once {
+                        return Err(e);
+                    }
+                    // Transient parse issues just skip a frame.
+                    eprintln!("watch: {e}");
+                }
+            },
+            Err(e) => {
+                if once {
+                    return Err(format!("{path}: {e}"));
+                }
+                if !waiting_reported {
+                    println!("waiting for {path} ...");
+                    waiting_reported = true;
+                }
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+}
+
+/// `dmeopt obs ls` — print the metric catalog (every counter, span,
+/// histogram and record kind the flow can emit).
+fn cmd_obs(args: &Args) -> Result<(), String> {
+    match args.positionals.first().map(String::as_str) {
+        Some("ls") => {
+            print!("{}", dme_obs::catalog::catalog_table());
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown obs verb {other:?}")),
+        None => Err("obs requires a verb: ls".into()),
+    }
+}
+
+const USAGE: &str = "usage: dmeopt <generate|analyze|optimize|flow|watch|obs|qor|prof> [options]
   common: --profile aes65|jpeg65|aes90|jpeg90|small|tiny [--scale f]
           or --verilog-in f.v --def-in f.def [--tech 65|90]
   generate: [--verilog out.v] [--def out.def] [--lib out.lib]
@@ -684,18 +814,24 @@ const USAGE: &str = "usage: dmeopt <generate|analyze|optimize|flow|qor|prof> [op
             [--layers poly|both] [--prune] [--hold-margin-ns h]
             [--dosemap-out map.csv]
   flow    : [--grid g] [--top-k k]
+  watch   : <snapshot.json> [--interval-ms n] [--once]
+            (live view of a run publishing snapshots; exits on final)
+  obs     : ls (print the counter/span/histogram/record catalog)
   qor     : ingest <manifest.json>... [--history h.jsonl] [--git-sha sha] [--ts secs]
             diff <run> <baseline> [--window n] [--k-mad k] [--min-rel f]
                  [--time-min-rel f] [--md out.md] [--informational]
                  (exit 3 = confirmed regression)
             report [--history h.jsonl] [--manifest run.json]
-                 [--bench-history b.jsonl] [--out dash.html] [--md out.md]
+                 [--bench-history b.jsonl] [--snapshot snap.json]
+                 [--out dash.html] [--md out.md]
   prof    : report <run.json> [--flame out.svg]
             diff <run.json> <baseline.json>... [--window n] [--k-mad k]
                  [--time-min-rel f] [--min-abs-us us] [--md out.md]
                  [--informational] (exit 3 = confirmed self-time regression)
   observability (all subcommands): [--trace] [--trace-json events.jsonl]
-          [--report run.json] [--verbose]";
+          [--report run.json] [--verbose]
+          [--snapshot snap.json] [--snapshot-ms n] (live snapshot publisher;
+          DME_SNAPSHOT_MS / DME_SNAPSHOT_PATH are equivalent)";
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -706,11 +842,21 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    init_obs(&args);
+    let _publisher = init_obs(&args);
     // Test hook: crash after observability is armed so the integration
     // suite can verify the panic hook flushes the trace and leaves a
-    // `status: "panicked"` manifest stub.
-    if std::env::var_os("DME_TEST_PANIC").is_some() {
+    // `status: "panicked"` manifest stub. `DME_TEST_PANIC=span` panics
+    // with a span still open after a nested span completed, exercising
+    // the hook's batched-span-stats flush (the completed span's delta
+    // would otherwise only reach the registry when the stack drained).
+    if let Some(v) = std::env::var_os("DME_TEST_PANIC") {
+        if v == "span" {
+            let _outer = dme_obs::span("flow");
+            {
+                let _inner = dme_obs::span("stage");
+            }
+            panic!("DME_TEST_PANIC=span set (panicking mid-span-stack)");
+        }
         panic!("DME_TEST_PANIC set");
     }
     let result = match args.command.as_str() {
@@ -718,6 +864,8 @@ fn main() -> ExitCode {
         "analyze" => cmd_analyze(&args).map(|()| ExitCode::SUCCESS),
         "optimize" => cmd_optimize(&args).map(|()| ExitCode::SUCCESS),
         "flow" => cmd_flow(&args).map(|()| ExitCode::SUCCESS),
+        "watch" => cmd_watch(&args).map(|()| ExitCode::SUCCESS),
+        "obs" => cmd_obs(&args).map(|()| ExitCode::SUCCESS),
         "qor" => cmd_qor(&args),
         "prof" => cmd_prof(&args),
         other => Err(format!("unknown subcommand {other:?}")),

@@ -39,17 +39,26 @@
 //! | `DME_TRACE=1`    | Enable telemetry collection (registry only).       |
 //! | `DME_TRACE_JSON=<path>` | Enable telemetry and stream JSONL events to `<path>`. |
 //! | `DME_LOG=<level>`| stderr diagnostics threshold: `error`, `warn` (default), `info`, `debug`. |
+//! | `DME_STREAM=1`   | Arm the live event stream ([`stream`]); implies telemetry. |
+//! | `DME_SNAPSHOT_MS=<ms>` | Snapshot publisher interval; embedding binaries start [`publisher`] with it. |
+//! | `DME_SNAPSHOT_PATH=<path>` | Snapshot destination (default `snapshot.json`). |
+//! | `DME_WATCHDOG_MULT=<x>` | Stalled-stage threshold as a multiple of baseline p95 (default 8). |
+//! | `DME_PROFILE_BASELINE=<path>` | Watchdog baseline manifest (default `results/profile_baseline.json`). |
 
 #![deny(missing_docs)]
 
 mod alloc;
+pub mod catalog;
 pub mod json;
 pub mod log;
 mod manifest;
 pub mod profile;
+pub mod publisher;
 mod registry;
 pub(crate) mod sink;
+pub mod snapshot;
 mod span;
+pub mod stream;
 
 pub use alloc::{alloc_tracking, allocator_installed, thread_alloc_totals, TrackingAllocator};
 pub use log::{level_enabled, set_max_level, Level};
@@ -61,6 +70,7 @@ pub use profile::{profile_snapshot, ProfileNode};
 pub use registry::{Histogram, RecordSeries, SpanStats, HISTOGRAM_BUCKETS, RECORD_CAP};
 pub use sink::TRACE_SCHEMA_VERSION;
 pub use span::{depth, Span};
+pub use stream::{set_stream_armed, stream_armed};
 
 use registry::Registry;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -92,6 +102,13 @@ fn ensure_env_init() {
                     Err(e) => eprintln!("[dme error] DME_TRACE_JSON={path}: {e}"),
                 }
             }
+        }
+        // DME_STREAM=1 arms the live event stream (implies telemetry);
+        // DME_SNAPSHOT_MS additionally starts the snapshot publisher,
+        // which the embedding binary drives via the publisher module.
+        if env_truthy("DME_STREAM") || env_truthy("DME_SNAPSHOT_MS") {
+            ENABLED.store(true, Ordering::Relaxed);
+            stream::set_stream_armed(true);
         }
         if ENABLED.load(Ordering::Relaxed) {
             alloc::set_tracking(true);
@@ -162,6 +179,9 @@ pub fn span(name: &'static str) -> Span {
 pub fn counter_add(name: &'static str, delta: u64) {
     if enabled() {
         registry().counter_add(name, delta);
+        if stream::stream_armed() {
+            stream::on_counter(name, delta);
+        }
     }
 }
 
@@ -182,6 +202,9 @@ pub fn record(kind: &'static str, fields: &[(&'static str, f64)]) {
     if enabled() {
         registry().record(kind, fields);
         sink::emit_record(kind, fields);
+        if stream::stream_armed() {
+            stream::on_record(kind, fields);
+        }
     }
 }
 
@@ -251,6 +274,11 @@ pub fn install_panic_hook() {
         let prev = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
             if enabled() {
+                // A panic mid-span-stack means this thread's batched
+                // span deltas never hit the registry (they flush when
+                // the stack drains). Publish them now so the panicked
+                // manifest and snapshot carry exact span totals.
+                span::flush_current_thread();
                 sink::emit_log("error", &format!("panic: {info}"));
                 manifest::set_meta_str("status", "panicked");
                 if let Some(path) = manifest::report_path() {
@@ -258,6 +286,7 @@ pub fn install_panic_hook() {
                         eprintln!("[dme error] writing panic manifest {path}: {e}");
                     }
                 }
+                publisher::publish_panic();
             }
             sink::close();
             prev(info);

@@ -1,0 +1,195 @@
+//! The background snapshot publisher.
+//!
+//! [`start`] arms the live stream, spawns a `dme-snapshot` thread and
+//! publishes a [`crate::snapshot`] document to the configured path
+//! every interval until the returned [`Publisher`] handle is stopped or
+//! dropped — at which point one last snapshot goes out with
+//! `status: "final"`. The process panic hook additionally calls
+//! [`publish_panic`] so a crashing run leaves a `status: "panicked"`
+//! snapshot alongside the panicked manifest.
+//!
+//! One publisher is active per process at a time (the publisher state
+//! lives in a process-wide slot so the panic hook can reach it);
+//! starting a second while one is running replaces the slot, and the
+//! older handle's stop becomes a no-op for publication purposes.
+
+use crate::snapshot::SnapshotState;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+struct Active {
+    path: String,
+    state: SnapshotState,
+    generation: u64,
+}
+
+static ACTIVE: Mutex<Option<Active>> = Mutex::new(None);
+static GENERATION: AtomicU64 = AtomicU64::new(0);
+
+/// Handle to a running snapshot publisher; stop it explicitly with
+/// [`Publisher::stop`] or implicitly by dropping it.
+pub struct Publisher {
+    stop: Arc<AtomicBool>,
+    join: Option<JoinHandle<()>>,
+    generation: u64,
+}
+
+/// Publishes one snapshot with the given status if a publisher is
+/// active. Returns the sequence number written, if any.
+fn publish(status: &str) -> Option<u64> {
+    let mut guard = ACTIVE.lock().expect("publisher slot poisoned");
+    let active = guard.as_mut()?;
+    let doc = active.state.tick(status);
+    let seq = active.state.seq();
+    if let Err(e) = crate::snapshot::write_atomic(&active.path, &doc) {
+        crate::log::log(
+            crate::Level::Warn,
+            format_args!("snapshot publish to {} failed: {e}", active.path),
+        );
+        return None;
+    }
+    Some(seq)
+}
+
+/// Called from the panic hook: emits a last `status: "panicked"`
+/// snapshot if a publisher is active. Best-effort; never panics.
+pub(crate) fn publish_panic() {
+    // A poisoned slot (panic while publishing) is left alone. The slot
+    // is consumed so that the unwinding `Publisher` drop cannot follow
+    // up and overwrite the "panicked" snapshot with a "final" one.
+    if let Ok(mut guard) = ACTIVE.try_lock() {
+        if let Some(mut active) = guard.take() {
+            let doc = active.state.tick("panicked");
+            let _ = crate::snapshot::write_atomic(&active.path, &doc);
+        }
+    }
+}
+
+/// Starts the snapshot publisher: enables telemetry, arms the live
+/// stream and begins publishing to `path` every `interval_ms`
+/// milliseconds (clamped to ≥ 10). The first snapshot is written
+/// immediately so watchers have something to attach to.
+pub fn start(path: &str, interval_ms: u64) -> Publisher {
+    crate::set_enabled(true);
+    crate::stream::set_stream_armed(true);
+    let generation = GENERATION.fetch_add(1, Ordering::Relaxed) + 1;
+    *ACTIVE.lock().expect("publisher slot poisoned") = Some(Active {
+        path: path.to_string(),
+        state: SnapshotState::new(),
+        generation,
+    });
+    publish("running");
+    let interval = Duration::from_millis(interval_ms.max(10));
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let join = std::thread::Builder::new()
+        .name("dme-snapshot".into())
+        .spawn(move || {
+            // Sleep in short slices so stop requests land promptly even
+            // with a long publish interval.
+            let slice = Duration::from_millis(25).min(interval);
+            let mut elapsed = Duration::ZERO;
+            loop {
+                std::thread::sleep(slice);
+                if stop2.load(Ordering::Relaxed) {
+                    return;
+                }
+                elapsed += slice;
+                if elapsed >= interval {
+                    elapsed = Duration::ZERO;
+                    publish("running");
+                }
+            }
+        })
+        .expect("spawn dme-snapshot thread");
+    Publisher {
+        stop,
+        join: Some(join),
+        generation,
+    }
+}
+
+/// Starts a publisher from the environment: `DME_SNAPSHOT_MS` gives
+/// the interval (must parse > 0), `DME_SNAPSHOT_PATH` the destination
+/// (default `snapshot.json`). Returns `None` when `DME_SNAPSHOT_MS` is
+/// unset or invalid.
+pub fn start_from_env() -> Option<Publisher> {
+    let interval_ms = std::env::var("DME_SNAPSHOT_MS")
+        .ok()?
+        .trim()
+        .parse::<u64>()
+        .ok()
+        .filter(|ms| *ms > 0)?;
+    let path = std::env::var("DME_SNAPSHOT_PATH").unwrap_or_else(|_| "snapshot.json".to_string());
+    Some(start(&path, interval_ms))
+}
+
+impl Publisher {
+    /// Stops the background thread and publishes the `final` snapshot.
+    /// Idempotent; also invoked on drop.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+            let mut guard = ACTIVE.lock().expect("publisher slot poisoned");
+            // Only finalize the slot if it is still ours (a newer
+            // publisher may have replaced it).
+            if guard
+                .as_ref()
+                .is_some_and(|a| a.generation == self.generation)
+            {
+                let active = guard.as_mut().expect("checked above");
+                let doc = active.state.tick("final");
+                if let Err(e) = crate::snapshot::write_atomic(&active.path, &doc) {
+                    crate::log::log(
+                        crate::Level::Warn,
+                        format_args!("final snapshot to {} failed: {e}", active.path),
+                    );
+                }
+                *guard = None;
+            }
+        }
+    }
+}
+
+impl Drop for Publisher {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publisher_writes_running_then_final() {
+        let dir = std::env::temp_dir().join(format!("dme_pub_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snapshot.json");
+        let path_s = path.to_str().unwrap();
+        let mut publisher = start(path_s, 10);
+        // The first snapshot is synchronous.
+        let text = std::fs::read_to_string(&path).expect("initial snapshot exists");
+        let doc = crate::json::parse(&text).expect("snapshot parses");
+        assert_eq!(doc.get("status").and_then(|v| v.as_str()), Some("running"));
+        std::thread::sleep(Duration::from_millis(80));
+        publisher.stop();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc = crate::json::parse(&text).expect("final snapshot parses");
+        assert_eq!(doc.get("status").and_then(|v| v.as_str()), Some("final"));
+        // The interval loop got at least one tick in before the final.
+        assert!(doc.get("seq").and_then(|v| v.as_f64()).unwrap_or(0.0) >= 2.0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn start_from_env_requires_interval() {
+        // The test harness does not set DME_SNAPSHOT_MS for unit tests.
+        if std::env::var("DME_SNAPSHOT_MS").is_err() {
+            assert!(start_from_env().is_none());
+        }
+    }
+}

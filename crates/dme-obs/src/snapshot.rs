@@ -1,0 +1,451 @@
+//! Live snapshot construction: one JSON document describing the state
+//! of the run *right now*.
+//!
+//! [`SnapshotState`] is the publisher's cross-tick memory: previous
+//! counter values (for per-second rates), per-span recent-duration
+//! windows drained from the stream rings (for sparklines), the
+//! profile-baseline p95 table and watchdog bookkeeping. Each
+//! [`SnapshotState::tick`] drains the stream, derives deltas, runs the
+//! stage watchdog and serializes the whole view; [`write_atomic`]
+//! publishes it with a write-to-temp + rename so a concurrent reader
+//! never observes a torn file.
+//!
+//! # Schema (version [`SNAPSHOT_SCHEMA_VERSION`])
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "seq": 7, "ts_us": 1400321, "status": "running",
+//!   "threads": [{"label": "main", "alloc_bytes": 0, "alloc_count": 0,
+//!                "stack": [{"path": "flow/dosepl", "open_us": 52}]}],
+//!   "stages":  [{"path": "flow", "calls": 1, "total_ns": 9, "self_ns": 2,
+//!                "p95_ns": 9, "alloc_bytes": 0}],
+//!   "counters": {"dosepl/swaps_accepted": 12},
+//!   "counter_rates": {"dosepl/swaps_accepted": 64.2},
+//!   "dosepl": {"round": 3, "swaps": 55, "accepted": 10, "accept_rate": 0.18},
+//!   "ipm": {"iter": 12, "mu": 1e-7, "rp_inf": 1e-9, "rd_inf": 3e-9},
+//!   "alloc": {"bytes": 0, "count": 0},
+//!   "stream": {"events": 4100, "dropped": 0},
+//!   "recent_ns": {"flow/dosepl/round": [51000, 48000]},
+//!   "stalled": [{"thread": "main", "path": "flow/dosepl/round",
+//!                "open_ms": 900.0, "baseline_p95_ms": 50.0, "mult": 8.0}]
+//! }
+//! ```
+//!
+//! `stages` comes from the flushed registry, so a thread's batched span
+//! deltas become visible once its span stack drains (the outermost span
+//! of a burst closes) — mid-burst, progress shows through `threads`
+//! (the open stacks), `counters` and `recent_ns` instead.
+
+use crate::json;
+use crate::stream::{StreamEvent, StreamEventKind};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+/// Version stamped into every snapshot as `"schema_version"`.
+pub const SNAPSHOT_SCHEMA_VERSION: u32 = 1;
+
+/// Recent span durations retained per path for sparkline rendering.
+pub const RECENT_WINDOW: usize = 32;
+
+/// Default open-span-vs-baseline-p95 multiple before a stage is
+/// declared stalled (override with `DME_WATCHDOG_MULT`).
+pub const DEFAULT_WATCHDOG_MULT: f64 = 8.0;
+
+/// Cross-tick state owned by the snapshot publisher.
+pub struct SnapshotState {
+    seq: u64,
+    last_ts_us: u64,
+    last_counters: BTreeMap<String, u64>,
+    /// Per span path, the last [`RECENT_WINDOW`] exit durations (ns).
+    recent: BTreeMap<String, Vec<u64>>,
+    /// Span path → baseline p95 ns from the committed profile baseline.
+    baseline: BTreeMap<String, u64>,
+    watchdog_mult: f64,
+    /// `(thread, path)` keys already warned about while continuously
+    /// stalled, so the heartbeat fires once per episode, not per tick.
+    warned: BTreeSet<String>,
+    events_seen: u64,
+    scratch: Vec<StreamEvent>,
+}
+
+impl SnapshotState {
+    /// Creates publisher state, loading the watchdog baseline from
+    /// `DME_PROFILE_BASELINE` (default `results/profile_baseline.json`;
+    /// a missing or unparsable file just disables the watchdog).
+    pub fn new() -> Self {
+        let path = std::env::var("DME_PROFILE_BASELINE")
+            .unwrap_or_else(|_| "results/profile_baseline.json".to_string());
+        let mult = std::env::var("DME_WATCHDOG_MULT")
+            .ok()
+            .and_then(|v| v.trim().parse::<f64>().ok())
+            .filter(|m| m.is_finite() && *m > 0.0)
+            .unwrap_or(DEFAULT_WATCHDOG_MULT);
+        SnapshotState {
+            seq: 0,
+            last_ts_us: crate::sink::ts_us(),
+            last_counters: BTreeMap::new(),
+            recent: BTreeMap::new(),
+            baseline: load_baseline(&path),
+            watchdog_mult: mult,
+            warned: BTreeSet::new(),
+            events_seen: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Number of snapshots built so far.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Drains the stream, runs the watchdog and builds one snapshot
+    /// document with the given `status` (`running`/`final`/`panicked`).
+    pub fn tick(&mut self, status: &str) -> String {
+        let now_us = crate::sink::ts_us();
+        self.seq += 1;
+
+        // Pull the ring events accumulated since the last tick into the
+        // per-path recent windows.
+        self.scratch.clear();
+        crate::stream::drain_events(&mut self.scratch);
+        self.events_seen += self.scratch.len() as u64;
+        for i in 0..self.scratch.len() {
+            let ev = self.scratch[i];
+            if ev.kind != StreamEventKind::SpanExit {
+                continue;
+            }
+            let path = crate::stream::name_of(ev.id);
+            if path.is_empty() {
+                continue;
+            }
+            let win = self.recent.entry(path).or_default();
+            if win.len() == RECENT_WINDOW {
+                win.remove(0);
+            }
+            win.push(ev.value);
+        }
+
+        let threads = crate::stream::thread_stacks();
+        let stages = crate::profile::profile_snapshot();
+        let counters: BTreeMap<String, u64> = {
+            let map = crate::registry()
+                .counters
+                .lock()
+                .expect("counters poisoned");
+            map.iter().map(|(k, v)| ((*k).to_string(), *v)).collect()
+        };
+        let dt_s = (now_us.saturating_sub(self.last_ts_us)) as f64 / 1e6;
+
+        // Stage watchdog: any open span that has exceeded its baseline
+        // p95 by the configured multiple is stalled; warn once per
+        // episode via the normal diagnostics channel (stderr + sink).
+        let mut stalled: Vec<(String, String, f64, f64)> = Vec::new();
+        let mut still_stalled = BTreeSet::new();
+        for t in &threads {
+            for (path, enter_ts) in &t.open {
+                let Some(&p95) = self.baseline.get(path) else {
+                    continue;
+                };
+                if p95 == 0 {
+                    continue;
+                }
+                let open_ns = now_us.saturating_sub(*enter_ts) as f64 * 1e3;
+                let limit_ns = p95 as f64 * self.watchdog_mult;
+                if open_ns > limit_ns {
+                    let key = format!("{}:{}", t.label, path);
+                    if self.warned.insert(key.clone()) {
+                        crate::log::log(
+                            crate::Level::Warn,
+                            format_args!(
+                                "watchdog: span {path} on {} open {:.1}s, {:.1}x its baseline \
+                                 p95 ({:.1}ms)",
+                                t.label,
+                                open_ns / 1e9,
+                                open_ns / p95 as f64,
+                                p95 as f64 / 1e6,
+                            ),
+                        );
+                    }
+                    still_stalled.insert(key);
+                    stalled.push((
+                        t.label.clone(),
+                        path.clone(),
+                        open_ns / 1e6,
+                        p95 as f64 / 1e6,
+                    ));
+                }
+            }
+        }
+        // A span that closed (or caught up) re-arms its one-shot warn.
+        self.warned.retain(|k| still_stalled.contains(k));
+
+        let mut out = String::with_capacity(4096);
+        let _ = write!(
+            out,
+            "{{\"schema_version\":{SNAPSHOT_SCHEMA_VERSION},\"seq\":{},\"ts_us\":{now_us},\
+             \"status\":",
+            self.seq
+        );
+        json::write_escaped(&mut out, status);
+
+        // Per-thread open-span stacks with live elapsed times.
+        out.push_str(",\"threads\":[");
+        for (i, t) in threads.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"label\":");
+            json::write_escaped(&mut out, &t.label);
+            let _ = write!(
+                out,
+                ",\"alloc_bytes\":{},\"alloc_count\":{},\"stack\":[",
+                t.alloc_bytes, t.alloc_count
+            );
+            for (j, (path, enter_ts)) in t.open.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str("{\"path\":");
+                json::write_escaped(&mut out, path);
+                let _ = write!(out, ",\"open_us\":{}}}", now_us.saturating_sub(*enter_ts));
+            }
+            out.push_str("]}");
+        }
+        out.push(']');
+
+        // Flushed-registry stage aggregates (profile-tree order).
+        out.push_str(",\"stages\":[");
+        for (i, n) in stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"path\":");
+            json::write_escaped(&mut out, &n.path);
+            let _ = write!(
+                out,
+                ",\"calls\":{},\"total_ns\":{},\"self_ns\":{},\"p95_ns\":{},\"alloc_bytes\":{}}}",
+                n.stats.count, n.stats.total_ns, n.self_ns, n.p95_ns, n.stats.alloc_bytes
+            );
+        }
+        out.push(']');
+
+        // Counter values and per-second rates over the last tick.
+        out.push_str(",\"counters\":{");
+        for (i, (k, v)) in counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_escaped(&mut out, k);
+            let _ = write!(out, ":{v}");
+        }
+        out.push_str("},\"counter_rates\":{");
+        let mut first = true;
+        for (k, v) in &counters {
+            let prev = self.last_counters.get(k).copied().unwrap_or(0);
+            let delta = v.saturating_sub(prev);
+            if delta == 0 || dt_s <= 0.0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            json::write_escaped(&mut out, k);
+            out.push(':');
+            json::write_f64(&mut out, delta as f64 / dt_s);
+        }
+        out.push('}');
+
+        // Latest dosePl round and IPM iteration rows, straight from the
+        // bounded record series.
+        if let Some(series) = crate::record_series("dosepl_round") {
+            if let Some(row) = series.rows.last() {
+                out.push_str(",\"dosepl\":{");
+                let mut swaps = 0.0;
+                let mut accepted = 0.0;
+                for (i, (k, v)) in row.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    json::write_escaped(&mut out, k);
+                    out.push(':');
+                    json::write_f64(&mut out, *v);
+                    match *k {
+                        "swaps" => swaps = *v,
+                        "accepted" => accepted = *v,
+                        _ => {}
+                    }
+                }
+                if swaps > 0.0 {
+                    out.push_str(",\"accept_rate\":");
+                    json::write_f64(&mut out, accepted / swaps);
+                }
+                out.push('}');
+            }
+        }
+        if let Some(series) = crate::record_series("ipm_iter") {
+            if let Some(row) = series.rows.last() {
+                out.push_str(",\"ipm\":{");
+                for (i, (k, v)) in row.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    json::write_escaped(&mut out, k);
+                    out.push(':');
+                    json::write_f64(&mut out, *v);
+                }
+                out.push('}');
+            }
+        }
+
+        // Allocator traffic: sum of the per-thread mirrors (meaningful
+        // when the binary installs TrackingAllocator).
+        let (ab, ac) = threads.iter().fold((0u64, 0u64), |(b, c), t| {
+            (
+                b.saturating_add(t.alloc_bytes),
+                c.saturating_add(t.alloc_count),
+            )
+        });
+        let _ = write!(out, ",\"alloc\":{{\"bytes\":{ab},\"count\":{ac}}}");
+
+        let _ = write!(
+            out,
+            ",\"stream\":{{\"events\":{},\"dropped\":{}}}",
+            self.events_seen,
+            crate::stream::events_dropped()
+        );
+
+        // Recent per-path durations for sparklines.
+        out.push_str(",\"recent_ns\":{");
+        for (i, (path, win)) in self.recent.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::write_escaped(&mut out, path);
+            out.push_str(":[");
+            for (j, ns) in win.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{ns}");
+            }
+            out.push(']');
+        }
+        out.push('}');
+
+        out.push_str(",\"stalled\":[");
+        for (i, (thread, path, open_ms, p95_ms)) in stalled.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"thread\":");
+            json::write_escaped(&mut out, thread);
+            out.push_str(",\"path\":");
+            json::write_escaped(&mut out, path);
+            out.push_str(",\"open_ms\":");
+            json::write_f64(&mut out, *open_ms);
+            out.push_str(",\"baseline_p95_ms\":");
+            json::write_f64(&mut out, *p95_ms);
+            out.push_str(",\"mult\":");
+            json::write_f64(&mut out, self.watchdog_mult);
+            out.push('}');
+        }
+        out.push_str("]}");
+
+        self.last_ts_us = now_us;
+        self.last_counters = counters;
+        out
+    }
+}
+
+impl Default for SnapshotState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Parses a manifest's `profile.nodes` map into path → `p95_ns`.
+/// Missing file, bad JSON or an unexpected shape all yield an empty
+/// table (watchdog disabled) — the baseline is advisory, never load-
+/// bearing.
+fn load_baseline(path: &str) -> BTreeMap<String, u64> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return BTreeMap::new();
+    };
+    let Ok(doc) = json::parse(&text) else {
+        return BTreeMap::new();
+    };
+    let mut out = BTreeMap::new();
+    if let Some(nodes) = doc
+        .get("profile")
+        .and_then(|p| p.get("nodes"))
+        .and_then(|n| n.as_object())
+    {
+        for (path, node) in nodes {
+            if let Some(p95) = node.get("p95_ns").and_then(|v| v.as_f64()) {
+                out.insert(path.clone(), p95 as u64);
+            }
+        }
+    }
+    out
+}
+
+/// Writes `contents` to `path` atomically: the bytes land in
+/// `<path>.tmp` first and are renamed into place, so a reader polling
+/// `path` sees either the previous snapshot or the new one, never a
+/// prefix.
+///
+/// # Errors
+///
+/// Propagates the underlying filesystem error.
+pub fn write_atomic(path: &str, contents: &str) -> std::io::Result<()> {
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_parses_and_carries_envelope() {
+        let mut st = SnapshotState::new();
+        let s1 = st.tick("running");
+        let doc = json::parse(&s1).expect("snapshot is valid JSON");
+        assert_eq!(
+            doc.get("schema_version").and_then(|v| v.as_f64()),
+            Some(f64::from(SNAPSHOT_SCHEMA_VERSION))
+        );
+        assert_eq!(doc.get("seq").and_then(|v| v.as_f64()), Some(1.0));
+        assert_eq!(doc.get("status").and_then(|v| v.as_str()), Some("running"));
+        assert!(doc.get("threads").is_some());
+        assert!(doc.get("stages").is_some());
+        assert!(doc.get("counters").is_some());
+        assert!(doc.get("stream").is_some());
+        assert!(doc.get("stalled").is_some());
+        let s2 = st.tick("final");
+        let doc2 = json::parse(&s2).expect("second snapshot parses");
+        assert_eq!(doc2.get("seq").and_then(|v| v.as_f64()), Some(2.0));
+        assert_eq!(doc2.get("status").and_then(|v| v.as_str()), Some("final"));
+    }
+
+    #[test]
+    fn atomic_write_replaces_whole_file() {
+        let dir = std::env::temp_dir().join(format!("dme_snap_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.json");
+        let path = path.to_str().unwrap();
+        write_atomic(path, "{\"a\":1}").unwrap();
+        assert_eq!(std::fs::read_to_string(path).unwrap(), "{\"a\":1}");
+        write_atomic(path, "{\"b\":2}").unwrap();
+        assert_eq!(std::fs::read_to_string(path).unwrap(), "{\"b\":2}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn baseline_loader_tolerates_missing_file() {
+        assert!(load_baseline("/nonexistent/definitely_missing.json").is_empty());
+    }
+}

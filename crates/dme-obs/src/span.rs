@@ -46,6 +46,9 @@ struct Node {
     children: Vec<usize>,
     /// Executions accumulated since the last flush to the registry.
     stats: SpanStats,
+    /// Interned stream id for the live event stream (0 = not yet
+    /// assigned; assigned lazily the first time the stream is armed).
+    stream_id: u32,
 }
 
 struct Tls {
@@ -65,6 +68,7 @@ impl Tls {
                 path: String::new(),
                 children: Vec::new(),
                 stats: SpanStats::default(),
+                stream_id: 0,
             }],
             stack: Vec::new(),
             dirty: Vec::new(),
@@ -88,6 +92,7 @@ impl Tls {
             path,
             children: Vec::new(),
             stats: SpanStats::default(),
+            stream_id: 0,
         });
         self.nodes[parent].children.push(id);
         id
@@ -135,14 +140,27 @@ impl Span {
 
     pub(crate) fn enter(name: &'static str) -> Self {
         let pause = crate::alloc::pause();
-        let (node, depth) = TLS.with(|t| {
+        let streaming = crate::stream::stream_armed();
+        let (node, depth, stream_id) = TLS.with(|t| {
             let mut t = t.borrow_mut();
             let t = t.get_or_insert_with(Tls::new);
             let parent = t.stack.last().copied().unwrap_or(0);
             let node = t.intern(parent, name);
             t.stack.push(node);
-            (node, t.stack.len())
+            let sid = if streaming {
+                let n = &mut t.nodes[node];
+                if n.stream_id == 0 {
+                    n.stream_id = crate::stream::intern_name(&n.path);
+                }
+                n.stream_id
+            } else {
+                0
+            };
+            (node, t.stack.len(), sid)
         });
+        if streaming {
+            crate::stream::on_span_enter(stream_id, depth);
+        }
         drop(pause);
         // Snapshot tallies and clock last, so interning cost is outside
         // the measured window.
@@ -176,7 +194,8 @@ impl Drop for Span {
         let alloc_bytes = bytes1.saturating_sub(active.alloc_bytes0);
         let alloc_count = count1.saturating_sub(active.alloc_count0);
         let _pause = crate::alloc::pause();
-        TLS.with(|t| {
+        let streaming = crate::stream::stream_armed();
+        let stream_id = TLS.with(|t| {
             let mut t = t.borrow_mut();
             let t = t.get_or_insert_with(Tls::new);
             // Defensive: if spans were dropped out of order, unwind to
@@ -186,6 +205,14 @@ impl Drop for Span {
             let node = &mut t.nodes[active.node];
             let was_clean = node.stats.count == 0;
             node.stats.record_one(ns, alloc_bytes, alloc_count);
+            let sid = if streaming {
+                if node.stream_id == 0 {
+                    node.stream_id = crate::stream::intern_name(&node.path);
+                }
+                node.stream_id
+            } else {
+                0
+            };
             crate::sink::emit_span(&node.path, ns);
             if was_clean {
                 t.dirty.push(active.node);
@@ -193,7 +220,11 @@ impl Drop for Span {
             if t.stack.is_empty() {
                 t.flush();
             }
+            sid
         });
+        if streaming {
+            crate::stream::on_span_exit(stream_id, active.depth, ns);
+        }
     }
 }
 

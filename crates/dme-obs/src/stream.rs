@@ -1,0 +1,468 @@
+//! The live event stream: per-thread lock-free rings feeding the
+//! snapshot publisher.
+//!
+//! The registry ([`crate::registry`]) answers "what happened over the
+//! whole run"; this module answers "what is happening *right now*".
+//! When the stream is **armed**, every span exit, counter bump and
+//! structured record is mirrored — in addition to its normal registry
+//! path — into a fixed-capacity single-producer/single-consumer ring
+//! owned by the emitting thread. The single consumer is the snapshot
+//! publisher ([`crate::publisher`]), which drains all rings on every
+//! tick. Rings **overwrite oldest**: a stalled or absent consumer never
+//! blocks or slows a producer; it just loses the oldest events (the
+//! drop count is reported, never hidden).
+//!
+//! Each thread ring additionally exposes a racy *stack view* — the ids
+//! and enter timestamps of the thread's currently open spans (up to
+//! [`STACK_VIEW_DEPTH`]) plus a mirror of its allocation tallies,
+//! refreshed at span boundaries. The publisher reads these with plain
+//! atomic loads to render the live phase stack and to drive the stage
+//! watchdog; a torn read can at worst show a one-tick-stale frame.
+//!
+//! # Cost model
+//!
+//! Disarmed, every hook is one relaxed atomic load and a branch — no
+//! thread-local access, no allocation (covered by the `no_alloc`
+//! integration test). Armed, a span exit costs ~5 relaxed stores plus
+//! one release store into this thread's ring; there are no locks and no
+//! CAS loops on the hot path. Name strings are interned once into a
+//! global table (`u32` ids); the per-event payload is plain words, so
+//! torn slots on the reader side are detected by index re-checks and
+//! discarded rather than misread.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Events retained per thread ring (power of two). At the dosePl
+/// candidate-loop rate (~30k span pairs/s at 12k cells) this holds the
+/// last ~100 ms of events between 200 ms publisher ticks per thread;
+/// older events are overwritten and counted as dropped.
+pub const STREAM_RING_CAP: usize = 4096;
+
+/// Open spans exposed per thread in the live stack view; deeper spans
+/// still stream exit events, they just don't appear in the stack.
+pub const STACK_VIEW_DEPTH: usize = 16;
+
+/// What kind of event a drained slot carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamEventKind {
+    /// A span closed; `value` is its duration in ns.
+    SpanExit,
+    /// A counter moved; `value` is the delta.
+    Counter,
+    /// A structured record was emitted; `value` is the first field's
+    /// `f64` bit pattern (the registry keeps the full row).
+    Record,
+}
+
+/// One event drained out of a thread ring.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamEvent {
+    /// Event kind.
+    pub kind: StreamEventKind,
+    /// Interned name id; resolve with [`name_of`].
+    pub id: u32,
+    /// Kind-dependent payload (see [`StreamEventKind`]).
+    pub value: u64,
+    /// Process-relative microsecond timestamp ([`crate::sink`] epoch).
+    pub ts_us: u64,
+}
+
+const KIND_SPAN: u8 = 1;
+const KIND_COUNTER: u8 = 2;
+const KIND_RECORD: u8 = 3;
+
+/// One ring slot. All fields are individually atomic and written with
+/// relaxed stores by the owning thread; the publisher detects slots
+/// overwritten mid-read by re-checking the write position afterwards.
+struct Slot {
+    kind: std::sync::atomic::AtomicU8,
+    id: AtomicU32,
+    value: AtomicU64,
+    ts_us: AtomicU64,
+}
+
+impl Slot {
+    const fn new() -> Self {
+        Slot {
+            kind: std::sync::atomic::AtomicU8::new(0),
+            id: AtomicU32::new(0),
+            value: AtomicU64::new(0),
+            ts_us: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Per-thread stream state shared with the publisher.
+pub(crate) struct ThreadRing {
+    /// Monotonic event count; slot `i` lives at `i % STREAM_RING_CAP`.
+    wpos: AtomicU64,
+    slots: Box<[Slot]>,
+    /// Publisher-side read position (only the publisher writes this).
+    rpos: AtomicU64,
+    /// Events lost to overwrite, accumulated at drain time.
+    dropped: AtomicU64,
+    /// Racy open-span stack view: interned path ids + enter timestamps.
+    stack_ids: [AtomicU32; STACK_VIEW_DEPTH],
+    stack_ts_us: [AtomicU64; STACK_VIEW_DEPTH],
+    stack_depth: AtomicUsize,
+    /// Allocation tally mirror, refreshed at span exits.
+    alloc_bytes: AtomicU64,
+    alloc_count: AtomicU64,
+    /// Short label for display (`main` or `t<n>`).
+    label: String,
+}
+
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO_U32: AtomicU32 = AtomicU32::new(0);
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO_U64: AtomicU64 = AtomicU64::new(0);
+
+impl ThreadRing {
+    fn new(label: String) -> Self {
+        ThreadRing {
+            wpos: AtomicU64::new(0),
+            slots: (0..STREAM_RING_CAP).map(|_| Slot::new()).collect(),
+            rpos: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            stack_ids: [ZERO_U32; STACK_VIEW_DEPTH],
+            stack_ts_us: [ZERO_U64; STACK_VIEW_DEPTH],
+            stack_depth: AtomicUsize::new(0),
+            alloc_bytes: AtomicU64::new(0),
+            alloc_count: AtomicU64::new(0),
+            label,
+        }
+    }
+
+    /// Producer-side push (owning thread only).
+    fn push(&self, kind: u8, id: u32, value: u64) {
+        let w = self.wpos.load(Ordering::Relaxed);
+        let slot = &self.slots[(w as usize) & (STREAM_RING_CAP - 1)];
+        slot.kind.store(kind, Ordering::Relaxed);
+        slot.id.store(id, Ordering::Relaxed);
+        slot.value.store(value, Ordering::Relaxed);
+        slot.ts_us.store(crate::sink::ts_us(), Ordering::Relaxed);
+        // Publish the slot: readers acquire `wpos` before touching it.
+        self.wpos.store(w + 1, Ordering::Release);
+    }
+
+    /// Consumer-side drain (publisher only). Appends every event that
+    /// is provably untorn to `out` and returns how many were lost.
+    fn drain(&self, out: &mut Vec<StreamEvent>) -> u64 {
+        let r = self.rpos.load(Ordering::Relaxed);
+        let w1 = self.wpos.load(Ordering::Acquire);
+        let start = r.max(w1.saturating_sub(STREAM_RING_CAP as u64));
+        let mut lost = start - r;
+        let mut staged: Vec<(u64, StreamEvent)> = Vec::with_capacity((w1 - start) as usize);
+        for i in start..w1 {
+            let slot = &self.slots[(i as usize) & (STREAM_RING_CAP - 1)];
+            let kind = match slot.kind.load(Ordering::Relaxed) {
+                KIND_SPAN => StreamEventKind::SpanExit,
+                KIND_COUNTER => StreamEventKind::Counter,
+                KIND_RECORD => StreamEventKind::Record,
+                _ => continue, // never-written slot (ring not yet full)
+            };
+            staged.push((
+                i,
+                StreamEvent {
+                    kind,
+                    id: slot.id.load(Ordering::Relaxed),
+                    value: slot.value.load(Ordering::Relaxed),
+                    ts_us: slot.ts_us.load(Ordering::Relaxed),
+                },
+            ));
+        }
+        // Any slot the producer may have been overwriting while we read
+        // (index ≤ w2 − CAP, where w2 is the write position *after* the
+        // copy) is discarded: its fields may mix two events.
+        let w2 = self.wpos.load(Ordering::Acquire);
+        let valid_from = w2.saturating_sub(STREAM_RING_CAP as u64 - 1);
+        for (i, ev) in staged {
+            if i >= valid_from {
+                out.push(ev);
+            } else {
+                lost += 1;
+            }
+        }
+        self.rpos.store(w1, Ordering::Relaxed);
+        if lost > 0 {
+            self.dropped.fetch_add(lost, Ordering::Relaxed);
+        }
+        lost
+    }
+}
+
+// SAFETY: every field is either immutable after construction or atomic.
+unsafe impl Sync for ThreadRing {}
+unsafe impl Send for ThreadRing {}
+
+/// A snapshot of one thread's open-span stack, read racily.
+#[derive(Debug, Clone)]
+pub struct ThreadStackView {
+    /// Display label of the thread (`main`, `t2`, ...).
+    pub label: String,
+    /// Open spans, outermost first: `(path, enter ts_us)`.
+    pub open: Vec<(String, u64)>,
+    /// Allocation tallies mirrored at the last span boundary.
+    pub alloc_bytes: u64,
+    /// Allocation count over the same window.
+    pub alloc_count: u64,
+}
+
+/// Process-wide stream state: the armed flag, the name interner and the
+/// hub of registered thread rings.
+struct Hub {
+    rings: Mutex<Vec<Arc<ThreadRing>>>,
+    /// id → name; id 0 is reserved ("unassigned").
+    names: Mutex<Vec<String>>,
+}
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+fn hub() -> &'static Hub {
+    static HUB: OnceLock<Hub> = OnceLock::new();
+    HUB.get_or_init(|| Hub {
+        rings: Mutex::new(Vec::new()),
+        names: Mutex::new(vec![String::new()]),
+    })
+}
+
+struct StreamTls {
+    ring: Arc<ThreadRing>,
+    /// `&'static str` pointer → interned id cache so counter/record
+    /// mirroring doesn't take the interner lock per event. Linear scan:
+    /// the process has a few dozen metric names.
+    names: Vec<(*const u8, usize, u32)>,
+}
+
+thread_local! {
+    static STREAM_TLS: RefCell<Option<StreamTls>> = const { RefCell::new(None) };
+}
+
+/// Whether the live stream is armed (one relaxed load — the hot-path
+/// gate for every mirror hook).
+#[inline]
+pub fn stream_armed() -> bool {
+    ARMED.load(Ordering::Relaxed)
+}
+
+/// Arms or disarms the live stream. Arming does not by itself enable
+/// telemetry — the mirror hooks sit behind [`crate::enabled`] — so the
+/// publisher front ends enable both.
+pub fn set_stream_armed(on: bool) {
+    ARMED.store(on, Ordering::Relaxed);
+}
+
+/// Interns `name`, returning its stable nonzero id.
+pub(crate) fn intern_name(name: &str) -> u32 {
+    let _pause = crate::alloc::pause();
+    let mut names = hub().names.lock().expect("stream names poisoned");
+    if let Some(i) = names.iter().position(|n| n == name) {
+        return u32::try_from(i).unwrap_or(0);
+    }
+    let id = u32::try_from(names.len()).unwrap_or(0);
+    names.push(name.to_string());
+    id
+}
+
+/// Resolves an interned id back to its name (empty when unknown).
+pub fn name_of(id: u32) -> String {
+    let names = hub().names.lock().expect("stream names poisoned");
+    names.get(id as usize).cloned().unwrap_or_default()
+}
+
+/// Runs `f` with this thread's ring (and name cache), creating and
+/// registering the ring on first use. The creation path allocates under
+/// an alloc pause so instrumentation is never charged to user spans.
+fn with_tls<R>(f: impl FnOnce(&mut StreamTls) -> R) -> Option<R> {
+    STREAM_TLS
+        .try_with(|t| {
+            let mut t = t.try_borrow_mut().ok()?;
+            let tls = match t.as_mut() {
+                Some(tls) => tls,
+                None => {
+                    let _pause = crate::alloc::pause();
+                    let hub = hub();
+                    let mut rings = hub.rings.lock().expect("stream rings poisoned");
+                    let label = if rings.is_empty() {
+                        "main".to_string()
+                    } else {
+                        format!("t{}", rings.len() + 1)
+                    };
+                    let ring = Arc::new(ThreadRing::new(label));
+                    rings.push(Arc::clone(&ring));
+                    drop(rings);
+                    t.get_or_insert(StreamTls {
+                        ring,
+                        names: Vec::with_capacity(64),
+                    })
+                }
+            };
+            Some(f(tls))
+        })
+        .ok()
+        .flatten()
+}
+
+/// Cached interning of a `&'static str` metric name on this thread.
+fn cached_id(tls: &mut StreamTls, name: &'static str) -> u32 {
+    let key = (name.as_ptr(), name.len());
+    for &(p, l, id) in &tls.names {
+        if p == key.0 && l == key.1 {
+            return id;
+        }
+    }
+    let id = intern_name(name);
+    let _pause = crate::alloc::pause();
+    tls.names.push((key.0, key.1, id));
+    id
+}
+
+/// Span-enter hook: publishes the span into this thread's stack view.
+/// `id` is the span path's interned id, `depth` its 1-based depth.
+pub(crate) fn on_span_enter(id: u32, depth: usize) {
+    with_tls(|tls| {
+        if depth <= STACK_VIEW_DEPTH {
+            let ring = &tls.ring;
+            ring.stack_ids[depth - 1].store(id, Ordering::Relaxed);
+            ring.stack_ts_us[depth - 1].store(crate::sink::ts_us(), Ordering::Relaxed);
+        }
+        tls.ring.stack_depth.store(depth, Ordering::Relaxed);
+    });
+}
+
+/// Span-exit hook: pops the stack view, mirrors the exit event and
+/// refreshes the allocation tally mirror.
+pub(crate) fn on_span_exit(id: u32, depth: usize, dur_ns: u64) {
+    let (bytes, count) = crate::alloc::thread_alloc_totals();
+    with_tls(|tls| {
+        let ring = &tls.ring;
+        ring.stack_depth.store(depth - 1, Ordering::Relaxed);
+        ring.alloc_bytes.store(bytes, Ordering::Relaxed);
+        ring.alloc_count.store(count, Ordering::Relaxed);
+        ring.push(KIND_SPAN, id, dur_ns);
+    });
+}
+
+/// Counter hook: mirrors one counter bump.
+pub(crate) fn on_counter(name: &'static str, delta: u64) {
+    with_tls(|tls| {
+        let id = cached_id(tls, name);
+        tls.ring.push(KIND_COUNTER, id, delta);
+    });
+}
+
+/// Record hook: mirrors a structured record as its first field's value
+/// (the registry series keeps the full row).
+pub(crate) fn on_record(kind: &'static str, fields: &[(&'static str, f64)]) {
+    with_tls(|tls| {
+        let id = cached_id(tls, kind);
+        let v = fields.first().map_or(0.0, |&(_, v)| v);
+        tls.ring.push(KIND_RECORD, id, v.to_bits());
+    });
+}
+
+/// Drains every registered thread ring into `out`; returns the number
+/// of events lost to overwrite since the last drain.
+pub fn drain_events(out: &mut Vec<StreamEvent>) -> u64 {
+    let rings: Vec<Arc<ThreadRing>> = {
+        let rings = hub().rings.lock().expect("stream rings poisoned");
+        rings.clone()
+    };
+    let mut lost = 0;
+    for ring in rings {
+        lost += ring.drain(out);
+    }
+    lost
+}
+
+/// Total events ever dropped to overwrite, across all rings.
+pub fn events_dropped() -> u64 {
+    let rings = hub().rings.lock().expect("stream rings poisoned");
+    rings
+        .iter()
+        .map(|r| r.dropped.load(Ordering::Relaxed))
+        .sum()
+}
+
+/// Racy snapshot of every thread's open-span stack and allocation
+/// mirror. Threads that never streamed an event are absent.
+pub fn thread_stacks() -> Vec<ThreadStackView> {
+    let rings: Vec<Arc<ThreadRing>> = {
+        let rings = hub().rings.lock().expect("stream rings poisoned");
+        rings.clone()
+    };
+    rings
+        .iter()
+        .map(|ring| {
+            let depth = ring
+                .stack_depth
+                .load(Ordering::Relaxed)
+                .min(STACK_VIEW_DEPTH);
+            let open = (0..depth)
+                .map(|i| {
+                    let id = ring.stack_ids[i].load(Ordering::Relaxed);
+                    let ts = ring.stack_ts_us[i].load(Ordering::Relaxed);
+                    (name_of(id), ts)
+                })
+                .filter(|(p, _)| !p.is_empty())
+                .collect();
+            ThreadStackView {
+                label: ring.label.clone(),
+                open,
+                alloc_bytes: ring.alloc_bytes.load(Ordering::Relaxed),
+                alloc_count: ring.alloc_count.load(Ordering::Relaxed),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_overwrites_oldest_and_reports_drops() {
+        let ring = ThreadRing::new("test".into());
+        let n = (STREAM_RING_CAP + 100) as u64;
+        for i in 0..n {
+            ring.push(KIND_COUNTER, 1, i);
+        }
+        let mut out = Vec::new();
+        let lost = ring.drain(&mut out);
+        // The earliest events were overwritten; the survivors are the
+        // most recent ≤ CAP and arrive in order.
+        assert!(lost >= 100, "lost {lost}");
+        assert!(out.len() <= STREAM_RING_CAP);
+        assert_eq!(out.last().expect("events").value, n - 1);
+        for w in out.windows(2) {
+            assert!(w[1].value == w[0].value + 1, "order");
+        }
+        // A second drain with no new events is empty.
+        let mut again = Vec::new();
+        assert_eq!(ring.drain(&mut again), 0);
+        assert!(again.is_empty());
+    }
+
+    #[test]
+    fn interner_is_stable_and_dense() {
+        let a = intern_name("stream_test/a");
+        let b = intern_name("stream_test/b");
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+        assert_eq!(intern_name("stream_test/a"), a);
+        assert_eq!(name_of(a), "stream_test/a");
+        assert_eq!(name_of(u32::MAX), "");
+    }
+
+    #[test]
+    fn hooks_are_inert_when_reading_empty_state() {
+        // No armed stream in unit tests: drains and stack views still
+        // answer without panicking.
+        let mut out = Vec::new();
+        drain_events(&mut out);
+        let _ = thread_stacks();
+        let _ = events_dropped();
+    }
+}

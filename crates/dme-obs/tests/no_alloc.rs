@@ -34,14 +34,20 @@ static GLOBAL: dme_obs::TrackingAllocator<CountingAlloc> =
 #[test]
 fn disabled_tracing_does_not_allocate() {
     // Under DME_TRACE=1 (e.g. the CI trace job) tracing is genuinely
-    // on, so the contract under test does not apply — skip.
-    if std::env::var("DME_TRACE").is_ok() || std::env::var("DME_TRACE_JSON").is_ok() {
-        eprintln!("skipping: DME_TRACE set, tracing is enabled");
+    // on, so the contract under test does not apply — skip. The same
+    // goes for an armed live stream.
+    if std::env::var("DME_TRACE").is_ok()
+        || std::env::var("DME_TRACE_JSON").is_ok()
+        || std::env::var("DME_STREAM").is_ok()
+        || std::env::var("DME_SNAPSHOT_MS").is_ok()
+    {
+        eprintln!("skipping: DME_TRACE/DME_STREAM set, tracing is enabled");
         return;
     }
 
     // Warm the lazy env-init and the test harness's own buffers.
     assert!(!dme_obs::enabled());
+    assert!(!dme_obs::stream_armed());
 
     let before = ALLOCS.load(Ordering::Relaxed);
     for i in 0..1000u64 {
@@ -50,10 +56,12 @@ fn disabled_tracing_does_not_allocate() {
         dme_obs::counter_add("hot/counter", 1);
         dme_obs::histogram_record("hot/hist", i);
         dme_obs::record("hot/rec", &[("i", i as f64)]);
-        // Profiling hooks on the disabled path: depth probe and the
-        // thread tally read are alloc-free too.
+        // Profiling hooks on the disabled path: depth probe, the
+        // thread tally read and the stream-armed probe are alloc-free
+        // too.
         assert_eq!(dme_obs::depth(), 0);
         std::hint::black_box(dme_obs::thread_alloc_totals());
+        assert!(!std::hint::black_box(dme_obs::stream_armed()));
     }
     let after = ALLOCS.load(Ordering::Relaxed);
     assert_eq!(after - before, 0, "disabled tracing must not heap-allocate");

@@ -12,7 +12,11 @@
 //! 4. dosePl swap-filter accept/reject bars;
 //! 5. QoR metric trends across the history (sparkline per metric);
 //! 6. profile flamegraph (manifest v3 `profile` section, inline icicle);
-//! 7. optional diff verdicts and bench-perf speedup trajectory.
+//! 7. optional diff verdicts and bench-perf speedup trajectory (with a
+//!    relative link to the `scripts/bench_trend.py` trend page);
+//! 8. optional "Live snapshot" panel — the last schema-v1 telemetry
+//!    snapshot (status, stalled stages, open span stacks, solver
+//!    progress) the publisher wrote for the run.
 
 use crate::diff::{DiffReport, Verdict};
 use crate::record::QorRecord;
@@ -32,6 +36,10 @@ pub struct DashboardInput<'a> {
     pub bench_history: &'a [Value],
     /// A run-vs-baseline comparison to embed.
     pub diff: Option<&'a DiffReport>,
+    /// Last live telemetry snapshot of the run (schema v1, the file
+    /// the snapshot publisher maintains), for the "Live snapshot"
+    /// panel.
+    pub snapshot: Option<&'a Value>,
     /// Page title.
     pub title: &'a str,
 }
@@ -310,9 +318,103 @@ fn flamegraph_panel(input: &DashboardInput) -> String {
     }
 }
 
+fn snapshot_panel(snap: &Value) -> String {
+    let schema = snap
+        .get("schema_version")
+        .and_then(Value::as_f64)
+        .unwrap_or(0.0);
+    if schema as u32 != crate::watch::SUPPORTED_SNAPSHOT_SCHEMA {
+        return format!(
+            "<p class=\"muted\">snapshot schema v{schema:.0} not supported \
+             (expected v{})</p>",
+            crate::watch::SUPPORTED_SNAPSHOT_SCHEMA
+        );
+    }
+    let status = snap.get("status").and_then(Value::as_str).unwrap_or("?");
+    let seq = snap.get("seq").and_then(Value::as_f64).unwrap_or(0.0);
+    let ts_s = snap.get("ts_us").and_then(Value::as_f64).unwrap_or(0.0) / 1e6;
+    let cls = match status {
+        "panicked" => "bad",
+        "final" => "good",
+        _ => "stage",
+    };
+    let mut body = format!(
+        "<p>status <b class=\"{cls}\">{}</b> — snapshot #{seq:.0} at t+{ts_s:.1}s</p>",
+        escaped(status)
+    );
+    if let Some(stalled) = snap.get("stalled").and_then(Value::as_array) {
+        for s in stalled {
+            let path = s.get("path").and_then(Value::as_str).unwrap_or("?");
+            let open = s.get("open_ms").and_then(Value::as_f64).unwrap_or(0.0);
+            let mult = s.get("mult").and_then(Value::as_f64).unwrap_or(0.0);
+            let _ = write!(
+                body,
+                "<p class=\"bad\">STALLED {} — open {open:.0} ms \
+                 ({mult:.1}× its baseline p95)</p>",
+                escaped(path)
+            );
+        }
+    }
+    if let Some(threads) = snap.get("threads").and_then(Value::as_array) {
+        for t in threads {
+            let label = t.get("label").and_then(Value::as_str).unwrap_or("?");
+            let open: Vec<String> = t
+                .get("stack")
+                .and_then(Value::as_array)
+                .map(|frames| {
+                    frames
+                        .iter()
+                        .filter_map(|f| f.get("path").and_then(Value::as_str))
+                        .map(escaped)
+                        .collect()
+                })
+                .unwrap_or_default();
+            if !open.is_empty() {
+                let _ = write!(
+                    body,
+                    "<p><b>[{}]</b> open: {}</p>",
+                    escaped(label),
+                    open.join(" › ")
+                );
+            }
+        }
+    }
+    let num = |section: &str, key: &str| {
+        snap.get(section)
+            .and_then(|s| s.get(key))
+            .and_then(Value::as_f64)
+    };
+    if let (Some(round), Some(accepted), Some(swaps)) = (
+        num("dosepl", "round"),
+        num("dosepl", "accepted"),
+        num("dosepl", "swaps"),
+    ) {
+        let _ = write!(
+            body,
+            "<p class=\"muted\">dosePl round {round:.0} — {accepted:.0}/{swaps:.0} \
+             swaps accepted</p>"
+        );
+    }
+    if let (Some(iter), Some(mu)) = (num("ipm", "iter"), num("ipm", "mu")) {
+        let _ = write!(
+            body,
+            "<p class=\"muted\">IPM iter {iter:.0} — µ {mu:.2e}</p>"
+        );
+    }
+    if let (Some(events), Some(dropped)) = (num("stream", "events"), num("stream", "dropped")) {
+        let _ = write!(
+            body,
+            "<p class=\"muted\">stream: {events:.0} events, {dropped:.0} dropped</p>"
+        );
+    }
+    body
+}
+
 fn bench_trajectory(bench: &[Value]) -> String {
     if bench.is_empty() {
-        return "<p class=\"muted\">no bench history (run scripts/bench_perf.sh)</p>".to_string();
+        return "<p class=\"muted\">no bench history (run scripts/bench_perf.sh, \
+                then scripts/bench_trend.py for the full trend page)</p>"
+            .to_string();
     }
     let stems = ["spmv_mul", "spmv_tmul", "cg_ipm_solve", "sta_pass"];
     let mut body = String::from(
@@ -338,6 +440,13 @@ fn bench_trajectory(bench: &[Value]) -> String {
         );
     }
     body.push_str("</table>");
+    // Relative link only: the trend page sits next to the dashboard in
+    // results/, so the document stays fetch-free.
+    body.push_str(
+        "<p class=\"muted\">full per-metric history: \
+         <a href=\"bench_trend.html\">bench_trend.html</a> \
+         (regenerate with scripts/bench_trend.py)</p>",
+    );
     body
 }
 
@@ -397,6 +506,9 @@ pub fn render(input: &DashboardInput) -> String {
     if let Some(diff) = input.diff {
         section(&mut out, "Run vs baseline", &diff_section(diff));
     }
+    if let Some(snap) = input.snapshot {
+        section(&mut out, "Live snapshot", &snapshot_panel(snap));
+    }
     section(
         &mut out,
         "Kernel speedup trajectory",
@@ -455,11 +567,24 @@ mod tests {
             json::parse("{\"speedups_parallel_over_serial\":{\"spmv_mul\":2.5}}").unwrap(),
             json::parse("{\"speedups_parallel_over_serial\":{\"spmv_mul\":2.7}}").unwrap(),
         ];
+        let snapshot = json::parse(concat!(
+            "{\"schema_version\":1,\"seq\":9,\"ts_us\":2500000,\"status\":\"running\",",
+            "\"threads\":[{\"label\":\"main\",\"alloc_bytes\":0,\"alloc_count\":0,",
+            "\"stack\":[{\"path\":\"flow\",\"open_us\":2400000},",
+            "{\"path\":\"flow/dosepl\",\"open_us\":2100000}]}],",
+            "\"dosepl\":{\"round\":3,\"swaps\":10,\"accepted\":4},",
+            "\"ipm\":{\"iter\":12,\"mu\":0.0000031},",
+            "\"stream\":{\"events\":4096,\"dropped\":7},",
+            "\"stalled\":[{\"thread\":\"main\",\"path\":\"flow/dosepl\",",
+            "\"open_ms\":2100,\"baseline_p95_ms\":120,\"mult\":17.5}]}",
+        ))
+        .unwrap();
         let html = render(&DashboardInput {
             history: &history,
             manifest: Some(&manifest),
             bench_history: &bench,
             diff: None,
+            snapshot: Some(&snapshot),
             title: "QoR dashboard",
         });
         for needle in [
@@ -474,6 +599,13 @@ mod tests {
             "Kernel speedup trajectory",
             "flow/dmopt — 15.00 ms",
             "<svg",
+            "bench_trend.html",
+            "Live snapshot",
+            "snapshot #9 at t+2.5s",
+            "STALLED flow/dosepl",
+            "flow › flow/dosepl",
+            "4/10 swaps accepted",
+            "4096 events, 7 dropped",
         ] {
             assert!(html.contains(needle), "missing {needle:?}");
         }

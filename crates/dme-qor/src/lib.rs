@@ -43,6 +43,7 @@ pub mod flamegraph;
 pub mod markdown;
 pub mod profile;
 pub mod record;
+pub mod watch;
 
 pub use diff::{diff_records, DiffConfig, DiffReport, Direction, MetricVerdict, Verdict};
 pub use flamegraph::flamegraph_svg;
@@ -53,3 +54,4 @@ pub use profile::{
 pub use record::{
     append_history, normalize_manifest, parse_history, QorRecord, QOR_HISTORY_SCHEMA_VERSION,
 };
+pub use watch::{render_snapshot, text_sparkline};

@@ -1,0 +1,292 @@
+//! Terminal rendering for live run snapshots (`dmeopt watch`).
+//!
+//! Consumes the schema-versioned snapshot JSON the `dme-obs` publisher
+//! writes (see `dme_obs::snapshot`) and renders one fixed-width text
+//! frame: run status line, per-thread open-span stacks with live
+//! elapsed times, the stage tree with cumulative/self wall time and
+//! recent-duration sparklines from the event stream, headline rates
+//! (swaps/s, IPM iters/s), the latest dosePl round and IPM iteration
+//! rows, and any watchdog-stalled stages. Pure string → string so the
+//! frame is unit-testable; the CLI owns the refresh loop and terminal
+//! control.
+
+use dme_obs::json::{self, Value};
+use std::fmt::Write as _;
+
+/// Snapshot schema versions this renderer understands.
+pub const SUPPORTED_SNAPSHOT_SCHEMA: u32 = 1;
+
+const SPARK_GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Min–max normalized unicode sparkline of `values` (empty string for
+/// fewer than two points).
+pub fn text_sparkline(values: &[f64]) -> String {
+    if values.len() < 2 {
+        return String::new();
+    }
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    let span = if (hi - lo).abs() < 1e-300 {
+        1.0
+    } else {
+        hi - lo
+    };
+    values
+        .iter()
+        .map(|&v| {
+            let idx = (((v - lo) / span) * 7.0).round() as usize;
+            SPARK_GLYPHS[idx.min(7)]
+        })
+        .collect()
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.1}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.1}µs", ns / 1e3)
+    } else {
+        format!("{ns:.0}ns")
+    }
+}
+
+fn fmt_rate(per_s: f64) -> String {
+    if per_s >= 1e6 {
+        format!("{:.2}M/s", per_s / 1e6)
+    } else if per_s >= 1e3 {
+        format!("{:.1}k/s", per_s / 1e3)
+    } else {
+        format!("{per_s:.1}/s")
+    }
+}
+
+fn f64_of(v: &Value, key: &str) -> Option<f64> {
+    v.get(key).and_then(Value::as_f64)
+}
+
+/// Renders one terminal frame from snapshot JSON text.
+///
+/// # Errors
+///
+/// Returns a description when the text is not valid JSON or carries an
+/// unsupported `schema_version`.
+pub fn render_snapshot(text: &str) -> Result<String, String> {
+    let doc = json::parse(text).map_err(|e| format!("snapshot parse error: {e}"))?;
+    let version = f64_of(&doc, "schema_version").unwrap_or(0.0) as u32;
+    if version != SUPPORTED_SNAPSHOT_SCHEMA {
+        return Err(format!(
+            "unsupported snapshot schema_version {version} (expected {SUPPORTED_SNAPSHOT_SCHEMA})"
+        ));
+    }
+    let status = doc.get("status").and_then(Value::as_str).unwrap_or("?");
+    let seq = f64_of(&doc, "seq").unwrap_or(0.0) as u64;
+    let ts_s = f64_of(&doc, "ts_us").unwrap_or(0.0) / 1e6;
+
+    let mut out = String::with_capacity(4096);
+    let _ = writeln!(
+        out,
+        "dme live telemetry — status {status} · snapshot #{seq} · t+{ts_s:.1}s"
+    );
+    if let Some(stream) = doc.get("stream") {
+        let events = f64_of(stream, "events").unwrap_or(0.0) as u64;
+        let dropped = f64_of(stream, "dropped").unwrap_or(0.0) as u64;
+        let _ = write!(out, "stream: {events} events");
+        if dropped > 0 {
+            let _ = write!(out, " ({dropped} dropped)");
+        }
+        if let Some(alloc) = doc.get("alloc") {
+            let mb = f64_of(alloc, "bytes").unwrap_or(0.0) / 1e6;
+            let _ = write!(out, " · alloc {mb:.1} MB");
+        }
+        out.push('\n');
+    }
+
+    // Watchdog verdicts first: they are the reason to be watching.
+    if let Some(stalled) = doc.get("stalled").and_then(Value::as_array) {
+        for s in stalled {
+            let path = s.get("path").and_then(Value::as_str).unwrap_or("?");
+            let thread = s.get("thread").and_then(Value::as_str).unwrap_or("?");
+            let open_ms = f64_of(s, "open_ms").unwrap_or(0.0);
+            let p95_ms = f64_of(s, "baseline_p95_ms").unwrap_or(0.0);
+            let _ = writeln!(
+                out,
+                "!! STALLED {path} on {thread}: open {} vs baseline p95 {}",
+                fmt_ns(open_ms * 1e6),
+                fmt_ns(p95_ms * 1e6)
+            );
+        }
+    }
+
+    // Per-thread open-span stacks.
+    if let Some(threads) = doc.get("threads").and_then(Value::as_array) {
+        for t in threads {
+            let label = t.get("label").and_then(Value::as_str).unwrap_or("?");
+            let stack = t.get("stack").and_then(Value::as_array);
+            let Some(stack) = stack else { continue };
+            if stack.is_empty() {
+                continue;
+            }
+            let _ = writeln!(out, "\n[{label}] open:");
+            for (depth, frame) in stack.iter().enumerate() {
+                let path = frame.get("path").and_then(Value::as_str).unwrap_or("?");
+                let open_us = f64_of(frame, "open_us").unwrap_or(0.0);
+                let name = path.rsplit('/').next().unwrap_or(path);
+                let _ = writeln!(
+                    out,
+                    "  {}{name}  {}",
+                    "  ".repeat(depth),
+                    fmt_ns(open_us * 1e3)
+                );
+            }
+        }
+    }
+
+    // Stage tree with sparklines from the recent-duration windows.
+    let recent = doc.get("recent_ns");
+    if let Some(stages) = doc.get("stages").and_then(Value::as_array) {
+        if !stages.is_empty() {
+            out.push_str("\nstages:\n");
+        }
+        for st in stages {
+            let path = st.get("path").and_then(Value::as_str).unwrap_or("?");
+            let calls = f64_of(st, "calls").unwrap_or(0.0) as u64;
+            let total_ns = f64_of(st, "total_ns").unwrap_or(0.0);
+            let self_ns = f64_of(st, "self_ns").unwrap_or(0.0);
+            let depth = path.matches('/').count();
+            let name = path.rsplit('/').next().unwrap_or(path);
+            let spark = recent
+                .and_then(|r| r.get(path))
+                .and_then(Value::as_array)
+                .map(|win| {
+                    let vals: Vec<f64> = win.iter().filter_map(Value::as_f64).collect();
+                    text_sparkline(&vals)
+                })
+                .unwrap_or_default();
+            let _ = writeln!(
+                out,
+                "  {:<32} {:>7}x  total {:>9}  self {:>9}  {spark}",
+                format!("{}{}", "  ".repeat(depth), name),
+                calls,
+                fmt_ns(total_ns),
+                fmt_ns(self_ns)
+            );
+        }
+    }
+
+    // Headline rates: the highest-traffic counters this tick.
+    if let Some(rates) = doc.get("counter_rates").and_then(Value::as_object) {
+        let mut rows: Vec<(&str, f64)> = rates
+            .iter()
+            .filter_map(|(k, v)| v.as_f64().map(|r| (k.as_str(), r)))
+            .collect();
+        rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        if !rows.is_empty() {
+            out.push_str("\nrates:\n");
+            for (name, rate) in rows.iter().take(8) {
+                let _ = writeln!(out, "  {name:<36} {}", fmt_rate(*rate));
+            }
+        }
+    }
+
+    // Latest dosePl round and IPM iteration, if the run emitted them.
+    if let Some(dp) = doc.get("dosepl") {
+        let round = f64_of(dp, "round").unwrap_or(0.0) as u64;
+        let accepted = f64_of(dp, "accepted").unwrap_or(0.0) as u64;
+        let swaps = f64_of(dp, "swaps").unwrap_or(0.0) as u64;
+        let mct = f64_of(dp, "mct_ns").unwrap_or(0.0);
+        let _ = write!(
+            out,
+            "\ndosepl: round {round} · {accepted}/{swaps} swaps accepted"
+        );
+        if let Some(rate) = f64_of(dp, "accept_rate") {
+            let _ = write!(out, " ({:.0}%)", rate * 100.0);
+        }
+        let _ = writeln!(out, " · MCT {mct:.4} ns");
+    }
+    if let Some(ipm) = doc.get("ipm") {
+        let iter = f64_of(ipm, "iter").unwrap_or(0.0) as u64;
+        let mu = f64_of(ipm, "mu").unwrap_or(0.0);
+        let rp = f64_of(ipm, "rp_inf").unwrap_or(0.0);
+        let rd = f64_of(ipm, "rd_inf").unwrap_or(0.0);
+        let _ = writeln!(
+            out,
+            "ipm: iter {iter} · mu {mu:.2e} · rp {rp:.2e} · rd {rd:.2e}"
+        );
+    }
+
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+        "schema_version": 1, "seq": 4, "ts_us": 2500000, "status": "running",
+        "threads": [{"label": "main", "alloc_bytes": 1048576, "alloc_count": 10,
+                     "stack": [{"path": "flow", "open_us": 2400000},
+                               {"path": "flow/dosepl", "open_us": 900000}]}],
+        "stages": [{"path": "flow", "calls": 0, "total_ns": 0, "self_ns": 0,
+                    "p95_ns": 0, "alloc_bytes": 0},
+                   {"path": "flow/dmopt", "calls": 1, "total_ns": 1200000000,
+                    "self_ns": 50000000, "p95_ns": 1200000000, "alloc_bytes": 0}],
+        "counters": {"dosepl/swaps_attempted": 500, "qp/ipm_iterations": 62},
+        "counter_rates": {"dosepl/swaps_attempted": 120.5, "qp/ipm_iterations": 9.1},
+        "dosepl": {"round": 2, "candidates": 40, "swaps": 10, "accepted": 4,
+                   "mct_ns": 2.41, "accept_rate": 0.4},
+        "ipm": {"iter": 12, "mu": 1.5e-7, "rp_inf": 2e-9, "rd_inf": 4e-9},
+        "alloc": {"bytes": 1048576, "count": 10},
+        "stream": {"events": 4100, "dropped": 3},
+        "recent_ns": {"flow/dmopt": [100, 200, 300, 250]},
+        "stalled": [{"thread": "main", "path": "flow/dosepl", "open_ms": 900.0,
+                     "baseline_p95_ms": 50.0, "mult": 8.0}]
+    }"#;
+
+    #[test]
+    fn renders_every_section() {
+        let frame = render_snapshot(SAMPLE).expect("renders");
+        assert!(frame.contains("status running"));
+        assert!(frame.contains("snapshot #4"));
+        assert!(frame.contains("STALLED flow/dosepl"));
+        assert!(frame.contains("[main] open:"));
+        assert!(frame.contains("dosepl  900.0ms"), "frame:\n{frame}");
+        assert!(frame.contains("stages:"));
+        assert!(frame.contains("dmopt"));
+        assert!(frame.contains("rates:"));
+        assert!(frame.contains("dosepl/swaps_attempted"));
+        assert!(frame.contains("120.5/s"));
+        assert!(frame.contains("round 2"));
+        assert!(frame.contains("4/10 swaps accepted (40%)"));
+        assert!(frame.contains("ipm: iter 12"));
+        assert!(frame.contains("4100 events"));
+        assert!(frame.contains("(3 dropped)"));
+        // Sparkline from recent_ns made it in.
+        assert!(
+            frame.contains('▁') && frame.contains('█'),
+            "frame:\n{frame}"
+        );
+    }
+
+    #[test]
+    fn rejects_garbage_and_wrong_schema() {
+        assert!(render_snapshot("{not json").is_err());
+        assert!(render_snapshot("{\"schema_version\": 99}").is_err());
+    }
+
+    #[test]
+    fn sparkline_normalizes() {
+        assert_eq!(text_sparkline(&[]), "");
+        assert_eq!(text_sparkline(&[1.0]), "");
+        let s = text_sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(s.chars().count(), 3);
+        assert_eq!(s.chars().next(), Some('▁'));
+        assert_eq!(s.chars().last(), Some('█'));
+        // Flat series renders, it just stays at the floor.
+        assert_eq!(text_sparkline(&[2.0, 2.0]).chars().count(), 2);
+    }
+}

@@ -212,7 +212,11 @@ if fastb and refb and fastb["median_ns"] > 0:
 # back-to-back arms) ride along as cross-checks.
 po = work.get("profiling_overhead")
 prof = benches.get("perf/dosepl_run_fast_profiled")
-sp = benches.get("perf/span_pair_armed")
+# Gate on the streamed pair (profiler + live event stream armed, the
+# `dmeopt watch` configuration) when it was benched — it strictly
+# dominates the armed-only cost — else fall back to the armed pair.
+sp_streamed = benches.get("perf/span_pair_streamed")
+sp = sp_streamed or benches.get("perf/span_pair_armed")
 if po and po.get("off_med_ns", 0) > 0:
     entry = {
         "median_ns_off": po["off_med_ns"],
@@ -226,7 +230,7 @@ if po and po.get("off_med_ns", 0) > 0:
     entry["wall_ratio_median"] = round(po["on_med_ns"] / po["off_med_ns"], 4)
     if sp and po.get("spans_per_run", 0) > 0 and po.get("off_min_ns", 0) > 0:
         ratio = 1.0 + po["spans_per_run"] * sp["median_ns"] / po["off_min_ns"]
-        entry["method"] = "span_cost"
+        entry["method"] = "span_cost_streamed" if sp_streamed else "span_cost"
         entry["span_pair_ns"] = sp["median_ns"]
         entry["spans_per_run"] = po["spans_per_run"]
     elif po.get("ratio_ppm", 0) > 0:

@@ -1,0 +1,248 @@
+#!/usr/bin/env python3
+"""Renders results/bench_history.jsonl into a self-contained HTML trend page.
+
+Usage: scripts/bench_trend.py [history.jsonl] [-o out.html]
+
+Defaults: results/bench_history.jsonl -> results/bench_trend.html.
+
+One inline-SVG line chart per tracked series, oldest run on the left:
+
+- every kernel micro-bench (`benches.*.median_ns`), grouped by stem;
+- the parallel-over-serial and direct-over-CG speedup families;
+- the profiling-overhead gate ratio with its budget line;
+- dosePl structure/throughput speedups.
+
+Entirely hand-rolled stdlib + inline SVG — no external scripts, fonts
+or fetches — so the page renders from a CI artifact store or `file://`,
+matching the `dmeopt qor report` dashboard that links to it.
+"""
+
+import html
+import json
+import sys
+
+CHART_W, CHART_H, PAD = 560, 120, 34
+BUDGET_COLOR = "#b91c1c"
+LINE_COLOR = "#2563eb"
+
+
+def fmt_si(v):
+    """Engineering formatting for mixed-magnitude series (ns, ratios)."""
+    a = abs(v)
+    for scale, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if a >= scale:
+            return f"{v / scale:.3g}{suffix}"
+    return f"{v:.3g}"
+
+
+def chart(series, runs, hline=None):
+    """An inline SVG line chart of (x=run index, y=value) points.
+
+    `series` is a list of (index, value) pairs — gaps (runs missing the
+    metric) are simply skipped. `hline` draws a labelled horizontal
+    reference (the budget line for gate metrics).
+    """
+    if len(series) < 2:
+        v = series[0][1] if series else None
+        note = f"single point: {fmt_si(v)}" if v is not None else "no data"
+        return f'<p class="muted">{note}</p>'
+    ys = [v for _, v in series]
+    lo, hi = min(ys), max(ys)
+    if hline is not None:
+        lo, hi = min(lo, hline), max(hi, hline)
+    span = (hi - lo) or 1.0
+    lo -= 0.05 * span
+    hi += 0.05 * span
+    span = hi - lo
+    n = max(i for i, _ in series)
+
+    def x(i):
+        return PAD + (CHART_W - 2 * PAD) * (i / n if n else 0.5)
+
+    def y(v):
+        return CHART_H - PAD / 2 - (CHART_H - PAD) * (v - lo) / span
+
+    pts = " ".join(f"{x(i):.1f},{y(v):.1f}" for i, v in series)
+    parts = [
+        f'<svg width="{CHART_W}" height="{CHART_H}" '
+        f'viewBox="0 0 {CHART_W} {CHART_H}" class="chart">',
+        f'<text x="2" y="12" class="axis">{html.escape(fmt_si(max(ys)))}</text>',
+        f'<text x="2" y="{CHART_H - 4}" class="axis">'
+        f"{html.escape(fmt_si(min(ys)))}</text>",
+    ]
+    if hline is not None:
+        parts.append(
+            f'<line x1="{PAD}" y1="{y(hline):.1f}" x2="{CHART_W - PAD}" '
+            f'y2="{y(hline):.1f}" stroke="{BUDGET_COLOR}" '
+            'stroke-dasharray="4 3"/>'
+            f'<text x="{CHART_W - PAD + 2}" y="{y(hline) + 4:.1f}" '
+            f'class="axis" fill="{BUDGET_COLOR}">{hline:g}</text>'
+        )
+    parts.append(
+        f'<polyline fill="none" stroke="{LINE_COLOR}" stroke-width="1.5" '
+        f'points="{pts}"/>'
+    )
+    # Mark the newest point and label the x extent with git SHAs.
+    xi, vi = series[-1]
+    parts.append(f'<circle cx="{x(xi):.1f}" cy="{y(vi):.1f}" r="3" fill="{LINE_COLOR}"/>')
+    first_sha = runs[series[0][0]].get("meta", {}).get("git_sha", "?")
+    last_sha = runs[xi].get("meta", {}).get("git_sha", "?")
+    parts.append(
+        f'<text x="{PAD}" y="{CHART_H - 4}" class="axis">'
+        f"{html.escape(str(first_sha))}</text>"
+        f'<text x="{CHART_W - PAD}" y="{CHART_H - 4}" class="axis" '
+        f'text-anchor="end">{html.escape(str(last_sha))}</text>'
+    )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def collect(runs, getter):
+    """(index, value) pairs for runs where `getter` yields a number."""
+    out = []
+    for i, run in enumerate(runs):
+        v = getter(run)
+        if isinstance(v, (int, float)) and not isinstance(v, bool):
+            out.append((i, float(v)))
+    return out
+
+
+def section(out, title, body):
+    out.append(f"<section><h2>{html.escape(title)}</h2>{body}</section>")
+
+
+def metric_block(title, series, runs, unit="", hline=None):
+    if not series:
+        return ""
+    latest = series[-1][1]
+    head = (
+        f"<h3>{html.escape(title)} "
+        f'<span class="latest">latest {html.escape(fmt_si(latest))}{unit} '
+        f"({len(series)} runs)</span></h3>"
+    )
+    return head + chart(series, runs, hline=hline)
+
+
+STYLE = (
+    "body{font:14px/1.5 system-ui,sans-serif;margin:2em auto;max-width:46em;"
+    "color:#111}h1{font-size:1.4em}h2{font-size:1.1em;border-bottom:1px solid "
+    "#ddd;padding-bottom:.2em;margin-top:1.6em}h3{font-size:.95em;margin:"
+    "1em 0 .1em}.latest{color:#6b7280;font-weight:400;font-size:.85em}"
+    ".muted{color:#6b7280}.chart{background:#f8fafc}"
+    ".axis{font-size:9px;fill:#6b7280}"
+)
+
+
+def render(runs):
+    out = [
+        '<!doctype html><html><head><meta charset="utf-8">'
+        f"<title>DME bench trends</title><style>{STYLE}</style></head><body>",
+        f"<h1>DME bench trends</h1><p>{len(runs)} run(s), oldest → newest; "
+        "dots mark the latest sample. Source: results/bench_history.jsonl "
+        "(scripts/bench_perf.sh appends one line per run).</p>",
+    ]
+
+    gate = collect(
+        runs, lambda r: r.get("profiling_overhead", {}).get("overhead_ratio")
+    )
+    if gate:
+        budget = runs[-1].get("profiling_overhead", {}).get("budget_ratio")
+        body = metric_block(
+            "profiling_overhead (armed/off wall ratio)",
+            gate,
+            runs,
+            hline=budget if isinstance(budget, (int, float)) else None,
+        )
+        section(out, "Gates", body)
+
+    for family, title in (
+        ("speedups_parallel_over_serial", "Parallel over serial"),
+        ("speedups_direct_over_cg", "Direct solver over CG"),
+        ("dosepl_structure_speedups", "dosePl structure speedups"),
+    ):
+        names = sorted({k for r in runs for k in r.get(family, {})})
+        body = "".join(
+            metric_block(
+                name,
+                collect(runs, lambda r, n=name: r.get(family, {}).get(n)),
+                runs,
+                unit="×",
+            )
+            for name in names
+        )
+        if body:
+            section(out, title, body)
+
+    thr = collect(
+        runs,
+        lambda r: r.get("dosepl_candidate_throughput", {}).get(
+            "candidates_per_s_fast"
+        ),
+    )
+    if thr:
+        section(
+            out,
+            "dosePl throughput",
+            metric_block("candidates_per_s_fast", thr, runs, unit="/s"),
+        )
+
+    names = sorted({k for r in runs for k in r.get("benches", {})})
+    body = "".join(
+        metric_block(
+            name,
+            collect(
+                runs, lambda r, n=name: r.get("benches", {}).get(n, {}).get("median_ns")
+            ),
+            runs,
+            unit=" ns",
+        )
+        for name in names
+    )
+    if body:
+        section(out, "Kernel medians (ns, lower is better)", body)
+
+    out.append("</body></html>")
+    return "".join(out)
+
+
+def main():
+    argv = sys.argv[1:]
+    out_path = "results/bench_trend.html"
+    if "-o" in argv:
+        i = argv.index("-o")
+        try:
+            out_path = argv[i + 1]
+        except IndexError:
+            print(__doc__.strip(), file=sys.stderr)
+            sys.exit(2)
+        del argv[i : i + 2]
+    history = argv[0] if argv else "results/bench_history.jsonl"
+    if len(argv) > 1:
+        print(__doc__.strip(), file=sys.stderr)
+        sys.exit(2)
+
+    runs = []
+    with open(history, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                runs.append(json.loads(line))
+            except json.JSONDecodeError as e:
+                print(
+                    f"bench_trend: {history}:{lineno}: skipping bad line: {e}",
+                    file=sys.stderr,
+                )
+    if not runs:
+        print(f"bench_trend: {history}: no runs", file=sys.stderr)
+        sys.exit(1)
+
+    page = render(runs)
+    with open(out_path, "w", encoding="utf-8") as f:
+        f.write(page)
+    print(f"bench_trend: wrote {out_path} ({len(runs)} runs)")
+
+
+if __name__ == "__main__":
+    main()

@@ -2,6 +2,7 @@
 """Validates a dme-obs JSONL trace (and optionally a run manifest).
 
 Usage: scripts/validate_trace.py trace.jsonl [manifest.json]
+       scripts/validate_trace.py --snapshot snapshot.json
 
 Checks every line of the trace against event schema v1 (see
 crates/dme-obs/src/sink.rs): the common envelope plus the per-type
@@ -13,6 +14,11 @@ Schema v3 adds a `profile` object: the span tree with per-path self
 times and allocation attribution, checked here for its structural
 invariants (self <= total per node, children totals fitting inside the
 parent, non-negative allocation tallies).
+With `--snapshot`, validates a live telemetry snapshot instead
+(schema v1, crates/dme-obs/src/snapshot.rs): envelope, per-thread
+span-stack views, stage rows, counter deltas/rates, stream tallies and
+the stalled-stage watchdog entries. Used by the CI live-telemetry job.
+
 Exits non-zero on the first violation; used by the CI trace-schema job.
 """
 
@@ -22,6 +28,8 @@ import sys
 
 TRACE_SCHEMA_VERSION = 1
 MANIFEST_SCHEMA_VERSIONS = (1, 2, 3)
+SNAPSHOT_SCHEMA_VERSION = 1
+SNAPSHOT_STATUSES = {"running", "final", "panicked"}
 LOG_LEVELS = {"error", "warn", "info", "debug", "report"}
 
 
@@ -347,8 +355,111 @@ def check_sta_consistency(path, m):
         )
 
 
+def _num(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def check_snapshot(path):
+    """Schema v1 of the live telemetry snapshot (dme-obs snapshot.rs)."""
+    with open(path, encoding="utf-8") as f:
+        snap = json.load(f)
+    if snap.get("schema_version") != SNAPSHOT_SCHEMA_VERSION:
+        fail(f"{path}: snapshot schema_version {snap.get('schema_version')!r}")
+    if not _num(snap.get("seq")) or snap["seq"] < 1:
+        fail(f"{path}: bad seq {snap.get('seq')!r}")
+    if not _num(snap.get("ts_us")) or snap["ts_us"] < 0:
+        fail(f"{path}: bad ts_us {snap.get('ts_us')!r}")
+    if snap.get("status") not in SNAPSHOT_STATUSES:
+        fail(f"{path}: bad status {snap.get('status')!r}")
+
+    threads = snap.get("threads")
+    if not isinstance(threads, list):
+        fail(f"{path}: threads is not a list")
+    for i, t in enumerate(threads):
+        if not isinstance(t.get("label"), str) or not t["label"]:
+            fail(f"{path}: thread {i} missing label")
+        for k in ("alloc_bytes", "alloc_count"):
+            if not _num(t.get(k)) or t[k] < 0:
+                fail(f"{path}: thread {i} bad {k!r}")
+        if not isinstance(t.get("stack"), list):
+            fail(f"{path}: thread {i} stack is not a list")
+        for j, frame in enumerate(t["stack"]):
+            if not isinstance(frame.get("path"), str) or not frame["path"]:
+                fail(f"{path}: thread {i} frame {j} missing path")
+            if not _num(frame.get("open_us")) or frame["open_us"] < 0:
+                fail(f"{path}: thread {i} frame {j} bad open_us")
+
+    stages = snap.get("stages")
+    if not isinstance(stages, list):
+        fail(f"{path}: stages is not a list")
+    for i, s in enumerate(stages):
+        if not isinstance(s.get("path"), str) or not s["path"]:
+            fail(f"{path}: stage {i} missing path")
+        for k in ("calls", "total_ns", "self_ns", "p95_ns", "alloc_bytes"):
+            if not _num(s.get(k)) or s[k] < 0:
+                fail(f"{path}: stage {s['path']!r} bad {k!r}: {s.get(k)!r}")
+        if s["self_ns"] > s["total_ns"]:
+            fail(f"{path}: stage {s['path']!r} self_ns > total_ns")
+
+    for key in ("counters", "counter_rates", "recent_ns"):
+        obj = snap.get(key)
+        if not isinstance(obj, dict):
+            fail(f"{path}: {key} is not an object")
+    for name, v in snap["counters"].items():
+        if not _num(v) or v < 0:
+            fail(f"{path}: counter {name!r} bad value {v!r}")
+    for name, v in snap["counter_rates"].items():
+        if not _num(v) or v < 0 or not math.isfinite(v):
+            fail(f"{path}: counter rate {name!r} bad value {v!r}")
+    for name, window in snap["recent_ns"].items():
+        if not isinstance(window, list) or not all(_num(x) and x >= 0 for x in window):
+            fail(f"{path}: recent_ns {name!r} bad window")
+
+    for key in ("alloc", "stream"):
+        obj = snap.get(key)
+        if not isinstance(obj, dict):
+            fail(f"{path}: {key} is not an object")
+    for k in ("bytes", "count"):
+        if not _num(snap["alloc"].get(k)) or snap["alloc"][k] < 0:
+            fail(f"{path}: alloc bad {k!r}")
+    for k in ("events", "dropped"):
+        if not _num(snap["stream"].get(k)) or snap["stream"][k] < 0:
+            fail(f"{path}: stream bad {k!r}")
+
+    stalled = snap.get("stalled")
+    if not isinstance(stalled, list):
+        fail(f"{path}: stalled is not a list")
+    for i, s in enumerate(stalled):
+        for k in ("thread", "path"):
+            if not isinstance(s.get(k), str) or not s[k]:
+                fail(f"{path}: stalled {i} missing {k!r}")
+        for k in ("open_ms", "baseline_p95_ms", "mult"):
+            if not _num(s.get(k)) or s[k] < 0:
+                fail(f"{path}: stalled {i} bad {k!r}")
+
+    # Optional solver/placer progress sections mirror observer records.
+    dosepl = snap.get("dosepl")
+    if dosepl is not None:
+        for k in ("round", "swaps", "accepted"):
+            if not _num(dosepl.get(k)) or dosepl[k] < 0:
+                fail(f"{path}: dosepl bad {k!r}")
+    ipm = snap.get("ipm")
+    if ipm is not None and not _num(ipm.get("iter")):
+        fail(f"{path}: ipm missing iter")
+
+    print(
+        f"validate_trace: {path}: snapshot OK "
+        f"(seq {snap['seq']}, status {snap['status']}, "
+        f"{len(threads)} thread(s), {len(stages)} stage row(s), "
+        f"{len(snap['counters'])} counters, {len(stalled)} stalled)"
+    )
+
+
 def main():
-    if len(sys.argv) < 2 or len(sys.argv) > 3:
+    if len(sys.argv) == 3 and sys.argv[1] == "--snapshot":
+        check_snapshot(sys.argv[2])
+        return
+    if len(sys.argv) < 2 or len(sys.argv) > 3 or sys.argv[1].startswith("-"):
         print(__doc__.strip(), file=sys.stderr)
         sys.exit(2)
     check_trace(sys.argv[1])

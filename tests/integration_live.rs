@@ -1,0 +1,225 @@
+//! End-to-end live telemetry plane: a polling reader races the
+//! snapshot publisher during a real 2 k-cell flow and must never see a
+//! torn or schema-less file (atomic rename publication), the
+//! panic-hook span flush must land mid-stack span stats in the
+//! manifest, and the `watch` / `obs ls` front ends must render.
+
+use dme_obs::json::{parse, Value};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("dme_live_it_{}_{name}", std::process::id()))
+}
+
+/// Polls `snapshot.json` while `dmeopt flow --profile small` runs with
+/// a 25 ms publisher interval. Every successful read must parse as a
+/// complete schema-v1 snapshot — a torn write would fail the parse or
+/// drop the envelope — and the run must publish at least three
+/// snapshots, ending on `status: "final"`.
+#[test]
+fn snapshot_file_is_never_torn_during_a_flow() {
+    let snap = tmp("snapshot.json");
+    let _ = std::fs::remove_file(&snap);
+    let mut child = Command::new(env!("CARGO_BIN_EXE_dmeopt"))
+        .args([
+            "flow",
+            "--profile",
+            "small",
+            "--snapshot",
+            snap.to_str().expect("utf8 path"),
+            "--snapshot-ms",
+            "25",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("dmeopt spawns");
+
+    let mut seqs = Vec::new();
+    let mut reads = 0u64;
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        if let Ok(text) = std::fs::read_to_string(&snap) {
+            reads += 1;
+            // Atomic rename publication: a readable file is always a
+            // whole snapshot, never a prefix of one.
+            let v = parse(&text)
+                .unwrap_or_else(|e| panic!("torn/invalid snapshot after {reads} reads: {e}"));
+            assert_eq!(
+                v.get("schema_version").and_then(Value::as_f64),
+                Some(1.0),
+                "snapshot missing schema envelope"
+            );
+            let seq = v
+                .get("seq")
+                .and_then(Value::as_f64)
+                .expect("snapshot missing seq");
+            let status = v
+                .get("status")
+                .and_then(Value::as_str)
+                .expect("snapshot missing status")
+                .to_string();
+            for key in ["ts_us", "threads", "stages", "counters", "stream", "alloc"] {
+                assert!(v.get(key).is_some(), "snapshot missing {key:?}");
+            }
+            if seqs.last() != Some(&(seq as u64)) {
+                seqs.push(seq as u64);
+            }
+            assert!(
+                matches!(status.as_str(), "running" | "final"),
+                "unexpected status {status:?}"
+            );
+        }
+        if let Some(st) = child.try_wait().expect("try_wait") {
+            assert!(st.success(), "dmeopt flow failed");
+            break;
+        }
+        assert!(Instant::now() < deadline, "flow did not finish in time");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // The child has exited; the last published snapshot is the final
+    // one and the sequence must have advanced monotonically.
+    let text = std::fs::read_to_string(&snap).expect("final snapshot");
+    let v = parse(&text).expect("final snapshot parses");
+    assert_eq!(v.get("status").and_then(Value::as_str), Some("final"));
+    let last_seq = v.get("seq").and_then(Value::as_f64).expect("seq") as u64;
+    if seqs.last() != Some(&last_seq) {
+        seqs.push(last_seq);
+    }
+    assert!(
+        seqs.len() >= 3,
+        "expected >= 3 distinct snapshots, saw seqs {seqs:?}"
+    );
+    assert!(
+        seqs.windows(2).all(|w| w[0] < w[1]),
+        "seq not monotonic: {seqs:?}"
+    );
+    // Final snapshot still carries live sections.
+    assert!(
+        v.get("stages")
+            .and_then(Value::as_array)
+            .is_some_and(|s| !s.is_empty()),
+        "final snapshot has no stage rows"
+    );
+    let _ = std::fs::remove_file(&snap);
+}
+
+/// `DME_TEST_PANIC=span` panics with span `flow` still open after a
+/// nested span `stage` completed. The panic hook must flush the
+/// thread-local span batch, so the manifest records `flow/stage` even
+/// though the stack never drained — and the publisher's last snapshot
+/// must be `status: "panicked"`.
+#[test]
+fn panic_hook_flushes_batched_span_stats() {
+    let report = tmp("panic_run.json");
+    let snap = tmp("panic_snapshot.json");
+    let _ = std::fs::remove_file(&report);
+    let _ = std::fs::remove_file(&snap);
+    let out = Command::new(env!("CARGO_BIN_EXE_dmeopt"))
+        .args([
+            "flow",
+            "--profile",
+            "tiny",
+            "--report",
+            report.to_str().expect("utf8 path"),
+            "--snapshot",
+            snap.to_str().expect("utf8 path"),
+            "--snapshot-ms",
+            "50",
+        ])
+        .env("DME_TEST_PANIC", "span")
+        .output()
+        .expect("dmeopt runs");
+    assert!(!out.status.success(), "DME_TEST_PANIC must abort the run");
+
+    let text = std::fs::read_to_string(&report).expect("panic manifest written");
+    let m = parse(&text).expect("panic manifest parses");
+    assert_eq!(
+        m.get("meta")
+            .and_then(|meta| meta.get("status"))
+            .and_then(Value::as_str),
+        Some("panicked")
+    );
+    // The completed nested span was still sitting in the thread-local
+    // batch when the panic hit; without the hook's flush it would be
+    // missing here.
+    let spans = m.get("spans").and_then(Value::as_object).expect("spans");
+    let stage = spans
+        .get("flow/stage")
+        .expect("batched span flow/stage flushed by the panic hook");
+    assert_eq!(stage.get("count").and_then(Value::as_f64), Some(1.0));
+
+    let snap_text = std::fs::read_to_string(&snap).expect("panic snapshot written");
+    let v = parse(&snap_text).expect("panic snapshot parses");
+    assert_eq!(v.get("status").and_then(Value::as_str), Some("panicked"));
+    let _ = std::fs::remove_file(&report);
+    let _ = std::fs::remove_file(&snap);
+}
+
+/// `dmeopt watch <snapshot> --once` renders one frame from a finished
+/// run's snapshot and exits cleanly.
+#[test]
+fn watch_once_renders_a_frame() {
+    let snap = tmp("watch_snapshot.json");
+    std::fs::write(
+        &snap,
+        concat!(
+            "{\"schema_version\":1,\"seq\":4,\"ts_us\":1500000,\"status\":\"final\",",
+            "\"threads\":[{\"label\":\"main\",\"alloc_bytes\":1024,\"alloc_count\":2,",
+            "\"stack\":[]}],",
+            "\"stages\":[{\"path\":\"flow\",\"calls\":1,\"total_ns\":1200000000,",
+            "\"self_ns\":200000000,\"p95_ns\":1200000000,\"alloc_bytes\":4096}],",
+            "\"counters\":{\"dosepl/swaps_attempted\":12},",
+            "\"counter_rates\":{\"dosepl/swaps_attempted\":40.0},",
+            "\"dosepl\":{\"round\":2,\"candidates\":30,\"swaps\":12,\"accepted\":5,",
+            "\"mct_ns\":1.875,\"accept_rate\":0.4166},",
+            "\"alloc\":{\"bytes\":1024,\"count\":2},",
+            "\"stream\":{\"events\":128,\"dropped\":0},",
+            "\"recent_ns\":{\"flow\":[1200000000]},\"stalled\":[]}",
+        ),
+    )
+    .expect("snapshot written");
+    let out = Command::new(env!("CARGO_BIN_EXE_dmeopt"))
+        .args(["watch", snap.to_str().expect("utf8 path"), "--once"])
+        .output()
+        .expect("dmeopt watch runs");
+    assert!(
+        out.status.success(),
+        "watch --once failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in ["status final", "snapshot #4", "flow", "5/12 swaps accepted"] {
+        assert!(
+            stdout.contains(needle),
+            "watch output missing {needle:?}: {stdout}"
+        );
+    }
+    let _ = std::fs::remove_file(&snap);
+}
+
+/// `dmeopt obs ls` prints the metric catalog with kinds and
+/// descriptions.
+#[test]
+fn obs_ls_prints_the_catalog() {
+    let out = Command::new(env!("CARGO_BIN_EXE_dmeopt"))
+        .args(["obs", "ls"])
+        .output()
+        .expect("dmeopt obs ls runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "counter",
+        "span",
+        "record",
+        "histogram",
+        "dosepl/swaps_attempted",
+        "qp/ipm_iterations",
+        "flow/dmopt/solve/ipm",
+        "dosepl_round",
+    ] {
+        assert!(stdout.contains(needle), "catalog missing {needle:?}");
+    }
+}
