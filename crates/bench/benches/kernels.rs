@@ -9,7 +9,7 @@ use dme_dosemap::{DoseGrid, DoseMap, DoseSensitivity};
 use dme_liberty::{fit, Library};
 use dme_netlist::{gen, profiles, InstId};
 use dme_placement::{NetBoxCache, NetPins, PlacementDelta};
-use dme_qp::{CsrMatrix, IpmSettings, IpmSolver, NewtonBackend};
+use dme_qp::{CsrMatrix, IpmSettings, IpmSolver, IpmStrategy, NewtonBackend};
 use dme_sta::{
     analyze, analyze_with_mode, top_k_paths, AssignmentDelta, GeometryAssignment, IncrementalSta,
     StaMode,
@@ -664,6 +664,84 @@ fn bench_perf(c: &mut Criterion) {
     println!(
         "WORKLINE dosepl_run swap_evals={} incremental_gate_evals={} full_equivalent_gate_evals={}",
         dp.swap_evals, dp.incremental_gate_evals, dp.full_equivalent_gate_evals
+    );
+
+    // --- IPM iteration counts: Mehrotra predictor-corrector vs basic
+    // path-following (not timed; iteration counts are deterministic on
+    // the direct backend, so this is a hardware-independent measure).
+    // Two program families: dose-map QPs at five τ bounds spanning the
+    // bisection range (the bound move is exactly what probes do), and
+    // the bundled Maros–Mészáros-style QPS suite under `tests/qps/`.
+    let grid = DoseGrid::with_granularity(tiny.placement.die_w_um, tiny.placement.die_h_um, 5.0);
+    let mct = tiny_ctx.nominal.mct_ns;
+    let mut dosemap = Vec::new();
+    let mut qps = Vec::new();
+    let iters = |qp: &dme_qp::QuadProgram, strategy: IpmStrategy| {
+        let st = IpmSettings {
+            strategy,
+            backend: NewtonBackend::Direct,
+            ..IpmSettings::default()
+        };
+        let sol = IpmSolver::new(st).solve(qp).expect("bench QP solves");
+        assert_eq!(sol.status, dme_qp::SolveStatus::Solved, "{strategy:?}");
+        sol.iterations
+    };
+    for frac in [0.90, 0.95, 1.0, 1.05, 1.10] {
+        let params = FormulationParams {
+            layers: Layers::PolyOnly,
+            lo_pct: -5.0,
+            hi_pct: 5.0,
+            delta_pct: 2.0,
+            sensitivity: DoseSensitivity::default(),
+            tau_ns: frac * mct,
+            prune: false,
+            tau_ref_ns: mct,
+            elastic_weight: None,
+            hold_margin_ns: None,
+        };
+        let form = Formulation::build(&tiny_ctx, &grid, &params);
+        dosemap.push((
+            iters(&form.qp, IpmStrategy::Mehrotra),
+            iters(&form.qp, IpmStrategy::Basic),
+        ));
+    }
+    let qps_dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/qps");
+    let mut qps_paths: Vec<_> = std::fs::read_dir(qps_dir)
+        .expect("tests/qps exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "qps"))
+        .collect();
+    qps_paths.sort();
+    for path in &qps_paths {
+        let pb = dme_qp::mps::load_qps(path).expect("fixture parses");
+        qps.push((
+            iters(&pb.qp, IpmStrategy::Mehrotra),
+            iters(&pb.qp, IpmStrategy::Basic),
+        ));
+    }
+    // Upper median keeps the WORKLINE integral (the consumer parses ints).
+    let median = |mut v: Vec<usize>| -> usize {
+        v.sort_unstable();
+        v[v.len() / 2]
+    };
+    let split = |pairs: &[(usize, usize)]| {
+        (
+            median(pairs.iter().map(|p| p.0).collect()),
+            median(pairs.iter().map(|p| p.1).collect()),
+            pairs.iter().map(|p| p.0).sum::<usize>(),
+            pairs.iter().map(|p| p.1).sum::<usize>(),
+        )
+    };
+    let (dm_meh, dm_basic, dm_meh_total, dm_basic_total) = split(&dosemap);
+    let (qps_meh, qps_basic, qps_meh_total, qps_basic_total) = split(&qps);
+    println!(
+        "WORKLINE ipm_iterations dosemap_solves={} dosemap_mehrotra_median={dm_meh} \
+         dosemap_basic_median={dm_basic} dosemap_mehrotra_total={dm_meh_total} \
+         dosemap_basic_total={dm_basic_total} qps_solves={} qps_mehrotra_median={qps_meh} \
+         qps_basic_median={qps_basic} qps_mehrotra_total={qps_meh_total} \
+         qps_basic_total={qps_basic_total}",
+        dosemap.len(),
+        qps.len()
     );
 }
 

@@ -11,6 +11,7 @@
 //! dmeopt flow     --profile aes65 [--scale 0.2] [--grid 5] [--top-k 1000]
 //! dmeopt watch    snapshot.json [--interval-ms 500] [--once]
 //! dmeopt obs      ls
+//! dmeopt qp       solve file.qps [--strategy mehrotra|basic] | suite [dir]
 //! dmeopt qor      ingest run.json... | diff run baseline | report
 //! dmeopt prof     report run.json [--flame out.svg] | diff run base...
 //! ```
@@ -33,6 +34,15 @@
 //! `dmeopt watch <path>` at the file from another terminal for a live
 //! stage/rate view, and `dmeopt obs ls` lists every metric name the
 //! flow can emit.
+//!
+//! `qp` exercises the `dme-qp` interior-point solver as a standalone QP
+//! engine over MPS/QPS files: `solve` prints an OSQP-style summary
+//! (status, iterations, objective, residuals) for one problem, `suite`
+//! runs every fixture in a directory under both iteration strategies
+//! and prints the per-problem iteration table (non-convergence fails
+//! the command — this is the CI `qp-suite` gate). With `--report` the
+//! manifest's `records` section carries one `qp_solve` row per solve
+//! plus the `ipm_iter` per-iteration trajectory, machine-readable.
 //!
 //! `qor` is the QoR regression sentinel (see `crates/dme-qor`): `ingest`
 //! normalizes run manifests into `results/qor_history.jsonl`, `diff`
@@ -792,6 +802,201 @@ fn cmd_watch(args: &Args) -> Result<(), String> {
     }
 }
 
+/// Builds the IPM settings for `dmeopt qp` from `--strategy` and
+/// `--backend`. Unlike the env overrides (which degrade on typos so a
+/// long flow survives), an explicit CLI value must parse or the command
+/// aborts.
+fn qp_settings(args: &Args) -> Result<dme_qp::IpmSettings, String> {
+    let mut st = dme_qp::IpmSettings::default();
+    if let Some(v) = args.opts.get("strategy") {
+        st.strategy = dme_qp::IpmStrategy::parse(v)
+            .ok_or_else(|| format!("bad --strategy {v:?} (auto, mehrotra or basic)"))?;
+    }
+    if let Some(v) = args.opts.get("backend") {
+        st.backend = match v.to_ascii_lowercase().as_str() {
+            "auto" => dme_qp::NewtonBackend::Auto,
+            "direct" => dme_qp::NewtonBackend::Direct,
+            "cg" => dme_qp::NewtonBackend::Cg,
+            _ => return Err(format!("bad --backend {v:?} (auto, direct or cg)")),
+        };
+    }
+    Ok(st)
+}
+
+/// Solves one loaded QPS problem, streaming telemetry when tracing is
+/// armed and recording a `qp_solve` row for the `--report` manifest.
+fn qp_run_one(
+    name: &str,
+    pb: &dme_qp::mps::QpsProblem,
+    st: &dme_qp::IpmSettings,
+) -> Result<(dme_qp::Solution, f64), String> {
+    let solver = dme_qp::IpmSolver::new(st.clone());
+    dme_obs::counter_add("qp/solves", 1);
+    let sol = if dme_obs::enabled() {
+        solver.solve_observed(&pb.qp, &mut dmeopt::ObsSolverObserver)
+    } else {
+        solver.solve(&pb.qp)
+    }
+    .map_err(|e| format!("{name}: {e}"))?;
+    let objective = pb.objective(&sol.x);
+    dme_obs::record(
+        "qp_solve",
+        &[
+            ("n", pb.qp.num_vars() as f64),
+            ("m", pb.qp.a.nrows() as f64),
+            ("iterations", sol.iterations as f64),
+            ("objective", objective),
+            ("pri_res", sol.primal_residual),
+            ("dua_res", sol.dual_residual),
+            (
+                "solved",
+                f64::from(sol.status == dme_qp::SolveStatus::Solved),
+            ),
+        ],
+    );
+    Ok((sol, objective))
+}
+
+/// `qp solve <file.qps>` — solve one MPS/QPS problem and print an
+/// OSQP-style summary (status, iterations, objective, residuals).
+fn qp_solve(args: &Args) -> Result<(), String> {
+    let [_, path] = args.positionals.as_slice() else {
+        return Err("qp solve requires exactly one .qps path".into());
+    };
+    let st = qp_settings(args)?;
+    let pb =
+        dme_qp::mps::load_qps(std::path::Path::new(path)).map_err(|e| format!("{path}: {e}"))?;
+    let t0 = std::time::Instant::now();
+    let (sol, objective) = qp_run_one(&pb.name, &pb, &st)?;
+    let elapsed = t0.elapsed();
+    println!(
+        "problem:    {} ({} variables, {} constraint rows)",
+        pb.name,
+        pb.qp.num_vars(),
+        pb.qp.a.nrows()
+    );
+    println!(
+        "strategy:   {} ({} backend)",
+        st.strategy.resolve().name(),
+        match st.backend {
+            dme_qp::NewtonBackend::Auto => "auto",
+            dme_qp::NewtonBackend::Direct => "direct",
+            dme_qp::NewtonBackend::Cg => "cg",
+        }
+    );
+    println!("status:     {:?}", sol.status);
+    println!("iterations: {}", sol.iterations);
+    println!("objective:  {objective:.10e}");
+    println!(
+        "residuals:  pri {:.3e}, dua {:.3e}, max violation {:.3e}",
+        sol.primal_residual,
+        sol.dual_residual,
+        pb.qp.max_violation(&sol.x)
+    );
+    println!("run time:   {:.3} ms", elapsed.as_secs_f64() * 1e3);
+    if sol.status != dme_qp::SolveStatus::Solved {
+        return Err(format!(
+            "{}: solver stopped with {:?} after {} iterations",
+            pb.name, sol.status, sol.iterations
+        ));
+    }
+    Ok(())
+}
+
+/// `qp suite [dir]` — solve every `.qps` fixture under `dir` (default
+/// `tests/qps`) with BOTH iteration strategies and print a per-problem
+/// iteration table; any non-converged solve fails the command. This is
+/// the CI `qp-suite` entry point and the source of the EXPERIMENTS.md
+/// iteration tables.
+fn qp_suite(args: &Args) -> Result<(), String> {
+    let dir = args
+        .positionals
+        .get(1)
+        .map(String::as_str)
+        .unwrap_or("tests/qps");
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("{dir}: {e}"))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "qps"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!("{dir}: no .qps fixtures found"));
+    }
+    let base = qp_settings(args)?;
+    let mut failures = Vec::new();
+    let mut totals = [0usize; 2];
+    println!(
+        "{:<12} {:>4} {:>4} {:>9} {:>6}  objective",
+        "problem", "n", "m", "mehrotra", "basic"
+    );
+    for path in &paths {
+        let label = path.file_stem().unwrap_or_default().to_string_lossy();
+        let pb = dme_qp::mps::load_qps(path).map_err(|e| format!("{label}: {e}"))?;
+        let mut iters = [0usize; 2];
+        let mut objective = 0.0;
+        for (k, strategy) in [dme_qp::IpmStrategy::Mehrotra, dme_qp::IpmStrategy::Basic]
+            .into_iter()
+            .enumerate()
+        {
+            let st = dme_qp::IpmSettings {
+                strategy,
+                ..base.clone()
+            };
+            let (sol, obj) = qp_run_one(&label, &pb, &st)?;
+            if sol.status != dme_qp::SolveStatus::Solved {
+                failures.push(format!(
+                    "{label}/{}: {:?} after {} iterations",
+                    strategy.name(),
+                    sol.status,
+                    sol.iterations
+                ));
+            }
+            iters[k] = sol.iterations;
+            totals[k] += sol.iterations;
+            objective = obj;
+        }
+        println!(
+            "{label:<12} {:>4} {:>4} {:>9} {:>6}  {objective:.6e}",
+            pb.qp.num_vars(),
+            pb.qp.a.nrows(),
+            iters[0],
+            iters[1]
+        );
+    }
+    println!(
+        "{:<12} {:>4} {:>4} {:>9} {:>6}  ({:+.1}%)",
+        "total",
+        "",
+        "",
+        totals[0],
+        totals[1],
+        100.0 * (totals[0] as f64 - totals[1] as f64) / totals[1].max(1) as f64
+    );
+    if !failures.is_empty() {
+        return Err(format!(
+            "{} solve(s) failed to converge:\n  {}",
+            failures.len(),
+            failures.join("\n  ")
+        ));
+    }
+    Ok(())
+}
+
+/// `dmeopt qp <solve|suite>` — the standalone QP front end over MPS/QPS
+/// files (see `crates/dme-qp`). Machine-readable output comes from the
+/// shared observability options: `--report run.json` writes a manifest
+/// whose `records` section carries one `qp_solve` row per solve plus the
+/// per-iteration `ipm_iter` convergence trajectory.
+fn cmd_qp(args: &Args) -> Result<(), String> {
+    match args.positionals.first().map(String::as_str) {
+        Some("solve") => qp_solve(args),
+        Some("suite") => qp_suite(args),
+        Some(other) => Err(format!("unknown qp verb {other:?}")),
+        None => Err("qp requires a verb: solve or suite".into()),
+    }
+}
+
 /// `dmeopt obs ls` — print the metric catalog (every counter, span,
 /// histogram and record kind the flow can emit).
 fn cmd_obs(args: &Args) -> Result<(), String> {
@@ -805,7 +1010,7 @@ fn cmd_obs(args: &Args) -> Result<(), String> {
     }
 }
 
-const USAGE: &str = "usage: dmeopt <generate|analyze|optimize|flow|watch|obs|qor|prof> [options]
+const USAGE: &str = "usage: dmeopt <generate|analyze|optimize|flow|watch|obs|qp|qor|prof> [options]
   common: --profile aes65|jpeg65|aes90|jpeg90|small|tiny [--scale f]
           or --verilog-in f.v --def-in f.def [--tech 65|90]
   generate: [--verilog out.v] [--def out.def] [--lib out.lib]
@@ -817,6 +1022,11 @@ const USAGE: &str = "usage: dmeopt <generate|analyze|optimize|flow|watch|obs|qor
   watch   : <snapshot.json> [--interval-ms n] [--once]
             (live view of a run publishing snapshots; exits on final)
   obs     : ls (print the counter/span/histogram/record catalog)
+  qp      : solve <file.qps> [--strategy auto|mehrotra|basic]
+                 [--backend auto|direct|cg]
+                 (OSQP-style summary; exit 1 on non-convergence)
+            suite [dir=tests/qps] (every fixture under both strategies,
+                 per-problem iteration table; exit 1 on non-convergence)
   qor     : ingest <manifest.json>... [--history h.jsonl] [--git-sha sha] [--ts secs]
             diff <run> <baseline> [--window n] [--k-mad k] [--min-rel f]
                  [--time-min-rel f] [--md out.md] [--informational]
@@ -866,6 +1076,7 @@ fn main() -> ExitCode {
         "flow" => cmd_flow(&args).map(|()| ExitCode::SUCCESS),
         "watch" => cmd_watch(&args).map(|()| ExitCode::SUCCESS),
         "obs" => cmd_obs(&args).map(|()| ExitCode::SUCCESS),
+        "qp" => cmd_qp(&args).map(|()| ExitCode::SUCCESS),
         "qor" => cmd_qor(&args),
         "prof" => cmd_prof(&args),
         other => Err(format!("unknown subcommand {other:?}")),
@@ -975,6 +1186,50 @@ mod tests {
         assert_eq!(cfg.time_min_rel, 0.5);
         assert_eq!(cfg.min_abs_ns, 100_000.0);
         assert!(prof_diff_config(&args(&["prof", "diff", "r", "b", "--window", "x"])).is_err());
+    }
+
+    #[test]
+    fn qp_rejects_bad_verbs_strategies_and_arities() {
+        assert!(cmd_qp(&args(&["qp"])).is_err());
+        assert!(cmd_qp(&args(&["qp", "frobnicate"])).is_err());
+        assert!(cmd_qp(&args(&["qp", "solve"])).is_err());
+        assert!(cmd_qp(&args(&["qp", "solve", "a.qps", "b.qps"])).is_err());
+        assert!(qp_settings(&args(&["qp", "solve", "a.qps", "--strategy", "fancy"])).is_err());
+        assert!(qp_settings(&args(&["qp", "solve", "a.qps", "--backend", "gpu"])).is_err());
+    }
+
+    #[test]
+    fn qp_settings_map_options() {
+        let a = args(&[
+            "qp",
+            "solve",
+            "x.qps",
+            "--strategy",
+            "basic",
+            "--backend",
+            "direct",
+        ]);
+        let st = qp_settings(&a).expect("settings");
+        assert_eq!(st.strategy, dme_qp::IpmStrategy::Basic);
+        assert!(matches!(st.backend, dme_qp::NewtonBackend::Direct));
+        // Defaults: Auto strategy (env-resolved at solve time), Auto backend.
+        let st = qp_settings(&args(&["qp", "suite"])).expect("settings");
+        assert_eq!(st.strategy, dme_qp::IpmStrategy::Auto);
+    }
+
+    #[test]
+    fn qp_solve_and_suite_run_the_bundled_fixtures() {
+        let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/qps");
+        let a = args(&[
+            "qp",
+            "solve",
+            &format!("{root}/hs35.qps"),
+            "--backend",
+            "direct",
+        ]);
+        qp_solve(&a).expect("hs35 solves");
+        let a = args(&["qp", "suite", root]);
+        qp_suite(&a).expect("suite converges under both strategies");
     }
 
     #[test]

@@ -60,4 +60,6 @@ pub use context::{GoldenSummary, OptContext};
 pub use dosepl::{dosepl, DeltaEngineStats, DoseplConfig, DoseplResult, SwapEngine};
 pub use error::DmoptError;
 pub use formulate::{Formulation, FormulationParams, VarLayout};
-pub use optimize::{optimize, DmoptConfig, DmoptResult, Layers, Objective, SolverKind};
+pub use optimize::{
+    optimize, DmoptConfig, DmoptResult, Layers, Objective, ObsSolverObserver, SolverKind,
+};

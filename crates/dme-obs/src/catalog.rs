@@ -161,6 +161,14 @@ pub const METRICS: &[MetricInfo] = &[
     c("qp/refactor_ns", "wall time spent refactorizing, ns"),
     c("qp/solves", "QP solve entries"),
     c(
+        "qp/strategy_basic",
+        "IPM solves run by the basic path-following strategy",
+    ),
+    c(
+        "qp/strategy_mehrotra",
+        "IPM solves run by the Mehrotra predictor-corrector",
+    ),
+    c(
         "qp/symbolic_reuse",
         "factorizations reusing the cached symbolic analysis",
     ),
@@ -191,11 +199,15 @@ pub const METRICS: &[MetricInfo] = &[
     ),
     r(
         "ipm_iter",
-        "per-Newton-iteration row: iter, mu, rp_inf, rd_inf, sigma, alpha, ...",
+        "per-Newton-iteration row: iter, mu, mu_aff, rp_inf, rd_inf, sigma, alpha, ...",
     ),
     r(
         "qcp_probe",
         "per-bisection-probe row: probe, tau_ns, feasible, iterations, warm",
+    ),
+    r(
+        "qp_solve",
+        "per-QPS-solve row (dmeopt qp): n, m, iterations, objective, pri_res, dua_res, solved",
     ),
     // Stage spans (top-level and recurring phases; deeper solver spans
     // nest under these).
@@ -209,14 +221,37 @@ pub const METRICS: &[MetricInfo] = &[
     s("flow/dmopt/solve", "one QCP probe solve"),
     s("flow/dmopt/solve/ipm", "interior-point method iterations"),
     s(
-        "flow/dmopt/solve/ipm/line_search",
-        "fraction-to-boundary line search",
+        "flow/dmopt/solve/ipm/corrector",
+        "corrector pass (centering + second-order correction)",
+    ),
+    s(
+        "flow/dmopt/solve/ipm/corrector/line_search",
+        "fraction-to-boundary line search (combined step)",
+    ),
+    s(
+        "flow/dmopt/solve/ipm/corrector/solve",
+        "Newton system solve (corrector right-hand side)",
+    ),
+    s(
+        "flow/dmopt/solve/ipm/predictor",
+        "affine predictor probe (Mehrotra strategy only)",
+    ),
+    s(
+        "flow/dmopt/solve/ipm/predictor/line_search",
+        "fraction-to-boundary line search (affine step)",
+    ),
+    s(
+        "flow/dmopt/solve/ipm/predictor/solve",
+        "Newton system solve (affine right-hand side)",
     ),
     s(
         "flow/dmopt/solve/ipm/refactor",
         "numeric LDL^T refactorization",
     ),
-    s("flow/dmopt/solve/ipm/solve", "Newton system solve"),
+    s(
+        "flow/dmopt/solve/ipm/start",
+        "Mehrotra starting-point heuristic (cold solves; nests its own refactor/solve)",
+    ),
     s(
         "flow/dmopt/solve/ipm/symbolic",
         "symbolic analysis (ordering + pattern)",

@@ -12,9 +12,16 @@
 //!
 //! by introducing row slacks `s = Ax` with barrier terms on the finite
 //! sides of `[l, u]`, reducing each Newton step to the SPD system
-//! `(P + AᵀDA)·Δx = rhs`, which is solved matrix-free by preconditioned
-//! conjugate gradients — no factorization is ever formed, so memory stays
-//! linear in the number of nonzeros.
+//! `(P + AᵀDA)·Δx = rhs` (see [`crate::strategies::CondensedSystem`]).
+//!
+//! The iteration loop is written against the pluggable strategy seams in
+//! [`crate::strategies`]: the default Mehrotra predictor-corrector runs
+//! an affine predictor solve and a second-order-corrected centering
+//! solve against one shared factorization per iteration, while the
+//! classical fixed-σ path-following baseline (`DME_QP_IPM=basic`, or
+//! [`IpmSettings::strategy`]) does a single centered solve — the two can
+//! be diffed per-iteration through [`SolverObserver`] telemetry and are
+//! benchmarked head-to-head by `scripts/bench_perf.sh`.
 //!
 //! Rows with `l = u` (equalities) are handled by clamping the barrier
 //! diagonal, which penalizes them stiffly; rows with both bounds infinite
@@ -22,11 +29,14 @@
 
 use crate::admm::{Solution, SolveStatus};
 use crate::ldl::DirectSolver;
-use crate::observer::{CgSolve, FactorizationEvent, IpmIteration, NopObserver, SolverObserver};
-use crate::{CsrMatrix, QuadProgram, SolveError};
+use crate::observer::{CgSolve, IpmIteration, NopObserver, SolverObserver};
+use crate::strategies::{
+    AugmentedSystem, CenteringContext, CondensedSystem, FixedCentering, FractionToBoundary,
+    IpmStrategy, LineSearch, MehrotraCentering, MuUpdate, RowView,
+};
+use crate::{QuadProgram, SolveError};
 use dme_par::vecops;
 use std::cell::RefCell;
-use std::time::Instant;
 
 /// Which linear solver computes each Newton step `(P + AᵀDA)·Δx = rhs`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -76,6 +86,12 @@ pub struct IpmSettings {
     /// tolerance tied to the KKT residual decrease instead of grinding
     /// to `cg_tol`.
     pub adaptive_cg: bool,
+    /// Iteration strategy: Mehrotra predictor-corrector or the basic
+    /// fixed-σ path-following baseline. The default `Auto` resolves the
+    /// `DME_QP_IPM` environment override at solve time.
+    pub strategy: IpmStrategy,
+    /// Constant centering parameter for [`IpmStrategy::Basic`].
+    pub sigma_basic: f64,
 }
 
 impl Default for IpmSettings {
@@ -91,6 +107,8 @@ impl Default for IpmSettings {
             backend: NewtonBackend::default(),
             direct_fill_limit: 16.0,
             adaptive_cg: true,
+            strategy: IpmStrategy::default(),
+            sigma_basic: 0.1,
         }
     }
 }
@@ -110,7 +128,8 @@ enum DirectCache {
     Built(Box<DirectSolver>),
 }
 
-/// Mehrotra predictor-corrector interior-point solver.
+/// Interior-point solver over the strategy seams in
+/// [`crate::strategies`] (Mehrotra predictor-corrector by default).
 #[derive(Debug, Clone, Default)]
 pub struct IpmSolver {
     settings: IpmSettings,
@@ -264,6 +283,21 @@ impl IpmSolver {
         let a = &qp.a;
         let q = &qp.q;
 
+        // Strategy seams: the centering rule decides whether an affine
+        // predictor pass runs; the line search maps directions to steps.
+        let strategy = st.strategy.resolve();
+        obs.strategy(strategy.name());
+        let mehrotra_mu = MehrotraCentering;
+        let fixed_mu = FixedCentering {
+            sigma: st.sigma_basic,
+        };
+        let mu_rule: &dyn MuUpdate = match strategy {
+            IpmStrategy::Basic => &fixed_mu,
+            _ => &mehrotra_mu,
+        };
+        let use_predictor = mu_rule.needs_predictor();
+        let line_search = FractionToBoundary;
+
         // Scale used to make equality rows (l = u) numerically benign:
         // give them a tiny synthetic gap.
         let gap_min = 1e-8;
@@ -285,16 +319,84 @@ impl IpmSolver {
             zu: vec![0.0; m],
         };
 
+        let q_norm = inf_norm(q).max(1.0);
+        let b_norm = l
+            .iter()
+            .chain(u.iter())
+            .filter(|v| v.is_finite())
+            .fold(0.0f64, |acc, v| acc.max(v.abs()))
+            .max(1.0);
+
+        // Newton backend: resolved once per solve; the direct cache (and
+        // its symbolic factorization) persists across solves on the same
+        // structure.
+        let use_direct = self.use_direct(qp);
+        obs.newton_backend(if use_direct { "direct" } else { "cg" });
+        let mut guard = use_direct.then(|| self.direct.borrow_mut());
+        let direct = match guard.as_deref_mut() {
+            Some(DirectCache::Built(ds)) => Some(ds.as_mut()),
+            _ => None,
+        };
+        let mut sys = CondensedSystem::new(p, a, direct, st.cg_max_iter);
+
+        // Scratch buffers.
+        let mut d = vec![0.0f64; m];
+        let mut g = vec![0.0f64; m];
+        let mut dx = vec![0.0f64; n];
+
         // --- initialization ---
-        // Cold start: x = 0, unit multipliers, slacks pushed well inside
-        // the bounds. Warm start: seed x from the caller's point, keep the
-        // slacks only a sliver inside the boundary (the point is expected
-        // near-optimal, where active constraints sit *on* the boundary),
-        // and split the warm dual row-multipliers into the two one-sided
-        // barrier multipliers with a small positivity floor.
+        // Cold start: the Mehrotra starting-point heuristic — one loose
+        // Newton solve of min ½xᵀPx + qᵀx + ½‖Ax − t‖² pulling each
+        // bounded row toward a well-centered target `t` (the same
+        // condensed system with unit barrier weights, so the direct
+        // path reuses its symbolic factorization), then slacks clamped
+        // well inside the bounds and unit one-sided multipliers.
+        // Warm start: seed x from the caller's point, keep the
+        // slacks only a sliver inside the boundary (the point is
+        // expected near-optimal, where active constraints sit *on* the
+        // boundary), and split the warm dual row-multipliers into the
+        // two one-sided barrier multipliers with a small positivity
+        // floor.
         let mut x = vec![0.0f64; n];
         if let Some((wx, _)) = &warm {
             x.copy_from_slice(wx);
+        } else if n > 0 && m > 0 {
+            let _span = dme_obs::span("start");
+            let mut d0 = vec![0.0f64; m];
+            let mut rp0 = vec![0.0f64; m];
+            for i in 0..m {
+                let (fl, fu) = (rows.has_l[i], rows.has_u[i]);
+                if fl || fu {
+                    // Narrow rows — equality rows carry only the 1e-8
+                    // synthetic gap — must be met much more tightly than
+                    // wide inequality rows, or the initial primal residual
+                    // dwarfs their slack box and the fraction-to-boundary
+                    // rule pins the first steps near zero. Inverse-width
+                    // weighting (capped so the system stays solvable by a
+                    // loose CG pass) leaves their residual at the box's
+                    // scale instead.
+                    d0[i] = if fl && fu {
+                        (u[i] - l[i]).clamp(1e-6, 1.0).recip()
+                    } else {
+                        1.0
+                    };
+                    // rp = A·0 − t = −t for target slack t.
+                    rp0[i] = -match (fl, fu) {
+                        (true, true) => 0.5 * (l[i] + u[i]),
+                        (true, false) => l[i] + 1.0,
+                        _ => u[i] - 1.0,
+                    };
+                }
+            }
+            // A starting point only needs a loose solve; non-finite or
+            // runaway results (singular systems) fall back to x = 0.
+            sys.set_tolerances(1e-4, 1e-6 * q_norm);
+            sys.prepare(&d0, obs);
+            if sys.solve(&g, &d0, q, &rp0, &mut dx, obs).is_ok()
+                && inf_norm(&dx) <= 1e8 * (1.0 + b_norm)
+            {
+                x.copy_from_slice(&dx);
+            }
         }
         let ax0 = a.mul_vec(&x);
         for i in 0..m {
@@ -324,31 +426,9 @@ impl IpmSolver {
         }
         let mut y: Vec<f64> = (0..m).map(|i| rows.zu[i] - rows.zl[i]).collect();
 
-        // Scratch buffers.
-        let mut d = vec![0.0f64; m];
-        let mut g = vec![0.0f64; m];
-        let mut rhs = vec![0.0f64; n];
-        let mut dx = vec![0.0f64; n];
-
-        // Newton backend: resolved once per solve; the direct cache (and
-        // its symbolic factorization) persists across solves on the same
-        // structure.
-        let use_direct = self.use_direct(qp);
-        obs.newton_backend(if use_direct { "direct" } else { "cg" });
-        let mut direct_cache = use_direct.then(|| self.direct.borrow_mut());
-        let mut cg = (!use_direct).then(|| CgScratch::new(n, m));
-        let p_diag = p.diag();
         // Eisenstat–Walker forcing state (CG path): previous relative KKT
         // residual, driving the next solve's relative tolerance.
         let mut prev_kkt: Option<f64> = None;
-
-        let q_norm = inf_norm(q).max(1.0);
-        let b_norm = l
-            .iter()
-            .chain(u.iter())
-            .filter(|v| v.is_finite())
-            .fold(0.0f64, |acc, v| acc.max(v.abs()))
-            .max(1.0);
 
         // Reduced-precision acceptance bounds for the two stall exits
         // below: primal feasibility and the complementarity gap must be
@@ -495,142 +575,119 @@ impl IpmSolver {
                 st.cg_tol
             };
             prev_kkt = Some(kkt);
+            sys.set_tolerances(cg_rel_tol, cg_abs_tol);
 
-            // Direct backend: one numeric refactorization per iteration
-            // (the predictor and corrector share D, hence the factor).
-            if let Some(ds) = direct_mut(&mut direct_cache) {
-                let _span = dme_obs::span("refactor");
-                let t0 = Instant::now();
-                ds.factor(p, a, &d);
-                obs.factorization(&FactorizationEvent {
-                    symbolic_reused: ds.factors > 1,
-                    refactor_ns: t0.elapsed().as_nanos() as u64,
-                    nnz_l: ds.nnz_l,
-                    n: ds.num_vars(),
-                });
-            }
-            // Affine predictor: (P + AᵀDA)Δx = −rd − Aᵀ(g + D·rp).
-            let solve_newton = |dx: &mut Vec<f64>,
-                                rhs: &mut Vec<f64>,
-                                cg: Option<&mut CgScratch>,
-                                ds: Option<&mut DirectSolver>,
-                                g: &[f64],
-                                d: &[f64],
-                                rd: &[f64],
-                                rp: &[f64]|
-             -> Result<CgSolve, SolveError> {
-                let _span = dme_obs::span("solve");
-                let mut t = vec![0.0f64; m];
-                for i in 0..m {
-                    t[i] = g[i] + d[i] * rp[i];
-                }
-                let at_t = a.mul_transpose_vec(&t);
-                for j in 0..n {
-                    rhs[j] = -rd[j] - at_t[j];
-                }
-                dx.fill(0.0);
-                if let Some(ds) = ds {
-                    return direct_newton_solve(ds, p, a, d, rhs, dx, cg_abs_tol);
-                }
-                let cg = cg.expect("CG scratch exists on the CG path");
-                cg.solve(
-                    p,
-                    a,
-                    d,
-                    &p_diag,
-                    rhs,
-                    dx,
-                    st.cg_max_iter,
-                    cg_rel_tol,
-                    cg_abs_tol,
-                )
+            // One numeric preparation per iteration — the predictor and
+            // corrector share D, hence the factorization.
+            sys.prepare(&d, obs);
+
+            let rows_view = RowView {
+                has_l: &rows.has_l,
+                has_u: &rows.has_u,
+                l: &l,
+                u: &u,
+                s: &rows.s,
+                zl: &rows.zl,
+                zu: &rows.zu,
             };
-            let cg_pred = solve_newton(
-                &mut dx,
-                &mut rhs,
-                cg.as_mut(),
-                direct_mut(&mut direct_cache),
-                &g,
-                &d,
-                &rd,
-                &rp,
-            )?;
-            if !use_direct {
-                obs.cg_solve(&cg_pred);
-            }
 
-            // Recover affine Δs, Δzl, Δzu.
-            let adx = a.mul_vec(&dx);
+            // Affine predictor: (P + AᵀDA)Δx = −rd − Aᵀ(g + D·rp) with the
+            // first-order g, probed to the boundary to measure µ_aff. The
+            // basic strategy skips it; the affine deltas stay zero so the
+            // shared corrector formulas below degrade to plain centering.
             let mut ds_aff = vec![0.0f64; m];
             let mut dzl_aff = vec![0.0f64; m];
             let mut dzu_aff = vec![0.0f64; m];
-            for i in 0..m {
-                ds_aff[i] = adx[i] + rp[i];
-                if rows.has_l[i] {
-                    dzl_aff[i] = -rows.zl[i] - rows.zl[i] * ds_aff[i] / sl_eff[i];
+            let (mu_aff, cg_pred) = if use_predictor {
+                let _span = dme_obs::span("predictor");
+                let cg_pred = sys.solve(&g, &d, &rd, &rp, &mut dx, obs)?;
+                let adx = a.mul_vec(&dx);
+                for i in 0..m {
+                    ds_aff[i] = adx[i] + rp[i];
+                    if rows.has_l[i] {
+                        dzl_aff[i] = -rows.zl[i] - rows.zl[i] * ds_aff[i] / sl_eff[i];
+                    }
+                    if rows.has_u[i] {
+                        dzu_aff[i] = -rows.zu[i] + rows.zu[i] * ds_aff[i] / su_eff[i];
+                    }
                 }
-                if rows.has_u[i] {
-                    dzu_aff[i] = -rows.zu[i] + rows.zu[i] * ds_aff[i] / su_eff[i];
+                let (ap_aff, ad_aff) = {
+                    let _span = dme_obs::span("line_search");
+                    line_search.step_lengths(&rows_view, &ds_aff, &dzl_aff, &dzu_aff, 1.0)
+                };
+                let a_aff = ap_aff.min(ad_aff);
+                // µ after the affine step.
+                let mut mu_aff = 0.0;
+                for i in 0..m {
+                    if rows.has_l[i] {
+                        mu_aff += (rows.zl[i] + a_aff * dzl_aff[i])
+                            * (rows.s[i] + a_aff * ds_aff[i] - l[i]).max(0.0);
+                    }
+                    if rows.has_u[i] {
+                        mu_aff += (rows.zu[i] + a_aff * dzu_aff[i])
+                            * (u[i] - rows.s[i] - a_aff * ds_aff[i]).max(0.0);
+                    }
                 }
-            }
-            let (ap_aff, ad_aff) = {
-                let _span = dme_obs::span("line_search");
-                step_lengths(&rows, &l, &u, &ds_aff, &dzl_aff, &dzu_aff, 1.0)
-            };
-            let a_aff = ap_aff.min(ad_aff);
-            // µ after the affine step.
-            let mut mu_aff = 0.0;
-            for i in 0..m {
-                if rows.has_l[i] {
-                    mu_aff += (rows.zl[i] + a_aff * dzl_aff[i])
-                        * (rows.s[i] + a_aff * ds_aff[i] - l[i]).max(0.0);
+                if nfin > 0 {
+                    mu_aff /= nfin as f64;
                 }
-                if rows.has_u[i] {
-                    mu_aff += (rows.zu[i] + a_aff * dzu_aff[i])
-                        * (u[i] - rows.s[i] - a_aff * ds_aff[i]).max(0.0);
-                }
-            }
-            if nfin > 0 {
-                mu_aff /= nfin as f64;
-            }
-            let mut sigma = if mu > 1e-300 {
-                (mu_aff / mu).clamp(0.0, 1.0).powi(3)
+                (mu_aff, cg_pred)
             } else {
-                0.0
+                (
+                    mu,
+                    CgSolve {
+                        iterations: 0,
+                        rel_residual: 0.0,
+                    },
+                )
             };
-            // Centrality safeguard: while dual infeasibility dwarfs the
-            // complementarity gap, hold the barrier up — letting µ collapse
-            // first ill-conditions every later Newton system.
-            if inf_norm(&rd) > 1e2 * mu.max(1e-300) && inf_norm(&rd) / q_norm > 1e-4 {
-                sigma = sigma.max(0.5);
+            let sigma = mu_rule.sigma(&CenteringContext {
+                mu,
+                mu_aff,
+                rd_inf: inf_norm(&rd),
+                q_norm,
+            });
+
+            // Per-row centering targets: σµ, except on narrow-box rows —
+            // equality rows live in the 1e-8 synthetic gap — where the
+            // global target is unreachable (the product z·s cannot exceed
+            // z·(u−l) no matter where s sits in the box). Clamping to a
+            // quarter of that reachable ceiling keeps their slack step at
+            // the box's own scale; an unreachable target turns into a huge
+            // Δs that the fraction-to-boundary rule must crush, pinning
+            // α near zero for every row. Wide and one-sided rows always
+            // get the plain σµ target.
+            let mut tl = vec![0.0f64; m];
+            let mut tu = vec![0.0f64; m];
+            for i in 0..m {
+                tl[i] = sigma * mu;
+                tu[i] = sigma * mu;
+                if rows.has_l[i] && rows.has_u[i] {
+                    let w = u[i] - l[i];
+                    if w < 1e-6 {
+                        tl[i] = tl[i].min(0.25 * rows.zl[i] * w);
+                        tu[i] = tu[i].min(0.25 * rows.zu[i] * w);
+                    }
+                }
             }
 
-            // Corrector: include σµ and the Mehrotra second-order terms.
+            // Corrector (the only solve for the basic strategy): σµ
+            // centering plus the Mehrotra second-order terms (zero when no
+            // predictor ran).
+            let _span_corr = dme_obs::span("corrector");
             for i in 0..m {
                 let mut gi = 0.0;
                 if rows.has_l[i] {
-                    let cl = sigma * mu - rows.zl[i] * sl_eff[i] - dzl_aff[i] * ds_aff[i];
+                    let cl = tl[i] - rows.zl[i] * sl_eff[i] - dzl_aff[i] * ds_aff[i];
                     gi -= cl / sl_eff[i];
                 }
                 if rows.has_u[i] {
-                    let cu = sigma * mu - rows.zu[i] * su_eff[i] + dzu_aff[i] * ds_aff[i];
+                    let cu = tu[i] - rows.zu[i] * su_eff[i] + dzu_aff[i] * ds_aff[i];
                     gi += cu / su_eff[i];
                 }
                 g[i] = gi;
             }
-            let cg_corr = solve_newton(
-                &mut dx,
-                &mut rhs,
-                cg.as_mut(),
-                direct_mut(&mut direct_cache),
-                &g,
-                &d,
-                &rd,
-                &rp,
-            )?;
-            if !use_direct {
-                obs.cg_solve(&cg_corr);
-            }
+            let cg_corr = sys.solve(&g, &d, &rd, &rp, &mut dx, obs)?;
 
             let adx = a.mul_vec(&dx);
             let mut ds = vec![0.0f64; m];
@@ -639,18 +696,19 @@ impl IpmSolver {
             for i in 0..m {
                 ds[i] = adx[i] + rp[i];
                 if rows.has_l[i] {
-                    let cl = sigma * mu - rows.zl[i] * sl_eff[i] - dzl_aff[i] * ds_aff[i];
+                    let cl = tl[i] - rows.zl[i] * sl_eff[i] - dzl_aff[i] * ds_aff[i];
                     dzl[i] = (cl - rows.zl[i] * ds[i]) / sl_eff[i];
                 }
                 if rows.has_u[i] {
-                    let cu = sigma * mu - rows.zu[i] * su_eff[i] + dzu_aff[i] * ds_aff[i];
+                    let cu = tu[i] - rows.zu[i] * su_eff[i] + dzu_aff[i] * ds_aff[i];
                     dzu[i] = (cu + rows.zu[i] * ds[i]) / su_eff[i];
                 }
             }
             let (ap_step, ad_step) = {
                 let _span = dme_obs::span("line_search");
-                step_lengths(&rows, &l, &u, &ds, &dzl, &dzu, st.step_frac)
+                line_search.step_lengths(&rows_view, &ds, &dzl, &dzu, st.step_frac)
             };
+            drop(_span_corr);
             // One common step: the QP dual residual couples x and y, so
             // unequal steps would inject error proportional to the (large)
             // direction magnitudes.
@@ -658,6 +716,7 @@ impl IpmSolver {
             obs.ipm_iteration(&IpmIteration {
                 iter,
                 mu,
+                mu_aff,
                 primal_residual: final_rp,
                 dual_residual: final_rd,
                 sigma,
@@ -738,214 +797,20 @@ fn inf_norm(v: &[f64]) -> f64 {
     vecops::inf_norm(v)
 }
 
-/// Re-borrows the built direct solver out of the per-solve cache guard.
-fn direct_mut<'a>(
-    cache: &'a mut Option<std::cell::RefMut<'_, DirectCache>>,
-) -> Option<&'a mut DirectSolver> {
-    match cache.as_mut().map(|c| &mut **c) {
-        Some(DirectCache::Built(ds)) => Some(ds.as_mut()),
-        _ => None,
-    }
-}
-
-/// Direct Newton solve: LDLᵀ triangular solves plus up to two iterative-
-/// refinement passes against the matrix-free operator, honoring the same
-/// absolute accuracy target as the CG path (the pivot floor and the
-/// normal-equations conditioning make raw triangular solves a hair less
-/// accurate than the factorization's cost would suggest).
-fn direct_newton_solve(
-    ds: &mut DirectSolver,
-    p: &CsrMatrix,
-    a: &CsrMatrix,
-    d: &[f64],
-    rhs: &[f64],
-    dx: &mut [f64],
-    abs_tol: f64,
-) -> Result<CgSolve, SolveError> {
-    let n = rhs.len();
-    let m = d.len();
-    ds.solve(rhs, dx);
-    let mut corr = vec![0.0f64; n];
-    let mut resid = vec![0.0f64; n];
-    let mut tm = vec![0.0f64; m];
-    let b_norm = vecops::norm2(rhs).max(1e-300);
-    let mut rel = 0.0;
-    for _ in 0..3 {
-        // resid = rhs − (P + AᵀDA)·dx, matrix-free.
-        p.mul_vec_into(dx, &mut resid);
-        a.mul_vec_into(dx, &mut tm);
-        vecops::mul_assign(d, &mut tm);
-        let at = a.mul_transpose_vec(&tm);
-        for j in 0..n {
-            resid[j] = rhs[j] - resid[j] - at[j];
-        }
-        let r_norm = vecops::norm2(&resid);
-        rel = r_norm / b_norm;
-        if r_norm <= abs_tol.max(1e-14 * b_norm) {
-            break;
-        }
-        ds.solve(&resid, &mut corr);
-        for j in 0..n {
-            dx[j] += corr[j];
-        }
-    }
-    if dx.iter().any(|v| !v.is_finite()) {
-        return Err(SolveError::Numerical(
-            "direct Newton solve produced non-finite values".into(),
-        ));
-    }
-    Ok(CgSolve {
-        iterations: 0,
-        rel_residual: rel,
-    })
-}
-
-/// Largest primal/dual steps `(α_p, α_d) ∈ (0, 1]²` keeping slacks
-/// (primal) and multipliers (dual) strictly positive, shrunk by the
-/// fraction-to-the-boundary factor. Separate step lengths are the
-/// standard Mehrotra practice: one blocked multiplier must not freeze
-/// the primal (and vice versa).
-fn step_lengths(
-    rows: &Rows,
-    l: &[f64],
-    u: &[f64],
-    ds: &[f64],
-    dzl: &[f64],
-    dzu: &[f64],
-    frac: f64,
-) -> (f64, f64) {
-    let mut ap = 1.0f64;
-    let mut ad = 1.0f64;
-    for i in 0..ds.len() {
-        if rows.has_l[i] {
-            let sl = rows.s[i] - l[i];
-            if ds[i] < 0.0 {
-                ap = ap.min(-sl / ds[i]);
-            }
-            if dzl[i] < 0.0 {
-                ad = ad.min(-rows.zl[i] / dzl[i]);
-            }
-        }
-        if rows.has_u[i] {
-            let su = u[i] - rows.s[i];
-            if ds[i] > 0.0 {
-                ap = ap.min(su / ds[i]);
-            }
-            if dzu[i] < 0.0 {
-                ad = ad.min(-rows.zu[i] / dzu[i]);
-            }
-        }
-    }
-    ((frac * ap).min(1.0), (frac * ad).min(1.0))
-}
-
-/// CG on `(P + AᵀDA)` with Jacobi preconditioning (shares the matrix-free
-/// structure of the ADMM x-update but with the barrier diagonal `D`).
-struct CgScratch {
-    r: Vec<f64>,
-    z: Vec<f64>,
-    p: Vec<f64>,
-    kp: Vec<f64>,
-    sm: Vec<f64>,
-    sn: Vec<f64>,
-}
-
-impl CgScratch {
-    fn new(n: usize, m: usize) -> Self {
-        Self {
-            r: vec![0.0; n],
-            z: vec![0.0; n],
-            p: vec![0.0; n],
-            kp: vec![0.0; n],
-            sm: vec![0.0; m],
-            sn: vec![0.0; n],
-        }
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn solve(
-        &mut self,
-        pm: &CsrMatrix,
-        a: &CsrMatrix,
-        d: &[f64],
-        p_diag: &[f64],
-        b: &[f64],
-        x: &mut [f64],
-        max_iter: usize,
-        rel_tol: f64,
-        abs_tol: f64,
-    ) -> Result<CgSolve, SolveError> {
-        let n = b.len();
-        let trace = std::env::var_os("DME_IPM_TRACE").is_some();
-        // Jacobi preconditioner: diag(P) + Σ d_i·a_ij², stored inverted so
-        // the per-iteration apply is a parallel element-wise product.
-        let mut inv_prec = vec![1e-12f64; n];
-        for j in 0..n {
-            inv_prec[j] += p_diag[j];
-        }
-        for (i, &di) in d.iter().enumerate().take(a.nrows()) {
-            for (c, v) in a.row(i) {
-                inv_prec[c] += di * v * v;
-            }
-        }
-        for v in &mut inv_prec {
-            *v = 1.0 / *v;
-        }
-        let b_norm = vecops::norm2(b).max(1e-300);
-        // x starts at 0, so r = b.
-        self.r.copy_from_slice(b);
-        vecops::hadamard(&inv_prec, &self.r, &mut self.z);
-        let mut rz = vecops::dot(&self.r, &self.z);
-        self.p.copy_from_slice(&self.z);
-        let mut iterations = 0usize;
-        for _ in 0..max_iter {
-            let r_norm = vecops::norm2(&self.r);
-            if r_norm <= (rel_tol * b_norm).min(abs_tol.max(rel_tol * b_norm * 1e-3)) {
-                break;
-            }
-            pm.mul_vec_into(&self.p, &mut self.kp);
-            a.mul_vec_into(&self.p, &mut self.sm);
-            vecops::mul_assign(d, &mut self.sm);
-            a.mul_transpose_vec_into(&self.sm, &mut self.sn);
-            vecops::axpy(1.0, &self.sn, &mut self.kp);
-            vecops::axpy(1e-12, &self.p, &mut self.kp);
-            let pkp = vecops::dot(&self.p, &self.kp);
-            if !pkp.is_finite() || pkp <= 0.0 {
-                if pkp < 0.0 {
-                    return Err(SolveError::Numerical(
-                        "CG encountered negative curvature; P is not PSD".into(),
-                    ));
-                }
-                break;
-            }
-            iterations += 1;
-            let alpha = rz / pkp;
-            vecops::cg_update(x, alpha, &self.p, &mut self.r, -alpha, &self.kp);
-            vecops::hadamard(&inv_prec, &self.r, &mut self.z);
-            let rz_new = vecops::dot(&self.r, &self.z);
-            let beta = rz_new / rz.max(1e-300);
-            rz = rz_new;
-            vecops::xpby(&self.z, beta, &mut self.p);
-        }
-        let rel_residual = vecops::norm2(&self.r) / b_norm;
-        if trace {
-            eprintln!("    cg: rel_res={rel_residual:.2e} (b_norm={b_norm:.2e})");
-        }
-        if x.iter().any(|v| !v.is_finite()) {
-            return Err(SolveError::Numerical(
-                "CG produced non-finite iterate".into(),
-            ));
-        }
-        Ok(CgSolve {
-            iterations,
-            rel_residual,
-        })
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::observer::FactorizationEvent;
+    use crate::CsrMatrix;
+
+    /// Default settings with the strategy pinned to Mehrotra so the
+    /// assertions stay meaningful under the `DME_QP_IPM=basic` CI leg.
+    fn mehrotra_settings() -> IpmSettings {
+        IpmSettings {
+            strategy: IpmStrategy::Mehrotra,
+            ..IpmSettings::default()
+        }
+    }
 
     fn solve(qp: &QuadProgram) -> Solution {
         IpmSolver::new(IpmSettings::default())
@@ -1018,8 +883,7 @@ mod tests {
         assert!((s.x[1] - 1.0).abs() < 1e-5);
     }
 
-    #[test]
-    fn chain_problem_converges_fast() {
+    fn chain_qp() -> (QuadProgram, usize, f64, f64) {
         // The structure ADMM struggles with: a long chain of arrival
         // constraints coupled to a handful of dose variables.
         let n = 200usize;
@@ -1059,6 +923,12 @@ mod tests {
         }
         let a = CsrMatrix::from_rows(nvars, &rows);
         let qp = QuadProgram::new(CsrMatrix::diagonal(&pd), q, a, lo, hi).unwrap();
+        (qp, t_idx, tau, k as f64 * (0.075f64 * 0.075 + 6.0 * 0.075))
+    }
+
+    #[test]
+    fn chain_problem_converges_fast() {
+        let (qp, t_idx, tau, uniform_obj) = chain_qp();
         let s = solve(&qp);
         assert_eq!(s.status, SolveStatus::Solved);
         assert!(s.iterations < 60, "took {} iterations", s.iterations);
@@ -1075,8 +945,35 @@ mod tests {
         );
         // Uniform dose d = 0.075 on every grid is feasible with objective
         // k·(d² + 6d) ≈ 4.56; the optimizer must do at least as well.
-        let uniform_obj = k as f64 * (0.075f64 * 0.075 + 6.0 * 0.075);
         assert!(s.objective <= uniform_obj + 1e-6, "obj = {}", s.objective);
+    }
+
+    #[test]
+    fn basic_strategy_matches_mehrotra_on_the_chain_problem() {
+        // The fixed-σ baseline must reach the same optimum; Mehrotra's
+        // adaptive centering must not need more iterations than it.
+        let (qp, _, _, _) = chain_qp();
+        let mehrotra = IpmSolver::new(mehrotra_settings()).solve(&qp).expect("pc");
+        let basic = IpmSolver::new(IpmSettings {
+            strategy: IpmStrategy::Basic,
+            ..IpmSettings::default()
+        })
+        .solve(&qp)
+        .expect("basic");
+        assert_eq!(basic.status, SolveStatus::Solved);
+        assert!(
+            (mehrotra.objective - basic.objective).abs() < 1e-4 * (1.0 + mehrotra.objective.abs()),
+            "objectives diverge: {} vs {}",
+            mehrotra.objective,
+            basic.objective
+        );
+        assert!(qp.max_violation(&basic.x) < 1e-6);
+        assert!(
+            mehrotra.iterations <= basic.iterations,
+            "mehrotra {} vs basic {}",
+            mehrotra.iterations,
+            basic.iterations
+        );
     }
 
     #[test]
@@ -1128,6 +1025,7 @@ mod tests {
         cg: Vec<CgSolve>,
         factorizations: Vec<FactorizationEvent>,
         backends: Vec<&'static str>,
+        strategies: Vec<&'static str>,
     }
     impl SolverObserver for Collect {
         fn ipm_iteration(&mut self, it: &IpmIteration) {
@@ -1138,6 +1036,9 @@ mod tests {
         }
         fn newton_backend(&mut self, backend: &'static str) {
             self.backends.push(backend);
+        }
+        fn strategy(&mut self, name: &'static str) {
+            self.strategies.push(name);
         }
         fn factorization(&mut self, ev: &FactorizationEvent) {
             self.factorizations.push(*ev);
@@ -1159,26 +1060,30 @@ mod tests {
     fn observer_streams_per_iteration_telemetry() {
         let qp = small_qp();
         let mut obs = Collect::default();
-        // Pin the CG backend: this test asserts the per-CG-solve stream.
+        // Pin the CG backend (this test asserts the per-CG-solve stream)
+        // and the Mehrotra strategy (two CG solves per iteration).
         let s = IpmSolver::new(IpmSettings {
             backend: NewtonBackend::Cg,
-            ..IpmSettings::default()
+            ..mehrotra_settings()
         })
         .solve_observed(&qp, &mut obs)
         .expect("solve");
         assert_eq!(s.status, SolveStatus::Solved);
+        assert_eq!(obs.strategies, vec!["mehrotra"]);
         // One record per completed Newton iteration, indexed in order,
-        // and two CG solves (predictor + corrector) per record.
+        // and two CG solves (predictor + corrector) per record, plus the
+        // one loose solve behind the cold starting-point heuristic.
         assert_eq!(obs.iters.len(), s.iterations);
         assert!(!obs.iters.is_empty());
         for (k, it) in obs.iters.iter().enumerate() {
             assert_eq!(it.iter, k);
             assert!(it.mu.is_finite() && it.mu >= 0.0);
+            assert!(it.mu_aff.is_finite() && it.mu_aff >= 0.0);
             assert!(it.primal_residual.is_finite());
             assert!(it.dual_residual.is_finite());
             assert!((0.0..=1.0).contains(&it.alpha));
         }
-        assert_eq!(obs.cg.len(), 2 * obs.iters.len());
+        assert_eq!(obs.cg.len(), 2 * obs.iters.len() + 1);
         assert!(obs.cg.iter().any(|c| c.iterations > 0));
         assert_eq!(obs.backends, vec!["cg"]);
         assert!(obs.factorizations.is_empty());
@@ -1186,6 +1091,31 @@ mod tests {
         let first = obs.iters.first().unwrap().mu;
         let last = obs.iters.last().unwrap().mu;
         assert!(last < first, "mu did not decrease: {first} -> {last}");
+    }
+
+    #[test]
+    fn basic_strategy_does_one_solve_per_iteration() {
+        let qp = small_qp();
+        let mut obs = Collect::default();
+        let s = IpmSolver::new(IpmSettings {
+            backend: NewtonBackend::Cg,
+            strategy: IpmStrategy::Basic,
+            ..IpmSettings::default()
+        })
+        .solve_observed(&qp, &mut obs)
+        .expect("solve");
+        assert_eq!(s.status, SolveStatus::Solved);
+        assert_eq!(obs.strategies, vec!["basic"]);
+        // One corrector CG solve per iteration (plus the starting-point
+        // solve); the predictor pass is skipped entirely.
+        assert_eq!(obs.cg.len(), obs.iters.len() + 1);
+        for it in &obs.iters {
+            assert_eq!(it.cg_iters_predictor, 0);
+            // With no affine probe, µ_aff is reported as µ and σ is the
+            // fixed centering parameter (until the safeguard bites).
+            assert_eq!(it.mu_aff, it.mu);
+            assert!(it.sigma >= 0.1 - 1e-15);
+        }
     }
 
     #[test]
@@ -1220,15 +1150,19 @@ mod tests {
         let qp = small_qp();
         let solver = IpmSolver::new(IpmSettings {
             backend: NewtonBackend::Direct,
-            ..IpmSettings::default()
+            ..mehrotra_settings()
         });
         let mut obs = Collect::default();
         let s = solver.solve_observed(&qp, &mut obs).expect("solve");
         assert_eq!(s.status, SolveStatus::Solved);
         assert_eq!(obs.backends, vec!["direct"]);
-        // One factorization per Newton iteration, no CG events; only the
-        // very first numeric pass builds the symbolic side.
-        assert_eq!(obs.factorizations.len(), obs.iters.len().max(s.iterations));
+        // One factorization per Newton iteration plus one for the cold
+        // starting-point heuristic, no CG events; only the very first
+        // numeric pass builds the symbolic side.
+        assert_eq!(
+            obs.factorizations.len(),
+            obs.iters.len().max(s.iterations) + 1
+        );
         assert!(obs.cg.is_empty());
         assert!(!obs.factorizations[0].symbolic_reused);
         assert!(obs.factorizations[1..].iter().all(|f| f.symbolic_reused));
@@ -1278,7 +1212,9 @@ mod tests {
     #[test]
     fn warm_start_cuts_iterations() {
         // Re-solving from the previous optimum after a small bound change
-        // (a bisection probe) must not take more iterations than cold.
+        // (a bisection probe) must not take more iterations than cold —
+        // even now that cold solves start from the Mehrotra heuristic
+        // point rather than x = 0.
         let qp = {
             let n = 40usize;
             let p_diag: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();

@@ -47,15 +47,18 @@ mod error;
 mod ipm;
 mod ldl;
 pub mod lsq;
+pub mod mps;
 mod observer;
 mod ordering;
 pub mod qcp;
+pub mod strategies;
 
 pub use admm::{AdmmSettings, AdmmSolver, Solution, SolveStatus};
 pub use csr::CsrMatrix;
 pub use error::SolveError;
 pub use ipm::{IpmSettings, IpmSolver, NewtonBackend};
 pub use observer::{CgSolve, FactorizationEvent, IpmIteration, NopObserver, SolverObserver};
+pub use strategies::IpmStrategy;
 
 /// A convex quadratic program `min ½·xᵀPx + qᵀx  s.t.  l ≤ Ax ≤ u`.
 ///

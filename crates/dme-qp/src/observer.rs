@@ -8,14 +8,20 @@
 //! Newton iteration (two per CG solve), which is noise next to the
 //! matrix-vector products each iteration performs.
 
-/// Telemetry for one completed Mehrotra predictor-corrector (Newton)
-/// iteration, reported just before the step is applied.
+/// Telemetry for one completed interior-point (Newton) iteration,
+/// reported just before the step is applied. The predictor/corrector
+/// split is visible per iteration: `mu_aff` and `cg_iters_predictor`
+/// carry the affine pass (degenerate — `mu_aff = mu`, zero CG
+/// iterations — under the basic single-solve strategy).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct IpmIteration {
     /// Zero-based Newton iteration index.
     pub iter: usize,
     /// Average complementarity gap µ at the top of the iteration.
     pub mu: f64,
+    /// Complementarity gap predicted by the affine predictor probe
+    /// (equal to `mu` when the strategy runs no predictor pass).
+    pub mu_aff: f64,
     /// Primal residual `‖Ax − s‖∞` (scaled problem, absolute).
     pub primal_residual: f64,
     /// Dual residual `‖Px + q + Aᵀy‖∞` (scaled problem, absolute).
@@ -65,8 +71,10 @@ pub trait SolverObserver {
         let _ = it;
     }
 
-    /// Called after every inner CG solve (twice per Newton iteration:
-    /// predictor then corrector). Not called by the direct backend.
+    /// Called after every inner CG solve: predictor then corrector under
+    /// the Mehrotra strategy, corrector only under the basic strategy,
+    /// plus one loose solve for the cold starting-point heuristic. Not
+    /// called by the direct backend.
     fn cg_solve(&mut self, cg: &CgSolve) {
         let _ = cg;
     }
@@ -75,6 +83,12 @@ pub trait SolverObserver {
     /// `"direct"` or `"cg"`.
     fn newton_backend(&mut self, backend: &'static str) {
         let _ = backend;
+    }
+
+    /// Called once per solve after the iteration strategy resolves, with
+    /// `"mehrotra"` or `"basic"` (see [`crate::strategies::IpmStrategy`]).
+    fn strategy(&mut self, name: &'static str) {
+        let _ = name;
     }
 
     /// Called once per IPM iteration on the direct backend, after the

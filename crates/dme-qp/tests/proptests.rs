@@ -1,6 +1,6 @@
 //! Property-based tests for the convex solvers.
 
-use dme_qp::{CsrMatrix, IpmSettings, IpmSolver, NewtonBackend, QuadProgram};
+use dme_qp::{CsrMatrix, IpmSettings, IpmSolver, IpmStrategy, NewtonBackend, QuadProgram};
 use proptest::prelude::*;
 
 /// Deterministic banded matrix big enough to cross the SpMV parallel
@@ -44,7 +44,16 @@ fn feasible_qp(
 }
 
 fn qp_strategy() -> impl Strategy<Value = (QuadProgram, Vec<f64>)> {
-    (2usize..6, 2usize..8).prop_flat_map(|(n, m)| {
+    sized_qp_strategy(2, 6, 2, 8)
+}
+
+fn sized_qp_strategy(
+    n_lo: usize,
+    n_hi: usize,
+    m_lo: usize,
+    m_hi: usize,
+) -> impl Strategy<Value = (QuadProgram, Vec<f64>)> {
+    (n_lo..n_hi, m_lo..m_hi).prop_flat_map(|(n, m)| {
         let p_diag = proptest::collection::vec(0.0f64..4.0, n);
         let q = proptest::collection::vec(-3.0f64..3.0, n);
         let entries = proptest::collection::vec(
@@ -186,6 +195,14 @@ proptest! {
         prop_assert!(qp.max_violation(&warm.x) < 1e-5);
     }
 
+    /// The Mehrotra predictor-corrector and the basic fixed-σ strategy
+    /// are different *paths* to the same optimum: both must land on the
+    /// central-path limit with first-order (KKT) agreement. Small scale.
+    #[test]
+    fn strategies_agree_small((qp, _x0) in sized_qp_strategy(2, 6, 2, 8)) {
+        assert_strategies_agree(&qp);
+    }
+
     /// Least-squares: the fitted line's residual never exceeds that of
     /// nearby perturbed coefficient pairs (local optimality).
     #[test]
@@ -210,5 +227,62 @@ proptest! {
         for (d0, d1) in [(0.01, 0.0), (-0.01, 0.0), (0.0, 0.01), (0.0, -0.01)] {
             prop_assert!(ssr <= ssr_at(c0 + d0, c1 + d1) + 1e-9);
         }
+    }
+}
+
+/// Solves `qp` with both iteration strategies pinned (so the
+/// `DME_QP_IPM=basic` CI leg cannot turn this into basic-vs-basic) and
+/// checks KKT-level agreement at the optimum.
+fn assert_strategies_agree(qp: &QuadProgram) {
+    let solve = |strategy: IpmStrategy| {
+        IpmSolver::new(IpmSettings {
+            strategy,
+            ..IpmSettings::default()
+        })
+        .solve(qp)
+        .expect("solve")
+    };
+    let meh = solve(IpmStrategy::Mehrotra);
+    let basic = solve(IpmStrategy::Basic);
+    prop_assert_eq!(meh.status, basic.status);
+    prop_assert!(
+        qp.max_violation(&meh.x) <= 1e-6,
+        "mehrotra violation {}",
+        qp.max_violation(&meh.x)
+    );
+    prop_assert!(
+        qp.max_violation(&basic.x) <= 1e-6,
+        "basic violation {}",
+        qp.max_violation(&basic.x)
+    );
+    let scale = 1.0 + meh.objective.abs();
+    prop_assert!(
+        (meh.objective - basic.objective).abs() <= 1e-4 * scale,
+        "objectives disagree: mehrotra {} vs basic {}",
+        meh.objective,
+        basic.objective
+    );
+}
+
+// Medium and large scales run fewer cases: the point is coverage of the
+// size-dependent code paths (backend auto-selection flips to the direct
+// solver, SpMV crosses its parallel cutoff), not distribution density.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Strategy agreement at medium scale (direct backend territory).
+    #[test]
+    fn strategies_agree_medium((qp, _x0) in sized_qp_strategy(15, 30, 20, 40)) {
+        assert_strategies_agree(&qp);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Strategy agreement at the largest proptest scale.
+    #[test]
+    fn strategies_agree_large((qp, _x0) in sized_qp_strategy(60, 90, 80, 140)) {
+        assert_strategies_agree(&qp);
     }
 }

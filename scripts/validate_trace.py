@@ -248,6 +248,45 @@ def check_solver_consistency(path, m):
             f"dmopt/qp_probes ({probes})"
         )
 
+    # Every observed IPM solve reports its iteration strategy exactly
+    # once, so the strategy tallies match the per-solve backend tallies.
+    strategies = [c(k) for k in ("qp/strategy_mehrotra", "qp/strategy_basic")]
+    if any(v is not None for v in strategies):
+        strategy_total = sum(v or 0 for v in strategies)
+        backend_total = (c("qp/backend_direct") or 0) + (c("qp/backend_cg") or 0)
+        if backend_total and strategy_total != backend_total:
+            fail(
+                f"{path}: strategy counters ({strategy_total}) != "
+                f"observed IPM solves ({backend_total})"
+            )
+
+    # Per-iteration rows carry the full predictor/corrector tuple: the
+    # affine probe's mu_aff rides along with mu (equal when the basic
+    # strategy ran no predictor pass), sigma is a centering fraction and
+    # alpha a step length, both in [0, 1].
+    iter_rows = m.get("records", {}).get("ipm_iter", {}).get("rows", [])
+    for i, row in enumerate(iter_rows):
+        for field in (
+            "iter", "mu", "mu_aff", "rp_inf", "rd_inf",
+            "sigma", "alpha", "cg_pred", "cg_corr",
+        ):
+            if not isinstance(row.get(field), (int, float)):
+                fail(f"{path}: ipm_iter row {i} missing {field!r}")
+        for frac in ("sigma", "alpha"):
+            if not 0.0 <= row[frac] <= 1.0:
+                fail(f"{path}: ipm_iter row {i} {frac!r} outside [0,1]: {row[frac]!r}")
+
+    # Standalone `dmeopt qp` solves record one summary row per solve.
+    qp_rows = m.get("records", {}).get("qp_solve", {}).get("rows", [])
+    for i, row in enumerate(qp_rows):
+        for field in (
+            "n", "m", "iterations", "objective", "pri_res", "dua_res", "solved",
+        ):
+            if not isinstance(row.get(field), (int, float)):
+                fail(f"{path}: qp_solve row {i} missing {field!r}")
+        if row["solved"] not in (0, 1, 0.0, 1.0):
+            fail(f"{path}: qp_solve row {i} non-boolean 'solved': {row['solved']!r}")
+
     # Per-probe rows carry the full tuple with sane flag values.
     rows = m.get("records", {}).get("qcp_probe", {}).get("rows", [])
     for i, row in enumerate(rows):
