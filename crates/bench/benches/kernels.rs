@@ -669,9 +669,11 @@ fn bench_perf(c: &mut Criterion) {
     // --- IPM iteration counts: Mehrotra predictor-corrector vs basic
     // path-following (not timed; iteration counts are deterministic on
     // the direct backend, so this is a hardware-independent measure).
-    // Two program families: dose-map QPs at five τ bounds spanning the
-    // bisection range (the bound move is exactly what probes do), and
-    // the bundled Maros–Mészáros-style QPS suite under `tests/qps/`.
+    // Two program families: dose-map QPs at five achievable τ bounds —
+    // the fixed-τ MinLeakage program the flow solves after bisection;
+    // bounds below the nominal MCT are primal-infeasible without the
+    // elastic probe relaxation and test stall exits, not convergence —
+    // and the bundled Maros–Mészáros-style QPS suite under `tests/qps/`.
     let grid = DoseGrid::with_granularity(tiny.placement.die_w_um, tiny.placement.die_h_um, 5.0);
     let mct = tiny_ctx.nominal.mct_ns;
     let mut dosemap = Vec::new();
@@ -686,7 +688,7 @@ fn bench_perf(c: &mut Criterion) {
         assert_eq!(sol.status, dme_qp::SolveStatus::Solved, "{strategy:?}");
         sol.iterations
     };
-    for frac in [0.90, 0.95, 1.0, 1.05, 1.10] {
+    for frac in [1.0, 1.025, 1.05, 1.075, 1.10] {
         let params = FormulationParams {
             layers: Layers::PolyOnly,
             lo_pct: -5.0,
