@@ -11,8 +11,8 @@ use dme_netlist::{gen, profiles, InstId};
 use dme_placement::{NetBoxCache, NetPins, PlacementDelta};
 use dme_qp::{CsrMatrix, IpmSettings, IpmSolver, IpmStrategy, NewtonBackend};
 use dme_sta::{
-    analyze, analyze_with_mode, top_k_paths, AssignmentDelta, GeometryAssignment, IncrementalSta,
-    StaMode,
+    analyze, analyze_with_mode, top_k_paths, worst_paths_top_k, AssignmentDelta,
+    GeometryAssignment, IncrementalSta, StaMode,
 };
 use dmeopt::{
     dosepl, optimize, DmoptConfig, DoseplConfig, Formulation, FormulationParams, Layers,
@@ -615,6 +615,13 @@ fn bench_perf(c: &mut Criterion) {
                 stog.dl_nm[probe] = if flip { -4.0 } else { 0.0 };
                 sinc.retime_touched(&tb.placement, &stog, &[InstId(probe as u32)])
             });
+        });
+        // Round-start critical-path enumeration at the dosePl default K:
+        // heap-driven top-K selection plus K backtraces, no full analyze
+        // and no full endpoint sort. O(K log E + K·depth) means the cost
+        // barely moves from 12k to 100k endpoints (the log factor).
+        group.bench_function(format!("enumerate_{tag}").as_str(), |b| {
+            b.iter(|| worst_paths_top_k(&mut sinc, 300));
         });
     }
 

@@ -29,14 +29,26 @@
 //!   (`DoseGrid::cells_in_rect`) instead of a full-grid scan.
 //! - [`SwapEngine::Reference`] is the from-scratch baseline kept for
 //!   verification and as the proptest oracle.
+//!
+//! Round startup is O(K), not O(n), under the delta engine: the top-K
+//! critical paths come straight from the incremental timer's lazy
+//! endpoint heap ([`PathEnum::Incremental`], heap pops + K backtraces —
+//! no full-design `analyze`, no full endpoint sort), the criticality
+//! scratch is epoch-stamped and CSR-compiled instead of reallocated,
+//! and the cell → dose-grid index persists across rounds, synced from
+//! the placement journal like `RowIndex`. [`PathEnum::Full`]
+//! (`DME_DOSEPL_ENUM=full`) keeps the full walk as the costed oracle;
+//! both modes make bitwise-identical decisions.
 
 use crate::context::{GoldenSummary, OptContext};
+use crate::gridindex::GridIndex;
 use dme_dosemap::DoseMap;
 use dme_liberty::Library;
 use dme_netlist::{InstId, Netlist};
 use dme_placement::{NetBoxCache, NetPins, Placement, PlacementDelta, RowIndex};
 use dme_sta::{
-    analyze, worst_path_per_endpoint, AssignmentDelta, GeometryAssignment, IncrementalSta,
+    analyze, worst_paths_per_endpoint_k, worst_paths_top_k, AssignmentDelta, GeometryAssignment,
+    IncrementalSta, TimingPath,
 };
 
 /// Selects the candidate-loop implementation (see module docs). Both
@@ -68,6 +80,39 @@ impl SwapEngine {
     }
 }
 
+/// Selects how each round's top-K critical paths are enumerated. Both
+/// modes produce bitwise-identical path sets, order, and therefore
+/// identical swap decisions; they differ only in round-startup cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PathEnum {
+    /// Resolve from the `DME_DOSEPL_ENUM` environment variable
+    /// (`"full"` selects [`PathEnum::Full`]); otherwise use
+    /// [`PathEnum::Incremental`].
+    #[default]
+    Auto,
+    /// O(K·depth + pops) enumeration straight from the incremental
+    /// timer's per-endpoint contribution heap — no full-design
+    /// `analyze`, no full endpoint sort. Requires the
+    /// [`SwapEngine::Delta`] engine; under [`SwapEngine::Reference`]
+    /// the full walk runs regardless.
+    Incremental,
+    /// Full `analyze` plus the endpoint walk at every round start —
+    /// the costed oracle the incremental mode is checked against (a CI
+    /// leg forces this through the dosepl tests).
+    Full,
+}
+
+impl PathEnum {
+    /// Whether the incremental enumerator should run.
+    fn use_incremental(self) -> bool {
+        match self {
+            PathEnum::Incremental => true,
+            PathEnum::Full => false,
+            PathEnum::Auto => std::env::var("DME_DOSEPL_ENUM").map_or(true, |v| v != "full"),
+        }
+    }
+}
+
 /// Tuning knobs of the swapping heuristic (γ-parameters of the paper).
 #[derive(Debug, Clone)]
 pub struct DoseplConfig {
@@ -90,6 +135,8 @@ pub struct DoseplConfig {
     pub swaps_per_round: usize,
     /// Candidate-loop engine (bitwise-equivalent implementations).
     pub engine: SwapEngine,
+    /// Round-start path enumeration (bitwise-equivalent modes).
+    pub path_enum: PathEnum,
 }
 
 impl Default for DoseplConfig {
@@ -103,6 +150,7 @@ impl Default for DoseplConfig {
             leak_increase_frac: 0.1,
             swaps_per_round: 1,
             engine: SwapEngine::Auto,
+            path_enum: PathEnum::Auto,
         }
     }
 }
@@ -161,6 +209,143 @@ pub struct DeltaEngineStats {
     pub undo_evals_avoided: u64,
 }
 
+/// Round-start enumeration telemetry, accumulated across all rounds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EnumTallies {
+    /// MCT-heap entries popped by the lazy top-K selection.
+    pub endpoints_popped: u64,
+    /// Endpoints actually selected (≤ K per round). Every pop is either
+    /// a selection or a stale discard, so `endpoints_popped ==
+    /// endpoints_selected + stale_discards`.
+    pub endpoints_selected: u64,
+    /// Popped heap entries discarded as stale (superseded contributions
+    /// or undo-replay duplicates) — the lazy structure's GC.
+    pub stale_discards: u64,
+    /// Rounds that enumerated via the incremental heap, each skipping
+    /// one full-design `analyze` + full endpoint sort.
+    pub full_analyze_skipped: u64,
+    /// Rounds that paid the full `analyze` + endpoint walk (the costed
+    /// oracle path; zero when the incremental enumerator ran).
+    pub full_walks: u64,
+    /// Rounds that started on reused (epoch-stamped / journal-synced)
+    /// scratch instead of fresh O(n) allocations.
+    pub scratch_reuse: u64,
+}
+
+/// Run-persistent, epoch-stamped scratch for the per-round criticality
+/// state. All O(n) arrays are allocated once per dosePl run; a round
+/// opens with `begin_round`, which bumps the epoch (invalidating the
+/// stamps in O(1)) and resets only the O(K) per-path buffers — round
+/// startup does zero O(n) allocation or clearing.
+///
+/// `paths_of_cell` is a flat CSR over per-round dense slots: the round's
+/// distinct critical cells get consecutive slot ids, and one shared
+/// index buffer plus offsets replaces the per-cell `Vec<u32>`s the loop
+/// used to rebuild every round.
+struct RoundScratch {
+    epoch: u64,
+    /// Cell is critical this round ⇔ `mark[i] == epoch`.
+    mark: Vec<u64>,
+    /// Eq. (13) weight; valid iff `mark[i] == epoch`.
+    weight: Vec<f64>,
+    /// Dense per-round slot of a critical cell; valid iff marked.
+    slot_of: Vec<u32>,
+    /// Number of slots handed out this round (distinct critical cells).
+    num_slots: usize,
+    /// (slot, path) membership pairs, CSR-compiled by `seal_paths`.
+    pairs: Vec<(u32, u32)>,
+    csr_start: Vec<u32>,
+    csr_items: Vec<u32>,
+    /// Per-path dedup scratch (a path counts once per cell).
+    path_cells: Vec<InstId>,
+    /// Swap count per path index, γ₁-gated.
+    swapped_on_path: Vec<usize>,
+}
+
+impl RoundScratch {
+    fn new(n: usize) -> Self {
+        Self {
+            epoch: 0,
+            mark: vec![0; n],
+            weight: vec![0.0; n],
+            slot_of: vec![0; n],
+            num_slots: 0,
+            pairs: Vec::new(),
+            csr_start: Vec::new(),
+            csr_items: Vec::new(),
+            path_cells: Vec::new(),
+            swapped_on_path: Vec::new(),
+        }
+    }
+
+    /// Opens a round: stamps invalidated in O(1), per-path buffers reset
+    /// in O(previous round's path volume).
+    fn begin_round(&mut self, paths: &[TimingPath]) {
+        self.epoch += 1;
+        self.num_slots = 0;
+        self.pairs.clear();
+        self.swapped_on_path.clear();
+        self.swapped_on_path.resize(paths.len(), 0);
+        for (pi, p) in paths.iter().enumerate() {
+            let w = (-p.slack_ns).exp();
+            for &c in &p.instances {
+                let ci = c.0 as usize;
+                if self.mark[ci] != self.epoch {
+                    self.mark[ci] = self.epoch;
+                    self.weight[ci] = w;
+                    self.slot_of[ci] = self.num_slots as u32;
+                    self.num_slots += 1;
+                } else {
+                    self.weight[ci] += w;
+                }
+            }
+            // Deduped membership: a path counts once per cell no matter
+            // how often the cell appears on it.
+            self.path_cells.clear();
+            self.path_cells.extend_from_slice(&p.instances);
+            self.path_cells.sort_unstable();
+            self.path_cells.dedup();
+            for k in 0..self.path_cells.len() {
+                let c = self.path_cells[k];
+                self.pairs.push((self.slot_of[c.0 as usize], pi as u32));
+            }
+        }
+        // Compile the pairs into CSR form (counting sort by slot; pair
+        // order within a slot is path order, matching the per-cell push
+        // order of the old Vec-of-Vecs layout).
+        self.csr_start.clear();
+        self.csr_start.resize(self.num_slots + 1, 0);
+        for &(s, _) in &self.pairs {
+            self.csr_start[s as usize + 1] += 1;
+        }
+        for i in 0..self.num_slots {
+            self.csr_start[i + 1] += self.csr_start[i];
+        }
+        self.csr_items.clear();
+        self.csr_items.resize(self.pairs.len(), 0);
+        let mut cursor: Vec<u32> = self.csr_start.clone();
+        for &(s, pi) in &self.pairs {
+            let c = &mut cursor[s as usize];
+            self.csr_items[*c as usize] = pi;
+            *c += 1;
+        }
+    }
+
+    /// Whether the cell lies on one of this round's top-K paths.
+    #[inline]
+    fn is_critical(&self, i: usize) -> bool {
+        self.mark[i] == self.epoch
+    }
+
+    /// Path indices containing the (critical) cell.
+    #[inline]
+    fn paths_of(&self, i: usize) -> &[u32] {
+        debug_assert!(self.is_critical(i));
+        let s = self.slot_of[i] as usize;
+        &self.csr_items[self.csr_start[s] as usize..self.csr_start[s + 1] as usize]
+    }
+}
+
 /// Outcome of the dosePl pass.
 #[derive(Debug, Clone)]
 pub struct DoseplResult {
@@ -201,6 +386,9 @@ pub struct DoseplResult {
     /// Work-avoided telemetry of the O(Δ) engine (zeros under
     /// [`SwapEngine::Reference`]).
     pub delta_stats: DeltaEngineStats,
+    /// Round-start enumeration telemetry (mode-dependent; excluded from
+    /// the bitwise equivalence contract, like [`DeltaEngineStats`]).
+    pub enum_tallies: EnumTallies,
 }
 
 /// Re-derives the per-instance geometry assignment from dose maps for an
@@ -332,10 +520,15 @@ pub fn dosepl(
 
     // Incremental timer for the per-swap gate. Candidate swaps are timed
     // by re-evaluating only the perturbation's fanout cone; full golden
-    // `analyze` runs remain at the checkpoints (entry, round start,
-    // signoff) and must agree with it bitwise.
+    // `analyze` runs remain at the checkpoints (entry, signoff) and must
+    // agree with it bitwise.
+    let use_delta = cfg.engine.use_delta();
+    // Round-start path enumeration rides on the incremental timer's
+    // endpoint heap; the reference engine keeps the full walk as its
+    // costed oracle.
+    let use_inc_enum = use_delta && cfg.path_enum.use_incremental();
     let mut inc = IncrementalSta::new(lib, nl, &placement, &assignment);
-    if cfg.engine.use_delta() {
+    if use_delta {
         // Trial-and-reject undo journal: the delta engine rolls a
         // rejected candidate's timing state back by replaying old slot
         // values (zero gate evaluations) instead of re-timing the cone.
@@ -345,7 +538,7 @@ pub fn dosepl(
     let mut mct_cur = inc.mct_ns();
     debug_assert_eq!(mct_cur.to_bits(), golden_before.mct_ns.to_bits());
 
-    let mut scratch = if cfg.engine.use_delta() {
+    let mut scratch = if use_delta {
         SwapScratch::Delta {
             pdelta: PlacementDelta::new(),
             adelta: AssignmentDelta::new(),
@@ -368,6 +561,16 @@ pub fn dosepl(
     let mut rounds_run = 0usize;
     let mut swap_evals = 0usize;
     let mut tallies = SwapFilterTallies::default();
+    let mut enum_tallies = EnumTallies::default();
+
+    // Run-persistent round state: the cell → dose-grid index (synced
+    // from the placement journal at round boundaries under the delta
+    // engine, rebuilt from scratch per round under the reference
+    // engine) and the epoch-stamped criticality scratch. Both are
+    // allocated once here; round startup reuses them.
+    let grid = &poly.grid;
+    let mut gridx = GridIndex::build(lib, nl, &placement, grid);
+    let mut rscratch = RoundScratch::new(n);
 
     for round in 0..cfg.rounds {
         let _round_span = dme_obs::span("round");
@@ -380,74 +583,93 @@ pub fn dosepl(
         // scope instead.
         let snapshot = match &mut scratch {
             SwapScratch::Delta { pdelta, adelta, .. } => {
+                // Re-file only the cells the previous round's journal
+                // moved (an accepted round leaves its writes in the
+                // journal until here; a rolled-back round synced at
+                // rollback and left it empty).
+                let moved = pdelta.touched_since(0);
+                gridx.sync(lib, nl, &placement, grid, &moved);
                 pdelta.clear();
                 adelta.clear();
+                if round > 0 {
+                    enum_tallies.scratch_reuse += 1;
+                }
                 None
             }
-            SwapScratch::Reference { .. } => Some((placement.x_um.clone(), placement.y_um.clone())),
+            SwapScratch::Reference { .. } => {
+                // Costed oracle: the reference engine re-files every
+                // cell from scratch each round.
+                gridx.rebuild(lib, nl, &placement, grid);
+                Some((placement.x_um.clone(), placement.y_um.clone()))
+            }
         };
+        #[cfg(debug_assertions)]
+        debug_assert!(
+            gridx.is_consistent(lib, nl, &placement, grid),
+            "grid index diverged from a from-scratch rebuild"
+        );
         let round_start_mct = mct_cur;
         let sta_round = inc.mark();
-        let report = analyze(lib, nl, &placement, &assignment);
-        debug_assert_eq!(
-            report.mct_ns.to_bits(),
-            mct_cur.to_bits(),
-            "incremental and golden round-start MCT diverged"
-        );
         // One worst path per endpoint (the signoff timer's view), most
         // critical first, capped at the configured K.
-        let mut paths = worst_path_per_endpoint(nl, &report, &ctx.setup_ns);
-        paths.truncate(cfg.top_k);
+        let paths: Vec<TimingPath> = if use_inc_enum {
+            let _s = dme_obs::span("enumerate_paths");
+            let (paths, tk) = worst_paths_top_k(&mut inc, cfg.top_k);
+            enum_tallies.endpoints_popped += tk.endpoints_popped;
+            enum_tallies.stale_discards += tk.stale_discards;
+            enum_tallies.endpoints_selected += paths.len() as u64;
+            enum_tallies.full_analyze_skipped += 1;
+            // Golden cross-check (debug builds only): the heap-driven
+            // enumeration must equal the full analyze + full walk
+            // bitwise — paths, order, and delay/slack bits.
+            #[cfg(debug_assertions)]
+            {
+                let report = analyze(lib, nl, &placement, &assignment);
+                debug_assert_eq!(
+                    report.mct_ns.to_bits(),
+                    mct_cur.to_bits(),
+                    "incremental and golden round-start MCT diverged"
+                );
+                let oracle = worst_paths_per_endpoint_k(nl, &report, &ctx.setup_ns, cfg.top_k);
+                debug_assert_eq!(paths.len(), oracle.len(), "path count diverged");
+                for (p, o) in paths.iter().zip(&oracle) {
+                    debug_assert_eq!(p.instances, o.instances, "path instances diverged");
+                    debug_assert_eq!(p.delay_ns.to_bits(), o.delay_ns.to_bits());
+                    debug_assert_eq!(p.slack_ns.to_bits(), o.slack_ns.to_bits());
+                }
+            }
+            paths
+        } else {
+            let _s = dme_obs::span("enumerate_paths");
+            enum_tallies.full_walks += 1;
+            let report = analyze(lib, nl, &placement, &assignment);
+            debug_assert_eq!(
+                report.mct_ns.to_bits(),
+                mct_cur.to_bits(),
+                "incremental and golden round-start MCT diverged"
+            );
+            worst_paths_per_endpoint_k(nl, &report, &ctx.setup_ns, cfg.top_k)
+        };
 
         // Criticality flags and Eq. (13) weights, plus the cell → path
         // inverted index: accepted swaps bump the swap count of every
         // path containing the swapped critical cell without re-scanning
-        // the whole path list.
-        let mut critical = vec![false; n];
-        let mut weight = vec![0.0f64; n];
-        let mut paths_of_cell: Vec<Vec<u32>> = vec![Vec::new(); n];
-        let mut path_cells_scratch: Vec<InstId> = Vec::new();
-        for (pi, p) in paths.iter().enumerate() {
-            let w = (-p.slack_ns).exp();
-            for &c in &p.instances {
-                critical[c.0 as usize] = true;
-                weight[c.0 as usize] += w;
-            }
-            // Deduped membership: a path counts once per cell no matter
-            // how often the cell appears on it.
-            path_cells_scratch.clear();
-            path_cells_scratch.extend_from_slice(&p.instances);
-            path_cells_scratch.sort_unstable();
-            path_cells_scratch.dedup();
-            for &c in &path_cells_scratch {
-                paths_of_cell[c.0 as usize].push(pi as u32);
-            }
-        }
-        let mut swapped_on_path = vec![0usize; paths.len()];
-
-        // Per-grid non-critical cell lists at current positions.
-        let grid = &poly.grid;
-        let mut grid_members: Vec<Vec<InstId>> = vec![Vec::new(); grid.num_cells()];
-        let mut grid_of = vec![0usize; n];
-        for i in 0..n {
-            let (x, y) = placement.center(lib, nl, InstId(i as u32));
-            let g = grid.cell_of(x, y);
-            grid_of[i] = g;
-            if !critical[i] {
-                grid_members[g].push(InstId(i as u32));
-            }
-        }
+        // the whole path list. Epoch-stamped and CSR-compiled — no O(n)
+        // clearing.
+        rscratch.begin_round(&paths);
 
         let mut round_swaps: Vec<(InstId, InstId)> = Vec::new();
         let mut num_swaps = 0usize;
 
         'paths: for (pi, path) in paths.iter().enumerate() {
-            if swapped_on_path[pi] >= cfg.max_swapped_per_path {
+            if rscratch.swapped_on_path[pi] >= cfg.max_swapped_per_path {
                 continue;
             }
             // Cells ordered by non-increasing weight.
             let mut cells = path.instances.clone();
-            cells.sort_by(|a, b| weight[b.0 as usize].total_cmp(&weight[a.0 as usize]));
+            cells.sort_by(|a, b| {
+                rscratch.weight[b.0 as usize].total_cmp(&rscratch.weight[a.0 as usize])
+            });
             'cells: for &cell_l in &cells {
                 let li = cell_l.0 as usize;
                 if fixed[li] {
@@ -455,7 +677,7 @@ pub fn dosepl(
                 }
                 let enum_span = dme_obs::span("enumerate");
                 let bl = placement.neighborhood_bbox(lib, nl, cell_l);
-                let my_dose = poly.dose_pct[grid_of[li]];
+                let my_dose = poly.dose_pct[gridx.grid_of(li)];
                 // Grids intersecting bl, sorted by dose descending. The
                 // delta engine enumerates only the banded rectangle of
                 // candidate cells; the reference engine scans the grid.
@@ -484,11 +706,20 @@ pub fn dosepl(
                         break;
                     }
                     // Non-critical candidates by distance, each distance
-                    // computed once and carried as the sort key.
-                    let mut nc: Vec<(InstId, f64)> = grid_members[g]
+                    // computed once and carried as the sort key. The
+                    // index files every cell; criticality is filtered
+                    // here at query time (members are ascending by id,
+                    // so the candidate sequence matches the old
+                    // non-critical-only rebuild exactly).
+                    let mut nc: Vec<(InstId, f64)> = gridx
+                        .members(g)
                         .iter()
                         .copied()
-                        .filter(|&m| !fixed[m.0 as usize] && m != cell_l)
+                        .filter(|&m| {
+                            !rscratch.is_critical(m.0 as usize)
+                                && !fixed[m.0 as usize]
+                                && m != cell_l
+                        })
                         .map(|m| (m, placement.distance(lib, nl, cell_l, m)))
                         .collect();
                     nc.sort_by(|a, b| a.1.total_cmp(&b.1));
@@ -527,7 +758,7 @@ pub fn dosepl(
                             continue;
                         }
                         // Leakage filter: combined leakage at swapped doses.
-                        let dose_l = poly.dose_pct[grid_of[li]];
+                        let dose_l = poly.dose_pct[gridx.grid_of(li)];
                         let dose_m = poly.dose_pct[g];
                         let dl_l = ds * dose_l;
                         let dl_m = ds * dose_m;
@@ -655,8 +886,9 @@ pub fn dosepl(
                         num_swaps += 1;
                         // Update swap counts on every path containing
                         // cell_l via the inverted index.
-                        for &qi in &paths_of_cell[li] {
-                            swapped_on_path[qi as usize] += 1;
+                        for k in 0..rscratch.paths_of(li).len() {
+                            let qi = rscratch.paths_of(li)[k] as usize;
+                            rscratch.swapped_on_path[qi] += 1;
                         }
                         if num_swaps >= cfg.swaps_per_round {
                             break 'paths;
@@ -712,10 +944,13 @@ pub fn dosepl(
                     // Replay the whole round's journals; only the nets of
                     // the cells that actually moved need re-caching. The
                     // timing state rolls back the same way — old-value
-                    // replay to the round-start mark.
+                    // replay to the round-start mark. The grid index is
+                    // re-filed here too (the journal is empty after the
+                    // replay, so the round-start sync sees nothing).
                     let touched = pdelta.touched_since(0);
                     pdelta.undo_all(&mut placement);
                     rowindex.sync(&placement, &touched);
+                    gridx.sync(lib, nl, &placement, grid, &touched);
                     adelta.undo_all(&mut assignment);
                     cache.refresh_for_moved(lib, nl, &placement, &touched);
                     inc.undo_to(sta_round);
@@ -826,6 +1061,24 @@ pub fn dosepl(
         tallies.accepted_provisional as u64,
     );
     dme_obs::counter_add("dosepl/rolled_back", tallies.rolled_back as u64);
+    dme_obs::counter_add(
+        "dosepl/enumerate_endpoints_popped",
+        enum_tallies.endpoints_popped,
+    );
+    dme_obs::counter_add(
+        "dosepl/enumerate_endpoints_selected",
+        enum_tallies.endpoints_selected,
+    );
+    dme_obs::counter_add(
+        "dosepl/enumerate_stale_discards",
+        enum_tallies.stale_discards,
+    );
+    dme_obs::counter_add(
+        "dosepl/enumerate_full_analyze_skipped",
+        enum_tallies.full_analyze_skipped,
+    );
+    dme_obs::counter_add("dosepl/enumerate_full_walks", enum_tallies.full_walks);
+    dme_obs::counter_add("dosepl/enumerate_scratch_reuse", enum_tallies.scratch_reuse);
     if delta_stats.delta_engine {
         dme_obs::counter_add(
             "dosepl/assignment_evals_avoided",
@@ -861,6 +1114,7 @@ pub fn dosepl(
         incremental_work_ratio,
         filter_tallies: tallies,
         delta_stats,
+        enum_tallies,
     }
 }
 
@@ -1021,6 +1275,63 @@ mod tests {
             assert!(fast.delta_stats.assignment_evals_avoided > 0);
             assert!(fast.delta_stats.undo_evals_avoided > 0);
         }
+    }
+
+    #[test]
+    fn enum_modes_match_bitwise() {
+        let lib = Library::standard(Technology::n65());
+        let d = gen::generate(&profiles::tiny(), &lib);
+        let p = dme_placement::place(&d, &lib);
+        let ctx = OptContext::new(&lib, &d, &p);
+        let dm = optimize(
+            &ctx,
+            &DmoptConfig {
+                objective: Objective::MinTiming { xi_uw: 0.0 },
+                grid_g_um: 5.0,
+                ..DmoptConfig::default()
+            },
+        )
+        .expect("dmopt");
+        let base = DoseplConfig {
+            top_k: 100,
+            rounds: 4,
+            swaps_per_round: 2,
+            engine: SwapEngine::Delta,
+            ..DoseplConfig::default()
+        };
+        let inc = dosepl(
+            &ctx,
+            &dm.poly_map,
+            None,
+            -2.0,
+            &DoseplConfig {
+                path_enum: PathEnum::Incremental,
+                ..base.clone()
+            },
+        );
+        let full = dosepl(
+            &ctx,
+            &dm.poly_map,
+            None,
+            -2.0,
+            &DoseplConfig {
+                path_enum: PathEnum::Full,
+                ..base
+            },
+        );
+        assert_results_bitwise_equal(&inc, &full);
+        // The incremental run skipped every round-start full analyze and
+        // dispositioned each heap pop exactly once; the full-walk run
+        // never touched the heap.
+        assert_eq!(inc.enum_tallies.full_walks, 0);
+        assert_eq!(inc.enum_tallies.full_analyze_skipped as usize, inc.rounds_run);
+        assert_eq!(
+            inc.enum_tallies.endpoints_popped,
+            inc.enum_tallies.endpoints_selected + inc.enum_tallies.stale_discards
+        );
+        assert_eq!(full.enum_tallies.full_analyze_skipped, 0);
+        assert_eq!(full.enum_tallies.full_walks as usize, full.rounds_run);
+        assert_eq!(full.enum_tallies.endpoints_popped, 0);
     }
 
     #[test]

@@ -54,10 +54,13 @@ pub mod dosepl;
 mod error;
 pub mod flow;
 mod formulate;
+mod gridindex;
 mod optimize;
 
 pub use context::{GoldenSummary, OptContext};
-pub use dosepl::{dosepl, DeltaEngineStats, DoseplConfig, DoseplResult, SwapEngine};
+pub use dosepl::{
+    dosepl, DeltaEngineStats, DoseplConfig, DoseplResult, EnumTallies, PathEnum, SwapEngine,
+};
 pub use error::DmoptError;
 pub use formulate::{Formulation, FormulationParams, VarLayout};
 pub use optimize::{

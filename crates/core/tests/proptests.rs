@@ -4,7 +4,9 @@ use dme_device::Technology;
 use dme_dosemap::{DoseGrid, DoseMap};
 use dme_liberty::Library;
 use dme_netlist::{gen, profiles::TechNode, DesignProfile};
-use dmeopt::{dosepl, optimize, DmoptConfig, DoseplConfig, Objective, OptContext, SwapEngine};
+use dmeopt::{
+    dosepl, optimize, DmoptConfig, DoseplConfig, Objective, OptContext, PathEnum, SwapEngine,
+};
 use proptest::prelude::*;
 
 fn random_profile() -> impl Strategy<Value = DesignProfile> {
@@ -148,6 +150,76 @@ proptest! {
             refr.incremental_gate_evals
         );
         prop_assert_eq!(fast.filter_tallies, refr.filter_tallies);
+    }
+
+    /// The O(K) incremental path enumerator (heap-driven top-K selection,
+    /// no round-start full analyze) drives the engine to bitwise-identical
+    /// decisions as the full analyze + full-sort walk on random designs.
+    #[test]
+    fn dosepl_enum_modes_agree_bitwise(
+        profile in random_profile(),
+        g in 4.0f64..12.0,
+        map_seed in any::<u64>(),
+        rounds in 1usize..4,
+        swaps_per_round in 1usize..4,
+    ) {
+        let lib = Library::standard(Technology::n65());
+        let d = gen::generate(&profile, &lib);
+        let p = dme_placement::place(&d, &lib);
+        let ctx = OptContext::new(&lib, &d, &p);
+        let grid = DoseGrid::with_granularity(p.die_w_um, p.die_h_um, g);
+        let vals: Vec<f64> = (0..grid.num_cells())
+            .map(|i| {
+                let h = (i as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(map_seed)
+                    .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                ((h >> 11) as f64 / (1u64 << 53) as f64) * 8.0 - 4.0
+            })
+            .collect();
+        let map = DoseMap::from_values(grid, vals);
+        let base = DoseplConfig {
+            top_k: 50,
+            rounds,
+            swaps_per_round,
+            engine: SwapEngine::Delta,
+            ..DoseplConfig::default()
+        };
+        let inc = dosepl(&ctx, &map, None, -2.0, &DoseplConfig {
+            path_enum: PathEnum::Incremental,
+            ..base.clone()
+        });
+        let full = dosepl(&ctx, &map, None, -2.0, &DoseplConfig {
+            path_enum: PathEnum::Full,
+            ..base
+        });
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        prop_assert_eq!(bits(&inc.placement.x_um), bits(&full.placement.x_um));
+        prop_assert_eq!(bits(&inc.placement.y_um), bits(&full.placement.y_um));
+        prop_assert_eq!(bits(&inc.assignment.dl_nm), bits(&full.assignment.dl_nm));
+        prop_assert_eq!(bits(&inc.assignment.dw_nm), bits(&full.assignment.dw_nm));
+        prop_assert_eq!(inc.golden_after.mct_ns.to_bits(), full.golden_after.mct_ns.to_bits());
+        prop_assert_eq!(
+            inc.golden_after.leakage_uw.to_bits(),
+            full.golden_after.leakage_uw.to_bits()
+        );
+        prop_assert_eq!(inc.swaps_attempted, full.swaps_attempted);
+        prop_assert_eq!(inc.swaps_accepted, full.swaps_accepted);
+        prop_assert_eq!(inc.rounds_run, full.rounds_run);
+        prop_assert_eq!(inc.swap_evals, full.swap_evals);
+        prop_assert_eq!(inc.filter_tallies, full.filter_tallies);
+        // Mode accounting: incremental rounds never pay the round-start
+        // full analyze; full-walk rounds never touch the heap, and every
+        // heap pop is either selected or discarded as stale.
+        prop_assert_eq!(inc.enum_tallies.full_walks, 0);
+        prop_assert_eq!(inc.enum_tallies.full_analyze_skipped as usize, inc.rounds_run);
+        prop_assert_eq!(
+            inc.enum_tallies.endpoints_popped,
+            inc.enum_tallies.endpoints_selected + inc.enum_tallies.stale_discards
+        );
+        prop_assert_eq!(full.enum_tallies.full_walks as usize, full.rounds_run);
+        prop_assert_eq!(full.enum_tallies.full_analyze_skipped, 0);
+        prop_assert_eq!(full.enum_tallies.endpoints_popped, 0);
     }
 
     /// The QCP with ξ = 0 never increases surrogate leakage and never

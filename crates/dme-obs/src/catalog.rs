@@ -102,6 +102,30 @@ pub const METRICS: &[MetricInfo] = &[
         "candidate pairs discarded by the distance cutoff",
     ),
     c(
+        "dosepl/enumerate_endpoints_popped",
+        "heap pops during incremental top-K endpoint selection",
+    ),
+    c(
+        "dosepl/enumerate_endpoints_selected",
+        "endpoints kept by incremental top-K selection",
+    ),
+    c(
+        "dosepl/enumerate_full_analyze_skipped",
+        "round-start full STAs avoided by incremental enumeration",
+    ),
+    c(
+        "dosepl/enumerate_full_walks",
+        "rounds enumerated by the full analyze + sort walk",
+    ),
+    c(
+        "dosepl/enumerate_scratch_reuse",
+        "rounds reusing the epoch-stamped round scratch",
+    ),
+    c(
+        "dosepl/enumerate_stale_discards",
+        "stale or duplicate heap entries discarded during top-K",
+    ),
+    c(
         "dosepl/grid_cell_evals_avoided",
         "dose-grid cells skipped by banded range queries",
     ),
@@ -268,6 +292,10 @@ pub const METRICS: &[MetricInfo] = &[
         "dose-map grid update after a swap",
     ),
     s("flow/dosepl/round/enumerate", "candidate pair enumeration"),
+    s(
+        "flow/dosepl/round/enumerate_paths",
+        "critical-path enumeration at round start (top-K or full walk)",
+    ),
     s(
         "flow/dosepl/round/filter",
         "bbox/HPWL/leakage candidate filters",

@@ -63,6 +63,19 @@ impl RetimeStats {
     }
 }
 
+/// Work counters of one [`IncrementalSta::worst_endpoints_top_k`]
+/// selection, for comparing lazy top-K extraction against the full
+/// endpoint sort it replaces.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TopKStats {
+    /// Heap entries popped (selected live entries plus discards).
+    pub endpoints_popped: u64,
+    /// Popped entries dropped for good: contributions superseded by a
+    /// later retime, or duplicate live entries left behind by undo
+    /// replay. Discarding is the lazy structure's garbage collection.
+    pub stale_discards: u64,
+}
+
 /// Journal position returned by [`IncrementalSta::mark`]; pass it back
 /// to [`IncrementalSta::undo_to`] / [`IncrementalSta::commit`].
 #[derive(Debug, Clone, Copy)]
@@ -176,14 +189,20 @@ pub struct IncrementalSta<'a> {
     // Incremental MCT: one contribution per timing endpoint (FF data
     // pins, then primary outputs), reverse indexes from the inputs a
     // contribution depends on, and a lazy max-heap over contributions
-    // (stale entries are discarded at query time).
+    // (stale entries are discarded at query time). Ties break toward
+    // the lower endpoint index so top-K pops reproduce the stable
+    // delay-descending endpoint sort of `worst_path_per_endpoint`.
     ep_drv: Vec<u32>,
     ep_net: Vec<u32>, // u32::MAX for primary-output endpoints
     ep_setup: Vec<f64>,
     ep_contrib: Vec<f64>,
     eps_of_inst: Csr,
     eps_of_net: Csr,
-    mct_heap: BinaryHeap<(OrdF64, u32)>,
+    mct_heap: BinaryHeap<(OrdF64, Reverse<u32>)>,
+    // Epoch-stamped dedup marks for `worst_endpoints_top_k` (an endpoint
+    // can carry several live heap entries after undo replay).
+    topk_mark: Vec<u64>,
+    topk_epoch: u64,
     // Undo journal (armed by trial-and-reject callers).
     journal: Vec<JEntry>,
     journal_armed: bool,
@@ -282,6 +301,8 @@ impl<'a> IncrementalSta<'a> {
             eps_of_inst,
             eps_of_net,
             mct_heap: BinaryHeap::new(),
+            topk_mark: vec![0; num_eps],
+            topk_epoch: 0,
             journal: Vec::new(),
             journal_armed: false,
             stats: RetimeStats::default(),
@@ -310,7 +331,7 @@ impl<'a> IncrementalSta<'a> {
         for e in 0..self.ep_drv.len() {
             let v = self.ep_value(e);
             self.ep_contrib[e] = v;
-            self.mct_heap.push((OrdF64(v), e as u32));
+            self.mct_heap.push((OrdF64(v), Reverse(e as u32)));
         }
     }
 
@@ -558,7 +579,7 @@ impl<'a> IncrementalSta<'a> {
             if v.to_bits() != self.ep_contrib[k].to_bits() {
                 self.jpush(Slot::EpContrib, e, self.ep_contrib[k]);
                 self.ep_contrib[k] = v;
-                self.mct_heap.push((OrdF64(v), e));
+                self.mct_heap.push((OrdF64(v), Reverse(e)));
             }
         }
         self.dirty_eps = eps;
@@ -569,13 +590,53 @@ impl<'a> IncrementalSta<'a> {
     /// the full endpoint scan (`max` over non-NaN values is
     /// order-insensitive), amortized O(1).
     fn mct_lazy(&mut self) -> f64 {
-        while let Some(&(OrdF64(v), e)) = self.mct_heap.peek() {
+        while let Some(&(OrdF64(v), Reverse(e))) = self.mct_heap.peek() {
             if v.to_bits() == self.ep_contrib[e as usize].to_bits() {
                 return 0.0f64.max(v);
             }
             self.mct_heap.pop();
         }
         0.0
+    }
+
+    /// Pops the `k` worst live endpoints from the lazy max-heap, most
+    /// critical first, and returns their `(endpoint delay, driver)`
+    /// pairs. Stale entries (superseded contributions) and duplicate
+    /// live entries (undo-replay residue) are discarded for good;
+    /// selected entries are pushed back, so the heap invariant — every
+    /// live contribution keeps at least one entry — survives and
+    /// [`IncrementalSta::retime_touched`]'s MCT query is unaffected.
+    ///
+    /// Ordering contract: pops come out by delay descending, ties by
+    /// endpoint construction order (FF data pins in instance order,
+    /// then primary outputs) — exactly the order of the stable sort in
+    /// [`crate::worst_path_per_endpoint`], bitwise. Fewer than `k`
+    /// pairs come back iff the design has fewer live endpoints.
+    pub fn worst_endpoints_top_k(&mut self, k: usize) -> (Vec<(f64, InstId)>, TopKStats) {
+        let cap = k.min(self.ep_drv.len());
+        let mut stats = TopKStats::default();
+        let mut selected: Vec<(OrdF64, Reverse<u32>)> = Vec::with_capacity(cap);
+        let mut out: Vec<(f64, InstId)> = Vec::with_capacity(cap);
+        self.topk_epoch += 1;
+        while out.len() < k {
+            let Some((OrdF64(v), Reverse(e))) = self.mct_heap.pop() else {
+                break;
+            };
+            stats.endpoints_popped += 1;
+            let ei = e as usize;
+            if v.to_bits() != self.ep_contrib[ei].to_bits() || self.topk_mark[ei] == self.topk_epoch
+            {
+                stats.stale_discards += 1;
+                continue;
+            }
+            self.topk_mark[ei] = self.topk_epoch;
+            selected.push((OrdF64(v), Reverse(e)));
+            out.push((v, InstId(self.ep_drv[ei])));
+        }
+        for entry in selected {
+            self.mct_heap.push(entry);
+        }
+        (out, stats)
     }
 
     /// Re-times against a perturbed placement/assignment and returns the
@@ -692,7 +753,7 @@ impl<'a> IncrementalSta<'a> {
                     // The heap entry carrying the old value may have been
                     // popped as stale; re-push so the invariant "every
                     // live contribution has a heap entry" holds.
-                    self.mct_heap.push((OrdF64(e.old), e.idx));
+                    self.mct_heap.push((OrdF64(e.old), Reverse(e.idx)));
                 }
             }
         }
@@ -715,6 +776,16 @@ impl<'a> IncrementalSta<'a> {
     /// Output slew of each instance, ns.
     pub fn output_slew_ns(&self) -> &[f64] {
         &self.out_slew
+    }
+
+    /// Wire delay of each net, ns.
+    pub fn wire_delay_ns(&self) -> &[f64] {
+        &self.net_wire_delay
+    }
+
+    /// The netlist this engine was built over.
+    pub fn netlist(&self) -> &'a Netlist {
+        self.nl
     }
 
     /// Accumulated work counters.

@@ -43,6 +43,9 @@ mod wire;
 
 pub use delta::AssignmentDelta;
 pub use engine::{analyze, analyze_with_mode, GeometryAssignment, StaMode, TimingReport};
-pub use incremental::{IncrementalSta, RetimeStats};
-pub use paths::{top_k_paths, worst_path_per_endpoint, TimingPath};
+pub use incremental::{IncrementalSta, RetimeStats, TopKStats};
+pub use paths::{
+    top_k_paths, worst_path_per_endpoint, worst_paths_per_endpoint_k, worst_paths_top_k,
+    TimingPath,
+};
 pub use wire::WireModel;

@@ -9,6 +9,7 @@
 //! the K most critical paths.
 
 use crate::engine::TimingReport;
+use crate::incremental::{IncrementalSta, TopKStats};
 use dme_netlist::{InstId, Netlist};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -184,43 +185,81 @@ pub fn worst_path_per_endpoint(
     report: &TimingReport,
     setup_ns: &[f64],
 ) -> Vec<TimingPath> {
-    assert_eq!(setup_ns.len(), nl.num_instances());
+    worst_paths_per_endpoint_k(nl, report, setup_ns, usize::MAX)
+}
 
-    // Backtrace the max-arrival chain from a driver instance.
-    let trace = |mut cur: InstId| -> Vec<InstId> {
-        let mut chain = vec![cur];
-        loop {
-            let inst = nl.instance(cur);
-            if inst.is_sequential {
-                break;
-            }
-            let mut best: Option<(f64, InstId)> = None;
-            let mut pi_arr = f64::NEG_INFINITY;
-            for &net in &inst.inputs {
-                let wire = report.wire_delay_ns[net.0 as usize];
-                match nl.net(net).driver {
-                    Some(drv) => {
-                        let a = report.arrival_ns[drv.0 as usize] + wire;
-                        if best.is_none_or(|(b, _)| a > b) {
-                            best = Some((a, drv));
-                        }
+/// Backtraces the max-arrival chain from a driver instance — the single
+/// worst path into the endpoint that driver feeds. Shared by the
+/// report-based oracle ([`worst_path_per_endpoint`]) and the
+/// incremental-state enumerator ([`worst_paths_top_k`]); both hand it
+/// bitwise-identical `arrival`/`wire_delay` arrays, so the traced
+/// chains are identical too.
+fn trace_max_arrival_chain(
+    nl: &Netlist,
+    arrival: &[f64],
+    wire_delay: &[f64],
+    mut cur: InstId,
+) -> Vec<InstId> {
+    let mut chain = vec![cur];
+    loop {
+        let inst = nl.instance(cur);
+        if inst.is_sequential {
+            break;
+        }
+        let mut best: Option<(f64, InstId)> = None;
+        let mut pi_arr = f64::NEG_INFINITY;
+        for &net in &inst.inputs {
+            let wire = wire_delay[net.0 as usize];
+            match nl.net(net).driver {
+                Some(drv) => {
+                    let a = arrival[drv.0 as usize] + wire;
+                    if best.is_none_or(|(b, _)| a > b) {
+                        best = Some((a, drv));
                     }
-                    None => pi_arr = pi_arr.max(wire),
                 }
-            }
-            match best {
-                Some((a, drv)) if a >= pi_arr => {
-                    chain.push(drv);
-                    cur = drv;
-                }
-                _ => break, // path launches from a primary input
+                None => pi_arr = pi_arr.max(wire),
             }
         }
-        chain.reverse();
-        chain
-    };
+        match best {
+            Some((a, drv)) if a >= pi_arr => {
+                chain.push(drv);
+                cur = drv;
+            }
+            _ => break, // path launches from a primary input
+        }
+    }
+    chain.reverse();
+    chain
+}
 
-    let mut out = Vec::new();
+/// [`worst_path_per_endpoint`] capped at the `k` worst endpoints by
+/// partial selection: endpoint delays are computed without backtracing,
+/// `select_nth_unstable_by` isolates the K worst, only the head is
+/// sorted, and only those K endpoints are traced — O(E + K·(log K +
+/// depth)) instead of the full O(E log E) sort plus O(E) backtraces.
+///
+/// The comparator orders by delay descending with ties broken by
+/// endpoint enumeration order (FF data pins in instance order, then
+/// primary outputs), which is exactly the order the stable sort in the
+/// uncapped walk produces — so the result is bitwise identical to
+/// `worst_path_per_endpoint(..)` truncated to `k`.
+///
+/// # Panics
+///
+/// Panics if `setup_ns` does not match the instance count.
+pub fn worst_paths_per_endpoint_k(
+    nl: &Netlist,
+    report: &TimingReport,
+    setup_ns: &[f64],
+    k: usize,
+) -> Vec<TimingPath> {
+    assert_eq!(setup_ns.len(), nl.num_instances());
+    if k == 0 {
+        return Vec::new();
+    }
+    // (delay, enumeration index, endpoint driver) — backtraces deferred
+    // until after selection.
+    let mut eps: Vec<(f64, u32, InstId)> = Vec::new();
     for id in nl.inst_ids() {
         let inst = nl.instance(id);
         if inst.is_sequential {
@@ -229,26 +268,67 @@ pub fn worst_path_per_endpoint(
                 let delay = report.arrival_ns[drv.0 as usize]
                     + report.wire_delay_ns[data.0 as usize]
                     + setup_ns[id.0 as usize];
-                out.push(TimingPath {
-                    instances: trace(drv),
-                    delay_ns: delay,
-                    slack_ns: report.mct_ns - delay,
-                });
+                eps.push((delay, eps.len() as u32, drv));
             }
         }
     }
     for &po in &nl.primary_outputs {
         if let Some(drv) = nl.net(po).driver {
             let delay = report.arrival_ns[drv.0 as usize];
-            out.push(TimingPath {
-                instances: trace(drv),
-                delay_ns: delay,
-                slack_ns: report.mct_ns - delay,
-            });
+            eps.push((delay, eps.len() as u32, drv));
         }
     }
-    out.sort_by(|a, b| b.delay_ns.total_cmp(&a.delay_ns));
-    out
+    let by_criticality = |a: &(f64, u32, InstId), b: &(f64, u32, InstId)| {
+        b.0.total_cmp(&a.0).then(a.1.cmp(&b.1))
+    };
+    if k < eps.len() {
+        eps.select_nth_unstable_by(k - 1, by_criticality);
+        eps.truncate(k);
+    }
+    eps.sort_unstable_by(by_criticality);
+    eps.into_iter()
+        .map(|(delay, _, drv)| TimingPath {
+            instances: trace_max_arrival_chain(
+                nl,
+                &report.arrival_ns,
+                &report.wire_delay_ns,
+                drv,
+            ),
+            delay_ns: delay,
+            slack_ns: report.mct_ns - delay,
+        })
+        .collect()
+}
+
+/// The `k` worst endpoint paths straight from an [`IncrementalSta`]'s
+/// lazily maintained per-endpoint contribution state — no full-design
+/// `analyze`, no full endpoint sort. Costs O(k·depth) backtraces plus
+/// the heap pops ([`TopKStats`] reports how many), so round startup in
+/// a swap loop is proportional to the paths actually consumed.
+///
+/// Bitwise contract: after any retime/undo sequence, the returned
+/// paths equal `worst_path_per_endpoint(..)` truncated to `k` — same
+/// instance chains, same `delay_ns`/`slack_ns` bits, same order —
+/// because the endpoint table mirrors the oracle's enumeration order,
+/// `ep_value` uses the oracle's delay expression, and the heap breaks
+/// ties toward lower endpoint indices exactly like the stable sort.
+pub fn worst_paths_top_k(inc: &mut IncrementalSta<'_>, k: usize) -> (Vec<TimingPath>, TopKStats) {
+    let (eps, stats) = inc.worst_endpoints_top_k(k);
+    // The first live pop is the global max contribution, so it yields
+    // the MCT with the same clamp `engine::mct_from_arrivals` applies.
+    let mct = eps.first().map_or(0.0, |&(v, _)| 0.0f64.max(v));
+    let nl = inc.netlist();
+    let arrival = inc.arrival_ns();
+    let wires = inc.wire_delay_ns();
+    let paths = eps
+        .iter()
+        .map(|&(delay, drv)| TimingPath {
+            instances: trace_max_arrival_chain(nl, arrival, wires, drv),
+            delay_ns: delay,
+            slack_ns: mct - delay,
+        })
+        .collect();
+    (paths, stats)
 }
 
 /// Enumerates the top-`k` critical paths of an analyzed design.
@@ -457,5 +537,95 @@ mod tests {
         let r = analyze(&lib, &d.netlist, &p, &doses);
         let paths = top_k_paths(&d.netlist, &r, &setups(&lib, &d.netlist), 7);
         assert!(paths.len() <= 7);
+    }
+
+    fn assert_paths_bitwise_equal(a: &[TimingPath], b: &[TimingPath], what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: length");
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(x.instances, y.instances, "{what}: instances of path {i}");
+            assert_eq!(
+                x.delay_ns.to_bits(),
+                y.delay_ns.to_bits(),
+                "{what}: delay of path {i}"
+            );
+            assert_eq!(
+                x.slack_ns.to_bits(),
+                y.slack_ns.to_bits(),
+                "{what}: slack of path {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn partial_selection_matches_truncated_full_walk() {
+        let (lib, d, p) = setup();
+        let doses = GeometryAssignment::nominal(d.netlist.num_instances());
+        let r = analyze(&lib, &d.netlist, &p, &doses);
+        let setup_t = setups(&lib, &d.netlist);
+        let full = worst_path_per_endpoint(&d.netlist, &r, &setup_t);
+        for k in [0, 1, 2, 5, full.len().saturating_sub(1), full.len(), full.len() + 10] {
+            let capped = worst_paths_per_endpoint_k(&d.netlist, &r, &setup_t, k);
+            let mut want = full.clone();
+            want.truncate(k);
+            assert_paths_bitwise_equal(&capped, &want, &format!("k = {k}"));
+        }
+    }
+
+    #[test]
+    fn incremental_top_k_matches_oracle_fresh_and_after_perturbations() {
+        let (lib, d, mut p) = setup();
+        let n = d.netlist.num_instances();
+        let mut doses = GeometryAssignment::nominal(n);
+        let mut inc = IncrementalSta::new(&lib, &d.netlist, &p, &doses);
+        let setup_t = setups(&lib, &d.netlist);
+        let check = |inc: &mut IncrementalSta<'_>,
+                     p: &dme_placement::Placement,
+                     doses: &GeometryAssignment,
+                     what: &str| {
+            let r = analyze(&lib, &d.netlist, p, doses);
+            let oracle = worst_path_per_endpoint(&d.netlist, &r, &setup_t);
+            for k in [1, 3, oracle.len(), oracle.len() + 5] {
+                let (paths, stats) = worst_paths_top_k(inc, k);
+                let mut want = oracle.clone();
+                want.truncate(k);
+                assert_paths_bitwise_equal(&paths, &want, &format!("{what}, k = {k}"));
+                assert_eq!(
+                    stats.endpoints_popped,
+                    paths.len() as u64 + stats.stale_discards,
+                    "{what}: every pop is a selection or a discard"
+                );
+            }
+        };
+        check(&mut inc, &p, &doses, "fresh");
+        // Perturb: moves and re-doses through the push path, with a
+        // rejected trial in between so undo-replay residue (duplicate
+        // live heap entries) is exercised too.
+        inc.set_journal(true);
+        let mut pd = dme_placement::PlacementDelta::default();
+        for step in 0..6u32 {
+            let mark = inc.mark();
+            let jm = pd.mark();
+            let (a, b) = (
+                InstId((step * 3 + 1) % n as u32),
+                InstId((step * 7 + 4) % n as u32),
+            );
+            let mut touched = Vec::new();
+            if a != b {
+                p.swap_cells_tracked(a, b, &mut pd);
+                touched = pd.touched_since(jm);
+            }
+            let redosed = (step as usize * 5) % n;
+            let old_dose = doses.dl_nm[redosed];
+            doses.dl_nm[redosed] = -4.0 + (step % 5) as f64;
+            touched.push(InstId(redosed as u32));
+            inc.retime_touched(&p, &doses, &touched);
+            if step % 2 == 0 {
+                // Reject the trial: replay both journals back.
+                pd.undo_to(&mut p, jm);
+                doses.dl_nm[redosed] = old_dose;
+                inc.undo_to(mark);
+            }
+            check(&mut inc, &p, &doses, &format!("step {step}"));
+        }
     }
 }

@@ -4,8 +4,8 @@ use dme_device::Technology;
 use dme_liberty::Library;
 use dme_netlist::{gen, profiles, profiles::TechNode, DesignProfile};
 use dme_sta::{
-    analyze, analyze_with_mode, worst_path_per_endpoint, GeometryAssignment, IncrementalSta,
-    StaMode,
+    analyze, analyze_with_mode, worst_path_per_endpoint, worst_paths_per_endpoint_k,
+    worst_paths_top_k, GeometryAssignment, IncrementalSta, StaMode,
 };
 use proptest::prelude::*;
 
@@ -193,6 +193,80 @@ proptest! {
             prop_assert_eq!(push.output_slew_ns()[i].to_bits(), full.output_slew_ns[i].to_bits(), "slew {}", i);
         }
         prop_assert_eq!(push.mct_ns().to_bits(), full.mct_ns.to_bits());
+    }
+
+    /// The lazy top-K enumerator over incremental state is bitwise
+    /// identical to the full endpoint walk truncated to K — same path
+    /// instance chains, same delay/slack bits, same order — across
+    /// random designs, K values, and swap/re-dose/undo sequences. The
+    /// partial-selection oracle is held to the same contract against
+    /// the stable full sort.
+    #[test]
+    fn top_k_enumeration_matches_full_walk(
+        profile in random_profile(),
+        k in 1usize..40,
+        steps in proptest::collection::vec(
+            (any::<u32>(), any::<u32>(), any::<u32>(), -8i32..=8, any::<bool>()),
+            1..8,
+        ),
+    ) {
+        let lib = Library::standard(Technology::n65());
+        let d = gen::generate(&profile, &lib);
+        let mut p = dme_placement::place(&d, &lib);
+        let n = d.netlist.num_instances();
+        let mut doses = GeometryAssignment::nominal(n);
+        let setup: Vec<f64> = d
+            .netlist
+            .instances
+            .iter()
+            .map(|i| lib.cell(i.cell_idx).setup_ns(lib.tech()))
+            .collect();
+        let mut inc = IncrementalSta::new(&lib, &d.netlist, &p, &doses);
+        inc.set_journal(true);
+        let mut pd = dme_placement::PlacementDelta::default();
+        for &(ra, rb, rc, step, reject) in &steps {
+            let smark = inc.mark();
+            let jmark = pd.mark();
+            let (a, b) = (ra as usize % n, rb as usize % n);
+            let mut touched = Vec::new();
+            if a != b {
+                let (a, b) = (dme_netlist::InstId(a as u32), dme_netlist::InstId(b as u32));
+                p.swap_cells_tracked(a, b, &mut pd);
+                touched = pd.touched_since(jmark);
+            }
+            let redosed = rc as usize % n;
+            let old_dose = doses.dl_nm[redosed];
+            doses.dl_nm[redosed] = step as f64;
+            touched.push(dme_netlist::InstId(redosed as u32));
+            inc.retime_touched(&p, &doses, &touched);
+            if reject {
+                // Trial rejected: journal replay on both sides, leaving
+                // duplicate live entries in the MCT heap for the
+                // enumerator's dedup to handle.
+                pd.undo_to(&mut p, jmark);
+                doses.dl_nm[redosed] = old_dose;
+                inc.undo_to(smark);
+            }
+            let full = analyze(&lib, &d.netlist, &p, &doses);
+            let mut oracle = worst_path_per_endpoint(&d.netlist, &full, &setup);
+            let capped = worst_paths_per_endpoint_k(&d.netlist, &full, &setup, k);
+            oracle.truncate(k);
+            prop_assert_eq!(capped.len(), oracle.len());
+            let (paths, stats) = worst_paths_top_k(&mut inc, k);
+            prop_assert_eq!(paths.len(), oracle.len());
+            prop_assert_eq!(
+                stats.endpoints_popped,
+                paths.len() as u64 + stats.stale_discards
+            );
+            for (i, want) in oracle.iter().enumerate() {
+                prop_assert_eq!(&capped[i].instances, &want.instances, "partial path {}", i);
+                prop_assert_eq!(capped[i].delay_ns.to_bits(), want.delay_ns.to_bits());
+                prop_assert_eq!(capped[i].slack_ns.to_bits(), want.slack_ns.to_bits());
+                prop_assert_eq!(&paths[i].instances, &want.instances, "lazy path {}", i);
+                prop_assert_eq!(paths[i].delay_ns.to_bits(), want.delay_ns.to_bits());
+                prop_assert_eq!(paths[i].slack_ns.to_bits(), want.slack_ns.to_bits());
+            }
+        }
     }
 
     /// Dose monotonicity at chip level: more dose (shorter gates) never

@@ -283,6 +283,18 @@ if rc12 and rc100 and rc12["median_ns"] > 0:
         "ratio_100k_over_12k": round(rc100["median_ns"] / rc12["median_ns"], 3),
     }
 
+# Incremental round-start path enumeration flatness: top-K heap pops +
+# K backtraces are O(K log E), so the cost stays within ~2x from 12k to
+# 100k endpoints (pure log-factor growth, no O(n) analyze or sort).
+en12 = benches.get("perf/enumerate_12k")
+en100 = benches.get("perf/enumerate_100k")
+if en12 and en100 and en12["median_ns"] > 0:
+    result["enumeration_scaling"] = {
+        "median_ns_12k": en12["median_ns"],
+        "median_ns_100k": en100["median_ns"],
+        "ratio_100k_over_12k": round(en100["median_ns"] / en12["median_ns"], 3),
+    }
+
 # Scaling sweep rows (scale_smoke SMOKELINE at 12k/100k/1M cells).
 sweep = []
 if len(sys.argv) > 2 and os.path.exists(sys.argv[2]):

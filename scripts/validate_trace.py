@@ -346,6 +346,36 @@ def check_dosepl_consistency(path, m):
             f"{path}: dosepl/swaps_accepted ({accepted}) + rolled_back "
             f"({rolled}) != accepted_provisional ({provisional})"
         )
+    # Incremental top-K enumeration: every heap pop is either selected
+    # or discarded as stale/duplicate, never both.
+    popped = c("dosepl/enumerate_endpoints_popped")
+    if popped is not None:
+        selected = c("dosepl/enumerate_endpoints_selected") or 0
+        stale = c("dosepl/enumerate_stale_discards") or 0
+        if selected + stale != popped:
+            fail(
+                f"{path}: dosepl/enumerate_endpoints_selected ({selected}) + "
+                f"enumerate_stale_discards ({stale}) != "
+                f"enumerate_endpoints_popped ({popped})"
+            )
+    # A single dosePl run enumerates each round exactly one way; the
+    # identity is additive, so mixed-mode manifests (several runs) keep
+    # skipped + walks == rounds.
+    skipped = c("dosepl/enumerate_full_analyze_skipped")
+    walks = c("dosepl/enumerate_full_walks")
+    rounds = c("dosepl/rounds")
+    if rounds is not None and (skipped is not None or walks is not None):
+        if (skipped or 0) + (walks or 0) != rounds:
+            fail(
+                f"{path}: dosepl/enumerate_full_analyze_skipped ({skipped}) + "
+                f"enumerate_full_walks ({walks}) != dosepl/rounds ({rounds})"
+            )
+    # Incremental enumeration never pays a round-start full analyze.
+    if (skipped or 0) > 0 and popped is None:
+        fail(
+            f"{path}: dosepl/enumerate_full_analyze_skipped without "
+            f"top-K selection counters"
+        )
     # The O(Δ) engine's work-avoided counters are written as one family.
     delta_family = [
         "dosepl/assignment_evals_avoided",

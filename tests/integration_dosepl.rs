@@ -126,6 +126,89 @@ fn dosepl_engines_agree_bitwise_on_fixed_seed() {
 
 #[test]
 #[cfg_attr(debug_assertions, ignore = "expensive optimizer run: use --release")]
+fn dosepl_enum_modes_agree_bitwise_on_fixed_seed() {
+    // Fixed-seed regression for the O(K) incremental path enumerator:
+    // on the small profile with a real DMopt dose map, the heap-driven
+    // top-K selection must drive the engine to the same decisions as
+    // the round-start full analyze + full-sort walk — bitwise-equal
+    // placements, assignments, golden summaries and loop counters.
+    let lib = Library::standard(Technology::n65());
+    let design = gen::generate(&profiles::small(), &lib);
+    let placement = dme_placement::place(&design, &lib);
+    let ctx = OptContext::new(&lib, &design, &placement);
+    let dm = dmeopt::optimize(
+        &ctx,
+        &DmoptConfig {
+            objective: Objective::MinTiming { xi_uw: 0.0 },
+            grid_g_um: 5.0,
+            ..DmoptConfig::default()
+        },
+    )
+    .expect("dmopt");
+    let base = DoseplConfig {
+        top_k: 500,
+        rounds: 5,
+        swaps_per_round: 3,
+        engine: dmeopt::SwapEngine::Delta,
+        ..DoseplConfig::default()
+    };
+    let inc = dmeopt::dosepl(
+        &ctx,
+        &dm.poly_map,
+        None,
+        -2.0,
+        &DoseplConfig {
+            path_enum: dmeopt::PathEnum::Incremental,
+            ..base.clone()
+        },
+    );
+    let full = dmeopt::dosepl(
+        &ctx,
+        &dm.poly_map,
+        None,
+        -2.0,
+        &DoseplConfig {
+            path_enum: dmeopt::PathEnum::Full,
+            ..base
+        },
+    );
+    assert!(
+        inc.swaps_attempted > 0,
+        "regression fixture must exercise the candidate loop"
+    );
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(&inc.placement.x_um), bits(&full.placement.x_um));
+    assert_eq!(bits(&inc.placement.y_um), bits(&full.placement.y_um));
+    assert_eq!(bits(&inc.assignment.dl_nm), bits(&full.assignment.dl_nm));
+    assert_eq!(bits(&inc.assignment.dw_nm), bits(&full.assignment.dw_nm));
+    assert_eq!(
+        inc.golden_after.mct_ns.to_bits(),
+        full.golden_after.mct_ns.to_bits()
+    );
+    assert_eq!(
+        inc.golden_after.leakage_uw.to_bits(),
+        full.golden_after.leakage_uw.to_bits()
+    );
+    assert_eq!(inc.swaps_attempted, full.swaps_attempted);
+    assert_eq!(inc.swaps_accepted, full.swaps_accepted);
+    assert_eq!(inc.rounds_run, full.rounds_run);
+    assert_eq!(inc.swap_evals, full.swap_evals);
+    assert_eq!(inc.filter_tallies, full.filter_tallies);
+    // Mode accounting: the incremental run never paid a round-start full
+    // analyze and dispositioned every heap pop; the full-walk run never
+    // touched the heap.
+    assert_eq!(inc.enum_tallies.full_walks, 0);
+    assert_eq!(inc.enum_tallies.full_analyze_skipped as usize, inc.rounds_run);
+    assert_eq!(
+        inc.enum_tallies.endpoints_popped,
+        inc.enum_tallies.endpoints_selected + inc.enum_tallies.stale_discards
+    );
+    assert_eq!(full.enum_tallies.full_analyze_skipped, 0);
+    assert_eq!(full.enum_tallies.full_walks as usize, full.rounds_run);
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "expensive optimizer run: use --release")]
 fn slack_profile_improves_after_optimization() {
     // The Fig. 10 storyline: the worst-slack region thins out after DMopt.
     let lib = Library::standard(Technology::n65());
